@@ -1,0 +1,81 @@
+// Command hofigures regenerates the paper's figures 7-13 as ASCII charts on
+// stdout and, optionally, CSV files for external plotting.
+//
+// Usage:
+//
+//	hofigures                    # all figures, ASCII to stdout
+//	hofigures -fig 9             # just Fig. 9
+//	hofigures -csv out/          # also write out/fig7.csv … out/fig13.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	fuzzyho "repro"
+)
+
+var allFigures = []string{"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+
+func main() {
+	fig := flag.String("fig", "all", `figure number: "7" … "13" or "all"`)
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV files (created if missing)")
+	flag.Parse()
+
+	var ids []string
+	if *fig == "all" {
+		ids = allFigures
+	} else {
+		ids = []string{"fig" + *fig}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := false
+	for _, id := range ids {
+		exp, err := fuzzyho.ExperimentByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== %s ==\n", exp.Title)
+		if exp.Search != nil {
+			fmt.Printf("scenario: iseed %d, replica %d (seed %d)\n",
+				exp.Search.BaseSeed, exp.Search.Replica, exp.Search.Seed)
+		}
+		fmt.Println(exp.Text)
+		fmt.Print(exp.VerdictString())
+		fmt.Println()
+		if !exp.Pass() {
+			failed = true
+		}
+		if *csvDir != "" && len(exp.Series) > 0 {
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := fuzzyho.WriteCSV(f, exp.XLabel, exp.Series...); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hofigures:", err)
+	os.Exit(1)
+}

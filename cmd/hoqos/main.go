@@ -1,0 +1,97 @@
+// Command hoqos runs the call-level QoS simulation: Poisson call traffic on
+// a channel-limited cellular network with mobile terminals handing over
+// under a chosen algorithm.  It reports new-call blocking, handover
+// dropping, ping-pong counts and the analytic Erlang-B reference.
+//
+// Usage examples:
+//
+//	hoqos                                  # defaults: fuzzy, 60 calls/cell/h
+//	hoqos -rate 120 -speed 80 -algo naive
+//	hoqos -guard 2 -channels 8
+//	hoqos -sweep 40,80,120,160
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	fuzzyho "repro"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "random seed")
+		channels = flag.Int("channels", 8, "channels per cell")
+		guard    = flag.Int("guard", 0, "guard channels reserved for handovers")
+		rate     = flag.Float64("rate", 60, "call arrivals per cell per hour")
+		hold     = flag.Float64("hold", 3, "mean call duration in minutes")
+		speed    = flag.Float64("speed", 60, "terminal speed in km/h (0 = static)")
+		tick     = flag.Float64("tick", 30, "measurement interval in seconds")
+		hours    = flag.Float64("hours", 6, "simulated hours")
+		algoName = flag.String("algo", "fuzzy", "handover algorithm: fuzzy, naive, hysteresis")
+		margin   = flag.Float64("margin", 4, "margin for -algo hysteresis")
+		sweep    = flag.String("sweep", "", "comma-separated arrival rates to sweep instead of one run")
+	)
+	flag.Parse()
+
+	cfg := fuzzyho.QoSConfig{
+		Seed:                *seed,
+		ChannelsPerCell:     *channels,
+		GuardChannels:       *guard,
+		ArrivalsPerCellHour: *rate,
+		MeanHoldMinutes:     *hold,
+		SpeedKmh:            *speed,
+		TickSeconds:         *tick,
+		SimHours:            *hours,
+	}
+	switch *algoName {
+	case "fuzzy":
+		// Default.
+	case "naive":
+		cfg.NewAlgorithm = func() fuzzyho.Algorithm { return fuzzyho.Hysteresis{MarginDB: 0} }
+	case "hysteresis":
+		m := *margin
+		cfg.NewAlgorithm = func() fuzzyho.Algorithm { return fuzzyho.Hysteresis{MarginDB: m} }
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	if *sweep != "" {
+		var rates []float64
+		for _, tok := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad sweep value %q: %v", tok, err))
+			}
+			rates = append(rates, v)
+		}
+		results, err := fuzzyho.QoSSweepLoad(cfg, rates)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10s %10s %12s %12s %12s %10s\n",
+			"rate/h", "erlangs", "blocking", "ErlangB ref", "dropping", "handovers")
+		for i, res := range results {
+			fmt.Printf("%10.0f %10.1f %12.4f %12.4f %12.4f %10d\n",
+				rates[i], rates[i]**hold/60, res.BlockingProb,
+				res.ErlangBReference, res.DroppingProb, res.HandoverAttempts)
+		}
+		return
+	}
+
+	res, err := fuzzyho.RunQoS(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm %s, %d cells x %d channels (%d guard), %.1f erlangs/cell, %g km/h\n",
+		*algoName, 19, *channels, *guard, *rate**hold/60, *speed)
+	fmt.Println(res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoqos:", err)
+	os.Exit(1)
+}

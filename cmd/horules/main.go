@@ -1,0 +1,107 @@
+// Command horules inspects the paper's fuzzy rule base and explains
+// individual decisions.
+//
+// Usage:
+//
+//	horules -dump                                  # print all 64 rules
+//	horules -explain -cssp -3.5 -ssn -93.7 -dmb 1.2
+//	horules -check rules.txt                       # validate a custom DSL rulebase
+//	horules -fcl                                   # export the paper FLC as IEC 61131-7 FCL
+//	horules -json                                  # export the paper FLC structure as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyho "repro"
+	"repro/internal/core"
+	"repro/internal/fuzzy"
+)
+
+func main() {
+	var (
+		dump    = flag.Bool("dump", false, "print the 64-rule FRB (Table 1)")
+		fclOut  = flag.Bool("fcl", false, "export the paper controller as an FCL function block")
+		jsonOut = flag.Bool("json", false, "export the paper controller structure as JSON")
+		explain = flag.Bool("explain", false, "run one inference and print the full trace")
+		cssp    = flag.Float64("cssp", -3.5, "CSSP input in dB (with -explain)")
+		ssn     = flag.Float64("ssn", -93.7, "SSN input in dB (with -explain)")
+		dmb     = flag.Float64("dmb", 1.2, "DMB input, distance / cell radius (with -explain)")
+		check   = flag.String("check", "", "parse and validate a rule-DSL file against the paper's variables")
+	)
+	flag.Parse()
+
+	switch {
+	case *fclOut:
+		src, err := fuzzyho.WriteFCL("barolli_handover", fuzzyho.NewFLC().System())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(src)
+
+	case *jsonOut:
+		data, err := fuzzyho.MarshalSystemJSON(fuzzyho.NewFLC().System())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+
+	case *dump:
+		rb := core.NewFRB()
+		fmt.Print(rb.String())
+		fmt.Printf("(%d rules; complete grid over |CSSP|x|SSN|x|DMB| = 4x4x4)\n", rb.Len())
+
+	case *explain:
+		flc := fuzzyho.NewFLC()
+		hd, trace, err := flc.EvaluateTrace(*cssp, *ssn, *dmb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.String())
+		verdict := "stay"
+		if hd > fuzzyho.HandoverThreshold {
+			verdict = "handover path (subject to PRTLC confirmation)"
+		}
+		fmt.Printf("threshold %.2f -> %s\n", fuzzyho.HandoverThreshold, verdict)
+
+	case *check != "":
+		src, err := os.ReadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		rb, err := fuzzyho.ParseRules(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		inputs := map[string]*fuzzy.Variable{
+			core.VarCSSP: core.NewCSSP(),
+			core.VarSSN:  core.NewSSN(),
+			core.VarDMB:  core.NewDMB(),
+		}
+		if err := rb.Validate(inputs, core.NewHD()); err != nil {
+			fatal(err)
+		}
+		missing := rb.MissingCombinations([]*fuzzy.Variable{
+			core.NewCSSP(), core.NewSSN(), core.NewDMB(),
+		})
+		fmt.Printf("%d rules parsed and valid; %d grid combinations uncovered\n",
+			rb.Len(), len(missing))
+		for _, m := range missing {
+			fmt.Printf("  missing: %v\n", m)
+		}
+		if len(missing) > 0 {
+			os.Exit(1)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "horules:", err)
+	os.Exit(1)
+}

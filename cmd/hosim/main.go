@@ -1,0 +1,147 @@
+// Command hosim runs one handover simulation and prints the run summary:
+// the walk, every measurement epoch, the decisions taken and the handover /
+// ping-pong accounting.
+//
+// Usage examples:
+//
+//	hosim -seed 200 -radius 2 -nwalk 10          # raw run of one seed
+//	hosim -scenario crossing                     # resolved paper scenario
+//	hosim -scenario boundary -speed 30 -algo hysteresis -margin 4
+//	hosim -print-config                          # dump the Table 2 defaults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyho "repro"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 200, "random seed (the paper's iseed)")
+		radius    = flag.Float64("radius", 0, "cell radius in km (0 = default 2)")
+		power     = flag.Float64("power", 0, "transmit power in W (0 = default 10)")
+		nwalk     = flag.Int("nwalk", 0, "number of walk legs (0 = default 5)")
+		speed     = flag.Float64("speed", 0, "terminal speed in km/h")
+		spacing   = flag.Float64("spacing", 0, "measurement spacing in km (0 = default 0.6)")
+		shadow    = flag.Float64("shadow", 0, "shadow-fading sigma in dB (0 = off)")
+		decorr    = flag.Float64("decorr", 0.05, "shadowing decorrelation distance in km")
+		algoName  = flag.String("algo", "fuzzy", "algorithm: fuzzy, rss, hysteresis, ttt, distance")
+		margin    = flag.Float64("margin", 4, "hysteresis margin in dB (for -algo hysteresis/ttt)")
+		tttEpochs = flag.Int("ttt", 2, "time-to-trigger epochs (for -algo ttt)")
+		rssFloor  = flag.Float64("rss-floor", -85, "serving threshold in dB (for -algo rss)")
+		scenario  = flag.String("scenario", "", "resolve a paper scenario first: boundary or crossing")
+		verbose   = flag.Bool("v", false, "print every measurement epoch")
+		printCfg  = flag.Bool("print-config", false, "print the Table 2 parameter sheet and exit")
+	)
+	flag.Parse()
+
+	if *printCfg {
+		exp, err := fuzzyho.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(exp.Text)
+		return
+	}
+
+	cfg := fuzzyho.SimConfig{
+		Seed:            *seed,
+		CellRadiusKm:    *radius,
+		PowerW:          *power,
+		NWalk:           *nwalk,
+		SpeedKmh:        *speed,
+		SampleSpacingKm: *spacing,
+		ShadowSigmaDB:   *shadow,
+		ShadowDecorrKm:  *decorr,
+	}
+	switch *scenario {
+	case "":
+		// Run the raw seed.
+	case "boundary":
+		base := fuzzyho.PaperBoundaryConfig()
+		base.SpeedKmh = *speed
+		resolved, sr, err := fuzzyho.ResolveScenario(base, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resolved boundary scenario: iseed %d replica %d (seed %d), cells %v\n",
+			sr.BaseSeed, sr.Replica, sr.Seed, sr.Cells)
+		cfg = resolved
+		cfg.ShadowSigmaDB = *shadow
+		cfg.ShadowDecorrKm = *decorr
+	case "crossing":
+		base := fuzzyho.PaperCrossingConfig()
+		base.SpeedKmh = *speed
+		resolved, sr, err := fuzzyho.ResolveScenario(base, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resolved crossing scenario: iseed %d replica %d (seed %d), cells %v\n",
+			sr.BaseSeed, sr.Replica, sr.Seed, sr.Cells)
+		cfg = resolved
+		cfg.ShadowSigmaDB = *shadow
+		cfg.ShadowDecorrKm = *decorr
+	default:
+		fatal(fmt.Errorf("unknown scenario %q (want boundary or crossing)", *scenario))
+	}
+
+	algo, err := buildAlgorithm(*algoName, *margin, *tttEpochs, *rssFloor)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Algorithm = algo
+
+	res, err := fuzzyho.RunSim(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("walk: %d legs, %.2f km, cells %v\n",
+		len(res.Path.Points)-1, res.Path.Length(), res.GeoCells)
+	fmt.Printf("algorithm: %s, speed %g km/h\n", algoLabel(algo), cfg.SpeedKmh)
+	if *verbose {
+		fmt.Println("epochs:")
+		for _, e := range res.Epochs {
+			exec := " "
+			if e.Executed {
+				exec = "H"
+			}
+			fmt.Printf("  %s #%2d %5.2f km  geo=%v srv=%v srvDB=%7.2f cssp=%6.2f ssn=%7.2f dmb=%5.2f  %s\n",
+				exec, e.Index, e.WalkedKm, e.GeoCell, e.Serving,
+				e.ServingDB, e.CSSPdB, e.NeighborDB, e.DMBNorm, e.Decision.Reason)
+		}
+	}
+	fmt.Printf("handovers: %d (ping-pong %d), outage %.3f\n",
+		res.HandoverCount(), res.PingPongCount, res.OutageFraction)
+	for _, ev := range res.Events {
+		fmt.Printf("  %v\n", ev)
+	}
+	fmt.Printf("serving sequence: %v\n", res.ServingCells)
+}
+
+func buildAlgorithm(name string, margin float64, ttt int, rssFloor float64) (fuzzyho.Algorithm, error) {
+	switch name {
+	case "fuzzy":
+		return fuzzyho.NewFuzzyAlgorithm(nil), nil
+	case "rss":
+		return fuzzyho.AbsoluteThreshold{ThresholdDB: rssFloor}, nil
+	case "hysteresis":
+		return fuzzyho.Hysteresis{MarginDB: margin}, nil
+	case "ttt":
+		return fuzzyho.NewHysteresisTTT(margin, ttt), nil
+	case "distance":
+		return fuzzyho.DistanceBased{TriggerNorm: 1.0}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func algoLabel(a fuzzyho.Algorithm) string { return a.Name() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hosim:", err)
+	os.Exit(1)
+}

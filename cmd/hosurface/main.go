@@ -1,0 +1,95 @@
+// Command hosurface dumps the FLC control surface: the crisp HD output over
+// a 2-D grid of two inputs with the third held fixed.  The output is CSV
+// (x, y, hd) by default, or an ASCII density map with -ascii.
+//
+// Usage:
+//
+//	hosurface -x DMB -y SSN -fixed -3.0        # CSSP fixed at -3 dB
+//	hosurface -x CSSP -y DMB -fixed -95 -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	fuzzyho "repro"
+)
+
+// glyphRamp maps HD ∈ [0,1] to a density glyph; '#' marks the handover
+// region above the 0.7 threshold.
+const glyphRamp = " .:-=+*%#"
+
+func main() {
+	var (
+		xVar  = flag.String("x", "DMB", "x-axis variable: CSSP, SSN or DMB")
+		yVar  = flag.String("y", "SSN", "y-axis variable: CSSP, SSN or DMB")
+		fixed = flag.Float64("fixed", -3, "value of the remaining input variable")
+		cols  = flag.Int("cols", 41, "grid columns")
+		rows  = flag.Int("rows", 21, "grid rows")
+		ascii = flag.Bool("ascii", false, "render an ASCII density map instead of CSV")
+	)
+	flag.Parse()
+
+	if *xVar == *yVar {
+		fatal(fmt.Errorf("x and y must differ, both are %q", *xVar))
+	}
+	third, err := remainingVariable(*xVar, *yVar)
+	if err != nil {
+		fatal(err)
+	}
+
+	flc := fuzzyho.NewFLC()
+	xs, ys, surface, err := flc.System().ControlSurface(
+		*xVar, *yVar, *cols, *rows, map[string]float64{third: *fixed})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *ascii {
+		fmt.Printf("HD(%s, %s) with %s = %g   (# = handover region, HD > %g)\n",
+			*xVar, *yVar, third, *fixed, fuzzyho.HandoverThreshold)
+		for r := len(surface) - 1; r >= 0; r-- {
+			var b strings.Builder
+			for c := range surface[r] {
+				hd := surface[r][c]
+				if hd > fuzzyho.HandoverThreshold {
+					b.WriteByte('#')
+					continue
+				}
+				i := int(hd * float64(len(glyphRamp)-1))
+				b.WriteByte(glyphRamp[i])
+			}
+			fmt.Printf("%8.2f |%s|\n", ys[r], b.String())
+		}
+		fmt.Printf("%8s  %-8.2f%*s\n", "", xs[0], *cols-8, fmt.Sprintf("%.2f", xs[len(xs)-1]))
+		fmt.Printf("%8s  (%s →)\n", "", *xVar)
+		return
+	}
+
+	fmt.Printf("%s,%s,HD\n", *xVar, *yVar)
+	for r := range surface {
+		for c := range surface[r] {
+			fmt.Printf("%g,%g,%.4f\n", xs[c], ys[r], surface[r][c])
+		}
+	}
+}
+
+func remainingVariable(x, y string) (string, error) {
+	all := map[string]bool{"CSSP": true, "SSN": true, "DMB": true}
+	if !all[x] || !all[y] {
+		return "", fmt.Errorf("variables must be CSSP, SSN or DMB (got %q, %q)", x, y)
+	}
+	delete(all, x)
+	delete(all, y)
+	for v := range all {
+		return v, nil
+	}
+	return "", fmt.Errorf("no remaining variable")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hosurface:", err)
+	os.Exit(1)
+}

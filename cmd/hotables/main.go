@@ -1,0 +1,58 @@
+// Command hotables regenerates the paper's tables (2, 3, 4) and the
+// extension comparison, printing each with its pass/fail verdict against
+// the DESIGN.md success criteria.
+//
+// Usage:
+//
+//	hotables              # all tables
+//	hotables -table 3     # just Table 3
+//	hotables -table comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fuzzyho "repro"
+)
+
+func main() {
+	table := flag.String("table", "all", `which table: "2", "3", "4", "comparison" or "all"`)
+	flag.Parse()
+
+	ids := map[string][]string{
+		"2":          {"table2"},
+		"3":          {"table3"},
+		"4":          {"table4"},
+		"comparison": {"comparison"},
+		"all":        {"table2", "table3", "table4", "comparison"},
+	}[*table]
+	if ids == nil {
+		fmt.Fprintf(os.Stderr, "hotables: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, id := range ids {
+		exp, err := fuzzyho.ExperimentByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hotables:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", exp.Title)
+		if exp.Search != nil {
+			fmt.Printf("scenario: iseed %d, replica %d (seed %d), class %v\n",
+				exp.Search.BaseSeed, exp.Search.Replica, exp.Search.Seed, exp.Search.Class)
+		}
+		fmt.Println(exp.Text)
+		fmt.Print(exp.VerdictString())
+		fmt.Println()
+		if !exp.Pass() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

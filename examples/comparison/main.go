@@ -1,0 +1,83 @@
+// Comparison: fuzzy versus classic non-fuzzy handover algorithms — the
+// experiment the paper names as future work (§6).
+//
+// Both paper scenarios are run under every algorithm, deterministic channel
+// and then under correlated log-normal shadow fading (the disturbance that
+// causes ping-pong in the first place).  The fuzzy controller needs no
+// per-deployment margin: naive baselines either flap (small margins) or
+// miss necessary handovers (large margins).
+//
+// Run with: go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fuzzyho "repro"
+)
+
+func main() {
+	hover, _, err := fuzzyho.ResolveScenario(fuzzyho.PaperBoundaryConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crossing, _, err := fuzzyho.ResolveScenario(fuzzyho.PaperCrossingConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	algos := func() []fuzzyho.Algorithm {
+		return []fuzzyho.Algorithm{
+			fuzzyho.NewFuzzyAlgorithm(nil),
+			fuzzyho.AbsoluteThreshold{ThresholdDB: -85},
+			fuzzyho.Hysteresis{MarginDB: 0},
+			fuzzyho.Hysteresis{MarginDB: 2},
+			fuzzyho.Hysteresis{MarginDB: 4},
+			fuzzyho.Hysteresis{MarginDB: 8},
+			fuzzyho.NewHysteresisTTT(4, 2),
+			fuzzyho.DistanceBased{TriggerNorm: 1.0},
+		}
+	}
+
+	fmt.Println("deterministic channel")
+	fmt.Printf("%-24s | %-22s | %-22s\n", "", "boundary-hover", "crossing (3 necessary)")
+	fmt.Printf("%-24s | %9s %10s | %9s %10s\n", "algorithm", "handovers", "ping-pong", "handovers", "ping-pong")
+	for _, algo := range algos() {
+		h := runWith(hover, algo)
+		c := runWith(crossing, algo)
+		fmt.Printf("%-24s | %9d %10d | %9d %10d\n",
+			algo.Name(), h.HandoverCount(), h.PingPongCount, c.HandoverCount(), c.PingPongCount)
+	}
+
+	fmt.Println("\nwith correlated shadow fading (σ = 6 dB, D = 50 m), 10 replicas, crossing walk")
+	fmt.Printf("%-24s %10s %10s %8s\n", "algorithm", "handovers", "ping-pong", "outage")
+	for _, algo := range algos() {
+		var ho, pp int
+		var outage float64
+		for rep := 0; rep < 10; rep++ {
+			cfg := crossing
+			cfg.Seed = fuzzyho.DeriveSeed(crossing.Seed, 1000+rep)
+			cfg.ShadowSigmaDB = 6
+			cfg.ShadowDecorrKm = 0.05
+			cfg.Algorithm = algo
+			res, err := fuzzyho.RunSim(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ho += res.HandoverCount()
+			pp += res.PingPongCount
+			outage += res.OutageFraction
+		}
+		fmt.Printf("%-24s %10d %10d %8.3f\n", algo.Name(), ho, pp, outage/10)
+	}
+}
+
+func runWith(cfg fuzzyho.SimConfig, algo fuzzyho.Algorithm) *fuzzyho.SimResult {
+	cfg.Algorithm = algo
+	res, err := fuzzyho.RunSim(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

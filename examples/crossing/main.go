@@ -1,0 +1,53 @@
+// Crossing scenario: the paper's iseed = 200 experiment (Fig. 8, Table 4).
+//
+// A terminal walks deep into neighbor cells three times; the fuzzy
+// controller must execute exactly those three handovers — no more (no
+// ping-pong), no fewer (no outage) — each with a decision value above 0.7.
+//
+// Run with: go run ./examples/crossing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fuzzyho "repro"
+)
+
+func main() {
+	cfg, search, err := fuzzyho.ResolveScenario(fuzzyho.PaperCrossingConfig(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crossing walk: iseed %d, replica %d\ncells: %v\n\n",
+		search.BaseSeed, search.Replica, search.Cells)
+
+	res, err := fuzzyho.RunSim(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("epoch-by-epoch decisions:")
+	for _, e := range res.Epochs {
+		mark := "    "
+		if e.Executed {
+			mark = " ->H"
+		}
+		hd := "  -  "
+		if e.Decision.Scored {
+			hd = fmt.Sprintf("%.3f", e.Decision.Score)
+		}
+		fmt.Printf("%s %5.2f km  in %v, serving %v, HD %s\n",
+			mark, e.WalkedKm, e.GeoCell, e.Serving, hd)
+	}
+
+	fmt.Printf("\nhandovers executed: %d (paper: 3), ping-pong: %d\n",
+		res.HandoverCount(), res.PingPongCount)
+	for i, ev := range res.Events {
+		fmt.Printf("  %d. %v\n", i+1, ev)
+	}
+
+	// The serving attachment follows the walk's deep cell visits.
+	fmt.Printf("\nattachment sequence: %v\n", res.ServingCells)
+	fmt.Printf("geometric sequence:  %v\n", res.GeoCells)
+}

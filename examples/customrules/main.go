@@ -1,0 +1,96 @@
+// Custom rulebase: build a handover controller from a rule-DSL string.
+//
+// The library's fuzzy engine is generic: this example defines a simplified
+// two-input controller (neighbor advantage and distance) in the text DSL,
+// compiles it, and compares its decisions with the paper's three-input FLC
+// on the crossing scenario.
+//
+// Run with: go run ./examples/customrules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fuzzyho "repro"
+)
+
+// twoInputRules is a miniature margin-style controller expressed as fuzzy
+// rules: hand over when the neighbor advantage is large, earlier when far
+// from the serving BS.
+const twoInputRules = `
+# adv = neighbor - serving [dB]; dist = distance / cell radius
+IF adv IS losing  AND dist IS near THEN hd IS no
+IF adv IS losing  AND dist IS far  THEN hd IS no
+IF adv IS even    AND dist IS near THEN hd IS no
+IF adv IS even    AND dist IS far  THEN hd IS maybe
+IF adv IS winning AND dist IS near THEN hd IS maybe
+IF adv IS winning AND dist IS far  THEN hd IS yes
+`
+
+func main() {
+	adv, err := fuzzyho.NewVariable("adv", -20, 20,
+		fuzzyho.Term{Name: "losing", MF: fuzzyho.ShoulderLeft(-20, 0)},
+		fuzzyho.Term{Name: "even", MF: fuzzyho.Tri(-20, 0, 20)},
+		fuzzyho.Term{Name: "winning", MF: fuzzyho.ShoulderRight(0, 20)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fuzzyho.NewVariable("dist", 0, 1.5,
+		fuzzyho.Term{Name: "near", MF: fuzzyho.ShoulderLeft(0.5, 1.0)},
+		fuzzyho.Term{Name: "far", MF: fuzzyho.ShoulderRight(0.5, 1.0)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hd, err := fuzzyho.NewVariable("hd", 0, 1,
+		fuzzyho.Term{Name: "no", MF: fuzzyho.Trap(0, 0, 0.2, 0.5)},
+		fuzzyho.Term{Name: "maybe", MF: fuzzyho.Tri(0.2, 0.5, 0.8)},
+		fuzzyho.Term{Name: "yes", MF: fuzzyho.Trap(0.5, 0.8, 1, 1)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rules, err := fuzzyho.ParseRules(twoInputRules)
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := fuzzyho.NewInferenceSystem(hd, rules, fuzzyho.InferenceOptions{}, adv, dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	paper := fuzzyho.NewFLC()
+
+	fmt.Printf("%-34s %12s %12s\n", "situation (adv dB, dist, cssp, ssn)", "custom HD", "paper HD")
+	cases := []struct {
+		name           string
+		advDB, distN   float64 // custom controller inputs
+		cssp, ssn, dmb float64 // paper controller inputs
+	}{
+		{"mid-cell, behind", -8, 0.3, -0.5, -100, 0.3},
+		{"boundary, even", 0, 0.95, -1.0, -93, 0.95},
+		{"crossed, ahead", 8, 1.2, -3.5, -93.7, 1.2},
+		{"deep, far ahead", 14, 1.4, -6, -90, 1.4},
+	}
+	for _, c := range cases {
+		custom, err := system.Evaluate(map[string]float64{"adv": c.advDB, "dist": c.distN})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref, err := paper.Evaluate(c.cssp, c.ssn, c.dmb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %12.3f %12.3f\n", c.name, custom, ref)
+	}
+
+	fmt.Println("\nexplanation of the last decision (custom controller):")
+	_, trace, err := system.EvaluateTrace(map[string]float64{"adv": 14, "dist": 1.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.String())
+}

@@ -1,0 +1,63 @@
+// Ping-pong avoidance: the paper's iseed = 100 scenario (Fig. 7, Table 3).
+//
+// A terminal wanders along the boundary of three 1 km cells.  A naive
+// strongest-BS policy flips its attachment back and forth (the ping-pong
+// effect); the fuzzy controller holds the original attachment through the
+// whole walk, at every speed from 0 to 50 km/h.
+//
+// Run with: go run ./examples/pingpong
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fuzzyho "repro"
+)
+
+func main() {
+	base := fuzzyho.PaperBoundaryConfig()
+	cfg, search, err := fuzzyho.ResolveScenario(base, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boundary-hover walk: iseed %d, replica %d, cells %v\n\n",
+		search.BaseSeed, search.Replica, search.Cells)
+
+	fmt.Printf("%-24s %9s %9s\n", "algorithm", "handovers", "ping-pong")
+	algos := []fuzzyho.Algorithm{
+		fuzzyho.NewFuzzyAlgorithm(nil),
+		fuzzyho.Hysteresis{MarginDB: 0}, // strongest-BS policy
+		fuzzyho.AbsoluteThreshold{ThresholdDB: -85},
+		fuzzyho.Hysteresis{MarginDB: 4},
+	}
+	for _, algo := range algos {
+		run := cfg
+		run.Algorithm = algo
+		res, err := fuzzyho.RunSim(run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %9d %9d\n", algo.Name(), res.HandoverCount(), res.PingPongCount)
+	}
+
+	fmt.Println("\nfuzzy controller across the speed sweep (Table 3 protocol):")
+	fmt.Printf("%-10s %9s %9s %10s\n", "speed", "handovers", "ping-pong", "max HD")
+	for _, speed := range []float64{0, 10, 20, 30, 40, 50} {
+		run := cfg
+		run.SpeedKmh = speed
+		res, err := fuzzyho.RunSim(run)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxHD := 0.0
+		for _, e := range res.Epochs {
+			if e.Decision.Scored && e.Decision.Score > maxHD {
+				maxHD = e.Decision.Score
+			}
+		}
+		fmt.Printf("%7.0f    %9d %9d %10.3f\n", speed, res.HandoverCount(), res.PingPongCount, maxHD)
+	}
+	fmt.Printf("\nevery max HD stays below the %.1f threshold: ping-pong avoided.\n",
+		fuzzyho.HandoverThreshold)
+}

@@ -1,0 +1,681 @@
+package fuzzyho
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/handover"
+	"repro/internal/hexgrid"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Experiment is one regenerated artifact of the paper's evaluation section:
+// a table or a figure, with the data behind it and a pass/fail verdict
+// against the DESIGN.md §4 success criteria.
+type Experiment struct {
+	// ID is the artifact key: "table2", "table3", "table4", "fig7" … "fig13",
+	// "comparison".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Text is the rendered artifact (table text or ASCII figure).
+	Text string
+	// Series carries the figure data for CSV export (nil for tables).
+	Series []Series
+	// XLabel labels the shared x column of Series.
+	XLabel string
+	// Checks lists the success criteria with their outcomes.
+	Checks []Check
+	// Search records the scenario sub-stream used, when one was resolved.
+	Search *ScenarioSearchResult
+}
+
+// Check is one success criterion with its outcome.
+type Check struct {
+	Name string
+	Pass bool
+	Note string
+}
+
+// Pass reports whether every check passed.
+func (e *Experiment) Pass() bool {
+	for _, c := range e.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// VerdictString renders the checks compactly.
+func (e *Experiment) VerdictString() string {
+	var b strings.Builder
+	for _, c := range e.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s — %s\n", mark, c.Name, c.Note)
+	}
+	return b.String()
+}
+
+// TableSpeeds is the paper's speed sweep for Tables 3-4.
+var TableSpeeds = []float64{0, 10, 20, 30, 40, 50}
+
+// scenarioCache memoises ResolveScenario per base seed so that benches,
+// tables and figures share one search.
+var scenarioCache struct {
+	mu sync.Mutex
+	m  map[int64]scenarioEntry
+}
+
+type scenarioEntry struct {
+	cfg SimConfig
+	sr  ScenarioSearchResult
+}
+
+func resolvedScenario(base SimConfig) (SimConfig, ScenarioSearchResult, error) {
+	scenarioCache.mu.Lock()
+	defer scenarioCache.mu.Unlock()
+	if scenarioCache.m == nil {
+		scenarioCache.m = make(map[int64]scenarioEntry)
+	}
+	if e, ok := scenarioCache.m[base.Seed]; ok {
+		return e.cfg, e.sr, nil
+	}
+	cfg, sr, err := sim.ResolveScenario(base, 0)
+	if err != nil {
+		return cfg, sr, err
+	}
+	scenarioCache.m[base.Seed] = scenarioEntry{cfg: cfg, sr: sr}
+	return cfg, sr, nil
+}
+
+// Table2 renders the simulation parameter set (the paper's Table 2) as
+// realised by this reproduction.
+func Table2() (*Experiment, error) {
+	var b strings.Builder
+	rows := [][2]string{
+		{"Distribution Law", "Gaussian (step length), uniform angle"},
+		{"Number of Walks", "5 (iseed=100), 10 (iseed=200)"},
+		{"Random Types (iseed)", "100, 200 (+ documented sub-stream replicas)"},
+		{"Cell Radius", "1 km (iseed=100), 2 km (iseed=200)"},
+		{"Transmission Power", fmt.Sprintf("%g W (20 W exercised in ablations)", sim.DefaultPowerW)},
+		{"Frequency", "2000 MHz"},
+		{"Tx Antenna Beam Tilting", "3°"},
+		{"Tx Antenna Height", "40 m"},
+		{"Rx Antenna Height", "1.5 m"},
+		{"Average Value for a Walk", "0.6 km"},
+		{"Path exponent n", "1.1"},
+		{"Measurement spacing", fmt.Sprintf("%g km (one per walk leg)", sim.DefaultSampleSpacingKm)},
+		{"Handover threshold", fmt.Sprintf("%g", HandoverThreshold)},
+		{"POTLC quality gate", fmt.Sprintf("%g dB", core.DefaultQualityGateDB)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %s\n", r[0], r[1])
+	}
+	return &Experiment{
+		ID:     "table2",
+		Title:  "Table 2: simulation parameters",
+		Text:   b.String(),
+		Checks: []Check{{Name: "parameters transcribed", Pass: true, Note: "Table 2 values wired as defaults"}},
+	}, nil
+}
+
+// Table3 regenerates the paper's Table 3: the boundary-hover scenario
+// (iseed = 100) measured across the 0-50 km/h sweep.  Success: every output
+// stays below the 0.7 threshold and the fuzzy system executes no handover
+// at any speed, while the naive baseline ping-pongs on the same walk.
+func Table3() (*Experiment, error) {
+	cfg, sr, err := resolvedScenario(PaperBoundaryConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	epochs := res.BoundaryTableEpochs(6)
+	table, err := sim.BuildPaperTable(
+		fmt.Sprintf("Table 3: iseed=%d (replica %d), boundary-hover walk %s",
+			sr.BaseSeed, sr.Replica, cellsString(sr.Cells)),
+		res, nil, epochs, TableSpeeds)
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &Experiment{
+		ID:     "table3",
+		Title:  "Table 3: simulation results for iseed = 100 (ping-pong avoidance)",
+		Text:   table.String(),
+		Search: &sr,
+	}
+	maxOut := table.MaxOutput()
+	exp.Checks = append(exp.Checks, Check{
+		Name: "all outputs below threshold",
+		Pass: maxOut < HandoverThreshold,
+		Note: fmt.Sprintf("max output %.3f vs threshold %.2f (paper: max 0.693)", maxOut, HandoverThreshold),
+	})
+	handovers := 0
+	for _, speed := range TableSpeeds {
+		run := cfg
+		run.SpeedKmh = speed
+		r, err := sim.Run(run)
+		if err != nil {
+			return nil, err
+		}
+		handovers += r.HandoverCount()
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "no handover executed at any speed",
+		Pass: handovers == 0,
+		Note: fmt.Sprintf("%d handovers across the sweep (paper: ping-pong avoided)", handovers),
+	})
+	naive := cfg
+	naive.Algorithm = handover.Hysteresis{MarginDB: 0}
+	nr, err := sim.Run(naive)
+	if err != nil {
+		return nil, err
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "naive baseline ping-pongs on the same walk",
+		Pass: nr.PingPongCount >= 1,
+		Note: fmt.Sprintf("hysteresis-0dB: %d handovers, %d ping-pong", nr.HandoverCount(), nr.PingPongCount),
+	})
+	// The paper's "10 times simulations, average values" protocol: under
+	// correlated shadow fading the 10-replica averaged outputs must still
+	// sit below the threshold.
+	avg, err := sim.BuildAveragedPaperTable("Table 3 averaged", cfg, nil, epochs, TableSpeeds, 10, 4, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "10-replica shadowed average below threshold",
+		Pass: avg.MaxOutput() < HandoverThreshold,
+		Note: fmt.Sprintf("averaged max output %.3f (σ = 4 dB)", avg.MaxOutput()),
+	})
+	return exp, nil
+}
+
+// Table4 regenerates the paper's Table 4: the crossing scenario
+// (iseed = 200).  Success: exactly 3 handovers, no ping-pong, and the
+// crossing column of every measurement pair above 0.7 at 0 km/h.
+func Table4() (*Experiment, error) {
+	cfg, sr, err := resolvedScenario(PaperCrossingConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	epochs := res.CrossingTableEpochs()
+	table, err := sim.BuildPaperTable(
+		fmt.Sprintf("Table 4: iseed=%d (replica %d), crossing walk %s",
+			sr.BaseSeed, sr.Replica, cellsString(sr.Cells)),
+		res, nil, epochs, TableSpeeds)
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:     "table4",
+		Title:  "Table 4: simulation results for iseed = 200 (handover decision)",
+		Text:   table.String(),
+		Search: &sr,
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "exactly 3 handovers executed",
+		Pass: res.HandoverCount() == sim.PaperCrossingHandovers,
+		Note: fmt.Sprintf("%d handovers (paper: 3)", res.HandoverCount()),
+	})
+	exp.Checks = append(exp.Checks, Check{
+		Name: "no ping-pong",
+		Pass: res.PingPongCount == 0,
+		Note: fmt.Sprintf("%d ping-pong returns", res.PingPongCount),
+	})
+	crossingsAbove := true
+	var notes []string
+	cells := table.Rows[0].Cells
+	for i := 1; i < len(cells); i += 2 {
+		notes = append(notes, fmt.Sprintf("%.3f", cells[i].OutputHD))
+		if cells[i].OutputHD <= HandoverThreshold {
+			crossingsAbove = false
+		}
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "crossing columns above threshold at 0 km/h",
+		Pass: crossingsAbove,
+		Note: fmt.Sprintf("outputs %s vs 0.7 (paper: 0.730-0.745)", strings.Join(notes, ", ")),
+	})
+	return exp, nil
+}
+
+// Figure7 regenerates the Fig. 7 walk pattern (iseed = 100): the
+// boundary-hover trajectory over the cell layout.
+func Figure7() (*Experiment, error) {
+	return walkFigure("fig7", PaperBoundaryConfig(),
+		"Fig. 7: RW pattern for iseed = 100 (boundary hover)", ClassBoundaryHover)
+}
+
+// Figure8 regenerates the Fig. 8 walk pattern (iseed = 200): the crossing
+// trajectory over the cell layout.
+func Figure8() (*Experiment, error) {
+	return walkFigure("fig8", PaperCrossingConfig(),
+		"Fig. 8: RW pattern for iseed = 200 (crossing)", ClassCrossing)
+}
+
+func walkFigure(id string, base SimConfig, title string, wantClass WalkClass) (*Experiment, error) {
+	cfg, sr, err := resolvedScenario(base)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lattice := res.Network.Lattice()
+	var centers, walkPts [][2]float64
+	for _, c := range res.Network.Cells() {
+		p := lattice.Center(c)
+		centers = append(centers, [2]float64{p.X, p.Y})
+	}
+	var xs, ys []float64
+	for _, p := range res.Path.Points {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	walkPts = trace.PolylinePoints(xs, ys, 24)
+	ascii := trace.ScatterPlot(72, 30,
+		trace.MarkerSet{Name: "BS", Glyph: 'B', Points: centers},
+		trace.MarkerSet{Name: "walk", Glyph: '.', Points: walkPts},
+		trace.MarkerSet{Name: "start", Glyph: 'S', Points: walkPts[:1]},
+	)
+	text := fmt.Sprintf("%s\ncells visited: %s\n%s", title, cellsString(sr.Cells), ascii)
+	exp := &Experiment{
+		ID:     id,
+		Title:  title,
+		Text:   text,
+		XLabel: "x [km]",
+		Series: []Series{
+			{Name: "walk-y(x) vertex order", X: xs, Y: ys},
+		},
+		Search: &sr,
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "walk class matches the paper's scenario",
+		Pass: sr.Class == wantClass,
+		Note: fmt.Sprintf("class %v, cells %s", sr.Class, cellsString(sr.Cells)),
+	})
+	return exp, nil
+}
+
+// Figure9 regenerates Fig. 9: received power from the starting (serving)
+// base station along the crossing walk.
+func Figure9() (*Experiment, error) {
+	return powerFigure("fig9", 0, "Fig. 9: received power from the start BS along the walk (iseed = 200)")
+}
+
+// Figure10 regenerates Fig. 10: received power from the most-visited
+// neighbor BS along the crossing walk.
+func Figure10() (*Experiment, error) {
+	return powerFigure("fig10", 1, "Fig. 10: received power from the 1st crossed BS (iseed = 200)")
+}
+
+// Figure11 regenerates Fig. 11: received power from the second crossed
+// neighbor BS along the crossing walk.
+func Figure11() (*Experiment, error) {
+	return powerFigure("fig11", 2, "Fig. 11: received power from the 2nd crossed BS (iseed = 200)")
+}
+
+// powerFigure emits the received-power trace of one BS along the resolved
+// crossing walk: which = 0 selects the start cell (the paper's BS(0,0)),
+// 1 and 2 the two most-visited foreign cells (the paper's BS(-1,2) and
+// BS(-2,1)).
+func powerFigure(id string, which int, title string) (*Experiment, error) {
+	cfg, sr, err := resolvedScenario(PaperCrossingConfig())
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var target hexgrid.Cell
+	if which == 0 {
+		target = res.Epochs[0].GeoCell
+	} else {
+		foreign := res.TopForeignCells(2)
+		if len(foreign) < which {
+			return nil, fmt.Errorf("fuzzyho: crossing walk visited only %d foreign cells", len(foreign))
+		}
+		target = foreign[which-1]
+	}
+	series, err := res.PowerTrace(target)
+	if err != nil {
+		return nil, err
+	}
+	ascii := trace.LinePlot(76, 20, "Distance [km]", "Received Power [dB]", series)
+	exp := &Experiment{
+		ID:     id,
+		Title:  title,
+		Text:   fmt.Sprintf("%s — %s\n%s", title, series.Name, ascii),
+		XLabel: "walked [km]",
+		Series: []Series{series},
+		Search: &sr,
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, y := range series.Y {
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "power varies over the paper's dynamic range",
+		Pass: maxY-minY > 8 && maxY < -55 && minY > -145,
+		Note: fmt.Sprintf("range [%.1f, %.1f] dB (paper axes: -140…-60 dB)", minY, maxY),
+	})
+	// The serving trace must fall as the terminal leaves; the crossed-BS
+	// traces must rise toward their closest approach.
+	if which == 0 {
+		exp.Checks = append(exp.Checks, Check{
+			Name: "serving power decreases along the walk",
+			Pass: series.Y[len(series.Y)-1] < series.Y[0],
+			Note: fmt.Sprintf("start %.1f dB → end %.1f dB", series.Y[0], series.Y[len(series.Y)-1]),
+		})
+	} else {
+		exp.Checks = append(exp.Checks, Check{
+			Name: "neighbor power peaks above its starting level",
+			Pass: maxY > series.Y[0]+5,
+			Note: fmt.Sprintf("start %.1f dB, peak %.1f dB", series.Y[0], maxY),
+		})
+	}
+	return exp, nil
+}
+
+// Figure12 regenerates Fig. 12: the three-BS power curves around the three
+// measurement points of the boundary-hover walk.
+func Figure12() (*Experiment, error) {
+	return measurementFigure("fig12", PaperBoundaryConfig(),
+		"Fig. 12: 3 measurement points for iseed = 100 (3-cell boundary)")
+}
+
+// Figure13 regenerates Fig. 13: the three-BS power curves around the
+// handover points of the crossing walk.
+func Figure13() (*Experiment, error) {
+	return measurementFigure("fig13", PaperCrossingConfig(),
+		"Fig. 13: 3 measurement points for iseed = 200 (crossings)")
+}
+
+func measurementFigure(id string, base SimConfig, title string) (*Experiment, error) {
+	cfg, sr, err := resolvedScenario(base)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The three curves: the start cell plus the two most-visited foreign
+	// cells (falling back to nearest ring-1 cells on short hover walks).
+	cells := []hexgrid.Cell{res.Epochs[0].GeoCell}
+	cells = append(cells, res.TopForeignCells(2)...)
+	for _, c := range res.Epochs[0].GeoCell.Neighbors() {
+		if len(cells) >= 3 {
+			break
+		}
+		if c != cells[0] && (len(cells) < 2 || c != cells[1]) && res.Network.Has(c) {
+			cells = append(cells, c)
+		}
+	}
+	var series []Series
+	for _, c := range cells[:3] {
+		s, err := res.PowerTrace(c)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, s)
+	}
+	var points []int
+	if base.Seed == 100 {
+		points = res.BoundaryMeasurementPoints(3, 0.5)
+	} else {
+		points = res.HandoverEpochs()
+	}
+	marker := Series{Name: "measurement points"}
+	for _, idx := range points {
+		marker.X = append(marker.X, res.Epochs[idx].WalkedKm)
+		marker.Y = append(marker.Y, res.Epochs[idx].ServingDB)
+	}
+	ascii := trace.LinePlot(76, 22, "Distance [km]", "Received Power [dB]", append(series, marker)...)
+	exp := &Experiment{
+		ID:     id,
+		Title:  title,
+		Text:   fmt.Sprintf("%s\n%s", title, ascii),
+		XLabel: "walked [km]",
+		Series: append(series, marker),
+		Search: &sr,
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "three measurement points selected",
+		Pass: len(points) == 3,
+		Note: fmt.Sprintf("epochs %v", points),
+	})
+	// At each measurement point the involved powers are close — the
+	// "boundary of the 3 cells" condition (tightest for the hover case).
+	maxSpread := 0.0
+	for _, idx := range points {
+		e := res.Epochs[idx]
+		spread := math.Abs(e.ServingDB - e.NeighborDB)
+		if spread > maxSpread {
+			maxSpread = spread
+		}
+	}
+	limit := 6.0
+	if base.Seed != 100 {
+		limit = 12.0
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "measurement points lie in the boundary region",
+		Pass: maxSpread < limit,
+		Note: fmt.Sprintf("max |serving − neighbor| = %.1f dB (limit %.0f)", maxSpread, limit),
+	})
+	return exp, nil
+}
+
+// ComparisonRow is one algorithm's outcome on one scenario.
+type ComparisonRow struct {
+	Scenario  string
+	Algorithm string
+	Handovers int
+	PingPong  int
+	Outage    float64
+}
+
+// Comparison runs the paper's stated future-work experiment: the fuzzy
+// system against the non-fuzzy baselines on both resolved scenarios.
+func Comparison() (*Experiment, error) {
+	algos := func() []Algorithm {
+		return []Algorithm{
+			handover.NewFuzzy(nil),
+			handover.AbsoluteThreshold{ThresholdDB: -85},
+			handover.Hysteresis{MarginDB: 0},
+			handover.Hysteresis{MarginDB: 4},
+			handover.NewHysteresisTTT(4, 2),
+			handover.DistanceBased{TriggerNorm: 1.0},
+			handover.SIRThreshold{ThresholdDB: 3, MarginDB: 0},
+			handover.NewAdaptiveFuzzy(),
+			handover.Passive{},
+		}
+	}
+	var rows []ComparisonRow
+	scenarios := []struct {
+		name string
+		base SimConfig
+	}{
+		{"boundary-hover (iseed=100)", PaperBoundaryConfig()},
+		{"crossing (iseed=200)", PaperCrossingConfig()},
+	}
+	var checks []Check
+	for _, sc := range scenarios {
+		cfg, _, err := resolvedScenario(sc.base)
+		if err != nil {
+			return nil, err
+		}
+		var fuzzyRow ComparisonRow
+		for _, algo := range algos() {
+			run := cfg
+			run.Algorithm = algo
+			res, err := sim.Run(run)
+			if err != nil {
+				return nil, err
+			}
+			row := ComparisonRow{
+				Scenario:  sc.name,
+				Algorithm: algo.Name(),
+				Handovers: res.HandoverCount(),
+				PingPong:  res.PingPongCount,
+				Outage:    res.OutageFraction,
+			}
+			rows = append(rows, row)
+			if row.Algorithm == "fuzzy" {
+				fuzzyRow = row
+			}
+		}
+		if strings.HasPrefix(sc.name, "boundary") {
+			checks = append(checks, Check{
+				Name: "fuzzy avoids ping-pong on the hover walk",
+				Pass: fuzzyRow.PingPong == 0 && fuzzyRow.Handovers == 0,
+				Note: fmt.Sprintf("fuzzy: %d handovers, %d ping-pong", fuzzyRow.Handovers, fuzzyRow.PingPong),
+			})
+		} else {
+			checks = append(checks, Check{
+				Name: "fuzzy executes the 3 necessary handovers",
+				Pass: fuzzyRow.Handovers == 3 && fuzzyRow.PingPong == 0,
+				Note: fmt.Sprintf("fuzzy: %d handovers, %d ping-pong", fuzzyRow.Handovers, fuzzyRow.PingPong),
+			})
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %-22s %10s %9s %8s\n", "Scenario", "Algorithm", "Handovers", "PingPong", "Outage")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %-22s %10d %9d %8.3f\n", r.Scenario, r.Algorithm, r.Handovers, r.PingPong, r.Outage)
+	}
+	return &Experiment{
+		ID:     "comparison",
+		Title:  "Extension: fuzzy vs non-fuzzy baselines (paper §6 future work)",
+		Text:   b.String(),
+		Checks: checks,
+	}, nil
+}
+
+// Timeliness runs the §2-motivated experiment: "a timely handover
+// algorithm is one which initiates handoffs neither too early nor too
+// late."  A terminal drives a straight corridor from the serving BS through
+// the boundary into the neighbor cell; each algorithm's handover lag is the
+// distance past the geometric boundary at which it fires.
+func Timeliness() (*Experiment, error) {
+	lattice := NewLattice(2)
+	target := lattice.Center(Cell{I: 2, J: -1})
+	boundaryKm := lattice.Spacing() / 2
+	base := SimConfig{
+		Seed:         1,
+		CellRadiusKm: 2,
+		Walk:         corridorWalk{to: target},
+	}
+	algos := []Algorithm{
+		handover.NewFuzzy(nil),
+		handover.Hysteresis{MarginDB: 0},
+		handover.Hysteresis{MarginDB: 4},
+		handover.Hysteresis{MarginDB: 8},
+		handover.DistanceBased{TriggerNorm: 1.0},
+		handover.SIRThreshold{ThresholdDB: 3, MarginDB: 0},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "corridor: BS(0,0) -> BS(2,-1), boundary at %.2f km, corridor end %.2f km\n",
+		boundaryKm, 2*boundaryKm)
+	fmt.Fprintf(&b, "%-22s %12s %14s\n", "algorithm", "fires at", "lag past boundary")
+	var fuzzyLag float64
+	fuzzyFired := false
+	for _, algo := range algos {
+		cfg := base
+		cfg.Algorithm = algo
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.HandoverCount() == 0 {
+			fmt.Fprintf(&b, "%-22s %12s %14s\n", algo.Name(), "never", "-")
+			continue
+		}
+		at := res.Events[0].WalkedKm
+		lag := at - boundaryKm
+		fmt.Fprintf(&b, "%-22s %9.2f km %11.2f km\n", algo.Name(), at, lag)
+		if algo.Name() == "fuzzy" {
+			fuzzyLag = lag
+			fuzzyFired = true
+		}
+	}
+	exp := &Experiment{
+		ID:    "timeliness",
+		Title: "Extension: handover timeliness on a boundary-crossing corridor (paper §2)",
+		Text:  b.String(),
+	}
+	exp.Checks = append(exp.Checks, Check{
+		Name: "fuzzy fires after the boundary but before the corridor ends",
+		Pass: fuzzyFired && fuzzyLag > 0 && fuzzyLag < boundaryKm*0.9,
+		Note: fmt.Sprintf("fuzzy lag %.2f km past the %.2f km boundary", fuzzyLag, boundaryKm),
+	})
+	return exp, nil
+}
+
+// corridorWalk is the deterministic straight-line mobility of Timeliness.
+type corridorWalk struct{ to Vec }
+
+func (c corridorWalk) Name() string { return "scripted:corridor" }
+func (c corridorWalk) Generate(RandSource) Path {
+	return Path{Points: []Vec{{}, c.to}}
+}
+
+// AllExperiments regenerates every table and figure in order.
+func AllExperiments() ([]*Experiment, error) {
+	builders := []func() (*Experiment, error){
+		Table2, Figure7, Figure8, Figure9, Figure10, Figure11,
+		Figure12, Figure13, Table3, Table4, Comparison, Timeliness,
+	}
+	out := make([]*Experiment, 0, len(builders))
+	for _, build := range builders {
+		exp, err := build()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, exp)
+	}
+	return out, nil
+}
+
+// ExperimentByID regenerates a single artifact ("table3", "fig9", …).
+func ExperimentByID(id string) (*Experiment, error) {
+	builders := map[string]func() (*Experiment, error){
+		"table2": Table2, "table3": Table3, "table4": Table4,
+		"fig7": Figure7, "fig8": Figure8, "fig9": Figure9,
+		"fig10": Figure10, "fig11": Figure11, "fig12": Figure12,
+		"fig13": Figure13, "comparison": Comparison, "timeliness": Timeliness,
+	}
+	build, ok := builders[id]
+	if !ok {
+		return nil, fmt.Errorf("fuzzyho: unknown experiment %q", id)
+	}
+	return build()
+}
+
+func cellsString(cells []hexgrid.Cell) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "→")
+}

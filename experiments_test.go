@@ -1,0 +1,142 @@
+package fuzzyho
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass is the repository's headline integration test: every
+// regenerated table and figure must satisfy its DESIGN.md §4 success
+// criteria.
+func TestAllExperimentsPass(t *testing.T) {
+	exps, err := AllExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 12 {
+		t.Fatalf("regenerated %d experiments, want 12", len(exps))
+	}
+	for _, e := range exps {
+		if !e.Pass() {
+			t.Errorf("%s failed:\n%s", e.ID, e.VerdictString())
+		}
+		if e.Text == "" {
+			t.Errorf("%s has no rendered artifact", e.ID)
+		}
+	}
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	exp, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Pass() {
+		t.Fatalf("table 3 verdict:\n%s", exp.VerdictString())
+	}
+	// Six measurement columns, like the paper's three points × two epochs.
+	if !strings.Contains(exp.Text, "Speed 50") || !strings.Contains(exp.Text, "System Output") {
+		t.Error("table text missing speed rows")
+	}
+	if exp.Search == nil || exp.Search.BaseSeed != 100 {
+		t.Errorf("search metadata = %+v", exp.Search)
+	}
+}
+
+func TestTable4MatchesPaperShape(t *testing.T) {
+	exp, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Pass() {
+		t.Fatalf("table 4 verdict:\n%s", exp.VerdictString())
+	}
+	if exp.Search == nil || exp.Search.BaseSeed != 200 {
+		t.Errorf("search metadata = %+v", exp.Search)
+	}
+}
+
+func TestFiguresCarrySeries(t *testing.T) {
+	for _, id := range []string{"fig9", "fig10", "fig11", "fig12", "fig13"} {
+		exp, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(exp.Series) == 0 {
+			t.Errorf("%s has no data series", id)
+		}
+		for _, s := range exp.Series {
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+		}
+		if !strings.Contains(exp.Text, "Received Power") {
+			t.Errorf("%s missing axis label", id)
+		}
+	}
+}
+
+func TestWalkFiguresShowLayout(t *testing.T) {
+	for _, id := range []string{"fig7", "fig8"} {
+		exp, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"cells visited", "B=BS", ".=walk"} {
+			if !strings.Contains(exp.Text, want) {
+				t.Errorf("%s missing %q", id, want)
+			}
+		}
+	}
+}
+
+func TestExperimentByIDUnknown(t *testing.T) {
+	if _, err := ExperimentByID("table99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestComparisonCoversAllAlgorithms(t *testing.T) {
+	exp, err := Comparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"fuzzy", "rss-threshold", "hysteresis-0dB", "hysteresis-4dB", "hysteresis-4dB-ttt2", "distance-1.00R"} {
+		if !strings.Contains(exp.Text, algo) {
+			t.Errorf("comparison missing %s", algo)
+		}
+	}
+	// Both scenarios present.
+	if !strings.Contains(exp.Text, "boundary-hover") || !strings.Contains(exp.Text, "crossing") {
+		t.Error("comparison missing a scenario")
+	}
+}
+
+func TestScenarioCacheConsistency(t *testing.T) {
+	// Two calls must resolve to identical sub-streams (memoised).
+	_, sr1, err := resolvedScenario(PaperBoundaryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sr2, err := resolvedScenario(PaperBoundaryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr1.Seed != sr2.Seed || sr1.Replica != sr2.Replica {
+		t.Error("scenario cache returned different resolutions")
+	}
+}
+
+func TestVerdictStringFormat(t *testing.T) {
+	e := &Experiment{Checks: []Check{
+		{Name: "a", Pass: true, Note: "ok"},
+		{Name: "b", Pass: false, Note: "bad"},
+	}}
+	s := e.VerdictString()
+	if !strings.Contains(s, "[PASS] a") || !strings.Contains(s, "[FAIL] b") {
+		t.Errorf("verdict = %q", s)
+	}
+	if e.Pass() {
+		t.Error("Pass() with a failing check")
+	}
+}

@@ -1,0 +1,254 @@
+// Package fuzzyho is the public facade of the fuzzy-based handover system
+// reproduction (Barolli, Xhafa, Durresi, Koyama: "A Fuzzy-based Handover
+// System for Avoiding Ping-Pong Effect in Wireless Cellular Networks",
+// ICPP Workshops 2008).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - the paper's fuzzy logic controller (FLC) and the POTLC → FLC → PRTLC
+//     decision pipeline (Controller);
+//   - the generic fuzzy-inference library it is built on (variables, rules,
+//     engines, defuzzifiers, rule DSL);
+//   - the cellular simulation substrate (hex lattice, dipole radio model,
+//     mobility models, measurement pipeline);
+//   - classic non-fuzzy baselines for comparison; and
+//   - the experiment harness that regenerates every table and figure of the
+//     paper's evaluation (see experiments.go and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	flc := fuzzyho.NewFLC()
+//	hd, _ := flc.Evaluate(-3.5, -93.7, 1.2) // CSSP dB, SSN dB, DMB (d/R)
+//	if hd > fuzzyho.HandoverThreshold {
+//	    // hand over to the strongest neighbor
+//	}
+package fuzzyho
+
+import (
+	"repro/internal/core"
+	"repro/internal/fcl"
+	"repro/internal/fuzzy"
+	"repro/internal/handover"
+	"repro/internal/hexgrid"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// HandoverThreshold is the paper's decision threshold: handover is carried
+// out when the FLC output exceeds 0.7 (§5).
+const HandoverThreshold = core.DefaultHandoverThreshold
+
+// The paper's fuzzy controller and decision pipeline.
+type (
+	// FLC is the paper's fuzzy logic controller (Fig. 5 variables,
+	// Table 1 rules, Mamdani max–min inference).
+	FLC = core.FLC
+	// FLCOptions overrides FLC operators/variables/rules for ablations.
+	FLCOptions = core.FLCOptions
+	// Controller is the full POTLC → FLC → PRTLC pipeline of Fig. 4.
+	Controller = core.Controller
+	// ControllerConfig configures a Controller.
+	ControllerConfig = core.ControllerConfig
+	// Report is the controller's per-epoch measurement input.
+	Report = core.Report
+	// Decision is the controller's verdict.
+	Decision = core.Decision
+	// Stage identifies the pipeline stage that settled a decision.
+	Stage = core.Stage
+)
+
+// Pipeline stages (re-exported from the core package).
+const (
+	StageQualityGate = core.StageQualityGate
+	StageFLC         = core.StageFLC
+	StagePRTLC       = core.StagePRTLC
+	StageExecute     = core.StageExecute
+)
+
+// NewFLC returns the paper's fuzzy logic controller.
+func NewFLC() *FLC { return core.NewFLC() }
+
+// NewFLCWithOptions returns an FLC with overridden operators, variables or
+// rules — the ablation entry point.
+func NewFLCWithOptions(opts FLCOptions) (*FLC, error) {
+	return core.NewFLCWithOptions(opts)
+}
+
+// NewController returns the paper's handover controller with defaults.
+func NewController() *Controller { return core.NewController() }
+
+// NewControllerWithConfig returns a controller with overrides.
+func NewControllerWithConfig(cfg ControllerConfig) *Controller {
+	return core.NewControllerWithConfig(cfg)
+}
+
+// Generic fuzzy-logic library (the FLC's substrate), for building custom
+// controllers and rule bases.
+type (
+	// Variable is a linguistic variable.
+	Variable = fuzzy.Variable
+	// Term is one linguistic value of a variable.
+	Term = fuzzy.Term
+	// MembershipFunc maps crisp values to grades in [0, 1].
+	MembershipFunc = fuzzy.MembershipFunc
+	// Rule is one IF/THEN control rule.
+	Rule = fuzzy.Rule
+	// RuleBase is an ordered rule collection.
+	RuleBase = fuzzy.RuleBase
+	// InferenceOptions selects t-norms, implication and defuzzifier.
+	InferenceOptions = fuzzy.Options
+	// InferenceSystem is a compiled fuzzy system.
+	InferenceSystem = fuzzy.System
+	// InferenceTrace explains one evaluation.
+	InferenceTrace = fuzzy.Trace
+)
+
+// Membership-function constructors (re-exported).
+var (
+	Tri           = fuzzy.Tri
+	Trap          = fuzzy.Trap
+	ShoulderLeft  = fuzzy.ShoulderLeft
+	ShoulderRight = fuzzy.ShoulderRight
+)
+
+// ParseRules parses a rulebase in the text DSL
+// ("IF cssp IS SM AND ssn IS WK THEN hd IS LO").
+func ParseRules(src string) (RuleBase, error) { return fuzzy.ParseRules(src) }
+
+// ParseRule parses a single rule.
+func ParseRule(src string) (Rule, error) { return fuzzy.ParseRule(src) }
+
+// NewVariable constructs and validates a linguistic variable.
+func NewVariable(name string, min, max float64, terms ...Term) (*Variable, error) {
+	return fuzzy.NewVariable(name, min, max, terms...)
+}
+
+// NewInferenceSystem compiles a fuzzy inference system.
+func NewInferenceSystem(output *Variable, rules RuleBase, opts InferenceOptions, inputs ...*Variable) (*InferenceSystem, error) {
+	return fuzzy.NewSystem(output, rules, opts, inputs...)
+}
+
+// Simulation substrate.
+type (
+	// SimConfig describes one simulation run (zero values = Table 2).
+	SimConfig = sim.Config
+	// SimResult is a completed run.
+	SimResult = sim.Result
+	// SimEpoch is one measurement epoch with its verdict.
+	SimEpoch = sim.Epoch
+	// PaperTable is the Tables 3-4 structure.
+	PaperTable = sim.PaperTable
+	// WalkClass labels trajectories (boundary-hover / crossing).
+	WalkClass = sim.WalkClass
+	// ScenarioSearchResult records which sub-stream realised a scenario.
+	ScenarioSearchResult = sim.ScenarioSearchResult
+	// Cell is a hexagonal lattice cell label, the paper's BS(i,j).
+	Cell = hexgrid.Cell
+	// Vec is a planar point in km.
+	Vec = hexgrid.Vec
+	// Lattice is the hexagonal cell lattice.
+	Lattice = hexgrid.Lattice
+	// Path is a mobility trajectory.
+	Path = mobility.Path
+	// MobilityModel generates trajectories.
+	MobilityModel = mobility.Model
+	// RandSource is the randomness interface mobility models consume.
+	RandSource = mobility.RandSource
+	// Algorithm is the handover decision interface.
+	Algorithm = handover.Algorithm
+	// HandoverEvent is one executed handover.
+	HandoverEvent = metrics.HandoverEvent
+	// Series is a named (x, y) data series for CSV/ASCII output.
+	Series = trace.Series
+	// Dipole is the paper's antenna/propagation model (Eqs. 3-4).
+	Dipole = radio.Dipole
+)
+
+// Walk classes (re-exported).
+const (
+	ClassOther         = sim.ClassOther
+	ClassBoundaryHover = sim.ClassBoundaryHover
+	ClassCrossing      = sim.ClassCrossing
+)
+
+// RunSim executes one simulation run.
+func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// PaperBoundaryConfig is the iseed = 100 scenario (Fig. 7 / Table 3).
+func PaperBoundaryConfig() SimConfig { return sim.PaperBoundaryConfig() }
+
+// PaperCrossingConfig is the iseed = 200 scenario (Fig. 8 / Table 4).
+func PaperCrossingConfig() SimConfig { return sim.PaperCrossingConfig() }
+
+// ResolveScenario finds the sub-stream of cfg.Seed realising the paper's
+// scenario for that seed; see sim.ResolveScenario.
+func ResolveScenario(cfg SimConfig, maxReplicas int) (SimConfig, ScenarioSearchResult, error) {
+	return sim.ResolveScenario(cfg, maxReplicas)
+}
+
+// NewLattice returns a hexagonal lattice with the given cell radius (km).
+func NewLattice(radiusKm float64) *Lattice { return hexgrid.NewLattice(radiusKm) }
+
+// NewDipole returns the paper's dipole model at the given transmit power.
+func NewDipole(powerW float64) *Dipole { return radio.NewDipole(powerW) }
+
+// Handover algorithms.
+type (
+	// FuzzyAlgorithm adapts the paper's controller to the simulator.
+	FuzzyAlgorithm = handover.Fuzzy
+	// AbsoluteThreshold is the naive RSS baseline.
+	AbsoluteThreshold = handover.AbsoluteThreshold
+	// Hysteresis is the handover-margin baseline.
+	Hysteresis = handover.Hysteresis
+	// HysteresisTTT adds a time-to-trigger to Hysteresis.
+	HysteresisTTT = handover.HysteresisTTT
+	// DistanceBased is the location-aided baseline.
+	DistanceBased = handover.DistanceBased
+	// Passive never hands over (measurement-only control).
+	Passive = handover.Passive
+	// SIRThreshold is the dominant-interferer-ratio baseline.
+	SIRThreshold = handover.SIRThreshold
+	// AdaptiveFuzzy is the speed-adaptive extension of the paper controller.
+	AdaptiveFuzzy = handover.AdaptiveFuzzy
+)
+
+// NewFuzzyAlgorithm wraps a controller (nil = paper defaults) as a
+// simulator algorithm.
+func NewFuzzyAlgorithm(ctrl *Controller) *FuzzyAlgorithm {
+	return handover.NewFuzzy(ctrl)
+}
+
+// NewHysteresisTTT returns the hysteresis + time-to-trigger baseline.
+func NewHysteresisTTT(marginDB float64, epochs int) *HysteresisTTT {
+	return handover.NewHysteresisTTT(marginDB, epochs)
+}
+
+// NewAdaptiveFuzzy returns the speed-adaptive fuzzy controller extension.
+func NewAdaptiveFuzzy() *AdaptiveFuzzy { return handover.NewAdaptiveFuzzy() }
+
+// DeriveSeed maps a (seed, replica) pair to a derived seed, the replica
+// protocol used throughout the experiments.
+func DeriveSeed(seed int64, replica int) int64 { return rng.DeriveSeed(seed, replica) }
+
+// ParseFCL compiles an IEC 61131-7 Fuzzy Control Language function block
+// into an inference system.
+func ParseFCL(src string) (*InferenceSystem, error) { return fcl.Parse(src) }
+
+// WriteFCL exports an inference system as FCL text.
+func WriteFCL(name string, sys *InferenceSystem) (string, error) { return fcl.Write(name, sys) }
+
+// MarshalSystemJSON serializes an inference system's structure to JSON.
+var MarshalSystemJSON = fuzzy.MarshalSystem
+
+// UnmarshalSystemJSON decodes and compiles an inference system from JSON.
+var UnmarshalSystemJSON = fuzzy.UnmarshalSystem
+
+// WriteCSV writes data series as CSV with a shared x column.
+var WriteCSV = trace.WriteCSV
+
+// LinePlot renders series as an ASCII chart.
+var LinePlot = trace.LinePlot

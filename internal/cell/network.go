@@ -1,0 +1,238 @@
+// Package cell models the cellular network substrate: a population of base
+// stations on the paper's hexagonal lattice, per-link received-power queries
+// (propagation model + optional shadow fading + the paper's speed penalty),
+// and the extraction of the three FLC inputs (CSSP, SSN, DMB) from raw
+// signal measurements.
+package cell
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hexgrid"
+	"repro/internal/radio"
+)
+
+// Network is a set of base stations, one per lattice cell, all transmitting
+// with the same propagation model (the paper's homogeneous deployment).
+type Network struct {
+	lattice *hexgrid.Lattice
+	model   radio.Model
+	cells   []hexgrid.Cell
+	index   map[hexgrid.Cell]int
+	shadow  *radio.Shadowing // nil ⇒ deterministic channel
+}
+
+// NewNetwork builds a network of base stations covering `rings` rings around
+// the origin cell (rings=2 ⇒ 19 cells, enough for every paper scenario).
+func NewNetwork(lattice *hexgrid.Lattice, model radio.Model, rings int) (*Network, error) {
+	if lattice == nil {
+		return nil, fmt.Errorf("cell: nil lattice")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("cell: nil propagation model")
+	}
+	if rings < 0 {
+		return nil, fmt.Errorf("cell: negative ring count %d", rings)
+	}
+	cells := lattice.Disk(hexgrid.Cell{}, rings)
+	n := &Network{
+		lattice: lattice,
+		model:   model,
+		cells:   cells,
+		index:   make(map[hexgrid.Cell]int, len(cells)),
+	}
+	for i, c := range cells {
+		n.index[c] = i
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork that panics on error.
+func MustNetwork(lattice *hexgrid.Lattice, model radio.Model, rings int) *Network {
+	n, err := NewNetwork(lattice, model, rings)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// SetShadowing attaches (or clears, with nil) a shadow-fading process.
+func (n *Network) SetShadowing(s *radio.Shadowing) { n.shadow = s }
+
+// Lattice returns the underlying lattice.
+func (n *Network) Lattice() *hexgrid.Lattice { return n.lattice }
+
+// Cells returns the base-station cells in disk order.
+func (n *Network) Cells() []hexgrid.Cell { return n.cells }
+
+// Has reports whether the network contains a base station for cell c.
+func (n *Network) Has(c hexgrid.Cell) bool {
+	_, ok := n.index[c]
+	return ok
+}
+
+// ReceivedPowerDB returns the received power (dB) from cell c's base
+// station at position p, after the terminal has walked walkedKm
+// (the shadowing process is indexed by walked distance).
+func (n *Network) ReceivedPowerDB(c hexgrid.Cell, p hexgrid.Vec, walkedKm float64) (float64, error) {
+	i, ok := n.index[c]
+	if !ok {
+		return 0, fmt.Errorf("cell: no base station at %v", c)
+	}
+	d := n.lattice.DistanceToCenter(c, p)
+	pw := n.model.ReceivedPowerDB(d)
+	if n.shadow != nil {
+		pw += n.shadow.Sample(i, walkedKm)
+	}
+	return pw, nil
+}
+
+// Ranking is one entry of a power-sorted base-station scan.
+type Ranking struct {
+	Cell    hexgrid.Cell
+	PowerDB float64
+}
+
+// Scan returns every base station's received power at p, strongest first.
+// Ties break deterministically by cell label.
+func (n *Network) Scan(p hexgrid.Vec, walkedKm float64) []Ranking {
+	out := make([]Ranking, len(n.cells))
+	for i, c := range n.cells {
+		pw, _ := n.ReceivedPowerDB(c, p, walkedKm) // cells are all known
+		out[i] = Ranking{Cell: c, PowerDB: pw}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].PowerDB != out[b].PowerDB {
+			return out[a].PowerDB > out[b].PowerDB
+		}
+		if out[a].Cell.I != out[b].Cell.I {
+			return out[a].Cell.I < out[b].Cell.I
+		}
+		return out[a].Cell.J < out[b].Cell.J
+	})
+	return out
+}
+
+// Strongest returns the strongest base station at p.
+func (n *Network) Strongest(p hexgrid.Vec, walkedKm float64) Ranking {
+	return n.Scan(p, walkedKm)[0]
+}
+
+// StrongestNeighbor returns the strongest base station other than serving.
+func (n *Network) StrongestNeighbor(serving hexgrid.Cell, p hexgrid.Vec, walkedKm float64) (Ranking, error) {
+	if !n.Has(serving) {
+		return Ranking{}, fmt.Errorf("cell: serving cell %v not in network", serving)
+	}
+	if len(n.cells) < 2 {
+		return Ranking{}, fmt.Errorf("cell: network has no neighbor for %v", serving)
+	}
+	for _, r := range n.Scan(p, walkedKm) {
+		if r.Cell != serving {
+			return r, nil
+		}
+	}
+	// Unreachable: Scan covers all cells and len ≥ 2.
+	return Ranking{}, fmt.Errorf("cell: no neighbor found")
+}
+
+// Measurement is one epoch's view of the radio environment: everything the
+// handover algorithms (fuzzy and baselines) consume.
+type Measurement struct {
+	// Pos is the terminal position and WalkedKm its cumulative distance.
+	Pos      hexgrid.Vec
+	WalkedKm float64
+	// Serving identifies the currently attached base station.
+	Serving hexgrid.Cell
+	// ServingDB is the received power from the serving BS.
+	ServingDB float64
+	// CSSPdB is the change of the serving signal since the previous epoch
+	// (the paper's CSSP input; negative = degrading).
+	CSSPdB float64
+	// Neighbor is the strongest non-serving base station and NeighborDB its
+	// received power including the speed penalty (the paper's SSN input).
+	Neighbor   hexgrid.Cell
+	NeighborDB float64
+	// DMBNorm is the serving-BS distance normalised by the cell radius
+	// (the paper's DMB input).
+	DMBNorm float64
+	// DistanceKm is the raw serving-BS distance.
+	DistanceKm float64
+	// SpeedKmh is the terminal speed used for the SSN penalty.
+	SpeedKmh float64
+}
+
+// Measurer tracks the serving attachment and produces Measurements along a
+// trajectory.  It implements the fuzzifier-facing half of the paper's
+// system model (Fig. 4): Node-B measurement collection feeding the RNC.
+type Measurer struct {
+	net      *Network
+	serving  hexgrid.Cell
+	prevDB   float64
+	havePrev bool
+	speedKmh float64
+}
+
+// NewMeasurer attaches the terminal to the given initial serving cell.
+func NewMeasurer(net *Network, serving hexgrid.Cell, speedKmh float64) (*Measurer, error) {
+	if !net.Has(serving) {
+		return nil, fmt.Errorf("cell: initial serving cell %v not in network", serving)
+	}
+	if speedKmh < 0 || math.IsNaN(speedKmh) {
+		return nil, fmt.Errorf("cell: invalid speed %g km/h", speedKmh)
+	}
+	return &Measurer{net: net, serving: serving, speedKmh: speedKmh}, nil
+}
+
+// Serving returns the current attachment.
+func (m *Measurer) Serving() hexgrid.Cell { return m.serving }
+
+// Handover switches the attachment to the target cell.  The CSSP history is
+// reset: the first epoch after a handover reports CSSP = 0 for the new
+// serving BS, matching a controller that has just started tracking it.
+func (m *Measurer) Handover(target hexgrid.Cell) error {
+	if !m.net.Has(target) {
+		return fmt.Errorf("cell: handover target %v not in network", target)
+	}
+	m.serving = target
+	m.havePrev = false
+	return nil
+}
+
+// Measure produces the epoch measurement at position p after walking
+// walkedKm.
+func (m *Measurer) Measure(p hexgrid.Vec, walkedKm float64) (Measurement, error) {
+	servingDB, err := m.net.ReceivedPowerDB(m.serving, p, walkedKm)
+	if err != nil {
+		return Measurement{}, err
+	}
+	cssp := 0.0
+	if m.havePrev {
+		cssp = servingDB - m.prevDB
+	}
+	neighbor, err := m.net.StrongestNeighbor(m.serving, p, walkedKm)
+	if err != nil {
+		return Measurement{}, err
+	}
+	dist := m.net.lattice.DistanceToCenter(m.serving, p)
+	meas := Measurement{
+		Pos:        p,
+		WalkedKm:   walkedKm,
+		Serving:    m.serving,
+		ServingDB:  servingDB,
+		CSSPdB:     cssp,
+		Neighbor:   neighbor.Cell,
+		NeighborDB: neighbor.PowerDB - radio.SpeedPenaltyDB(m.speedKmh),
+		DMBNorm:    dist / m.net.lattice.Radius(),
+		DistanceKm: dist,
+		SpeedKmh:   m.speedKmh,
+	}
+	m.prevDB = servingDB
+	m.havePrev = true
+	return meas, nil
+}
+
+// PrevServingDB returns the serving power recorded at the previous epoch
+// and whether one exists — the PRTLC's "previous signal strength".
+func (m *Measurer) PrevServingDB() (float64, bool) { return m.prevDB, m.havePrev }

@@ -1,0 +1,353 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hexgrid"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func testNetwork(t *testing.T, radiusKm float64) *Network {
+	t.Helper()
+	lat := hexgrid.NewLattice(radiusKm)
+	n, err := NewNetwork(lat, radio.NewDipole(10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	lat := hexgrid.NewLattice(1)
+	if _, err := NewNetwork(nil, radio.NewDipole(10), 2); err == nil {
+		t.Error("nil lattice accepted")
+	}
+	if _, err := NewNetwork(lat, nil, 2); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewNetwork(lat, radio.NewDipole(10), -1); err == nil {
+		t.Error("negative rings accepted")
+	}
+}
+
+func TestNetworkPopulation(t *testing.T) {
+	n := testNetwork(t, 2)
+	if got := len(n.Cells()); got != 19 {
+		t.Fatalf("2-ring network has %d cells, want 19", got)
+	}
+	for _, c := range n.Cells() {
+		if !n.Has(c) {
+			t.Errorf("Has(%v) = false for populated cell", c)
+		}
+	}
+	if n.Has(hexgrid.Cell{I: 90, J: 90}) {
+		t.Error("Has reports unknown cell")
+	}
+}
+
+func TestReceivedPowerMatchesModel(t *testing.T) {
+	n := testNetwork(t, 2)
+	model := radio.NewDipole(10)
+	p := hexgrid.Vec{X: 1.2, Y: 0.4}
+	got, err := n.ReceivedPowerDB(hexgrid.Cell{}, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.ReceivedPowerDB(p.Norm())
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("power = %g, want %g", got, want)
+	}
+	if _, err := n.ReceivedPowerDB(hexgrid.Cell{I: 90, J: 90}, p, 0); err == nil {
+		t.Error("unknown cell accepted")
+	}
+}
+
+func TestScanOrderingAndStrongest(t *testing.T) {
+	n := testNetwork(t, 2)
+	// Near the origin BS, the origin cell must dominate the scan.
+	p := hexgrid.Vec{X: 0.2, Y: 0.1}
+	scan := n.Scan(p, 0)
+	if len(scan) != 19 {
+		t.Fatalf("scan size %d", len(scan))
+	}
+	if scan[0].Cell != (hexgrid.Cell{}) {
+		t.Errorf("strongest near origin = %v", scan[0].Cell)
+	}
+	for i := 1; i < len(scan); i++ {
+		if scan[i].PowerDB > scan[i-1].PowerDB {
+			t.Fatal("scan not sorted by power")
+		}
+	}
+	if got := n.Strongest(p, 0); got != scan[0] {
+		t.Error("Strongest != Scan[0]")
+	}
+}
+
+func TestStrongestNeighborExcludesServing(t *testing.T) {
+	n := testNetwork(t, 2)
+	p := hexgrid.Vec{X: 0.1, Y: 0}
+	nb, err := n.StrongestNeighbor(hexgrid.Cell{}, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Cell == (hexgrid.Cell{}) {
+		t.Error("neighbor equals serving")
+	}
+	// Moving toward (2,-1), that cell becomes the strongest neighbor.
+	towards := hexgrid.Vec{X: 0.8 * n.Lattice().Spacing() / 2, Y: 0}
+	nb, err = n.StrongestNeighbor(hexgrid.Cell{}, towards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.Cell != (hexgrid.Cell{I: 2, J: -1}) {
+		t.Errorf("neighbor toward (2,-1) = %v", nb.Cell)
+	}
+	if _, err := n.StrongestNeighbor(hexgrid.Cell{I: 90, J: 90}, p, 0); err == nil {
+		t.Error("unknown serving accepted")
+	}
+}
+
+func TestShadowingChangesPowerDeterministically(t *testing.T) {
+	n := testNetwork(t, 2)
+	p := hexgrid.Vec{X: 0.5, Y: 0.5}
+	base, _ := n.ReceivedPowerDB(hexgrid.Cell{}, p, 0)
+	n.SetShadowing(radio.NewShadowing(8, 0.05, 42))
+	a, _ := n.ReceivedPowerDB(hexgrid.Cell{}, p, 0)
+	if a == base {
+		t.Error("shadowing had no effect")
+	}
+	// Same seed, fresh process: identical sequence.
+	n2 := testNetwork(t, 2)
+	n2.SetShadowing(radio.NewShadowing(8, 0.05, 42))
+	b, _ := n2.ReceivedPowerDB(hexgrid.Cell{}, p, 0)
+	if a != b {
+		t.Error("shadowed power not deterministic per seed")
+	}
+	n.SetShadowing(nil)
+	c, _ := n.ReceivedPowerDB(hexgrid.Cell{}, p, 0)
+	if c != base {
+		t.Error("clearing shadowing did not restore deterministic channel")
+	}
+}
+
+func TestMeasurerBasics(t *testing.T) {
+	n := testNetwork(t, 2)
+	m, err := NewMeasurer(n, hexgrid.Cell{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving() != (hexgrid.Cell{}) {
+		t.Error("serving not set")
+	}
+	if _, err := NewMeasurer(n, hexgrid.Cell{I: 90, J: 90}, 0); err == nil {
+		t.Error("unknown serving accepted")
+	}
+	if _, err := NewMeasurer(n, hexgrid.Cell{}, -5); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestMeasureCSSPTracksDegradation(t *testing.T) {
+	n := testNetwork(t, 2)
+	m, _ := NewMeasurer(n, hexgrid.Cell{}, 0)
+	// Walk straight away from the serving BS.
+	first, err := m.Measure(hexgrid.Vec{X: 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CSSPdB != 0 {
+		t.Errorf("first epoch CSSP = %g, want 0", first.CSSPdB)
+	}
+	second, err := m.Measure(hexgrid.Vec{X: 0.8}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CSSPdB >= 0 {
+		t.Errorf("CSSP while leaving BS = %g, want negative", second.CSSPdB)
+	}
+	wantCSSP := second.ServingDB - first.ServingDB
+	if math.Abs(second.CSSPdB-wantCSSP) > 1e-12 {
+		t.Errorf("CSSP = %g, want ΔP = %g", second.CSSPdB, wantCSSP)
+	}
+	// Walking back toward the BS raises the signal: positive CSSP.
+	third, _ := m.Measure(hexgrid.Vec{X: 0.3}, 0.8)
+	if third.CSSPdB <= 0 {
+		t.Errorf("CSSP while approaching BS = %g, want positive", third.CSSPdB)
+	}
+}
+
+func TestMeasureDMBNormalisation(t *testing.T) {
+	n := testNetwork(t, 2)
+	m, _ := NewMeasurer(n, hexgrid.Cell{}, 0)
+	meas, err := m.Measure(hexgrid.Vec{X: 1.0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(meas.DMBNorm-0.5) > 1e-12 {
+		t.Errorf("DMBNorm at 1 km with R=2 = %g, want 0.5", meas.DMBNorm)
+	}
+	if math.Abs(meas.DistanceKm-1.0) > 1e-12 {
+		t.Errorf("DistanceKm = %g, want 1", meas.DistanceKm)
+	}
+}
+
+func TestMeasureSpeedPenaltyAppliesToNeighborOnly(t *testing.T) {
+	n := testNetwork(t, 2)
+	pos := hexgrid.Vec{X: 1.5}
+	still, _ := NewMeasurer(n, hexgrid.Cell{}, 0)
+	fast, _ := NewMeasurer(n, hexgrid.Cell{}, 30)
+	a, _ := still.Measure(pos, 0)
+	b, _ := fast.Measure(pos, 0)
+	if a.ServingDB != b.ServingDB {
+		t.Error("speed penalty leaked into serving power")
+	}
+	if diff := a.NeighborDB - b.NeighborDB; math.Abs(diff-6) > 1e-12 {
+		t.Errorf("neighbor penalty at 30 km/h = %g dB, want 6", diff)
+	}
+}
+
+func TestMeasurerHandoverResetsCSSP(t *testing.T) {
+	n := testNetwork(t, 2)
+	m, _ := NewMeasurer(n, hexgrid.Cell{}, 0)
+	if _, err := m.Measure(hexgrid.Vec{X: 1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Handover(hexgrid.Cell{I: 2, J: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving() != (hexgrid.Cell{I: 2, J: -1}) {
+		t.Error("handover did not switch serving")
+	}
+	meas, err := m.Measure(hexgrid.Vec{X: 1.2}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.CSSPdB != 0 {
+		t.Errorf("CSSP after handover = %g, want 0 (history reset)", meas.CSSPdB)
+	}
+	if err := m.Handover(hexgrid.Cell{I: 90, J: 90}); err == nil {
+		t.Error("handover to unknown cell accepted")
+	}
+}
+
+func TestMeasurementOperatingBandMatchesPaper(t *testing.T) {
+	// With the paper's parameters (R = 2 km, 10 W), a terminal near the cell
+	// boundary must see neighbor levels in the −90…−105 dB band of Table 4.
+	n := testNetwork(t, 2)
+	m, _ := NewMeasurer(n, hexgrid.Cell{}, 0)
+	// Boundary toward (2,-1): edge midpoint at spacing/2 ≈ 1.73 km.
+	meas, _ := m.Measure(hexgrid.Vec{X: n.Lattice().Spacing() / 2 * 0.98}, 0)
+	if meas.NeighborDB < -110 || meas.NeighborDB > -85 {
+		t.Errorf("neighbor level at boundary = %g dB, want in [-110, -85]", meas.NeighborDB)
+	}
+	if meas.ServingDB < meas.NeighborDB {
+		t.Error("serving weaker than neighbor on own side of boundary")
+	}
+}
+
+func TestScanTieBreakDeterministic(t *testing.T) {
+	// Exactly at the origin, all 6 ring-1 BSs are equidistant: scan order
+	// must still be deterministic.
+	n := testNetwork(t, 2)
+	a := n.Scan(hexgrid.Vec{}, 0)
+	b := n.Scan(hexgrid.Vec{}, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tied scan order not deterministic")
+		}
+	}
+}
+
+func TestMeasurerWithShadowedNetwork(t *testing.T) {
+	// End-to-end: shadowed measurements stay finite and deterministic.
+	n := testNetwork(t, 2)
+	n.SetShadowing(radio.NewShadowing(6, 0.05, rng.DeriveSeed(100, 0)))
+	m, _ := NewMeasurer(n, hexgrid.Cell{}, 10)
+	for i := 0; i < 20; i++ {
+		meas, err := m.Measure(hexgrid.Vec{X: 0.1 * float64(i)}, 0.1*float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(meas.ServingDB) || math.IsNaN(meas.NeighborDB) {
+			t.Fatal("non-finite measurement under shadowing")
+		}
+	}
+}
+
+func TestSIRdB(t *testing.T) {
+	n := testNetwork(t, 2)
+	// Near the origin BS: high SIR.
+	sirCenter, err := n.SIRdB(hexgrid.Cell{}, hexgrid.Vec{X: 0.3}, 0, DefaultNoiseFloorDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sirCenter < 10 {
+		t.Errorf("mid-cell SIR = %g dB, want > 10", sirCenter)
+	}
+	// At the boundary toward (2,-1): SIR near 0 dB.
+	boundary := hexgrid.Vec{X: n.Lattice().Spacing() / 2}
+	sirEdge, err := n.SIRdB(hexgrid.Cell{}, boundary, 0, DefaultNoiseFloorDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sirEdge > 2 || sirEdge < -6 {
+		t.Errorf("boundary SIR = %g dB, want ≈ [-6, 2]", sirEdge)
+	}
+	if !(sirCenter > sirEdge) {
+		t.Error("SIR not decreasing toward the boundary")
+	}
+	if _, err := n.SIRdB(hexgrid.Cell{I: 90, J: 90}, boundary, 0, DefaultNoiseFloorDB); err == nil {
+		t.Error("unknown serving accepted")
+	}
+}
+
+func TestSIRBoundaryApproximation(t *testing.T) {
+	// The handover package's SIR baseline uses the dominant-interferer
+	// proxy serving − strongestNeighbor.  With the paper's n = 1.1 field
+	// exponent the 18 other cells contribute substantially, so the proxy
+	// sits a roughly constant 4-5.5 dB above the full sum near boundaries —
+	// the offset the proxy's thresholds are calibrated against.
+	n := testNetwork(t, 2)
+	m, _ := NewMeasurer(n, hexgrid.Cell{}, 0)
+	prevFull := math.Inf(1)
+	for _, x := range []float64{1.4, 1.6, 1.73} {
+		pos := hexgrid.Vec{X: x}
+		meas, err := m.Measure(pos, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := meas.ServingDB - meas.NeighborDB
+		full, err := n.SIRdB(hexgrid.Cell{}, pos, 0, DefaultNoiseFloorDB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offset := approx - full
+		if offset < 3 || offset > 6 {
+			t.Errorf("at %g km: proxy offset %g dB outside the documented 3-6 dB band (approx %g, full %g)",
+				x, offset, approx, full)
+		}
+		if full >= prevFull {
+			t.Errorf("full SIR not decreasing toward the boundary at %g km", x)
+		}
+		prevFull = full
+	}
+}
+
+func TestBestSIRCell(t *testing.T) {
+	n := testNetwork(t, 2)
+	// Near the origin the origin cell maximises SIR.
+	c, sir := n.BestSIRCell(hexgrid.Vec{X: 0.2}, 0, DefaultNoiseFloorDB)
+	if c != (hexgrid.Cell{}) {
+		t.Errorf("best SIR cell near origin = %v", c)
+	}
+	if sir < 10 {
+		t.Errorf("best SIR = %g dB", sir)
+	}
+	// Deep toward a neighbor, that neighbor wins.
+	c, _ = n.BestSIRCell(hexgrid.Vec{X: n.Lattice().Spacing() * 0.8}, 0, DefaultNoiseFloorDB)
+	if c != (hexgrid.Cell{I: 2, J: -1}) {
+		t.Errorf("best SIR cell deep = %v, want (2,-1)", c)
+	}
+}

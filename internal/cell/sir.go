@@ -1,0 +1,62 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hexgrid"
+)
+
+// SIR support: the paper's introduction lists the Signal-to-Interference
+// Ratio among the classic handover metrics.  In a fully loaded downlink
+// every non-serving base station contributes interference, so
+//
+//	SIR = P_serving / (Σ P_other + N)
+//
+// with all powers in linear scale and N the thermal noise floor.
+
+// DefaultNoiseFloorDB is the thermal noise level used when none is given;
+// it sits well below the weakest signals in the paper's operating band so
+// the system is interference-limited, as micro-cellular downlinks are.
+const DefaultNoiseFloorDB = -120.0
+
+// SIRdB returns the downlink signal-to-interference-plus-noise ratio at
+// position p for a terminal served by the given cell, assuming all base
+// stations transmit continuously.
+func (n *Network) SIRdB(serving hexgrid.Cell, p hexgrid.Vec, walkedKm, noiseFloorDB float64) (float64, error) {
+	if !n.Has(serving) {
+		return 0, fmt.Errorf("cell: SIR for unknown serving cell %v", serving)
+	}
+	servingDB, err := n.ReceivedPowerDB(serving, p, walkedKm)
+	if err != nil {
+		return 0, err
+	}
+	interference := math.Pow(10, noiseFloorDB/10)
+	for _, c := range n.cells {
+		if c == serving {
+			continue
+		}
+		pw, err := n.ReceivedPowerDB(c, p, walkedKm)
+		if err != nil {
+			return 0, err
+		}
+		interference += math.Pow(10, pw/10)
+	}
+	return servingDB - 10*math.Log10(interference), nil
+}
+
+// BestSIRCell returns the cell maximising SIR at p, with its SIR in dB.
+func (n *Network) BestSIRCell(p hexgrid.Vec, walkedKm, noiseFloorDB float64) (hexgrid.Cell, float64) {
+	best := n.cells[0]
+	bestSIR := math.Inf(-1)
+	for _, c := range n.cells {
+		sir, err := n.SIRdB(c, p, walkedKm, noiseFloorDB)
+		if err != nil {
+			continue // unreachable: cells are all known
+		}
+		if sir > bestSIR {
+			best, bestSIR = c, sir
+		}
+	}
+	return best, bestSIR
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// crossingReport is a Report deep in a crossing: FLC votes handover and the
+// signal is still falling.
+func crossingReport() Report {
+	return Report{
+		ServingDB:     -98,
+		PrevServingDB: -96.5,
+		HavePrev:      true,
+		CSSPdB:        -3.5,
+		SSNdB:         -93.7,
+		DMBNorm:       1.2,
+	}
+}
+
+func TestControllerDefaults(t *testing.T) {
+	c := NewController()
+	if c.Threshold() != DefaultHandoverThreshold {
+		t.Errorf("threshold = %g, want 0.7", c.Threshold())
+	}
+	if c.QualityGateDB() != DefaultQualityGateDB {
+		t.Errorf("gate = %g, want %g", c.QualityGateDB(), DefaultQualityGateDB)
+	}
+	if c.FLC() == nil {
+		t.Error("FLC not constructed")
+	}
+}
+
+func TestQualityGateShortCircuits(t *testing.T) {
+	c := NewController()
+	r := crossingReport()
+	r.ServingDB = -60 // strong serving signal: POTLC keeps the call
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Handover || d.Stage != StageQualityGate || d.Evaluated {
+		t.Errorf("decision = %+v, want POTLC stay without FLC evaluation", d)
+	}
+}
+
+func TestFLCStageRejectsLowHD(t *testing.T) {
+	c := NewController()
+	r := crossingReport()
+	r.CSSPdB = -1.0
+	r.SSNdB = -93
+	r.DMBNorm = 0.9 // boundary-hover profile: HD ≈ 0.66
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Handover || d.Stage != StageFLC || !d.Evaluated {
+		t.Errorf("decision = %+v, want FLC-stage stay", d)
+	}
+	if d.HD <= 0 || d.HD > DefaultHandoverThreshold {
+		t.Errorf("HD = %g, want in (0, 0.7]", d.HD)
+	}
+}
+
+func TestPRTLCCancelsWhenSignalRecovers(t *testing.T) {
+	c := NewController()
+	r := crossingReport()
+	r.PrevServingDB = -99 // present (-98) ≥ previous (-99): recovering
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Handover || d.Stage != StagePRTLC {
+		t.Errorf("decision = %+v, want PRTLC cancel", d)
+	}
+	if !d.Evaluated || d.HD <= DefaultHandoverThreshold {
+		t.Errorf("PRTLC cancel must carry the FLC vote, got %+v", d)
+	}
+}
+
+func TestPRTLCRequiresHistory(t *testing.T) {
+	c := NewController()
+	r := crossingReport()
+	r.HavePrev = false
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Handover || d.Stage != StagePRTLC {
+		t.Errorf("decision without history = %+v, want PRTLC cancel", d)
+	}
+}
+
+func TestExecuteHandover(t *testing.T) {
+	c := NewController()
+	d, err := c.Decide(crossingReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Handover || d.Stage != StageExecute {
+		t.Errorf("decision = %+v, want executed handover", d)
+	}
+	if d.HD <= DefaultHandoverThreshold {
+		t.Errorf("executed handover with HD = %g ≤ threshold", d.HD)
+	}
+}
+
+func TestDisablePRTLCAblation(t *testing.T) {
+	c := NewControllerWithConfig(ControllerConfig{DisablePRTLC: true})
+	r := crossingReport()
+	r.PrevServingDB = -99 // recovering — PRTLC would cancel
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Handover {
+		t.Errorf("with PRTLC disabled, decision = %+v, want handover", d)
+	}
+}
+
+func TestDisableQualityGateAblation(t *testing.T) {
+	c := NewControllerWithConfig(ControllerConfig{DisableQualityGate: true})
+	r := crossingReport()
+	r.ServingDB = -60
+	r.PrevServingDB = -59
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate bypassed: the FLC runs even on a strong signal.
+	if !d.Evaluated {
+		t.Errorf("gate not bypassed: %+v", d)
+	}
+	if !math.IsInf(c.QualityGateDB(), 1) {
+		t.Error("disabled gate should report +Inf level")
+	}
+}
+
+func TestCustomThreshold(t *testing.T) {
+	strict := NewControllerWithConfig(ControllerConfig{Threshold: 0.95})
+	d, err := strict.Decide(crossingReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Handover {
+		t.Errorf("0.95-threshold controller handed over at HD=%g", d.HD)
+	}
+	lax := NewControllerWithConfig(ControllerConfig{Threshold: 0.3})
+	r := crossingReport()
+	r.CSSPdB, r.SSNdB, r.DMBNorm = -1.0, -93, 0.9 // HD ≈ 0.66
+	d, err = lax.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Handover {
+		t.Errorf("0.3-threshold controller stayed at HD=%g", d.HD)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for stage, want := range map[Stage]string{
+		StageQualityGate: "POTLC-quality-gate",
+		StageFLC:         "FLC-threshold",
+		StagePRTLC:       "PRTLC-confirmation",
+		StageExecute:     "execute-handover",
+		Stage(99):        "Stage(99)",
+	} {
+		if got := stage.String(); got != want {
+			t.Errorf("Stage(%d).String() = %q, want %q", int(stage), got, want)
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Handover: true, Stage: StageExecute, HD: 0.85, Evaluated: true}
+	s := d.String()
+	if !strings.Contains(s, "handover") || !strings.Contains(s, "0.850") {
+		t.Errorf("Decision.String() = %q", s)
+	}
+	gate := Decision{Stage: StageQualityGate}
+	if s := gate.String(); !strings.Contains(s, "stay") || strings.Contains(s, "HD=") {
+		t.Errorf("gate Decision.String() = %q", s)
+	}
+}
+
+func TestPipelineOrderGateBeforeFLC(t *testing.T) {
+	// A report that would trip the FLC must still be short-circuited by the
+	// quality gate — the POTLC runs first per Fig. 4's system operation.
+	c := NewController()
+	r := crossingReport()
+	r.ServingDB = c.QualityGateDB() // exactly at the gate: "still good"
+	d, err := c.Decide(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stage != StageQualityGate {
+		t.Errorf("stage = %v, want quality gate at the boundary level", d.Stage)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fuzzy"
+)
+
+// FLC is the paper's fuzzy logic controller: the Fig. 5 variables, the
+// Table 1 rule base and a Mamdani max–min engine with height
+// defuzzification ("triangular and trapezoidal membership functions …
+// suitable for real-time operation", §4).  An FLC is immutable and safe for
+// concurrent use.
+type FLC struct {
+	sys *fuzzy.System
+}
+
+// FLCOptions tunes the inference operators for the ablation studies; the
+// zero value is the paper's configuration.
+type FLCOptions struct {
+	// Engine overrides the fuzzy operator set (nil fields keep defaults:
+	// min/max, Mamdani implication, weighted-average defuzzifier).
+	Engine fuzzy.Options
+	// Rules overrides the rule base (nil keeps the paper's Table 1).
+	Rules *fuzzy.RuleBase
+	// Variables overrides the linguistic variables (nil entries keep the
+	// Fig. 5 definitions).  The output override must be named HD and the
+	// inputs CSSP, SSN, DMB.
+	CSSP, SSN, DMB, HD *fuzzy.Variable
+}
+
+// NewFLC returns the paper's controller.
+func NewFLC() *FLC {
+	flc, err := NewFLCWithOptions(FLCOptions{})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return flc
+}
+
+// NewFLCWithOptions returns a controller with overridden operators,
+// variables or rules (the ablation entry point).
+func NewFLCWithOptions(opts FLCOptions) (*FLC, error) {
+	cssp, ssn, dmb, hd := opts.CSSP, opts.SSN, opts.DMB, opts.HD
+	if cssp == nil {
+		cssp = NewCSSP()
+	}
+	if ssn == nil {
+		ssn = NewSSN()
+	}
+	if dmb == nil {
+		dmb = NewDMB()
+	}
+	if hd == nil {
+		hd = NewHD()
+	}
+	for _, check := range []struct{ got, want string }{
+		{cssp.Name, VarCSSP}, {ssn.Name, VarSSN}, {dmb.Name, VarDMB}, {hd.Name, VarHD},
+	} {
+		if check.got != check.want {
+			return nil, fmt.Errorf("core: variable named %q, want %q", check.got, check.want)
+		}
+	}
+	rules := NewFRB()
+	if opts.Rules != nil {
+		rules = *opts.Rules
+	}
+	sys, err := fuzzy.NewSystem(hd, rules, opts.Engine, cssp, ssn, dmb)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &FLC{sys: sys}, nil
+}
+
+// System exposes the underlying fuzzy system (for surface dumps and the
+// horules explainer).
+func (f *FLC) System() *fuzzy.System { return f.sys }
+
+// Evaluate computes the handover-decision output HD ∈ [0, 1] for the given
+// raw inputs.  Inputs are clamped to the Fig. 5 universes, so out-of-range
+// measurements saturate rather than fail; the complete Table 1 grid
+// guarantees some rule always fires.
+func (f *FLC) Evaluate(csspDB, ssnDB, dmbNorm float64) (float64, error) {
+	cssp, ssn, dmb := ClampInputs(csspDB, ssnDB, dmbNorm)
+	return f.sys.Evaluate(map[string]float64{
+		VarCSSP: cssp,
+		VarSSN:  ssn,
+		VarDMB:  dmb,
+	})
+}
+
+// EvaluateTrace is Evaluate with the full inference explanation.
+func (f *FLC) EvaluateTrace(csspDB, ssnDB, dmbNorm float64) (float64, *fuzzy.Trace, error) {
+	cssp, ssn, dmb := ClampInputs(csspDB, ssnDB, dmbNorm)
+	return f.sys.EvaluateTrace(map[string]float64{
+		VarCSSP: cssp,
+		VarSSN:  ssn,
+		VarDMB:  dmb,
+	})
+}

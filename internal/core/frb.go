@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fuzzy"
+)
+
+// frbTable is the paper's Table 1, transcribed verbatim: 64 rules over the
+// full |T(CSSP)| × |T(SSN)| × |T(DMB)| grid.  Row-major in the paper's
+// numbering: CSSP outermost (SM, LC, NC, BG), then SSN (WK, NSW, NO, ST),
+// then DMB (NR, NSN, NSF, FA).
+var frbTable = [4][4][4]string{
+	// CSSP = SM (rules 1-16)
+	{
+		{HdLO, HdLO, HdLH, HdLH}, // WK
+		{HdLO, HdLO, HdLH, HdLH}, // NSW
+		{HdLH, HdHG, HdHG, HdHG}, // NO
+		{HdHG, HdHG, HdHG, HdHG}, // ST
+	},
+	// CSSP = LC (rules 17-32)
+	{
+		{HdVL, HdVL, HdLO, HdLO}, // WK
+		{HdLO, HdLO, HdLO, HdLH}, // NSW
+		{HdLH, HdLH, HdHG, HdHG}, // NO
+		{HdLH, HdHG, HdHG, HdHG}, // ST
+	},
+	// CSSP = NC (rules 33-48)
+	{
+		{HdVL, HdVL, HdVL, HdLO}, // WK
+		{HdVL, HdVL, HdVL, HdLO}, // NSW
+		{HdVL, HdLO, HdLO, HdLH}, // NO
+		{HdLH, HdLH, HdHG, HdHG}, // ST
+	},
+	// CSSP = BG (rules 49-64)
+	{
+		{HdVL, HdVL, HdVL, HdVL}, // WK
+		{HdVL, HdVL, HdVL, HdLO}, // NSW
+		{HdVL, HdVL, HdLO, HdLO}, // NO
+		{HdVL, HdVL, HdLO, HdLO}, // ST
+	},
+}
+
+// csspOrder, ssnOrder and dmbOrder fix the paper's term enumeration order.
+var (
+	csspOrder = [4]string{CsspSM, CsspLC, CsspNC, CsspBG}
+	ssnOrder  = [4]string{SsnWK, SsnNSW, SsnNO, SsnST}
+	dmbOrder  = [4]string{DmbNR, DmbNSN, DmbNSF, DmbFA}
+)
+
+// NewFRB returns the paper's 64-rule fuzzy rule base (Table 1).  Rule i of
+// the returned base is exactly rule i of the paper (1-based).
+func NewFRB() fuzzy.RuleBase {
+	var rb fuzzy.RuleBase
+	for ci, cssp := range csspOrder {
+		for si, ssn := range ssnOrder {
+			for di, dmb := range dmbOrder {
+				rb.Add(fuzzy.Rule{
+					If: []fuzzy.Clause{
+						{Var: VarCSSP, Term: cssp},
+						{Var: VarSSN, Term: ssn},
+						{Var: VarDMB, Term: dmb},
+					},
+					Then: fuzzy.Clause{Var: VarHD, Term: frbTable[ci][si][di]},
+				})
+			}
+		}
+	}
+	return rb
+}
+
+// RuleConsequent returns the paper's Table 1 consequent for a term triple,
+// e.g. RuleConsequent("SM", "WK", "NR") = "LO".
+func RuleConsequent(cssp, ssn, dmb string) (string, error) {
+	ci, si, di := -1, -1, -1
+	for i, t := range csspOrder {
+		if t == cssp {
+			ci = i
+		}
+	}
+	for i, t := range ssnOrder {
+		if t == ssn {
+			si = i
+		}
+	}
+	for i, t := range dmbOrder {
+		if t == dmb {
+			di = i
+		}
+	}
+	if ci < 0 || si < 0 || di < 0 {
+		return "", fmt.Errorf("core: unknown term triple (%s, %s, %s)", cssp, ssn, dmb)
+	}
+	return frbTable[ci][si][di], nil
+}
+
+// RuleNumber returns the paper's 1-based rule number for a term triple.
+func RuleNumber(cssp, ssn, dmb string) (int, error) {
+	if _, err := RuleConsequent(cssp, ssn, dmb); err != nil {
+		return 0, err
+	}
+	var ci, si, di int
+	for i, t := range csspOrder {
+		if t == cssp {
+			ci = i
+		}
+	}
+	for i, t := range ssnOrder {
+		if t == ssn {
+			si = i
+		}
+	}
+	for i, t := range dmbOrder {
+		if t == dmb {
+			di = i
+		}
+	}
+	return ci*16 + si*4 + di + 1, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzy"
+)
+
+// paperTable1 is the paper's Table 1, transcribed as printed (rule number,
+// CSSP, SSN, DMB, HD), independently of the frbTable array in frb.go.  The
+// two transcriptions guard each other against typos.
+const paperTable1 = `
+1 SM WK NR LO    33 NC WK NR VL
+2 SM WK NSN LO   34 NC WK NSN VL
+3 SM WK NSF LH   35 NC WK NSF VL
+4 SM WK FA LH    36 NC WK FA LO
+5 SM NSW NR LO   37 NC NSW NR VL
+6 SM NSW NSN LO  38 NC NSW NSN VL
+7 SM NSW NSF LH  39 NC NSW NSF VL
+8 SM NSW FA LH   40 NC NSW FA LO
+9 SM NO NR LH    41 NC NO NR VL
+10 SM NO NSN HG  42 NC NO NSN LO
+11 SM NO NSF HG  43 NC NO NSF LO
+12 SM NO FA HG   44 NC NO FA LH
+13 SM ST NR HG   45 NC ST NR LH
+14 SM ST NSN HG  46 NC ST NSN LH
+15 SM ST NSF HG  47 NC ST NSF HG
+16 SM ST FA HG   48 NC ST FA HG
+17 LC WK NR VL   49 BG WK NR VL
+18 LC WK NSN VL  50 BG WK NSN VL
+19 LC WK NSF LO  51 BG WK NSF VL
+20 LC WK FA LO   52 BG WK FA VL
+21 LC NSW NR LO  53 BG NSW NR VL
+22 LC NSW NSN LO 54 BG NSW NSN VL
+23 LC NSW NSF LO 55 BG NSW NSF VL
+24 LC NSW FA LH  56 BG NSW FA LO
+25 LC NO NR LH   57 BG NO NR VL
+26 LC NO NSN LH  58 BG NO NSN VL
+27 LC NO NSF HG  59 BG NO NSF LO
+28 LC NO FA HG   60 BG NO FA LO
+29 LC ST NR LH   61 BG ST NR VL
+30 LC ST NSN HG  62 BG ST NSN VL
+31 LC ST NSF HG  63 BG ST NSF LO
+32 LC ST FA HG   64 BG ST FA LO
+`
+
+// parsePaperTable1 parses the verbatim table into ruleNumber → terms.
+func parsePaperTable1(t *testing.T) map[int][4]string {
+	t.Helper()
+	out := make(map[int][4]string, 64)
+	for _, line := range strings.Split(strings.TrimSpace(paperTable1), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 10 {
+			t.Fatalf("table line %q has %d fields, want 10", line, len(fields))
+		}
+		for _, half := range [][]string{fields[:5], fields[5:]} {
+			num := 0
+			for _, ch := range half[0] {
+				num = num*10 + int(ch-'0')
+			}
+			out[num] = [4]string{half[1], half[2], half[3], half[4]}
+		}
+	}
+	if len(out) != 64 {
+		t.Fatalf("parsed %d rules, want 64", len(out))
+	}
+	return out
+}
+
+func TestFRBMatchesPaperTable1(t *testing.T) {
+	want := parsePaperTable1(t)
+	rb := NewFRB()
+	if rb.Len() != 64 {
+		t.Fatalf("FRB has %d rules, want 64", rb.Len())
+	}
+	for i, rule := range rb.Rules {
+		num := i + 1
+		w := want[num]
+		if len(rule.If) != 3 {
+			t.Fatalf("rule %d has %d clauses", num, len(rule.If))
+		}
+		got := [4]string{rule.If[0].Term, rule.If[1].Term, rule.If[2].Term, rule.Then.Term}
+		if got != w {
+			t.Errorf("rule %d = %v, want %v", num, got, w)
+		}
+		if rule.If[0].Var != VarCSSP || rule.If[1].Var != VarSSN || rule.If[2].Var != VarDMB || rule.Then.Var != VarHD {
+			t.Errorf("rule %d has wrong variable bindings", num)
+		}
+	}
+}
+
+func TestFRBIsCompleteGrid(t *testing.T) {
+	rb := NewFRB()
+	missing := rb.MissingCombinations([]*fuzzy.Variable{NewCSSP(), NewSSN(), NewDMB()})
+	if len(missing) != 0 {
+		t.Fatalf("FRB misses %d combinations: %v", len(missing), missing)
+	}
+}
+
+func TestFRBValidates(t *testing.T) {
+	rb := NewFRB()
+	inputs := map[string]*fuzzy.Variable{
+		VarCSSP: NewCSSP(), VarSSN: NewSSN(), VarDMB: NewDMB(),
+	}
+	if err := rb.Validate(inputs, NewHD()); err != nil {
+		t.Fatalf("paper FRB fails validation: %v", err)
+	}
+}
+
+func TestRuleConsequentLookup(t *testing.T) {
+	cases := []struct {
+		cssp, ssn, dmb, want string
+	}{
+		{CsspSM, SsnWK, DmbNR, HdLO},  // rule 1
+		{CsspSM, SsnST, DmbFA, HdHG},  // rule 16
+		{CsspLC, SsnNO, DmbNSF, HdHG}, // rule 27
+		{CsspNC, SsnNO, DmbFA, HdLH},  // rule 44
+		{CsspBG, SsnWK, DmbNR, HdVL},  // rule 49
+		{CsspBG, SsnST, DmbFA, HdLO},  // rule 64
+	}
+	for _, tc := range cases {
+		got, err := RuleConsequent(tc.cssp, tc.ssn, tc.dmb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("RuleConsequent(%s,%s,%s) = %s, want %s", tc.cssp, tc.ssn, tc.dmb, got, tc.want)
+		}
+	}
+	if _, err := RuleConsequent("XX", SsnWK, DmbNR); err == nil {
+		t.Error("unknown term accepted")
+	}
+}
+
+func TestRuleNumber(t *testing.T) {
+	cases := []struct {
+		cssp, ssn, dmb string
+		want           int
+	}{
+		{CsspSM, SsnWK, DmbNR, 1},
+		{CsspSM, SsnWK, DmbFA, 4},
+		{CsspSM, SsnST, DmbFA, 16},
+		{CsspLC, SsnWK, DmbNR, 17},
+		{CsspNC, SsnNSW, DmbFA, 40},
+		{CsspBG, SsnST, DmbFA, 64},
+	}
+	for _, tc := range cases {
+		got, err := RuleNumber(tc.cssp, tc.ssn, tc.dmb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("RuleNumber(%s,%s,%s) = %d, want %d", tc.cssp, tc.ssn, tc.dmb, got, tc.want)
+		}
+	}
+	if _, err := RuleNumber("XX", SsnWK, DmbNR); err == nil {
+		t.Error("unknown term accepted")
+	}
+}
+
+func TestFRBMonotoneTrends(t *testing.T) {
+	// Structural sanity of Table 1: with everything else fixed, a stronger
+	// neighbor signal must never lower the consequent, and a larger distance
+	// must never lower it either (scanning the paper's term orders).
+	rank := map[string]int{HdVL: 0, HdLO: 1, HdLH: 2, HdHG: 3}
+	for _, cssp := range csspOrder {
+		for _, dmb := range dmbOrder {
+			prev := -1
+			for _, ssn := range ssnOrder {
+				c, _ := RuleConsequent(cssp, ssn, dmb)
+				if rank[c] < prev {
+					t.Errorf("HD not monotone in SSN at (%s, *, %s)", cssp, dmb)
+				}
+				prev = rank[c]
+			}
+		}
+	}
+	for _, cssp := range csspOrder {
+		for _, ssn := range ssnOrder {
+			prev := -1
+			for _, dmb := range dmbOrder {
+				c, _ := RuleConsequent(cssp, ssn, dmb)
+				if rank[c] < prev {
+					t.Errorf("HD not monotone in DMB at (%s, %s, *)", cssp, ssn)
+				}
+				prev = rank[c]
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package fcl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fuzzy"
+)
+
+// miniFCL is a small well-formed function block exercising every supported
+// construct.
+const miniFCL = `
+(* margin-style handover controller *)
+FUNCTION_BLOCK mini
+
+VAR_INPUT
+    adv : REAL;
+    dist : REAL;
+END_VAR
+
+VAR_OUTPUT
+    hd : REAL;
+END_VAR
+
+FUZZIFY adv
+    RANGE := (-20 .. 20);
+    TERM losing := (-20, 1) (0, 0);
+    TERM winning := (0, 0) (20, 1);
+END_FUZZIFY
+
+FUZZIFY dist
+    RANGE := (0 .. 1.5);
+    TERM near := (0.5, 1) (1.0, 0);
+    TERM far := (0.5, 0) (1.0, 1);
+END_FUZZIFY
+
+DEFUZZIFY hd
+    RANGE := (0 .. 1);
+    TERM no := (0, 1) (0.2, 1) (0.5, 0);
+    TERM yes := (0.5, 0) (0.8, 1) (1, 1);
+    METHOD : COG;
+    DEFAULT := 0;
+END_DEFUZZIFY
+
+RULEBLOCK No1
+    AND : MIN;
+    ACT : MIN;
+    ACCU : MAX;
+    RULE 1 : IF (adv IS losing) THEN (hd IS no);
+    RULE 2 : IF (adv IS winning) AND (dist IS far) THEN (hd IS yes);
+    RULE 3 : IF adv IS winning AND dist IS near THEN hd IS no;
+END_RULEBLOCK
+
+END_FUNCTION_BLOCK
+`
+
+func TestParseMini(t *testing.T) {
+	sys, err := Parse(miniFCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Inputs()) != 2 || sys.Output().Name != "hd" || sys.Rules().Len() != 3 {
+		t.Fatalf("structure: %d inputs, output %s, %d rules",
+			len(sys.Inputs()), sys.Output().Name, sys.Rules().Len())
+	}
+	// Losing terminal: low output.
+	lo, err := sys.Evaluate(map[string]float64{"adv": -15, "dist": 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Winning and far: high output.
+	hi, err := sys.Evaluate(map[string]float64{"adv": 15, "dist": 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 0.4 && hi > 0.6) {
+		t.Errorf("outputs lo=%g hi=%g not separated", lo, hi)
+	}
+}
+
+func TestParseBlockStructure(t *testing.T) {
+	fb, err := ParseBlock(miniFCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Name != "mini" {
+		t.Errorf("name = %q", fb.Name)
+	}
+	if len(fb.Inputs) != 2 || len(fb.Outputs) != 1 {
+		t.Errorf("vars: %v / %v", fb.Inputs, fb.Outputs)
+	}
+	vb := fb.Variables["hd"]
+	if vb == nil || !vb.isOutput || vb.method != "COG" {
+		t.Errorf("hd block = %+v", vb)
+	}
+	if !vb.hasRange || vb.min != 0 || vb.max != 1 {
+		t.Errorf("hd range = [%g, %g]", vb.min, vb.max)
+	}
+}
+
+func TestParseRangeInference(t *testing.T) {
+	src := strings.Replace(miniFCL, "RANGE := (-20 .. 20);\n", "", 1)
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sys.Inputs() {
+		if v.Name == "adv" {
+			if v.Min != -20 || v.Max != 20 {
+				t.Errorf("inferred adv range [%g, %g], want [-20, 20]", v.Min, v.Max)
+			}
+		}
+	}
+}
+
+func TestParseSingletonTerm(t *testing.T) {
+	src := strings.Replace(miniFCL,
+		"TERM yes := (0.5, 0) (0.8, 1) (1, 1);",
+		"TERM yes := 0.9;", 1)
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := sys.Output().Term("yes")
+	if !ok {
+		t.Fatal("singleton term lost")
+	}
+	if _, isSingleton := out.MF.(fuzzy.Singleton); !isSingleton {
+		t.Errorf("term type %T, want Singleton", out.MF)
+	}
+}
+
+func TestParseOperatorSelections(t *testing.T) {
+	src := strings.Replace(miniFCL, "AND : MIN;", "AND : PROD;", 1)
+	src = strings.Replace(src, "ACT : MIN;", "ACT : PROD;", 1)
+	sysProd, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysMin, err := Parse(miniFCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]float64{"adv": 7, "dist": 1.2}
+	a, _ := sysMin.Evaluate(in)
+	b, _ := sysProd.Evaluate(in)
+	if a == b {
+		t.Error("PROD operators had no effect")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"empty", ""},
+		{"no fb", "VAR_INPUT x : REAL; END_VAR"},
+		{"unterminated", "FUNCTION_BLOCK x"},
+		{"bad type", "FUNCTION_BLOCK x VAR_INPUT a : INT; END_VAR END_FUNCTION_BLOCK"},
+		{"unknown keyword", "FUNCTION_BLOCK x WAT END_FUNCTION_BLOCK"},
+		{"term outside block", "FUNCTION_BLOCK x TERM a := (0,1); END_FUNCTION_BLOCK"},
+		{"bad method", strings.Replace(miniFCL, "METHOD : COG;", "METHOD : WAT;", 1)},
+		{"bad and", strings.Replace(miniFCL, "AND : MIN;", "AND : WAT;", 1)},
+		{"bad or", strings.Replace(miniFCL, "AND : MIN;", "OR : WAT;", 1)},
+		{"bad accu", strings.Replace(miniFCL, "ACCU : MAX;", "ACCU : SUM;", 1)},
+		{"broken rule", strings.Replace(miniFCL, "RULE 3 : IF adv IS winning AND dist IS near THEN hd IS no;",
+			"RULE 3 : IF broken;", 1)},
+		{"rule unknown term", strings.Replace(miniFCL, "THEN (hd IS no);", "THEN (hd IS wat);", 1)},
+		{"decreasing points", strings.Replace(miniFCL, "TERM near := (0.5, 1) (1.0, 0);",
+			"TERM near := (1.0, 1) (0.5, 0);", 1)},
+		{"two outputs", strings.Replace(miniFCL, "hd : REAL;", "hd : REAL;\n    hd2 : REAL;", 1)},
+		{"no terms", strings.Replace(miniFCL,
+			"    TERM near := (0.5, 1) (1.0, 0);\n    TERM far := (0.5, 0) (1.0, 1);\n", "", 1)},
+		{"unterminated comment", "FUNCTION_BLOCK x (* oops"},
+		{"garbage char", "FUNCTION_BLOCK x @ END_FUNCTION_BLOCK"},
+	}
+	for _, tc := range bad {
+		if _, err := Parse(tc.src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestPaperControllerRoundTrip is the headline: exporting the paper's FLC
+// to FCL and re-parsing it reproduces the original outputs across the
+// input space.
+func TestPaperControllerRoundTrip(t *testing.T) {
+	orig := core.NewFLC().System()
+	src, err := Write("barolli_handover", orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FUNCTION_BLOCK barolli_handover",
+		"FUZZIFY CSSP", "FUZZIFY SSN", "FUZZIFY DMB", "DEFUZZIFY HD",
+		"METHOD : COGS;", "RULE 64", "AND : MIN;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("FCL export missing %q", want)
+		}
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, src)
+	}
+	// Sweep a grid of inputs; the outputs must agree to high precision.
+	for cssp := -10.0; cssp <= 10; cssp += 2.5 {
+		for ssn := -120.0; ssn <= -80; ssn += 5 {
+			for dmb := 0.0; dmb <= 1.5; dmb += 0.25 {
+				in := map[string]float64{"CSSP": cssp, "SSN": ssn, "DMB": dmb}
+				a, err := orig.Evaluate(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := back.Evaluate(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(a-b) > 1e-9 {
+					t.Fatalf("round trip differs at (%g, %g, %g): %g vs %g", cssp, ssn, dmb, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteMiniRoundTrip(t *testing.T) {
+	sys, err := Parse(miniFCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Write("", sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "FUNCTION_BLOCK controller") {
+		t.Error("default name not applied")
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]float64{"adv": 4.2, "dist": 0.9}
+	a, _ := sys.Evaluate(in)
+	b, _ := back.Evaluate(in)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("mini round trip differs: %g vs %g", a, b)
+	}
+}
+
+func TestLexerLineNumbers(t *testing.T) {
+	_, err := Parse("FUNCTION_BLOCK x\n\n\nWAT\nEND_FUNCTION_BLOCK")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %v should carry line 4", err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package fcl implements a subset of the IEC 61131-7 Fuzzy Control
+// Language: FUNCTION_BLOCK declarations with VAR_INPUT/VAR_OUTPUT, FUZZIFY
+// and DEFUZZIFY blocks (point-list terms, RANGE, METHOD, DEFAULT) and one
+// or more RULEBLOCKs (AND/OR/ACT/ACCU operators and IF/THEN rules).
+//
+// FCL is the standard interchange format for fuzzy controllers; the parser
+// compiles a function block straight into a fuzzy.System, and the writer
+// exports any fuzzy.System — including the paper's FLC — as FCL text.
+package fcl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokPunct // one of ( ) , ; :
+	tokAssign
+	tokRange // ".."
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes FCL source.  Comments use '//' or '(*' … '*)'.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*)")
+			if end < 0 {
+				return nil, fmt.Errorf("fcl: line %d: unterminated comment", line)
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case c == ':' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{tokAssign, ":=", line})
+			i += 2
+		case c == '.' && i+1 < n && src[i+1] == '.':
+			toks = append(toks, token{tokRange, "..", line})
+			i += 2
+		case strings.ContainsRune("(),;:", rune(c)):
+			toks = append(toks, token{tokPunct, string(c), line})
+			i++
+		case c == '-' || c == '+' || c == '.' || unicode.IsDigit(rune(c)):
+			start := i
+			i++
+			for i < n && (unicode.IsDigit(rune(src[i])) || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '-' || src[i] == '+') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				// Stop before a ".." range operator.
+				if src[i] == '.' && i+1 < n && src[i+1] == '.' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], line})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], line})
+		default:
+			return nil, fmt.Errorf("fcl: line %d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

@@ -1,0 +1,540 @@
+package fcl
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/fuzzy"
+)
+
+// FunctionBlock is the parsed form of an FCL function block before
+// compilation.
+type FunctionBlock struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	// Variables holds the FUZZIFY/DEFUZZIFY blocks keyed by variable name.
+	Variables map[string]*varBlock
+	// Rules are the parsed rules of all RULEBLOCKs in order.
+	Rules fuzzy.RuleBase
+	// Options are the operators selected by the first RULEBLOCK and the
+	// DEFUZZIFY METHOD.
+	Options fuzzy.Options
+}
+
+type varBlock struct {
+	name     string
+	isOutput bool
+	hasRange bool
+	min, max float64
+	terms    []fuzzy.Term
+	method   string // DEFUZZIFY only
+}
+
+// Parse compiles FCL source into a fuzzy inference system.  Exactly one
+// output variable (one DEFUZZIFY block) is supported.
+func Parse(src string) (*fuzzy.System, error) {
+	fb, err := ParseBlock(src)
+	if err != nil {
+		return nil, err
+	}
+	return fb.Compile()
+}
+
+// ParseBlock parses FCL source into its structural form.
+func ParseBlock(src string) (*FunctionBlock, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.functionBlock()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("fcl: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+// expectKeyword consumes an identifier equal (case-insensitively) to kw.
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return p.errf(t, "expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tokPunct || t.text != s {
+		return p.errf(t, "expected %q, got %s", s, t)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, p.errf(t, "expected number, got %s", t)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad number %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) functionBlock() (*FunctionBlock, error) {
+	if err := p.expectKeyword("FUNCTION_BLOCK"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	fb := &FunctionBlock{Name: name, Variables: map[string]*varBlock{}}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return nil, p.errf(t, "missing END_FUNCTION_BLOCK")
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected block keyword, got %s", t)
+		}
+		switch strings.ToUpper(t.text) {
+		case "END_FUNCTION_BLOCK":
+			p.next()
+			return fb, nil
+		case "VAR_INPUT":
+			p.next()
+			names, err := p.varList()
+			if err != nil {
+				return nil, err
+			}
+			fb.Inputs = append(fb.Inputs, names...)
+		case "VAR_OUTPUT":
+			p.next()
+			names, err := p.varList()
+			if err != nil {
+				return nil, err
+			}
+			fb.Outputs = append(fb.Outputs, names...)
+		case "FUZZIFY":
+			p.next()
+			if err := p.fuzzifyBlock(fb, false); err != nil {
+				return nil, err
+			}
+		case "DEFUZZIFY":
+			p.next()
+			if err := p.fuzzifyBlock(fb, true); err != nil {
+				return nil, err
+			}
+		case "RULEBLOCK":
+			p.next()
+			if err := p.ruleBlock(fb); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(t, "unexpected keyword %q", t.text)
+		}
+	}
+}
+
+// varList parses "name : REAL ;"* until END_VAR.
+func (p *parser) varList() ([]string, error) {
+	var names []string
+	for {
+		t := p.peek()
+		if t.kind == tokIdent && strings.EqualFold(t.text, "END_VAR") {
+			p.next()
+			return names, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.EqualFold(typ, "REAL") {
+			return nil, fmt.Errorf("fcl: variable %s: only REAL is supported, got %s", name, typ)
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+}
+
+// fuzzifyBlock parses FUZZIFY/DEFUZZIFY contents.
+func (p *parser) fuzzifyBlock(fb *FunctionBlock, isOutput bool) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	vb := &varBlock{name: name, isOutput: isOutput}
+	endKw := "END_FUZZIFY"
+	if isOutput {
+		endKw = "END_DEFUZZIFY"
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return p.errf(t, "expected TERM/RANGE/METHOD or %s, got %s", endKw, t)
+		}
+		switch strings.ToUpper(t.text) {
+		case strings.ToUpper(endKw):
+			p.next()
+			fb.Variables[name] = vb
+			return nil
+		case "TERM":
+			p.next()
+			if err := p.term(vb); err != nil {
+				return err
+			}
+		case "RANGE":
+			p.next()
+			if err := p.rangeDecl(vb); err != nil {
+				return err
+			}
+		case "METHOD":
+			p.next()
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			m, err := p.ident()
+			if err != nil {
+				return err
+			}
+			vb.method = strings.ToUpper(m)
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		case "DEFAULT":
+			// DEFAULT := <number>; — accepted and ignored (the complete
+			// paper rulebase never needs a default).
+			p.next()
+			t := p.next()
+			if t.kind != tokAssign {
+				return p.errf(t, "expected := after DEFAULT")
+			}
+			if _, err := p.number(); err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t, "unexpected %q in %s block", t.text, name)
+		}
+	}
+}
+
+// term parses "TERM name := (x, y) (x, y) … ;" (or a single number for a
+// singleton).
+func (p *parser) term(vb *varBlock) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	t := p.next()
+	if t.kind != tokAssign {
+		return p.errf(t, "expected := in TERM %s", name)
+	}
+	if p.peek().kind == tokNumber {
+		// Singleton: TERM x := 0.5;
+		v, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		vb.terms = append(vb.terms, fuzzy.Term{Name: name, MF: fuzzy.Singleton{X: v}})
+		return nil
+	}
+	var pl fuzzy.PiecewiseLinear
+	for {
+		if p.peek().kind == tokPunct && p.peek().text == ";" {
+			p.next()
+			break
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		x, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return err
+		}
+		y, err := p.number()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		pl.X = append(pl.X, x)
+		pl.Y = append(pl.Y, y)
+	}
+	if err := pl.Validate(); err != nil {
+		return fmt.Errorf("fcl: TERM %s of %s: %w", name, vb.name, err)
+	}
+	vb.terms = append(vb.terms, fuzzy.Term{Name: name, MF: pl})
+	return nil
+}
+
+// rangeDecl parses "RANGE := (lo .. hi);".
+func (p *parser) rangeDecl(vb *varBlock) error {
+	t := p.next()
+	if t.kind != tokAssign {
+		return p.errf(t, "expected := after RANGE")
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	lo, err := p.number()
+	if err != nil {
+		return err
+	}
+	t = p.next()
+	if t.kind != tokRange {
+		return p.errf(t, "expected .. in RANGE")
+	}
+	hi, err := p.number()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	vb.hasRange = true
+	vb.min, vb.max = lo, hi
+	return nil
+}
+
+// ruleBlock parses operator selections and rules.
+func (p *parser) ruleBlock(fb *FunctionBlock) error {
+	if _, err := p.ident(); err != nil { // block name
+		return err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return p.errf(t, "expected RULE/operator or END_RULEBLOCK, got %s", t)
+		}
+		switch strings.ToUpper(t.text) {
+		case "END_RULEBLOCK":
+			p.next()
+			return nil
+		case "AND":
+			p.next()
+			op, err := p.operatorDecl()
+			if err != nil {
+				return err
+			}
+			switch op {
+			case "MIN":
+				fb.Options.AndNorm = fuzzy.MinNorm
+			case "PROD":
+				fb.Options.AndNorm = fuzzy.ProductNorm
+			default:
+				return fmt.Errorf("fcl: unsupported AND operator %s", op)
+			}
+		case "OR":
+			p.next()
+			op, err := p.operatorDecl()
+			if err != nil {
+				return err
+			}
+			switch op {
+			case "MAX":
+				fb.Options.OrNorm = fuzzy.MaxNorm
+			case "ASUM":
+				fb.Options.OrNorm = fuzzy.ProbSumNorm
+			case "BSUM":
+				fb.Options.OrNorm = fuzzy.BoundedSumNorm
+			default:
+				return fmt.Errorf("fcl: unsupported OR operator %s", op)
+			}
+		case "ACT":
+			p.next()
+			op, err := p.operatorDecl()
+			if err != nil {
+				return err
+			}
+			switch op {
+			case "MIN":
+				fb.Options.Implication = fuzzy.MinImplication
+			case "PROD":
+				fb.Options.Implication = fuzzy.ProductImplication
+			default:
+				return fmt.Errorf("fcl: unsupported ACT operator %s", op)
+			}
+		case "ACCU":
+			p.next()
+			op, err := p.operatorDecl()
+			if err != nil {
+				return err
+			}
+			if op != "MAX" {
+				return fmt.Errorf("fcl: unsupported ACCU operator %s", op)
+			}
+		case "RULE":
+			p.next()
+			if err := p.rule(fb); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t, "unexpected %q in RULEBLOCK", t.text)
+		}
+	}
+}
+
+// operatorDecl parses ": IDENT ;".
+func (p *parser) operatorDecl() (string, error) {
+	if err := p.expectPunct(":"); err != nil {
+		return "", err
+	}
+	op, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return "", err
+	}
+	return strings.ToUpper(op), nil
+}
+
+// rule parses "RULE n : IF … THEN … ;" by collecting tokens up to the
+// semicolon (dropping clause parentheses, which our DSL does not use) and
+// delegating to the fuzzy rule parser.
+func (p *parser) rule(fb *FunctionBlock) error {
+	if _, err := p.number(); err != nil { // rule number
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	var parts []string
+	for {
+		t := p.next()
+		switch {
+		case t.kind == tokEOF:
+			return p.errf(t, "unterminated RULE")
+		case t.kind == tokPunct && t.text == ";":
+			r, err := fuzzy.ParseRule(strings.Join(parts, " "))
+			if err != nil {
+				return fmt.Errorf("fcl: %w", err)
+			}
+			fb.Rules.Add(r)
+			return nil
+		case t.kind == tokPunct && (t.text == "(" || t.text == ")"):
+			// FCL clause grouping; the flat DSL needs none.
+		default:
+			parts = append(parts, t.text)
+		}
+	}
+}
+
+// Compile builds the fuzzy system from the parsed block.
+func (fb *FunctionBlock) Compile() (*fuzzy.System, error) {
+	if len(fb.Outputs) != 1 {
+		return nil, fmt.Errorf("fcl: exactly one VAR_OUTPUT supported, got %d", len(fb.Outputs))
+	}
+	build := func(name string) (*fuzzy.Variable, error) {
+		vb, ok := fb.Variables[name]
+		if !ok {
+			return nil, fmt.Errorf("fcl: variable %s has no FUZZIFY/DEFUZZIFY block", name)
+		}
+		if len(vb.terms) == 0 {
+			return nil, fmt.Errorf("fcl: variable %s has no terms", name)
+		}
+		min, max := vb.min, vb.max
+		if !vb.hasRange {
+			// Infer the universe from the term extremes.
+			min, max = inferRange(vb.terms)
+		}
+		return fuzzy.NewVariable(name, min, max, vb.terms...)
+	}
+	var inputs []*fuzzy.Variable
+	for _, name := range fb.Inputs {
+		v, err := build(name)
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, v)
+	}
+	output, err := build(fb.Outputs[0])
+	if err != nil {
+		return nil, err
+	}
+	opts := fb.Options
+	if vb := fb.Variables[fb.Outputs[0]]; vb != nil {
+		switch vb.method {
+		case "", "COGS":
+			// Default (weighted average over singleton/core positions).
+			opts.Defuzzifier = fuzzy.WeightedAverage{}
+		case "COG", "COA":
+			opts.Defuzzifier = fuzzy.Centroid{}
+		case "MM", "MOM":
+			opts.Defuzzifier = fuzzy.MeanOfMaxima()
+		case "LM":
+			opts.Defuzzifier = fuzzy.SmallestOfMaxima()
+		case "RM":
+			opts.Defuzzifier = fuzzy.LargestOfMaxima()
+		default:
+			return nil, fmt.Errorf("fcl: unsupported METHOD %s", vb.method)
+		}
+	}
+	return fuzzy.NewSystem(output, fb.Rules, opts, inputs...)
+}
+
+func inferRange(terms []fuzzy.Term) (float64, float64) {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, t := range terms {
+		if pl, ok := t.MF.(fuzzy.PiecewiseLinear); ok && len(pl.X) > 0 {
+			if pl.X[0] < min {
+				min = pl.X[0]
+			}
+			if pl.X[len(pl.X)-1] > max {
+				max = pl.X[len(pl.X)-1]
+			}
+			continue
+		}
+		lo, hi := t.MF.Support()
+		if !math.IsInf(lo, -1) && lo < min {
+			min = lo
+		}
+		if !math.IsInf(hi, 1) && hi > max {
+			max = hi
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,112 @@
+package fcl
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/fuzzy"
+)
+
+// Write renders a fuzzy system as an FCL function block.  Membership
+// functions are converted to point lists over each variable's universe
+// (exact for triangles/trapezoids/point lists, sampled otherwise), so
+// Parse(Write(sys)) reproduces the system's behaviour within the universe.
+func Write(name string, sys *fuzzy.System) (string, error) {
+	if name == "" {
+		name = "controller"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "FUNCTION_BLOCK %s\n\n", name)
+
+	b.WriteString("VAR_INPUT\n")
+	for _, v := range sys.Inputs() {
+		fmt.Fprintf(&b, "    %s : REAL;\n", v.Name)
+	}
+	b.WriteString("END_VAR\n\nVAR_OUTPUT\n")
+	fmt.Fprintf(&b, "    %s : REAL;\n", sys.Output().Name)
+	b.WriteString("END_VAR\n\n")
+
+	for _, v := range sys.Inputs() {
+		if err := writeVarBlock(&b, "FUZZIFY", v, ""); err != nil {
+			return "", err
+		}
+	}
+	method, err := methodName(sys.Options().Defuzzifier)
+	if err != nil {
+		return "", err
+	}
+	if err := writeVarBlock(&b, "DEFUZZIFY", sys.Output(), method); err != nil {
+		return "", err
+	}
+
+	b.WriteString("RULEBLOCK No1\n")
+	fmt.Fprintf(&b, "    AND : %s;\n", normName(sys.Options().AndNorm))
+	fmt.Fprintf(&b, "    ACT : %s;\n", implName(sys.Options().Implication))
+	b.WriteString("    ACCU : MAX;\n")
+	for i, r := range sys.Rules().Rules {
+		fmt.Fprintf(&b, "    RULE %d : %s;\n", i+1, r)
+	}
+	b.WriteString("END_RULEBLOCK\n\nEND_FUNCTION_BLOCK\n")
+	return b.String(), nil
+}
+
+func writeVarBlock(b *strings.Builder, kind string, v *fuzzy.Variable, method string) error {
+	fmt.Fprintf(b, "%s %s\n", kind, v.Name)
+	fmt.Fprintf(b, "    RANGE := (%s .. %s);\n", num(v.Min), num(v.Max))
+	for _, t := range v.Terms {
+		pl, err := fuzzy.ToPiecewise(t.MF, v.Min, v.Max, 64)
+		if err != nil {
+			return fmt.Errorf("fcl: term %s: %w", t.Name, err)
+		}
+		pts := make([]string, len(pl.X))
+		for i := range pl.X {
+			pts[i] = fmt.Sprintf("(%s, %s)", num(pl.X[i]), num(pl.Y[i]))
+		}
+		fmt.Fprintf(b, "    TERM %s := %s;\n", t.Name, strings.Join(pts, " "))
+	}
+	if method != "" {
+		fmt.Fprintf(b, "    METHOD : %s;\n", method)
+	}
+	fmt.Fprintf(b, "END_%s\n\n", kind)
+	return nil
+}
+
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func methodName(d fuzzy.Defuzzifier) (string, error) {
+	switch d.Name() {
+	case "weighted-average":
+		return "COGS", nil
+	case "centroid":
+		return "COG", nil
+	case "mean-of-maxima":
+		return "MM", nil
+	case "smallest-of-maxima":
+		return "LM", nil
+	case "largest-of-maxima":
+		return "RM", nil
+	default:
+		return "", fmt.Errorf("fcl: defuzzifier %s has no FCL method name", d.Name())
+	}
+}
+
+func normName(n fuzzy.TNorm) string {
+	// Function identity is not comparable; probe behaviourally.
+	if n(0.5, 0.5) == 0.25 {
+		return "PROD"
+	}
+	return "MIN"
+}
+
+func implName(im fuzzy.Implication) string {
+	if im(0.5, 0.5) == 0.25 {
+		return "PROD"
+	}
+	return "MIN"
+}

@@ -1,0 +1,243 @@
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoActivation is returned by defuzzifiers when every output term has
+// zero activation — no rule fired.  A complete rulebase over Ruspini
+// partitions (the paper's configuration) can never produce it for in-range
+// inputs.
+var ErrNoActivation = errors.New("fuzzy: no output activation (no rule fired)")
+
+// Defuzzifier converts the aggregated output fuzzy set into a crisp value.
+//
+// The aggregated set is given implicitly: out.Terms[i] carries activation
+// activations[i], and impl shapes each term's membership (clip for Mamdani,
+// scale for Larsen).  The overall membership at y is the max over terms of
+// impl(activations[i], mf_i(y)).
+type Defuzzifier interface {
+	Defuzzify(out *Variable, activations []float64, impl Implication) (float64, error)
+	Name() string
+}
+
+// aggregate returns the aggregated output membership at y.
+func aggregate(out *Variable, activations []float64, impl Implication, y float64) float64 {
+	best := 0.0
+	for i, t := range out.Terms {
+		if activations[i] == 0 {
+			continue
+		}
+		if v := impl(activations[i], t.MF.Grade(y)); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func allZero(activations []float64) bool {
+	for _, a := range activations {
+		if a > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedAverage is the height method: Σ αᵢ·cᵢ / Σ αᵢ, where cᵢ is the
+// core midpoint of term i (clamped to the universe).  It is the cheapest
+// defuzzifier — no integration — and the default for the paper's FLC,
+// matching its "suitable for real-time operation" requirement.
+type WeightedAverage struct{}
+
+// Name implements Defuzzifier.
+func (WeightedAverage) Name() string { return "weighted-average" }
+
+// Defuzzify implements Defuzzifier.
+func (WeightedAverage) Defuzzify(out *Variable, activations []float64, _ Implication) (float64, error) {
+	if len(activations) != len(out.Terms) {
+		return 0, fmt.Errorf("fuzzy: %d activations for %d terms", len(activations), len(out.Terms))
+	}
+	var num, den float64
+	for i, t := range out.Terms {
+		a := activations[i]
+		if a <= 0 {
+			continue
+		}
+		num += a * CoreMidpoint(t.MF, out.Min, out.Max)
+		den += a
+	}
+	if den == 0 {
+		return 0, ErrNoActivation
+	}
+	return num / den, nil
+}
+
+// Centroid integrates the aggregated set numerically: the centre of gravity
+// ∫y·μ(y)dy / ∫μ(y)dy over Samples+1 evenly spaced points.
+type Centroid struct {
+	// Samples is the number of integration intervals (default 1000).
+	Samples int
+}
+
+// Name implements Defuzzifier.
+func (c Centroid) Name() string { return "centroid" }
+
+func (c Centroid) samples() int {
+	if c.Samples <= 0 {
+		return 1000
+	}
+	return c.Samples
+}
+
+// Defuzzify implements Defuzzifier.
+func (c Centroid) Defuzzify(out *Variable, activations []float64, impl Implication) (float64, error) {
+	if allZero(activations) {
+		return 0, ErrNoActivation
+	}
+	n := c.samples()
+	h := (out.Max - out.Min) / float64(n)
+	var num, den float64
+	for i := 0; i <= n; i++ {
+		y := out.Min + float64(i)*h
+		mu := aggregate(out, activations, impl, y)
+		w := 1.0
+		if i == 0 || i == n {
+			w = 0.5 // trapezoid rule end weights
+		}
+		num += w * y * mu
+		den += w * mu
+	}
+	if den == 0 {
+		return 0, ErrNoActivation
+	}
+	return num / den, nil
+}
+
+// Bisector returns the point that splits the aggregated area in half.
+type Bisector struct {
+	// Samples is the number of integration intervals (default 1000).
+	Samples int
+}
+
+// Name implements Defuzzifier.
+func (b Bisector) Name() string { return "bisector" }
+
+// Defuzzify implements Defuzzifier.
+func (b Bisector) Defuzzify(out *Variable, activations []float64, impl Implication) (float64, error) {
+	if allZero(activations) {
+		return 0, ErrNoActivation
+	}
+	n := b.Samples
+	if n <= 0 {
+		n = 1000
+	}
+	h := (out.Max - out.Min) / float64(n)
+	// Midpoint-rule cell areas.
+	areas := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		y := out.Min + (float64(i)+0.5)*h
+		areas[i] = aggregate(out, activations, impl, y) * h
+		total += areas[i]
+	}
+	if total == 0 {
+		return 0, ErrNoActivation
+	}
+	half := total / 2
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		if acc+areas[i] >= half {
+			// Linear interpolation inside the cell.
+			frac := 0.5
+			if areas[i] > 0 {
+				frac = (half - acc) / areas[i]
+			}
+			return out.Min + (float64(i)+frac)*h, nil
+		}
+		acc += areas[i]
+	}
+	return out.Max, nil
+}
+
+// maximaKind selects which point of the aggregated maximum plateau a
+// Maxima defuzzifier returns.
+type maximaKind int
+
+const (
+	meanOfMaxima maximaKind = iota
+	smallestOfMaxima
+	largestOfMaxima
+)
+
+// Maxima returns a point of the global maximum of the aggregated set:
+// the mean (MOM), smallest (SOM) or largest (LOM) maximizer.
+type Maxima struct {
+	kind    maximaKind
+	Samples int
+}
+
+// MeanOfMaxima returns the MOM defuzzifier.
+func MeanOfMaxima() Maxima { return Maxima{kind: meanOfMaxima} }
+
+// SmallestOfMaxima returns the SOM defuzzifier.
+func SmallestOfMaxima() Maxima { return Maxima{kind: smallestOfMaxima} }
+
+// LargestOfMaxima returns the LOM defuzzifier.
+func LargestOfMaxima() Maxima { return Maxima{kind: largestOfMaxima} }
+
+// Name implements Defuzzifier.
+func (m Maxima) Name() string {
+	switch m.kind {
+	case smallestOfMaxima:
+		return "smallest-of-maxima"
+	case largestOfMaxima:
+		return "largest-of-maxima"
+	default:
+		return "mean-of-maxima"
+	}
+}
+
+// Defuzzify implements Defuzzifier.
+func (m Maxima) Defuzzify(out *Variable, activations []float64, impl Implication) (float64, error) {
+	if allZero(activations) {
+		return 0, ErrNoActivation
+	}
+	n := m.Samples
+	if n <= 0 {
+		n = 1000
+	}
+	h := (out.Max - out.Min) / float64(n)
+	best := -1.0
+	var lo, hi, sum float64
+	count := 0
+	const tol = 1e-9
+	for i := 0; i <= n; i++ {
+		y := out.Min + float64(i)*h
+		mu := aggregate(out, activations, impl, y)
+		switch {
+		case mu > best+tol:
+			best = mu
+			lo, hi = y, y
+			sum = y
+			count = 1
+		case math.Abs(mu-best) <= tol:
+			hi = y
+			sum += y
+			count++
+		}
+	}
+	if best <= 0 {
+		return 0, ErrNoActivation
+	}
+	switch m.kind {
+	case smallestOfMaxima:
+		return lo, nil
+	case largestOfMaxima:
+		return hi, nil
+	default:
+		return sum / float64(count), nil
+	}
+}

@@ -1,0 +1,223 @@
+package fuzzy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// symmetricOutput is a 3-term output over [0, 1] with a symmetric middle.
+func symmetricOutput(t *testing.T) *Variable {
+	t.Helper()
+	return MustVariable("y", 0, 1,
+		Term{"lo", Tri(0, 0.2, 0.4)},
+		Term{"mid", Tri(0.3, 0.5, 0.7)},
+		Term{"hi", Tri(0.6, 0.8, 1)},
+	)
+}
+
+func allDefuzzifiers() []Defuzzifier {
+	return []Defuzzifier{
+		WeightedAverage{},
+		Centroid{},
+		Bisector{},
+		MeanOfMaxima(),
+		SmallestOfMaxima(),
+		LargestOfMaxima(),
+	}
+}
+
+func TestDefuzzifiersRejectNoActivation(t *testing.T) {
+	out := symmetricOutput(t)
+	for _, d := range allDefuzzifiers() {
+		_, err := d.Defuzzify(out, []float64{0, 0, 0}, MinImplication)
+		if !errors.Is(err, ErrNoActivation) {
+			t.Errorf("%s: want ErrNoActivation, got %v", d.Name(), err)
+		}
+	}
+}
+
+func TestSingleTermFullActivation(t *testing.T) {
+	// With only "mid" active at degree 1, every defuzzifier must return the
+	// peak 0.5 of the symmetric triangle.
+	out := symmetricOutput(t)
+	for _, d := range allDefuzzifiers() {
+		got, err := d.Defuzzify(out, []float64{0, 1, 0}, MinImplication)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		if math.Abs(got-0.5) > 0.002 {
+			t.Errorf("%s: single-term defuzz = %g, want 0.5", d.Name(), got)
+		}
+	}
+}
+
+func TestWeightedAverageExact(t *testing.T) {
+	out := symmetricOutput(t)
+	// (0.5·0.2 + 0.25·0.5 + 0.25·0.8) / 1.0
+	got, err := WeightedAverage{}.Defuzzify(out, []float64{0.5, 0.25, 0.25}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.5*0.2 + 0.25*0.5 + 0.25*0.8) / 1.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted average = %g, want %g", got, want)
+	}
+}
+
+func TestWeightedAverageShoulderRepresentative(t *testing.T) {
+	// A right-shoulder term must be represented by the core midpoint with
+	// the universe edge standing in for +Inf — i.e. 1.0 for Trap(0.6,1,1,1).
+	out := MustVariable("y", 0, 1,
+		Term{"lo", Tri(0, 0.2, 0.4)},
+		Term{"hg", Trap(0.6, 1, 1, 1)},
+	)
+	got, err := WeightedAverage{}.Defuzzify(out, []float64{0, 0.7}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("shoulder-only output = %g, want 1", got)
+	}
+}
+
+func TestWeightedAverageActivationLengthMismatch(t *testing.T) {
+	out := symmetricOutput(t)
+	if _, err := (WeightedAverage{}).Defuzzify(out, []float64{1}, MinImplication); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCentroidSymmetry(t *testing.T) {
+	// Equal activations of the symmetric lo/hi terms must centre at 0.5.
+	out := symmetricOutput(t)
+	got, err := Centroid{}.Defuzzify(out, []float64{0.5, 0, 0.5}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 0.002 {
+		t.Errorf("symmetric centroid = %g, want 0.5", got)
+	}
+}
+
+func TestCentroidWithinSupportHull(t *testing.T) {
+	out := symmetricOutput(t)
+	if err := quick.Check(func(a0, a1, a2 float64) bool {
+		acts := []float64{unit(a0), unit(a1), unit(a2)}
+		if acts[0]+acts[1]+acts[2] == 0 {
+			return true
+		}
+		for _, d := range allDefuzzifiers() {
+			v, err := d.Defuzzify(out, acts, MinImplication)
+			if err != nil {
+				return false
+			}
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentroidClippingVsScaling(t *testing.T) {
+	// With a half-activated asymmetric set, Mamdani clipping and Larsen
+	// scaling give different centroids (clipping flattens the top).
+	out := MustVariable("y", 0, 1, Term{"t", Tri(0, 0.2, 1)})
+	clip, err := Centroid{}.Defuzzify(out, []float64{0.5}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale, err := Centroid{}.Defuzzify(out, []float64{0.5}, ProductImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clip-scale) < 1e-6 {
+		t.Errorf("clip %g and scale %g centroids should differ", clip, scale)
+	}
+	// Scaling preserves the shape, so its centroid equals the full set's.
+	full, err := Centroid{}.Defuzzify(out, []float64{1}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scale-full) > 1e-9 {
+		t.Errorf("Larsen-scaled centroid %g should equal full-set centroid %g", scale, full)
+	}
+}
+
+func TestBisectorSplitsArea(t *testing.T) {
+	// For a connected symmetric aggregated set, bisector == centroid == 0.5.
+	// (With the middle term active the set has no zero-area gap, which would
+	// make the bisector non-unique.)
+	out := symmetricOutput(t)
+	got, err := Bisector{}.Defuzzify(out, []float64{0.5, 1, 0.5}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 0.002 {
+		t.Errorf("symmetric bisector = %g, want 0.5", got)
+	}
+	// For a right-heavy set the bisector moves right of the universe middle.
+	heavy, err := Bisector{}.Defuzzify(out, []float64{0.1, 0, 1}, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy <= 0.5 {
+		t.Errorf("right-heavy bisector = %g, want > 0.5", heavy)
+	}
+}
+
+func TestMaximaFamily(t *testing.T) {
+	out := symmetricOutput(t)
+	acts := []float64{0, 1, 0.4} // "mid" clearly maximal, peak at 0.5
+	mom, err := MeanOfMaxima().Defuzzify(out, acts, MinImplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mom-0.5) > 0.002 {
+		t.Errorf("MOM = %g, want 0.5", mom)
+	}
+	// Clipped at 0.6, "mid" has a plateau [0.42, 0.58]: SOM < MOM < LOM.
+	acts = []float64{0, 0.6, 0}
+	som, _ := SmallestOfMaxima().Defuzzify(out, acts, MinImplication)
+	lom, _ := LargestOfMaxima().Defuzzify(out, acts, MinImplication)
+	mom, _ = MeanOfMaxima().Defuzzify(out, acts, MinImplication)
+	if !(som < mom && mom < lom) {
+		t.Errorf("maxima family not ordered: SOM=%g MOM=%g LOM=%g", som, mom, lom)
+	}
+	if math.Abs(som-0.42) > 0.01 || math.Abs(lom-0.58) > 0.01 {
+		t.Errorf("plateau edges: SOM=%g (want ≈0.42), LOM=%g (want ≈0.58)", som, lom)
+	}
+}
+
+func TestDefuzzifierNames(t *testing.T) {
+	want := map[string]bool{
+		"weighted-average": true, "centroid": true, "bisector": true,
+		"mean-of-maxima": true, "smallest-of-maxima": true, "largest-of-maxima": true,
+	}
+	for _, d := range allDefuzzifiers() {
+		if !want[d.Name()] {
+			t.Errorf("unexpected defuzzifier name %q", d.Name())
+		}
+	}
+}
+
+func TestMonotonicityOfWeightedAverage(t *testing.T) {
+	// Shifting activation mass from "lo" to "hi" must not decrease the
+	// output — the property that makes the 0.7 handover threshold usable.
+	out := symmetricOutput(t)
+	prev := -1.0
+	for w := 0.0; w <= 1.0001; w += 0.05 {
+		v, err := WeightedAverage{}.Defuzzify(out, []float64{1 - w, 0.2, w}, MinImplication)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("weighted average not monotone at w=%g: %g -> %g", w, prev, v)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,359 @@
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options selects the operator family of a System.  The zero value yields
+// the paper's configuration: Mamdani max–min inference with height
+// defuzzification.
+type Options struct {
+	// AndNorm combines AND-connected clause grades (default MinNorm).
+	AndNorm TNorm
+	// OrNorm combines OR-connected clause grades and aggregates rule
+	// activations per output term (default MaxNorm).
+	OrNorm SNorm
+	// Implication shapes consequents (default MinImplication / Mamdani).
+	Implication Implication
+	// Defuzzifier converts the aggregated set to a crisp output
+	// (default WeightedAverage).
+	Defuzzifier Defuzzifier
+}
+
+func (o Options) withDefaults() Options {
+	if o.AndNorm == nil {
+		o.AndNorm = MinNorm
+	}
+	if o.OrNorm == nil {
+		o.OrNorm = MaxNorm
+	}
+	if o.Implication == nil {
+		o.Implication = MinImplication
+	}
+	if o.Defuzzifier == nil {
+		o.Defuzzifier = WeightedAverage{}
+	}
+	return o
+}
+
+// System is a complete fuzzy inference system: the fuzzifier, rule base,
+// inference engine and defuzzifier of the paper's Fig. 2.  Construct with
+// NewSystem; a System is immutable afterwards and safe for concurrent use.
+type System struct {
+	inputs []*Variable
+	byName map[string]*Variable
+	output *Variable
+	rules  RuleBase
+	opts   Options
+	// compiled rules: term indices resolved once at construction.
+	compiled []compiledRule
+}
+
+type compiledRule struct {
+	clauses []compiledClause
+	conn    Connective
+	outTerm int
+	weight  float64
+}
+
+type compiledClause struct {
+	varIdx  int
+	termIdx int
+	not     bool
+}
+
+// NewSystem validates and compiles a fuzzy inference system.
+func NewSystem(output *Variable, rules RuleBase, opts Options, inputs ...*Variable) (*System, error) {
+	if output == nil {
+		return nil, fmt.Errorf("fuzzy: nil output variable")
+	}
+	if err := output.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("fuzzy: system needs at least one input variable")
+	}
+	byName := make(map[string]*Variable, len(inputs))
+	for _, v := range inputs {
+		if v == nil {
+			return nil, fmt.Errorf("fuzzy: nil input variable")
+		}
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := byName[v.Name]; dup {
+			return nil, fmt.Errorf("fuzzy: duplicate input variable %q", v.Name)
+		}
+		if v.Name == output.Name {
+			return nil, fmt.Errorf("fuzzy: input and output share name %q", v.Name)
+		}
+		byName[v.Name] = v
+	}
+	if rules.Len() == 0 {
+		return nil, fmt.Errorf("fuzzy: empty rulebase")
+	}
+	if err := rules.Validate(byName, output); err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		inputs: inputs,
+		byName: byName,
+		output: output,
+		rules:  rules,
+		opts:   opts.withDefaults(),
+	}
+	varIdx := make(map[string]int, len(inputs))
+	for i, v := range inputs {
+		varIdx[v.Name] = i
+	}
+	termIdx := func(v *Variable, name string) int {
+		for i, t := range v.Terms {
+			if t.Name == name {
+				return i
+			}
+		}
+		return -1 // unreachable: rules validated above
+	}
+	s.compiled = make([]compiledRule, rules.Len())
+	for i, r := range rules.Rules {
+		cr := compiledRule{
+			conn:    r.Conn,
+			outTerm: termIdx(output, r.Then.Term),
+			weight:  r.EffectiveWeight(),
+			clauses: make([]compiledClause, len(r.If)),
+		}
+		for j, c := range r.If {
+			vi := varIdx[c.Var]
+			cr.clauses[j] = compiledClause{
+				varIdx:  vi,
+				termIdx: termIdx(inputs[vi], c.Term),
+				not:     c.Not,
+			}
+		}
+		s.compiled[i] = cr
+	}
+	return s, nil
+}
+
+// MustSystem is NewSystem that panics on error.
+func MustSystem(output *Variable, rules RuleBase, opts Options, inputs ...*Variable) *System {
+	s, err := NewSystem(output, rules, opts, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Inputs returns the input variables in definition order.
+func (s *System) Inputs() []*Variable { return s.inputs }
+
+// Output returns the output variable.
+func (s *System) Output() *Variable { return s.output }
+
+// Rules returns the rulebase.
+func (s *System) Rules() RuleBase { return s.rules }
+
+// Options returns the resolved operator options.
+func (s *System) Options() Options { return s.opts }
+
+// RuleFiring records one rule's firing strength in a Trace.
+type RuleFiring struct {
+	Index    int // 1-based rule number, matching the paper's Table 1
+	Rule     Rule
+	Strength float64
+}
+
+// Trace is a full explanation of one inference: the fuzzified inputs, every
+// rule that fired, the per-term aggregated activations and the crisp output.
+type Trace struct {
+	Inputs      map[string]float64
+	Fuzzified   map[string]map[string]float64
+	Firings     []RuleFiring
+	Activations map[string]float64
+	Output      float64
+}
+
+// String renders the trace as a human-readable explanation (used by the
+// horules CLI).
+func (tr *Trace) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(tr.Inputs))
+	for n := range tr.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b.WriteString("inputs:\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %s = %g\n", n, tr.Inputs[n])
+		grades := tr.Fuzzified[n]
+		terms := make([]string, 0, len(grades))
+		for t := range grades {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			if grades[t] > 0 {
+				fmt.Fprintf(&b, "    μ_%s = %.4f\n", t, grades[t])
+			}
+		}
+	}
+	b.WriteString("fired rules:\n")
+	for _, f := range tr.Firings {
+		fmt.Fprintf(&b, "  #%d [%.4f] %s\n", f.Index, f.Strength, f.Rule)
+	}
+	b.WriteString("output activations:\n")
+	terms := make([]string, 0, len(tr.Activations))
+	for t := range tr.Activations {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		if tr.Activations[t] > 0 {
+			fmt.Fprintf(&b, "  %s = %.4f\n", t, tr.Activations[t])
+		}
+	}
+	fmt.Fprintf(&b, "output = %.4f\n", tr.Output)
+	return b.String()
+}
+
+// Evaluate runs one inference.  The input map must contain a value for every
+// input variable; values are clamped to each variable's universe.
+func (s *System) Evaluate(in map[string]float64) (float64, error) {
+	grades, err := s.fuzzifyAll(in)
+	if err != nil {
+		return 0, err
+	}
+	activations := s.infer(grades, nil)
+	return s.opts.Defuzzifier.Defuzzify(s.output, activations, s.opts.Implication)
+}
+
+// EvaluateTrace is Evaluate with a full explanation attached.
+func (s *System) EvaluateTrace(in map[string]float64) (float64, *Trace, error) {
+	grades, err := s.fuzzifyAll(in)
+	if err != nil {
+		return 0, nil, err
+	}
+	tr := &Trace{
+		Inputs:      make(map[string]float64, len(in)),
+		Fuzzified:   make(map[string]map[string]float64, len(s.inputs)),
+		Activations: make(map[string]float64, len(s.output.Terms)),
+	}
+	for k, v := range in {
+		tr.Inputs[k] = v
+	}
+	for i, v := range s.inputs {
+		m := make(map[string]float64, len(v.Terms))
+		for j, t := range v.Terms {
+			m[t.Name] = grades[i][j]
+		}
+		tr.Fuzzified[v.Name] = m
+	}
+	activations := s.infer(grades, tr)
+	for i, t := range s.output.Terms {
+		tr.Activations[t.Name] = activations[i]
+	}
+	out, err := s.opts.Defuzzifier.Defuzzify(s.output, activations, s.opts.Implication)
+	if err != nil {
+		return 0, tr, err
+	}
+	tr.Output = out
+	return out, tr, nil
+}
+
+// fuzzifyAll grades every input against every term of its variable.
+func (s *System) fuzzifyAll(in map[string]float64) ([][]float64, error) {
+	grades := make([][]float64, len(s.inputs))
+	for i, v := range s.inputs {
+		x, ok := in[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("fuzzy: missing input %q", v.Name)
+		}
+		grades[i] = v.Fuzzify(x)
+	}
+	return grades, nil
+}
+
+// infer computes per-output-term activations; if tr is non-nil, rule firings
+// are recorded.
+func (s *System) infer(grades [][]float64, tr *Trace) []float64 {
+	activations := make([]float64, len(s.output.Terms))
+	for i, cr := range s.compiled {
+		var strength float64
+		for j, c := range cr.clauses {
+			g := grades[c.varIdx][c.termIdx]
+			if c.not {
+				g = Complement(g)
+			}
+			if j == 0 {
+				strength = g
+				continue
+			}
+			if cr.conn == Or {
+				strength = s.opts.OrNorm(strength, g)
+			} else {
+				strength = s.opts.AndNorm(strength, g)
+			}
+		}
+		strength *= cr.weight
+		if strength == 0 {
+			continue
+		}
+		if tr != nil {
+			tr.Firings = append(tr.Firings, RuleFiring{
+				Index:    i + 1,
+				Rule:     s.rules.Rules[i],
+				Strength: strength,
+			})
+		}
+		activations[cr.outTerm] = s.opts.OrNorm(activations[cr.outTerm], strength)
+	}
+	return activations
+}
+
+// ControlSurface samples the crisp output over a grid of two input
+// variables, holding every other input fixed at the values in fixed.
+// It returns a rows×cols matrix: surface[r][c] is the output at
+// (xVar = xs[c], yVar = ys[r]).  Used by the hosurface CLI and the
+// partition-sensitivity ablation.
+func (s *System) ControlSurface(xVar, yVar string, cols, rows int, fixed map[string]float64) (xs, ys []float64, surface [][]float64, err error) {
+	xv, ok := s.byName[xVar]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("fuzzy: unknown surface variable %q", xVar)
+	}
+	yv, ok := s.byName[yVar]
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("fuzzy: unknown surface variable %q", yVar)
+	}
+	if cols < 2 || rows < 2 {
+		return nil, nil, nil, fmt.Errorf("fuzzy: surface grid must be at least 2×2, got %d×%d", cols, rows)
+	}
+	xs = make([]float64, cols)
+	ys = make([]float64, rows)
+	for c := range xs {
+		xs[c] = xv.Min + (xv.Max-xv.Min)*float64(c)/float64(cols-1)
+	}
+	for r := range ys {
+		ys[r] = yv.Min + (yv.Max-yv.Min)*float64(r)/float64(rows-1)
+	}
+	in := make(map[string]float64, len(s.inputs))
+	for k, v := range fixed {
+		in[k] = v
+	}
+	surface = make([][]float64, rows)
+	for r := range surface {
+		surface[r] = make([]float64, cols)
+		in[yVar] = ys[r]
+		for c := range surface[r] {
+			in[xVar] = xs[c]
+			v, evalErr := s.Evaluate(in)
+			if evalErr != nil {
+				return nil, nil, nil, evalErr
+			}
+			surface[r][c] = v
+		}
+	}
+	return xs, ys, surface, nil
+}

@@ -1,0 +1,339 @@
+package fuzzy
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tipperSystem builds the classic two-input "tipper" system used as an
+// engine fixture: service and food quality → tip percentage.
+func tipperSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	service := MustVariable("service", 0, 10,
+		Term{"poor", ShoulderLeft(0, 5)},
+		Term{"good", Tri(0, 5, 10)},
+		Term{"excellent", ShoulderRight(5, 10)},
+	)
+	food := MustVariable("food", 0, 10,
+		Term{"rancid", ShoulderLeft(0, 5)},
+		Term{"delicious", ShoulderRight(5, 10)},
+	)
+	tip := MustVariable("tip", 0, 30,
+		Term{"cheap", Tri(0, 5, 10)},
+		Term{"average", Tri(10, 15, 20)},
+		Term{"generous", Tri(20, 25, 30)},
+	)
+	rules, err := ParseRules(`
+		IF service IS poor OR food IS rancid THEN tip IS cheap
+		IF service IS good THEN tip IS average
+		IF service IS excellent OR food IS delicious THEN tip IS generous
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(tip, rules, opts, service, food)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewSystemRejectsBadConfigs(t *testing.T) {
+	v := MustVariable("a", 0, 1, Term{"lo", ShoulderLeft(0, 1)})
+	out := MustVariable("y", 0, 1, Term{"lo", ShoulderLeft(0, 1)})
+	okRule := Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "lo"}}
+	var okRB RuleBase
+	okRB.Add(okRule)
+
+	cases := []struct {
+		name string
+		fn   func() (*System, error)
+	}{
+		{"nil output", func() (*System, error) { return NewSystem(nil, okRB, Options{}, v) }},
+		{"no inputs", func() (*System, error) { return NewSystem(out, okRB, Options{}) }},
+		{"nil input", func() (*System, error) { return NewSystem(out, okRB, Options{}, nil) }},
+		{"empty rulebase", func() (*System, error) { return NewSystem(out, RuleBase{}, Options{}, v) }},
+		{"duplicate inputs", func() (*System, error) { return NewSystem(out, okRB, Options{}, v, v) }},
+		{"input shadows output", func() (*System, error) {
+			y2 := MustVariable("y", 0, 1, Term{"lo", ShoulderLeft(0, 1)})
+			return NewSystem(out, okRB, Options{}, y2)
+		}},
+		{"invalid rule", func() (*System, error) {
+			var rb RuleBase
+			rb.Add(Rule{If: []Clause{{Var: "nope", Term: "lo"}}, Then: Clause{Var: "y", Term: "lo"}})
+			return NewSystem(out, rb, Options{}, v)
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestMustSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSystem did not panic")
+		}
+	}()
+	out := MustVariable("y", 0, 1, Term{"lo", ShoulderLeft(0, 1)})
+	MustSystem(out, RuleBase{}, Options{})
+}
+
+func TestEvaluateMissingInput(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	if _, err := sys.Evaluate(map[string]float64{"service": 5}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestEvaluateKnownPoints(t *testing.T) {
+	sys := tipperSystem(t, Options{Defuzzifier: Centroid{}})
+	// Terrible service and food: only "cheap" fires fully.
+	low, err := sys.Evaluate(map[string]float64{"service": 0, "food": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low < 3 || low > 7 {
+		t.Errorf("worst-case tip = %g, want ≈ 5 (cheap centroid)", low)
+	}
+	// Perfect service and food.
+	high, err := sys.Evaluate(map[string]float64{"service": 10, "food": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high < 23 || high > 27 {
+		t.Errorf("best-case tip = %g, want ≈ 25 (generous centroid)", high)
+	}
+	// Mid everything: "good" dominates.
+	mid, err := sys.Evaluate(map[string]float64{"service": 5, "food": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid < 12 || mid > 18 {
+		t.Errorf("mid-case tip = %g, want ≈ 15", mid)
+	}
+	if !(low < mid && mid < high) {
+		t.Errorf("tips not ordered: %g, %g, %g", low, mid, high)
+	}
+}
+
+func TestEvaluateMonotoneInService(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	prev := -1.0
+	for s := 0.0; s <= 10; s += 0.25 {
+		v, err := sys.Evaluate(map[string]float64{"service": s, "food": 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("tip not monotone in service at %g: %g -> %g", s, prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestEvaluateOutputWithinUniverse(t *testing.T) {
+	defuzzers := []Defuzzifier{
+		WeightedAverage{}, Centroid{}, Bisector{},
+		MeanOfMaxima(), SmallestOfMaxima(), LargestOfMaxima(),
+	}
+	for _, d := range defuzzers {
+		sys := tipperSystem(t, Options{Defuzzifier: d})
+		d := d
+		if err := quick.Check(func(sRaw, fRaw float64) bool {
+			s := math.Mod(math.Abs(sRaw), 10)
+			f := math.Mod(math.Abs(fRaw), 10)
+			if math.IsNaN(s) || math.IsNaN(f) {
+				return true
+			}
+			v, err := sys.Evaluate(map[string]float64{"service": s, "food": f})
+			if err != nil {
+				return false
+			}
+			return v >= 0 && v <= 30
+		}, nil); err != nil {
+			t.Errorf("defuzzifier %s: %v", d.Name(), err)
+		}
+	}
+}
+
+func TestEvaluateClampsOutOfRangeInputs(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	inRange, err := sys.Evaluate(map[string]float64{"service": 10, "food": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beyond, err := sys.Evaluate(map[string]float64{"service": 400, "food": 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inRange != beyond {
+		t.Errorf("clamped evaluation differs: %g vs %g", inRange, beyond)
+	}
+}
+
+func TestEvaluateTraceExplainsFirings(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	out, tr, err := sys.EvaluateTrace(map[string]float64{"service": 2.5, "food": 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Output != out {
+		t.Errorf("trace output %g != returned %g", tr.Output, out)
+	}
+	if len(tr.Firings) == 0 {
+		t.Fatal("no rule firings recorded")
+	}
+	for _, f := range tr.Firings {
+		if f.Strength <= 0 || f.Strength > 1 {
+			t.Errorf("firing strength %g outside (0,1]", f.Strength)
+		}
+		if f.Index < 1 || f.Index > sys.Rules().Len() {
+			t.Errorf("firing index %d out of range", f.Index)
+		}
+	}
+	if got := tr.Fuzzified["service"]["poor"]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("trace fuzzified service/poor = %g, want 0.5", got)
+	}
+	s := tr.String()
+	for _, want := range []string{"inputs:", "fired rules:", "output activations:", "output ="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace string missing %q", want)
+		}
+	}
+}
+
+func TestLarsenVsMamdaniDiffer(t *testing.T) {
+	mamdani := tipperSystem(t, Options{Defuzzifier: Centroid{}})
+	larsen := tipperSystem(t, Options{
+		AndNorm: ProductNorm, Implication: ProductImplication, Defuzzifier: Centroid{},
+	})
+	in := map[string]float64{"service": 3.3, "food": 6.1}
+	a, err := mamdani.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := larsen.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("Mamdani and Larsen agree exactly; operator options not applied")
+	}
+	if math.Abs(a-b) > 5 {
+		t.Errorf("Mamdani %g and Larsen %g implausibly far apart", a, b)
+	}
+}
+
+func TestRuleWeightScalesInfluence(t *testing.T) {
+	build := func(w float64) *System {
+		a := MustVariable("a", 0, 1,
+			Term{"lo", ShoulderLeft(0, 1)},
+			Term{"hi", ShoulderRight(0, 1)},
+		)
+		y := MustVariable("y", 0, 1,
+			Term{"small", Tri(0, 0.25, 0.5)},
+			Term{"large", Tri(0.5, 0.75, 1)},
+		)
+		var rb RuleBase
+		rb.Add(
+			Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}},
+			Rule{If: []Clause{{Var: "a", Term: "hi"}}, Then: Clause{Var: "y", Term: "large"}, Weight: w},
+		)
+		return MustSystem(y, rb, Options{}, a)
+	}
+	full := build(1)
+	half := build(0.5)
+	in := map[string]float64{"a": 0.5}
+	vFull, err := full.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vHalf, err := half.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(vHalf < vFull) {
+		t.Errorf("down-weighted 'large' rule did not lower output: %g vs %g", vHalf, vFull)
+	}
+}
+
+func TestNotClause(t *testing.T) {
+	a := MustVariable("a", 0, 1,
+		Term{"lo", ShoulderLeft(0, 1)},
+		Term{"hi", ShoulderRight(0, 1)},
+	)
+	y := MustVariable("y", 0, 1,
+		Term{"small", Tri(0, 0.25, 0.5)},
+		Term{"large", Tri(0.5, 0.75, 1)},
+	)
+	var rb RuleBase
+	rb.Add(Rule{If: []Clause{{Var: "a", Term: "lo", Not: true}}, Then: Clause{Var: "y", Term: "large"}})
+	sys := MustSystem(y, rb, Options{}, a)
+	_, tr, err := sys.EvaluateTrace(map[string]float64{"a": 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// μ_lo(0.9) = 0.1, so NOT lo = 0.9.
+	if len(tr.Firings) != 1 || math.Abs(tr.Firings[0].Strength-0.9) > 1e-12 {
+		t.Fatalf("NOT clause strength = %v", tr.Firings)
+	}
+}
+
+func TestNoRuleFiredError(t *testing.T) {
+	a := MustVariable("a", 0, 10,
+		Term{"lo", Tri(0, 1, 2)},
+		Term{"hi", Tri(8, 9, 10)},
+	)
+	y := MustVariable("y", 0, 1, Term{"out", Tri(0, 0.5, 1)})
+	var rb RuleBase
+	rb.Add(Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "out"}})
+	sys := MustSystem(y, rb, Options{}, a)
+	_, err := sys.Evaluate(map[string]float64{"a": 5}) // in the coverage hole
+	if !errors.Is(err, ErrNoActivation) {
+		t.Fatalf("want ErrNoActivation, got %v", err)
+	}
+}
+
+func TestControlSurface(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	xs, ys, surface, err := sys.ControlSurface("service", "food", 11, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 11 || len(ys) != 5 || len(surface) != 5 || len(surface[0]) != 11 {
+		t.Fatalf("surface dims: xs=%d ys=%d rows=%d", len(xs), len(ys), len(surface))
+	}
+	if xs[0] != 0 || xs[10] != 10 {
+		t.Errorf("xs endpoints = %g, %g", xs[0], xs[10])
+	}
+	// Corners ordered: worst < best.
+	if !(surface[0][0] < surface[4][10]) {
+		t.Errorf("surface corners not ordered: %g vs %g", surface[0][0], surface[4][10])
+	}
+	// Errors surface: unknown variable, tiny grid.
+	if _, _, _, err := sys.ControlSurface("nope", "food", 5, 5, nil); err == nil {
+		t.Error("unknown x variable accepted")
+	}
+	if _, _, _, err := sys.ControlSurface("service", "nope", 5, 5, nil); err == nil {
+		t.Error("unknown y variable accepted")
+	}
+	if _, _, _, err := sys.ControlSurface("service", "food", 1, 5, nil); err == nil {
+		t.Error("1-column surface accepted")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	if len(sys.Inputs()) != 2 || sys.Output().Name != "tip" || sys.Rules().Len() != 3 {
+		t.Error("accessors inconsistent with construction")
+	}
+	if sys.Options().Defuzzifier == nil || sys.Options().AndNorm == nil {
+		t.Error("options defaults not resolved")
+	}
+}

@@ -1,0 +1,62 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hedged applies a linguistic hedge — a power transform — to a membership
+// function: grade' = grade^Power.  Powers above 1 concentrate the set
+// ("very"), powers below 1 dilate it ("somewhat"); the transform preserves
+// support, core and ordering.
+type Hedged struct {
+	MF    MembershipFunc
+	Power float64
+	label string
+}
+
+// Very returns the concentration hedge μ² ("very X").
+func Very(mf MembershipFunc) Hedged { return Hedged{MF: mf, Power: 2, label: "very"} }
+
+// Extremely returns the strong concentration hedge μ³.
+func Extremely(mf MembershipFunc) Hedged { return Hedged{MF: mf, Power: 3, label: "extremely"} }
+
+// Somewhat returns the dilation hedge √μ ("somewhat X").
+func Somewhat(mf MembershipFunc) Hedged { return Hedged{MF: mf, Power: 0.5, label: "somewhat"} }
+
+// WithPower returns an arbitrary power hedge.
+func WithPower(mf MembershipFunc, power float64) Hedged {
+	return Hedged{MF: mf, Power: power, label: fmt.Sprintf("pow%g", power)}
+}
+
+// Grade implements MembershipFunc.
+func (h Hedged) Grade(x float64) float64 {
+	return math.Pow(h.MF.Grade(x), h.Power)
+}
+
+// Support implements MembershipFunc; power transforms preserve support for
+// positive powers.
+func (h Hedged) Support() (float64, float64) { return h.MF.Support() }
+
+// Core implements MembershipFunc; the maximizing set is unchanged.
+func (h Hedged) Core() (float64, float64) { return h.MF.Core() }
+
+// Validate implements MembershipFunc.
+func (h Hedged) Validate() error {
+	if h.MF == nil {
+		return fmt.Errorf("fuzzy: hedge over nil membership function")
+	}
+	if !(h.Power > 0) || math.IsInf(h.Power, 0) || math.IsNaN(h.Power) {
+		return fmt.Errorf("fuzzy: hedge power %g must be positive and finite", h.Power)
+	}
+	return h.MF.Validate()
+}
+
+// String implements fmt.Stringer.
+func (h Hedged) String() string {
+	label := h.label
+	if label == "" {
+		label = fmt.Sprintf("pow%g", h.Power)
+	}
+	return fmt.Sprintf("%s(%s)", label, h.MF)
+}

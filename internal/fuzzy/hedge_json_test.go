@@ -1,0 +1,227 @@
+package fuzzy
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHedgeGrades(t *testing.T) {
+	base := Tri(0, 5, 10)
+	very := Very(base)
+	somewhat := Somewhat(base)
+	extremely := Extremely(base)
+	// At the half-grade point x = 2.5: μ = 0.5.
+	if got := very.Grade(2.5); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("very = %g, want 0.25", got)
+	}
+	if got := somewhat.Grade(2.5); math.Abs(got-math.Sqrt(0.5)) > 1e-12 {
+		t.Errorf("somewhat = %g, want √0.5", got)
+	}
+	if got := extremely.Grade(2.5); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("extremely = %g, want 0.125", got)
+	}
+	// Peak unchanged.
+	if very.Grade(5) != 1 || somewhat.Grade(5) != 1 {
+		t.Error("hedge moved the peak")
+	}
+}
+
+func TestHedgeOrderingProperty(t *testing.T) {
+	base := Tri(0, 5, 10)
+	if err := quick.Check(func(xRaw float64) bool {
+		x := math.Mod(math.Abs(xRaw), 10)
+		mu := base.Grade(x)
+		v, s := Very(base).Grade(x), Somewhat(base).Grade(x)
+		// very ≤ μ ≤ somewhat, all within [0,1].
+		return v <= mu+1e-12 && mu <= s+1e-12 && v >= 0 && s <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHedgePreservesSupportAndCore(t *testing.T) {
+	base := Trap(0, 2, 4, 8)
+	h := Very(base)
+	blo, bhi := base.Support()
+	hlo, hhi := h.Support()
+	if blo != hlo || bhi != hhi {
+		t.Error("hedge changed support")
+	}
+	clo, chi := h.Core()
+	if clo != 2 || chi != 4 {
+		t.Error("hedge changed core")
+	}
+}
+
+func TestHedgeValidate(t *testing.T) {
+	if err := Very(Tri(0, 1, 2)).Validate(); err != nil {
+		t.Errorf("valid hedge rejected: %v", err)
+	}
+	bad := []Hedged{
+		{MF: nil, Power: 2},
+		{MF: Tri(0, 1, 2), Power: 0},
+		{MF: Tri(0, 1, 2), Power: -1},
+		{MF: Tri(0, 1, 2), Power: math.Inf(1)},
+		{MF: Tri(2, 1, 0), Power: 2}, // invalid inner
+	}
+	for _, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad hedge accepted: %+v", h)
+		}
+	}
+}
+
+func TestHedgeString(t *testing.T) {
+	if got := Very(Tri(0, 1, 2)).String(); got != "very(Tri(0, 1, 2))" {
+		t.Errorf("String = %q", got)
+	}
+	if got := WithPower(Tri(0, 1, 2), 1.5).String(); got != "pow1.5(Tri(0, 1, 2))" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Hedged{MF: Tri(0, 1, 2), Power: 2}).String(); !strings.HasPrefix(got, "pow2(") {
+		t.Errorf("unlabelled hedge String = %q", got)
+	}
+}
+
+func TestHedgeInVariable(t *testing.T) {
+	v, err := NewVariable("x", 0, 10,
+		Term{"low", ShoulderLeft(0, 5)},
+		Term{"verylow", Very(ShoulderLeft(0, 5))},
+		Term{"high", ShoulderRight(5, 10)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := v.FuzzifyMap(2.5)
+	if !(g["verylow"] < g["low"]) {
+		t.Error("hedged term not concentrated")
+	}
+}
+
+func TestVariableJSONRoundTrip(t *testing.T) {
+	orig := MustVariable("SSN", -120, -80,
+		Term{"WK", ShoulderLeft(-120, -106.67)},
+		Term{"NSW", Tri(-120, -106.67, -93.33)},
+		Term{"NO", Tri(-106.67, -93.33, -80)},
+		Term{"ST", ShoulderRight(-93.33, -80)},
+	)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"-inf"`) {
+		t.Errorf("shoulder -Inf not encoded as string: %s", data)
+	}
+	var back Variable
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Min != orig.Min || back.Max != orig.Max {
+		t.Fatalf("header changed: %+v", back)
+	}
+	// Grades must coincide across the universe.
+	for x := -120.0; x <= -80; x += 0.5 {
+		go1, go2 := orig.Fuzzify(x), back.Fuzzify(x)
+		for i := range go1 {
+			if math.Abs(go1[i]-go2[i]) > 1e-12 {
+				t.Fatalf("grade mismatch at %g term %d: %g vs %g", x, i, go1[i], go2[i])
+			}
+		}
+	}
+}
+
+func TestVariableJSONAllMFTypes(t *testing.T) {
+	orig := MustVariable("x", 0, 10,
+		Term{"t", Tri(0, 1, 2)},
+		Term{"z", Trap(1, 2, 3, 4)},
+		Term{"g", Gaussian{5, 1}},
+		Term{"b", Bell{1, 2, 6}},
+		Term{"s", Singleton{7}},
+		Term{"h", Very(Tri(6, 8, 10))},
+	)
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Variable
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 10; x += 0.25 {
+		g1, g2 := orig.Fuzzify(x), back.Fuzzify(x)
+		for i := range g1 {
+			if math.Abs(g1[i]-g2[i]) > 1e-12 {
+				t.Fatalf("type %T mismatch at %g", orig.Terms[i].MF, x)
+			}
+		}
+	}
+}
+
+func TestVariableJSONRejectsBad(t *testing.T) {
+	bad := []string{
+		`{"name":"x","min":0,"max":1,"terms":[{"name":"a","mf":{"type":"nope","params":[1]}}]}`,
+		`{"name":"x","min":0,"max":1,"terms":[{"name":"a","mf":{"type":"tri","params":[1,2]}}]}`,
+		`{"name":"x","min":0,"max":1,"terms":[{"name":"a","mf":{"type":"tri","params":["wat",2,3]}}]}`,
+		`{"name":"","min":0,"max":1,"terms":[{"name":"a","mf":{"type":"tri","params":[0,0.5,1]}}]}`,
+		`{"name":"x","min":1,"max":0,"terms":[{"name":"a","mf":{"type":"tri","params":[0,0.5,1]}}]}`,
+		`{"name":"x","min":0,"max":1,"terms":[{"name":"a","mf":{"type":"hedge:tri","params":[]}}]}`,
+	}
+	for i, src := range bad {
+		var v Variable
+		if err := json.Unmarshal([]byte(src), &v); err == nil {
+			t.Errorf("bad json %d accepted", i)
+		}
+	}
+}
+
+func TestSystemConfigRoundTrip(t *testing.T) {
+	// Serialize the tipper fixture and rebuild it.
+	sys := tipperSystem(t, Options{})
+	data, err := MarshalSystem(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSystem(data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]float64{"service": 3.7, "food": 6.4}
+	a, err := sys.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("rebuilt system differs: %g vs %g", a, b)
+	}
+}
+
+func TestSystemConfigBadRules(t *testing.T) {
+	cfg := SystemConfig{
+		Inputs: []*Variable{MustVariable("a", 0, 1, Term{"lo", ShoulderLeft(0, 1)})},
+		Output: MustVariable("y", 0, 1, Term{"out", Tri(0, 0.5, 1)}),
+		Rules:  []string{"IF broken"},
+	}
+	if _, err := cfg.Build(Options{}); err == nil {
+		t.Error("broken rule accepted")
+	}
+	if _, err := UnmarshalSystem([]byte("{not json"), Options{}); err == nil {
+		t.Error("broken json accepted")
+	}
+}
+
+func TestJSONParamNaNRejected(t *testing.T) {
+	if _, err := (jsonParam(math.NaN())).MarshalJSON(); err == nil {
+		t.Error("NaN encoded")
+	}
+	var p jsonParam
+	if err := p.UnmarshalJSON([]byte(`"garbage"`)); err == nil {
+		t.Error("garbage param accepted")
+	}
+}

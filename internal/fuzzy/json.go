@@ -1,0 +1,252 @@
+package fuzzy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// JSON serialization for variables and rulebases, so controllers can be
+// loaded from configuration.  Membership functions are encoded with a type
+// tag; infinite shoulder parameters are encoded as the strings "-inf" /
+// "inf" (JSON has no infinity literal).
+
+// jsonParam marshals a float64 allowing ±Inf.
+type jsonParam float64
+
+// MarshalJSON implements json.Marshaler.
+func (p jsonParam) MarshalJSON() ([]byte, error) {
+	v := float64(p)
+	switch {
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"inf"`), nil
+	case math.IsNaN(v):
+		return nil, fmt.Errorf("fuzzy: cannot encode NaN parameter")
+	default:
+		return json.Marshal(v)
+	}
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *jsonParam) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		switch strings.ToLower(s) {
+		case "-inf":
+			*p = jsonParam(math.Inf(-1))
+			return nil
+		case "inf", "+inf":
+			*p = jsonParam(math.Inf(1))
+			return nil
+		default:
+			return fmt.Errorf("fuzzy: bad parameter string %q", s)
+		}
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*p = jsonParam(v)
+	return nil
+}
+
+// jsonMF is the tagged wire form of a membership function.
+type jsonMF struct {
+	Type   string      `json:"type"`
+	Params []jsonParam `json:"params"`
+}
+
+func encodeMF(mf MembershipFunc) (jsonMF, error) {
+	switch m := mf.(type) {
+	case Triangular:
+		return jsonMF{Type: "tri", Params: []jsonParam{jsonParam(m.A), jsonParam(m.B), jsonParam(m.C)}}, nil
+	case Trapezoidal:
+		return jsonMF{Type: "trap", Params: []jsonParam{jsonParam(m.A), jsonParam(m.B), jsonParam(m.C), jsonParam(m.D)}}, nil
+	case Gaussian:
+		return jsonMF{Type: "gauss", Params: []jsonParam{jsonParam(m.Mean), jsonParam(m.Sigma)}}, nil
+	case Bell:
+		return jsonMF{Type: "bell", Params: []jsonParam{jsonParam(m.A), jsonParam(m.B), jsonParam(m.C)}}, nil
+	case Singleton:
+		return jsonMF{Type: "singleton", Params: []jsonParam{jsonParam(m.X)}}, nil
+	case PiecewiseLinear:
+		params := make([]jsonParam, 0, 2*len(m.X))
+		for i := range m.X {
+			params = append(params, jsonParam(m.X[i]), jsonParam(m.Y[i]))
+		}
+		return jsonMF{Type: "points", Params: params}, nil
+	case Hedged:
+		inner, err := encodeMF(m.MF)
+		if err != nil {
+			return jsonMF{}, err
+		}
+		// Flatten: hedge(type) with power prepended.
+		return jsonMF{
+			Type:   "hedge:" + inner.Type,
+			Params: append([]jsonParam{jsonParam(m.Power)}, inner.Params...),
+		}, nil
+	default:
+		return jsonMF{}, fmt.Errorf("fuzzy: cannot encode membership function %T", mf)
+	}
+}
+
+func decodeMF(j jsonMF) (MembershipFunc, error) {
+	need := func(n int) error {
+		if len(j.Params) != n {
+			return fmt.Errorf("fuzzy: %s needs %d params, got %d", j.Type, n, len(j.Params))
+		}
+		return nil
+	}
+	p := func(i int) float64 { return float64(j.Params[i]) }
+	if rest, ok := strings.CutPrefix(j.Type, "hedge:"); ok {
+		if len(j.Params) < 1 {
+			return nil, fmt.Errorf("fuzzy: hedge needs a power parameter")
+		}
+		inner, err := decodeMF(jsonMF{Type: rest, Params: j.Params[1:]})
+		if err != nil {
+			return nil, err
+		}
+		return WithPower(inner, p(0)), nil
+	}
+	switch j.Type {
+	case "tri":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return Tri(p(0), p(1), p(2)), nil
+	case "trap":
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		return Trap(p(0), p(1), p(2), p(3)), nil
+	case "gauss":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Gaussian{Mean: p(0), Sigma: p(1)}, nil
+	case "bell":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return Bell{A: p(0), B: p(1), C: p(2)}, nil
+	case "singleton":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Singleton{X: p(0)}, nil
+	case "points":
+		if len(j.Params) == 0 || len(j.Params)%2 != 0 {
+			return nil, fmt.Errorf("fuzzy: points needs an even, positive parameter count, got %d", len(j.Params))
+		}
+		var pl PiecewiseLinear
+		for i := 0; i < len(j.Params); i += 2 {
+			pl.X = append(pl.X, p(i))
+			pl.Y = append(pl.Y, p(i+1))
+		}
+		return pl, nil
+	default:
+		return nil, fmt.Errorf("fuzzy: unknown membership type %q", j.Type)
+	}
+}
+
+// jsonTerm and jsonVariable are the wire forms.
+type jsonTerm struct {
+	Name string `json:"name"`
+	MF   jsonMF `json:"mf"`
+}
+
+type jsonVariable struct {
+	Name  string     `json:"name"`
+	Min   jsonParam  `json:"min"`
+	Max   jsonParam  `json:"max"`
+	Terms []jsonTerm `json:"terms"`
+}
+
+// MarshalJSON implements json.Marshaler for Variable.
+func (v *Variable) MarshalJSON() ([]byte, error) {
+	jv := jsonVariable{
+		Name: v.Name,
+		Min:  jsonParam(v.Min),
+		Max:  jsonParam(v.Max),
+	}
+	for _, t := range v.Terms {
+		mf, err := encodeMF(t.MF)
+		if err != nil {
+			return nil, fmt.Errorf("term %q: %w", t.Name, err)
+		}
+		jv.Terms = append(jv.Terms, jsonTerm{Name: t.Name, MF: mf})
+	}
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Variable; the decoded
+// variable is validated.
+func (v *Variable) UnmarshalJSON(data []byte) error {
+	var jv jsonVariable
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	out := Variable{Name: jv.Name, Min: float64(jv.Min), Max: float64(jv.Max)}
+	for _, jt := range jv.Terms {
+		mf, err := decodeMF(jt.MF)
+		if err != nil {
+			return fmt.Errorf("term %q: %w", jt.Name, err)
+		}
+		out.Terms = append(out.Terms, Term{Name: jt.Name, MF: mf})
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*v = out
+	return nil
+}
+
+// SystemConfig is a fully serializable description of an inference system:
+// variables plus rules in the text DSL.
+type SystemConfig struct {
+	Inputs []*Variable `json:"inputs"`
+	Output *Variable   `json:"output"`
+	Rules  []string    `json:"rules"`
+}
+
+// NewSystemConfig captures an existing system's structure.
+func NewSystemConfig(s *System) SystemConfig {
+	cfg := SystemConfig{
+		Inputs: s.Inputs(),
+		Output: s.Output(),
+	}
+	for _, r := range s.Rules().Rules {
+		cfg.Rules = append(cfg.Rules, r.String())
+	}
+	return cfg
+}
+
+// Build compiles the configuration into a System with the given operator
+// options (operators are code, not configuration).
+func (c SystemConfig) Build(opts Options) (*System, error) {
+	var rb RuleBase
+	for i, src := range c.Rules {
+		r, err := ParseRule(src)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i+1, err)
+		}
+		rb.Add(r)
+	}
+	return NewSystem(c.Output, rb, opts, c.Inputs...)
+}
+
+// MarshalSystem serializes a system's structure to JSON.
+func MarshalSystem(s *System) ([]byte, error) {
+	return json.MarshalIndent(NewSystemConfig(s), "", "  ")
+}
+
+// UnmarshalSystem decodes and compiles a system from JSON.
+func UnmarshalSystem(data []byte, opts Options) (*System, error) {
+	var cfg SystemConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, err
+	}
+	return cfg.Build(opts)
+}

@@ -1,0 +1,258 @@
+// Package fuzzy is a self-contained Mamdani/Larsen fuzzy-inference library:
+// membership functions, linguistic variables, t-norm/s-norm families, a rule
+// base with validation and completeness checking, several defuzzifiers, an
+// explainable inference engine, and a small text DSL for rules.
+//
+// The paper's handover controller (package core) is built entirely on this
+// package; nothing in here is handover-specific.  The design follows the
+// classic FLC structure of the paper's Fig. 2: fuzzifier → inference engine
+// (driven by the fuzzy rule base) → defuzzifier.
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// MembershipFunc maps a crisp value to a membership grade in [0, 1].
+//
+// Implementations must be total (defined for every finite x), return grades
+// in [0, 1], and be continuous except for Singleton.
+type MembershipFunc interface {
+	// Grade returns the membership grade of x, in [0, 1].
+	Grade(x float64) float64
+	// Support returns the closed interval outside of which Grade is 0.
+	// Unbounded shoulders return ±Inf endpoints.
+	Support() (lo, hi float64)
+	// Core returns the interval on which Grade attains its maximum.
+	Core() (lo, hi float64)
+	// Validate reports a configuration error, if any.
+	Validate() error
+	fmt.Stringer
+}
+
+// CoreMidpoint returns the midpoint of a function's core clamped to the
+// interval [lo, hi].  It is the representative ("height method") value used
+// by the WeightedAverage defuzzifier: for shoulder functions whose core
+// extends to ±Inf the universe edge stands in for the open end.
+func CoreMidpoint(mf MembershipFunc, lo, hi float64) float64 {
+	a, b := mf.Core()
+	a = math.Max(a, lo)
+	b = math.Min(b, hi)
+	return (a + b) / 2
+}
+
+// Triangular is the triangle f(.) of the paper's Fig. 3: zero outside
+// [A, C], one at B, linear in between.
+type Triangular struct {
+	A, B, C float64 // left foot, peak, right foot; A ≤ B ≤ C
+}
+
+// Tri is shorthand for Triangular{a, b, c}.
+func Tri(a, b, c float64) Triangular { return Triangular{a, b, c} }
+
+// Grade implements MembershipFunc.
+func (t Triangular) Grade(x float64) float64 {
+	switch {
+	case x <= t.A || x >= t.C:
+		// The degenerate peaks (A==B or B==C) still grade 1 at x==B.
+		if x == t.B {
+			return 1
+		}
+		return 0
+	case x < t.B:
+		return (x - t.A) / (t.B - t.A)
+	case x == t.B:
+		return 1
+	default:
+		return (t.C - x) / (t.C - t.B)
+	}
+}
+
+// Support implements MembershipFunc.
+func (t Triangular) Support() (float64, float64) { return t.A, t.C }
+
+// Core implements MembershipFunc.
+func (t Triangular) Core() (float64, float64) { return t.B, t.B }
+
+// Validate implements MembershipFunc.
+func (t Triangular) Validate() error {
+	if !(t.A <= t.B && t.B <= t.C) || t.A == t.C {
+		return fmt.Errorf("fuzzy: triangular needs A ≤ B ≤ C with A < C, got (%g, %g, %g)", t.A, t.B, t.C)
+	}
+	return validateFinite(t.A, t.B, t.C)
+}
+
+// String implements fmt.Stringer.
+func (t Triangular) String() string { return fmt.Sprintf("Tri(%g, %g, %g)", t.A, t.B, t.C) }
+
+// Trapezoidal is the trapezoid g(.) of the paper's Fig. 3: zero outside
+// [A, D], one on [B, C], linear on the flanks.  A = -Inf or D = +Inf yields
+// the open shoulders used at universe edges.
+type Trapezoidal struct {
+	A, B, C, D float64 // A ≤ B ≤ C ≤ D
+}
+
+// Trap is shorthand for Trapezoidal{a, b, c, d}.
+func Trap(a, b, c, d float64) Trapezoidal { return Trapezoidal{a, b, c, d} }
+
+// ShoulderLeft returns a left shoulder: grade 1 on (-Inf, b], falling to 0
+// at c.
+func ShoulderLeft(b, c float64) Trapezoidal {
+	return Trapezoidal{math.Inf(-1), math.Inf(-1), b, c}
+}
+
+// ShoulderRight returns a right shoulder: grade 0 until a, rising to 1 at b,
+// then 1 on [b, +Inf).
+func ShoulderRight(a, b float64) Trapezoidal {
+	return Trapezoidal{a, b, math.Inf(1), math.Inf(1)}
+}
+
+// Grade implements MembershipFunc.
+func (t Trapezoidal) Grade(x float64) float64 {
+	switch {
+	case x < t.A || x > t.D:
+		return 0
+	case x < t.B:
+		if math.IsInf(t.A, -1) {
+			return 1 // left shoulder plateau
+		}
+		return (x - t.A) / (t.B - t.A)
+	case x <= t.C:
+		return 1
+	case x == t.D && t.C == t.D:
+		return 1
+	default:
+		if math.IsInf(t.D, 1) {
+			return 1 // right shoulder plateau
+		}
+		return (t.D - x) / (t.D - t.C)
+	}
+}
+
+// Support implements MembershipFunc.
+func (t Trapezoidal) Support() (float64, float64) { return t.A, t.D }
+
+// Core implements MembershipFunc.
+func (t Trapezoidal) Core() (float64, float64) { return t.B, t.C }
+
+// Validate implements MembershipFunc.
+func (t Trapezoidal) Validate() error {
+	if !(t.A <= t.B && t.B <= t.C && t.C <= t.D) {
+		return fmt.Errorf("fuzzy: trapezoid needs A ≤ B ≤ C ≤ D, got (%g, %g, %g, %g)", t.A, t.B, t.C, t.D)
+	}
+	if t.A == t.D {
+		return fmt.Errorf("fuzzy: trapezoid with empty support (%g, %g, %g, %g)", t.A, t.B, t.C, t.D)
+	}
+	if math.IsNaN(t.A) || math.IsNaN(t.B) || math.IsNaN(t.C) || math.IsNaN(t.D) {
+		return fmt.Errorf("fuzzy: trapezoid with NaN parameter")
+	}
+	// Shoulders may be infinite on the outer parameters only.
+	if math.IsInf(t.B, -1) && !math.IsInf(t.A, -1) {
+		return fmt.Errorf("fuzzy: trapezoid B = -Inf without A = -Inf")
+	}
+	if math.IsInf(t.C, 1) && !math.IsInf(t.D, 1) {
+		return fmt.Errorf("fuzzy: trapezoid C = +Inf without D = +Inf")
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (t Trapezoidal) String() string {
+	return fmt.Sprintf("Trap(%g, %g, %g, %g)", t.A, t.B, t.C, t.D)
+}
+
+// Gaussian is exp(-(x-Mean)²/(2·Sigma²)).  Its support is numerically
+// truncated at ±4σ for integration purposes.
+type Gaussian struct {
+	Mean, Sigma float64
+}
+
+// Grade implements MembershipFunc.
+func (g Gaussian) Grade(x float64) float64 {
+	d := (x - g.Mean) / g.Sigma
+	return math.Exp(-d * d / 2)
+}
+
+// Support implements MembershipFunc.
+func (g Gaussian) Support() (float64, float64) { return g.Mean - 4*g.Sigma, g.Mean + 4*g.Sigma }
+
+// Core implements MembershipFunc.
+func (g Gaussian) Core() (float64, float64) { return g.Mean, g.Mean }
+
+// Validate implements MembershipFunc.
+func (g Gaussian) Validate() error {
+	if !(g.Sigma > 0) {
+		return fmt.Errorf("fuzzy: gaussian sigma must be positive, got %g", g.Sigma)
+	}
+	return validateFinite(g.Mean, g.Sigma)
+}
+
+// String implements fmt.Stringer.
+func (g Gaussian) String() string { return fmt.Sprintf("Gauss(%g, %g)", g.Mean, g.Sigma) }
+
+// Bell is the generalized bell 1/(1+|（x-C)/A|^(2B)).
+type Bell struct {
+	A, B, C float64 // width, slope, centre
+}
+
+// Grade implements MembershipFunc.
+func (b Bell) Grade(x float64) float64 {
+	return 1 / (1 + math.Pow(math.Abs((x-b.C)/b.A), 2*b.B))
+}
+
+// Support implements MembershipFunc.
+func (b Bell) Support() (float64, float64) {
+	// Grade falls below ~1e-4 beyond |x-C| = A·10^(4/(2B)).
+	w := b.A * math.Pow(10, 2/b.B)
+	return b.C - w, b.C + w
+}
+
+// Core implements MembershipFunc.
+func (b Bell) Core() (float64, float64) { return b.C, b.C }
+
+// Validate implements MembershipFunc.
+func (b Bell) Validate() error {
+	if !(b.A > 0) || !(b.B > 0) {
+		return fmt.Errorf("fuzzy: bell needs positive A and B, got (%g, %g)", b.A, b.B)
+	}
+	return validateFinite(b.A, b.B, b.C)
+}
+
+// String implements fmt.Stringer.
+func (b Bell) String() string { return fmt.Sprintf("Bell(%g, %g, %g)", b.A, b.B, b.C) }
+
+// Singleton grades 1 exactly at X and 0 elsewhere.  Useful as a crisp
+// consequent (zero-order Sugeno style) and in tests.
+type Singleton struct {
+	X float64
+}
+
+// Grade implements MembershipFunc.
+func (s Singleton) Grade(x float64) float64 {
+	if x == s.X {
+		return 1
+	}
+	return 0
+}
+
+// Support implements MembershipFunc.
+func (s Singleton) Support() (float64, float64) { return s.X, s.X }
+
+// Core implements MembershipFunc.
+func (s Singleton) Core() (float64, float64) { return s.X, s.X }
+
+// Validate implements MembershipFunc.
+func (s Singleton) Validate() error { return validateFinite(s.X) }
+
+// String implements fmt.Stringer.
+func (s Singleton) String() string { return fmt.Sprintf("Singleton(%g)", s.X) }
+
+func validateFinite(vs ...float64) error {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fuzzy: non-finite membership parameter %g", v)
+		}
+	}
+	return nil
+}

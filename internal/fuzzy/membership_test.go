@@ -1,0 +1,255 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangularGrades(t *testing.T) {
+	tri := Tri(0, 5, 10)
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {2.5, 0.5}, {5, 1}, {7.5, 0.5}, {10, 0}, {11, 0},
+	}
+	for _, tc := range cases {
+		if got := tri.Grade(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Tri(0,5,10).Grade(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestTriangularDegenerateLeft(t *testing.T) {
+	// A == B: vertical left edge, as used for shoulder-adjacent terms.
+	tri := Tri(0, 0, 10)
+	if got := tri.Grade(0); got != 1 {
+		t.Errorf("Tri(0,0,10).Grade(0) = %g, want 1", got)
+	}
+	if got := tri.Grade(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Tri(0,0,10).Grade(5) = %g, want 0.5", got)
+	}
+	if got := tri.Grade(-0.001); got != 0 {
+		t.Errorf("Tri(0,0,10).Grade(-0.001) = %g, want 0", got)
+	}
+}
+
+func TestTriangularDegenerateRight(t *testing.T) {
+	tri := Tri(0, 10, 10)
+	if got := tri.Grade(10); got != 1 {
+		t.Errorf("Tri(0,10,10).Grade(10) = %g, want 1", got)
+	}
+	if got := tri.Grade(10.001); got != 0 {
+		t.Errorf("Tri(0,10,10).Grade(10.001) = %g, want 0", got)
+	}
+}
+
+func TestTriangularValidate(t *testing.T) {
+	good := []Triangular{Tri(0, 1, 2), Tri(0, 0, 1), Tri(0, 1, 1)}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", g, err)
+		}
+	}
+	bad := []Triangular{Tri(2, 1, 0), Tri(0, 2, 1), Tri(1, 1, 1), Tri(math.NaN(), 0, 1)}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("%v should fail validation", b)
+		}
+	}
+}
+
+func TestTrapezoidalGrades(t *testing.T) {
+	tr := Trap(0, 2, 4, 8)
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {1, 0.5}, {2, 1}, {3, 1}, {4, 1}, {6, 0.5}, {8, 0}, {9, 0},
+	}
+	for _, tc := range cases {
+		if got := tr.Grade(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Trap(0,2,4,8).Grade(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestShoulderLeft(t *testing.T) {
+	sh := ShoulderLeft(-10, -5)
+	cases := []struct{ x, want float64 }{
+		{-100, 1}, {-10, 1}, {-7.5, 0.5}, {-5, 0}, {0, 0},
+	}
+	for _, tc := range cases {
+		if got := sh.Grade(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ShoulderLeft(-10,-5).Grade(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	if err := sh.Validate(); err != nil {
+		t.Errorf("left shoulder should validate: %v", err)
+	}
+}
+
+func TestShoulderRight(t *testing.T) {
+	sh := ShoulderRight(0, 10)
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {5, 0.5}, {10, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := sh.Grade(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ShoulderRight(0,10).Grade(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+	if err := sh.Validate(); err != nil {
+		t.Errorf("right shoulder should validate: %v", err)
+	}
+}
+
+func TestTrapezoidalValidate(t *testing.T) {
+	bad := []Trapezoidal{
+		Trap(4, 2, 1, 0),
+		Trap(0, 0, 0, 0),
+		Trap(math.NaN(), 0, 1, 2),
+		{math.Inf(1), math.Inf(1), 0, 1}, // B=-Inf rule mirrored: A=+Inf invalid ordering
+		{0, math.Inf(-1), 1, 2},          // B=-Inf without A=-Inf (ordering also broken)
+		{0, 1, math.Inf(1), 2},           // C=+Inf without D=+Inf (ordering broken)
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("%v should fail validation", b)
+		}
+	}
+}
+
+func TestGaussianGrades(t *testing.T) {
+	g := Gaussian{Mean: 0, Sigma: 2}
+	if got := g.Grade(0); got != 1 {
+		t.Errorf("Gauss peak = %g, want 1", got)
+	}
+	if got := g.Grade(2); math.Abs(got-math.Exp(-0.5)) > 1e-12 {
+		t.Errorf("Gauss(σ) = %g, want e^-1/2", got)
+	}
+	if g.Grade(3) != g.Grade(-3) {
+		t.Error("Gauss not symmetric")
+	}
+	if err := (Gaussian{0, 0}).Validate(); err == nil {
+		t.Error("zero-sigma gaussian should fail validation")
+	}
+}
+
+func TestBellGrades(t *testing.T) {
+	b := Bell{A: 2, B: 4, C: 6}
+	if got := b.Grade(6); got != 1 {
+		t.Errorf("Bell centre = %g, want 1", got)
+	}
+	if got := b.Grade(8); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Bell at C+A = %g, want 0.5", got)
+	}
+	if err := (Bell{0, 1, 0}).Validate(); err == nil {
+		t.Error("zero-width bell should fail validation")
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	s := Singleton{X: 3}
+	if s.Grade(3) != 1 || s.Grade(3.0001) != 0 {
+		t.Error("singleton grades wrong")
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradesAlwaysInUnitInterval(t *testing.T) {
+	mfs := []MembershipFunc{
+		Tri(-1, 0, 1),
+		Trap(-2, -1, 1, 2),
+		ShoulderLeft(0, 1),
+		ShoulderRight(0, 1),
+		Gaussian{0, 1},
+		Bell{1, 2, 0},
+		Singleton{0},
+	}
+	if err := quick.Check(func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		for _, mf := range mfs {
+			g := mf.Grade(x)
+			if g < 0 || g > 1 || math.IsNaN(g) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupportContainsPositiveGrades(t *testing.T) {
+	mfs := []MembershipFunc{
+		Tri(-1, 0, 1),
+		Trap(-2, -1, 1, 2),
+		ShoulderLeft(0, 1),
+		ShoulderRight(0, 1),
+		Singleton{0.5},
+	}
+	if err := quick.Check(func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		for _, mf := range mfs {
+			lo, hi := mf.Support()
+			if mf.Grade(x) > 0 && (x < lo || x > hi) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreAttainsMaximum(t *testing.T) {
+	mfs := []MembershipFunc{
+		Tri(-1, 0.25, 1),
+		Trap(-2, -1, 1, 2),
+		ShoulderLeft(0, 1),
+		ShoulderRight(0, 1),
+		Gaussian{0.5, 1},
+	}
+	for _, mf := range mfs {
+		lo, hi := mf.Core()
+		mid := CoreMidpoint(mf, -10, 10)
+		if g := mf.Grade(mid); g < 0.999 {
+			t.Errorf("%v: grade at core midpoint %g = %g, want 1", mf, mid, g)
+		}
+		if lo > hi {
+			t.Errorf("%v: core [%g, %g] inverted", mf, lo, hi)
+		}
+	}
+}
+
+func TestCoreMidpointClampsShoulders(t *testing.T) {
+	// HG = Trap(0.6, 1, 1, 1) in the paper's HD variable: midpoint must be 1.
+	hg := Trap(0.6, 1, 1, 1)
+	if got := CoreMidpoint(hg, 0, 1); got != 1 {
+		t.Errorf("CoreMidpoint(HG) = %g, want 1", got)
+	}
+	left := ShoulderLeft(-10, -5)
+	if got := CoreMidpoint(left, -10, 10); got != -10 {
+		t.Errorf("CoreMidpoint(left shoulder over [-10,10]) = %g, want -10", got)
+	}
+}
+
+func TestMembershipStrings(t *testing.T) {
+	cases := []struct {
+		mf   MembershipFunc
+		want string
+	}{
+		{Tri(0, 1, 2), "Tri(0, 1, 2)"},
+		{Trap(0, 1, 2, 3), "Trap(0, 1, 2, 3)"},
+		{Gaussian{1, 2}, "Gauss(1, 2)"},
+		{Bell{1, 2, 3}, "Bell(1, 2, 3)"},
+		{Singleton{7}, "Singleton(7)"},
+	}
+	for _, tc := range cases {
+		if got := tc.mf.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

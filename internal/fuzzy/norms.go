@@ -1,0 +1,76 @@
+package fuzzy
+
+import "math"
+
+// TNorm is a triangular norm: the conjunction (AND) operator of the
+// inference engine.  Every TNorm must be commutative, associative, monotone,
+// and have 1 as neutral element.
+type TNorm func(a, b float64) float64
+
+// SNorm is a triangular conorm: the disjunction (OR) operator.  Every SNorm
+// must be commutative, associative, monotone, and have 0 as neutral element.
+type SNorm func(a, b float64) float64
+
+// Standard t-norms.
+var (
+	// MinNorm is Zadeh's min, the paper's (and the default) AND.
+	MinNorm TNorm = math.Min
+	// ProductNorm is the algebraic product a·b (Larsen systems).
+	ProductNorm TNorm = func(a, b float64) float64 { return a * b }
+	// LukasiewiczNorm is max(0, a+b-1).
+	LukasiewiczNorm TNorm = func(a, b float64) float64 { return math.Max(0, a+b-1) }
+	// DrasticNorm is min(a,b) when max(a,b)==1, else 0 — the smallest t-norm.
+	DrasticNorm TNorm = func(a, b float64) float64 {
+		switch {
+		case a == 1:
+			return b
+		case b == 1:
+			return a
+		default:
+			return 0
+		}
+	}
+	// HamacherNorm is ab/(a+b-ab) with 0 at a=b=0.
+	HamacherNorm TNorm = func(a, b float64) float64 {
+		if a == 0 && b == 0 {
+			return 0
+		}
+		return a * b / (a + b - a*b)
+	}
+)
+
+// Standard s-norms.
+var (
+	// MaxNorm is Zadeh's max, the paper's (and the default) OR/aggregation.
+	MaxNorm SNorm = math.Max
+	// ProbSumNorm is the probabilistic sum a+b-ab.
+	ProbSumNorm SNorm = func(a, b float64) float64 { return a + b - a*b }
+	// BoundedSumNorm is min(1, a+b).
+	BoundedSumNorm SNorm = func(a, b float64) float64 { return math.Min(1, a+b) }
+	// DrasticSumNorm is max(a,b) when min(a,b)==0, else 1 — the largest s-norm.
+	DrasticSumNorm SNorm = func(a, b float64) float64 {
+		switch {
+		case a == 0:
+			return b
+		case b == 0:
+			return a
+		default:
+			return 1
+		}
+	}
+)
+
+// Complement is the standard fuzzy negation 1-a, used for NOT clauses.
+func Complement(a float64) float64 { return 1 - a }
+
+// Implication shapes the consequent membership by the rule's firing
+// strength.  MinImplication clips (Mamdani); ProductImplication scales
+// (Larsen).
+type Implication func(strength, grade float64) float64
+
+var (
+	// MinImplication is Mamdani clipping: min(α, μ(y)).
+	MinImplication Implication = math.Min
+	// ProductImplication is Larsen scaling: α·μ(y).
+	ProductImplication Implication = func(s, g float64) float64 { return s * g }
+)

@@ -1,0 +1,162 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// unit converts an arbitrary float into [0, 1] for property tests.
+func unit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	v := math.Abs(math.Mod(x, 1))
+	return v
+}
+
+func tnorms() map[string]TNorm {
+	return map[string]TNorm{
+		"min":         MinNorm,
+		"product":     ProductNorm,
+		"lukasiewicz": LukasiewiczNorm,
+		"drastic":     DrasticNorm,
+		"hamacher":    HamacherNorm,
+	}
+}
+
+func snorms() map[string]SNorm {
+	return map[string]SNorm{
+		"max":        MaxNorm,
+		"probsum":    ProbSumNorm,
+		"boundedsum": BoundedSumNorm,
+		"drasticsum": DrasticSumNorm,
+	}
+}
+
+func TestTNormAxioms(t *testing.T) {
+	for name, norm := range tnorms() {
+		norm := norm
+		t.Run(name, func(t *testing.T) {
+			if err := quick.Check(func(ar, br, cr float64) bool {
+				a, b, c := unit(ar), unit(br), unit(cr)
+				// Commutativity.
+				if math.Abs(norm(a, b)-norm(b, a)) > 1e-12 {
+					return false
+				}
+				// Neutral element 1.
+				if math.Abs(norm(a, 1)-a) > 1e-12 {
+					return false
+				}
+				// Annihilator 0.
+				if norm(a, 0) != 0 {
+					return false
+				}
+				// Range.
+				if v := norm(a, b); v < 0 || v > 1 {
+					return false
+				}
+				// Monotonicity: b ≤ c ⇒ T(a,b) ≤ T(a,c).
+				lo, hi := math.Min(b, c), math.Max(b, c)
+				if norm(a, lo) > norm(a, hi)+1e-12 {
+					return false
+				}
+				// Associativity.
+				return math.Abs(norm(norm(a, b), c)-norm(a, norm(b, c))) < 1e-9
+			}, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSNormAxioms(t *testing.T) {
+	for name, norm := range snorms() {
+		norm := norm
+		t.Run(name, func(t *testing.T) {
+			if err := quick.Check(func(ar, br, cr float64) bool {
+				a, b, c := unit(ar), unit(br), unit(cr)
+				if math.Abs(norm(a, b)-norm(b, a)) > 1e-12 {
+					return false
+				}
+				// Neutral element 0.
+				if math.Abs(norm(a, 0)-a) > 1e-12 {
+					return false
+				}
+				// Annihilator 1.
+				if norm(a, 1) != 1 {
+					return false
+				}
+				if v := norm(a, b); v < 0 || v > 1 {
+					return false
+				}
+				lo, hi := math.Min(b, c), math.Max(b, c)
+				if norm(a, lo) > norm(a, hi)+1e-12 {
+					return false
+				}
+				return math.Abs(norm(norm(a, b), c)-norm(a, norm(b, c))) < 1e-9
+			}, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTNormOrdering(t *testing.T) {
+	// Drastic ≤ Lukasiewicz ≤ Product ≤ Min pointwise.
+	if err := quick.Check(func(ar, br float64) bool {
+		a, b := unit(ar), unit(br)
+		d, l, p, m := DrasticNorm(a, b), LukasiewiczNorm(a, b), ProductNorm(a, b), MinNorm(a, b)
+		return d <= l+1e-12 && l <= p+1e-12 && p <= m+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSNormOrdering(t *testing.T) {
+	// Max ≤ ProbSum ≤ BoundedSum ≤ DrasticSum pointwise.
+	if err := quick.Check(func(ar, br float64) bool {
+		a, b := unit(ar), unit(br)
+		m, p, bs, d := MaxNorm(a, b), ProbSumNorm(a, b), BoundedSumNorm(a, b), DrasticSumNorm(a, b)
+		return m <= p+1e-12 && p <= bs+1e-12 && bs <= d+1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganDuality(t *testing.T) {
+	// Min/Max and Product/ProbSum are De Morgan duals under 1-x.
+	if err := quick.Check(func(ar, br float64) bool {
+		a, b := unit(ar), unit(br)
+		if math.Abs(Complement(MinNorm(a, b))-MaxNorm(Complement(a), Complement(b))) > 1e-12 {
+			return false
+		}
+		return math.Abs(Complement(ProductNorm(a, b))-ProbSumNorm(Complement(a), Complement(b))) < 1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	if err := quick.Check(func(ar float64) bool {
+		a := unit(ar)
+		return math.Abs(Complement(Complement(a))-a) < 1e-15
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHamacherEdge(t *testing.T) {
+	if got := HamacherNorm(0, 0); got != 0 {
+		t.Errorf("Hamacher(0,0) = %g, want 0", got)
+	}
+}
+
+func TestImplications(t *testing.T) {
+	if got := MinImplication(0.3, 0.8); got != 0.3 {
+		t.Errorf("MinImplication clip = %g, want 0.3", got)
+	}
+	if got := ProductImplication(0.5, 0.8); got != 0.4 {
+		t.Errorf("ProductImplication scale = %g, want 0.4", got)
+	}
+}

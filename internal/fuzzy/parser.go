@@ -1,0 +1,207 @@
+package fuzzy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseRule parses a single rule in the DSL:
+//
+//	IF cssp IS SM AND ssn IS WK AND dmb IS NR THEN hd IS LO [WITH 0.8]
+//
+// Keywords (IF/AND/OR/THEN/IS/NOT/WITH) are case-insensitive; variable and
+// term names are case-sensitive identifiers.  AND and OR may not be mixed
+// within one rule.  Rule.String() round-trips through ParseRule.
+func ParseRule(src string) (Rule, error) {
+	toks := tokenize(src)
+	p := &ruleParser{toks: toks, src: src}
+	r, err := p.parse()
+	if err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// ParseRules parses a rulebase: one rule per line, with blank lines and
+// comments ('#' or '//' to end of line) ignored.  Errors carry 1-based line
+// numbers.
+func ParseRules(src string) (RuleBase, error) {
+	var rb RuleBase
+	for i, line := range strings.Split(src, "\n") {
+		line = stripComment(line)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return RuleBase{}, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		rb.Add(r)
+	}
+	return rb, nil
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func tokenize(src string) []string {
+	return strings.Fields(src)
+}
+
+type ruleParser struct {
+	toks []string
+	pos  int
+	src  string
+}
+
+func (p *ruleParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("fuzzy: parse %q: %s", p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *ruleParser) peek() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *ruleParser) next() (string, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *ruleParser) expectKeyword(kw string) error {
+	t, ok := p.next()
+	if !ok {
+		return p.errf("expected %s, got end of rule", kw)
+	}
+	if !strings.EqualFold(t, kw) {
+		return p.errf("expected %s, got %q", kw, t)
+	}
+	return nil
+}
+
+func isKeyword(t string) bool {
+	switch strings.ToUpper(t) {
+	case "IF", "AND", "OR", "THEN", "IS", "NOT", "WITH":
+		return true
+	}
+	return false
+}
+
+func (p *ruleParser) ident(what string) (string, error) {
+	t, ok := p.next()
+	if !ok {
+		return "", p.errf("expected %s, got end of rule", what)
+	}
+	if isKeyword(t) {
+		return "", p.errf("expected %s, got keyword %q", what, t)
+	}
+	return t, nil
+}
+
+// clause parses "var IS [NOT] term".
+func (p *ruleParser) clause() (Clause, error) {
+	v, err := p.ident("variable name")
+	if err != nil {
+		return Clause{}, err
+	}
+	if err := p.expectKeyword("IS"); err != nil {
+		return Clause{}, err
+	}
+	not := false
+	if t, ok := p.peek(); ok && strings.EqualFold(t, "NOT") {
+		p.pos++
+		not = true
+	}
+	term, err := p.ident("term name")
+	if err != nil {
+		return Clause{}, err
+	}
+	return Clause{Var: v, Term: term, Not: not}, nil
+}
+
+func (p *ruleParser) parse() (Rule, error) {
+	var r Rule
+	if err := p.expectKeyword("IF"); err != nil {
+		return r, err
+	}
+	first, err := p.clause()
+	if err != nil {
+		return r, err
+	}
+	r.If = append(r.If, first)
+	connSet := false
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return r, p.errf("expected THEN, got end of rule")
+		}
+		up := strings.ToUpper(t)
+		if up == "THEN" {
+			p.pos++
+			break
+		}
+		var conn Connective
+		switch up {
+		case "AND":
+			conn = And
+		case "OR":
+			conn = Or
+		default:
+			return r, p.errf("expected AND, OR or THEN, got %q", t)
+		}
+		if connSet && conn != r.Conn {
+			return r, p.errf("mixed AND/OR in one rule is not supported")
+		}
+		r.Conn = conn
+		connSet = true
+		p.pos++
+		c, err := p.clause()
+		if err != nil {
+			return r, err
+		}
+		r.If = append(r.If, c)
+	}
+	then, err := p.clause()
+	if err != nil {
+		return r, err
+	}
+	if then.Not {
+		return r, p.errf("negated consequent is not supported")
+	}
+	r.Then = then
+	if t, ok := p.peek(); ok {
+		if !strings.EqualFold(t, "WITH") {
+			return r, p.errf("unexpected trailing token %q", t)
+		}
+		p.pos++
+		wTok, ok := p.next()
+		if !ok {
+			return r, p.errf("expected weight after WITH")
+		}
+		w, err := strconv.ParseFloat(wTok, 64)
+		if err != nil {
+			return r, p.errf("bad weight %q", wTok)
+		}
+		if !(w > 0 && w <= 1) {
+			return r, p.errf("weight %g outside (0, 1]", w)
+		}
+		r.Weight = w
+	}
+	if t, ok := p.peek(); ok {
+		return r, p.errf("unexpected trailing token %q", t)
+	}
+	return r, nil
+}

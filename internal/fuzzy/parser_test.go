@@ -1,0 +1,120 @@
+package fuzzy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRuleBasic(t *testing.T) {
+	r, err := ParseRule("IF cssp IS SM AND ssn IS WK AND dmb IS NR THEN hd IS LO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.If) != 3 || r.Conn != And {
+		t.Fatalf("parsed rule = %+v", r)
+	}
+	if r.If[0] != (Clause{Var: "cssp", Term: "SM"}) {
+		t.Errorf("first clause = %+v", r.If[0])
+	}
+	if r.Then != (Clause{Var: "hd", Term: "LO"}) {
+		t.Errorf("consequent = %+v", r.Then)
+	}
+	if r.EffectiveWeight() != 1 {
+		t.Errorf("weight = %g", r.EffectiveWeight())
+	}
+}
+
+func TestParseRuleOrAndNot(t *testing.T) {
+	r, err := ParseRule("if a is lo or b is not hi then y is small with 0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conn != Or {
+		t.Error("OR connective not parsed")
+	}
+	if !r.If[1].Not {
+		t.Error("NOT modifier not parsed")
+	}
+	if r.Weight != 0.75 {
+		t.Errorf("weight = %g, want 0.75", r.Weight)
+	}
+}
+
+func TestParseRuleSingleClause(t *testing.T) {
+	r, err := ParseRule("IF a IS lo THEN y IS small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.If) != 1 {
+		t.Fatalf("clauses = %d", len(r.If))
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a IS lo THEN y IS small", // missing IF
+		"IF a lo THEN y IS small", // missing IS
+		"IF a IS lo THEN y small", // missing IS in consequent
+		"IF a IS lo",              // missing THEN
+		"IF a IS lo AND b IS hi OR c IS lo THEN y IS s", // mixed connectives
+		"IF a IS lo THEN y IS NOT small",                // negated consequent
+		"IF a IS lo THEN y IS small WITH",               // missing weight
+		"IF a IS lo THEN y IS small WITH abc",           // bad weight
+		"IF a IS lo THEN y IS small WITH 1.5",           // out-of-range weight
+		"IF a IS lo THEN y IS small WITH 0",             // zero weight
+		"IF a IS lo THEN y IS small extra",              // trailing garbage
+		"IF a IS lo THEN y IS small WITH 0.5 extra",     // trailing after weight
+		"IF IS IS lo THEN y IS small",                   // keyword as identifier
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseRuleRoundTrip(t *testing.T) {
+	srcs := []string{
+		"IF a IS lo AND b IS hi THEN y IS small",
+		"IF a IS lo OR b IS hi THEN y IS large",
+		"IF a IS NOT lo THEN y IS small",
+		"IF a IS lo THEN y IS small WITH 0.5",
+	}
+	for _, src := range srcs {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		r2, err := ParseRule(r.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", r.String(), err)
+		}
+		if r.String() != r2.String() {
+			t.Errorf("round trip changed %q -> %q", r.String(), r2.String())
+		}
+	}
+}
+
+func TestParseRulesMultiline(t *testing.T) {
+	rb, err := ParseRules(`
+		# full comment line
+		IF a IS lo THEN y IS small   # trailing comment
+		IF a IS hi THEN y IS large   // C-style comment
+
+		IF a IS mid THEN y IS small
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len() != 3 {
+		t.Fatalf("parsed %d rules, want 3", rb.Len())
+	}
+}
+
+func TestParseRulesReportsLineNumber(t *testing.T) {
+	_, err := ParseRules("IF a IS lo THEN y IS small\nIF broken\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %v should carry line 2", err)
+	}
+}

@@ -1,0 +1,240 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PiecewiseLinear is a membership function defined by a polyline of
+// (x, grade) points with strictly increasing x — the native term form of
+// the IEC 61131-7 Fuzzy Control Language.  Outside the defined points the
+// grade continues at the boundary value (the convention of common FCL
+// implementations), which makes open shoulders expressible as plateaus.
+type PiecewiseLinear struct {
+	X, Y []float64
+}
+
+// Points builds a PiecewiseLinear from (x, y) pairs.
+func Points(xy ...[2]float64) PiecewiseLinear {
+	p := PiecewiseLinear{
+		X: make([]float64, len(xy)),
+		Y: make([]float64, len(xy)),
+	}
+	for i, q := range xy {
+		p.X[i] = q[0]
+		p.Y[i] = q[1]
+	}
+	return p
+}
+
+// Grade implements MembershipFunc.
+func (p PiecewiseLinear) Grade(x float64) float64 {
+	n := len(p.X)
+	if n == 0 {
+		return 0
+	}
+	if x <= p.X[0] {
+		return p.Y[0]
+	}
+	if x >= p.X[n-1] {
+		return p.Y[n-1]
+	}
+	// Binary search for the segment containing x.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if p.X[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - p.X[lo]) / (p.X[hi] - p.X[lo])
+	return p.Y[lo] + t*(p.Y[hi]-p.Y[lo])
+}
+
+// Support implements MembershipFunc: infinite on a side whose boundary
+// grade is positive (the plateau extends outward).
+func (p PiecewiseLinear) Support() (float64, float64) {
+	n := len(p.X)
+	if n == 0 {
+		return 0, 0
+	}
+	lo, hi := p.X[0], p.X[n-1]
+	if p.Y[0] > 0 {
+		lo = math.Inf(-1)
+	}
+	if p.Y[n-1] > 0 {
+		hi = math.Inf(1)
+	}
+	// Tighten closed sides to the first/last positive grade.
+	if p.Y[0] == 0 {
+		for i := 0; i < n; i++ {
+			if p.Y[i] > 0 {
+				lo = p.X[i-1]
+				break
+			}
+		}
+	}
+	if p.Y[n-1] == 0 {
+		for i := n - 1; i >= 0; i-- {
+			if p.Y[i] > 0 {
+				hi = p.X[i+1]
+				break
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Core implements MembershipFunc: the first maximal plateau.  If the
+// boundary attains the maximum, the core extends to infinity on that side.
+func (p PiecewiseLinear) Core() (float64, float64) {
+	n := len(p.X)
+	if n == 0 {
+		return 0, 0
+	}
+	max := p.Y[0]
+	for _, y := range p.Y[1:] {
+		if y > max {
+			max = y
+		}
+	}
+	first, last := -1, -1
+	for i, y := range p.Y {
+		if y == max {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		} else if first >= 0 {
+			break // end of the first maximal run
+		}
+	}
+	lo, hi := p.X[first], p.X[last]
+	if first == 0 {
+		lo = math.Inf(-1)
+	}
+	if last == n-1 {
+		hi = math.Inf(1)
+	}
+	return lo, hi
+}
+
+// Validate implements MembershipFunc.
+func (p PiecewiseLinear) Validate() error {
+	if len(p.X) == 0 || len(p.X) != len(p.Y) {
+		return fmt.Errorf("fuzzy: piecewise needs matching non-empty X/Y, got %d/%d", len(p.X), len(p.Y))
+	}
+	maxY := 0.0
+	for i := range p.X {
+		if math.IsNaN(p.X[i]) || math.IsInf(p.X[i], 0) {
+			return fmt.Errorf("fuzzy: piecewise x[%d] = %g not finite", i, p.X[i])
+		}
+		if i > 0 && p.X[i] <= p.X[i-1] {
+			return fmt.Errorf("fuzzy: piecewise x not strictly increasing at %d (%g after %g)", i, p.X[i], p.X[i-1])
+		}
+		if p.Y[i] < 0 || p.Y[i] > 1 || math.IsNaN(p.Y[i]) {
+			return fmt.Errorf("fuzzy: piecewise grade y[%d] = %g outside [0, 1]", i, p.Y[i])
+		}
+		if p.Y[i] > maxY {
+			maxY = p.Y[i]
+		}
+	}
+	if maxY == 0 {
+		return fmt.Errorf("fuzzy: piecewise term is identically zero")
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (p PiecewiseLinear) String() string {
+	var b strings.Builder
+	b.WriteString("Points(")
+	for i := range p.X {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "(%g,%g)", p.X[i], p.Y[i])
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// ToPiecewise converts a membership function to its piecewise-linear form
+// over the universe [min, max]: open shoulders become plateaus pinned at
+// the universe edges, smooth functions (Gaussian, Bell) are sampled.
+// The conversion is exact for triangles, trapezoids and existing piecewise
+// functions within the universe.
+func ToPiecewise(mf MembershipFunc, min, max float64, samples int) (PiecewiseLinear, error) {
+	if err := mf.Validate(); err != nil {
+		return PiecewiseLinear{}, err
+	}
+	clamp := func(x float64) float64 {
+		if x < min || math.IsInf(x, -1) {
+			return min
+		}
+		if x > max || math.IsInf(x, 1) {
+			return max
+		}
+		return x
+	}
+	switch m := mf.(type) {
+	case Triangular:
+		return dedupePoints([]float64{clamp(m.A), clamp(m.B), clamp(m.C)},
+			[]float64{m.Grade(clamp(m.A)), 1, m.Grade(clamp(m.C))}), nil
+	case Trapezoidal:
+		xs := []float64{clamp(m.A), clamp(m.B), clamp(m.C), clamp(m.D)}
+		ys := []float64{m.Grade(xs[0]), 1, 1, m.Grade(xs[3])}
+		return dedupePoints(xs, ys), nil
+	case PiecewiseLinear:
+		xs := make([]float64, 0, len(m.X)+2)
+		ys := make([]float64, 0, len(m.X)+2)
+		for i := range m.X {
+			if m.X[i] >= min && m.X[i] <= max {
+				xs = append(xs, m.X[i])
+				ys = append(ys, m.Y[i])
+			}
+		}
+		// Pin the universe edges.
+		if len(xs) == 0 || xs[0] > min {
+			xs = append([]float64{min}, xs...)
+			ys = append([]float64{m.Grade(min)}, ys...)
+		}
+		if xs[len(xs)-1] < max {
+			xs = append(xs, max)
+			ys = append(ys, m.Grade(max))
+		}
+		return dedupePoints(xs, ys), nil
+	default:
+		if samples < 2 {
+			samples = 64
+		}
+		xs := make([]float64, samples+1)
+		ys := make([]float64, samples+1)
+		for i := 0; i <= samples; i++ {
+			x := min + (max-min)*float64(i)/float64(samples)
+			xs[i] = x
+			ys[i] = mf.Grade(x)
+		}
+		return dedupePoints(xs, ys), nil
+	}
+}
+
+// dedupePoints removes consecutive duplicate x values (keeping the higher
+// grade) so the result satisfies the strictly-increasing invariant.
+func dedupePoints(xs, ys []float64) PiecewiseLinear {
+	var p PiecewiseLinear
+	for i := range xs {
+		if n := len(p.X); n > 0 && xs[i] == p.X[n-1] {
+			if ys[i] > p.Y[n-1] {
+				p.Y[n-1] = ys[i]
+			}
+			continue
+		}
+		p.X = append(p.X, xs[i])
+		p.Y = append(p.Y, ys[i])
+	}
+	return p
+}

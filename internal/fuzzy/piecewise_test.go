@@ -1,0 +1,192 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPiecewiseGrades(t *testing.T) {
+	p := Points([2]float64{0, 0}, [2]float64{1, 1}, [2]float64{2, 1}, [2]float64{4, 0})
+	cases := []struct{ x, want float64 }{
+		{-5, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 1}, {2, 1}, {3, 0.5}, {4, 0}, {9, 0},
+	}
+	for _, tc := range cases {
+		if got := p.Grade(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Grade(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestPiecewiseBoundaryPlateau(t *testing.T) {
+	// FCL convention: the grade continues at the boundary value, making
+	// shoulders expressible.
+	left := Points([2]float64{-10, 1}, [2]float64{-5, 0})
+	if left.Grade(-100) != 1 || left.Grade(0) != 0 {
+		t.Error("left plateau broken")
+	}
+	lo, hi := left.Support()
+	if !math.IsInf(lo, -1) || hi != -5 {
+		t.Errorf("support = [%g, %g]", lo, hi)
+	}
+}
+
+func TestPiecewiseCore(t *testing.T) {
+	// Interior plateau.
+	p := Points([2]float64{0, 0}, [2]float64{1, 1}, [2]float64{2, 1}, [2]float64{3, 0})
+	lo, hi := p.Core()
+	if lo != 1 || hi != 2 {
+		t.Errorf("core = [%g, %g], want [1, 2]", lo, hi)
+	}
+	// Boundary maximum extends to infinity.
+	right := Points([2]float64{0, 0}, [2]float64{1, 1})
+	lo, hi = right.Core()
+	if lo != 1 || !math.IsInf(hi, 1) {
+		t.Errorf("right-shoulder core = [%g, %g]", lo, hi)
+	}
+	// Subnormal maximum (max grade < 1) still located correctly.
+	sub := Points([2]float64{0, 0}, [2]float64{1, 0.6}, [2]float64{2, 0})
+	lo, hi = sub.Core()
+	if lo != 1 || hi != 1 {
+		t.Errorf("subnormal core = [%g, %g]", lo, hi)
+	}
+}
+
+func TestPiecewiseValidate(t *testing.T) {
+	good := Points([2]float64{0, 0}, [2]float64{1, 1})
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PiecewiseLinear{
+		{},
+		{X: []float64{0, 1}, Y: []float64{0}},
+		{X: []float64{1, 0}, Y: []float64{0, 1}},          // decreasing x
+		{X: []float64{0, 0}, Y: []float64{0, 1}},          // duplicate x
+		{X: []float64{0, 1}, Y: []float64{0, 2}},          // grade > 1
+		{X: []float64{0, 1}, Y: []float64{0, -0.5}},       // grade < 0
+		{X: []float64{0, 1}, Y: []float64{0, 0}},          // identically zero
+		{X: []float64{math.NaN(), 1}, Y: []float64{0, 1}}, // NaN x
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad piecewise %d accepted", i)
+		}
+	}
+}
+
+func TestPiecewiseGradeRangeProperty(t *testing.T) {
+	p := Points([2]float64{-3, 0.2}, [2]float64{0, 1}, [2]float64{2, 0.4}, [2]float64{5, 0})
+	if err := quick.Check(func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		g := p.Grade(x)
+		return g >= 0 && g <= 1 && !math.IsNaN(g)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPiecewiseString(t *testing.T) {
+	p := Points([2]float64{0, 0}, [2]float64{1, 1})
+	if got := p.String(); got != "Points((0,0) (1,1))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestToPiecewiseExactForLinearShapes(t *testing.T) {
+	universeMin, universeMax := -10.0, 10.0
+	shapes := []MembershipFunc{
+		Tri(-5, 0, 5),
+		Trap(-8, -4, 4, 8),
+		ShoulderLeft(-10, -5),
+		ShoulderRight(5, 10),
+		Points([2]float64{-10, 1}, [2]float64{0, 0}, [2]float64{5, 0.5}),
+	}
+	for _, mf := range shapes {
+		pl, err := ToPiecewise(mf, universeMin, universeMax, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", mf, err)
+		}
+		if err := pl.Validate(); err != nil {
+			t.Fatalf("%v converted invalid: %v", mf, err)
+		}
+		for x := universeMin; x <= universeMax; x += 0.125 {
+			if a, b := mf.Grade(x), pl.Grade(x); math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%v: grade mismatch at %g: %g vs %g", mf, x, a, b)
+			}
+		}
+	}
+}
+
+func TestToPiecewiseSamplesSmoothShapes(t *testing.T) {
+	g := Gaussian{Mean: 0, Sigma: 2}
+	pl, err := ToPiecewise(g, -10, 10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -10.0; x <= 10; x += 0.1 {
+		if math.Abs(g.Grade(x)-pl.Grade(x)) > 0.01 {
+			t.Fatalf("gaussian sampling error at %g", x)
+		}
+	}
+}
+
+func TestToPiecewiseRejectsInvalid(t *testing.T) {
+	if _, err := ToPiecewise(Tri(2, 1, 0), -10, 10, 0); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestPiecewiseJSONRoundTrip(t *testing.T) {
+	v := MustVariable("x", 0, 4,
+		Term{"p", Points([2]float64{0, 1}, [2]float64{2, 0.5}, [2]float64{4, 0})},
+	)
+	data, err := v.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Variable
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 4; x += 0.25 {
+		if math.Abs(v.Fuzzify(x)[0]-back.Fuzzify(x)[0]) > 1e-12 {
+			t.Fatalf("json round trip mismatch at %g", x)
+		}
+	}
+}
+
+func TestPiecewiseInEngine(t *testing.T) {
+	// A complete system whose terms are all piecewise behaves like its
+	// triangular equivalent.
+	mk := func(linear bool) *System {
+		var low, high MembershipFunc
+		if linear {
+			low = Points([2]float64{0, 1}, [2]float64{1, 0})
+			high = Points([2]float64{0, 0}, [2]float64{1, 1})
+		} else {
+			low = ShoulderLeft(0, 1)
+			high = ShoulderRight(0, 1)
+		}
+		in := MustVariable("a", 0, 1, Term{"lo", low}, Term{"hi", high})
+		out := MustVariable("y", 0, 1,
+			Term{"small", Tri(0, 0.25, 0.5)},
+			Term{"large", Tri(0.5, 0.75, 1)},
+		)
+		var rb RuleBase
+		rb.Add(
+			Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}},
+			Rule{If: []Clause{{Var: "a", Term: "hi"}}, Then: Clause{Var: "y", Term: "large"}},
+		)
+		return MustSystem(out, rb, Options{}, in)
+	}
+	pw, tri := mk(true), mk(false)
+	for x := 0.0; x <= 1; x += 0.05 {
+		a, _ := pw.Evaluate(map[string]float64{"a": x})
+		b, _ := tri.Evaluate(map[string]float64{"a": x})
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("piecewise engine differs at %g: %g vs %g", x, a, b)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package fuzzy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clause is one atomic proposition "Var IS Term" (optionally negated).
+type Clause struct {
+	Var  string
+	Term string
+	Not  bool
+}
+
+// String renders the clause in DSL form.
+func (c Clause) String() string {
+	if c.Not {
+		return fmt.Sprintf("%s IS NOT %s", c.Var, c.Term)
+	}
+	return fmt.Sprintf("%s IS %s", c.Var, c.Term)
+}
+
+// Connective joins the antecedent clauses of a rule.
+type Connective int
+
+// Antecedent connectives.
+const (
+	And Connective = iota // t-norm over clause grades (default)
+	Or                    // s-norm over clause grades
+)
+
+// String implements fmt.Stringer.
+func (c Connective) String() string {
+	if c == Or {
+		return "OR"
+	}
+	return "AND"
+}
+
+// Rule is one fuzzy control rule: IF antecedent THEN consequent, with an
+// optional weight in (0, 1] that scales the firing strength.
+type Rule struct {
+	If   []Clause
+	Conn Connective
+	Then Clause
+	// Weight scales the firing strength; 0 means "unset" and is treated
+	// as 1 so that zero-value literals stay useful.
+	Weight float64
+}
+
+// EffectiveWeight returns the weight with the zero-value default applied.
+func (r Rule) EffectiveWeight() float64 {
+	if r.Weight == 0 {
+		return 1
+	}
+	return r.Weight
+}
+
+// String renders the rule in the DSL accepted by ParseRule.
+func (r Rule) String() string {
+	parts := make([]string, len(r.If))
+	for i, c := range r.If {
+		parts[i] = c.String()
+	}
+	s := fmt.Sprintf("IF %s THEN %s", strings.Join(parts, " "+r.Conn.String()+" "), r.Then)
+	if w := r.EffectiveWeight(); w != 1 {
+		s += fmt.Sprintf(" WITH %g", w)
+	}
+	return s
+}
+
+// Validate checks the rule against the given input variables and output
+// variable: every clause must reference a known variable and term, the
+// consequent must target the output, and the weight must lie in (0, 1].
+func (r Rule) Validate(inputs map[string]*Variable, output *Variable) error {
+	if len(r.If) == 0 {
+		return fmt.Errorf("fuzzy: rule %q has empty antecedent", r)
+	}
+	for _, c := range r.If {
+		v, ok := inputs[c.Var]
+		if !ok {
+			return fmt.Errorf("fuzzy: rule references unknown input variable %q", c.Var)
+		}
+		if _, ok := v.Term(c.Term); !ok {
+			return fmt.Errorf("fuzzy: rule references unknown term %q of variable %q", c.Term, c.Var)
+		}
+	}
+	if r.Then.Var != output.Name {
+		return fmt.Errorf("fuzzy: rule consequent targets %q, want output variable %q", r.Then.Var, output.Name)
+	}
+	if r.Then.Not {
+		return fmt.Errorf("fuzzy: negated consequents are not supported (rule %q)", r)
+	}
+	if _, ok := output.Term(r.Then.Term); !ok {
+		return fmt.Errorf("fuzzy: rule consequent references unknown output term %q", r.Then.Term)
+	}
+	if w := r.EffectiveWeight(); !(w > 0 && w <= 1) {
+		return fmt.Errorf("fuzzy: rule weight %g outside (0, 1]", w)
+	}
+	return nil
+}
+
+// RuleBase is an ordered collection of rules.
+type RuleBase struct {
+	Rules []Rule
+}
+
+// Add appends rules to the base.
+func (rb *RuleBase) Add(rules ...Rule) { rb.Rules = append(rb.Rules, rules...) }
+
+// Len returns the number of rules.
+func (rb RuleBase) Len() int { return len(rb.Rules) }
+
+// Validate checks every rule (see Rule.Validate) and rejects exact
+// duplicate antecedents with conflicting consequents.
+func (rb RuleBase) Validate(inputs map[string]*Variable, output *Variable) error {
+	type key string
+	consequents := make(map[key]Clause)
+	for i, r := range rb.Rules {
+		if err := r.Validate(inputs, output); err != nil {
+			return fmt.Errorf("rule %d: %w", i+1, err)
+		}
+		if r.Conn == And && !hasNegation(r) {
+			k := key(antecedentKey(r))
+			if prev, ok := consequents[k]; ok && prev != r.Then {
+				return fmt.Errorf("fuzzy: rules with identical antecedent %q disagree: %s vs %s",
+					antecedentKey(r), prev, r.Then)
+			}
+			consequents[k] = r.Then
+		}
+	}
+	return nil
+}
+
+func hasNegation(r Rule) bool {
+	for _, c := range r.If {
+		if c.Not {
+			return true
+		}
+	}
+	return false
+}
+
+// antecedentKey builds an order-independent key of the AND antecedent.
+func antecedentKey(r Rule) string {
+	parts := make([]string, len(r.If))
+	for i, c := range r.If {
+		parts[i] = c.Var + "=" + c.Term
+	}
+	// Insertion sort; antecedents are tiny.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, "&")
+}
+
+// MissingCombinations enumerates the full term grid of the given input
+// variables (in the supplied order) and returns each combination that no
+// AND-rule in the base covers exactly.  A complete grid rulebase — such as
+// the paper's 64-rule FRB over |CSSP|×|SSN|×|DMB| — returns an empty slice.
+func (rb RuleBase) MissingCombinations(inputs []*Variable) [][]string {
+	covered := make(map[string]bool, len(rb.Rules))
+	for _, r := range rb.Rules {
+		if r.Conn != And || hasNegation(r) || len(r.If) != len(inputs) {
+			continue
+		}
+		covered[antecedentKey(r)] = true
+	}
+	var missing [][]string
+	combo := make([]string, len(inputs))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(inputs) {
+			parts := make([]string, len(inputs))
+			for k, v := range inputs {
+				parts[k] = v.Name + "=" + combo[k]
+			}
+			for a := 1; a < len(parts); a++ {
+				for b := a; b > 0 && parts[b] < parts[b-1]; b-- {
+					parts[b], parts[b-1] = parts[b-1], parts[b]
+				}
+			}
+			if !covered[strings.Join(parts, "&")] {
+				missing = append(missing, append([]string(nil), combo...))
+			}
+			return
+		}
+		for _, t := range inputs[i].Terms {
+			combo[i] = t.Name
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return missing
+}
+
+// String renders the rulebase one rule per line.
+func (rb RuleBase) String() string {
+	var b strings.Builder
+	for i, r := range rb.Rules {
+		fmt.Fprintf(&b, "%3d: %s\n", i+1, r)
+	}
+	return b.String()
+}

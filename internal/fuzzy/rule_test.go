@@ -1,0 +1,151 @@
+package fuzzy
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoInputFixture builds two input variables and an output for rule tests.
+func twoInputFixture(t *testing.T) (inputs map[string]*Variable, inSlice []*Variable, out *Variable) {
+	t.Helper()
+	a := MustVariable("a", 0, 1,
+		Term{"lo", ShoulderLeft(0, 0.5)},
+		Term{"hi", ShoulderRight(0.5, 1)},
+	)
+	b := MustVariable("b", 0, 1,
+		Term{"lo", ShoulderLeft(0, 0.5)},
+		Term{"hi", ShoulderRight(0.5, 1)},
+	)
+	out = MustVariable("y", 0, 1,
+		Term{"small", Tri(0, 0.25, 0.5)},
+		Term{"large", Tri(0.5, 0.75, 1)},
+	)
+	return map[string]*Variable{"a": a, "b": b}, []*Variable{a, b}, out
+}
+
+func TestRuleValidate(t *testing.T) {
+	inputs, _, out := twoInputFixture(t)
+	good := Rule{
+		If:   []Clause{{Var: "a", Term: "lo"}, {Var: "b", Term: "hi"}},
+		Then: Clause{Var: "y", Term: "small"},
+	}
+	if err := good.Validate(inputs, out); err != nil {
+		t.Fatalf("good rule rejected: %v", err)
+	}
+	bad := []Rule{
+		{Then: Clause{Var: "y", Term: "small"}},                                                     // empty antecedent
+		{If: []Clause{{Var: "zz", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}},              // unknown var
+		{If: []Clause{{Var: "a", Term: "zz"}}, Then: Clause{Var: "y", Term: "small"}},               // unknown term
+		{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "zz", Term: "small"}},              // wrong output var
+		{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "zz"}},                  // unknown output term
+		{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small", Not: true}},    // negated consequent
+		{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}, Weight: 1.5},  // bad weight
+		{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}, Weight: -0.2}, // bad weight
+	}
+	for i, r := range bad {
+		if err := r.Validate(inputs, out); err == nil {
+			t.Errorf("bad rule %d accepted: %s", i, r)
+		}
+	}
+}
+
+func TestRuleEffectiveWeight(t *testing.T) {
+	r := Rule{}
+	if r.EffectiveWeight() != 1 {
+		t.Error("zero weight should default to 1")
+	}
+	r.Weight = 0.3
+	if r.EffectiveWeight() != 0.3 {
+		t.Error("explicit weight ignored")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		If:   []Clause{{Var: "a", Term: "lo"}, {Var: "b", Term: "hi", Not: true}},
+		Then: Clause{Var: "y", Term: "small"},
+	}
+	want := "IF a IS lo AND b IS NOT hi THEN y IS small"
+	if got := r.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	r.Weight = 0.5
+	if got := r.String(); !strings.HasSuffix(got, "WITH 0.5") {
+		t.Errorf("weighted String() = %q", got)
+	}
+	r.Conn = Or
+	if got := r.String(); !strings.Contains(got, " OR ") {
+		t.Errorf("OR String() = %q", got)
+	}
+}
+
+func TestRuleBaseValidateConflict(t *testing.T) {
+	inputs, _, out := twoInputFixture(t)
+	var rb RuleBase
+	rb.Add(
+		Rule{If: []Clause{{Var: "a", Term: "lo"}, {Var: "b", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}},
+		Rule{If: []Clause{{Var: "b", Term: "lo"}, {Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "large"}},
+	)
+	err := rb.Validate(inputs, out)
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("conflicting rules not detected: %v", err)
+	}
+}
+
+func TestRuleBaseValidateAllowsDuplicateAgreement(t *testing.T) {
+	inputs, _, out := twoInputFixture(t)
+	var rb RuleBase
+	r := Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}}
+	rb.Add(r, r)
+	if err := rb.Validate(inputs, out); err != nil {
+		t.Fatalf("agreeing duplicates rejected: %v", err)
+	}
+}
+
+func TestMissingCombinationsComplete(t *testing.T) {
+	_, inSlice, _ := twoInputFixture(t)
+	var rb RuleBase
+	for _, ta := range []string{"lo", "hi"} {
+		for _, tb := range []string{"lo", "hi"} {
+			rb.Add(Rule{
+				If:   []Clause{{Var: "a", Term: ta}, {Var: "b", Term: tb}},
+				Then: Clause{Var: "y", Term: "small"},
+			})
+		}
+	}
+	if missing := rb.MissingCombinations(inSlice); len(missing) != 0 {
+		t.Errorf("complete grid reports missing: %v", missing)
+	}
+}
+
+func TestMissingCombinationsDetectsHoles(t *testing.T) {
+	_, inSlice, _ := twoInputFixture(t)
+	var rb RuleBase
+	rb.Add(Rule{
+		If:   []Clause{{Var: "a", Term: "lo"}, {Var: "b", Term: "lo"}},
+		Then: Clause{Var: "y", Term: "small"},
+	})
+	missing := rb.MissingCombinations(inSlice)
+	if len(missing) != 3 {
+		t.Fatalf("want 3 missing combos, got %v", missing)
+	}
+}
+
+func TestMissingCombinationsIgnoresPartialRules(t *testing.T) {
+	_, inSlice, _ := twoInputFixture(t)
+	var rb RuleBase
+	// A one-clause rule does not cover any full-grid combination.
+	rb.Add(Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}})
+	if missing := rb.MissingCombinations(inSlice); len(missing) != 4 {
+		t.Errorf("want 4 missing combos, got %d", len(missing))
+	}
+}
+
+func TestRuleBaseString(t *testing.T) {
+	var rb RuleBase
+	rb.Add(Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "small"}})
+	s := rb.String()
+	if !strings.Contains(s, "1: IF a IS lo THEN y IS small") {
+		t.Errorf("RuleBase.String() = %q", s)
+	}
+}

@@ -1,0 +1,191 @@
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a named fuzzy set over a variable's universe: one linguistic value
+// ("Weak", "Far", …) together with its membership function.
+type Term struct {
+	Name string
+	MF   MembershipFunc
+}
+
+// Variable is a linguistic variable: a name, a universe of discourse
+// [Min, Max], and an ordered list of terms.
+type Variable struct {
+	Name     string
+	Min, Max float64
+	Terms    []Term
+}
+
+// NewVariable constructs and validates a linguistic variable.
+func NewVariable(name string, min, max float64, terms ...Term) (*Variable, error) {
+	v := &Variable{Name: name, Min: min, Max: max, Terms: terms}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustVariable is NewVariable that panics on error; for statically known
+// definitions such as the paper's Fig. 5 variables.
+func MustVariable(name string, min, max float64, terms ...Term) *Variable {
+	v, err := NewVariable(name, min, max, terms...)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Validate checks the variable definition: a non-empty name, an ordered
+// universe, at least one term, unique non-empty term names, and valid
+// membership functions.
+func (v *Variable) Validate() error {
+	if strings.TrimSpace(v.Name) == "" {
+		return fmt.Errorf("fuzzy: variable with empty name")
+	}
+	if !(v.Min < v.Max) {
+		return fmt.Errorf("fuzzy: variable %q universe [%g, %g] is empty", v.Name, v.Min, v.Max)
+	}
+	if len(v.Terms) == 0 {
+		return fmt.Errorf("fuzzy: variable %q has no terms", v.Name)
+	}
+	seen := make(map[string]bool, len(v.Terms))
+	for i, t := range v.Terms {
+		if strings.TrimSpace(t.Name) == "" {
+			return fmt.Errorf("fuzzy: variable %q term %d has empty name", v.Name, i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("fuzzy: variable %q has duplicate term %q", v.Name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.MF == nil {
+			return fmt.Errorf("fuzzy: variable %q term %q has nil membership function", v.Name, t.Name)
+		}
+		if err := t.MF.Validate(); err != nil {
+			return fmt.Errorf("fuzzy: variable %q term %q: %w", v.Name, t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Term returns the named term, or false if absent.
+func (v *Variable) Term(name string) (Term, bool) {
+	for _, t := range v.Terms {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Term{}, false
+}
+
+// TermNames returns the term names in definition order.
+func (v *Variable) TermNames() []string {
+	names := make([]string, len(v.Terms))
+	for i, t := range v.Terms {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Clamp restricts x to the universe [Min, Max].  The engine clamps inputs
+// before fuzzification so out-of-range measurements saturate at the edge
+// terms instead of falling off every membership function.
+func (v *Variable) Clamp(x float64) float64 {
+	if x < v.Min {
+		return v.Min
+	}
+	if x > v.Max {
+		return v.Max
+	}
+	return x
+}
+
+// Fuzzify returns the membership grade of x in every term, in term order.
+// x is clamped to the universe first.
+func (v *Variable) Fuzzify(x float64) []float64 {
+	x = v.Clamp(x)
+	grades := make([]float64, len(v.Terms))
+	for i, t := range v.Terms {
+		grades[i] = t.MF.Grade(x)
+	}
+	return grades
+}
+
+// FuzzifyMap is Fuzzify keyed by term name.
+func (v *Variable) FuzzifyMap(x float64) map[string]float64 {
+	x = v.Clamp(x)
+	m := make(map[string]float64, len(v.Terms))
+	for _, t := range v.Terms {
+		m[t.Name] = t.MF.Grade(x)
+	}
+	return m
+}
+
+// CoverageGaps scans the universe with n samples and returns the sample
+// points where no term reaches at least minGrade.  A well-formed partition
+// (such as the paper's Fig. 5 sets) returns none for minGrade ≤ 0.5.
+func (v *Variable) CoverageGaps(n int, minGrade float64) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	var gaps []float64
+	for i := 0; i < n; i++ {
+		x := v.Min + (v.Max-v.Min)*float64(i)/float64(n-1)
+		best := 0.0
+		for _, t := range v.Terms {
+			if g := t.MF.Grade(x); g > best {
+				best = g
+			}
+		}
+		if best < minGrade {
+			gaps = append(gaps, x)
+		}
+	}
+	return gaps
+}
+
+// IsRuspiniPartition reports whether the term grades sum to 1 (within tol)
+// across n universe samples — the defining property of the anchored
+// partitions DESIGN.md §6 transcribes from Fig. 5.
+func (v *Variable) IsRuspiniPartition(n int, tol float64) bool {
+	if n < 2 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		x := v.Min + (v.Max-v.Min)*float64(i)/float64(n-1)
+		sum := 0.0
+		for _, t := range v.Terms {
+			sum += t.MF.Grade(x)
+		}
+		if sum < 1-tol || sum > 1+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the variable compactly, terms in definition order.
+func (v *Variable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[%g..%g]{", v.Name, v.Min, v.Max)
+	for i, t := range v.Terms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", t.Name, t.MF)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// SortedTermNames returns term names sorted alphabetically (for stable
+// diagnostics output).
+func (v *Variable) SortedTermNames() []string {
+	names := v.TermNames()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,157 @@
+package fuzzy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// testVariable returns a well-formed 3-term Ruspini partition over [0, 10].
+func testVariable(t *testing.T) *Variable {
+	t.Helper()
+	v, err := NewVariable("x", 0, 10,
+		Term{"low", ShoulderLeft(0, 5)},
+		Term{"mid", Tri(0, 5, 10)},
+		Term{"high", ShoulderRight(5, 10)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewVariableRejectsBadDefinitions(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*Variable, error)
+	}{
+		{"empty name", func() (*Variable, error) {
+			return NewVariable("", 0, 1, Term{"a", Tri(0, 0.5, 1)})
+		}},
+		{"empty universe", func() (*Variable, error) {
+			return NewVariable("x", 1, 1, Term{"a", Tri(0, 0.5, 1)})
+		}},
+		{"inverted universe", func() (*Variable, error) {
+			return NewVariable("x", 2, 1, Term{"a", Tri(0, 0.5, 1)})
+		}},
+		{"no terms", func() (*Variable, error) {
+			return NewVariable("x", 0, 1)
+		}},
+		{"duplicate terms", func() (*Variable, error) {
+			return NewVariable("x", 0, 1, Term{"a", Tri(0, 0.5, 1)}, Term{"a", Tri(0, 0.5, 1)})
+		}},
+		{"empty term name", func() (*Variable, error) {
+			return NewVariable("x", 0, 1, Term{" ", Tri(0, 0.5, 1)})
+		}},
+		{"nil mf", func() (*Variable, error) {
+			return NewVariable("x", 0, 1, Term{"a", nil})
+		}},
+		{"invalid mf", func() (*Variable, error) {
+			return NewVariable("x", 0, 1, Term{"a", Tri(1, 0.5, 0)})
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.fn(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestMustVariablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustVariable did not panic on bad definition")
+		}
+	}()
+	MustVariable("x", 1, 0, Term{"a", Tri(0, 0.5, 1)})
+}
+
+func TestTermLookup(t *testing.T) {
+	v := testVariable(t)
+	if _, ok := v.Term("mid"); !ok {
+		t.Error("Term(mid) not found")
+	}
+	if _, ok := v.Term("absent"); ok {
+		t.Error("Term(absent) found")
+	}
+	names := v.TermNames()
+	if len(names) != 3 || names[0] != "low" || names[2] != "high" {
+		t.Errorf("TermNames = %v", names)
+	}
+	sorted := v.SortedTermNames()
+	if !strings.HasPrefix(strings.Join(sorted, ","), "high,low,mid") {
+		t.Errorf("SortedTermNames = %v", sorted)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := testVariable(t)
+	cases := []struct{ in, want float64 }{{-5, 0}, {0, 0}, {5, 5}, {10, 10}, {15, 10}}
+	for _, tc := range cases {
+		if got := v.Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFuzzify(t *testing.T) {
+	v := testVariable(t)
+	g := v.Fuzzify(2.5)
+	if math.Abs(g[0]-0.5) > 1e-12 || math.Abs(g[1]-0.5) > 1e-12 || g[2] != 0 {
+		t.Errorf("Fuzzify(2.5) = %v, want [0.5 0.5 0]", g)
+	}
+	// Out-of-range input saturates the edge term via clamping.
+	g = v.Fuzzify(-100)
+	if g[0] != 1 || g[1] != 0 {
+		t.Errorf("Fuzzify(-100) = %v, want low=1", g)
+	}
+	m := v.FuzzifyMap(7.5)
+	if math.Abs(m["mid"]-0.5) > 1e-12 || math.Abs(m["high"]-0.5) > 1e-12 {
+		t.Errorf("FuzzifyMap(7.5) = %v", m)
+	}
+}
+
+func TestCoverageGapsCompletePartition(t *testing.T) {
+	v := testVariable(t)
+	if gaps := v.CoverageGaps(101, 0.49); len(gaps) != 0 {
+		t.Errorf("complete partition has gaps: %v", gaps)
+	}
+}
+
+func TestCoverageGapsDetectsHole(t *testing.T) {
+	v, err := NewVariable("x", 0, 10,
+		Term{"low", Tri(0, 1, 2)},
+		Term{"high", Tri(8, 9, 10)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gaps := v.CoverageGaps(101, 0.2); len(gaps) == 0 {
+		t.Error("gap between terms not detected")
+	}
+}
+
+func TestIsRuspiniPartition(t *testing.T) {
+	if !testVariable(t).IsRuspiniPartition(101, 1e-9) {
+		t.Error("shoulder/tri/shoulder partition should be Ruspini")
+	}
+	v, err := NewVariable("x", 0, 10,
+		Term{"low", Tri(0, 2, 4)},
+		Term{"high", Tri(6, 8, 10)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsRuspiniPartition(101, 1e-9) {
+		t.Error("gapped partition should not be Ruspini")
+	}
+}
+
+func TestVariableString(t *testing.T) {
+	s := testVariable(t).String()
+	for _, want := range []string{"x[0..10]", "low=", "mid=Tri(0, 5, 10)", "high="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

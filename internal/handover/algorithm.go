@@ -1,0 +1,249 @@
+// Package handover defines the common decision interface the simulator
+// drives, the adapter for the paper's fuzzy controller, and the classic
+// non-fuzzy baselines the paper names as future-work comparisons (§6):
+// absolute RSS threshold, RSS hysteresis, hysteresis + time-to-trigger, and
+// distance-based handover.
+package handover
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+)
+
+// Decision is an algorithm's verdict for one measurement epoch.
+type Decision struct {
+	// Handover requests attachment to the measurement's strongest neighbor.
+	Handover bool
+	// Score is the algorithm's internal decision value, where one exists
+	// (the FLC's HD output, a hysteresis margin in dB, …); Scored reports
+	// whether it is meaningful.
+	Score  float64
+	Scored bool
+	// Reason is a short human-readable justification for traces.
+	Reason string
+}
+
+// Algorithm decides handovers from successive measurements.  Implementations
+// may keep state across epochs (e.g. time-to-trigger counters) and must
+// reset it in Reset; the simulator calls Reset once per run and after every
+// executed handover.
+type Algorithm interface {
+	// Name identifies the algorithm in tables and traces.
+	Name() string
+	// Decide inspects one epoch.
+	Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error)
+	// Reset clears cross-epoch state.
+	Reset()
+}
+
+// Fuzzy adapts the paper's core.Controller to the Algorithm interface.
+type Fuzzy struct {
+	ctrl *core.Controller
+}
+
+// NewFuzzy wraps the given controller; nil uses the paper's defaults.
+func NewFuzzy(ctrl *core.Controller) *Fuzzy {
+	if ctrl == nil {
+		ctrl = core.NewController()
+	}
+	return &Fuzzy{ctrl: ctrl}
+}
+
+// Controller exposes the wrapped controller.
+func (f *Fuzzy) Controller() *core.Controller { return f.ctrl }
+
+// Name implements Algorithm.
+func (f *Fuzzy) Name() string { return "fuzzy" }
+
+// Reset implements Algorithm; the paper's controller is stateless.
+func (f *Fuzzy) Reset() {}
+
+// Decide implements Algorithm.
+func (f *Fuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error) {
+	d, err := f.ctrl.Decide(core.Report{
+		ServingDB:     m.ServingDB,
+		PrevServingDB: prevServingDB,
+		HavePrev:      havePrev,
+		CSSPdB:        m.CSSPdB,
+		SSNdB:         m.NeighborDB,
+		DMBNorm:       m.DMBNorm,
+	})
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{
+		Handover: d.Handover,
+		Score:    d.HD,
+		Scored:   d.Evaluated,
+		Reason:   d.Stage.String(),
+	}, nil
+}
+
+// Passive never hands over: the measurement-only control used by the
+// replica-averaging protocol (the paper's Tables 3-4 report inputs measured
+// from the original serving BS throughout the walk) and as the "no
+// handover" lower bound in comparisons.
+type Passive struct{}
+
+// Name implements Algorithm.
+func (Passive) Name() string { return "passive" }
+
+// Reset implements Algorithm.
+func (Passive) Reset() {}
+
+// Decide implements Algorithm.
+func (Passive) Decide(cell.Measurement, float64, bool) (Decision, error) {
+	return Decision{Reason: "passive observer"}, nil
+}
+
+// AbsoluteThreshold is the most naive baseline: hand over whenever the
+// serving signal drops below ThresholdDB and any neighbor is stronger.
+// This is the scheme whose boundary behaviour produces the ping-pong effect
+// the paper opens with.
+type AbsoluteThreshold struct {
+	// ThresholdDB is the serving level below which handover is considered.
+	ThresholdDB float64
+}
+
+// Name implements Algorithm.
+func (a AbsoluteThreshold) Name() string { return "rss-threshold" }
+
+// Reset implements Algorithm.
+func (a AbsoluteThreshold) Reset() {}
+
+// Decide implements Algorithm.
+func (a AbsoluteThreshold) Decide(m cell.Measurement, _ float64, _ bool) (Decision, error) {
+	if m.ServingDB >= a.ThresholdDB {
+		return Decision{Reason: "serving above threshold"}, nil
+	}
+	if m.NeighborDB > m.ServingDB {
+		return Decision{
+			Handover: true,
+			Score:    m.NeighborDB - m.ServingDB,
+			Scored:   true,
+			Reason:   "neighbor stronger below threshold",
+		}, nil
+	}
+	return Decision{Reason: "no stronger neighbor"}, nil
+}
+
+// Hysteresis hands over when the neighbor exceeds the serving signal by at
+// least MarginDB — the "constant handover threshold value (handover margin)"
+// scheme of the paper's introduction.
+type Hysteresis struct {
+	// MarginDB is the required neighbor advantage in dB.
+	MarginDB float64
+}
+
+// Name implements Algorithm.
+func (h Hysteresis) Name() string { return fmt.Sprintf("hysteresis-%gdB", h.MarginDB) }
+
+// Reset implements Algorithm.
+func (h Hysteresis) Reset() {}
+
+// Decide implements Algorithm.
+func (h Hysteresis) Decide(m cell.Measurement, _ float64, _ bool) (Decision, error) {
+	adv := m.NeighborDB - m.ServingDB
+	if adv >= h.MarginDB {
+		return Decision{Handover: true, Score: adv, Scored: true, Reason: "margin exceeded"}, nil
+	}
+	return Decision{Score: adv, Scored: true, Reason: "within margin"}, nil
+}
+
+// HysteresisTTT adds a time-to-trigger to Hysteresis: the margin must hold
+// for Epochs consecutive measurements before the handover fires — the
+// standard 3GPP-style ping-pong mitigation.
+type HysteresisTTT struct {
+	// MarginDB is the required neighbor advantage in dB.
+	MarginDB float64
+	// Epochs is the number of consecutive epochs the margin must hold.
+	Epochs int
+
+	streak int
+}
+
+// NewHysteresisTTT returns the baseline with the given margin and trigger
+// length (epochs < 1 is treated as 1, reducing to plain hysteresis).
+func NewHysteresisTTT(marginDB float64, epochs int) *HysteresisTTT {
+	if epochs < 1 {
+		epochs = 1
+	}
+	return &HysteresisTTT{MarginDB: marginDB, Epochs: epochs}
+}
+
+// Name implements Algorithm.
+func (h *HysteresisTTT) Name() string {
+	return fmt.Sprintf("hysteresis-%gdB-ttt%d", h.MarginDB, h.Epochs)
+}
+
+// Reset implements Algorithm.
+func (h *HysteresisTTT) Reset() { h.streak = 0 }
+
+// Decide implements Algorithm.
+func (h *HysteresisTTT) Decide(m cell.Measurement, _ float64, _ bool) (Decision, error) {
+	adv := m.NeighborDB - m.ServingDB
+	if adv >= h.MarginDB {
+		h.streak++
+	} else {
+		h.streak = 0
+	}
+	if h.streak >= h.Epochs {
+		h.streak = 0
+		return Decision{Handover: true, Score: adv, Scored: true, Reason: "margin sustained"}, nil
+	}
+	return Decision{Score: adv, Scored: true, Reason: "margin not sustained"}, nil
+}
+
+// DistanceBased hands over when the terminal has moved beyond TriggerNorm
+// cell radii from the serving BS and the neighbor is stronger — the
+// location-aided scheme of the paper's reference [7].
+type DistanceBased struct {
+	// TriggerNorm is the normalised distance beyond which handover is
+	// considered (1.0 = the hexagon vertex).
+	TriggerNorm float64
+}
+
+// Name implements Algorithm.
+func (d DistanceBased) Name() string { return fmt.Sprintf("distance-%.2fR", d.TriggerNorm) }
+
+// Reset implements Algorithm.
+func (d DistanceBased) Reset() {}
+
+// Decide implements Algorithm.
+func (d DistanceBased) Decide(m cell.Measurement, _ float64, _ bool) (Decision, error) {
+	if m.DMBNorm >= d.TriggerNorm && m.NeighborDB > m.ServingDB {
+		return Decision{Handover: true, Score: m.DMBNorm, Scored: true, Reason: "beyond trigger distance"}, nil
+	}
+	return Decision{Score: m.DMBNorm, Scored: true, Reason: "inside trigger distance"}, nil
+}
+
+// SIRThreshold is the interference-aware baseline the paper's introduction
+// lists among classic handover metrics: hand over when the downlink
+// dominant-interferer ratio (serving − strongest neighbor, the standard
+// measurable proxy for SIR) falls below ThresholdDB and the neighbor offers
+// at least MarginDB more signal.  The proxy sits ≈ 4-5 dB above the full
+// 19-cell interference sum near boundaries (quantified in the cell
+// package's SIR tests), so thresholds are calibrated on the proxy scale.
+type SIRThreshold struct {
+	// ThresholdDB is the approximate SIR below which handover is sought.
+	ThresholdDB float64
+	// MarginDB is the required neighbor advantage.
+	MarginDB float64
+}
+
+// Name implements Algorithm.
+func (s SIRThreshold) Name() string { return fmt.Sprintf("sir-%gdB", s.ThresholdDB) }
+
+// Reset implements Algorithm.
+func (s SIRThreshold) Reset() {}
+
+// Decide implements Algorithm.
+func (s SIRThreshold) Decide(m cell.Measurement, _ float64, _ bool) (Decision, error) {
+	sir := m.ServingDB - m.NeighborDB
+	if sir < s.ThresholdDB && m.NeighborDB >= m.ServingDB+s.MarginDB {
+		return Decision{Handover: true, Score: sir, Scored: true, Reason: "SIR below threshold"}, nil
+	}
+	return Decision{Score: sir, Scored: true, Reason: "SIR acceptable"}, nil
+}

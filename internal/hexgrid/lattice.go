@@ -1,0 +1,196 @@
+package hexgrid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is a cell label in the paper's lattice scheme (Fig. 6).  Valid labels
+// satisfy I ≡ J (mod 3); the origin cell is (0,0) and its six neighbors are
+// (2,-1), (1,1), (-1,2), (-2,1), (-1,-1) and (1,-2), exactly as drawn in the
+// paper.
+type Cell struct {
+	I, J int
+}
+
+// Valid reports whether the label lies on the paper's sub-lattice.
+func (c Cell) Valid() bool {
+	return ((c.I-c.J)%3+3)%3 == 0
+}
+
+// String implements fmt.Stringer in the paper's "BS(i,j)" notation.
+func (c Cell) String() string { return fmt.Sprintf("(%d,%d)", c.I, c.J) }
+
+// axial returns the axial (pointy-top) hex coordinates (q, r) of the cell.
+// The paper's index pair decomposes over the basis e1=(2,-1), e2=(1,1) as
+// (i,j) = q·e1 + r·e2 with q=(i-j)/3, r=(i+2j)/3; (q, r) are standard axial
+// coordinates of a pointy-top hexagonal grid whose hexagons have
+// centre-to-vertex radius equal to the lattice's cell radius.
+func (c Cell) axial() (q, r int) {
+	return (c.I - c.J) / 3, (c.I + 2*c.J) / 3
+}
+
+// cellFromAxial is the inverse of axial.
+func cellFromAxial(q, r int) Cell {
+	return Cell{I: 2*q + r, J: -q + r}
+}
+
+// Neighbors returns the six adjacent cells in counter-clockwise order
+// starting from (I+2, J-1), matching the offsets printed in Fig. 6.
+func (c Cell) Neighbors() [6]Cell {
+	return [6]Cell{
+		{c.I + 2, c.J - 1},
+		{c.I + 1, c.J + 1},
+		{c.I - 1, c.J + 2},
+		{c.I - 2, c.J + 1},
+		{c.I - 1, c.J - 1},
+		{c.I + 1, c.J - 2},
+	}
+}
+
+// GridDistance returns the hex-lattice distance (minimum number of
+// neighbor steps) between two cells.
+func (c Cell) GridDistance(o Cell) int {
+	q1, r1 := c.axial()
+	q2, r2 := o.axial()
+	dq, dr := q2-q1, r2-r1
+	return (abs(dq) + abs(dr) + abs(dq+dr)) / 2
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Lattice is a hexagonal cell lattice with a given cell radius
+// (centre-to-vertex distance, km).  Base stations sit at cell centres.
+type Lattice struct {
+	radius  float64 // centre-to-vertex, km
+	spacing float64 // centre-to-centre = √3 · radius, km
+}
+
+// NewLattice returns a lattice with the given cell radius in km.
+// It panics if radius is not positive (a configuration error).
+func NewLattice(radiusKm float64) *Lattice {
+	if radiusKm <= 0 || math.IsNaN(radiusKm) || math.IsInf(radiusKm, 0) {
+		panic(fmt.Sprintf("hexgrid: invalid cell radius %g km", radiusKm))
+	}
+	return &Lattice{radius: radiusKm, spacing: math.Sqrt(3) * radiusKm}
+}
+
+// Radius returns the cell radius (centre-to-vertex, km).
+func (l *Lattice) Radius() float64 { return l.radius }
+
+// Spacing returns the centre-to-centre distance between adjacent cells (km).
+func (l *Lattice) Spacing() float64 { return l.spacing }
+
+// Center returns the Cartesian position of the cell's base station.
+func (l *Lattice) Center(c Cell) Vec {
+	q, r := c.axial()
+	fq, fr := float64(q), float64(r)
+	return Vec{
+		X: l.spacing * (fq + fr/2),
+		Y: l.spacing * fr * math.Sqrt(3) / 2,
+	}
+}
+
+// ContainingCell maps a point to the cell whose hexagon contains it
+// (nearest-centre rule; boundaries resolve deterministically via cube
+// rounding, matching the Voronoi decomposition of the lattice).
+func (l *Lattice) ContainingCell(p Vec) Cell {
+	// Fractional axial coordinates.
+	fq := (math.Sqrt(3)/3*p.X - p.Y/3) / l.radius
+	fr := (2.0 / 3.0 * p.Y) / l.radius
+	q, r := cubeRound(fq, fr)
+	return cellFromAxial(q, r)
+}
+
+// cubeRound rounds fractional axial coordinates to the nearest hex using
+// the standard cube-coordinate rounding rule.
+func cubeRound(fq, fr float64) (int, int) {
+	fs := -fq - fr
+	q := math.Round(fq)
+	r := math.Round(fr)
+	s := math.Round(fs)
+	dq := math.Abs(q - fq)
+	dr := math.Abs(r - fr)
+	ds := math.Abs(s - fs)
+	switch {
+	case dq > dr && dq > ds:
+		q = -r - s
+	case dr > ds:
+		r = -q - s
+	}
+	return int(q), int(r)
+}
+
+// Contains reports whether point p lies in cell c's hexagon.
+func (l *Lattice) Contains(c Cell, p Vec) bool {
+	return l.ContainingCell(p) == c
+}
+
+// DistanceToCenter returns the Euclidean distance (km) from p to the base
+// station of cell c.
+func (l *Lattice) DistanceToCenter(c Cell, p Vec) float64 {
+	return l.Center(c).Dist(p)
+}
+
+// NormalizedDistance returns the distance from p to c's base station divided
+// by the cell radius.  This is the paper's DMB input: ≈1 at the hexagon
+// vertices, ≈0.87 at edge midpoints, >1 outside the cell.
+func (l *Lattice) NormalizedDistance(c Cell, p Vec) float64 {
+	return l.DistanceToCenter(c, p) / l.radius
+}
+
+// Vertices returns the six corners of cell c's hexagon in counter-clockwise
+// order starting from the corner at 30° (pointy-top orientation).
+func (l *Lattice) Vertices(c Cell) [6]Vec {
+	center := l.Center(c)
+	var vs [6]Vec
+	for k := 0; k < 6; k++ {
+		a := math.Pi/6 + float64(k)*math.Pi/3
+		vs[k] = center.Add(Polar(l.radius, a))
+	}
+	return vs
+}
+
+// Ring returns the cells at grid distance k from center, in walk order.
+// Ring(c, 0) returns just c.  It panics if k is negative.
+func (l *Lattice) Ring(center Cell, k int) []Cell {
+	if k < 0 {
+		panic(fmt.Sprintf("hexgrid: negative ring index %d", k))
+	}
+	if k == 0 {
+		return []Cell{center}
+	}
+	cq, cr := center.axial()
+	// Axial step directions, counter-clockwise.
+	dirs := [6][2]int{{1, 0}, {0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1}}
+	// Start k steps along direction 4 (0,-1)·k? Use dirs[4] scaled by k, then
+	// walk each of the six sides.
+	q, r := cq+dirs[4][0]*k, cr+dirs[4][1]*k
+	out := make([]Cell, 0, 6*k)
+	for side := 0; side < 6; side++ {
+		for step := 0; step < k; step++ {
+			out = append(out, cellFromAxial(q, r))
+			q += dirs[side][0]
+			r += dirs[side][1]
+		}
+	}
+	return out
+}
+
+// Disk returns all cells within grid distance k of center (a hexagonal
+// cluster: 1, 7, 19, 37 … cells for k = 0, 1, 2, 3 …), ring by ring.
+func (l *Lattice) Disk(center Cell, k int) []Cell {
+	if k < 0 {
+		panic(fmt.Sprintf("hexgrid: negative disk index %d", k))
+	}
+	out := make([]Cell, 0, 1+3*k*(k+1))
+	for ring := 0; ring <= k; ring++ {
+		out = append(out, l.Ring(center, ring)...)
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package hexgrid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellValid(t *testing.T) {
+	valid := []Cell{{0, 0}, {2, -1}, {1, 1}, {-1, 2}, {-2, 1}, {-1, -1}, {1, -2}, {3, 0}, {4, -2}, {-3, 3}}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("cell %v should be valid", c)
+		}
+	}
+	invalid := []Cell{{1, 0}, {0, 1}, {2, 0}, {-1, 0}, {2, 1}, {1, -1}}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("cell %v should be invalid", c)
+		}
+	}
+}
+
+func TestNeighborsMatchPaperFigure6(t *testing.T) {
+	// Fig. 6 prints the neighbors of (i,j) as (i+2,j-1), (i+1,j+1),
+	// (i-1,j+2), (i-2,j+1), (i-1,j-1), (i+1,j-2).
+	n := Cell{0, 0}.Neighbors()
+	want := [6]Cell{{2, -1}, {1, 1}, {-1, 2}, {-2, 1}, {-1, -1}, {1, -2}}
+	if n != want {
+		t.Fatalf("Neighbors() = %v, want %v", n, want)
+	}
+}
+
+func TestNeighborsAreValidAndAdjacent(t *testing.T) {
+	l := NewLattice(2)
+	seeds := []Cell{{0, 0}, {2, -1}, {-1, 2}, {3, 0}, {-4, 2}}
+	for _, c := range seeds {
+		for _, n := range c.Neighbors() {
+			if !n.Valid() {
+				t.Errorf("neighbor %v of %v is not a valid label", n, c)
+			}
+			if d := c.GridDistance(n); d != 1 {
+				t.Errorf("grid distance %v-%v = %d, want 1", c, n, d)
+			}
+			got := l.Center(c).Dist(l.Center(n))
+			if math.Abs(got-l.Spacing()) > 1e-9 {
+				t.Errorf("centre distance %v-%v = %g, want spacing %g", c, n, got, l.Spacing())
+			}
+		}
+	}
+}
+
+func TestCenterOriginAndKnownCells(t *testing.T) {
+	l := NewLattice(2) // spacing d = 2√3
+	d := l.Spacing()
+	cases := []struct {
+		c    Cell
+		want Vec
+	}{
+		{Cell{0, 0}, Vec{0, 0}},
+		{Cell{2, -1}, Vec{d, 0}},                       // q=1, r=0
+		{Cell{1, 1}, Vec{d / 2, d * math.Sqrt(3) / 2}}, // q=0, r=1
+		{Cell{-1, 2}, Vec{-d / 2, d * math.Sqrt(3) / 2}},
+		{Cell{-2, 1}, Vec{-d, 0}},
+		{Cell{1, -2}, Vec{d / 2, -d * math.Sqrt(3) / 2}},
+	}
+	for _, tc := range cases {
+		got := l.Center(tc.c)
+		if got.Dist(tc.want) > 1e-9 {
+			t.Errorf("Center(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestAxialRoundTrip(t *testing.T) {
+	if err := quick.Check(func(q8, r8 int8) bool {
+		q, r := int(q8), int(r8)
+		c := cellFromAxial(q, r)
+		if !c.Valid() {
+			return false
+		}
+		q2, r2 := c.axial()
+		return q2 == q && r2 == r
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainingCellRoundTrip(t *testing.T) {
+	l := NewLattice(1.5)
+	if err := quick.Check(func(q8, r8 int8) bool {
+		c := cellFromAxial(int(q8), int(r8))
+		return l.ContainingCell(l.Center(c)) == c
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainingCellNearestCenter(t *testing.T) {
+	// For random points, the containing cell's centre must be (weakly) the
+	// nearest among it and all its neighbors — the Voronoi property.
+	l := NewLattice(2)
+	src := newTestRand(42)
+	for i := 0; i < 2000; i++ {
+		p := Vec{src.next()*20 - 10, src.next()*20 - 10}
+		c := l.ContainingCell(p)
+		if !c.Valid() {
+			t.Fatalf("ContainingCell(%v) = %v invalid", p, c)
+		}
+		dc := l.DistanceToCenter(c, p)
+		for _, n := range c.Neighbors() {
+			if dn := l.DistanceToCenter(n, p); dn < dc-1e-9 {
+				t.Fatalf("point %v: neighbor %v closer (%g) than containing %v (%g)", p, n, dn, c, dc)
+			}
+		}
+	}
+}
+
+func TestContainsInteriorAndExterior(t *testing.T) {
+	l := NewLattice(1)
+	origin := Cell{0, 0}
+	if !l.Contains(origin, Vec{0, 0}) {
+		t.Error("origin cell must contain its own centre")
+	}
+	if !l.Contains(origin, Vec{0.4, 0.2}) {
+		t.Error("interior point not contained")
+	}
+	if l.Contains(origin, Vec{l.Spacing(), 0}) {
+		t.Error("neighbor centre must not be contained")
+	}
+}
+
+func TestNormalizedDistance(t *testing.T) {
+	l := NewLattice(2)
+	c := Cell{0, 0}
+	// Vertex: normalized distance 1.
+	v := l.Vertices(c)[0]
+	if got := l.NormalizedDistance(c, v); math.Abs(got-1) > 1e-9 {
+		t.Errorf("normalized distance at vertex = %g, want 1", got)
+	}
+	// Edge midpoint: √3/2.
+	mid := Vec{l.Spacing() / 2, 0}
+	if got := l.NormalizedDistance(c, mid); math.Abs(got-math.Sqrt(3)/2) > 1e-9 {
+		t.Errorf("normalized distance at edge midpoint = %g, want %g", got, math.Sqrt(3)/2)
+	}
+}
+
+func TestVerticesOnCircle(t *testing.T) {
+	l := NewLattice(1.7)
+	c := Cell{2, -1}
+	center := l.Center(c)
+	for k, v := range l.Vertices(c) {
+		if d := v.Dist(center); math.Abs(d-1.7) > 1e-9 {
+			t.Errorf("vertex %d at distance %g, want 1.7", k, d)
+		}
+	}
+}
+
+func TestRingSizes(t *testing.T) {
+	l := NewLattice(1)
+	for k := 0; k <= 4; k++ {
+		ring := l.Ring(Cell{0, 0}, k)
+		want := 6 * k
+		if k == 0 {
+			want = 1
+		}
+		if len(ring) != want {
+			t.Errorf("ring %d has %d cells, want %d", k, len(ring), want)
+		}
+		for _, c := range ring {
+			if !c.Valid() {
+				t.Errorf("ring %d cell %v invalid", k, c)
+			}
+			if d := c.GridDistance(Cell{0, 0}); d != k {
+				t.Errorf("ring %d cell %v at grid distance %d", k, c, d)
+			}
+		}
+	}
+}
+
+func TestRingNoDuplicates(t *testing.T) {
+	l := NewLattice(1)
+	seen := map[Cell]bool{}
+	for _, c := range l.Ring(Cell{0, 0}, 3) {
+		if seen[c] {
+			t.Fatalf("duplicate cell %v in ring 3", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRingFirstContainsPaperNeighbors(t *testing.T) {
+	l := NewLattice(1)
+	inRing := map[Cell]bool{}
+	for _, c := range l.Ring(Cell{0, 0}, 1) {
+		inRing[c] = true
+	}
+	for _, n := range (Cell{0, 0}).Neighbors() {
+		if !inRing[n] {
+			t.Errorf("paper neighbor %v missing from ring 1", n)
+		}
+	}
+}
+
+func TestDiskSizes(t *testing.T) {
+	l := NewLattice(1)
+	sizes := []int{1, 7, 19, 37}
+	for k, want := range sizes {
+		if got := len(l.Disk(Cell{0, 0}, k)); got != want {
+			t.Errorf("disk %d has %d cells, want %d", k, got, want)
+		}
+	}
+}
+
+func TestGridDistanceSymmetricTriangle(t *testing.T) {
+	if err := quick.Check(func(a0, a1, b0, b1, c0, c1 int8) bool {
+		a := cellFromAxial(int(a0), int(a1))
+		b := cellFromAxial(int(b0), int(b1))
+		c := cellFromAxial(int(c0), int(c1))
+		dab, dba := a.GridDistance(b), b.GridDistance(a)
+		if dab != dba || dab < 0 {
+			return false
+		}
+		// Triangle inequality.
+		return a.GridDistance(c) <= dab+b.GridDistance(c)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewLatticePanicsOnBadRadius(t *testing.T) {
+	for _, r := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLattice(%g) did not panic", r)
+				}
+			}()
+			NewLattice(r)
+		}()
+	}
+}
+
+func TestRingPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(-1) did not panic")
+		}
+	}()
+	NewLattice(1).Ring(Cell{0, 0}, -1)
+}
+
+// newTestRand is a tiny local LCG so the geometry tests do not depend on
+// package rng (keeps the dependency graph a strict tree).
+type testRand struct{ state uint64 }
+
+func newTestRand(seed uint64) *testRand {
+	return &testRand{state: seed*2862933555777941757 + 3037000493}
+}
+
+func (r *testRand) next() float64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return float64(r.state>>11) / float64(1<<53)
+}

@@ -1,0 +1,57 @@
+// Package hexgrid implements the planar geometry substrate of the simulator:
+// 2-D vectors, polar conversion, and the hexagonal cell lattice of the paper.
+//
+// The paper lays base stations out on a hexagonal grid and addresses cells by
+// an integer pair (i, j) whose six neighbors are (i±2, j∓1), (i±1, j±1) and
+// (i±1, j∓2) (Fig. 6).  That scheme is not the usual axial hex coordinate
+// system: the valid labels are exactly the integer pairs with i ≡ j (mod 3),
+// i.e. a sub-lattice of Z² isomorphic to the triangular lattice.  Type Cell
+// implements it, together with conversions to Cartesian centres, the inverse
+// point-to-cell mapping, neighbor and ring enumeration.
+package hexgrid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a point or displacement in the plane.  Units are kilometres
+// throughout the simulator unless documented otherwise.
+type Vec struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{k * v.X, k * v.Y} }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// Angle returns the polar angle of v in radians in (-π, π].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Polar builds a vector from a length and an angle in radians.  This is the
+// paper's Eq. (1): Δx = d·cosθ, Δy = d·sinθ.
+func Polar(d, theta float64) Vec {
+	return Vec{d * math.Cos(theta), d * math.Sin(theta)}
+}
+
+// Lerp returns the point a + t·(b-a); t in [0,1] interpolates a→b.
+func Lerp(a, b Vec, t float64) Vec {
+	return Vec{a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)}
+}
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%.4f, %.4f)", v.X, v.Y) }

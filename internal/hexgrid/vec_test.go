@@ -1,0 +1,73 @@
+package hexgrid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	a, b := Vec{1, 2}, Vec{3, -4}
+	if got := a.Add(b); got != (Vec{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestNormAndDist(t *testing.T) {
+	if got := (Vec{3, 4}).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := (Vec{1, 1}).Dist(Vec{4, 5}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestPolarRoundTrip(t *testing.T) {
+	if err := quick.Check(func(d float64, thetaRaw float64) bool {
+		d = math.Mod(math.Abs(d), 100) + 0.1
+		theta := math.Mod(thetaRaw, math.Pi) // keep in (-π, π) so Angle is invertible
+		v := Polar(d, theta)
+		return math.Abs(v.Norm()-d) < 1e-9*d && math.Abs(v.Angle()-theta) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolarMatchesPaperEquation1(t *testing.T) {
+	// Δx = d·cosθ, Δy = d·sinθ.
+	v := Polar(2, math.Pi/6)
+	if math.Abs(v.X-2*math.Cos(math.Pi/6)) > 1e-12 || math.Abs(v.Y-2*math.Sin(math.Pi/6)) > 1e-12 {
+		t.Errorf("Polar(2, π/6) = %v", v)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Vec{0, 0}, Vec{10, -10}
+	if got := Lerp(a, b, 0); got != a {
+		t.Errorf("Lerp t=0 = %v", got)
+	}
+	if got := Lerp(a, b, 1); got != b {
+		t.Errorf("Lerp t=1 = %v", got)
+	}
+	if got := Lerp(a, b, 0.25); got != (Vec{2.5, -2.5}) {
+		t.Errorf("Lerp t=0.25 = %v", got)
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := (Vec{1.5, -2.25}).String(); got != "(1.5000, -2.2500)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Cell{2, -1}).String(); got != "(2,-1)" {
+		t.Errorf("Cell String = %q", got)
+	}
+}

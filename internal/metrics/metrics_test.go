@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hexgrid"
+)
+
+var (
+	cellA = hexgrid.Cell{I: 0, J: 0}
+	cellB = hexgrid.Cell{I: 2, J: -1}
+	cellC = hexgrid.Cell{I: 1, J: -2}
+)
+
+func ev(epoch int, km float64, from, to hexgrid.Cell) HandoverEvent {
+	return HandoverEvent{Epoch: epoch, WalkedKm: km, From: from, To: to}
+}
+
+func TestPingPongDetectorFlagsReturn(t *testing.T) {
+	d := NewPingPongDetector(1.0)
+	if d.Observe(ev(1, 0.5, cellA, cellB)) {
+		t.Error("first handover flagged as ping-pong")
+	}
+	if !d.Observe(ev(3, 0.9, cellB, cellA)) {
+		t.Error("quick return not flagged")
+	}
+	if d.Count() != 1 {
+		t.Errorf("count = %d, want 1", d.Count())
+	}
+	events := d.Events()
+	if len(events) != 2 || events[0].PingPong || !events[1].PingPong {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestPingPongDetectorWindowExpires(t *testing.T) {
+	d := NewPingPongDetector(1.0)
+	d.Observe(ev(1, 0.5, cellA, cellB))
+	if d.Observe(ev(9, 2.0, cellB, cellA)) {
+		t.Error("slow return (1.5 km later) flagged as ping-pong")
+	}
+}
+
+func TestPingPongDetectorDifferentTarget(t *testing.T) {
+	d := NewPingPongDetector(1.0)
+	d.Observe(ev(1, 0.5, cellA, cellB))
+	if d.Observe(ev(2, 0.7, cellB, cellC)) {
+		t.Error("forward progression B->C flagged as ping-pong")
+	}
+}
+
+func TestPingPongDetectorChain(t *testing.T) {
+	// A->B, B->A, A->B: two returns, both within window — 2 ping-pongs.
+	d := NewPingPongDetector(5)
+	d.Observe(ev(1, 0.1, cellA, cellB))
+	d.Observe(ev(2, 0.2, cellB, cellA))
+	d.Observe(ev(3, 0.3, cellA, cellB))
+	if d.Count() != 2 {
+		t.Errorf("chain count = %d, want 2", d.Count())
+	}
+}
+
+func TestPingPongDetectorReset(t *testing.T) {
+	d := NewPingPongDetector(1)
+	d.Observe(ev(1, 0.1, cellA, cellB))
+	d.Observe(ev(2, 0.2, cellB, cellA))
+	d.Reset()
+	if d.Count() != 0 || len(d.Events()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if d.Observe(ev(1, 0.3, cellB, cellA)) {
+		t.Error("pre-reset history leaked")
+	}
+}
+
+func TestPingPongDetectorPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	NewPingPongDetector(0)
+}
+
+func TestHandoverEventString(t *testing.T) {
+	e := ev(4, 1.25, cellA, cellB)
+	e.Score = 0.81
+	if s := e.String(); !strings.Contains(s, "(0,0) -> (2,-1)") || !strings.Contains(s, "0.810") {
+		t.Errorf("String = %q", s)
+	}
+	e.PingPong = true
+	if !strings.Contains(e.String(), "ping-pong") {
+		t.Error("ping-pong tag missing")
+	}
+}
+
+func TestOutageTracker(t *testing.T) {
+	o := &OutageTracker{FloorDB: -100}
+	for _, p := range []float64{-90, -105, -101, -95} {
+		o.Observe(p)
+	}
+	if got := o.Fraction(); got != 0.5 {
+		t.Errorf("outage fraction = %g, want 0.5", got)
+	}
+	if o.Epochs() != 4 {
+		t.Errorf("epochs = %d", o.Epochs())
+	}
+	o.Reset()
+	if o.Fraction() != 0 || o.Epochs() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %g, want %g", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if !(s.CI95Lo < s.Mean && s.Mean < s.CI95Hi) {
+		t.Errorf("CI [%g, %g] does not bracket the mean", s.CI95Lo, s.CI95Hi)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample not zero")
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.CI95Lo != 3 || s.CI95Hi != 3 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if h.Total() != 100 {
+		t.Errorf("total = %d", h.Total())
+	}
+	for b, c := range h.Counts {
+		if c != 10 {
+			t.Errorf("bin %d count %d, want 10", b, c)
+		}
+	}
+	// Out-of-range clamps.
+	h.Observe(-5)
+	h.Observe(5)
+	if h.Counts[0] != 11 || h.Counts[9] != 11 {
+		t.Error("clamping failed")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 10) // uniform over [0, 9.9]
+	}
+	if q := h.Quantile(0.5); math.Abs(q-5) > 1.1 {
+		t.Errorf("median ≈ %g, want ≈ 5", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 = %g", q)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+}
+
+func TestHistogramPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(1, 0, 4) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %g", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %g", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median not NaN")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}

@@ -1,0 +1,327 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hexgrid"
+	"repro/internal/rng"
+)
+
+func TestPathValidate(t *testing.T) {
+	if err := (Path{}).Validate(); err == nil {
+		t.Error("empty path accepted")
+	}
+	dup := Path{Points: []hexgrid.Vec{{X: 1}, {X: 1}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("zero-length leg accepted")
+	}
+	ok := Path{Points: []hexgrid.Vec{{}, {X: 1}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid path rejected: %v", err)
+	}
+}
+
+func TestPathLengthAndAt(t *testing.T) {
+	p := Path{Points: []hexgrid.Vec{{}, {X: 3}, {X: 3, Y: 4}}}
+	if got := p.Length(); got != 7 {
+		t.Fatalf("Length = %g, want 7", got)
+	}
+	cases := []struct {
+		d    float64
+		want hexgrid.Vec
+	}{
+		{-1, hexgrid.Vec{}},
+		{0, hexgrid.Vec{}},
+		{1.5, hexgrid.Vec{X: 1.5}},
+		{3, hexgrid.Vec{X: 3}},
+		{5, hexgrid.Vec{X: 3, Y: 2}},
+		{7, hexgrid.Vec{X: 3, Y: 4}},
+		{9, hexgrid.Vec{X: 3, Y: 4}},
+	}
+	for _, tc := range cases {
+		if got := p.At(tc.d); got.Dist(tc.want) > 1e-12 {
+			t.Errorf("At(%g) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestPathAtEmpty(t *testing.T) {
+	if got := (Path{}).At(1); got != (hexgrid.Vec{}) {
+		t.Errorf("At on empty path = %v", got)
+	}
+}
+
+func TestSampleEvery(t *testing.T) {
+	p := Path{Points: []hexgrid.Vec{{}, {X: 1}}}
+	samples := p.SampleEvery(0.25)
+	if len(samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(samples))
+	}
+	if samples[0].WalkedKm != 0 || samples[4].WalkedKm != 1 {
+		t.Errorf("endpoints: %v, %v", samples[0], samples[4])
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].WalkedKm <= samples[i-1].WalkedKm {
+			t.Fatal("walked distance not strictly increasing")
+		}
+	}
+	// Non-multiple spacing still ends exactly at the path end.
+	samples = p.SampleEvery(0.3)
+	last := samples[len(samples)-1]
+	if last.WalkedKm != 1 || last.Pos.Dist(hexgrid.Vec{X: 1}) > 1e-12 {
+		t.Errorf("last sample = %+v, want end of path", last)
+	}
+}
+
+func TestSampleEveryPanicsOnBadSpacing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleEvery(0) did not panic")
+		}
+	}()
+	Path{Points: []hexgrid.Vec{{}, {X: 1}}}.SampleEvery(0)
+}
+
+func TestPathCellsCollapsesDuplicates(t *testing.T) {
+	l := hexgrid.NewLattice(1)
+	// Straight line from origin to the (2,-1) neighbor centre: exactly two
+	// cells.
+	p := Path{Points: []hexgrid.Vec{{}, {X: l.Spacing()}}}
+	cells := p.Cells(l, 0.01)
+	if len(cells) != 2 || cells[0] != (hexgrid.Cell{I: 0, J: 0}) || cells[1] != (hexgrid.Cell{I: 2, J: -1}) {
+		t.Fatalf("Cells = %v, want [(0,0) (2,-1)]", cells)
+	}
+}
+
+func TestRandomWalkDeterministicPerSeed(t *testing.T) {
+	w := DefaultRandomWalk(5)
+	a := w.Generate(rng.New(100))
+	b := w.Generate(rng.New(100))
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("same seed, different path lengths")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed, different trajectories")
+		}
+	}
+	c := w.Generate(rng.New(200))
+	if a.Points[1] == c.Points[1] {
+		t.Error("different seeds produced identical first step")
+	}
+}
+
+func TestRandomWalkShape(t *testing.T) {
+	w := DefaultRandomWalk(10)
+	p := w.Generate(rng.New(42))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != 11 {
+		t.Fatalf("points = %d, want nwalk+1 = 11", len(p.Points))
+	}
+	if p.Points[0] != (hexgrid.Vec{}) {
+		t.Error("walk must start at the origin by default")
+	}
+	for i := 1; i < len(p.Points); i++ {
+		leg := p.Points[i].Dist(p.Points[i-1])
+		if leg < w.MinStepKm-1e-9 {
+			t.Errorf("leg %d length %g below floor %g", i, leg, w.MinStepKm)
+		}
+	}
+}
+
+func TestRandomWalkMeanStepLength(t *testing.T) {
+	w := DefaultRandomWalk(2000)
+	p := w.Generate(rng.New(7))
+	var sum float64
+	for i := 1; i < len(p.Points); i++ {
+		sum += p.Points[i].Dist(p.Points[i-1])
+	}
+	mean := sum / float64(len(p.Points)-1)
+	// Folded Gaussian |N(0.6, 0.3)| has mean slightly above 0.6.
+	if mean < 0.55 || mean < 0.0 || mean > 0.75 {
+		t.Errorf("mean step = %g km, want ≈ 0.6 (Table 2)", mean)
+	}
+}
+
+func TestRandomWalkGaussianHeadingPersistence(t *testing.T) {
+	// With a small heading sigma the walk is nearly straight: net
+	// displacement approaches the total path length.
+	w := DefaultRandomWalk(50)
+	w.StepSigmaKm = 0
+	w.HeadingSigmaRad = 0.05
+	p := w.Generate(rng.New(3))
+	net := p.Points[len(p.Points)-1].Dist(p.Points[0])
+	if ratio := net / p.Length(); ratio < 0.8 {
+		t.Errorf("persistent walk straightness = %g, want > 0.8", ratio)
+	}
+	// Uniform angles wander much more.
+	u := DefaultRandomWalk(50)
+	u.StepSigmaKm = 0
+	up := u.Generate(rng.New(3))
+	if ratio := up.Points[len(up.Points)-1].Dist(up.Points[0]) / up.Length(); ratio > 0.8 {
+		t.Errorf("uniform walk suspiciously straight: %g", ratio)
+	}
+}
+
+func TestRandomWalkValidate(t *testing.T) {
+	bad := []RandomWalk{
+		{NWalk: 0, MeanStepKm: 0.6},
+		{NWalk: 5, MeanStepKm: 0},
+		{NWalk: 5, MeanStepKm: 0.6, StepSigmaKm: -1},
+		{NWalk: 5, MeanStepKm: 0.6, MinStepKm: -0.1},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("bad walk %+v accepted", w)
+		}
+	}
+}
+
+func TestRandomWaypointStaysInArena(t *testing.T) {
+	w := RandomWaypoint{Start: hexgrid.Vec{X: 1, Y: -1}, HalfExtentKm: 2, Waypoints: 50}
+	p := w.Generate(rng.New(9))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range p.Points[1:] {
+		if math.Abs(pt.X-1) > 2 || math.Abs(pt.Y+1) > 2 {
+			t.Fatalf("waypoint %v escapes the arena", pt)
+		}
+	}
+}
+
+func TestManhattanGridOnStreets(t *testing.T) {
+	m := ManhattanGrid{BlockKm: 0.2, Blocks: 100, TurnProb: 0.3}
+	p := m.Generate(rng.New(5))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Length()-100*0.2) > 1e-9 {
+		t.Errorf("length = %g, want 20", p.Length())
+	}
+	for _, pt := range p.Points {
+		// Every vertex sits on the street grid.
+		gx := pt.X / 0.2
+		gy := pt.Y / 0.2
+		if math.Abs(gx-math.Round(gx)) > 1e-9 || math.Abs(gy-math.Round(gy)) > 1e-9 {
+			t.Fatalf("vertex %v off the street grid", pt)
+		}
+	}
+	// Legs are axis-parallel.
+	for i := 1; i < len(p.Points); i++ {
+		d := p.Points[i].Sub(p.Points[i-1])
+		if d.X != 0 && d.Y != 0 {
+			t.Fatalf("diagonal leg %v", d)
+		}
+	}
+}
+
+func TestScriptedRoundTrip(t *testing.T) {
+	pts := []hexgrid.Vec{{}, {X: 1}, {X: 1, Y: 2}}
+	s := Scripted{Points: pts, Label: "corridor"}
+	p := s.Generate(rng.New(1))
+	if len(p.Points) != 3 {
+		t.Fatal("scripted path truncated")
+	}
+	// Mutating the original slice must not affect the generated path.
+	pts[0] = hexgrid.Vec{X: 99}
+	if p.Points[0] != (hexgrid.Vec{}) {
+		t.Error("scripted path aliases caller slice")
+	}
+	if s.Name() != "scripted:corridor" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if Line(hexgrid.Vec{}, hexgrid.Vec{X: 1}).Name() != "scripted:line" {
+		t.Error("Line label wrong")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if DefaultRandomWalk(5).Name() != "random-walk" {
+		t.Error("random walk name")
+	}
+	if (RandomWaypoint{}).Name() != "random-waypoint" {
+		t.Error("waypoint name")
+	}
+	if (ManhattanGrid{}).Name() != "manhattan-grid" {
+		t.Error("manhattan name")
+	}
+}
+
+func TestPathAtNeverLeavesHull(t *testing.T) {
+	// Property: At(d) is always within the bounding box of the vertices.
+	w := DefaultRandomWalk(8)
+	p := w.Generate(rng.New(77))
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, pt := range p.Points {
+		minX = math.Min(minX, pt.X)
+		maxX = math.Max(maxX, pt.X)
+		minY = math.Min(minY, pt.Y)
+		maxY = math.Max(maxY, pt.Y)
+	}
+	if err := quick.Check(func(dRaw float64) bool {
+		d := math.Mod(math.Abs(dRaw), p.Length()*1.2)
+		pt := p.At(d)
+		const eps = 1e-9
+		return pt.X >= minX-eps && pt.X <= maxX+eps && pt.Y >= minY-eps && pt.Y <= maxY+eps
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussMarkovValidate(t *testing.T) {
+	bad := []GaussMarkov{
+		{Steps: 0, StepKm: 0.1, Alpha: 0.5},
+		{Steps: 5, StepKm: 0, Alpha: 0.5},
+		{Steps: 5, StepKm: 0.1, Alpha: -0.1},
+		{Steps: 5, StepKm: 0.1, Alpha: 1.1},
+		{Steps: 5, StepKm: 0.1, Alpha: 0.5, SpeedSigma: -1},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad gauss-markov %+v accepted", g)
+		}
+	}
+	if (GaussMarkov{}).Name() != "gauss-markov" {
+		t.Error("name wrong")
+	}
+}
+
+func TestGaussMarkovMemoryControlsStraightness(t *testing.T) {
+	mk := func(alpha float64) float64 {
+		g := GaussMarkov{
+			Steps: 200, StepKm: 0.1, Alpha: alpha,
+			SpeedSigma: 0.2, HeadingSigma: 1.2,
+		}
+		p := g.Generate(rng.New(5))
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Points[len(p.Points)-1].Dist(p.Points[0]) / p.Length()
+	}
+	persistent := mk(0.97)
+	diffusive := mk(0.05)
+	if !(persistent > diffusive) {
+		t.Errorf("straightness: alpha=0.97 -> %.3f not above alpha=0.05 -> %.3f",
+			persistent, diffusive)
+	}
+	if persistent < 0.5 {
+		t.Errorf("high-memory walk straightness = %.3f, want > 0.5", persistent)
+	}
+}
+
+func TestGaussMarkovDeterministic(t *testing.T) {
+	g := GaussMarkov{Steps: 50, StepKm: 0.1, Alpha: 0.7, SpeedSigma: 0.2, HeadingSigma: 0.8}
+	a := g.Generate(rng.New(9))
+	b := g.Generate(rng.New(9))
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("gauss-markov not deterministic")
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hexgrid"
+)
+
+// RandomWalk is the paper's §3 Monte-Carlo mobility model: NWalk legs, each
+// with a Gaussian step length and a random angle, accumulated via Eq. (1-2):
+// Δxₙ = dₙcosθₙ, Δyₙ = dₙsinθₙ.
+type RandomWalk struct {
+	// Start is the initial position ("the initial position is considered as
+	// an origin point").
+	Start hexgrid.Vec
+	// NWalk is the number of legs. Table 2: 5 or 10.
+	NWalk int
+	// MeanStepKm is the Gaussian mean step length. Table 2: 0.6 km.
+	MeanStepKm float64
+	// StepSigmaKm is the Gaussian step-length standard deviation.
+	StepSigmaKm float64
+	// MinStepKm floors the folded Gaussian so legs stay non-degenerate.
+	MinStepKm float64
+	// HeadingSigmaRad selects the angle distribution: 0 draws each θ
+	// uniformly in [0, 2π) ("general distribution"); > 0 draws θ as a
+	// Gaussian turn around the previous heading ("Gaussian distribution").
+	HeadingSigmaRad float64
+}
+
+// DefaultRandomWalk returns the paper's Table 2 walk: Gaussian steps with
+// 0.6 km mean starting at the origin.
+func DefaultRandomWalk(nwalk int) RandomWalk {
+	return RandomWalk{
+		NWalk:       nwalk,
+		MeanStepKm:  0.6,
+		StepSigmaKm: 0.3,
+		MinStepKm:   0.05,
+	}
+}
+
+// Name implements Model.
+func (w RandomWalk) Name() string { return "random-walk" }
+
+// Validate checks the configuration.
+func (w RandomWalk) Validate() error {
+	switch {
+	case w.NWalk < 1:
+		return fmt.Errorf("mobility: random walk needs at least 1 leg, got %d", w.NWalk)
+	case !(w.MeanStepKm > 0):
+		return fmt.Errorf("mobility: non-positive mean step %g km", w.MeanStepKm)
+	case w.StepSigmaKm < 0:
+		return fmt.Errorf("mobility: negative step sigma %g km", w.StepSigmaKm)
+	case w.MinStepKm < 0:
+		return fmt.Errorf("mobility: negative min step %g km", w.MinStepKm)
+	}
+	return nil
+}
+
+// Generate implements Model.
+func (w RandomWalk) Generate(src RandSource) Path {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	points := make([]hexgrid.Vec, 1, w.NWalk+1)
+	points[0] = w.Start
+	heading := 0.0
+	for i := 0; i < w.NWalk; i++ {
+		d := src.PositiveNormal(w.MeanStepKm, w.StepSigmaKm, math.Max(w.MinStepKm, 1e-6))
+		var theta float64
+		if w.HeadingSigmaRad > 0 {
+			if i == 0 {
+				heading = src.Angle()
+			} else {
+				heading += src.Normal(0, w.HeadingSigmaRad)
+			}
+			theta = heading
+		} else {
+			theta = src.Angle()
+		}
+		points = append(points, points[len(points)-1].Add(hexgrid.Polar(d, theta)))
+	}
+	return Path{Points: points}
+}
+
+// RandomWaypoint draws destinations uniformly inside a square arena and
+// moves in straight lines between them (the classic RWP model without pause
+// times — the spatial component is all the handover experiments consume).
+type RandomWaypoint struct {
+	// Start is the initial position.
+	Start hexgrid.Vec
+	// HalfExtentKm bounds the arena: positions stay in
+	// [Start ± HalfExtentKm] on both axes.
+	HalfExtentKm float64
+	// Waypoints is the number of destinations to visit.
+	Waypoints int
+}
+
+// Name implements Model.
+func (w RandomWaypoint) Name() string { return "random-waypoint" }
+
+// Generate implements Model.
+func (w RandomWaypoint) Generate(src RandSource) Path {
+	if w.Waypoints < 1 || !(w.HalfExtentKm > 0) {
+		panic(fmt.Sprintf("mobility: bad random-waypoint config %+v", w))
+	}
+	points := make([]hexgrid.Vec, 1, w.Waypoints+1)
+	points[0] = w.Start
+	for i := 0; i < w.Waypoints; i++ {
+		for {
+			next := hexgrid.Vec{
+				X: w.Start.X + src.Uniform(-w.HalfExtentKm, w.HalfExtentKm),
+				Y: w.Start.Y + src.Uniform(-w.HalfExtentKm, w.HalfExtentKm),
+			}
+			if next != points[len(points)-1] {
+				points = append(points, next)
+				break
+			}
+		}
+	}
+	return Path{Points: points}
+}
+
+// ManhattanGrid walks along the streets of a rectangular grid: the terminal
+// moves block by block and turns (left/right/straight) at intersections with
+// fixed probabilities, a standard urban micro-cell mobility abstraction.
+type ManhattanGrid struct {
+	// Start is the initial position, snapped to the street grid.
+	Start hexgrid.Vec
+	// BlockKm is the street spacing.
+	BlockKm float64
+	// Blocks is the number of blocks to traverse.
+	Blocks int
+	// TurnProb is the probability of turning (split evenly left/right) at
+	// each intersection; the remainder continues straight.
+	TurnProb float64
+}
+
+// Name implements Model.
+func (m ManhattanGrid) Name() string { return "manhattan-grid" }
+
+// Generate implements Model.
+func (m ManhattanGrid) Generate(src RandSource) Path {
+	if m.Blocks < 1 || !(m.BlockKm > 0) || m.TurnProb < 0 || m.TurnProb > 1 {
+		panic(fmt.Sprintf("mobility: bad manhattan config %+v", m))
+	}
+	snap := func(v float64) float64 { return math.Round(v/m.BlockKm) * m.BlockKm }
+	pos := hexgrid.Vec{X: snap(m.Start.X), Y: snap(m.Start.Y)}
+	points := []hexgrid.Vec{pos}
+	// Heading index: 0=+x, 1=+y, 2=-x, 3=-y.
+	dir := src.Intn(4)
+	dirs := [4]hexgrid.Vec{{X: 1}, {Y: 1}, {X: -1}, {Y: -1}}
+	for i := 0; i < m.Blocks; i++ {
+		if src.Float64() < m.TurnProb {
+			if src.Float64() < 0.5 {
+				dir = (dir + 1) % 4
+			} else {
+				dir = (dir + 3) % 4
+			}
+		}
+		pos = pos.Add(dirs[dir].Scale(m.BlockKm))
+		points = append(points, pos)
+	}
+	return collapseCollinear(Path{Points: points})
+}
+
+// collapseCollinear merges consecutive collinear legs so Path invariants
+// stay simple and sampling cheaper; the geometry is unchanged.
+func collapseCollinear(p Path) Path {
+	if len(p.Points) < 3 {
+		return p
+	}
+	out := []hexgrid.Vec{p.Points[0]}
+	for i := 1; i < len(p.Points)-1; i++ {
+		a := p.Points[i].Sub(out[len(out)-1])
+		b := p.Points[i+1].Sub(p.Points[i])
+		// Keep the point unless the turn is exactly straight.
+		if math.Abs(a.X*b.Y-a.Y*b.X) > 1e-12 || a.Dot(b) < 0 {
+			out = append(out, p.Points[i])
+		}
+	}
+	out = append(out, p.Points[len(p.Points)-1])
+	return Path{Points: out}
+}
+
+// Scripted replays a fixed polyline; used for controlled scenario tests
+// (e.g. a straight corridor crossing between two base stations).
+type Scripted struct {
+	Points []hexgrid.Vec
+	Label  string
+}
+
+// Name implements Model.
+func (s Scripted) Name() string {
+	if s.Label != "" {
+		return "scripted:" + s.Label
+	}
+	return "scripted"
+}
+
+// Generate implements Model.
+func (s Scripted) Generate(RandSource) Path {
+	p := Path{Points: append([]hexgrid.Vec(nil), s.Points...)}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Line returns a scripted straight path from a to b.
+func Line(a, b hexgrid.Vec) Scripted {
+	return Scripted{Points: []hexgrid.Vec{a, b}, Label: "line"}
+}
+
+// GaussMarkov is the Gauss-Markov mobility model: speed and heading evolve
+// as AR(1) processes with memory α ∈ [0, 1] (α = 1 is straight-line motion,
+// α = 0 is a memoryless random walk), the standard model for tunable
+// temporal mobility correlation.
+type GaussMarkov struct {
+	// Start is the initial position.
+	Start hexgrid.Vec
+	// Steps is the number of movement updates.
+	Steps int
+	// StepKm is the distance covered per update at mean speed 1.
+	StepKm float64
+	// Alpha is the memory parameter in [0, 1].
+	Alpha float64
+	// SpeedSigma and HeadingSigma scale the Gaussian innovations.
+	SpeedSigma, HeadingSigma float64
+}
+
+// Name implements Model.
+func (g GaussMarkov) Name() string { return "gauss-markov" }
+
+// Validate checks the configuration.
+func (g GaussMarkov) Validate() error {
+	switch {
+	case g.Steps < 1:
+		return fmt.Errorf("mobility: gauss-markov needs at least 1 step, got %d", g.Steps)
+	case !(g.StepKm > 0):
+		return fmt.Errorf("mobility: non-positive step %g km", g.StepKm)
+	case g.Alpha < 0 || g.Alpha > 1:
+		return fmt.Errorf("mobility: alpha %g outside [0, 1]", g.Alpha)
+	case g.SpeedSigma < 0 || g.HeadingSigma < 0:
+		return fmt.Errorf("mobility: negative sigma (%g, %g)", g.SpeedSigma, g.HeadingSigma)
+	}
+	return nil
+}
+
+// Generate implements Model.
+func (g GaussMarkov) Generate(src RandSource) Path {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	meanSpeed := 1.0
+	speed := meanSpeed
+	heading := src.Angle()
+	meanHeading := heading
+	points := make([]hexgrid.Vec, 1, g.Steps+1)
+	points[0] = g.Start
+	sq := math.Sqrt(1 - g.Alpha*g.Alpha)
+	for i := 0; i < g.Steps; i++ {
+		speed = g.Alpha*speed + (1-g.Alpha)*meanSpeed + sq*g.SpeedSigma*src.Normal(0, 1)
+		if speed < 0.1 {
+			speed = 0.1
+		}
+		heading = g.Alpha*heading + (1-g.Alpha)*meanHeading + sq*g.HeadingSigma*src.Normal(0, 1)
+		step := hexgrid.Polar(speed*g.StepKm, heading)
+		points = append(points, points[len(points)-1].Add(step))
+	}
+	return Path{Points: points}
+}

@@ -1,0 +1,121 @@
+// Package mobility implements terminal movement models: the paper's
+// Monte-Carlo random walk (§3) plus random-waypoint, Manhattan-grid and
+// scripted paths for the extension experiments.
+//
+// All models produce a Path — a polyline in km — which the simulator then
+// samples at fixed spatial resolution to obtain measurement epochs.  Models
+// draw every random quantity from an injected rng.Source, so a (model, seed)
+// pair fully determines the trajectory, mirroring the paper's
+// "iseed = 100, 200" protocol.
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/hexgrid"
+)
+
+// Path is a piecewise-linear trajectory; Points[0] is the start position.
+type Path struct {
+	Points []hexgrid.Vec
+}
+
+// Validate checks that the path has at least one point and no coincident
+// consecutive points (zero-length legs break arc-length sampling).
+func (p Path) Validate() error {
+	if len(p.Points) == 0 {
+		return fmt.Errorf("mobility: empty path")
+	}
+	for i := 1; i < len(p.Points); i++ {
+		if p.Points[i] == p.Points[i-1] {
+			return fmt.Errorf("mobility: zero-length leg at index %d", i)
+		}
+	}
+	return nil
+}
+
+// Length returns the total arc length of the path in km.
+func (p Path) Length() float64 {
+	total := 0.0
+	for i := 1; i < len(p.Points); i++ {
+		total += p.Points[i].Dist(p.Points[i-1])
+	}
+	return total
+}
+
+// At returns the position after walking walkedKm along the path.  Arguments
+// outside [0, Length] clamp to the endpoints.
+func (p Path) At(walkedKm float64) hexgrid.Vec {
+	if len(p.Points) == 0 {
+		return hexgrid.Vec{}
+	}
+	if walkedKm <= 0 {
+		return p.Points[0]
+	}
+	remaining := walkedKm
+	for i := 1; i < len(p.Points); i++ {
+		leg := p.Points[i].Dist(p.Points[i-1])
+		if remaining <= leg {
+			return hexgrid.Lerp(p.Points[i-1], p.Points[i], remaining/leg)
+		}
+		remaining -= leg
+	}
+	return p.Points[len(p.Points)-1]
+}
+
+// Sample is one spatial sample of a path: the position and the cumulative
+// walked distance, which doubles as the x-axis of the paper's
+// received-power figures ("Distance [km]" along the walk).
+type Sample struct {
+	Pos      hexgrid.Vec
+	WalkedKm float64
+}
+
+// SampleEvery returns samples spaced spacingKm apart along the path,
+// always including the start and the exact end point.
+func (p Path) SampleEvery(spacingKm float64) []Sample {
+	if spacingKm <= 0 {
+		panic(fmt.Sprintf("mobility: non-positive sample spacing %g km", spacingKm))
+	}
+	total := p.Length()
+	n := int(total/spacingKm) + 1
+	samples := make([]Sample, 0, n+1)
+	for d := 0.0; d < total; d += spacingKm {
+		samples = append(samples, Sample{Pos: p.At(d), WalkedKm: d})
+	}
+	samples = append(samples, Sample{Pos: p.At(total), WalkedKm: total})
+	return samples
+}
+
+// Cells returns the sequence of lattice cells the path passes through, with
+// consecutive duplicates collapsed — the "(0,0)→(2,-1)→(0,0)→(1,-2)"
+// notation of the paper's Figs. 7-8.  The path is scanned at resolutionKm.
+func (p Path) Cells(l *hexgrid.Lattice, resolutionKm float64) []hexgrid.Cell {
+	var out []hexgrid.Cell
+	for _, s := range p.SampleEvery(resolutionKm) {
+		c := l.ContainingCell(s.Pos)
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Model generates a trajectory from a random source.
+type Model interface {
+	// Generate produces a path; the model must draw all randomness from src.
+	Generate(src RandSource) Path
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// RandSource is the randomness the mobility models consume.  *rng.Source
+// implements it; tests may substitute deterministic stubs.
+type RandSource interface {
+	Float64() float64
+	Angle() float64
+	Normal(mean, stddev float64) float64
+	PositiveNormal(mean, stddev, floor float64) float64
+	Uniform(lo, hi float64) float64
+	Intn(n int) int
+}

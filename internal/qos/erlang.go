@@ -1,0 +1,68 @@
+// Package qos implements the call-level QoS substrate the paper's
+// introduction motivates: "a good handover strategy is needed in order to
+// balance the call blocking and call dropping for providing the required
+// QoS" (§1).
+//
+// It provides an event-driven cellular call simulator — Poisson call
+// arrivals, exponential holding times, channel-limited cells with optional
+// guard channels reserved for handovers, and per-call terminal mobility
+// driving a handover.Algorithm — plus the analytic Erlang-B blocking
+// formula used to validate the event engine.
+package qos
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangB returns the Erlang-B blocking probability for offered traffic
+// erlangs on m circuits, computed with the numerically stable recursion
+// B(E, k) = E·B(E, k-1) / (k + E·B(E, k-1)), B(E, 0) = 1.
+func ErlangB(erlangs float64, m int) (float64, error) {
+	if erlangs < 0 {
+		return 0, fmt.Errorf("qos: negative offered traffic %g", erlangs)
+	}
+	if m < 0 {
+		return 0, fmt.Errorf("qos: negative circuit count %d", m)
+	}
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = erlangs * b / (float64(k) + erlangs*b)
+	}
+	return b, nil
+}
+
+// ErlangBInverse returns the offered traffic (erlangs) at which m circuits
+// reach the target blocking probability, via bisection.  It returns an
+// error for unattainable targets.
+func ErlangBInverse(target float64, m int) (float64, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("qos: target blocking %g outside (0, 1)", target)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("qos: need at least one circuit")
+	}
+	lo, hi := 0.0, float64(m)*10+10
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		b, err := ErlangB(mid, m)
+		if err != nil {
+			return 0, err
+		}
+		if b < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// offeredErlangs converts a per-cell arrival rate (calls/hour) and a mean
+// holding time (minutes) into offered traffic per cell.
+func offeredErlangs(arrivalsPerHour, meanHoldMinutes float64) float64 {
+	return arrivalsPerHour * meanHoldMinutes / 60
+}
+
+// almostEqual is a tolerance comparison shared by the tests.
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,289 @@
+package qos
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/handover"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic reference values.
+	cases := []struct {
+		e    float64
+		m    int
+		want float64
+	}{
+		{0, 5, 0},
+		{1, 1, 0.5},
+		{10, 10, 0.21459},
+		{5, 10, 0.018385},
+		{20, 30, 0.0085},
+	}
+	for _, tc := range cases {
+		got, err := ErlangB(tc.e, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 5e-4) {
+			t.Errorf("ErlangB(%g, %d) = %.5f, want %.5f", tc.e, tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestErlangBEdgeCases(t *testing.T) {
+	if b, err := ErlangB(3, 0); err != nil || b != 1 {
+		t.Errorf("zero circuits: %g, %v (want blocking 1)", b, err)
+	}
+	if _, err := ErlangB(-1, 5); err == nil {
+		t.Error("negative traffic accepted")
+	}
+	if _, err := ErlangB(1, -1); err == nil {
+		t.Error("negative circuits accepted")
+	}
+}
+
+func TestErlangBMonotone(t *testing.T) {
+	if err := quick.Check(func(eRaw float64, m8 uint8) bool {
+		e := math.Mod(math.Abs(eRaw), 50)
+		m := int(m8%40) + 1
+		b1, err1 := ErlangB(e, m)
+		b2, err2 := ErlangB(e+1, m)
+		b3, err3 := ErlangB(e, m+1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		// More traffic ⇒ more blocking; more circuits ⇒ less blocking.
+		return b2 >= b1-1e-12 && b3 <= b1+1e-12 && b1 >= 0 && b1 <= 1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErlangBInverse(t *testing.T) {
+	e, err := ErlangBInverse(0.02, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErlangB(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(b, 0.02, 1e-6) {
+		t.Errorf("round trip blocking = %g, want 0.02", b)
+	}
+	if _, err := ErlangBInverse(0, 10); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := ErlangBInverse(0.02, 0); err == nil {
+		t.Error("zero circuits accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	bad := []Config{
+		{ChannelsPerCell: -1},
+		{ChannelsPerCell: 4, GuardChannels: 4},
+		{GuardChannels: -1},
+		{ArrivalsPerCellHour: -5},
+		{MeanHoldMinutes: -1},
+		{SpeedKmh: -1},
+		{TickSeconds: -1},
+		{SimHours: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+// TestBlockingMatchesErlangB is the event-engine validation: with no
+// mobility and no guard channels every cell is an independent M/M/m/m
+// queue, so measured blocking must approach the Erlang-B formula.
+func TestBlockingMatchesErlangB(t *testing.T) {
+	cfg := Config{
+		Seed:                42,
+		ChannelsPerCell:     6,
+		ArrivalsPerCellHour: 80, // 4 erlangs on 6 channels → B ≈ 0.117
+		MeanHoldMinutes:     3,
+		SpeedKmh:            0,
+		SimHours:            40,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered < 10000 {
+		t.Fatalf("too few arrivals for the statistical check: %d", res.Offered)
+	}
+	want := res.ErlangBReference
+	if !almostEqual(res.BlockingProb, want, 0.012) {
+		t.Errorf("measured blocking %.4f vs Erlang-B %.4f (traffic 4 E, 6 ch)", res.BlockingProb, want)
+	}
+	// No mobility ⇒ no handovers, no drops.
+	if res.HandoverAttempts != 0 || res.Dropped != 0 {
+		t.Errorf("static calls produced handovers: %+v", res)
+	}
+}
+
+func TestLittlesLawMeanActive(t *testing.T) {
+	// With light load (no blocking to speak of), mean active calls per cell
+	// ≈ offered erlangs (Little's law).
+	cfg := Config{
+		Seed:                7,
+		ChannelsPerCell:     20,
+		ArrivalsPerCellHour: 40, // 2 erlangs
+		MeanHoldMinutes:     3,
+		SimHours:            30,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell := res.MeanActive / 19 // 2-ring network
+	if !almostEqual(perCell, 2.0, 0.1) {
+		t.Errorf("mean active per cell = %.3f, want ≈ 2.0", perCell)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, SimHours: 2, SpeedKmh: 30}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed, different results:\n%v\n%v", a, b)
+	}
+}
+
+func TestMobilityProducesHandovers(t *testing.T) {
+	cfg := Config{
+		Seed:                11,
+		ChannelsPerCell:     20,
+		ArrivalsPerCellHour: 30,
+		MeanHoldMinutes:     6,
+		SpeedKmh:            100, // fast terminals cross cells within a call
+		TickSeconds:         30,
+		SimHours:            6,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HandoverAttempts == 0 {
+		t.Fatal("fast mobile calls produced no handovers")
+	}
+	if res.Dropped > res.HandoverAttempts {
+		t.Error("dropped exceeds attempts")
+	}
+}
+
+func TestGuardChannelsTradeBlockingForDropping(t *testing.T) {
+	base := Config{
+		Seed:                21,
+		ChannelsPerCell:     6,
+		ArrivalsPerCellHour: 100, // 5 erlangs: loaded system
+		MeanHoldMinutes:     3,
+		SpeedKmh:            80,
+		TickSeconds:         30,
+		SimHours:            12,
+	}
+	noGuard := base
+	guarded := base
+	guarded.GuardChannels = 2
+	a, err := Run(noGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard channels must reduce dropping at the cost of more blocking —
+	// the classic QoS trade-off the paper's introduction describes.
+	if !(b.BlockingProb > a.BlockingProb) {
+		t.Errorf("guarded blocking %.4f not above unguarded %.4f", b.BlockingProb, a.BlockingProb)
+	}
+	if !(b.DroppingProb < a.DroppingProb) {
+		t.Errorf("guarded dropping %.4f not below unguarded %.4f", b.DroppingProb, a.DroppingProb)
+	}
+}
+
+func TestFuzzyReducesHandoverLoadVsNaive(t *testing.T) {
+	base := Config{
+		Seed:                31,
+		ChannelsPerCell:     8,
+		ArrivalsPerCellHour: 80,
+		MeanHoldMinutes:     3,
+		SpeedKmh:            60,
+		TickSeconds:         30,
+		SimHours:            8,
+	}
+	fuzzyCfg := base
+	naive := base
+	naive.NewAlgorithm = func() handover.Algorithm { return handover.Hysteresis{MarginDB: 0} }
+	f, err := Run(fuzzyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Run(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fuzzy controller executes far fewer handovers (no boundary flap),
+	// which is the mechanism by which it protects the dropping budget.
+	if !(f.HandoverAttempts < n.HandoverAttempts) {
+		t.Errorf("fuzzy handovers %d not below naive %d", f.HandoverAttempts, n.HandoverAttempts)
+	}
+	if f.PingPong > n.PingPong {
+		t.Errorf("fuzzy ping-pong %d above naive %d", f.PingPong, n.PingPong)
+	}
+}
+
+func TestSweepLoadMonotoneBlocking(t *testing.T) {
+	base := Config{
+		Seed:            51,
+		ChannelsPerCell: 4,
+		MeanHoldMinutes: 3,
+		SimHours:        8,
+	}
+	results, err := SweepLoad(base, []float64{20, 60, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].BlockingProb < results[i-1].BlockingProb {
+			t.Errorf("blocking not increasing with load: %.4f -> %.4f",
+				results[i-1].BlockingProb, results[i].BlockingProb)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{Offered: 10, Blocked: 1, BlockingProb: 0.1}
+	if s := r.String(); len(s) == 0 {
+		t.Error("empty string")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if got := mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %g", got)
+	}
+	if !math.IsNaN(mean(nil)) {
+		t.Error("empty mean not NaN")
+	}
+}

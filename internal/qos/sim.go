@@ -1,0 +1,373 @@
+package qos
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/cell"
+	"repro/internal/handover"
+	"repro/internal/hexgrid"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Config describes one call-level simulation.
+type Config struct {
+	// Seed drives arrivals, placements, durations and headings.
+	Seed int64
+	// CellRadiusKm and PowerW configure the radio substrate (paper Table 2
+	// defaults when zero).
+	CellRadiusKm float64
+	PowerW       float64
+	// Rings is the number of BS rings (default 2 → 19 cells).
+	Rings int
+	// ChannelsPerCell is the capacity of each cell.
+	ChannelsPerCell int
+	// GuardChannels are reserved for handovers: new calls are admitted only
+	// while free channels exceed this reserve (classic guard-channel CAC).
+	GuardChannels int
+	// ArrivalsPerCellHour is the Poisson arrival rate per cell.
+	ArrivalsPerCellHour float64
+	// MeanHoldMinutes is the mean exponential call duration.
+	MeanHoldMinutes float64
+	// SpeedKmh is the terminal speed; 0 disables mobility (pure Erlang).
+	SpeedKmh float64
+	// TickSeconds is the measurement interval for moving calls (default 60).
+	TickSeconds float64
+	// SimHours is the simulated time span.
+	SimHours float64
+	// NewAlgorithm constructs a handover algorithm per call (stateful
+	// algorithms such as TTT need one instance each).  nil = paper fuzzy.
+	NewAlgorithm func() handover.Algorithm
+}
+
+func (c Config) withDefaults() Config {
+	if c.CellRadiusKm == 0 {
+		c.CellRadiusKm = 2
+	}
+	if c.PowerW == 0 {
+		c.PowerW = radio.DefaultPowerW
+	}
+	if c.Rings == 0 {
+		c.Rings = 2
+	}
+	if c.ChannelsPerCell == 0 {
+		c.ChannelsPerCell = 8
+	}
+	if c.ArrivalsPerCellHour == 0 {
+		c.ArrivalsPerCellHour = 60
+	}
+	if c.MeanHoldMinutes == 0 {
+		c.MeanHoldMinutes = 3
+	}
+	if c.TickSeconds == 0 {
+		c.TickSeconds = 60
+	}
+	if c.SimHours == 0 {
+		c.SimHours = 4
+	}
+	if c.NewAlgorithm == nil {
+		c.NewAlgorithm = func() handover.Algorithm { return handover.NewFuzzy(nil) }
+	}
+	return c
+}
+
+// Validate rejects meaningless configurations.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch {
+	case c.ChannelsPerCell < 1:
+		return fmt.Errorf("qos: channels per cell %d < 1", c.ChannelsPerCell)
+	case c.GuardChannels < 0 || c.GuardChannels >= c.ChannelsPerCell:
+		return fmt.Errorf("qos: guard channels %d outside [0, %d)", c.GuardChannels, c.ChannelsPerCell)
+	case c.ArrivalsPerCellHour <= 0:
+		return fmt.Errorf("qos: arrival rate %g ≤ 0", c.ArrivalsPerCellHour)
+	case c.MeanHoldMinutes <= 0:
+		return fmt.Errorf("qos: mean hold %g ≤ 0", c.MeanHoldMinutes)
+	case c.SpeedKmh < 0:
+		return fmt.Errorf("qos: negative speed %g", c.SpeedKmh)
+	case c.TickSeconds <= 0:
+		return fmt.Errorf("qos: tick %g ≤ 0", c.TickSeconds)
+	case c.SimHours <= 0:
+		return fmt.Errorf("qos: sim span %g ≤ 0", c.SimHours)
+	}
+	return nil
+}
+
+// Result aggregates the call-level QoS metrics.
+type Result struct {
+	// Offered is the number of call arrivals; Blocked those refused at
+	// admission; Completed those that finished normally.
+	Offered, Blocked, Completed int
+	// HandoverAttempts and Dropped count handover executions and the ones
+	// that failed for lack of a target channel (forced termination).
+	HandoverAttempts, Dropped int
+	// PingPong counts quick returns among successful handovers.
+	PingPong int
+	// BlockingProb = Blocked / Offered; DroppingProb = Dropped /
+	// HandoverAttempts (0 when no attempts).
+	BlockingProb, DroppingProb float64
+	// ErlangBReference is the analytic blocking probability of one isolated
+	// cell with the same load and full capacity (no guard, no mobility) —
+	// the sanity anchor for the event engine.
+	ErlangBReference float64
+	// MeanActive is the time-averaged number of active calls.
+	MeanActive float64
+}
+
+// event kinds, ordered deterministically at equal timestamps.
+const (
+	evArrival = iota
+	evDeparture
+	evTick
+)
+
+type event struct {
+	at   float64 // seconds
+	kind int
+	seq  int // tiebreaker: insertion order
+	call *call
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type call struct {
+	id       int
+	active   bool
+	pos      hexgrid.Vec
+	heading  float64
+	start    float64
+	end      float64 // scheduled departure time
+	walkedKm float64
+	measurer *cell.Measurer
+	algo     handover.Algorithm
+	lastFrom hexgrid.Cell // previous serving cell, for ping-pong detection
+	lastHOAt float64
+	hadHO    bool
+}
+
+// Run executes the call-level simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	lattice := hexgrid.NewLattice(cfg.CellRadiusKm)
+	network, err := cell.NewNetwork(lattice, radio.NewDipole(cfg.PowerW), cfg.Rings)
+	if err != nil {
+		return nil, err
+	}
+	cells := network.Cells()
+	capacity := make(map[hexgrid.Cell]int, len(cells))
+	for _, c := range cells {
+		capacity[c] = 0 // channels in use
+	}
+
+	src := rng.New(cfg.Seed)
+	res := &Result{}
+	horizon := cfg.SimHours * 3600
+	totalRate := cfg.ArrivalsPerCellHour * float64(len(cells)) / 3600 // per second
+
+	var q eventQueue
+	seq := 0
+	schedule := func(at float64, kind int, c *call) {
+		seq++
+		heap.Push(&q, &event{at: at, kind: kind, seq: seq, call: c})
+	}
+	schedule(src.Exponential(totalRate), evArrival, nil)
+
+	nextID := 0
+	var activeArea float64 // ∫ active dt
+	activeCount := 0
+	lastT := 0.0
+	tickKm := cfg.SpeedKmh / 3600 * cfg.TickSeconds // km per tick
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(*event)
+		if ev.at > horizon {
+			break
+		}
+		activeArea += float64(activeCount) * (ev.at - lastT)
+		lastT = ev.at
+
+		switch ev.kind {
+		case evArrival:
+			// Schedule the next arrival first (Poisson process).
+			schedule(ev.at+src.Exponential(totalRate), evArrival, nil)
+			res.Offered++
+			// Place the call uniformly in a uniformly chosen cell.
+			homeCell := cells[src.Intn(len(cells))]
+			pos := uniformInCell(lattice, homeCell, src)
+			serving := network.Strongest(pos, 0).Cell
+			if capacity[serving] > cfg.ChannelsPerCell-cfg.GuardChannels-1 {
+				res.Blocked++
+				continue
+			}
+			capacity[serving]++
+			nextID++
+			m, err := cell.NewMeasurer(network, serving, cfg.SpeedKmh)
+			if err != nil {
+				return nil, err
+			}
+			c := &call{
+				id:       nextID,
+				active:   true,
+				pos:      pos,
+				heading:  src.Angle(),
+				start:    ev.at,
+				measurer: m,
+				algo:     cfg.NewAlgorithm(),
+			}
+			c.end = ev.at + src.Exponential(1/(cfg.MeanHoldMinutes*60))
+			activeCount++
+			schedule(c.end, evDeparture, c)
+			if cfg.SpeedKmh > 0 {
+				schedule(ev.at+cfg.TickSeconds, evTick, c)
+			}
+
+		case evDeparture:
+			c := ev.call
+			if !c.active || ev.at != c.end {
+				continue // stale event for a dropped call
+			}
+			c.active = false
+			capacity[c.measurer.Serving()]--
+			activeCount--
+			res.Completed++
+
+		case evTick:
+			c := ev.call
+			if !c.active {
+				continue
+			}
+			// Straight-line mobility with the call's fixed heading.
+			c.pos = c.pos.Add(hexgrid.Polar(tickKm, c.heading))
+			c.walkedKm += tickKm
+			prevDB, havePrev := c.measurer.PrevServingDB()
+			meas, err := c.measurer.Measure(c.pos, c.walkedKm)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := c.algo.Decide(meas, prevDB, havePrev)
+			if err != nil {
+				return nil, err
+			}
+			if dec.Handover && network.Has(meas.Neighbor) {
+				res.HandoverAttempts++
+				from := c.measurer.Serving()
+				if capacity[meas.Neighbor] >= cfg.ChannelsPerCell {
+					// No channel in the target: forced termination.
+					res.Dropped++
+					c.active = false
+					capacity[from]--
+					activeCount--
+				} else {
+					capacity[from]--
+					capacity[meas.Neighbor]++
+					if err := c.measurer.Handover(meas.Neighbor); err != nil {
+						return nil, err
+					}
+					c.algo.Reset()
+					if c.hadHO && c.lastFrom == meas.Neighbor && ev.at-c.lastHOAt < 120 {
+						res.PingPong++
+					}
+					c.lastFrom = from
+					c.lastHOAt = ev.at
+					c.hadHO = true
+				}
+			}
+			if c.active {
+				schedule(ev.at+cfg.TickSeconds, evTick, c)
+			}
+		}
+	}
+
+	if res.Offered > 0 {
+		res.BlockingProb = float64(res.Blocked) / float64(res.Offered)
+	}
+	if res.HandoverAttempts > 0 {
+		res.DroppingProb = float64(res.Dropped) / float64(res.HandoverAttempts)
+	}
+	if lastT > 0 {
+		res.MeanActive = activeArea / lastT
+	}
+	erl := offeredErlangs(cfg.ArrivalsPerCellHour, cfg.MeanHoldMinutes)
+	ref, err := ErlangB(erl, cfg.ChannelsPerCell)
+	if err != nil {
+		return nil, err
+	}
+	res.ErlangBReference = ref
+	return res, nil
+}
+
+// uniformInCell rejection-samples a uniform point inside a cell's hexagon.
+func uniformInCell(lattice *hexgrid.Lattice, c hexgrid.Cell, src *rng.Source) hexgrid.Vec {
+	center := lattice.Center(c)
+	r := lattice.Radius()
+	for {
+		p := hexgrid.Vec{
+			X: center.X + src.Uniform(-r, r),
+			Y: center.Y + src.Uniform(-r, r),
+		}
+		if lattice.Contains(c, p) {
+			return p
+		}
+	}
+}
+
+// String renders the result compactly.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"offered %d, blocked %d (%.4f; ErlangB ref %.4f), completed %d, handovers %d, dropped %d (%.4f), ping-pong %d, mean active %.1f",
+		r.Offered, r.Blocked, r.BlockingProb, r.ErlangBReference,
+		r.Completed, r.HandoverAttempts, r.Dropped, r.DroppingProb,
+		r.PingPong, r.MeanActive)
+}
+
+// SweepLoad runs the simulation across arrival rates and returns the
+// blocking/dropping curves — the workload of the examples/qos scenario.
+func SweepLoad(base Config, arrivalsPerCellHour []float64) ([]*Result, error) {
+	out := make([]*Result, 0, len(arrivalsPerCellHour))
+	for _, rate := range arrivalsPerCellHour {
+		cfg := base
+		cfg.ArrivalsPerCellHour = rate
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// expectation helpers shared with tests.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,149 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a propagation model: it maps a horizontal transmitter-receiver
+// distance (km) to a received power level (dB).  The paper's Dipole is the
+// primary implementation; the others are standard models provided so that
+// the handover algorithms can be exercised on substrates with different
+// path-loss slopes (the paper's future-work comparison).
+type Model interface {
+	// ReceivedPowerDB returns the deterministic received power in dB at the
+	// given horizontal distance in km.
+	ReceivedPowerDB(groundKm float64) float64
+}
+
+// Dipole implements Model.
+var _ Model = (*Dipole)(nil)
+
+// FreeSpace is the Friis free-space model,
+// PL(d) = 20·log10(d) + 20·log10(f) + 32.44 (d in km, f in MHz).
+type FreeSpace struct {
+	// TxPowerDBm is the transmit power in dBm.
+	TxPowerDBm float64
+	// FrequencyMHz is the carrier frequency. Table 2: 2000 MHz.
+	FrequencyMHz float64
+}
+
+// NewFreeSpace returns a free-space model at the paper's 2000 MHz carrier.
+func NewFreeSpace(txPowerDBm float64) *FreeSpace {
+	return &FreeSpace{TxPowerDBm: txPowerDBm, FrequencyMHz: 2000}
+}
+
+// ReceivedPowerDB implements Model.
+func (m *FreeSpace) ReceivedPowerDB(groundKm float64) float64 {
+	d := math.Max(groundKm, 1e-3) // floor at 1 m
+	pl := 20*math.Log10(d) + 20*math.Log10(m.FrequencyMHz) + 32.44
+	return m.TxPowerDBm - pl
+}
+
+// LogDistance is the log-distance model
+// P(d) = P(d0) − 10·n·log10(d/d0).
+type LogDistance struct {
+	// RefPowerDB is the received power at the reference distance.
+	RefPowerDB float64
+	// RefKm is the reference distance d0 in km.
+	RefKm float64
+	// Exponent is the path-loss exponent n (2 free space, 3-4 urban).
+	Exponent float64
+}
+
+// ReceivedPowerDB implements Model.
+func (m *LogDistance) ReceivedPowerDB(groundKm float64) float64 {
+	d := math.Max(groundKm, 1e-3)
+	return m.RefPowerDB - 10*m.Exponent*math.Log10(d/m.RefKm)
+}
+
+// COST231Hata is the COST-231 Hata urban macro-cell model, valid for
+// 1500-2000 MHz, BS height 30-200 m, MS height 1-10 m, distance 1-20 km.
+// It is included as a realistic alternative substrate for the ablation
+// benches; outside its validity range it extrapolates smoothly.
+type COST231Hata struct {
+	// TxPowerDBm is the transmit power in dBm.
+	TxPowerDBm float64
+	// FrequencyMHz is the carrier frequency (1500-2000 MHz).
+	FrequencyMHz float64
+	// TxHeightM, RxHeightM are the antenna heights in metres.
+	TxHeightM, RxHeightM float64
+	// Metropolitan selects the large-city correction term (C = 3 dB).
+	Metropolitan bool
+}
+
+// NewCOST231Hata returns the model at the paper's Table 2 physical
+// parameters (2000 MHz, 40 m mast, 1.5 m terminal).
+func NewCOST231Hata(txPowerDBm float64) *COST231Hata {
+	return &COST231Hata{
+		TxPowerDBm:   txPowerDBm,
+		FrequencyMHz: 2000,
+		TxHeightM:    DefaultTxHeightM,
+		RxHeightM:    DefaultRxHeightM,
+	}
+}
+
+// ReceivedPowerDB implements Model.
+func (m *COST231Hata) ReceivedPowerDB(groundKm float64) float64 {
+	d := math.Max(groundKm, 0.02)
+	f := m.FrequencyMHz
+	hb := m.TxHeightM
+	hm := m.RxHeightM
+	// Mobile antenna correction for small/medium city.
+	a := (1.1*math.Log10(f)-0.7)*hm - (1.56*math.Log10(f) - 0.8)
+	c := 0.0
+	if m.Metropolitan {
+		c = 3
+	}
+	pl := 46.3 + 33.9*math.Log10(f) - 13.82*math.Log10(hb) - a +
+		(44.9-6.55*math.Log10(hb))*math.Log10(d) + c
+	return m.TxPowerDBm - pl
+}
+
+// TwoRayGround is the two-ray ground-reflection model, useful past the
+// crossover distance d_c = 4·π·h_t·h_r/λ:
+// P(d) = P_t + 10·log10(h_t²·h_r²/d⁴).
+type TwoRayGround struct {
+	// TxPowerDBm is the transmit power in dBm.
+	TxPowerDBm float64
+	// TxHeightM, RxHeightM are antenna heights in metres.
+	TxHeightM, RxHeightM float64
+}
+
+// ReceivedPowerDB implements Model.
+func (m *TwoRayGround) ReceivedPowerDB(groundKm float64) float64 {
+	d := math.Max(groundKm*1000, 1) // metres
+	num := m.TxHeightM * m.TxHeightM * m.RxHeightM * m.RxHeightM
+	return m.TxPowerDBm + 10*math.Log10(num/math.Pow(d, 4))
+}
+
+// DualSlope combines two log-distance slopes with a breakpoint, a common
+// micro-cell abstraction: slope n1 before BreakKm, n2 after.
+type DualSlope struct {
+	// RefPowerDB is the received power at RefKm.
+	RefPowerDB float64
+	// RefKm is the reference distance in km.
+	RefKm float64
+	// BreakKm is the breakpoint distance in km (≥ RefKm).
+	BreakKm float64
+	// N1 and N2 are the path-loss exponents before and after the breakpoint.
+	N1, N2 float64
+}
+
+// Validate checks breakpoint ordering.
+func (m *DualSlope) Validate() error {
+	if m.BreakKm < m.RefKm {
+		return fmt.Errorf("radio: dual-slope breakpoint %g km before reference %g km", m.BreakKm, m.RefKm)
+	}
+	return nil
+}
+
+// ReceivedPowerDB implements Model.
+func (m *DualSlope) ReceivedPowerDB(groundKm float64) float64 {
+	d := math.Max(groundKm, 1e-3)
+	if d <= m.BreakKm {
+		return m.RefPowerDB - 10*m.N1*math.Log10(d/m.RefKm)
+	}
+	atBreak := m.RefPowerDB - 10*m.N1*math.Log10(m.BreakKm/m.RefKm)
+	return atBreak - 10*m.N2*math.Log10(d/m.BreakKm)
+}

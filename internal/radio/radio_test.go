@@ -1,0 +1,384 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDipoleDefaultsValid(t *testing.T) {
+	d := NewDipole(DefaultPowerW)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("default dipole invalid: %v", err)
+	}
+	if d.TiltRad != 3*math.Pi/180 {
+		t.Errorf("tilt = %g rad, want 3°", d.TiltRad)
+	}
+}
+
+func TestDipoleValidateRejectsBadParams(t *testing.T) {
+	cases := []Dipole{
+		{PowerW: 0, TxHeightM: 40, RxHeightM: 1.5, Exponent: 1.1},
+		{PowerW: -10, TxHeightM: 40, RxHeightM: 1.5, Exponent: 1.1},
+		{PowerW: 10, TxHeightM: 1, RxHeightM: 1.5, Exponent: 1.1},
+		{PowerW: 10, TxHeightM: 40, RxHeightM: -1, Exponent: 1.1},
+		{PowerW: 10, TxHeightM: 40, RxHeightM: 1.5, Exponent: 0},
+		{PowerW: 10, TxHeightM: 40, RxHeightM: 1.5, Exponent: 1.1, TiltRad: math.Pi},
+	}
+	for i, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad dipole %+v", i, d)
+		}
+	}
+}
+
+func TestDipoleGeometry(t *testing.T) {
+	d := NewDipole(10)
+	r, theta := d.Geometry(0) // directly under the mast
+	if math.Abs(r-38.5) > 1e-9 {
+		t.Errorf("slant range under mast = %g m, want 38.5", r)
+	}
+	if theta != 0 {
+		t.Errorf("theta under mast = %g, want 0", theta)
+	}
+	_, thetaFar := d.Geometry(10) // 10 km out
+	if math.Abs(thetaFar-math.Pi/2) > 0.01 {
+		t.Errorf("theta at 10 km = %g rad, want ≈ π/2", thetaFar)
+	}
+}
+
+func TestDipoleFieldFormula(t *testing.T) {
+	// Hand-check Eq. (4) at 1 km with the default parameters.
+	d := NewDipole(10)
+	r, theta := d.Geometry(1)
+	want := math.Sqrt(450) * math.Abs(math.Sin(theta-d.TiltRad)) / math.Pow(r, 1.1)
+	if got := d.FieldIntensity(1); math.Abs(got-want) > 1e-12*want {
+		t.Errorf("FieldIntensity(1km) = %g, want %g", got, want)
+	}
+}
+
+func TestDipoleMonotoneDecay(t *testing.T) {
+	d := NewDipole(10)
+	prev := d.ReceivedPowerDB(0.05)
+	for km := 0.1; km <= 8; km += 0.05 {
+		cur := d.ReceivedPowerDB(km)
+		if cur >= prev {
+			t.Fatalf("received power not decreasing at %g km: %g -> %g", km, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestDipoleCalibrationBand(t *testing.T) {
+	// DESIGN.md §3: the default calibration pins P(1 km) ≈ −93 dB — the
+	// neighbor level Table 3 reports at the R = 1 km boundary — and lands
+	// the 1.3-3 km crossing range in Table 4's −96…−105 dB band.
+	d := NewDipole(10)
+	if got := d.ReceivedPowerDB(1.0); math.Abs(got-(-93)) > 0.5 {
+		t.Errorf("P(1 km) = %g dB, want ≈ -93 dB", got)
+	}
+	if got := d.ReceivedPowerDB(3.0); got < -106 || got > -100 {
+		t.Errorf("P(3 km) = %g dB, want in Table 4's deep band [-106, -100]", got)
+	}
+	// And the serving-BS mid-cell level sits well above the neighbor level.
+	if serving, neighbor := d.ReceivedPowerDB(0.9), d.ReceivedPowerDB(2.8); serving-neighbor < 5 {
+		t.Errorf("serving %g dB not clearly above neighbor %g dB", serving, neighbor)
+	}
+}
+
+func TestDipolePowerScaling(t *testing.T) {
+	// Doubling transmit power adds 10·log10(2) ≈ 3.01 dB at any distance.
+	d10, d20 := NewDipole(10), NewDipole(20)
+	for _, km := range []float64{0.3, 1, 2.5, 5} {
+		diff := d20.ReceivedPowerDB(km) - d10.ReceivedPowerDB(km)
+		if math.Abs(diff-10*math.Log10(2)) > 1e-9 {
+			t.Errorf("power doubling at %g km adds %g dB, want 3.01", km, diff)
+		}
+	}
+}
+
+func TestDipoleWithPower(t *testing.T) {
+	d := NewDipole(10)
+	d2 := d.WithPower(20)
+	if d.PowerW != 10 {
+		t.Error("WithPower mutated the receiver")
+	}
+	if d2.PowerW != 20 {
+		t.Error("WithPower did not apply")
+	}
+}
+
+func TestDipoleNearFieldFloor(t *testing.T) {
+	d := NewDipole(10)
+	got := d.ReceivedPowerDB(0)
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Fatalf("ReceivedPowerDB(0) = %g, want finite (or -Inf only on a null)", got)
+	}
+}
+
+func TestDipoleTiltShiftsPeak(t *testing.T) {
+	// With tilt, the pattern null moves from directly under the mast to a
+	// small positive ground distance; far-field values drop slightly versus
+	// the untilted pattern (sin(θ−φ) < sin(θ) for θ near π/2, φ > 0).
+	tilted := NewDipole(10)
+	flat := *tilted
+	flat.TiltRad = 0
+	if tilted.FieldIntensity(6) >= flat.FieldIntensity(6) {
+		t.Error("tilted far-field not below untilted")
+	}
+}
+
+func TestSpeedPenaltyDB(t *testing.T) {
+	cases := []struct{ kmh, want float64 }{
+		{0, 0}, {10, 2}, {20, 4}, {30, 6}, {40, 8}, {50, 10}, {-10, 2}, {25, 5},
+	}
+	for _, tc := range cases {
+		if got := SpeedPenaltyDB(tc.kmh); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("SpeedPenaltyDB(%g) = %g, want %g", tc.kmh, got, tc.want)
+		}
+	}
+}
+
+func TestFreeSpaceSlope(t *testing.T) {
+	m := NewFreeSpace(43) // 43 dBm = 20 W
+	// Free space: 20 dB per decade of distance.
+	drop := m.ReceivedPowerDB(0.5) - m.ReceivedPowerDB(5)
+	if math.Abs(drop-20) > 1e-9 {
+		t.Errorf("free-space decade drop = %g dB, want 20", drop)
+	}
+}
+
+func TestLogDistanceExact(t *testing.T) {
+	m := &LogDistance{RefPowerDB: -50, RefKm: 0.1, Exponent: 3}
+	if got := m.ReceivedPowerDB(0.1); got != -50 {
+		t.Errorf("P(ref) = %g, want -50", got)
+	}
+	if got := m.ReceivedPowerDB(1); math.Abs(got-(-80)) > 1e-9 {
+		t.Errorf("P(1km) = %g, want -80 (30 dB/decade)", got)
+	}
+}
+
+func TestCOST231HataPlausible(t *testing.T) {
+	m := NewCOST231Hata(43)
+	p1, p5 := m.ReceivedPowerDB(1), m.ReceivedPowerDB(5)
+	if p1 <= p5 {
+		t.Errorf("COST231 not decreasing: P(1)=%g, P(5)=%g", p1, p5)
+	}
+	// Urban 2 GHz path loss at 1 km is ≈ 130-140 dB.
+	pl := 43 - p1
+	if pl < 120 || pl > 150 {
+		t.Errorf("COST231 PL(1km) = %g dB, want within 120-150", pl)
+	}
+	// Slope ≈ 35 dB/decade for 40 m mast.
+	slope := p1 - m.ReceivedPowerDB(10)
+	if slope < 30 || slope > 40 {
+		t.Errorf("COST231 decade slope = %g dB, want ≈ 34.4", slope)
+	}
+}
+
+func TestCOST231MetropolitanOffset(t *testing.T) {
+	base := NewCOST231Hata(43)
+	metro := NewCOST231Hata(43)
+	metro.Metropolitan = true
+	diff := base.ReceivedPowerDB(2) - metro.ReceivedPowerDB(2)
+	if math.Abs(diff-3) > 1e-9 {
+		t.Errorf("metropolitan correction = %g dB, want 3", diff)
+	}
+}
+
+func TestTwoRayGroundSlope(t *testing.T) {
+	m := &TwoRayGround{TxPowerDBm: 43, TxHeightM: 40, RxHeightM: 1.5}
+	drop := m.ReceivedPowerDB(0.5) - m.ReceivedPowerDB(5)
+	if math.Abs(drop-40) > 1e-9 {
+		t.Errorf("two-ray decade drop = %g dB, want 40", drop)
+	}
+}
+
+func TestDualSlope(t *testing.T) {
+	m := &DualSlope{RefPowerDB: -40, RefKm: 0.1, BreakKm: 1, N1: 2, N2: 4}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Before breakpoint: 20 dB/decade.
+	if got := m.ReceivedPowerDB(1); math.Abs(got-(-60)) > 1e-9 {
+		t.Errorf("P(break) = %g, want -60", got)
+	}
+	// After: 40 dB/decade.
+	if got := m.ReceivedPowerDB(10); math.Abs(got-(-100)) > 1e-9 {
+		t.Errorf("P(10km) = %g, want -100", got)
+	}
+	// Continuity at the breakpoint.
+	eps := 1e-6
+	if math.Abs(m.ReceivedPowerDB(1-eps)-m.ReceivedPowerDB(1+eps)) > 1e-3 {
+		t.Error("dual-slope discontinuous at breakpoint")
+	}
+}
+
+func TestDualSlopeValidate(t *testing.T) {
+	m := &DualSlope{RefPowerDB: -40, RefKm: 1, BreakKm: 0.5, N1: 2, N2: 4}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted breakpoint before reference")
+	}
+}
+
+func TestModelsMonotone(t *testing.T) {
+	models := []Model{
+		NewDipole(10),
+		NewFreeSpace(43),
+		&LogDistance{RefPowerDB: -50, RefKm: 0.1, Exponent: 3.5},
+		NewCOST231Hata(43),
+		&TwoRayGround{TxPowerDBm: 43, TxHeightM: 40, RxHeightM: 1.5},
+		&DualSlope{RefPowerDB: -40, RefKm: 0.1, BreakKm: 1, N1: 2, N2: 4},
+	}
+	if err := quick.Check(func(aRaw, bRaw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 10)
+		b := 0.1 + math.Mod(math.Abs(bRaw), 10)
+		if a > b {
+			a, b = b, a
+		}
+		if b-a < 1e-6 {
+			return true
+		}
+		for _, m := range models {
+			if m.ReceivedPowerDB(a) < m.ReceivedPowerDB(b) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShadowingZeroSigma(t *testing.T) {
+	s := NewShadowing(0, 0.05, 1)
+	for i := 0; i < 10; i++ {
+		if got := s.Sample(0, float64(i)*0.01); got != 0 {
+			t.Fatalf("zero-sigma shadowing returned %g", got)
+		}
+	}
+}
+
+func TestShadowingIndependentMoments(t *testing.T) {
+	s := NewShadowing(8, 0, 42)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Sample(0, 0)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean) > 0.15 {
+		t.Errorf("shadowing mean = %g, want ≈ 0", mean)
+	}
+	if math.Abs(sd-8) > 0.2 {
+		t.Errorf("shadowing stddev = %g, want ≈ 8", sd)
+	}
+}
+
+// lag1Autocorrelation returns the sample lag-1 autocorrelation of vals.
+func lag1Autocorrelation(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var cov, variance float64
+	for i, v := range vals {
+		variance += (v - mean) * (v - mean)
+		if i > 0 {
+			cov += (v - mean) * (vals[i-1] - mean)
+		}
+	}
+	return cov / variance
+}
+
+func TestShadowingCorrelationDecay(t *testing.T) {
+	// Sample two processes: one with tiny steps (high correlation), one with
+	// steps far beyond the decorrelation distance (≈ independent).
+	const sigma = 8.0
+	near := NewShadowing(sigma, 0.05, 7)
+	far := NewShadowing(sigma, 0.05, 7)
+	const n = 200000
+	nearVals := make([]float64, n)
+	farVals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nearVals[i] = near.Sample(0, float64(i)*0.005) // 5 m steps, D = 50 m
+		farVals[i] = far.Sample(0, float64(i)*1.0)     // 1 km steps
+	}
+	rhoNear := lag1Autocorrelation(nearVals)
+	rhoFar := lag1Autocorrelation(farVals)
+	wantNear := math.Exp(-0.005 / 0.05)
+	if math.Abs(rhoNear-wantNear) > 0.02 {
+		t.Errorf("lag-1 correlation (5 m steps) = %g, want ≈ %g", rhoNear, wantNear)
+	}
+	if math.Abs(rhoFar) > 0.02 {
+		t.Errorf("lag-1 correlation (1 km steps) = %g, want ≈ 0", rhoFar)
+	}
+}
+
+func TestShadowingMarginalVariancePreserved(t *testing.T) {
+	s := NewShadowing(6, 0.05, 11)
+	var sum, sumsq, n float64
+	for i := 0; i < 50000; i++ {
+		v := s.Sample(0, float64(i)*0.005)
+		sum += v
+		sumsq += v * v
+		n++
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(sd-6) > 0.4 {
+		t.Errorf("correlated marginal stddev = %g, want ≈ 6", sd)
+	}
+}
+
+func TestShadowingPerLinkIndependence(t *testing.T) {
+	s := NewShadowing(8, 0.05, 3)
+	a := s.Sample(1, 0)
+	b := s.Sample(2, 0)
+	if a == b {
+		t.Error("two links received identical initial shadowing")
+	}
+}
+
+func TestShadowingDeterministicAndReset(t *testing.T) {
+	runOnce := func() []float64 {
+		s := NewShadowing(8, 0.05, 99)
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = s.Sample(0, float64(i)*0.01)
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shadowing not deterministic at sample %d", i)
+		}
+	}
+	s := NewShadowing(8, 0.05, 99)
+	first := s.Sample(0, 0)
+	s.Reset(99)
+	if got := s.Sample(0, 0); got != first {
+		t.Error("Reset did not rewind the process")
+	}
+}
+
+func TestShadowingPanicsOnBadConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewShadowing(-1, 0, 1) },
+		func() { NewShadowing(8, -0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad shadowing config did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,98 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Shadowing models large-scale log-normal shadow fading.  The paper cites
+// "fluctuations of signal strength associated with shadow fading" as the
+// root cause of the ping-pong effect (§1); the deterministic dipole model
+// reproduces the Tables 3-4 protocol, while enabling shadowing exercises the
+// controllers under the disturbance that motivates them.
+//
+// Two modes are provided:
+//
+//   - independent: each sample draws a fresh N(0, σ²) dB offset;
+//   - correlated: the Gudmundson (1991) model, where the offset evolves as a
+//     first-order autoregressive process with spatial decorrelation distance
+//     D: ρ(Δd) = exp(−Δd/D).
+//
+// A Shadowing value is deterministic given its seed and the sequence of
+// sampled positions, which keeps every experiment replayable.
+type Shadowing struct {
+	sigmaDB  float64
+	decorrKm float64 // 0 ⇒ independent samples
+	src      *rng.Source
+
+	// AR(1) state per link (keyed by an opaque link id).
+	state map[int]*shadowState
+}
+
+type shadowState struct {
+	lastKm  float64 // cumulative distance at last sample
+	offset  float64 // current shadowing offset, dB
+	started bool
+}
+
+// NewShadowing returns a shadowing process with standard deviation sigmaDB
+// and decorrelation distance decorrKm (0 disables correlation).  Typical
+// macro-cell values: σ = 6-8 dB, D = 50-100 m.
+func NewShadowing(sigmaDB, decorrKm float64, seed int64) *Shadowing {
+	if sigmaDB < 0 {
+		panic(fmt.Sprintf("radio: negative shadowing sigma %g dB", sigmaDB))
+	}
+	if decorrKm < 0 {
+		panic(fmt.Sprintf("radio: negative decorrelation distance %g km", decorrKm))
+	}
+	return &Shadowing{
+		sigmaDB:  sigmaDB,
+		decorrKm: decorrKm,
+		src:      rng.New(seed),
+		state:    make(map[int]*shadowState),
+	}
+}
+
+// SigmaDB returns the configured standard deviation.
+func (s *Shadowing) SigmaDB() float64 { return s.sigmaDB }
+
+// Sample returns the shadowing offset in dB for the given link when the
+// terminal has walked cumulative distance walkedKm.  link identifies the
+// BS-MS pair so each link evolves its own process; successive calls for the
+// same link must pass non-decreasing walkedKm.
+func (s *Shadowing) Sample(link int, walkedKm float64) float64 {
+	if s.sigmaDB == 0 {
+		return 0
+	}
+	if s.decorrKm == 0 {
+		return s.src.Normal(0, s.sigmaDB)
+	}
+	st, ok := s.state[link]
+	if !ok {
+		st = &shadowState{}
+		s.state[link] = st
+	}
+	if !st.started {
+		st.offset = s.src.Normal(0, s.sigmaDB)
+		st.lastKm = walkedKm
+		st.started = true
+		return st.offset
+	}
+	delta := walkedKm - st.lastKm
+	if delta < 0 {
+		delta = 0
+	}
+	rho := math.Exp(-delta / s.decorrKm)
+	// AR(1) update keeps the marginal N(0, σ²) distribution.
+	st.offset = rho*st.offset + math.Sqrt(1-rho*rho)*s.src.Normal(0, s.sigmaDB)
+	st.lastKm = walkedKm
+	return st.offset
+}
+
+// Reset clears all per-link state, rewinding the process for a new replica.
+func (s *Shadowing) Reset(seed int64) {
+	s.src.Reset(seed)
+	s.state = make(map[int]*shadowState)
+}

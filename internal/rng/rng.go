@@ -1,0 +1,172 @@
+// Package rng provides the deterministic pseudo-random substrate used by
+// every stochastic component of the simulator.
+//
+// The paper (Barolli et al., ICPP-W 2008) parameterises its Monte-Carlo
+// random-walk runs by an integer seed ("iseed = 100, 200"); reproducing its
+// experiments therefore requires a generator whose whole stream is a pure
+// function of that seed, independent of the Go release in use.  Package rng
+// implements the classic MINSTD linear congruential generator (Park-Miller,
+// multiplier 16807 modulo 2^31-1) together with the Box-Muller transform for
+// Gaussian variates.  MINSTD is the same generator family that the Fortran
+// simulation codes of the paper's era shipped with, and its tiny state makes
+// sub-stream derivation (one replica per run, as in the paper's "10 times
+// simulations") trivial and collision-free.
+//
+// The package intentionally does not wrap math/rand: the stdlib generator
+// changed algorithms across Go releases, which would silently change every
+// trajectory in EXPERIMENTS.md.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// MINSTD constants (Park-Miller 1988 "minimal standard" generator).
+const (
+	minstdA = 16807      // multiplier
+	minstdM = 2147483647 // modulus 2^31 - 1 (a Mersenne prime)
+)
+
+// Source is a deterministic uniform pseudo-random source.  The zero value is
+// not valid; construct with New.  Source is not safe for concurrent use; use
+// one Source per goroutine (see Split).
+type Source struct {
+	state int64
+	seed  int64
+
+	// Box-Muller carry: the transform produces variates in pairs.
+	gaussReady bool
+	gaussValue float64
+}
+
+// New returns a Source seeded with seed.  Any seed value is accepted: the
+// value is folded into the generator's valid state range (1 .. m-1).  Two
+// distinct seeds in [1, m-1] yield distinct streams.
+func New(seed int64) *Source {
+	s := &Source{seed: seed}
+	s.Reset(seed)
+	return s
+}
+
+// Reset rewinds the source to the beginning of the stream for seed.
+func (s *Source) Reset(seed int64) {
+	state := seed % minstdM
+	if state < 0 {
+		state += minstdM
+	}
+	if state == 0 {
+		// State 0 is a fixed point of the LCG; remap it to an arbitrary
+		// interior point so that New(0) still yields a usable stream.
+		state = 1043618065
+	}
+	s.seed = seed
+	s.state = state
+	s.gaussReady = false
+	s.gaussValue = 0
+}
+
+// Seed returns the seed the source was created (or last Reset) with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// next advances the LCG and returns the raw state in [1, m-1].
+func (s *Source) next() int64 {
+	s.state = (s.state * minstdA) % minstdM
+	return s.state
+}
+
+// Uint31 returns the next raw generator output in [1, 2^31-2].
+func (s *Source) Uint31() int64 { return s.next() }
+
+// Float64 returns a uniform variate in the half-open interval [0, 1).
+func (s *Source) Float64() float64 {
+	// state ∈ [1, m-1], so (state-1)/(m-1) ∈ [0, 1).
+	return float64(s.next()-1) / float64(minstdM-1)
+}
+
+// Intn returns a uniform integer in [0, n).  It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn called with non-positive n %d", n))
+	}
+	return int(s.Float64() * float64(n))
+}
+
+// Uniform returns a uniform variate in [lo, hi).  It panics if hi < lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: Uniform called with hi %g < lo %g", hi, lo))
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Angle returns a uniform angle in [0, 2π).
+func (s *Source) Angle() float64 { return s.Float64() * 2 * math.Pi }
+
+// Gauss returns a standard normal variate (mean 0, stddev 1) using the
+// Box-Muller transform.  Variates are produced in pairs; the second of each
+// pair is buffered so consecutive calls consume uniforms at half rate.
+func (s *Source) Gauss() float64 {
+	if s.gaussReady {
+		s.gaussReady = false
+		return s.gaussValue
+	}
+	// Draw u1 ∈ (0,1] to keep Log finite: Float64 returns [0,1), so flip it.
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	s.gaussValue = r * math.Sin(2*math.Pi*u2)
+	s.gaussReady = true
+	return r * math.Cos(2*math.Pi*u2)
+}
+
+// Normal returns a normal variate with the given mean and standard
+// deviation.  It panics if stddev is negative.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	if stddev < 0 {
+		panic(fmt.Sprintf("rng: Normal called with negative stddev %g", stddev))
+	}
+	return mean + stddev*s.Gauss()
+}
+
+// PositiveNormal returns |N(mean, stddev)| folded to be at least floor.
+// The paper's random walk draws step lengths from a Gaussian with mean
+// 0.6 km; folding keeps the walk well defined when the tail goes negative.
+func (s *Source) PositiveNormal(mean, stddev, floor float64) float64 {
+	v := math.Abs(s.Normal(mean, stddev))
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Exponential returns an exponential variate with the given rate (λ).
+// It panics if rate is not positive.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("rng: Exponential called with non-positive rate %g", rate))
+	}
+	return -math.Log(1-s.Float64()) / rate
+}
+
+// Split derives an independent sub-stream source for replica i of this
+// source's seed.  The derivation is a SplitMix-style avalanche over
+// (seed, i), so replicas of the same seed, and the same replica of
+// different seeds, land far apart in seed space.
+func (s *Source) Split(i int) *Source {
+	return New(DeriveSeed(s.seed, i))
+}
+
+// DeriveSeed maps a (seed, replica) pair to a well-mixed derived seed.
+// It is exported so that callers that construct sources lazily (one per
+// goroutine, one per replica) agree on the derivation with Split.
+func DeriveSeed(seed int64, replica int) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(replica+1)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	v := int64(z % (minstdM - 1))
+	return v + 1 // [1, m-1]
+}

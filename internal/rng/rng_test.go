@@ -1,0 +1,309 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProducesKnownStream(t *testing.T) {
+	// MINSTD with seed 1 has a published reference value: after 10000 steps
+	// the state is 1043618065 (Park & Miller 1988).
+	s := New(1)
+	var v int64
+	for i := 0; i < 10000; i++ {
+		v = s.Uint31()
+	}
+	if v != 1043618065 {
+		t.Fatalf("MINSTD 10000th output = %d, want 1043618065", v)
+	}
+}
+
+func TestResetRewindsStream(t *testing.T) {
+	s := New(100)
+	first := make([]float64, 16)
+	for i := range first {
+		first[i] = s.Float64()
+	}
+	s.Reset(100)
+	for i := range first {
+		if got := s.Float64(); got != first[i] {
+			t.Fatalf("after Reset, sample %d = %g, want %g", i, got, first[i])
+		}
+	}
+}
+
+func TestSeedZeroIsUsable(t *testing.T) {
+	s := New(0)
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("seed-0 stream looks degenerate: only %d distinct values in 100", len(seen))
+	}
+}
+
+func TestNegativeSeedIsUsable(t *testing.T) {
+	s := New(-12345)
+	for i := 0; i < 100; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a, b := New(100), New(200)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 100 and 200 collided on %d of 1000 samples", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		s := New(seed)
+		for i := 0; i < 64; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := New(42)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %g, want ≈ 0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %g, want ≈ %g", variance, 1.0/12)
+	}
+}
+
+func TestGaussMoments(t *testing.T) {
+	s := New(7)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Gauss()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("gaussian mean = %g, want ≈ 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("gaussian variance = %g, want ≈ 1", variance)
+	}
+}
+
+func TestGaussFinite(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Gauss()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Gauss() produced non-finite value %g at i=%d", v, i)
+		}
+	}
+}
+
+func TestNormalScaling(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("Normal(5,2) mean = %g, want ≈ 5", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("Normal(5,2) variance = %g, want ≈ 4", variance)
+	}
+}
+
+func TestNormalNegativeStddevPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normal with negative stddev did not panic")
+		}
+	}()
+	New(1).Normal(0, -1)
+}
+
+func TestPositiveNormal(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		v := s.PositiveNormal(0.6, 0.3, 0.05)
+		if v < 0.05 {
+			t.Fatalf("PositiveNormal below floor: %g", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for b, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Errorf("Intn(7) bucket %d count %d far from uniform 10000", b, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform(-3,7) = %g out of range", v)
+		}
+	}
+}
+
+func TestUniformPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(1,0) did not panic")
+		}
+	}()
+	New(1).Uniform(1, 0)
+}
+
+func TestAngleRange(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 10000; i++ {
+		v := s.Angle()
+		if v < 0 || v >= 2*math.Pi {
+			t.Fatalf("Angle() = %g out of [0, 2π)", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(19)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(2)
+		if v < 0 {
+			t.Fatalf("Exponential(2) = %g negative", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exponential(2) mean = %g, want ≈ 0.5", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	base := New(100)
+	a, b := base.Split(0), base.Split(1)
+	if a.Seed() == b.Seed() {
+		t.Fatal("Split(0) and Split(1) derived the same seed")
+	}
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("replica streams collided on %d of 1000 samples", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(100).Split(3)
+	b := New(100).Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestDeriveSeedRange(t *testing.T) {
+	if err := quick.Check(func(seed int64, replica uint8) bool {
+		v := DeriveSeed(seed, int(replica))
+		return v >= 1 && v <= minstdM-1
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveSeedMatchesSplit(t *testing.T) {
+	s := New(777)
+	want := DeriveSeed(777, 5)
+	if got := s.Split(5).Seed(); got != want {
+		t.Fatalf("Split(5).Seed() = %d, want DeriveSeed = %d", got, want)
+	}
+}
+
+func TestGaussPairBufferingResetCleared(t *testing.T) {
+	s := New(21)
+	_ = s.Gauss() // buffers the sine half of the pair
+	s.Reset(21)
+	a := s.Gauss()
+	s.Reset(21)
+	b := s.Gauss()
+	if a != b {
+		t.Fatalf("Gauss after Reset differs: %g vs %g (stale pair buffer)", a, b)
+	}
+}

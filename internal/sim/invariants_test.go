@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestRunInvariantsAcrossSeeds checks structural invariants of any run over
+// a spread of random seeds and both paper radii:
+//
+//   - the serving-cell sequence has exactly HandoverCount transitions;
+//   - handover events are strictly ordered in epochs and reference real
+//     epochs whose decision actually requested the handover;
+//   - ping-pong count never exceeds the handover count;
+//   - every epoch's serving cell matches the attachment implied by the
+//     event history.
+func TestRunInvariantsAcrossSeeds(t *testing.T) {
+	for _, radius := range []float64{1, 2} {
+		for k := 0; k < 40; k++ {
+			cfg := Config{
+				Seed:         rng.DeriveSeed(12345, k),
+				CellRadiusKm: radius,
+				NWalk:        8,
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("radius %g seed %d: %v", radius, k, err)
+			}
+			// Epochs record the pre-handover attachment, so an event at the
+			// final epoch never surfaces in the serving sequence; every
+			// other event produces exactly one transition.
+			visible := 0
+			for _, ev := range res.Events {
+				if ev.Epoch < len(res.Epochs)-1 {
+					visible++
+				}
+			}
+			if got := len(res.ServingCells) - 1; got != visible {
+				t.Fatalf("radius %g replica %d: %d serving transitions, %d visible handovers",
+					radius, k, got, visible)
+			}
+			if res.PingPongCount > res.HandoverCount() {
+				t.Fatalf("ping-pong %d exceeds handovers %d", res.PingPongCount, res.HandoverCount())
+			}
+			prevEpoch := -1
+			for _, ev := range res.Events {
+				if ev.Epoch <= prevEpoch {
+					t.Fatalf("events out of order: %v", res.Events)
+				}
+				prevEpoch = ev.Epoch
+				e := res.Epochs[ev.Epoch]
+				if !e.Executed || !e.Decision.Handover {
+					t.Fatalf("event at epoch %d not backed by an executed decision", ev.Epoch)
+				}
+				if e.Serving != ev.From || e.Neighbor != ev.To {
+					t.Fatalf("event %v inconsistent with epoch measurement %v->%v",
+						ev, e.Serving, e.Neighbor)
+				}
+			}
+			// Replay the attachment from events and compare per epoch.
+			serving := res.Epochs[0].Serving
+			evIdx := 0
+			for _, e := range res.Epochs {
+				if e.Serving != serving {
+					t.Fatalf("epoch %d serving %v, want %v", e.Index, e.Serving, serving)
+				}
+				if evIdx < len(res.Events) && res.Events[evIdx].Epoch == e.Index {
+					serving = res.Events[evIdx].To
+					evIdx++
+				}
+			}
+		}
+	}
+}

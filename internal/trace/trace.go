@@ -1,0 +1,266 @@
+// Package trace renders experiment artifacts: CSV series for external
+// plotting and ASCII charts for terminal inspection.  Every figure of the
+// paper is emitted in both forms by cmd/hofigures.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named data series of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate checks the series shape.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("trace: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+	}
+	return nil
+}
+
+// WriteCSV writes the series set as a CSV table with a shared x column.
+// Series may have different x grids; missing cells are left empty.  The
+// header is "x,<name1>,<name2>,...".
+func WriteCSV(w io.Writer, xLabel string, series ...Series) error {
+	for _, s := range series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	// Collect the union of x values, sorted, de-duplicated.
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sortFloats(xs)
+	// Per-series lookup.
+	lookups := make([]map[float64]float64, len(series))
+	for i, s := range series {
+		m := make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
+			m[x] = s.Y[j]
+		}
+		lookups[i] = m
+	}
+	header := make([]string, 0, len(series)+1)
+	header = append(header, csvEscape(xLabel))
+	for _, s := range series {
+		header = append(header, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for _, x := range xs {
+		row[0] = formatFloat(x)
+		for i := range series {
+			if y, ok := lookups[i][x]; ok {
+				row[i+1] = formatFloat(y)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort keeps the dependency footprint zero; series are small.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// plotGlyphs mark successive series in ASCII charts.
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// LinePlot renders the series as an ASCII chart of the given dimensions
+// (including axes).  Y grows upward; each series uses its own glyph; a
+// legend line follows the chart.
+func LinePlot(width, height int, xLabel, yLabel string, series ...Series) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			empty = false
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if empty {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Leave room for the y-axis labels (10 columns) and the axis itself.
+	const labelW = 10
+	plotW := width - labelW - 1
+	plotH := height - 2
+	grid := make([][]byte, plotH)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	for si, s := range series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int(float64(plotW-1) * (s.X[i] - minX) / (maxX - minX))
+			r := plotH - 1 - int(float64(plotH-1)*(s.Y[i]-minY)/(maxY-minY))
+			if c >= 0 && c < plotW && r >= 0 && r < plotH {
+				grid[r][c] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", yLabel)
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g", maxY)
+		case plotH - 1:
+			label = fmt.Sprintf("%9.3g", minY)
+		case plotH / 2:
+			label = fmt.Sprintf("%9.3g", (minY+maxY)/2)
+		}
+		fmt.Fprintf(&b, "%10s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%10s+%s\n", "", strings.Repeat("-", plotW))
+	fmt.Fprintf(&b, "%10s %-10.3g%*s\n", "", minX, plotW-10, fmt.Sprintf("%.3g  %s", maxX, xLabel))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotGlyphs[si%len(plotGlyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// ScatterMap renders 2-D points (e.g. a walk pattern with cell centres) on
+// a square-aspect ASCII canvas.  Marker sets are rendered in order, so later
+// sets overwrite earlier ones at shared positions.
+type MarkerSet struct {
+	Name   string
+	Glyph  byte
+	Points [][2]float64 // (x, y)
+}
+
+// ScatterPlot renders marker sets in a width×height canvas with equal
+// x/y scaling around the bounding box of all points.
+func ScatterPlot(width, height int, sets ...MarkerSet) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, set := range sets {
+		for _, p := range set.Points {
+			empty = false
+			minX, maxX = math.Min(minX, p[0]), math.Max(maxX, p[0])
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+		}
+	}
+	if empty {
+		return "(no data)\n"
+	}
+	// Equal scale: expand the smaller range; pad 5%.
+	spanX, spanY := maxX-minX, maxY-minY
+	span := math.Max(math.Max(spanX, spanY), 1e-9) * 1.05
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	minX, maxX = cx-span/2, cx+span/2
+	minY, maxY = cy-span/2, cy+span/2
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, set := range sets {
+		for _, p := range set.Points {
+			c := int(float64(width-1) * (p[0] - minX) / (maxX - minX))
+			r := height - 1 - int(float64(height-1)*(p[1]-minY)/(maxY-minY))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = set.Glyph
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	legend := make([]string, 0, len(sets))
+	for _, set := range sets {
+		legend = append(legend, fmt.Sprintf("%c=%s", set.Glyph, set.Name))
+	}
+	fmt.Fprintf(&b, "x:[%.2f, %.2f] y:[%.2f, %.2f]  %s\n", minX, maxX, minY, maxY, strings.Join(legend, "  "))
+	return b.String()
+}
+
+// PolylinePoints densifies a polyline into per-step points for ScatterPlot.
+func PolylinePoints(xs, ys []float64, perLeg int) [][2]float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return nil
+	}
+	if perLeg < 1 {
+		perLeg = 1
+	}
+	var out [][2]float64
+	out = append(out, [2]float64{xs[0], ys[0]})
+	for i := 1; i < len(xs); i++ {
+		for k := 1; k <= perLeg; k++ {
+			t := float64(k) / float64(perLeg)
+			out = append(out, [2]float64{
+				xs[i-1] + t*(xs[i]-xs[i-1]),
+				ys[i-1] + t*(ys[i]-ys[i-1]),
+			})
+		}
+	}
+	return out
+}

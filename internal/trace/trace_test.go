@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesValidate(t *testing.T) {
+	ok := Series{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Series{Name: "b", X: []float64{1}, Y: []float64{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+}
+
+func TestWriteCSVSingleSeries(t *testing.T) {
+	var b strings.Builder
+	s := Series{Name: "power", X: []float64{0, 1, 2}, Y: []float64{-60, -70, -80}}
+	if err := WriteCSV(&b, "km", s); err != nil {
+		t.Fatal(err)
+	}
+	want := "km,power\n0,-60\n1,-70\n2,-80\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteCSVMergesXGrids(t *testing.T) {
+	var b strings.Builder
+	a := Series{Name: "a", X: []float64{0, 2}, Y: []float64{1, 2}}
+	c := Series{Name: "b", X: []float64{1, 2}, Y: []float64{5, 6}}
+	if err := WriteCSV(&b, "x", a, c); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "x,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,1," {
+		t.Errorf("row 0 = %q (missing cell must be empty)", lines[1])
+	}
+	if lines[2] != "1,,5" {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	if lines[3] != "2,2,6" {
+		t.Errorf("row 2 = %q", lines[3])
+	}
+}
+
+func TestWriteCSVEscapesHeader(t *testing.T) {
+	var b strings.Builder
+	s := Series{Name: `BS "origin", power`, X: []float64{0}, Y: []float64{1}}
+	if err := WriteCSV(&b, "x", s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"BS ""origin"", power"`) {
+		t.Errorf("header not escaped: %q", b.String())
+	}
+}
+
+func TestWriteCSVRejectsBadSeries(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, "x", Series{Name: "bad", X: []float64{1}, Y: nil})
+	if err == nil {
+		t.Error("bad series accepted")
+	}
+}
+
+func TestLinePlotShape(t *testing.T) {
+	s := Series{Name: "walk", X: []float64{0, 1, 2, 3}, Y: []float64{-60, -75, -90, -110}}
+	out := LinePlot(60, 14, "Distance [km]", "Received Power [dB]", s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// yLabel + 12 plot rows + axis + xlabels + legend.
+	if len(lines) != 1+12+1+1+1 {
+		t.Fatalf("plot has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "*=walk") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "Received Power [dB]") || !strings.Contains(out, "Distance [km]") {
+		t.Error("axis labels missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs plotted")
+	}
+}
+
+func TestLinePlotMultiSeriesGlyphs(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out := LinePlot(50, 10, "x", "y", a, b)
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Errorf("legend glyphs wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("second series not plotted")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	if out := LinePlot(40, 10, "x", "y"); out != "(no data)\n" {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}
+	out := LinePlot(40, 10, "x", "y", s)
+	if !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestScatterPlotEqualAspect(t *testing.T) {
+	set := MarkerSet{Name: "walk", Glyph: '.', Points: [][2]float64{{0, 0}, {1, 1}, {2, 0}}}
+	out := ScatterPlot(40, 12, set)
+	if !strings.Contains(out, ".=walk") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "x:[") || !strings.Contains(out, "y:[") {
+		t.Error("range footer missing")
+	}
+	// Equal aspect: x and y spans in the footer must be equal.
+	if out == "(no data)\n" {
+		t.Fatal("no data")
+	}
+}
+
+func TestScatterPlotLayering(t *testing.T) {
+	base := MarkerSet{Name: "bs", Glyph: 'B', Points: [][2]float64{{0, 0}}}
+	top := MarkerSet{Name: "ms", Glyph: 'M', Points: [][2]float64{{0, 0}}}
+	out := ScatterPlot(30, 10, base, top)
+	if strings.Contains(strings.Split(out, "\n")[5], "B") && !strings.Contains(out, "M") {
+		t.Error("later set must overwrite earlier")
+	}
+	if !strings.Contains(out, "M") {
+		t.Error("top marker missing")
+	}
+}
+
+func TestScatterPlotEmpty(t *testing.T) {
+	if out := ScatterPlot(40, 10); out != "(no data)\n" {
+		t.Errorf("empty scatter = %q", out)
+	}
+}
+
+func TestPolylinePoints(t *testing.T) {
+	pts := PolylinePoints([]float64{0, 1}, []float64{0, 2}, 4)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	if pts[2] != [2]float64{0.5, 1} {
+		t.Errorf("midpoint = %v", pts[2])
+	}
+	if PolylinePoints([]float64{0}, []float64{0, 1}, 2) != nil {
+		t.Error("mismatched input accepted")
+	}
+	if got := PolylinePoints([]float64{0, 1}, []float64{0, 1}, 0); len(got) != 2 {
+		t.Error("perLeg floor not applied")
+	}
+}

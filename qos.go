@@ -1,0 +1,32 @@
+package fuzzyho
+
+import "repro/internal/qos"
+
+// Call-level QoS substrate (paper §1 motivation: balancing call blocking
+// against call dropping).
+type (
+	// QoSConfig describes one call-level simulation: Poisson arrivals,
+	// exponential holding times, channel-limited cells with guard channels,
+	// and per-call mobility driving a handover algorithm.
+	QoSConfig = qos.Config
+	// QoSResult aggregates blocking/dropping/ping-pong statistics.
+	QoSResult = qos.Result
+)
+
+// RunQoS executes one call-level simulation.
+func RunQoS(cfg QoSConfig) (*QoSResult, error) { return qos.Run(cfg) }
+
+// QoSSweepLoad runs the call-level simulation across arrival rates.
+func QoSSweepLoad(base QoSConfig, arrivalsPerCellHour []float64) ([]*QoSResult, error) {
+	return qos.SweepLoad(base, arrivalsPerCellHour)
+}
+
+// ErlangB returns the analytic Erlang-B blocking probability for the given
+// offered traffic (erlangs) on m circuits.
+func ErlangB(erlangs float64, m int) (float64, error) { return qos.ErlangB(erlangs, m) }
+
+// ErlangBInverse returns the offered traffic at which m circuits reach the
+// target blocking probability.
+func ErlangBInverse(target float64, m int) (float64, error) {
+	return qos.ErlangBInverse(target, m)
+}

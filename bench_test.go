@@ -124,6 +124,118 @@ func BenchmarkComparisonFuzzyVsBaselines(b *testing.B) {
 
 // --- Micro-benchmarks: hot paths -----------------------------------------
 
+// BenchmarkEvaluate is the map-based inference baseline: one decision of the
+// paper's FLC through fuzzy.System.Evaluate, building the input map per call
+// the way a map-API caller must.  BenchmarkEvaluateFast measures the same
+// decision on the positional fast path; the ratio of the two is the fast
+// path's headline speedup.
+func BenchmarkEvaluate(b *testing.B) {
+	sys := NewFLC().System()
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hd, err := sys.Evaluate(map[string]float64{
+			core.VarCSSP: -3.5,
+			core.VarSSN:  -95 + float64(i%10),
+			core.VarDMB:  1.1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += hd
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("sink NaN")
+	}
+}
+
+// BenchmarkEvaluateFast measures the allocation-free positional path:
+// fuzzify → 64-rule inference → height defuzzification on caller-owned
+// Scratch buffers.  Must report 0 allocs/op.
+func BenchmarkEvaluateFast(b *testing.B) {
+	sys := NewFLC().System()
+	sc := sys.NewScratch()
+	xs := sc.Xs()
+	xs[0], xs[2] = -3.5, 1.1
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xs[1] = -95 + float64(i%10)
+		hd, err := sys.EvaluateInto(sc, xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += hd
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("sink NaN")
+	}
+}
+
+// BenchmarkEvaluateParallel runs the fast path on every core with one
+// Scratch per goroutine — the aggregate inference throughput ceiling.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	sys := NewFLC().System()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sc := sys.NewScratch()
+		xs := sc.Xs()
+		xs[0], xs[2] = -3.5, 1.1
+		i := 0
+		for pb.Next() {
+			xs[1] = -95 + float64(i%10)
+			if _, err := sys.EvaluateInto(sc, xs); err != nil {
+				b.Error(err) // FailNow is not allowed off the benchmark goroutine
+				return
+			}
+			i++
+		}
+	})
+}
+
+// --- Fleet benchmarks ------------------------------------------------------
+
+// fleetBenchConfigs builds the scenario grid the fleet benchmarks run: both
+// paper base seeds × 4 replicas × 3 speeds = 24 independent simulations.
+func fleetBenchConfigs() []SimConfig {
+	speeds := []float64{0, 25, 50}
+	cfgs, _ := SweepGrid("boundary", PaperBoundaryConfig(), 4, speeds)
+	c2, _ := SweepGrid("crossing", PaperCrossingConfig(), 4, speeds)
+	return append(cfgs, c2...)
+}
+
+// benchFleet runs the grid through RunFleet with the given worker count and
+// reports epochs/sec (the scale metric the ROADMAP tracks).
+func benchFleet(b *testing.B, workers int) {
+	cfgs := fleetBenchConfigs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	epochs := 0
+	for i := 0; i < b.N; i++ {
+		results, err := RunFleet(cfgs, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epochs = 0
+		for _, r := range results {
+			epochs += len(r.Epochs)
+		}
+	}
+	b.ReportMetric(float64(epochs*b.N)/b.Elapsed().Seconds(), "epochs/sec")
+	b.ReportMetric(float64(len(cfgs)*b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkFleetSequential is the single-worker fleet baseline.
+func BenchmarkFleetSequential(b *testing.B) { benchFleet(b, 1) }
+
+// BenchmarkFleetParallel8 shards the same grid across 8 workers; results
+// are byte-identical to the sequential run (see sim/fleet_test.go), only
+// the wall clock changes.
+func BenchmarkFleetParallel8(b *testing.B) { benchFleet(b, 8) }
+
 // BenchmarkFLCInference measures one fuzzy handover decision (fuzzify →
 // 64-rule inference → height defuzzification), the per-epoch cost of the
 // paper's controller.

@@ -105,6 +105,9 @@ type (
 	InferenceSystem = fuzzy.System
 	// InferenceTrace explains one evaluation.
 	InferenceTrace = fuzzy.Trace
+	// Scratch holds reusable inference buffers for the allocation-free
+	// fast path (one per goroutine; see InferenceSystem.EvaluateInto).
+	Scratch = fuzzy.Scratch
 )
 
 // Membership-function constructors (re-exported).
@@ -146,6 +149,8 @@ type (
 	WalkClass = sim.WalkClass
 	// ScenarioSearchResult records which sub-stream realised a scenario.
 	ScenarioSearchResult = sim.ScenarioSearchResult
+	// FleetPoint identifies one cell of a fleet sweep grid.
+	FleetPoint = sim.FleetPoint
 	// Cell is a hexagonal lattice cell label, the paper's BS(i,j).
 	Cell = hexgrid.Cell
 	// Vec is a planar point in km.
@@ -177,6 +182,18 @@ const (
 
 // RunSim executes one simulation run.
 func RunSim(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// RunFleet executes many independent simulation configs across a worker
+// pool with deterministic, config-ordered results; see sim.RunFleet.
+func RunFleet(cfgs []SimConfig, workers int) ([]*SimResult, error) {
+	return sim.RunFleet(cfgs, workers)
+}
+
+// SweepGrid expands a labelled base config into the seed-replica × speed
+// cross product for RunFleet; see sim.SweepGrid.
+func SweepGrid(label string, base SimConfig, replicas int, speeds []float64) ([]SimConfig, []FleetPoint) {
+	return sim.SweepGrid(label, base, replicas, speeds)
+}
 
 // PaperBoundaryConfig is the iseed = 100 scenario (Fig. 7 / Table 3).
 func PaperBoundaryConfig() SimConfig { return sim.PaperBoundaryConfig() }

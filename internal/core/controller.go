@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fuzzy"
 )
 
 // DefaultHandoverThreshold is the paper's decision threshold: "the handover
@@ -164,12 +166,28 @@ func (c *Controller) QualityGateDB() float64 { return c.qualityGateDB }
 //  3. PRTLC: the present signal strength is compared with the previous one;
 //     the handover is carried out only if the signal is still falling.
 func (c *Controller) Decide(r Report) (Decision, error) {
+	// Stage 1: POTLC quality gate (checked before borrowing buffers so the
+	// common in-cell epoch stays branch-only).
+	if r.ServingDB >= c.qualityGateDB {
+		return Decision{Handover: false, Stage: StageQualityGate}, nil
+	}
+	sc := c.flc.getScratch()
+	d, err := c.DecideInto(sc, r)
+	c.flc.putScratch(sc)
+	return d, err
+}
+
+// DecideInto is Decide on caller-owned inference buffers: the whole POTLC →
+// FLC → PRTLC pipeline runs without heap allocations.  sc must come from
+// this controller's FLC().NewScratch() and must not be shared across
+// goroutines.
+func (c *Controller) DecideInto(sc *fuzzy.Scratch, r Report) (Decision, error) {
 	// Stage 1: POTLC quality gate.
 	if r.ServingDB >= c.qualityGateDB {
 		return Decision{Handover: false, Stage: StageQualityGate}, nil
 	}
 	// Stage 2: FLC.
-	hd, err := c.flc.Evaluate(r.CSSPdB, r.SSNdB, r.DMBNorm)
+	hd, err := c.flc.EvaluateInto(sc, r.CSSPdB, r.SSNdB, r.DMBNorm)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: FLC evaluation: %w", err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fuzzy"
 )
@@ -13,6 +14,10 @@ import (
 // concurrent use.
 type FLC struct {
 	sys *fuzzy.System
+	// scratches recycles inference buffers for callers that use the
+	// convenience Evaluate; hot loops should hold their own Scratch and
+	// call EvaluateInto directly.
+	scratches sync.Pool
 }
 
 // FLCOptions tunes the inference operators for the ablation studies; the
@@ -76,17 +81,41 @@ func NewFLCWithOptions(opts FLCOptions) (*FLC, error) {
 // horules explainer).
 func (f *FLC) System() *fuzzy.System { return f.sys }
 
+// NewScratch returns reusable inference buffers for EvaluateInto.  One
+// Scratch per goroutine; see fuzzy.Scratch.
+func (f *FLC) NewScratch() *fuzzy.Scratch { return f.sys.NewScratch() }
+
+// getScratch pops a pooled Scratch (or makes one); putScratch recycles it.
+func (f *FLC) getScratch() *fuzzy.Scratch {
+	if sc, ok := f.scratches.Get().(*fuzzy.Scratch); ok {
+		return sc
+	}
+	return f.sys.NewScratch()
+}
+
+func (f *FLC) putScratch(sc *fuzzy.Scratch) { f.scratches.Put(sc) }
+
 // Evaluate computes the handover-decision output HD ∈ [0, 1] for the given
 // raw inputs.  Inputs are clamped to the Fig. 5 universes, so out-of-range
 // measurements saturate rather than fail; the complete Table 1 grid
-// guarantees some rule always fires.
+// guarantees some rule always fires.  Evaluate runs on the positional fast
+// path with pooled buffers; per-goroutine hot loops should prefer
+// EvaluateInto with their own Scratch.
 func (f *FLC) Evaluate(csspDB, ssnDB, dmbNorm float64) (float64, error) {
+	sc := f.getScratch()
+	hd, err := f.EvaluateInto(sc, csspDB, ssnDB, dmbNorm)
+	f.putScratch(sc)
+	return hd, err
+}
+
+// EvaluateInto is Evaluate on caller-owned buffers: zero heap allocations
+// per call.  sc must come from this FLC's NewScratch and must not be shared
+// across goroutines.
+func (f *FLC) EvaluateInto(sc *fuzzy.Scratch, csspDB, ssnDB, dmbNorm float64) (float64, error) {
 	cssp, ssn, dmb := ClampInputs(csspDB, ssnDB, dmbNorm)
-	return f.sys.Evaluate(map[string]float64{
-		VarCSSP: cssp,
-		VarSSN:  ssn,
-		VarDMB:  dmb,
-	})
+	// Positional order matches NewFLCWithOptions: CSSP, SSN, DMB.
+	xs := [3]float64{cssp, ssn, dmb}
+	return f.sys.EvaluateInto(sc, xs[:])
 }
 
 // EvaluateTrace is Evaluate with the full inference explanation.

@@ -49,6 +49,17 @@ type System struct {
 	opts   Options
 	// compiled rules: term indices resolved once at construction.
 	compiled []compiledRule
+	// Fast-path compilation (see fast.go): devirtualized input terms,
+	// flat rule/clause pools, precomputed output-term midpoints, and flags
+	// recording whether the default operator family applies so EvaluateInto
+	// can inline it.
+	fastIn      [][]fastTerm
+	grid        *gridTable
+	fastRules   []fastRule
+	fastClauses []fastClause
+	outMid      []float64
+	fastNorms   bool // AndNorm/OrNorm left at defaults (min/max)
+	fastDefuzz  bool // defuzzifier is WeightedAverage
 }
 
 type compiledRule struct {
@@ -104,6 +115,21 @@ func NewSystem(output *Variable, rules RuleBase, opts Options, inputs ...*Variab
 		output: output,
 		rules:  rules,
 		opts:   opts.withDefaults(),
+		// Explicitly passed norms are honored through the generic path even
+		// when they equal the defaults (func values are not comparable).
+		fastNorms: opts.AndNorm == nil && opts.OrNorm == nil,
+	}
+	_, s.fastDefuzz = s.opts.Defuzzifier.(WeightedAverage)
+	s.fastIn = make([][]fastTerm, len(inputs))
+	for i, v := range inputs {
+		s.fastIn[i] = make([]fastTerm, len(v.Terms))
+		for j, t := range v.Terms {
+			s.fastIn[i][j] = compileTerm(t.MF)
+		}
+	}
+	s.outMid = make([]float64, len(output.Terms))
+	for i, t := range output.Terms {
+		s.outMid[i] = CoreMidpoint(t.MF, output.Min, output.Max)
 	}
 	varIdx := make(map[string]int, len(inputs))
 	for i, v := range inputs {
@@ -135,6 +161,7 @@ func NewSystem(output *Variable, rules RuleBase, opts Options, inputs ...*Variab
 		}
 		s.compiled[i] = cr
 	}
+	s.compileFastRules()
 	return s, nil
 }
 
@@ -174,26 +201,45 @@ type Trace struct {
 	Firings     []RuleFiring
 	Activations map[string]float64
 	Output      float64
+
+	// Rendering orders, captured from the system at trace time: input
+	// variables and their terms in definition order.  Zero-value Traces
+	// (built by hand) fall back to sorted map keys.
+	inputOrder   []string
+	termOrder    [][]string // parallel to inputOrder
+	outTermOrder []string
+}
+
+// sortedKeys is the fallback ordering for hand-built Traces without a
+// captured definition order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // String renders the trace as a human-readable explanation (used by the
-// horules CLI).
+// horules CLI).  Variables and terms appear in definition order — the order
+// of the paper's Fig. 5 — rather than alphabetically.
 func (tr *Trace) String() string {
 	var b strings.Builder
-	names := make([]string, 0, len(tr.Inputs))
-	for n := range tr.Inputs {
-		names = append(names, n)
+	names := tr.inputOrder
+	if names == nil {
+		names = sortedKeys(tr.Inputs)
 	}
-	sort.Strings(names)
 	b.WriteString("inputs:\n")
-	for _, n := range names {
+	for i, n := range names {
 		fmt.Fprintf(&b, "  %s = %g\n", n, tr.Inputs[n])
 		grades := tr.Fuzzified[n]
-		terms := make([]string, 0, len(grades))
-		for t := range grades {
-			terms = append(terms, t)
+		var terms []string
+		if tr.termOrder != nil {
+			terms = tr.termOrder[i]
+		} else {
+			terms = sortedKeys(grades)
 		}
-		sort.Strings(terms)
 		for _, t := range terms {
 			if grades[t] > 0 {
 				fmt.Fprintf(&b, "    μ_%s = %.4f\n", t, grades[t])
@@ -205,11 +251,10 @@ func (tr *Trace) String() string {
 		fmt.Fprintf(&b, "  #%d [%.4f] %s\n", f.Index, f.Strength, f.Rule)
 	}
 	b.WriteString("output activations:\n")
-	terms := make([]string, 0, len(tr.Activations))
-	for t := range tr.Activations {
-		terms = append(terms, t)
+	terms := tr.outTermOrder
+	if terms == nil {
+		terms = sortedKeys(tr.Activations)
 	}
-	sort.Strings(terms)
 	for _, t := range terms {
 		if tr.Activations[t] > 0 {
 			fmt.Fprintf(&b, "  %s = %.4f\n", t, tr.Activations[t])
@@ -237,9 +282,16 @@ func (s *System) EvaluateTrace(in map[string]float64) (float64, *Trace, error) {
 		return 0, nil, err
 	}
 	tr := &Trace{
-		Inputs:      make(map[string]float64, len(in)),
-		Fuzzified:   make(map[string]map[string]float64, len(s.inputs)),
-		Activations: make(map[string]float64, len(s.output.Terms)),
+		Inputs:       make(map[string]float64, len(in)),
+		Fuzzified:    make(map[string]map[string]float64, len(s.inputs)),
+		Activations:  make(map[string]float64, len(s.output.Terms)),
+		inputOrder:   make([]string, len(s.inputs)),
+		termOrder:    make([][]string, len(s.inputs)),
+		outTermOrder: s.output.TermNames(),
+	}
+	for i, v := range s.inputs {
+		tr.inputOrder[i] = v.Name
+		tr.termOrder[i] = v.TermNames()
 	}
 	for k, v := range in {
 		tr.Inputs[k] = v
@@ -280,6 +332,13 @@ func (s *System) fuzzifyAll(in map[string]float64) ([][]float64, error) {
 // are recorded.
 func (s *System) infer(grades [][]float64, tr *Trace) []float64 {
 	activations := make([]float64, len(s.output.Terms))
+	s.inferInto(grades, activations, tr)
+	return activations
+}
+
+// inferInto accumulates per-output-term activations into the zeroed
+// activations slice; if tr is non-nil, rule firings are recorded.
+func (s *System) inferInto(grades [][]float64, activations []float64, tr *Trace) {
 	for i, cr := range s.compiled {
 		var strength float64
 		for j, c := range cr.clauses {
@@ -310,7 +369,6 @@ func (s *System) infer(grades [][]float64, tr *Trace) []float64 {
 		}
 		activations[cr.outTerm] = s.opts.OrNorm(activations[cr.outTerm], strength)
 	}
-	return activations
 }
 
 // ControlSurface samples the crisp output over a grid of two input
@@ -318,18 +376,30 @@ func (s *System) infer(grades [][]float64, tr *Trace) []float64 {
 // It returns a rows×cols matrix: surface[r][c] is the output at
 // (xVar = xs[c], yVar = ys[r]).  Used by the hosurface CLI and the
 // partition-sensitivity ablation.
+//
+// The whole grid runs on the positional fast path with one shared Scratch:
+// the fixed inputs are resolved to positions once, so no cell re-fuzzifies
+// through the map API.
 func (s *System) ControlSurface(xVar, yVar string, cols, rows int, fixed map[string]float64) (xs, ys []float64, surface [][]float64, err error) {
-	xv, ok := s.byName[xVar]
-	if !ok {
+	xi, yi := -1, -1
+	for i, v := range s.inputs {
+		if v.Name == xVar {
+			xi = i
+		}
+		if v.Name == yVar {
+			yi = i
+		}
+	}
+	if xi < 0 {
 		return nil, nil, nil, fmt.Errorf("fuzzy: unknown surface variable %q", xVar)
 	}
-	yv, ok := s.byName[yVar]
-	if !ok {
+	if yi < 0 {
 		return nil, nil, nil, fmt.Errorf("fuzzy: unknown surface variable %q", yVar)
 	}
 	if cols < 2 || rows < 2 {
 		return nil, nil, nil, fmt.Errorf("fuzzy: surface grid must be at least 2×2, got %d×%d", cols, rows)
 	}
+	xv, yv := s.inputs[xi], s.inputs[yi]
 	xs = make([]float64, cols)
 	ys = make([]float64, rows)
 	for c := range xs {
@@ -338,17 +408,25 @@ func (s *System) ControlSurface(xVar, yVar string, cols, rows int, fixed map[str
 	for r := range ys {
 		ys[r] = yv.Min + (yv.Max-yv.Min)*float64(r)/float64(rows-1)
 	}
-	in := make(map[string]float64, len(s.inputs))
-	for k, v := range fixed {
-		in[k] = v
+	sc := s.NewScratch()
+	in := sc.Xs()
+	for i, v := range s.inputs {
+		if i == xi || i == yi {
+			continue
+		}
+		val, ok := fixed[v.Name]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("fuzzy: missing input %q", v.Name)
+		}
+		in[i] = val
 	}
 	surface = make([][]float64, rows)
 	for r := range surface {
 		surface[r] = make([]float64, cols)
-		in[yVar] = ys[r]
+		in[yi] = ys[r]
 		for c := range surface[r] {
-			in[xVar] = xs[c]
-			v, evalErr := s.Evaluate(in)
+			in[xi] = xs[c]
+			v, evalErr := s.EvaluateInto(sc, in)
 			if evalErr != nil {
 				return nil, nil, nil, evalErr
 			}

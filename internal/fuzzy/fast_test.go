@@ -1,0 +1,351 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// quadMF is a membership function the fast path cannot devirtualize; it
+// exercises the mfGeneric fallback.
+type quadMF struct{ center, width float64 }
+
+func (q quadMF) Grade(x float64) float64 {
+	d := (x - q.center) / q.width
+	if d < -1 || d > 1 {
+		return 0
+	}
+	return 1 - d*d
+}
+func (q quadMF) Support() (float64, float64) { return q.center - q.width, q.center + q.width }
+func (q quadMF) Core() (float64, float64)    { return q.center, q.center }
+func (q quadMF) Validate() error             { return nil }
+func (q quadMF) String() string              { return fmt.Sprintf("Quad(%g, %g)", q.center, q.width) }
+
+// notOrSystem exercises NOT clauses, the OR connective, rule weights and a
+// generic (non-devirtualizable) membership function in one fixture.
+func notOrSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	a := MustVariable("a", 0, 10,
+		Term{"lo", ShoulderLeft(2, 6)},
+		Term{"hump", quadMF{center: 5, width: 3}},
+		Term{"hi", ShoulderRight(4, 8)},
+	)
+	b := MustVariable("b", -1, 1,
+		Term{"neg", Tri(-1, -1, 0.25)},
+		Term{"pos", Tri(-0.25, 1, 1)},
+	)
+	y := MustVariable("y", 0, 1,
+		Term{"small", Tri(0, 0, 0.5)},
+		Term{"large", Tri(0.5, 1, 1)},
+	)
+	var rb RuleBase
+	rb.Add(Rule{
+		If:   []Clause{{Var: "a", Term: "lo"}, {Var: "b", Term: "neg", Not: true}},
+		Then: Clause{Var: "y", Term: "small"},
+	})
+	rb.Add(Rule{
+		If:     []Clause{{Var: "a", Term: "hi"}, {Var: "b", Term: "pos"}},
+		Conn:   Or,
+		Then:   Clause{Var: "y", Term: "large"},
+		Weight: 0.8,
+	})
+	rb.Add(Rule{
+		If:   []Clause{{Var: "a", Term: "hump"}},
+		Then: Clause{Var: "y", Term: "large"},
+	})
+	sys, err := NewSystem(y, rb, opts, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// gridSystem is a full-grid AND rulebase (the shape of the paper's Table 1)
+// that compiles into the dense grid table, plus the wrinkles the compiler
+// must handle: a rule with clauses in reversed variable order, a weighted
+// rule, and a duplicate term combination that must fall back to the flat
+// rule pool.
+func gridSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	a := MustVariable("a", 0, 10,
+		Term{"lo", ShoulderLeft(2, 6)},
+		Term{"hi", ShoulderRight(4, 8)},
+	)
+	b := MustVariable("b", 0, 1,
+		Term{"s", ShoulderLeft(0.3, 0.6)},
+		Term{"m", Tri(0.3, 0.6, 0.9)},
+		Term{"l", ShoulderRight(0.6, 0.9)},
+	)
+	y := MustVariable("y", 0, 1,
+		Term{"small", Tri(0, 0, 0.5)},
+		Term{"mid", Tri(0.25, 0.5, 0.75)},
+		Term{"large", Tri(0.5, 1, 1)},
+	)
+	var rb RuleBase
+	out := []string{"small", "small", "mid", "mid", "large", "large"}
+	i := 0
+	for _, at := range []string{"lo", "hi"} {
+		for _, bt := range []string{"s", "m", "l"} {
+			r := Rule{
+				If:   []Clause{{Var: "a", Term: at}, {Var: "b", Term: bt}},
+				Then: Clause{Var: "y", Term: out[i]},
+			}
+			if i == 1 {
+				r.Weight = 0.6
+			}
+			if i%2 == 1 { // reversed clause order must still hit the table
+				r.If[0], r.If[1] = r.If[1], r.If[0]
+			}
+			rb.Add(r)
+			i++
+		}
+	}
+	// Duplicate combo: same antecedent and consequent as rule 1 with a
+	// different weight (a contradictory consequent would fail validation);
+	// the table keeps rule 1, so this one must run from the flat pool.
+	rb.Add(Rule{
+		If:     []Clause{{Var: "a", Term: "lo"}, {Var: "b", Term: "s"}},
+		Then:   Clause{Var: "y", Term: "small"},
+		Weight: 0.5,
+	})
+	sys, err := NewSystem(y, rb, opts, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestGridCompilation(t *testing.T) {
+	sys := gridSystem(t, Options{})
+	if sys.grid == nil {
+		t.Fatal("full-grid rulebase did not compile into the grid table")
+	}
+	if len(sys.fastRules) != 1 {
+		t.Fatalf("%d flat rules, want 1 (the duplicate combo)", len(sys.fastRules))
+	}
+	// The tipper fixture (OR connectives, partial antecedents) must stay
+	// entirely in the flat pool.
+	tip := tipperSystem(t, Options{})
+	if tip.grid != nil {
+		t.Error("non-grid rulebase compiled a grid table")
+	}
+	if len(tip.fastRules) != tip.Rules().Len() {
+		t.Errorf("%d flat rules, want %d", len(tip.fastRules), tip.Rules().Len())
+	}
+}
+
+func TestEvaluateIntoMatchesEvaluateGrid(t *testing.T) {
+	checkEquivalence(t, gridSystem(t, Options{}), 41)
+}
+
+// checkEquivalence compares the map path and the positional fast path over
+// a dense grid of the system's input universes (n samples per axis,
+// including points beyond the universe edges to cover clamping).
+func checkEquivalence(t *testing.T, sys *System, n int) {
+	t.Helper()
+	sc := sys.NewScratch()
+	xs := sc.Xs()
+	in := make(map[string]float64, len(sys.Inputs()))
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == len(sys.Inputs()) {
+			for i, v := range sys.Inputs() {
+				in[v.Name] = xs[i]
+			}
+			want, errWant := sys.Evaluate(in)
+			got, errGot := sys.EvaluateInto(sc, xs)
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("at %v: map err %v, positional err %v", xs, errWant, errGot)
+			}
+			if errWant != nil {
+				return
+			}
+			if math.Abs(want-got) > 1e-12 {
+				t.Fatalf("at %v: map path %.17g, fast path %.17g", xs, want, got)
+			}
+			return
+		}
+		v := sys.Inputs()[dim]
+		span := v.Max - v.Min
+		// Overshoot the universe by 10% on both sides to exercise clamping.
+		for i := 0; i < n; i++ {
+			xs[dim] = v.Min - 0.1*span + 1.2*span*float64(i)/float64(n-1)
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+}
+
+func TestEvaluateIntoMatchesEvaluateDefaults(t *testing.T) {
+	checkEquivalence(t, tipperSystem(t, Options{}), 41)
+	checkEquivalence(t, notOrSystem(t, Options{}), 41)
+}
+
+func TestEvaluateIntoMatchesEvaluateCustomOperators(t *testing.T) {
+	larsen := Options{
+		AndNorm:     ProductNorm,
+		OrNorm:      ProbSumNorm,
+		Implication: ProductImplication,
+	}
+	checkEquivalence(t, tipperSystem(t, larsen), 21)
+	checkEquivalence(t, notOrSystem(t, larsen), 21)
+}
+
+func TestEvaluateIntoMatchesEvaluateCustomDefuzzifiers(t *testing.T) {
+	for _, d := range []Defuzzifier{Centroid{}, Bisector{}, MeanOfMaxima()} {
+		checkEquivalence(t, tipperSystem(t, Options{Defuzzifier: d}), 15)
+	}
+}
+
+// TestEvaluateIntoExplicitDefaultNorms pins the guarantee that passing the
+// default operators explicitly (which routes through the generic path,
+// since func values are not comparable) still agrees with the fast path.
+func TestEvaluateIntoExplicitDefaultNorms(t *testing.T) {
+	explicit := tipperSystem(t, Options{AndNorm: MinNorm, OrNorm: MaxNorm})
+	implicit := tipperSystem(t, Options{})
+	scE, scI := explicit.NewScratch(), implicit.NewScratch()
+	for s := 0.0; s <= 10; s += 0.25 {
+		for f := 0.0; f <= 10; f += 0.25 {
+			xs := []float64{s, f}
+			a, err := explicit.EvaluateInto(scE, xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := implicit.EvaluateInto(scI, xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("explicit defaults diverge at (%g, %g): %.17g vs %.17g", s, f, a, b)
+			}
+		}
+	}
+}
+
+func TestEvaluateIntoZeroAllocs(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	sc := sys.NewScratch()
+	xs := sc.Xs()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		xs[0] = float64(i % 11)
+		xs[1] = float64((i * 3) % 11)
+		i++
+		if _, err := sys.EvaluateInto(sc, xs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EvaluateInto allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestEvaluateIntoScratchValidation(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	other := tipperSystem(t, Options{})
+	if _, err := sys.EvaluateInto(nil, []float64{5, 5}); err == nil {
+		t.Error("nil scratch accepted")
+	}
+	if _, err := sys.EvaluateInto(other.NewScratch(), []float64{5, 5}); err == nil {
+		t.Error("foreign scratch accepted")
+	}
+	if _, err := sys.EvaluateInto(sys.NewScratch(), []float64{5}); err == nil {
+		t.Error("short input vector accepted")
+	}
+}
+
+func TestEvaluateIntoRejectsNaN(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	sc := sys.NewScratch()
+	if _, err := sys.EvaluateInto(sc, []float64{math.NaN(), 5}); err == nil {
+		t.Error("NaN input accepted")
+	}
+	if _, err := sys.EvaluateInto(sc, []float64{5, math.NaN()}); err == nil {
+		t.Error("NaN input accepted")
+	}
+	// Infinities saturate via clamping, like the map path.
+	a, err := sys.EvaluateInto(sc, []float64{math.Inf(1), math.Inf(-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Evaluate(map[string]float64{"service": math.Inf(1), "food": math.Inf(-1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("infinite inputs diverge: fast %.17g, map %.17g", a, b)
+	}
+}
+
+func TestEvaluateIntoNoActivation(t *testing.T) {
+	a := MustVariable("a", 0, 1, Term{"lo", Tri(0, 0, 0.3)})
+	y := MustVariable("y", 0, 1, Term{"out", Tri(0, 0.5, 1)})
+	var rb RuleBase
+	rb.Add(Rule{If: []Clause{{Var: "a", Term: "lo"}}, Then: Clause{Var: "y", Term: "out"}})
+	sys := MustSystem(y, rb, Options{}, a)
+	if _, err := sys.EvaluateInto(sys.NewScratch(), []float64{0.9}); err != ErrNoActivation {
+		t.Fatalf("got %v, want ErrNoActivation", err)
+	}
+}
+
+// TestControlSurfaceMatchesPointEvaluations pins the fast-path surface
+// rewrite to per-point map evaluations.
+func TestControlSurfaceMatchesPointEvaluations(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	xs, ys, surface, err := sys.ControlSurface("service", "food", 9, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range surface {
+		for c := range surface[r] {
+			want, err := sys.Evaluate(map[string]float64{"service": xs[c], "food": ys[r]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(surface[r][c]-want) > 1e-12 {
+				t.Fatalf("surface[%d][%d] = %.17g, point eval %.17g", r, c, surface[r][c], want)
+			}
+		}
+	}
+}
+
+func TestControlSurfaceMissingFixedInput(t *testing.T) {
+	sys := notOrSystem(t, Options{})
+	// Surface over a twice leaves b unfixed.
+	if _, _, _, err := sys.ControlSurface("a", "a", 5, 5, nil); err == nil {
+		t.Fatal("missing fixed input accepted")
+	}
+	if _, _, _, err := sys.ControlSurface("a", "a", 5, 5, map[string]float64{"b": 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceStringDefinitionOrder verifies the trace renders variables and
+// terms in definition order, not alphabetically ("service" is defined before
+// "food" in the tipper fixture but sorts after it).
+func TestTraceStringDefinitionOrder(t *testing.T) {
+	sys := tipperSystem(t, Options{})
+	_, tr, err := sys.EvaluateTrace(map[string]float64{"service": 2.5, "food": 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	si, fi := strings.Index(s, "service ="), strings.Index(s, "food =")
+	if si < 0 || fi < 0 {
+		t.Fatalf("trace string missing inputs:\n%s", s)
+	}
+	if si > fi {
+		t.Errorf("inputs rendered alphabetically, want definition order:\n%s", s)
+	}
+	// Terms of service at 2.5: poor (0.5) and good (0.5) — "poor" is defined
+	// first and must render first even though "good" sorts before it.
+	pi, gi := strings.Index(s, "μ_poor"), strings.Index(s, "μ_good")
+	if pi < 0 || gi < 0 {
+		t.Fatalf("trace string missing term grades:\n%s", s)
+	}
+	if pi > gi {
+		t.Errorf("terms rendered alphabetically, want definition order:\n%s", s)
+	}
+}

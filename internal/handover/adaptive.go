@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/fuzzy"
 )
 
 // AdaptiveFuzzy extends the paper's controller with a speed-adaptive
@@ -20,7 +21,8 @@ import (
 // algorithm comparisons; this is the natural next step the comparison
 // suggests), evaluated in BenchmarkAblationAdaptiveThreshold.
 type AdaptiveFuzzy struct {
-	flc *core.FLC
+	flc     *core.FLC
+	scratch *fuzzy.Scratch
 	// BaseThreshold is the 0 km/h threshold (the paper's 0.7).
 	BaseThreshold float64
 	// SlopePerKmh is the threshold reduction per km/h of terminal speed.
@@ -66,7 +68,10 @@ func (a *AdaptiveFuzzy) Decide(m cell.Measurement, prevServingDB float64, havePr
 	if m.ServingDB >= a.qualityGateDB {
 		return Decision{Reason: "POTLC-quality-gate"}, nil
 	}
-	hd, err := a.flc.Evaluate(m.CSSPdB, m.NeighborDB, m.DMBNorm)
+	if a.scratch == nil {
+		a.scratch = a.flc.NewScratch()
+	}
+	hd, err := a.flc.EvaluateInto(a.scratch, m.CSSPdB, m.NeighborDB, m.DMBNorm)
 	if err != nil {
 		return Decision{}, fmt.Errorf("handover: adaptive FLC: %w", err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/fuzzy"
 )
 
 // Decision is an algorithm's verdict for one measurement epoch.
@@ -39,8 +40,13 @@ type Algorithm interface {
 }
 
 // Fuzzy adapts the paper's core.Controller to the Algorithm interface.
+// Decisions run on the controller's allocation-free fast path with a
+// per-instance scratch, so — like every stateful Algorithm — one Fuzzy
+// instance must not be driven from multiple goroutines at once (RunFleet
+// configs each get their own instance when Config.Algorithm is nil).
 type Fuzzy struct {
-	ctrl *core.Controller
+	ctrl    *core.Controller
+	scratch *fuzzy.Scratch
 }
 
 // NewFuzzy wraps the given controller; nil uses the paper's defaults.
@@ -62,7 +68,10 @@ func (f *Fuzzy) Reset() {}
 
 // Decide implements Algorithm.
 func (f *Fuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error) {
-	d, err := f.ctrl.Decide(core.Report{
+	if f.scratch == nil {
+		f.scratch = f.ctrl.FLC().NewScratch()
+	}
+	d, err := f.ctrl.DecideInto(f.scratch, core.Report{
 		ServingDB:     m.ServingDB,
 		PrevServingDB: prevServingDB,
 		HavePrev:      havePrev,

@@ -46,8 +46,15 @@ type Config struct {
 	// NWalk legs starting at the origin).
 	Walk mobility.Model
 	// Algorithm overrides the handover algorithm (nil: the paper's fuzzy
-	// controller with default configuration).
+	// controller with default configuration).  Algorithms may keep per-run
+	// state, so one instance must not be shared by configs that run
+	// concurrently — for fleets, use AlgorithmFactory instead.
 	Algorithm handover.Algorithm
+	// AlgorithmFactory builds a fresh algorithm per run when Algorithm is
+	// nil; it must be safe to call from multiple goroutines.  This is the
+	// fleet-safe way to sweep a custom algorithm (each RunFleet worker gets
+	// its own instance).
+	AlgorithmFactory func() handover.Algorithm
 	// PingPongWindowKm is the return window of the ping-pong detector.
 	PingPongWindowKm float64
 	// OutageFloorDB is the outage threshold for link-quality accounting.

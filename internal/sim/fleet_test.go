@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/handover"
+	"repro/internal/rng"
+)
+
+// fleetTestConfigs builds a small mixed grid: both paper base configs swept
+// over replicas and speeds (raw seeds, no scenario resolution — the fleet
+// contract is about determinism, not walk class).
+func fleetTestConfigs() ([]Config, []FleetPoint) {
+	cfgs, points := SweepGrid("boundary", PaperBoundaryConfig(), 3, []float64{0, 30})
+	c2, p2 := SweepGrid("crossing", PaperCrossingConfig(), 2, []float64{0, 50})
+	return append(cfgs, c2...), append(points, p2...)
+}
+
+// resultFingerprint renders every decision-relevant field of a run into a
+// byte-comparable string.
+func resultFingerprint(r *Result) string {
+	return fmt.Sprintf("%+v|%+v|%d|%g|%v|%v",
+		r.Epochs, r.Events, r.PingPongCount, r.OutageFraction, r.GeoCells, r.ServingCells)
+}
+
+// TestRunFleetMatchesSequentialRun is the determinism contract: 8 parallel
+// workers must reproduce byte-identical per-scenario results to sequential
+// Run calls, in config order.
+func TestRunFleetMatchesSequentialRun(t *testing.T) {
+	cfgs, _ := fleetTestConfigs()
+	parallel, err := RunFleet(cfgs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(parallel), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := parallel[i]
+		if got == nil {
+			t.Fatalf("config %d: nil result", i)
+		}
+		if a, b := resultFingerprint(want), resultFingerprint(got); a != b {
+			t.Fatalf("config %d (seed %d): fleet result diverges from sequential Run\nseq: %.200s\npar: %.200s",
+				i, cfg.Seed, a, b)
+		}
+		if !reflect.DeepEqual(want.Epochs, got.Epochs) {
+			t.Fatalf("config %d: epoch records differ", i)
+		}
+	}
+}
+
+// TestRunFleetWorkerCountInvariance pins that the worker count never changes
+// a result.
+func TestRunFleetWorkerCountInvariance(t *testing.T) {
+	cfgs, _ := fleetTestConfigs()
+	base, err := RunFleet(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 16, len(cfgs) + 7} {
+		got, err := RunFleet(cfgs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cfgs {
+			if resultFingerprint(base[i]) != resultFingerprint(got[i]) {
+				t.Fatalf("workers=%d config %d: result differs from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunFleetEmpty(t *testing.T) {
+	res, err := RunFleet(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("got %d results for empty fleet", len(res))
+	}
+}
+
+// TestRunFleetReportsFirstErrorByIndex checks that a failing config is
+// reported by its lowest index while valid configs still complete.
+func TestRunFleetReportsFirstErrorByIndex(t *testing.T) {
+	cfgs, _ := fleetTestConfigs()
+	bad := cfgs[0]
+	bad.NWalk = -1 // fails Validate
+	cfgs[2] = bad
+	cfgs[5] = bad
+	res, err := RunFleet(cfgs, 4)
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if want := "fleet config 2"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the lowest failing index (%s)", err, want)
+	}
+	if res[2] != nil || res[5] != nil {
+		t.Error("failed configs produced results")
+	}
+	if res[0] == nil || res[1] == nil || res[3] == nil {
+		t.Error("valid configs missing results after fleet error")
+	}
+}
+
+// TestSweepGridShape pins the grid expansion order: replica-major, speeds
+// inner, replica 0 keeping the base seed.
+func TestSweepGridShape(t *testing.T) {
+	base := PaperCrossingConfig()
+	cfgs, points := SweepGrid("x", base, 2, []float64{0, 25, 50})
+	if len(cfgs) != 6 || len(points) != 6 {
+		t.Fatalf("got %d configs, %d points, want 6", len(cfgs), len(points))
+	}
+	if cfgs[0].Seed != base.Seed || points[0].Replica != 0 {
+		t.Error("replica 0 does not keep the base seed")
+	}
+	if cfgs[3].Seed == base.Seed {
+		t.Error("replica 1 reuses the base seed")
+	}
+	for i, wantSpeed := range []float64{0, 25, 50, 0, 25, 50} {
+		if cfgs[i].SpeedKmh != wantSpeed || points[i].SpeedKmh != wantSpeed {
+			t.Fatalf("grid cell %d: speed %g, want %g", i, cfgs[i].SpeedKmh, wantSpeed)
+		}
+	}
+	if points[3].BaseSeed != base.Seed {
+		t.Error("points must record the base seed, not the derived one")
+	}
+	// Degenerate arguments.
+	cfgs, _ = SweepGrid("x", base, 0, nil)
+	if len(cfgs) != 1 {
+		t.Fatalf("degenerate grid has %d cells, want 1", len(cfgs))
+	}
+}
+
+// TestSweepGridFleetSafety pins the concurrency contract: expanded cells
+// never share base.Algorithm (stateful instances would race across
+// workers), the fleet-safe AlgorithmFactory is copied through, and every
+// cell gets a distinct shadow sub-stream that cannot collide with any
+// cell's walk stream.
+func TestSweepGridFleetSafety(t *testing.T) {
+	base := PaperCrossingConfig()
+	base.Algorithm = handover.NewFuzzy(nil) // stateful since the fast path
+	var calls atomic.Int32
+	base.AlgorithmFactory = func() handover.Algorithm {
+		calls.Add(1)
+		return handover.NewFuzzy(nil)
+	}
+	cfgs, _ := SweepGrid("x", base, 3, []float64{0, 50})
+	seen := map[int64]bool{}
+	for i, c := range cfgs {
+		if c.Algorithm != nil {
+			t.Fatalf("cell %d carries the shared base algorithm", i)
+		}
+		if c.AlgorithmFactory == nil {
+			t.Fatalf("cell %d lost the algorithm factory", i)
+		}
+		if c.ShadowSeed == 0 {
+			t.Fatalf("cell %d has no shadow sub-stream", i)
+		}
+		seen[c.ShadowSeed] = true
+	}
+	if len(seen) != 3 { // one stream per replica, shared across speeds
+		t.Fatalf("%d distinct shadow streams for 3 replicas", len(seen))
+	}
+	// No shadow stream may equal a walk replica stream of the same base
+	// seed (replica 0's default shadow seed used to collide with replica
+	// 1's walk seed).
+	for k := 0; k < 64; k++ {
+		walkSeed := base.Seed
+		if k > 0 {
+			walkSeed = rng.DeriveSeed(base.Seed, k)
+		}
+		if seen[walkSeed] {
+			t.Fatalf("shadow stream collides with walk replica %d", k)
+		}
+	}
+	// Each factory-built run gets its own instance.
+	if _, err := RunFleet(cfgs[:2], 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("factory called %d times for 2 runs, want 2", n)
+	}
+}

@@ -82,6 +82,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	algo := cfg.Algorithm
+	if algo == nil && cfg.AlgorithmFactory != nil {
+		algo = cfg.AlgorithmFactory()
+	}
 	if algo == nil {
 		algo = handover.NewFuzzy(nil)
 	}

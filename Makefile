@@ -1,0 +1,31 @@
+# Development entry points; CI mirrors these targets.
+
+GO ?= go
+
+.PHONY: build test race vet bench bench-json load-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark/reproduction record (slow).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+
+# Machine-readable perf artifact: serve + inference hot paths.
+bench-json:
+	$(GO) run ./cmd/hobench -o BENCH_serve.json
+
+# Short end-to-end load run through the serve engine.
+load-smoke:
+	$(GO) run ./cmd/hoload -terminals 256 -shards 4 -duration 500ms -replicas 2 -speeds 0,30
+
+ci: vet build test race load-smoke

@@ -1,0 +1,179 @@
+// Command hobench runs the repository's key benchmarks and writes the
+// results as machine-readable JSON, so the performance trajectory of the
+// serving and inference hot paths is tracked commit over commit (the
+// BENCH_serve.json artifact; see also `make bench-json`).
+//
+//	hobench                         # serve + inference benchmarks → BENCH_serve.json
+//	hobench -bench 'BenchmarkServe' -o - -benchtime 200ms
+//
+// The tool shells out to `go test -bench` (the canonical runner: real
+// iteration control, -benchmem accounting) and parses the standard output
+// format, including custom b.ReportMetric columns such as decisions/sec.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark row of the JSON artifact.
+type Result struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	OpsPerSec   float64            `json:"ops_per_sec"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the BENCH_serve.json schema.
+type Artifact struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	BenchFilter string   `json:"bench_filter"`
+	BenchTime   string   `json:"bench_time"`
+	Packages    []string `json:"packages"`
+	Results     []Result `json:"results"`
+}
+
+func main() {
+	var (
+		pattern   = flag.String("bench", "BenchmarkServe|BenchmarkEvaluate", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "300ms", "go test -benchtime value")
+		out       = flag.String("o", "BENCH_serve.json", "output path (- for stdout)")
+		pkgsCS    = flag.String("pkgs", "./internal/serve,.", "comma-separated packages to benchmark")
+	)
+	flag.Parse()
+	if *pattern == "" {
+		fatal(fmt.Errorf("-bench must not be empty"))
+	}
+	pkgs := splitNonEmpty(*pkgsCS)
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("-pkgs must name at least one package"))
+	}
+
+	art := Artifact{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchFilter: *pattern,
+		BenchTime:   *benchtime,
+		Packages:    pkgs,
+	}
+	for _, pkg := range pkgs {
+		rows, err := runPackage(pkg, *pattern, *benchtime)
+		if err != nil {
+			fatal(err)
+		}
+		art.Results = append(art.Results, rows...)
+	}
+	if len(art.Results) == 0 {
+		fatal(fmt.Errorf("no benchmarks matched %q in %v", *pattern, pkgs))
+	}
+
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hobench: wrote %d results to %s\n", len(art.Results), *out)
+}
+
+// runPackage executes go test -bench for one package and parses the rows.
+func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench %s: %w\n%s", pkg, err, outBytes)
+	}
+	return parseBenchOutput(pkg, string(outBytes))
+}
+
+// benchLine matches "BenchmarkName-8   1234   56.7 ns/op   <extras>".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.eE+]+) ns/op(.*)$`)
+
+// extra matches one "<value> <unit>" column of the extras tail.
+var extra = regexp.MustCompile(`([\d.eE+]+) (\S+)`)
+
+// parseBenchOutput converts go test -bench output rows to Results.
+func parseBenchOutput(pkg, out string) ([]Result, error) {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		nsop, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		r := Result{Name: m[1], Package: pkg, Iterations: iters, NsPerOp: nsop}
+		if nsop > 0 {
+			r.OpsPerSec = 1e9 / nsop
+		}
+		for _, col := range extra.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(col[1], 64)
+			if err != nil {
+				continue
+			}
+			switch col[2] {
+			case "B/op":
+				b := int64(v)
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := int64(v)
+				r.AllocsPerOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[col[2]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func splitNonEmpty(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hobench:", err)
+	os.Exit(1)
+}

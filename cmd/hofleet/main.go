@@ -19,8 +19,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	fuzzyho "repro"
@@ -31,7 +29,7 @@ func main() {
 		scenario = flag.String("scenario", "both", "scenario family: boundary, crossing or both")
 		speedsCS = flag.String("speeds", "0,10,20,30,40,50", "comma-separated terminal speeds in km/h")
 		replicas = flag.Int("replicas", 1, "seed sub-streams per scenario (replica 0 = base seed)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines (<1 = GOMAXPROCS)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines")
 		shadow   = flag.Float64("shadow", 0, "shadow-fading sigma in dB (0 = off)")
 		decorr   = flag.Float64("decorr", 0.05, "shadowing decorrelation distance in km")
 		resolve  = flag.Bool("resolve", false, "resolve the paper's representative walks first (slower startup)")
@@ -39,12 +37,21 @@ func main() {
 	)
 	flag.Parse()
 
-	speeds, err := parseFloats(*speedsCS)
+	speeds, err := fuzzyho.ParseSpeeds(*speedsCS)
 	if err != nil {
 		fatal(err)
 	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be ≥ 1, got %d", *workers))
+	}
 	if *replicas < 1 {
-		*replicas = 1 // match SweepGrid's clamp so the header is honest
+		fatal(fmt.Errorf("-replicas must be ≥ 1, got %d", *replicas))
+	}
+	if *shadow < 0 {
+		fatal(fmt.Errorf("-shadow must be ≥ 0 dB, got %g", *shadow))
+	}
+	if *decorr < 0 {
+		fatal(fmt.Errorf("-decorr must be ≥ 0 km, got %g", *decorr))
 	}
 
 	bases, err := baseConfigs(*scenario, *resolve)
@@ -161,26 +168,6 @@ func baseConfigs(scenario string, resolve bool) ([]labelledConfig, error) {
 	default:
 		return nil, fmt.Errorf("unknown scenario %q (want boundary, crossing or both)", scenario)
 	}
-}
-
-func parseFloats(csv string) ([]float64, error) {
-	parts := strings.Split(csv, ",")
-	out := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		p = strings.TrimSpace(p)
-		if p == "" {
-			continue
-		}
-		v, err := strconv.ParseFloat(p, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad speed %q: %w", p, err)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no speeds given")
-	}
-	return out, nil
 }
 
 func fatal(err error) {

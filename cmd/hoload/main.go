@@ -1,0 +1,241 @@
+// Command hoload is the synthetic load generator for the streaming serve
+// engine.  It replays sim-generated walks for N terminals: the paper's
+// scenario families are expanded with sim.SweepGrid into replica × speed
+// grids, each grid cell is simulated once to obtain its measurement
+// stream, and the streams are assigned round-robin to the terminal
+// population.  Submitter workers then cycle the population's reports
+// through an in-process engine for the requested duration, and the run
+// reports sustained throughput plus decision-latency percentiles
+// (submit → decision callback, measured with a lock-free log-linear
+// histogram).
+//
+// Usage:
+//
+//	hoload -terminals 10000 -shards 8 -duration 5s
+//	hoload -terminals 512 -workers 2 -speeds 0,30,50 -replicas 4
+//
+// Determinism caveat: each terminal's decision sequence over its first
+// replay pass is exactly the sim path's (the determinism tests pin this);
+// once a pass wraps around, carried-over state (power history, ping-pong
+// ring) makes subsequent passes diverge from a fresh run — throughput
+// numbers are unaffected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	fuzzyho "repro"
+)
+
+// timeRing is the per-terminal submit-timestamp ring: slot seq%len holds
+// the submit time of in-flight report seq.  completed (written by the
+// shard callback) lets the submitter cap in-flight reports below the ring
+// size, so a slot is never overwritten before its decision lands.
+const ringSize = 64
+
+type timeRing struct {
+	completed atomic.Uint64 // seq of decisions delivered so far
+	slots     [ringSize]int64
+}
+
+func main() {
+	var (
+		terminals = flag.Int("terminals", 1024, "terminal population size")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards")
+		queue     = flag.Int("queue", 1024, "per-shard queue depth (messages)")
+		workers   = flag.Int("workers", 2, "submitter goroutines")
+		duration  = flag.Duration("duration", 2*time.Second, "load duration")
+		scenario  = flag.String("scenario", "both", "walk family: boundary, crossing or both")
+		replicas  = flag.Int("replicas", 4, "seed sub-streams per scenario")
+		speedsCS  = flag.String("speeds", "0,10,30,50", "comma-separated speeds in km/h")
+		batchLen  = flag.Int("batch", 256, "reports per SubmitBatch call")
+	)
+	flag.Parse()
+	if *terminals < 1 {
+		fatal(fmt.Errorf("-terminals must be ≥ 1, got %d", *terminals))
+	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
+	if *queue < 1 {
+		fatal(fmt.Errorf("-queue must be ≥ 1, got %d", *queue))
+	}
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be ≥ 1, got %d", *workers))
+	}
+	if *duration <= 0 {
+		fatal(fmt.Errorf("-duration must be > 0, got %v", *duration))
+	}
+	if *replicas < 1 {
+		fatal(fmt.Errorf("-replicas must be ≥ 1, got %d", *replicas))
+	}
+	if *batchLen < 1 {
+		fatal(fmt.Errorf("-batch must be ≥ 1, got %d", *batchLen))
+	}
+	speeds, err := fuzzyho.ParseSpeeds(*speedsCS)
+	if err != nil {
+		fatal(err)
+	}
+
+	streams, err := buildStreams(*scenario, *replicas, speeds)
+	if err != nil {
+		fatal(err)
+	}
+	epochs := 0
+	for _, s := range streams {
+		epochs += len(s)
+	}
+	fmt.Printf("hoload: %d walk streams (%d epochs) for %d terminals, %d shards, %d workers, %v\n",
+		len(streams), epochs, *terminals, *shards, *workers, *duration)
+
+	rings := make([]*timeRing, *terminals)
+	for i := range rings {
+		rings[i] = &timeRing{}
+	}
+	var lat fuzzyho.LatencyRecorder
+	engine, err := fuzzyho.NewServeEngine(fuzzyho.ServeConfig{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		OnDecision: func(o fuzzyho.ServeOutcome) {
+			r := rings[int(o.Terminal)]
+			t0 := r.slots[o.Seq%ringSize]
+			lat.Observe(time.Duration(nowNanos() - t0))
+			r.completed.Store(o.Seq + 1)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := engine.Start(); err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		lo := w * *terminals / *workers
+		hi := (w + 1) * *terminals / *workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			submitRange(engine, streams, rings, lo, hi, *batchLen, deadline)
+		}(lo, hi)
+	}
+	wg.Wait()
+	engine.Flush()
+	elapsed := time.Since(start)
+	if err := engine.Stop(); err != nil {
+		fatal(err)
+	}
+
+	tot := engine.Stats().Totals()
+	fmt.Printf("decisions   %d (%d handovers, %d ping-pongs, %d errors)\n",
+		tot.Decisions, tot.Handovers, tot.PingPongs, tot.Errors)
+	fmt.Printf("throughput  %.0f decisions/sec over %v\n",
+		float64(tot.Decisions)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	fmt.Printf("latency     p50=%v p90=%v p99=%v max=%v (n=%d)\n",
+		lat.Quantile(0.50), lat.Quantile(0.90), lat.Quantile(0.99), lat.Max(), lat.Count())
+	for _, s := range engine.Stats().Shards {
+		fmt.Printf("shard %-3d   %s\n", s.Shard, s)
+	}
+	if tot.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// submitRange drives terminals [lo, hi): round-robin one epoch per
+// terminal, batching reports and capping per-terminal in-flight reports
+// below the timestamp-ring size.
+func submitRange(engine *fuzzyho.ServeEngine, streams [][]fuzzyho.MeasurementReport,
+	rings []*timeRing, lo, hi, batchLen int, deadline time.Time) {
+	batch := make([]fuzzyho.MeasurementReport, 0, batchLen)
+	seqs := make([]uint64, hi-lo)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		if err := engine.SubmitBatch(batch); err != nil {
+			fmt.Fprintln(os.Stderr, "hoload:", err)
+			return false
+		}
+		batch = batch[:0]
+		return true
+	}
+	for epoch := 0; ; epoch++ {
+		if time.Now().After(deadline) {
+			flush()
+			return
+		}
+		for t := lo; t < hi; t++ {
+			stream := streams[t%len(streams)]
+			seq := seqs[t-lo]
+			ring := rings[t]
+			// Flow control: keep in-flight below the ring size so the
+			// submit timestamp survives until the decision callback.
+			for seq-ring.completed.Load() >= ringSize-2 {
+				if !flush() || time.Now().After(deadline) {
+					return
+				}
+				runtime.Gosched()
+			}
+			rep := stream[epoch%len(stream)]
+			rep.Terminal = fuzzyho.TerminalID(t)
+			ring.slots[seq%ringSize] = nowNanos()
+			batch = append(batch, rep)
+			seqs[t-lo] = seq + 1
+			if len(batch) == batchLen {
+				if !flush() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// buildStreams expands the scenario families into a replica × speed fleet
+// and simulates each cell once, returning the per-cell report streams
+// (terminal IDs are assigned at submit time).
+func buildStreams(scenario string, replicas int, speeds []float64) ([][]fuzzyho.MeasurementReport, error) {
+	var bases []fuzzyho.SimConfig
+	switch scenario {
+	case "boundary":
+		bases = []fuzzyho.SimConfig{fuzzyho.PaperBoundaryConfig()}
+	case "crossing":
+		bases = []fuzzyho.SimConfig{fuzzyho.PaperCrossingConfig()}
+	case "both", "":
+		bases = []fuzzyho.SimConfig{fuzzyho.PaperBoundaryConfig(), fuzzyho.PaperCrossingConfig()}
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want boundary, crossing or both)", scenario)
+	}
+	var cfgs []fuzzyho.SimConfig
+	for _, b := range bases {
+		c, _ := fuzzyho.SweepGrid("load", b, replicas, speeds)
+		cfgs = append(cfgs, c...)
+	}
+	results, err := fuzzyho.RunFleet(cfgs, 0)
+	if err != nil {
+		return nil, err
+	}
+	streams := make([][]fuzzyho.MeasurementReport, len(results))
+	for i, res := range results {
+		streams[i] = fuzzyho.ReplayReports(0, res.Measurements())
+	}
+	return streams, nil
+}
+
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoload:", err)
+	os.Exit(1)
+}

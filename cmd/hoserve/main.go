@@ -1,0 +1,285 @@
+// Command hoserve runs the streaming handover decision engine as a
+// daemon.  It ingests newline-JSON measurement-report batches — each line
+// a single report object or an array of them — routes every report to the
+// shard owning that terminal's state, and emits one JSON decision line per
+// report.
+//
+// Two transports:
+//
+//	hoserve                          # stdin → decisions on stdout
+//	hoserve -listen 127.0.0.1:7077   # TCP; each client gets its own
+//	                                 # terminals' decisions back
+//
+// Report line (see serve.WireReport):
+//
+//	{"terminal":7,"serving":[0,0],"neighbor":[1,0],"serving_db":-88.5,
+//	 "ssn_db":-84.0,"cssp_db":-2.5,"dmb":1.1,"walked_km":3.2,"speed_kmh":30}
+//
+// Decision line (see serve.WireOutcome):
+//
+//	{"terminal":7,"seq":12,"handover":true,"score":0.82,
+//	 "reason":"execute-handover","executed":true}
+//
+// Malformed lines are rejected with a clear error (stderr in stdin mode,
+// an {"error":...} line to the client in TCP mode) and do not stop the
+// daemon.  -stats prints per-shard throughput snapshots to stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards (state partitions)")
+		queue    = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth (messages)")
+		window   = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
+		listen   = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
+		statsSec = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
+	)
+	flag.Parse()
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
+	if *queue < 1 {
+		fatal(fmt.Errorf("-queue must be ≥ 1, got %d", *queue))
+	}
+	if *window <= 0 {
+		fatal(fmt.Errorf("-window must be > 0 km, got %g", *window))
+	}
+
+	router := newDecisionRouter()
+	engine, err := serve.New(serve.Config{
+		Shards:           *shards,
+		QueueDepth:       *queue,
+		PingPongWindowKm: *window,
+		OnDecision:       router.route,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := engine.Start(); err != nil {
+		fatal(err)
+	}
+
+	if *statsSec > 0 {
+		go statsLoop(engine, time.Duration(*statsSec*float64(time.Second)))
+	}
+
+	if *listen == "" {
+		runStdio(engine, router)
+		return
+	}
+	runTCP(engine, router, *listen)
+}
+
+// decisionRouter delivers outcomes to the sink that ingested the
+// terminal's reports.  In stdio mode there is a single sink; in TCP mode
+// each connection registers the terminals it submits.
+type decisionRouter struct {
+	sinks sync.Map // TerminalID → *sink
+}
+
+func newDecisionRouter() *decisionRouter { return &decisionRouter{} }
+
+// sink serializes decision lines onto one writer.  After a write error
+// the sink goes dead and drops further output (a vanished client must not
+// stall the shard callbacks).
+type sink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+func newSink(w io.Writer) *sink {
+	return &sink{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+func (s *sink) write(o serve.Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = serve.AppendOutcomeJSON(s.buf[:0], o)
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+func (s *sink) writeError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	fmt.Fprintf(s.w, "{\"error\":%q}\n", err.Error())
+}
+
+func (s *sink) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+}
+
+// bind points a terminal's decisions at the sink (cheap when unchanged).
+func (r *decisionRouter) bind(id serve.TerminalID, s *sink) {
+	if cur, ok := r.sinks.Load(id); !ok || cur != s {
+		r.sinks.Store(id, s)
+	}
+}
+
+func (r *decisionRouter) unbindAll(s *sink) {
+	r.sinks.Range(func(k, v any) bool {
+		if v == s {
+			r.sinks.Delete(k)
+		}
+		return true
+	})
+}
+
+// route runs on shard goroutines: look up the terminal's sink and write.
+func (r *decisionRouter) route(o serve.Outcome) {
+	if v, ok := r.sinks.Load(o.Terminal); ok {
+		v.(*sink).write(o)
+	}
+}
+
+// ingest reads newline-JSON batch lines from rd into the engine, binding
+// each report's terminal to out.  Malformed lines are reported through
+// reject and skipped; the reader keeps going.  Returns lines read and
+// lines rejected.
+func ingest(engine *serve.Engine, router *decisionRouter, rd io.Reader, out *sink, reject func(line int, err error)) (lines, bad int) {
+	scanner := bufio.NewScanner(rd)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for scanner.Scan() {
+		lines++
+		reports, err := serve.ParseBatchLine(scanner.Bytes())
+		if err != nil {
+			bad++
+			reject(lines, err)
+			continue
+		}
+		if len(reports) == 0 {
+			continue
+		}
+		for _, rep := range reports {
+			router.bind(rep.Terminal, out)
+		}
+		if err := engine.SubmitBatch(reports); err != nil {
+			bad++
+			reject(lines, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		reject(lines, fmt.Errorf("read: %w", err))
+	}
+	return lines, bad
+}
+
+// flushLoop periodically flushes a sink until stop closes.
+func flushLoop(s *sink, stop <-chan struct{}) {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func runStdio(engine *serve.Engine, router *decisionRouter) {
+	out := newSink(os.Stdout)
+	stop := make(chan struct{})
+	go flushLoop(out, stop)
+	lines, bad := ingest(engine, router, os.Stdin, out, func(line int, err error) {
+		fmt.Fprintf(os.Stderr, "hoserve: line %d: %v\n", line, err)
+	})
+	engine.Flush()
+	if err := engine.Stop(); err != nil {
+		fatal(err)
+	}
+	close(stop)
+	out.flush()
+	printStats(engine)
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "hoserve: rejected %d of %d lines\n", bad, lines)
+		os.Exit(1)
+	}
+}
+
+func runTCP(engine *serve.Engine, router *decisionRouter, addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hoserve: listening on %s (%d shards)\n", ln.Addr(), engine.NumShards())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Transient accept failures (aborted handshakes, fd
+			// exhaustion) must not tear down the daemon and every
+			// connected client: log, back off briefly, keep accepting.
+			fmt.Fprintln(os.Stderr, "hoserve: accept:", err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			out := newSink(conn)
+			stop := make(chan struct{})
+			go flushLoop(out, stop)
+			ingest(engine, router, conn, out, func(line int, err error) {
+				out.writeError(fmt.Errorf("line %d: %w", line, err))
+			})
+			// Let in-flight decisions for this client drain, then detach.
+			engine.Flush()
+			close(stop)
+			out.flush()
+			router.unbindAll(out)
+		}(conn)
+	}
+}
+
+func statsLoop(engine *serve.Engine, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var last uint64
+	for range t.C {
+		tot := engine.Stats().Totals()
+		fmt.Fprintf(os.Stderr,
+			"hoserve: %.0f decisions/sec | terminals=%d decisions=%d handovers=%d pingpong=%d queue=%d\n",
+			float64(tot.Decisions-last)/every.Seconds(),
+			tot.Terminals, tot.Decisions, tot.Handovers, tot.PingPongs, tot.QueueDepth)
+		last = tot.Decisions
+	}
+}
+
+func printStats(engine *serve.Engine) {
+	st := engine.Stats()
+	for _, s := range st.Shards {
+		fmt.Fprintf(os.Stderr, "hoserve: shard %d: %s\n", s.Shard, s)
+	}
+	fmt.Fprintf(os.Stderr, "hoserve: total: %s\n", st.Totals())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoserve:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@
 package fuzzyho
 
 import (
+	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/fcl"
 	"repro/internal/fuzzy"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/radio"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -163,6 +165,8 @@ type (
 	MobilityModel = mobility.Model
 	// RandSource is the randomness interface mobility models consume.
 	RandSource = mobility.RandSource
+	// Measurement is one epoch's view of the radio environment.
+	Measurement = cell.Measurement
 	// Algorithm is the handover decision interface.
 	Algorithm = handover.Algorithm
 	// HandoverEvent is one executed handover.
@@ -194,6 +198,10 @@ func RunFleet(cfgs []SimConfig, workers int) ([]*SimResult, error) {
 func SweepGrid(label string, base SimConfig, replicas int, speeds []float64) ([]SimConfig, []FleetPoint) {
 	return sim.SweepGrid(label, base, replicas, speeds)
 }
+
+// ParseSpeeds parses a comma-separated speed list in km/h (the CLI sweep
+// axis), rejecting malformed and negative entries.
+func ParseSpeeds(csv string) ([]float64, error) { return sim.ParseSpeeds(csv) }
 
 // PaperBoundaryConfig is the iseed = 100 scenario (Fig. 7 / Table 3).
 func PaperBoundaryConfig() SimConfig { return sim.PaperBoundaryConfig() }
@@ -246,6 +254,47 @@ func NewHysteresisTTT(marginDB float64, epochs int) *HysteresisTTT {
 
 // NewAdaptiveFuzzy returns the speed-adaptive fuzzy controller extension.
 func NewAdaptiveFuzzy() *AdaptiveFuzzy { return handover.NewAdaptiveFuzzy() }
+
+// Streaming serve layer: the sharded decision engine that owns
+// per-terminal state across streamed measurement reports.
+type (
+	// ServeEngine is the concurrent sharded handover decision engine.
+	ServeEngine = serve.Engine
+	// ServeConfig configures a ServeEngine.
+	ServeConfig = serve.Config
+	// ServeStats is a snapshot of the engine's per-shard counters.
+	ServeStats = serve.Stats
+	// MeasurementReport is one terminal's measurement epoch (serve ingest).
+	MeasurementReport = serve.Report
+	// ServeOutcome is the engine's per-report verdict.
+	ServeOutcome = serve.Outcome
+	// TerminalID identifies a terminal across reports.
+	TerminalID = serve.TerminalID
+	// LatencyRecorder accumulates concurrent latency samples (load harness).
+	LatencyRecorder = serve.LatencyRecorder
+)
+
+// Serve-layer sentinel errors (re-exported).
+var (
+	ErrServeNotRunning = serve.ErrNotRunning
+	ErrServeBacklogged = serve.ErrBacklogged
+)
+
+// NewServeEngine validates the configuration and builds a stopped engine;
+// see serve.New.
+func NewServeEngine(cfg ServeConfig) (*ServeEngine, error) { return serve.New(cfg) }
+
+// ReplayReports tags a measurement stream (e.g. SimResult.Measurements)
+// with a terminal identity for serve-engine ingest.
+func ReplayReports(id TerminalID, ms []Measurement) []MeasurementReport {
+	return serve.ReplayReports(id, ms)
+}
+
+// InterleaveReports merges per-terminal report streams round-robin — the
+// arrival pattern of a live population.
+func InterleaveReports(streams [][]MeasurementReport) []MeasurementReport {
+	return serve.InterleaveReports(streams)
+}
 
 // DeriveSeed maps a (seed, replica) pair to a derived seed, the replica
 // protocol used throughout the experiments.

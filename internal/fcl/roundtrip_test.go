@@ -1,0 +1,118 @@
+package fcl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzy"
+)
+
+// TestParseWriteParseEquivalence closes the writer round-trip the other
+// way around from TestPaperControllerRoundTrip: starting from FCL text,
+// parse → write → parse must yield an equivalent system — same variable
+// structure, same rule count, same behaviour across the input space — for
+// every supported operator and defuzzifier selection.
+func TestParseWriteParseEquivalence(t *testing.T) {
+	variants := []struct {
+		name string
+		src  string
+	}{
+		{"min-cog", miniFCL},
+		{"prod-ops", strings.NewReplacer(
+			"AND : MIN;", "AND : PROD;",
+			"ACT : MIN;", "ACT : PROD;",
+		).Replace(miniFCL)},
+		{"cogs", strings.Replace(strings.Replace(miniFCL,
+			"METHOD : COG;", "METHOD : COGS;", 1),
+			// COGS (weighted average) wants singleton-friendly output terms;
+			// keep the piecewise terms — the method still applies.
+			"DEFAULT := 0;", "DEFAULT := 0;", 1)},
+		{"mean-of-maxima", strings.Replace(miniFCL, "METHOD : COG;", "METHOD : MM;", 1)},
+		{"smallest-of-maxima", strings.Replace(miniFCL, "METHOD : COG;", "METHOD : LM;", 1)},
+		{"largest-of-maxima", strings.Replace(miniFCL, "METHOD : COG;", "METHOD : RM;", 1)},
+		{"singleton-output", strings.NewReplacer(
+			"TERM no := (0, 1) (0.2, 1) (0.5, 0);", "TERM no := 0.1;",
+			"TERM yes := (0.5, 0) (0.8, 1) (1, 1);", "TERM yes := 0.9;",
+			"METHOD : COG;", "METHOD : COGS;",
+		).Replace(miniFCL)},
+	}
+	for _, tc := range variants {
+		t.Run(tc.name, func(t *testing.T) {
+			first, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("initial parse: %v", err)
+			}
+			exported, err := Write("roundtrip", first)
+			if err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			second, err := Parse(exported)
+			if err != nil {
+				t.Fatalf("re-parse of writer output: %v\n%s", err, exported)
+			}
+			compareSystems(t, first, second)
+		})
+	}
+}
+
+// compareSystems checks structural and behavioural equivalence of two
+// inference systems over a dense input grid.
+func compareSystems(t *testing.T, a, b *fuzzy.System) {
+	t.Helper()
+	if len(a.Inputs()) != len(b.Inputs()) {
+		t.Fatalf("input count %d vs %d", len(a.Inputs()), len(b.Inputs()))
+	}
+	for i, va := range a.Inputs() {
+		vb := b.Inputs()[i]
+		if va.Name != vb.Name || va.Min != vb.Min || va.Max != vb.Max {
+			t.Errorf("input %d: %s[%g,%g] vs %s[%g,%g]",
+				i, va.Name, va.Min, va.Max, vb.Name, vb.Min, vb.Max)
+		}
+		if len(va.Terms) != len(vb.Terms) {
+			t.Errorf("input %s: %d terms vs %d", va.Name, len(va.Terms), len(vb.Terms))
+		}
+	}
+	if a.Output().Name != b.Output().Name {
+		t.Errorf("output %s vs %s", a.Output().Name, b.Output().Name)
+	}
+	if a.Rules().Len() != b.Rules().Len() {
+		t.Fatalf("rule count %d vs %d", a.Rules().Len(), b.Rules().Len())
+	}
+	if a.Options().Defuzzifier.Name() != b.Options().Defuzzifier.Name() {
+		t.Errorf("defuzzifier %s vs %s",
+			a.Options().Defuzzifier.Name(), b.Options().Defuzzifier.Name())
+	}
+
+	// Behavioural sweep over the shared universe (miniFCL's two inputs).
+	const steps = 24
+	in := make(map[string]float64, len(a.Inputs()))
+	var sweep func(dim int)
+	worst := 0.0
+	sweep = func(dim int) {
+		if dim == len(a.Inputs()) {
+			x, errA := a.Evaluate(in)
+			y, errB := b.Evaluate(in)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("error mismatch at %v: %v vs %v", in, errA, errB)
+			}
+			if errA != nil {
+				return
+			}
+			if d := math.Abs(x - y); d > worst {
+				worst = d
+			}
+			if math.Abs(x-y) > 1e-9 {
+				t.Fatalf("outputs differ at %v: %g vs %g", in, x, y)
+			}
+			return
+		}
+		v := a.Inputs()[dim]
+		for i := 0; i <= steps; i++ {
+			in[v.Name] = v.Min + (v.Max-v.Min)*float64(i)/steps
+			sweep(dim + 1)
+		}
+	}
+	sweep(0)
+	t.Logf("max |Δoutput| over %d-point grid: %g", (steps+1)*(steps+1), worst)
+}

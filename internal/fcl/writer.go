@@ -55,6 +55,12 @@ func writeVarBlock(b *strings.Builder, kind string, v *fuzzy.Variable, method st
 	fmt.Fprintf(b, "%s %s\n", kind, v.Name)
 	fmt.Fprintf(b, "    RANGE := (%s .. %s);\n", num(v.Min), num(v.Max))
 	for _, t := range v.Terms {
+		// Singletons must round-trip through the scalar TERM form:
+		// sampling a zero-width spike onto a point grid would lose it.
+		if s, ok := t.MF.(fuzzy.Singleton); ok {
+			fmt.Fprintf(b, "    TERM %s := %s;\n", t.Name, num(s.X))
+			continue
+		}
 		pl, err := fuzzy.ToPiecewise(t.MF, v.Min, v.Max, 64)
 		if err != nil {
 			return fmt.Errorf("fcl: term %s: %w", t.Name, err)

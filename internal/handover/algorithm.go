@@ -29,13 +29,22 @@ type Decision struct {
 // Algorithm decides handovers from successive measurements.  Implementations
 // may keep state across epochs (e.g. time-to-trigger counters) and must
 // reset it in Reset; the simulator calls Reset once per run and after every
-// executed handover.
+// executed handover, and the serve engine calls it whenever a pooled
+// instance is (re)bound to a terminal's decision stream.
+//
+// Reset contract: after Reset, the instance must be indistinguishable from
+// a freshly constructed one for every future Decide call — no cross-epoch
+// decision state (streaks, histories, previous inputs) may survive.
+// Retaining pure buffers (inference scratch memory whose contents are
+// fully overwritten by each evaluation) is allowed and encouraged: that is
+// what makes pooled reuse allocation-free.  TestResetMatchesFreshInstance
+// enforces this contract for every algorithm in the package.
 type Algorithm interface {
 	// Name identifies the algorithm in tables and traces.
 	Name() string
 	// Decide inspects one epoch.
 	Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error)
-	// Reset clears cross-epoch state.
+	// Reset clears cross-epoch state (see the contract above).
 	Reset()
 }
 
@@ -63,7 +72,11 @@ func (f *Fuzzy) Controller() *core.Controller { return f.ctrl }
 // Name implements Algorithm.
 func (f *Fuzzy) Name() string { return "fuzzy" }
 
-// Reset implements Algorithm; the paper's controller is stateless.
+// Reset implements Algorithm.  The paper's controller keeps no cross-epoch
+// decision state (all history arrives in the Report), so there is nothing
+// to clear; the lazily built scratch is a pure inference buffer whose
+// contents are fully overwritten by every evaluation, and keeping it is
+// what makes pooled reuse (sim fleets, serve shards) allocation-free.
 func (f *Fuzzy) Reset() {}
 
 // Decide implements Algorithm.

@@ -1,0 +1,114 @@
+package handover
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/hexgrid"
+)
+
+// resetMeas builds one epoch with the given serving/neighbor powers in the
+// regime where every algorithm's decision machinery engages (serving below
+// the POTLC gate, terminal in the outer cell).
+func resetMeas(servingDB, neighborDB, cssp, dmb float64) cell.Measurement {
+	return cell.Measurement{
+		Serving:    hexgrid.Cell{I: 0, J: 0},
+		Neighbor:   hexgrid.Cell{I: 1, J: 0},
+		ServingDB:  servingDB,
+		NeighborDB: neighborDB,
+		CSSPdB:     cssp,
+		DMBNorm:    dmb,
+	}
+}
+
+// drive feeds a measurement sequence and collects the decisions; the
+// prev/havePrev protocol mirrors the simulator (previous epoch's serving
+// power, history restarted after an executed handover).
+func drive(t *testing.T, a Algorithm, ms []cell.Measurement) []Decision {
+	t.Helper()
+	out := make([]Decision, len(ms))
+	prevDB, havePrev := 0.0, false
+	for i, m := range ms {
+		d, err := a.Decide(m, prevDB, havePrev)
+		if err != nil {
+			t.Fatalf("%s: epoch %d: %v", a.Name(), i, err)
+		}
+		out[i] = d
+		if d.Handover {
+			a.Reset()
+			prevDB, havePrev = m.ServingDB, false
+		} else {
+			prevDB, havePrev = m.ServingDB, true
+		}
+	}
+	return out
+}
+
+// TestResetMatchesFreshInstance enforces the Reset contract the serve
+// engine's shard pooling relies on: after running an arbitrary prefix
+// sequence and calling Reset, an instance must decide a follow-up sequence
+// exactly like a freshly constructed one.  A leaked time-to-trigger
+// streak, stale scratch-dependent state or remembered previous input all
+// fail this test.
+func TestResetMatchesFreshInstance(t *testing.T) {
+	// prefix is crafted to charge any cross-epoch state: two epochs with
+	// the neighbor far above every margin (a TTT streak of 2), falling
+	// serving power (PRTLC armed), deep in the outer cell.
+	prefix := []cell.Measurement{
+		resetMeas(-95, -80, -4, 1.3),
+		resetMeas(-98, -79, -3, 1.35),
+	}
+	// followup starts with a single above-margin epoch: fresh instances
+	// with a 3-epoch trigger must NOT fire on it, an instance with a
+	// leaked streak would.  The rest walks back into the cell.
+	followup := []cell.Measurement{
+		resetMeas(-97, -80, -2, 1.3),
+		resetMeas(-85, -95, 2, 0.8),
+		resetMeas(-70, -100, 5, 0.3),
+	}
+
+	algos := []struct {
+		name string
+		make func() Algorithm
+	}{
+		{"fuzzy", func() Algorithm { return NewFuzzy(nil) }},
+		{"adaptive-fuzzy", func() Algorithm { return NewAdaptiveFuzzy() }},
+		{"passive", func() Algorithm { return Passive{} }},
+		{"rss-threshold", func() Algorithm { return AbsoluteThreshold{ThresholdDB: -90} }},
+		{"hysteresis", func() Algorithm { return Hysteresis{MarginDB: 4} }},
+		{"hysteresis-ttt", func() Algorithm { return NewHysteresisTTT(4, 3) }},
+		{"distance", func() Algorithm { return DistanceBased{TriggerNorm: 1.0} }},
+		{"sir", func() Algorithm { return SIRThreshold{ThresholdDB: 10, MarginDB: 1} }},
+	}
+	for _, tc := range algos {
+		t.Run(tc.name, func(t *testing.T) {
+			reused := tc.make()
+			drive(t, reused, prefix)
+			reused.Reset()
+			got := drive(t, reused, followup)
+
+			fresh := tc.make()
+			want := drive(t, fresh, followup)
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("epoch %d: reused instance decided %+v, fresh %+v — Reset leaked state",
+						i, got[i], want[i])
+				}
+			}
+		})
+	}
+
+	// Sanity: the prefix really charges the TTT streak, so the test
+	// would catch a Reset that failed to clear it.
+	leaky := NewHysteresisTTT(4, 3)
+	drive(t, leaky, prefix)
+	// No Reset here: one more above-margin epoch must fire.
+	d, err := leaky.Decide(followup[0], -98, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Handover {
+		t.Fatal("prefix did not charge the TTT streak; the leak probe is inert")
+	}
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"testing"
+)
+
+// steadyBatch builds a batch cycling nTerminals terminals through
+// FLC-engaging, non-handover epochs — the steady-state serving workload.
+func steadyBatch(n, nTerminals int) []Report {
+	batch := make([]Report, n)
+	for i := range batch {
+		r := flcMeas(TerminalID(i % nTerminals))
+		// Vary the inputs so the FLC fuzzifies fresh values each epoch.
+		r.Meas.CSSPdB = -1 + float64(i%5)*0.5
+		r.Meas.NeighborDB = -102 + float64(i%7)
+		r.Meas.DMBNorm = 0.5 + float64(i%4)*0.1
+		batch[i] = r
+	}
+	return batch
+}
+
+// TestSubmitBatchSteadyStateAllocs is the acceptance regression: once
+// every terminal has been seen (state structs built, scratches warm), the
+// whole SubmitBatch → shard → EvaluateInto → counters path must run
+// without heap allocations.  AllocsPerRun counts mallocs process-wide, so
+// the shard goroutines are included in the measurement.
+func TestSubmitBatchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the regression runs in the non-race job")
+	}
+	e, err := New(Config{Shards: 4, QueueDepth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	batch := steadyBatch(256, 32)
+	// Warm: create terminals, grow maps, build scratches, cache sudogs.
+	for i := 0; i < 4; i++ {
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		e.Flush()
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		e.Flush()
+	})
+	perDecision := allocs / float64(len(batch))
+	if perDecision >= 0.01 {
+		t.Errorf("steady-state SubmitBatch allocates %.1f per batch (%.4f per decision), want 0",
+			allocs, perDecision)
+	}
+	if got := e.Stats().Totals().Handovers; got != 0 {
+		t.Fatalf("steady batch executed %d handovers; the workload is not steady-state", got)
+	}
+}

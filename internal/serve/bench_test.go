@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchEngine builds and starts an engine with the given shard count.
+func benchEngine(b *testing.B, shards int) *Engine {
+	b.Helper()
+	e, err := New(Config{Shards: shards, QueueDepth: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { e.Stop() })
+	return e
+}
+
+// runLoad pushes n reports through the engine from `submitters` concurrent
+// goroutines, each cycling its own terminal-disjoint batch, then flushes.
+func runLoad(b *testing.B, e *Engine, batches [][]Report, n int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	per := (n + len(batches) - 1) / len(batches)
+	for _, batch := range batches {
+		wg.Add(1)
+		go func(batch []Report) {
+			defer wg.Done()
+			sent := 0
+			for sent < per {
+				if err := e.SubmitBatch(batch); err != nil {
+					b.Error(err)
+					return
+				}
+				sent += len(batch)
+			}
+		}(batch)
+	}
+	wg.Wait()
+	e.Flush()
+}
+
+// submitterBatches splits a terminal population into terminal-disjoint
+// batches, one per submitter, so per-terminal report order is preserved.
+func submitterBatches(submitters, batchLen, terminals int) [][]Report {
+	out := make([][]Report, submitters)
+	for s := range out {
+		batch := steadyBatch(batchLen, terminals/submitters)
+		for i := range batch {
+			batch[i].Terminal = TerminalID(s*1_000_000) + batch[i].Terminal
+		}
+		out[s] = batch
+	}
+	return out
+}
+
+// BenchmarkServeShards measures steady-state serving throughput (ns per
+// decision) as the shard count grows — the scaling headline.  4 submitter
+// goroutines feed every configuration so ingest is never the bottleneck.
+func BenchmarkServeShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := benchEngine(b, shards)
+			batches := submitterBatches(4, 512, 256)
+			// Warm terminal state and scratches.
+			runLoad(b, e, batches, 4*512)
+			before := e.Stats().Totals().Decisions
+			b.ReportAllocs()
+			b.ResetTimer()
+			runLoad(b, e, batches, b.N)
+			b.StopTimer()
+			decided := e.Stats().Totals().Decisions - before
+			b.ReportMetric(float64(decided)/b.Elapsed().Seconds(), "decisions/sec")
+		})
+	}
+}
+
+// BenchmarkServeIngestOnly isolates the routing/queueing overhead: every
+// report is settled by the POTLC quality gate, so the decision work is a
+// branch and the measurement is hash + channel + state bookkeeping.
+func BenchmarkServeIngestOnly(b *testing.B) {
+	e := benchEngine(b, 4)
+	batches := make([][]Report, 4)
+	for s := range batches {
+		batch := make([]Report, 512)
+		for i := range batch {
+			batch[i] = gateMeas(TerminalID(s*1_000_000 + i%64))
+		}
+		batches[s] = batch
+	}
+	runLoad(b, e, batches, 4*512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	runLoad(b, e, batches, b.N)
+}
+
+// BenchmarkServeSubmitBatch measures the producer-side cost alone: one
+// goroutine submitting against idle-enough shards (large queue, 4 shards).
+func BenchmarkServeSubmitBatch(b *testing.B) {
+	e := benchEngine(b, 4)
+	batch := steadyBatch(512, 64)
+	runLoad(b, e, [][]Report{batch}, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		if err := e.SubmitBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		sent += len(batch)
+	}
+	e.Flush()
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/handover"
+	"repro/internal/sim"
+)
+
+// simStreams runs the given configs through the single-threaded simulator
+// and returns one tagged report stream per run plus the reference results.
+func simStreams(t *testing.T, cfgs []sim.Config) ([][]Report, []*sim.Result) {
+	t.Helper()
+	streams := make([][]Report, len(cfgs))
+	results := make([]*sim.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("sim config %d: %v", i, err)
+		}
+		results[i] = res
+		streams[i] = ReplayReports(TerminalID(i), res.Measurements())
+	}
+	return streams, results
+}
+
+// paperFleetConfigs expands both paper scenarios across replicas × speeds —
+// a small fleet with runs that do and do not hand over.
+func paperFleetConfigs() []sim.Config {
+	var cfgs []sim.Config
+	for _, base := range []sim.Config{sim.PaperBoundaryConfig(), sim.PaperCrossingConfig()} {
+		c, _ := sim.SweepGrid("x", base, 2, []float64{0, 30})
+		cfgs = append(cfgs, c...)
+	}
+	return cfgs
+}
+
+// recorder collects outcomes per terminal.  Entries are created before the
+// engine starts; each terminal's slice is appended to by exactly one shard
+// goroutine, so no locking is needed.
+type recorder map[TerminalID]*[]Outcome
+
+func newRecorder(n int) recorder {
+	r := make(recorder, n)
+	for i := 0; i < n; i++ {
+		r[TerminalID(i)] = new([]Outcome)
+	}
+	return r
+}
+
+func (r recorder) record(o Outcome) { *r[o.Terminal] = append(*r[o.Terminal], o) }
+
+// checkAgainstSim compares each terminal's outcome sequence with the
+// reference sim run: decision (verdict, score, reason), execution flag and
+// ping-pong accounting must all match epoch by epoch.
+func checkAgainstSim(t *testing.T, rec recorder, results []*sim.Result, shards int) {
+	t.Helper()
+	for i, res := range results {
+		got := *rec[TerminalID(i)]
+		if len(got) != len(res.Epochs) {
+			t.Fatalf("shards=%d terminal %d: %d outcomes, sim has %d epochs",
+				shards, i, len(got), len(res.Epochs))
+		}
+		pingpongs := 0
+		for j, o := range got {
+			e := res.Epochs[j]
+			if o.Err != nil {
+				t.Fatalf("shards=%d terminal %d epoch %d: %v", shards, i, j, o.Err)
+			}
+			if o.Seq != uint64(j) {
+				t.Fatalf("shards=%d terminal %d epoch %d: seq %d", shards, i, j, o.Seq)
+			}
+			if o.Decision != e.Decision {
+				t.Errorf("shards=%d terminal %d epoch %d: decision %+v, sim %+v",
+					shards, i, j, o.Decision, e.Decision)
+			}
+			if o.Executed != e.Executed {
+				t.Errorf("shards=%d terminal %d epoch %d: executed %v, sim %v",
+					shards, i, j, o.Executed, e.Executed)
+			}
+			if o.PingPong {
+				pingpongs++
+			}
+		}
+		if pingpongs != res.PingPongCount {
+			t.Errorf("shards=%d terminal %d: %d ping-pongs, sim counted %d",
+				shards, i, pingpongs, res.PingPongCount)
+		}
+	}
+}
+
+// TestDeterminismMatchesSim is the multi-shard determinism guarantee:
+// replaying sim-generated walks for a fleet of terminals through the
+// engine — reports interleaved round-robin across terminals, any shard
+// count — yields per-terminal decision sequences identical to the
+// single-threaded sim path.
+func TestDeterminismMatchesSim(t *testing.T) {
+	cfgs := paperFleetConfigs()
+	streams, results := simStreams(t, cfgs)
+	reports := InterleaveReports(streams)
+
+	for _, shards := range []int{1, 3, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rec := newRecorder(len(cfgs))
+			e, err := New(Config{
+				Shards:           shards,
+				QueueDepth:       64,
+				PingPongWindowKm: sim.DefaultPingPongWindowKm,
+				OnDecision:       rec.record,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SubmitBatch(reports); err != nil {
+				t.Fatal(err)
+			}
+			e.Flush()
+			if err := e.Stop(); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstSim(t, rec, results, shards)
+
+			totals := e.Stats().Totals()
+			wantHO, wantPP := uint64(0), uint64(0)
+			for _, res := range results {
+				wantHO += uint64(res.HandoverCount())
+				wantPP += uint64(res.PingPongCount)
+			}
+			if totals.Decisions != uint64(len(reports)) ||
+				totals.Handovers != wantHO || totals.PingPongs != wantPP ||
+				totals.Terminals != uint64(len(cfgs)) || totals.Errors != 0 {
+				t.Errorf("totals %+v, want decisions=%d handovers=%d pingpongs=%d terminals=%d",
+					totals, len(reports), wantHO, wantPP, len(cfgs))
+			}
+		})
+	}
+}
+
+// TestDeterminismPerTerminalAlgorithms covers the stateful-algorithm mode:
+// per-terminal HysteresisTTT instances must reproduce the sim sequences,
+// streak state and all, under concurrent sharding.
+func TestDeterminismPerTerminalAlgorithms(t *testing.T) {
+	factory := func() handover.Algorithm { return handover.NewHysteresisTTT(3, 2) }
+	cfgs := paperFleetConfigs()
+	for i := range cfgs {
+		cfgs[i].AlgorithmFactory = factory
+	}
+	streams, results := simStreams(t, cfgs)
+	reports := InterleaveReports(streams)
+
+	rec := newRecorder(len(cfgs))
+	e, err := New(Config{
+		Shards:                4,
+		QueueDepth:            64,
+		AlgorithmFactory:      factory,
+		PerTerminalAlgorithms: true,
+		PingPongWindowKm:      sim.DefaultPingPongWindowKm,
+		OnDecision:            rec.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSim(t, rec, results, 4)
+
+	// The probe is only meaningful if the TTT baseline actually fires
+	// somewhere in the fleet.
+	if e.Stats().Totals().Handovers == 0 {
+		t.Error("TTT fleet executed no handovers; streak state never exercised")
+	}
+}

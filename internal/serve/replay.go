@@ -1,0 +1,39 @@
+package serve
+
+import "repro/internal/cell"
+
+// ReplayReports tags a measurement stream (e.g. sim.Result.Measurements —
+// a simulated walk) with a terminal identity, producing the engine's
+// ingest representation of that walk.
+func ReplayReports(id TerminalID, ms []cell.Measurement) []Report {
+	out := make([]Report, len(ms))
+	for i, m := range ms {
+		out[i] = Report{Terminal: id, Meas: m}
+	}
+	return out
+}
+
+// InterleaveReports merges per-terminal report streams round-robin — the
+// arrival pattern of a live population, where every terminal reports once
+// per epoch.  Streams of unequal length contribute until exhausted; the
+// per-terminal order is preserved, which is all the engine's determinism
+// relies on.
+func InterleaveReports(streams [][]Report) []Report {
+	total := 0
+	longest := 0
+	for _, s := range streams {
+		total += len(s)
+		if len(s) > longest {
+			longest = len(s)
+		}
+	}
+	out := make([]Report, 0, total)
+	for epoch := 0; epoch < longest; epoch++ {
+		for _, s := range streams {
+			if epoch < len(s) {
+				out = append(out, s[epoch])
+			}
+		}
+	}
+	return out
+}

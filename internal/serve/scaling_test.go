@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// measureThroughput drives the steady-state workload through an engine
+// with the given shard count for roughly the given duration and returns
+// decisions per second.
+func measureThroughput(t *testing.T, shards int, d time.Duration) float64 {
+	t.Helper()
+	e, err := New(Config{Shards: shards, QueueDepth: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	batches := submitterBatches(4, 512, 256)
+	// Warm.
+	for _, batch := range batches {
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	before := e.Stats().Totals().Decisions
+	start := time.Now()
+	deadline := start.Add(d)
+	done := make(chan struct{})
+	for _, batch := range batches {
+		go func(batch []Report) {
+			defer func() { done <- struct{}{} }()
+			for time.Now().Before(deadline) {
+				if err := e.SubmitBatch(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(batch)
+	}
+	for range batches {
+		<-done
+	}
+	e.Flush()
+	elapsed := time.Since(start)
+	return float64(e.Stats().Totals().Decisions-before) / elapsed.Seconds()
+}
+
+// TestShardThroughputScales is the acceptance check behind
+// BenchmarkServeShards: with ≥ 4 cores available, 4 shards must serve
+// decisions measurably faster than 1.  On smaller machines parallel
+// speedup is physically unavailable and the test skips (the benchmark
+// still records the numbers).
+func TestShardThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts timing")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d < 4: no parallel speedup available", runtime.GOMAXPROCS(0))
+	}
+	// Best-of-N with a conservative bar: genuine scaling lands well
+	// above 2× on idle 4-core machines, so 1.1× only trips when sharding
+	// is truly broken, not when a noisy co-tenant steals a core.
+	const trials = 4
+	best := 0.0
+	for i := 0; i < trials && best < 1.5; i++ {
+		one := measureThroughput(t, 1, 300*time.Millisecond)
+		four := measureThroughput(t, 4, 300*time.Millisecond)
+		if ratio := four / one; ratio > best {
+			best = ratio
+		}
+	}
+	t.Logf("best 4-shard/1-shard throughput ratio over ≤%d trials: %.2f", trials, best)
+	if best < 1.1 {
+		t.Errorf("4 shards only reached %.2f× the 1-shard throughput; want > 1.1×", best)
+	}
+}

@@ -1,0 +1,419 @@
+// Package serve is the streaming handover decision engine: the long-lived
+// serving layer that turns the paper's per-epoch controller into a system
+// that owns per-terminal state across streamed measurement reports.
+//
+// The engine partitions the terminal population across shards.  Each shard
+// is one goroutine that exclusively owns the state of its terminals
+// (previous serving power, attachment, dwell/ping-pong history) and a
+// handover.Algorithm instance driven on the allocation-free EvaluateInto
+// fast path — steady-state serving performs zero heap allocations per
+// decision.  Reports are routed to shards by a 64-bit hash of the terminal
+// ID, so one terminal's reports are always processed in submission order by
+// the same goroutine: per-terminal decision sequences are deterministic and
+// identical to the single-threaded sim path for the same measurement
+// stream, regardless of the shard count (see the determinism tests).
+//
+// Ingest is through bounded per-shard queues with explicit backpressure:
+// Submit and SubmitBatch block while the owning shard's queue is full,
+// TrySubmit fails fast with ErrBacklogged instead.  Per-shard counters
+// (decisions, handovers, ping-pongs, queue depth) are readable at any time
+// through Stats without stopping the world.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/handover"
+)
+
+// TerminalID identifies one terminal (UE) across reports.
+type TerminalID uint64
+
+// Report is one terminal's measurement epoch: the unit of ingest.
+type Report struct {
+	// Terminal identifies the reporting terminal.
+	Terminal TerminalID
+	// Meas is the epoch measurement collected by the radio side.
+	Meas cell.Measurement
+}
+
+// Outcome is the engine's verdict for one report, delivered to the
+// OnDecision callback on the owning shard's goroutine.
+type Outcome struct {
+	// Terminal identifies the terminal and Seq its per-terminal report
+	// index (0 for the first report the engine saw for it).
+	Terminal TerminalID
+	Seq      uint64
+	// Decision is the algorithm's verdict; Executed reports whether the
+	// engine committed the handover to the terminal's state.
+	Decision handover.Decision
+	Executed bool
+	// PingPong flags an executed handover that closed a ping-pong pair
+	// (returned to a cell left less than the configured window ago).
+	PingPong bool
+	// Shard is the index of the shard that served the report.
+	Shard int
+	// Err is the algorithm error, if any (the report then counts as a
+	// no-handover epoch and Decision is the zero value).
+	Err error
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Shards is the number of state partitions (and worker goroutines).
+	// 0 selects GOMAXPROCS; negative is invalid.
+	Shards int
+	// QueueDepth bounds each shard's ingest queue, in queued messages:
+	// each Submit/TrySubmit enqueues one message of one report, each
+	// SubmitBatch packs per-shard messages of up to 64 reports.  0
+	// selects DefaultQueueDepth; negative is invalid.
+	QueueDepth int
+	// AlgorithmFactory builds the decision algorithm (nil: the paper's
+	// fuzzy controller).  It is called once per shard — or once per
+	// terminal when PerTerminalAlgorithms is set — and must be safe to
+	// call from multiple goroutines.
+	AlgorithmFactory func() handover.Algorithm
+	// PerTerminalAlgorithms gives every terminal its own algorithm
+	// instance instead of sharing one per shard.  Required for
+	// algorithms with cross-epoch state (e.g. HysteresisTTT's streak
+	// counter); the paper's fuzzy controller is stateless across epochs
+	// and serves all of a shard's terminals from one instance.
+	PerTerminalAlgorithms bool
+	// PingPongWindowKm is the walked-distance window of the ping-pong
+	// accounting (0: DefaultPingPongWindowKm).
+	PingPongWindowKm float64
+	// OnDecision, when non-nil, receives every outcome on the owning
+	// shard's goroutine.  A blocking callback stalls that shard and —
+	// through the bounded queue — eventually the submitters.
+	OnDecision func(Outcome)
+}
+
+// Defaults.
+const (
+	// DefaultQueueDepth is the per-shard ingest queue bound.
+	DefaultQueueDepth = 1024
+	// DefaultPingPongWindowKm matches the simulator's detector window.
+	DefaultPingPongWindowKm = 1.0
+)
+
+// Engine lifecycle errors.
+var (
+	// ErrNotRunning is returned by Submit/SubmitBatch/TrySubmit before
+	// Start and after Stop.
+	ErrNotRunning = errors.New("serve: engine not running")
+	// ErrBacklogged is returned by TrySubmit when the owning shard's
+	// queue is full.
+	ErrBacklogged = errors.New("serve: shard queue full")
+)
+
+// engine lifecycle states.
+const (
+	stateIdle = iota
+	stateRunning
+	stateStopped
+)
+
+// maxSubBatch caps the reports packed into one queued sub-batch: large
+// enough to amortize the channel operation across many decisions, small
+// enough to keep queueing granularity (and TrySubmit backpressure
+// resolution) fine.
+const maxSubBatch = 64
+
+// bufPool recycles sub-batch buffers between producers and shard
+// goroutines so steady-state ingest allocates nothing.
+type bufPool struct{ p sync.Pool }
+
+func newBufPool() *bufPool {
+	return &bufPool{p: sync.Pool{New: func() any {
+		b := make([]Report, 0, maxSubBatch)
+		return &b
+	}}}
+}
+
+func (p *bufPool) get() *[]Report { return p.p.Get().(*[]Report) }
+
+func (p *bufPool) put(b *[]Report) {
+	*b = (*b)[:0]
+	p.p.Put(b)
+}
+
+// Engine is the sharded streaming decision engine.  Construct with New,
+// then Start, Submit/SubmitBatch from any number of goroutines, and Stop
+// (which drains the queues) when done.  An Engine cannot be restarted.
+type Engine struct {
+	shards []*shard
+	bufs   *bufPool
+	// staging recycles the per-call shard→sub-batch scatter tables of
+	// SubmitBatch.
+	staging sync.Pool
+
+	// mu serializes lifecycle transitions against submissions: Submit
+	// holds the read side across the queue send so Stop can only close
+	// the queues once no send is in flight.
+	mu    sync.RWMutex
+	state int
+	wg    sync.WaitGroup
+}
+
+// New validates the configuration and builds a stopped engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("serve: shard count %d must be positive", cfg.Shards)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: queue depth %d must be positive", cfg.QueueDepth)
+	}
+	if cfg.PingPongWindowKm < 0 {
+		return nil, fmt.Errorf("serve: ping-pong window %g km must be non-negative", cfg.PingPongWindowKm)
+	}
+	nshards := cfg.Shards
+	if nshards == 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
+	window := cfg.PingPongWindowKm
+	if window == 0 {
+		window = DefaultPingPongWindowKm
+	}
+	factory := cfg.AlgorithmFactory
+	if factory == nil {
+		factory = func() handover.Algorithm { return handover.NewFuzzy(nil) }
+	}
+	e := &Engine{shards: make([]*shard, nshards), bufs: newBufPool()}
+	e.staging.New = func() any { return make([]*[]Report, nshards) }
+	for i := range e.shards {
+		s := &shard{
+			id:         i,
+			in:         make(chan *[]Report, depth),
+			terminals:  make(map[TerminalID]*terminal),
+			window:     window,
+			onDecision: cfg.OnDecision,
+		}
+		if cfg.PerTerminalAlgorithms {
+			s.newAlgo = factory
+		} else {
+			s.algo = factory()
+			s.algo.Reset()
+		}
+		e.shards[i] = s
+	}
+	return e, nil
+}
+
+// NumShards returns the engine's shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Start launches the shard goroutines.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != stateIdle {
+		return ErrNotRunning
+	}
+	e.state = stateRunning
+	for _, s := range e.shards {
+		e.wg.Add(1)
+		go func(s *shard) {
+			defer e.wg.Done()
+			s.run(e.bufs)
+		}(s)
+	}
+	return nil
+}
+
+// Stop drains the queues — every report accepted before Stop is decided —
+// and joins the shard goroutines.  Submissions concurrent with Stop either
+// complete before the queues close or fail with ErrNotRunning.
+func (e *Engine) Stop() error {
+	e.mu.Lock()
+	if e.state != stateRunning {
+		e.mu.Unlock()
+		return ErrNotRunning
+	}
+	e.state = stateStopped
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed hash that
+// decouples shard assignment from dense terminal-ID patterns.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the index of the shard owning the terminal.
+func (e *Engine) ShardOf(id TerminalID) int {
+	return int(mix64(uint64(id)) % uint64(len(e.shards)))
+}
+
+// send accounts and enqueues one filled sub-batch, blocking while the
+// shard's queue is full.
+func (e *Engine) send(s *shard, buf *[]Report) {
+	s.submitted.Add(uint64(len(*buf)))
+	s.in <- buf
+}
+
+// Submit enqueues one report, blocking while the owning shard's queue is
+// full (backpressure).  It fails with ErrNotRunning before Start or after
+// Stop.
+func (e *Engine) Submit(r Report) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.state != stateRunning {
+		return ErrNotRunning
+	}
+	buf := e.bufs.get()
+	*buf = append(*buf, r)
+	e.send(e.shards[e.ShardOf(r.Terminal)], buf)
+	return nil
+}
+
+// SubmitBatch enqueues a batch of reports, blocking on full shard queues
+// like Submit.  Reports are scattered into per-shard sub-batches of up to
+// maxSubBatch — one channel operation amortized over up to 64 decisions —
+// preserving each terminal's in-batch order; the steady-state path
+// performs no heap allocations.
+func (e *Engine) SubmitBatch(rs []Report) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.state != stateRunning {
+		return ErrNotRunning
+	}
+	staging := e.staging.Get().([]*[]Report)
+	for _, r := range rs {
+		idx := e.ShardOf(r.Terminal)
+		buf := staging[idx]
+		if buf == nil {
+			buf = e.bufs.get()
+			staging[idx] = buf
+		}
+		*buf = append(*buf, r)
+		if len(*buf) == maxSubBatch {
+			staging[idx] = nil
+			e.send(e.shards[idx], buf)
+		}
+	}
+	for idx, buf := range staging {
+		if buf != nil {
+			staging[idx] = nil
+			e.send(e.shards[idx], buf)
+		}
+	}
+	e.staging.Put(staging)
+	return nil
+}
+
+// TrySubmit enqueues one report without blocking: a full shard queue fails
+// fast with ErrBacklogged so the caller can shed or retry on its own terms.
+func (e *Engine) TrySubmit(r Report) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.state != stateRunning {
+		return ErrNotRunning
+	}
+	s := e.shards[e.ShardOf(r.Terminal)]
+	buf := e.bufs.get()
+	*buf = append(*buf, r)
+	select {
+	case s.in <- buf:
+		s.submitted.Add(1)
+		return nil
+	default:
+		e.bufs.put(buf)
+		return ErrBacklogged
+	}
+}
+
+// Flush blocks until every report submitted before the call has been
+// decided.  It does not prevent concurrent submitters from adding more.
+func (e *Engine) Flush() {
+	for _, s := range e.shards {
+		target := s.submitted.Load()
+		for i := 0; s.processed.Load() < target; i++ {
+			if i < 256 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// ShardStats is one shard's counter snapshot.
+type ShardStats struct {
+	// Shard is the shard index (-1 in aggregated totals).
+	Shard int
+	// Terminals is the number of distinct terminals seen.
+	Terminals uint64
+	// Decisions counts processed reports; Handovers the executed
+	// handovers among them; PingPongs the flagged returns; Errors the
+	// reports whose algorithm evaluation failed.
+	Decisions uint64
+	Handovers uint64
+	PingPongs uint64
+	Errors    uint64
+	// QueueDepth is the instantaneous ingest-queue length in queued
+	// messages (sub-batches), not reports.
+	QueueDepth int
+}
+
+// Stats is a point-in-time snapshot of every shard's counters.
+type Stats struct {
+	Shards []ShardStats
+}
+
+// Stats snapshots the per-shard counters.  Counters are read atomically
+// per field; a snapshot taken while shards are busy is consistent per
+// counter, not across counters.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		st.Shards[i] = ShardStats{
+			Shard:      i,
+			Terminals:  s.nTerminals.Load(),
+			Decisions:  s.processed.Load(),
+			Handovers:  s.handovers.Load(),
+			PingPongs:  s.pingpongs.Load(),
+			Errors:     s.errors.Load(),
+			QueueDepth: len(s.in),
+		}
+	}
+	return st
+}
+
+// Totals aggregates the per-shard counters (Shard is -1).
+func (st Stats) Totals() ShardStats {
+	t := ShardStats{Shard: -1}
+	for _, s := range st.Shards {
+		t.Terminals += s.Terminals
+		t.Decisions += s.Decisions
+		t.Handovers += s.Handovers
+		t.PingPongs += s.PingPongs
+		t.Errors += s.Errors
+		t.QueueDepth += s.QueueDepth
+	}
+	return t
+}
+
+// String implements fmt.Stringer.
+func (s ShardStats) String() string {
+	return fmt.Sprintf("terminals=%d decisions=%d handovers=%d pingpong=%d errors=%d queue=%d",
+		s.Terminals, s.Decisions, s.Handovers, s.PingPongs, s.Errors, s.QueueDepth)
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/hexgrid"
+)
+
+// gateMeas is an epoch the POTLC gate settles (serving above −75 dB):
+// the cheapest decision the engine can serve.
+func gateMeas(id TerminalID) Report {
+	return Report{Terminal: id, Meas: cell.Measurement{
+		Serving:   hexgrid.Cell{I: 0, J: 0},
+		Neighbor:  hexgrid.Cell{I: 1, J: 0},
+		ServingDB: -60, NeighborDB: -80, DMBNorm: 0.3,
+	}}
+}
+
+// flcMeas is an epoch that reaches the FLC (serving below the gate) but
+// does not hand over — the steady-state serving workload.
+func flcMeas(id TerminalID) Report {
+	return Report{Terminal: id, Meas: cell.Measurement{
+		Serving:   hexgrid.Cell{I: 0, J: 0},
+		Neighbor:  hexgrid.Cell{I: 1, J: 0},
+		ServingDB: -80, NeighborDB: -100, CSSPdB: 1, DMBNorm: 0.6,
+	}}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Shards: -1},
+		{QueueDepth: -5},
+		{PingPongWindowKm: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	e, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumShards() < 1 {
+		t.Errorf("default shard count %d", e.NumShards())
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	e, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(gateMeas(1)); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("Submit before Start: %v", err)
+	}
+	if err := e.Stop(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("Stop before Start: %v", err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("double Start: %v", err)
+	}
+	if err := e.Submit(gateMeas(1)); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(gateMeas(1)); !errors.Is(err, ErrNotRunning) {
+		t.Errorf("Submit after Stop: %v", err)
+	}
+	if got := e.Stats().Totals().Decisions; got != 1 {
+		t.Errorf("decisions = %d, want 1", got)
+	}
+}
+
+// TestStopDrainsQueue: reports accepted before Stop are all decided.
+func TestStopDrainsQueue(t *testing.T) {
+	var decided atomic.Uint64
+	e, err := New(Config{Shards: 2, QueueDepth: 256, OnDecision: func(Outcome) { decided.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := e.Submit(gateMeas(TerminalID(i % 7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if decided.Load() != n {
+		t.Errorf("decided %d of %d before Stop returned", decided.Load(), n)
+	}
+}
+
+// TestBackpressure: a stalled shard fills its bounded queue; TrySubmit
+// then fails fast with ErrBacklogged while Submit blocks until the shard
+// drains.
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once atomic.Bool
+	e, err := New(Config{Shards: 1, QueueDepth: 2, OnDecision: func(Outcome) {
+		if once.CompareAndSwap(false, true) {
+			close(first)
+		}
+		<-release
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One report stalls in the callback; two more fill the queue.
+	for i := 0; i < 3; i++ {
+		if err := e.Submit(gateMeas(TerminalID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-first
+	if err := e.TrySubmit(gateMeas(9)); !errors.Is(err, ErrBacklogged) {
+		t.Fatalf("TrySubmit on full queue: %v", err)
+	}
+	if got := e.Stats().Shards[0].QueueDepth; got != 2 {
+		t.Errorf("queue depth %d, want 2", got)
+	}
+
+	// A blocking Submit must complete once the shard drains.
+	done := make(chan error, 1)
+	go func() { done <- e.Submit(gateMeas(10)) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Submit returned %v while the queue was full", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Totals().Decisions; got != 4 {
+		t.Errorf("decisions = %d, want 4", got)
+	}
+}
+
+// TestExternalReattachment: a report whose serving cell differs from the
+// engine's recorded attachment restarts the terminal's power history
+// instead of feeding the algorithm stale cross-cell state.
+func TestExternalReattachment(t *testing.T) {
+	var outs []Outcome
+	e, err := New(Config{Shards: 1, OnDecision: func(o Outcome) { outs = append(outs, o) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	r1 := flcMeas(1)
+	r2 := flcMeas(1)
+	r2.Meas.Serving = hexgrid.Cell{I: 2, J: 0} // reattached elsewhere
+	r2.Meas.ServingDB = -90
+	if err := e.SubmitBatch([]Report{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	// With history restarted the PRTLC sees havePrev=false; had the stale
+	// −80 dB prev been kept, the falling −90 dB signal would look like a
+	// confirmed degradation.  The fuzzy verdict here is no-handover either
+	// way, so assert on the engine state instead: the terminal count stays
+	// 1 and no handover was recorded.
+	tot := e.Stats().Totals()
+	if tot.Terminals != 1 || tot.Handovers != 0 || tot.Errors != 0 {
+		t.Errorf("totals %+v", tot)
+	}
+}
+
+func TestShardOfIsStable(t *testing.T) {
+	e, err := New(Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		s := e.ShardOf(TerminalID(i))
+		if s != e.ShardOf(TerminalID(i)) {
+			t.Fatal("ShardOf is not stable")
+		}
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s]++
+	}
+	// Dense IDs must spread: no shard may own more than twice its share.
+	for s, n := range seen {
+		if n > 2*4096/8 {
+			t.Errorf("shard %d owns %d of 4096 terminals", s, n)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/handover"
+	"repro/internal/hexgrid"
+)
+
+// pingPongHistory bounds the per-terminal handover ring the ping-pong scan
+// walks.  The simulator's detector keeps the full history; the serving
+// layer keeps the most recent entries inline (no allocation per handover)
+// — the accounting only diverges if a terminal executes more than this
+// many handovers inside one window, which the window exists to prevent.
+const pingPongHistory = 8
+
+// hoEvent is one executed handover in a terminal's ring.
+type hoEvent struct {
+	from, to hexgrid.Cell
+	walkedKm float64
+}
+
+// terminal is the engine-owned state of one terminal: everything the
+// single-threaded sim path keeps in its Measurer/algorithm/detector,
+// reduced to what streamed reports cannot carry themselves.
+type terminal struct {
+	// algo is the terminal-private algorithm (PerTerminalAlgorithms
+	// mode); nil means the shard's shared instance decides.
+	algo handover.Algorithm
+	// seq counts reports served for this terminal.
+	seq uint64
+	// prevDB/havePrev mirror Measurer.PrevServingDB: the serving power
+	// of the previous epoch, invalidated by an executed handover.
+	prevDB   float64
+	havePrev bool
+	// serving tracks the attachment the engine believes the terminal
+	// holds (updated on executed handovers, corrected from reports).
+	serving     hexgrid.Cell
+	haveServing bool
+	// handovers/pingpongs are per-terminal tallies.
+	handovers uint64
+	pingpongs uint64
+	// events is the recent-handover ring; next indexes the slot the
+	// next event overwrites and total counts events ever recorded.
+	events [pingPongHistory]hoEvent
+	next   int
+	total  int
+}
+
+// observeHandover records an executed handover and reports whether it
+// closes a ping-pong pair, using the simulator detector's rule: a prior
+// B→A hop within the walked-distance window makes this A→B hop a return.
+func (t *terminal) observeHandover(from, to hexgrid.Cell, walkedKm, windowKm float64) bool {
+	pingPong := false
+	n := t.total
+	if n > pingPongHistory {
+		n = pingPongHistory
+	}
+	for i := 1; i <= n; i++ {
+		prev := t.events[(t.next-i+pingPongHistory)%pingPongHistory]
+		if walkedKm-prev.walkedKm > windowKm {
+			break
+		}
+		if prev.from == to && prev.to == from {
+			pingPong = true
+			break
+		}
+	}
+	t.events[t.next] = hoEvent{from: from, to: to, walkedKm: walkedKm}
+	t.next = (t.next + 1) % pingPongHistory
+	t.total++
+	return pingPong
+}
+
+// pad keeps producer-written and consumer-written counters on separate
+// cache lines so submitters and the shard goroutine do not false-share.
+type pad [64]byte
+
+// shard owns one partition of the terminal population.  All fields below
+// the queue are touched only by the shard goroutine, except the atomic
+// counters, which anyone may read.  The queue carries pooled sub-batches
+// (≤ maxSubBatch reports each) so a busy ingest path pays one channel
+// operation per sub-batch, not per report.
+type shard struct {
+	id int
+	in chan *[]Report
+
+	terminals map[TerminalID]*terminal
+	// algo is the shared per-shard instance; newAlgo, when non-nil,
+	// builds per-terminal instances instead.
+	algo    handover.Algorithm
+	newAlgo func() handover.Algorithm
+	window  float64
+
+	onDecision func(Outcome)
+
+	// submitted is written by producers; the remaining counters by the
+	// shard goroutine.
+	submitted  atomic.Uint64
+	_          pad
+	processed  atomic.Uint64
+	handovers  atomic.Uint64
+	pingpongs  atomic.Uint64
+	errors     atomic.Uint64
+	nTerminals atomic.Uint64
+}
+
+// run drains the ingest queue until it is closed, returning emptied
+// sub-batch buffers to the pool for producers to refill.
+func (s *shard) run(pool *bufPool) {
+	for batch := range s.in {
+		for _, r := range *batch {
+			s.process(r)
+		}
+		pool.put(batch)
+	}
+}
+
+// process serves one report: route to (or create) the terminal state,
+// decide on the fast path, commit executed handovers, update counters and
+// deliver the outcome.  Steady state (known terminal) allocates nothing.
+func (s *shard) process(r Report) {
+	t := s.terminals[r.Terminal]
+	if t == nil {
+		t = &terminal{}
+		if s.newAlgo != nil {
+			t.algo = s.newAlgo()
+			t.algo.Reset()
+		}
+		s.terminals[r.Terminal] = t
+		s.nTerminals.Add(1)
+	}
+	m := r.Meas
+	algo := s.algo
+	if t.algo != nil {
+		algo = t.algo
+	}
+	if t.haveServing && m.Serving != t.serving {
+		// The radio side reattached the terminal without this engine
+		// deciding it (restart, external handover): the previous-epoch
+		// power belongs to another cell, so the history restarts, as it
+		// does after an engine-decided handover.
+		t.havePrev = false
+		algo.Reset()
+	}
+	t.serving, t.haveServing = m.Serving, true
+
+	dec, err := algo.Decide(m, t.prevDB, t.havePrev)
+	executed := false
+	pingPong := false
+	if err != nil {
+		s.errors.Add(1)
+		dec = handover.Decision{}
+	} else if dec.Handover {
+		executed = true
+		t.handovers++
+		s.handovers.Add(1)
+		pingPong = t.observeHandover(m.Serving, m.Neighbor, m.WalkedKm, s.window)
+		if pingPong {
+			t.pingpongs++
+			s.pingpongs.Add(1)
+		}
+		// Commit: the terminal now serves from the neighbor, and — as in
+		// the simulator's Measurer.Handover — the power history restarts.
+		t.serving = m.Neighbor
+		t.havePrev = false
+		t.prevDB = m.ServingDB
+		algo.Reset()
+	}
+	if !executed {
+		// No-handover epochs — including algorithm errors, which are
+		// documented to count as one — advance the power history: the
+		// measurement itself is valid even when the decision failed.
+		t.prevDB = m.ServingDB
+		t.havePrev = true
+	}
+	seq := t.seq
+	t.seq++
+	s.processed.Add(1)
+	if s.onDecision != nil {
+		s.onDecision(Outcome{
+			Terminal: r.Terminal,
+			Seq:      seq,
+			Decision: dec,
+			Executed: executed,
+			PingPong: pingPong,
+			Shard:    s.id,
+			Err:      err,
+		})
+	}
+}

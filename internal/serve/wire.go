@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/cell"
+	"repro/internal/hexgrid"
+)
+
+// WireReport is the newline-JSON ingest format of one measurement report —
+// the over-the-wire shape of Report consumed by cmd/hoserve.  Cells are
+// [i, j] axial labels; power fields are dB.
+type WireReport struct {
+	Terminal   uint64  `json:"terminal"`
+	Serving    [2]int  `json:"serving"`
+	Neighbor   [2]int  `json:"neighbor"`
+	ServingDB  float64 `json:"serving_db"`
+	NeighborDB float64 `json:"ssn_db"`
+	CSSPdB     float64 `json:"cssp_db"`
+	DMBNorm    float64 `json:"dmb"`
+	WalkedKm   float64 `json:"walked_km"`
+	SpeedKmh   float64 `json:"speed_kmh"`
+}
+
+// WireOutcome is the newline-JSON decision format cmd/hoserve emits.
+type WireOutcome struct {
+	Terminal uint64  `json:"terminal"`
+	Seq      uint64  `json:"seq"`
+	Handover bool    `json:"handover"`
+	Score    float64 `json:"score,omitempty"`
+	Reason   string  `json:"reason"`
+	Executed bool    `json:"executed"`
+	PingPong bool    `json:"pingpong,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Report converts the wire shape to the engine's ingest type.
+func (w WireReport) Report() Report {
+	return Report{
+		Terminal: TerminalID(w.Terminal),
+		Meas: cell.Measurement{
+			Serving:    hexgrid.Cell{I: w.Serving[0], J: w.Serving[1]},
+			Neighbor:   hexgrid.Cell{I: w.Neighbor[0], J: w.Neighbor[1]},
+			ServingDB:  w.ServingDB,
+			NeighborDB: w.NeighborDB,
+			CSSPdB:     w.CSSPdB,
+			DMBNorm:    w.DMBNorm,
+			WalkedKm:   w.WalkedKm,
+			SpeedKmh:   w.SpeedKmh,
+		},
+	}
+}
+
+// Validate rejects reports no decision algorithm can sanely consume.
+func (w WireReport) Validate() error {
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"serving_db", w.ServingDB}, {"ssn_db", w.NeighborDB},
+		{"cssp_db", w.CSSPdB}, {"dmb", w.DMBNorm},
+		{"walked_km", w.WalkedKm}, {"speed_kmh", w.SpeedKmh},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("serve: report field %s is not finite", f.name)
+		}
+	}
+	if w.DMBNorm < 0 {
+		return fmt.Errorf("serve: negative dmb %g", w.DMBNorm)
+	}
+	if w.WalkedKm < 0 {
+		return fmt.Errorf("serve: negative walked_km %g", w.WalkedKm)
+	}
+	if w.SpeedKmh < 0 {
+		return fmt.Errorf("serve: negative speed_kmh %g", w.SpeedKmh)
+	}
+	if w.Serving == w.Neighbor {
+		return fmt.Errorf("serve: serving and neighbor are both BS(%d,%d)", w.Serving[0], w.Serving[1])
+	}
+	return nil
+}
+
+// ParseBatchLine decodes one ingest line: either a single JSON report
+// object or a JSON array of them (one batch).  Every report is validated;
+// a malformed line yields a descriptive error and no reports.
+func ParseBatchLine(line []byte) ([]Report, error) {
+	trimmed := trimSpace(line)
+	if len(trimmed) == 0 {
+		return nil, nil
+	}
+	var wires []WireReport
+	if trimmed[0] == '[' {
+		if err := json.Unmarshal(trimmed, &wires); err != nil {
+			return nil, fmt.Errorf("serve: malformed batch line: %w", err)
+		}
+	} else {
+		var w WireReport
+		if err := json.Unmarshal(trimmed, &w); err != nil {
+			return nil, fmt.Errorf("serve: malformed report line: %w", err)
+		}
+		wires = append(wires, w)
+	}
+	out := make([]Report, 0, len(wires))
+	for i, w := range wires {
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("report %d: %w", i, err)
+		}
+		out = append(out, w.Report())
+	}
+	return out, nil
+}
+
+// trimSpace strips ASCII whitespace without allocating.
+func trimSpace(b []byte) []byte {
+	lo, hi := 0, len(b)
+	for lo < hi && (b[lo] == ' ' || b[lo] == '\t' || b[lo] == '\r' || b[lo] == '\n') {
+		lo++
+	}
+	for hi > lo && (b[hi-1] == ' ' || b[hi-1] == '\t' || b[hi-1] == '\r' || b[hi-1] == '\n') {
+		hi--
+	}
+	return b[lo:hi]
+}
+
+// AppendOutcomeJSON appends the outcome as one JSON line (with trailing
+// newline) to dst and returns the extended slice.  It is hand-rolled so a
+// busy decision stream does not allocate per outcome.
+func AppendOutcomeJSON(dst []byte, o Outcome) []byte {
+	dst = append(dst, `{"terminal":`...)
+	dst = strconv.AppendUint(dst, uint64(o.Terminal), 10)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, o.Seq, 10)
+	dst = append(dst, `,"handover":`...)
+	dst = strconv.AppendBool(dst, o.Decision.Handover)
+	if o.Decision.Scored {
+		dst = append(dst, `,"score":`...)
+		dst = strconv.AppendFloat(dst, o.Decision.Score, 'g', -1, 64)
+	}
+	dst = append(dst, `,"reason":`...)
+	dst = appendJSONString(dst, o.Decision.Reason)
+	dst = append(dst, `,"executed":`...)
+	dst = strconv.AppendBool(dst, o.Executed)
+	if o.PingPong {
+		dst = append(dst, `,"pingpong":true`...)
+	}
+	if o.Err != nil {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, o.Err.Error())
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendJSONString appends s as a JSON string.  Reasons and error texts
+// are ASCII; anything outside the safe set is escaped numerically.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < 0x20:
+			dst = append(dst, fmt.Sprintf(`\u%04x`, c)...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}

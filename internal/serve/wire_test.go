@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/handover"
+)
+
+func TestParseBatchLineSingleAndArray(t *testing.T) {
+	single := `{"terminal":7,"serving":[0,0],"neighbor":[1,0],"serving_db":-88.5,"ssn_db":-84,"cssp_db":-2.5,"dmb":1.1,"walked_km":3.2,"speed_kmh":30}`
+	rs, err := ParseBatchLine([]byte(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Terminal != 7 || rs[0].Meas.ServingDB != -88.5 ||
+		rs[0].Meas.Neighbor.I != 1 || rs[0].Meas.SpeedKmh != 30 {
+		t.Fatalf("parsed %+v", rs)
+	}
+
+	batch := "[" + single + "," + strings.Replace(single, `"terminal":7`, `"terminal":8`, 1) + "]"
+	rs, err = ParseBatchLine([]byte(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[1].Terminal != 8 {
+		t.Fatalf("parsed %+v", rs)
+	}
+
+	if rs, err := ParseBatchLine([]byte("   \t")); err != nil || rs != nil {
+		t.Errorf("blank line: %v, %v", rs, err)
+	}
+}
+
+func TestParseBatchLineRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`{`,
+		`[{"terminal":1},`,
+		`{"terminal":1,"serving":[0,0],"neighbor":[0,0],"serving_db":-88}`, // serving == neighbor
+		`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"dmb":-2}`,
+		`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"walked_km":-1}`,
+		`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"speed_kmh":-5}`,
+		`"just a string"`,
+	}
+	for _, src := range bad {
+		if _, err := ParseBatchLine([]byte(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestAppendOutcomeJSONRoundTrip(t *testing.T) {
+	o := Outcome{
+		Terminal: 42,
+		Seq:      9,
+		Decision: handover.Decision{Handover: true, Score: 0.7321, Scored: true, Reason: `execute "now"`},
+		Executed: true,
+		PingPong: true,
+	}
+	line := AppendOutcomeJSON(nil, o)
+	if line[len(line)-1] != '\n' {
+		t.Fatal("no trailing newline")
+	}
+	var w WireOutcome
+	if err := json.Unmarshal(line, &w); err != nil {
+		t.Fatalf("%v in %s", err, line)
+	}
+	if w.Terminal != 42 || w.Seq != 9 || !w.Handover || w.Score != 0.7321 ||
+		w.Reason != `execute "now"` || !w.Executed || !w.PingPong {
+		t.Errorf("round trip %+v from %s", w, line)
+	}
+}
+
+// TestAppendOutcomeJSONNoAlloc: encoding into a preallocated buffer must
+// not allocate — hoserve encodes every decision on the shard callback.
+func TestAppendOutcomeJSONNoAlloc(t *testing.T) {
+	o := Outcome{Terminal: 1, Seq: 2, Decision: handover.Decision{Reason: "FLC-threshold", Score: 0.5, Scored: true}}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendOutcomeJSON(buf[:0], o)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendOutcomeJSON allocates %v per call", allocs)
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// Measurements exports the run's per-epoch measurement stream — the walk
+// replay the streaming serve layer ingests.  The stream embeds the
+// handover feedback loop that produced it (serving attachment, CSSP
+// resets), so replaying it through an identically configured decision
+// engine reproduces this run's decision sequence exactly; the serve
+// package's determinism tests rely on that.
+func (r *Result) Measurements() []cell.Measurement {
+	out := make([]cell.Measurement, len(r.Epochs))
+	for i, e := range r.Epochs {
+		out[i] = e.Measurement
+	}
+	return out
+}
+
+// ParseSpeeds parses a comma-separated list of terminal speeds in km/h —
+// the sweep-grid axis every CLI exposes — rejecting malformed and
+// negative entries with a descriptive error.  Empty entries are skipped;
+// at least one speed is required.
+func ParseSpeeds(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: bad speed %q: %w", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("sim: negative speed %g km/h", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sim: no speeds given")
+	}
+	return out, nil
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json load-smoke ci
+.PHONY: build test race vet bench bench-json bench-smoke load-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,19 @@ vet:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
-# Machine-readable perf artifact: serve + inference hot paths.
+# Machine-readable perf artifact: serve + inference hot paths, recorded at
+# GOMAXPROCS=1 and GOMAXPROCS=NumCPU.
 bench-json:
 	$(GO) run ./cmd/hobench -o BENCH_serve.json
+
+# Short bench run gated against the committed artifact: fails if any
+# steady-state decisions/sec metric regresses by more than 30%.  The
+# baseline is machine-specific — regenerate BENCH_serve.json (make
+# bench-json) whenever the reference hardware changes, or the gate
+# measures the runner, not the code.
+bench-smoke:
+	$(GO) run ./cmd/hobench -benchtime 120ms -o /tmp/BENCH_smoke.json \
+		-baseline BENCH_serve.json -max-regress 0.30
 
 # Short end-to-end load run through the serve engine.
 load-smoke:

@@ -174,6 +174,83 @@ func BenchmarkEvaluateFast(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateCompiled measures one decision through the compiled
+// control surface (the exact segment-table kernel for the paper's FLC):
+// the same query loop as BenchmarkEvaluateFast with the Mamdani pipeline
+// compiled away.  Must report 0 allocs/op; the headline is the ratio to
+// BenchmarkEvaluateFast.
+func BenchmarkEvaluateCompiled(b *testing.B) {
+	cs, err := fuzzy.NewCompiledSurface(NewFLC().System(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !cs.Exact() {
+		b.Fatal("paper FLC did not compile to the exact kernel")
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hd, err := cs.At3(-3.5, -95+float64(i%10), 1.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += hd
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("sink NaN")
+	}
+}
+
+// BenchmarkEvaluateCompiledBatch measures the columnar batch entry point
+// the serve shards drain sub-batches through: per-decision cost with the
+// call and branch overhead amortized across a 64-row column batch.
+func BenchmarkEvaluateCompiledBatch(b *testing.B) {
+	cs, err := fuzzy.NewCompiledSurface(NewFLC().System(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	var c0, c1, c2, dst [n]float64
+	for i := 0; i < n; i++ {
+		c0[i] = -6 + float64(i%13)
+		c1[i] = -110 + float64(i%9)*3
+		c2[i] = 0.2 + float64(i%7)*0.2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cs.EvaluateBatch3(dst[:], c0[:], c1[:], c2[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/decision")
+}
+
+// BenchmarkEvaluateLattice measures the interpolation-lattice fallback at
+// the default resolution (forced: the paper's FLC normally takes the
+// kernel) — the compiled mode operator ablations get.
+func BenchmarkEvaluateLattice(b *testing.B) {
+	cs, err := fuzzy.CompileSurface(NewFLC().System(), fuzzy.CompileOptions{ForceLattice: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hd, err := cs.At3(-3.5, -95+float64(i%10), 1.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink += hd
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("sink NaN")
+	}
+}
+
 // BenchmarkEvaluateParallel runs the fast path on every core with one
 // Scratch per goroutine — the aggregate inference throughput ceiling.
 func BenchmarkEvaluateParallel(b *testing.B) {

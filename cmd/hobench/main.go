@@ -5,6 +5,14 @@
 //
 //	hobench                         # serve + inference benchmarks → BENCH_serve.json
 //	hobench -bench 'BenchmarkServe' -o - -benchtime 200ms
+//	hobench -baseline BENCH_serve.json -max-regress 0.3   # CI regression gate
+//
+// Results are recorded in sections, one per GOMAXPROCS setting (-cpus,
+// default "1,max"): shard-scaling numbers measured at GOMAXPROCS=1 say
+// nothing about parallel speedup, so the artifact captures both the
+// single-core and the all-core picture.  With -baseline, the run compares
+// its steady-state decisions/sec metrics against a previous artifact and
+// fails if any regresses by more than -max-regress.
 //
 // The tool shells out to `go test -bench` (the canonical runner: real
 // iteration control, -benchmem accounting) and parses the standard output
@@ -36,17 +44,31 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Section is one GOMAXPROCS configuration's results.
+type Section struct {
+	// Label is the requested -cpus entry ("1", "max"), GOMAXPROCS its
+	// resolved value for this machine.
+	Label      string   `json:"label"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
 // Artifact is the BENCH_serve.json schema.
 type Artifact struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	GOMAXPROCS  int      `json:"gomaxprocs"`
-	BenchFilter string   `json:"bench_filter"`
-	BenchTime   string   `json:"bench_time"`
-	Packages    []string `json:"packages"`
-	Results     []Result `json:"results"`
+	GeneratedAt string    `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	NumCPU      int       `json:"num_cpu"`
+	BenchFilter string    `json:"bench_filter"`
+	BenchTime   string    `json:"bench_time"`
+	Packages    []string  `json:"packages"`
+	Sections    []Section `json:"sections"`
+
+	// Legacy single-section fields (pre-section artifacts), read for
+	// baseline comparison only.
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	Results    []Result `json:"results,omitempty"`
 }
 
 func main() {
@@ -55,6 +77,9 @@ func main() {
 		benchtime = flag.String("benchtime", "300ms", "go test -benchtime value")
 		out       = flag.String("o", "BENCH_serve.json", "output path (- for stdout)")
 		pkgsCS    = flag.String("pkgs", "./internal/serve,.", "comma-separated packages to benchmark")
+		cpusCS    = flag.String("cpus", "1,max", "comma-separated GOMAXPROCS sections (ints or 'max')")
+		baseline  = flag.String("baseline", "", "previous artifact to compare against (empty: no comparison)")
+		maxReg    = flag.Float64("max-regress", 0.30, "maximum tolerated fractional decisions/sec regression vs -baseline")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -64,26 +89,37 @@ func main() {
 	if len(pkgs) == 0 {
 		fatal(fmt.Errorf("-pkgs must name at least one package"))
 	}
+	cpus, err := parseCPUs(*cpusCS)
+	if err != nil {
+		fatal(err)
+	}
+	if *maxReg < 0 || *maxReg >= 1 {
+		fatal(fmt.Errorf("-max-regress must be in [0, 1), got %g", *maxReg))
+	}
 
 	art := Artifact{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		BenchFilter: *pattern,
 		BenchTime:   *benchtime,
 		Packages:    pkgs,
 	}
-	for _, pkg := range pkgs {
-		rows, err := runPackage(pkg, *pattern, *benchtime)
-		if err != nil {
-			fatal(err)
+	for _, c := range cpus {
+		sec := Section{Label: c.label, GOMAXPROCS: c.n}
+		for _, pkg := range pkgs {
+			rows, err := runPackage(pkg, *pattern, *benchtime, c.n)
+			if err != nil {
+				fatal(err)
+			}
+			sec.Results = append(sec.Results, rows...)
 		}
-		art.Results = append(art.Results, rows...)
-	}
-	if len(art.Results) == 0 {
-		fatal(fmt.Errorf("no benchmarks matched %q in %v", *pattern, pkgs))
+		if len(sec.Results) == 0 {
+			fatal(fmt.Errorf("no benchmarks matched %q in %v at GOMAXPROCS=%d", *pattern, pkgs, c.n))
+		}
+		art.Sections = append(art.Sections, sec)
 	}
 
 	blob, err := json.MarshalIndent(art, "", "  ")
@@ -93,22 +129,58 @@ func main() {
 	blob = append(blob, '\n')
 	if *out == "-" {
 		os.Stdout.Write(blob)
-		return
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hobench: wrote %d sections to %s\n", len(art.Sections), *out)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
+
+	if *baseline != "" {
+		if err := checkRegression(art, *baseline, *maxReg); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Printf("hobench: wrote %d results to %s\n", len(art.Results), *out)
 }
 
-// runPackage executes go test -bench for one package and parses the rows.
-func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
+// cpuSpec is one parsed -cpus entry.
+type cpuSpec struct {
+	label string
+	n     int
+}
+
+// parseCPUs resolves the -cpus list ("max" → NumCPU).  Duplicate resolved
+// values are kept: on a single-core machine "1,max" still records both
+// sections, so the artifact shape is machine-independent.
+func parseCPUs(csv string) ([]cpuSpec, error) {
+	var out []cpuSpec
+	for _, p := range splitNonEmpty(csv) {
+		if p == "max" {
+			out = append(out, cpuSpec{label: "max", n: runtime.NumCPU()})
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpus entry %q (want a positive int or 'max')", p)
+		}
+		out = append(out, cpuSpec{label: p, n: n})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-cpus must name at least one setting")
+	}
+	return out, nil
+}
+
+// runPackage executes go test -bench for one package at one GOMAXPROCS
+// setting and parses the rows.
+func runPackage(pkg, pattern, benchtime string, cpu int) ([]Result, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern, "-benchmem", "-benchtime", benchtime, pkg)
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime,
+		"-cpu", strconv.Itoa(cpu), pkg)
 	cmd.Stderr = os.Stderr
 	outBytes, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go test -bench %s: %w\n%s", pkg, err, outBytes)
+		return nil, fmt.Errorf("go test -bench %s (cpu %d): %w\n%s", pkg, cpu, err, outBytes)
 	}
 	return parseBenchOutput(pkg, string(outBytes))
 }
@@ -161,6 +233,81 @@ func parseBenchOutput(pkg, out string) ([]Result, error) {
 		results = append(results, r)
 	}
 	return results, nil
+}
+
+// sections returns an artifact's sections, adapting legacy single-section
+// files (top-level results + gomaxprocs).
+func (a Artifact) sections() []Section {
+	if len(a.Sections) > 0 {
+		return a.Sections
+	}
+	if len(a.Results) > 0 {
+		return []Section{{Label: strconv.Itoa(a.GOMAXPROCS), GOMAXPROCS: a.GOMAXPROCS, Results: a.Results}}
+	}
+	return nil
+}
+
+// checkRegression compares the new artifact's steady-state decisions/sec
+// metrics against the baseline file, section by GOMAXPROCS, and fails if
+// any regresses beyond the tolerated fraction.
+func checkRegression(art Artifact, baselinePath string, maxRegress float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Artifact
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseByCPU := map[int]map[string]float64{}
+	for _, sec := range base.sections() {
+		if _, dup := baseByCPU[sec.GOMAXPROCS]; dup {
+			continue // first section per GOMAXPROCS wins
+		}
+		m := map[string]float64{}
+		for _, r := range sec.Results {
+			if v, ok := r.Metrics["decisions/sec"]; ok && v > 0 {
+				m[r.Package+"/"+r.Name] = v
+			}
+		}
+		baseByCPU[sec.GOMAXPROCS] = m
+	}
+	var regressions []string
+	compared := 0
+	for _, sec := range art.sections() {
+		baseMetrics, ok := baseByCPU[sec.GOMAXPROCS]
+		if !ok {
+			continue // baseline from a machine without this section
+		}
+		for _, r := range sec.Results {
+			v, ok := r.Metrics["decisions/sec"]
+			if !ok || v <= 0 {
+				continue
+			}
+			want, ok := baseMetrics[r.Package+"/"+r.Name]
+			if !ok {
+				continue // new benchmark: nothing to regress against
+			}
+			compared++
+			if v < want*(1-maxRegress) {
+				regressions = append(regressions, fmt.Sprintf(
+					"  %s (GOMAXPROCS=%d): %.0f decisions/sec vs baseline %.0f (-%.0f%%)",
+					r.Name, sec.GOMAXPROCS, v, want, 100*(1-v/want)))
+			}
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("decisions/sec regressed beyond %.0f%% on %d benchmark(s):\n%s",
+			100*maxRegress, len(regressions), strings.Join(regressions, "\n"))
+	}
+	if compared == 0 {
+		// A gate that matched nothing (section/name drift, wrong baseline)
+		// must not masquerade as a pass.
+		return fmt.Errorf("baseline %s shares no decisions/sec metrics with this run: the gate checked nothing", baselinePath)
+	}
+	fmt.Printf("hobench: baseline check passed (%d decisions/sec metrics within %.0f%% of %s)\n",
+		compared, 100*maxRegress, baselinePath)
+	return nil
 }
 
 func splitNonEmpty(csv string) []string {

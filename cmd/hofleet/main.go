@@ -33,6 +33,7 @@ func main() {
 		shadow   = flag.Float64("shadow", 0, "shadow-fading sigma in dB (0 = off)")
 		decorr   = flag.Float64("decorr", 0.05, "shadowing decorrelation distance in km")
 		resolve  = flag.Bool("resolve", false, "resolve the paper's representative walks first (slower startup)")
+		compiled = flag.Bool("compiled", false, "run the FLC on the compiled control surface (shared exact kernel)")
 		verbose  = flag.Bool("v", false, "print one row per run instead of per-scenario aggregates")
 	)
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 	for _, b := range bases {
 		b.cfg.ShadowSigmaDB = *shadow
 		b.cfg.ShadowDecorrKm = *decorr
+		b.cfg.CompiledFLC = *compiled
 		c, p := fuzzyho.SweepGrid(b.label, b.cfg, *replicas, speeds)
 		cfgs = append(cfgs, c...)
 		points = append(points, p...)

@@ -24,6 +24,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"runtime"
 	"sync"
@@ -55,6 +57,8 @@ func main() {
 		replicas  = flag.Int("replicas", 4, "seed sub-streams per scenario")
 		speedsCS  = flag.String("speeds", "0,10,30,50", "comma-separated speeds in km/h")
 		batchLen  = flag.Int("batch", 256, "reports per SubmitBatch call")
+		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
+		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 	)
 	flag.Parse()
 	if *terminals < 1 {
@@ -99,9 +103,18 @@ func main() {
 		rings[i] = &timeRing{}
 	}
 	var lat fuzzyho.LatencyRecorder
+	if *pprofHost != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofHost, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hoload: pprof:", err)
+			}
+		}()
+	}
+
 	engine, err := fuzzyho.NewServeEngine(fuzzyho.ServeConfig{
 		Shards:     *shards,
 		QueueDepth: *queue,
+		Compiled:   *compiled,
 		OnDecision: func(o fuzzyho.ServeOutcome) {
 			r := rings[int(o.Terminal)]
 			t0 := r.slots[o.Seq%ringSize]

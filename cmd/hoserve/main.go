@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"runtime"
 	"sync"
@@ -41,11 +43,13 @@ import (
 
 func main() {
 	var (
-		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards (state partitions)")
-		queue    = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth (messages)")
-		window   = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
-		listen   = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
-		statsSec = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards (state partitions)")
+		queue     = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth (messages)")
+		window    = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
+		listen    = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
+		statsSec  = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
+		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
+		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -58,11 +62,22 @@ func main() {
 		fatal(fmt.Errorf("-window must be > 0 km, got %g", *window))
 	}
 
+	if *pprofHost != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers; profiling a hot
+			// shard in situ is `go tool pprof http://<addr>/debug/pprof/profile`.
+			if err := http.ListenAndServe(*pprofHost, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hoserve: pprof:", err)
+			}
+		}()
+	}
+
 	router := newDecisionRouter()
 	engine, err := serve.New(serve.Config{
 		Shards:           *shards,
 		QueueDepth:       *queue,
 		PingPongWindowKm: *window,
+		Compiled:         *compiled,
 		OnDecision:       router.route,
 	})
 	if err != nil {

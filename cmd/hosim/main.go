@@ -28,7 +28,7 @@ func main() {
 		spacing   = flag.Float64("spacing", 0, "measurement spacing in km (0 = default 0.6)")
 		shadow    = flag.Float64("shadow", 0, "shadow-fading sigma in dB (0 = off)")
 		decorr    = flag.Float64("decorr", 0.05, "shadowing decorrelation distance in km")
-		algoName  = flag.String("algo", "fuzzy", "algorithm: fuzzy, rss, hysteresis, ttt, distance")
+		algoName  = flag.String("algo", "fuzzy", "algorithm: fuzzy, fuzzy-compiled, rss, hysteresis, ttt, distance")
 		margin    = flag.Float64("margin", 4, "hysteresis margin in dB (for -algo hysteresis/ttt)")
 		tttEpochs = flag.Int("ttt", 2, "time-to-trigger epochs (for -algo ttt)")
 		rssFloor  = flag.Float64("rss-floor", -85, "serving threshold in dB (for -algo rss)")
@@ -126,6 +126,8 @@ func buildAlgorithm(name string, margin float64, ttt int, rssFloor float64) (fuz
 	switch name {
 	case "fuzzy":
 		return fuzzyho.NewFuzzyAlgorithm(nil), nil
+	case "fuzzy-compiled":
+		return fuzzyho.NewCompiledFuzzyAlgorithm()
 	case "rss":
 		return fuzzyho.AbsoluteThreshold{ThresholdDB: rssFloor}, nil
 	case "hysteresis":

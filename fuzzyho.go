@@ -110,7 +110,26 @@ type (
 	// Scratch holds reusable inference buffers for the allocation-free
 	// fast path (one per goroutine; see InferenceSystem.EvaluateInto).
 	Scratch = fuzzy.Scratch
+	// CompiledSurface is a precompiled control surface: the exact
+	// segment-table kernel for grid-shaped min/max systems (the paper's
+	// FLC), or a sampled interpolation lattice with a probe-reported
+	// error bound otherwise.  Scratch-free, allocation-free, concurrent.
+	CompiledSurface = fuzzy.CompiledSurface
+	// CompileOptions tunes CompileSurface.
+	CompileOptions = fuzzy.CompileOptions
 )
+
+// CompileSurface compiles an inference system's control surface; see
+// fuzzy.CompileSurface.  FLC.Compile is the controller-level entry point
+// and core.DefaultCompiledFLC the shared compiled paper controller.
+func CompileSurface(s *InferenceSystem, opts CompileOptions) (*CompiledSurface, error) {
+	return fuzzy.CompileSurface(s, opts)
+}
+
+// DefaultCompiledFLC returns the process-wide compiled instance of the
+// paper's controller (sim.Config.CompiledFLC and ServeConfig.Compiled use
+// it under the hood).
+func DefaultCompiledFLC() (*FLC, error) { return core.DefaultCompiledFLC() }
 
 // Membership-function constructors (re-exported).
 var (
@@ -240,6 +259,10 @@ type (
 	// AdaptiveFuzzy is the speed-adaptive extension of the paper controller.
 	AdaptiveFuzzy = handover.AdaptiveFuzzy
 )
+
+// NewCompiledFuzzyAlgorithm returns the paper's controller on the shared
+// compiled control surface, wrapped as an Algorithm.
+func NewCompiledFuzzyAlgorithm() (*FuzzyAlgorithm, error) { return handover.NewCompiledFuzzy() }
 
 // NewFuzzyAlgorithm wraps a controller (nil = paper defaults) as a
 // simulator algorithm.

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fuzzy"
+)
+
+// randomFLCInputs draws raw (unclamped) measurement triples spanning and
+// slightly exceeding the Fig. 5 universes.
+func randomFLCInputs(rng *rand.Rand) (cssp, ssn, dmb float64) {
+	return CsspMin - 2 + rng.Float64()*(CsspMax-CsspMin+4),
+		SsnMin - 5 + rng.Float64()*(SsnMax-SsnMin+10),
+		DmbMin - 0.2 + rng.Float64()*(DmbMax-DmbMin+0.4)
+}
+
+// TestFLCCompiledMatchesExact pins the acceptance accuracy criterion: the
+// paper's FLC compiles to the exact kernel, its constructor-reported error
+// bound is ≤ 1e-3 (in fact ≈ 1e-12), and a random sweep of the universe
+// stays within that bound against per-decision Mamdani inference.
+func TestFLCCompiledMatchesExact(t *testing.T) {
+	exact := NewFLC()
+	compiled := NewFLC()
+	if err := compiled.Compile(0); err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Compiled() || compiled.Surface() == nil {
+		t.Fatal("Compile did not install a surface")
+	}
+	if !compiled.Surface().Exact() {
+		t.Fatal("paper FLC compiled to the lattice, want the exact kernel")
+	}
+	bound := compiled.Surface().ErrorBound()
+	if bound > 1e-3 {
+		t.Fatalf("reported error bound %g exceeds the 1e-3 acceptance ceiling", bound)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sc := exact.NewScratch()
+	for i := 0; i < 50000; i++ {
+		cssp, ssn, dmb := randomFLCInputs(rng)
+		want, err := exact.EvaluateInto(sc, cssp, ssn, dmb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := compiled.EvaluateInto(nil, cssp, ssn, dmb) // compiled path ignores the scratch
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := math.Abs(want - got); e > bound {
+			t.Fatalf("at (%g, %g, %g): |%g − %g| = %g exceeds bound %g",
+				cssp, ssn, dmb, got, want, e, bound)
+		}
+	}
+}
+
+// TestFLCCompiledAblationProfiles sweeps the compiled surface across the
+// operator ablation profiles of the FLC: each profile either compiles
+// (kernel for the default operators, lattice for the smooth ablations)
+// with a random sweep inside its reported bound, or fails compilation
+// cleanly so callers keep the exact path.
+func TestFLCCompiledAblationProfiles(t *testing.T) {
+	profiles := []struct {
+		name       string
+		engine     fuzzy.Options
+		wantKernel bool
+	}{
+		{"paper-default", fuzzy.Options{}, true},
+		{"larsen", fuzzy.Options{AndNorm: fuzzy.ProductNorm, OrNorm: fuzzy.ProbSumNorm, Implication: fuzzy.ProductImplication}, false},
+		{"hamacher", fuzzy.Options{AndNorm: fuzzy.HamacherNorm, OrNorm: fuzzy.ProbSumNorm}, false},
+		{"centroid", fuzzy.Options{Defuzzifier: fuzzy.Centroid{Samples: 100}}, false},
+		{"mean-of-maxima", fuzzy.Options{Defuzzifier: fuzzy.MeanOfMaxima()}, false},
+	}
+	for _, p := range profiles {
+		t.Run(p.name, func(t *testing.T) {
+			exact, err := NewFLCWithOptions(FLCOptions{Engine: p.engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := NewFLCWithOptions(FLCOptions{
+				Engine: p.engine, Compiled: true, CompiledResolution: 17,
+			})
+			if err != nil {
+				t.Skipf("profile %s cannot be compiled (%v): exact fallback applies", p.name, err)
+			}
+			if compiled.Surface().Exact() != p.wantKernel {
+				t.Fatalf("profile %s: kernel=%v, want %v", p.name, compiled.Surface().Exact(), p.wantKernel)
+			}
+			bound := compiled.Surface().ErrorBound()
+			rng := rand.New(rand.NewSource(7))
+			sc := exact.NewScratch()
+			for i := 0; i < 3000; i++ {
+				cssp, ssn, dmb := randomFLCInputs(rng)
+				want, err1 := exact.EvaluateInto(sc, cssp, ssn, dmb)
+				got, err2 := compiled.EvaluateInto(nil, cssp, ssn, dmb)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("at (%g, %g, %g): exact err %v, compiled err %v", cssp, ssn, dmb, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if e := math.Abs(want - got); e > bound {
+					t.Fatalf("profile %s at (%g, %g, %g): error %g exceeds bound %g",
+						p.name, cssp, ssn, dmb, e, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestFLCEvaluateBatchMatchesScalar pins the columnar entry point against
+// the scalar path on both the exact and compiled FLC, including the
+// NaN-measurement policy (ClampInputs maps NaN to the universe floor on
+// both paths).
+func TestFLCEvaluateBatchMatchesScalar(t *testing.T) {
+	for _, compiled := range []bool{false, true} {
+		flc := NewFLC()
+		if compiled {
+			if err := flc.Compile(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(23))
+		const n = 129
+		cssp, ssn, dmb, dst := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			cssp[i], ssn[i], dmb[i] = randomFLCInputs(rng)
+		}
+		cssp[17] = math.NaN() // clamped to the universe floor, like the scalar path
+		raw := [3][]float64{append([]float64(nil), cssp...), append([]float64(nil), ssn...), append([]float64(nil), dmb...)}
+		if err := flc.EvaluateBatch(dst, cssp, ssn, dmb); err != nil {
+			t.Fatal(err)
+		}
+		sc := flc.NewScratch()
+		for i := 0; i < n; i++ {
+			want, err := flc.EvaluateInto(sc, raw[0][i], raw[1][i], raw[2][i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(dst[i]-want) > 1e-12 {
+				t.Fatalf("compiled=%v row %d: batch %g ≠ scalar %g", compiled, i, dst[i], want)
+			}
+		}
+		if err := flc.EvaluateBatch(dst[:3], cssp[:3], ssn[:2], dmb[:3]); err == nil {
+			t.Fatal("mismatched column lengths accepted")
+		}
+	}
+}
+
+// TestDefaultCompiledFLCIsShared pins the process-wide singleton: every
+// consumer (sim fleet cells, serve shards) must share one compiled kernel.
+func TestDefaultCompiledFLCIsShared(t *testing.T) {
+	a, err := DefaultCompiledFLC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultCompiledFLC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("DefaultCompiledFLC returned distinct instances")
+	}
+	if !a.Compiled() || !a.Surface().Exact() {
+		t.Fatal("default compiled FLC is not on the exact kernel")
+	}
+}
+
+// TestControllerDecideFromHD pins the factored pipeline tail: DecideInto
+// must equal POTLC gate + FLC + DecideFromHD composed by hand.
+func TestControllerDecideFromHD(t *testing.T) {
+	ctrl := NewController()
+	sc := ctrl.FLC().NewScratch()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 2000; i++ {
+		cssp, ssn, dmb := randomFLCInputs(rng)
+		r := Report{
+			ServingDB:     -110 + rng.Float64()*40,
+			PrevServingDB: -110 + rng.Float64()*40,
+			HavePrev:      rng.Intn(3) > 0,
+			CSSPdB:        cssp,
+			SSNdB:         ssn,
+			DMBNorm:       dmb,
+		}
+		want, err := ctrl.DecideInto(sc, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Decision
+		if r.ServingDB >= ctrl.QualityGateDB() {
+			got = Decision{Handover: false, Stage: StageQualityGate}
+		} else {
+			hd, err := ctrl.FLC().EvaluateInto(sc, r.CSSPdB, r.SSNdB, r.DMBNorm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = ctrl.DecideFromHD(r, hd)
+		}
+		if got != want {
+			t.Fatalf("report %+v: composed %+v ≠ DecideInto %+v", r, got, want)
+		}
+	}
+}

@@ -191,16 +191,25 @@ func (c *Controller) DecideInto(sc *fuzzy.Scratch, r Report) (Decision, error) {
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: FLC evaluation: %w", err)
 	}
+	return c.DecideFromHD(r, hd), nil
+}
+
+// DecideFromHD completes the Fig. 4 pipeline for a report whose FLC output
+// was already computed — the batch decision path scores whole report
+// columns through FLC.EvaluateBatch and finishes each decision here.  The
+// POTLC gate must have been applied by the caller (a report that passes
+// the gate never reaches the FLC).
+func (c *Controller) DecideFromHD(r Report, hd float64) Decision {
 	if hd <= c.threshold {
-		return Decision{Handover: false, Stage: StageFLC, HD: hd, Evaluated: true}, nil
+		return Decision{Handover: false, Stage: StageFLC, HD: hd, Evaluated: true}
 	}
 	// Stage 3: PRTLC confirmation.  "When the present signal strength is
 	// lower than the strength of the previous signal, the handover
 	// procedure is carried out."
 	if c.confirmPRTLC {
 		if !r.HavePrev || r.ServingDB >= r.PrevServingDB {
-			return Decision{Handover: false, Stage: StagePRTLC, HD: hd, Evaluated: true}, nil
+			return Decision{Handover: false, Stage: StagePRTLC, HD: hd, Evaluated: true}
 		}
 	}
-	return Decision{Handover: true, Stage: StageExecute, HD: hd, Evaluated: true}, nil
+	return Decision{Handover: true, Stage: StageExecute, HD: hd, Evaluated: true}
 }

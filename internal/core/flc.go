@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/fuzzy"
@@ -14,6 +15,11 @@ import (
 // concurrent use.
 type FLC struct {
 	sys *fuzzy.System
+	// surface, when non-nil, is the compiled control surface: Evaluate,
+	// EvaluateInto and EvaluateBatch answer from it instead of running
+	// Mamdani inference per decision.  Set once by Compile (or the
+	// Compiled option) before the FLC is shared; immutable afterwards.
+	surface *fuzzy.CompiledSurface
 	// scratches recycles inference buffers for callers that use the
 	// convenience Evaluate; hot loops should hold their own Scratch and
 	// call EvaluateInto directly.
@@ -32,6 +38,16 @@ type FLCOptions struct {
 	// Fig. 5 definitions).  The output override must be named HD and the
 	// inputs CSSP, SSN, DMB.
 	CSSP, SSN, DMB, HD *fuzzy.Variable
+	// Compiled builds the compiled control surface at construction: the
+	// paper's configuration compiles into the exact segment-table kernel
+	// (bit-equivalent, ~5× faster per decision); operator ablations fall
+	// back to a sampled interpolation lattice with a probe-reported error
+	// bound.  Construction fails if the surface cannot be bounded — use
+	// Compile directly to fall back gracefully.
+	Compiled bool
+	// CompiledResolution overrides the lattice resolution (0: the fuzzy
+	// package default; ignored by the exact kernel).
+	CompiledResolution int
 }
 
 // NewFLC returns the paper's controller.
@@ -74,8 +90,57 @@ func NewFLCWithOptions(opts FLCOptions) (*FLC, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &FLC{sys: sys}, nil
+	flc := &FLC{sys: sys}
+	if opts.Compiled {
+		if err := flc.Compile(opts.CompiledResolution); err != nil {
+			return nil, err
+		}
+	}
+	return flc, nil
 }
+
+// Compile builds the compiled control surface and routes every subsequent
+// Evaluate/EvaluateInto/EvaluateBatch through it.  Call before the FLC is
+// shared across goroutines.  Compilation fails — leaving the FLC on the
+// exact path — for operator sets the surface compiler cannot bound.
+func (f *FLC) Compile(resolution int) error {
+	cs, err := fuzzy.NewCompiledSurface(f.sys, resolution)
+	if err != nil {
+		return fmt.Errorf("core: compile control surface: %w", err)
+	}
+	f.surface = cs
+	return nil
+}
+
+// Compiled reports whether the FLC answers from the compiled surface.
+func (f *FLC) Compiled() bool { return f.surface != nil }
+
+// defaultCompiled lazily builds the process-wide compiled paper FLC: the
+// default configuration is immutable, so every consumer of the compiled
+// default (sim fleets, serve shards, CLIs) can share one kernel instead of
+// paying the compile per run or per shard.
+var defaultCompiled struct {
+	once sync.Once
+	flc  *FLC
+	err  error
+}
+
+// DefaultCompiledFLC returns the shared compiled instance of the paper's
+// controller (built once per process; safe for concurrent use).
+func DefaultCompiledFLC() (*FLC, error) {
+	defaultCompiled.once.Do(func() {
+		flc := NewFLC()
+		if err := flc.Compile(0); err != nil {
+			defaultCompiled.err = err
+			return
+		}
+		defaultCompiled.flc = flc
+	})
+	return defaultCompiled.flc, defaultCompiled.err
+}
+
+// Surface returns the compiled control surface (nil on the exact path).
+func (f *FLC) Surface() *fuzzy.CompiledSurface { return f.surface }
 
 // System exposes the underlying fuzzy system (for surface dumps and the
 // horules explainer).
@@ -110,12 +175,48 @@ func (f *FLC) Evaluate(csspDB, ssnDB, dmbNorm float64) (float64, error) {
 
 // EvaluateInto is Evaluate on caller-owned buffers: zero heap allocations
 // per call.  sc must come from this FLC's NewScratch and must not be shared
-// across goroutines.
+// across goroutines.  A compiled FLC answers from the surface and leaves sc
+// untouched.
 func (f *FLC) EvaluateInto(sc *fuzzy.Scratch, csspDB, ssnDB, dmbNorm float64) (float64, error) {
 	cssp, ssn, dmb := ClampInputs(csspDB, ssnDB, dmbNorm)
+	if f.surface != nil {
+		return f.surface.At3(cssp, ssn, dmb)
+	}
 	// Positional order matches NewFLCWithOptions: CSSP, SSN, DMB.
 	xs := [3]float64{cssp, ssn, dmb}
 	return f.sys.EvaluateInto(sc, xs[:])
+}
+
+// EvaluateBatch computes HD for whole input columns: dst[i] is the output
+// for (cssp[i], ssn[i], dmb[i]).  The input columns are clamped to the
+// Fig. 5 universes in place, exactly as Evaluate clamps scalars.  Rows the
+// engine cannot score (no rule fired on an ablated rulebase) get
+// dst[i] = NaN; the error return covers shape mismatches only.  On a compiled FLC the batch runs through the surface's columnar
+// fast path; otherwise it loops the exact path over pooled buffers.
+// Steady state performs no heap allocations either way.
+func (f *FLC) EvaluateBatch(dst, cssp, ssn, dmb []float64) error {
+	if len(cssp) != len(dst) || len(ssn) != len(dst) || len(dmb) != len(dst) {
+		return fmt.Errorf("core: column lengths %d/%d/%d ≠ batch length %d",
+			len(cssp), len(ssn), len(dmb), len(dst))
+	}
+	for i := range dst {
+		cssp[i], ssn[i], dmb[i] = ClampInputs(cssp[i], ssn[i], dmb[i])
+	}
+	if f.surface != nil {
+		return f.surface.EvaluateBatch3(dst, cssp, ssn, dmb)
+	}
+	sc := f.getScratch()
+	var xs [3]float64
+	for i := range dst {
+		xs[0], xs[1], xs[2] = cssp[i], ssn[i], dmb[i]
+		hd, err := f.sys.EvaluateInto(sc, xs[:])
+		if err != nil {
+			hd = math.NaN() // mark the row, keep the batch going
+		}
+		dst[i] = hd
+	}
+	f.putScratch(sc)
+	return nil
 }
 
 // EvaluateTrace is Evaluate with the full inference explanation.

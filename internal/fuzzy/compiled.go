@@ -1,0 +1,868 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the compiled control surface.  A fuzzy controller with
+// bounded inputs is a fixed function of its input vector, so the whole
+// Mamdani pipeline — fuzzification, rule inference, defuzzification — can
+// be compiled offline into a form that answers online queries without the
+// rule loop.  CompileSurface produces one of two representations:
+//
+//   - Exact kernel: when the system is "grid shaped" (the paper's FLC:
+//     three inputs with piecewise-linear terms, a dense AND rule table,
+//     min/max norms, height defuzzification), every input axis is compiled
+//     into a breakpoint segment table — per segment, the ≤ 2 active terms
+//     and their linear grade forms — and a query is three segment lookups,
+//     ≤ 8 table-indexed min/max folds and one weighted average.  The
+//     kernel reproduces EvaluateInto's arithmetic operation for operation
+//     (the construction validates every segment formula against the
+//     membership functions bit-for-bit), so its reported error bound is
+//     effectively zero.
+//
+//   - Interpolation lattice: for every other operator family the compiler
+//     samples the exact path on a dense res^d grid over the input
+//     universes and answers queries by multilinear (trilinear for d = 3)
+//     interpolation from a flat []float64.  The constructor probes the
+//     2×-refined grid (every cell center, face center and edge midpoint)
+//     and reports a conservative error bound — honest but large near the
+//     creases the min/max operators produce, which is exactly why those
+//     systems get the kernel instead.
+//
+// Either way a CompiledSurface is immutable, allocation-free to query, and
+// safe for concurrent use without scratch buffers.  Systems the compiler
+// can bound neither way (sampling fails, e.g. ErrNoActivation from an
+// incomplete rulebase over a sparse universe) return an error and callers
+// fall back to the exact EvaluateInto path.
+
+// DefaultCompiledResolution is the per-axis lattice resolution used when
+// CompileSurface is given a resolution < 2.  65 points per axis keeps a
+// 3-input lattice at 65³ ≈ 275k float64 (≈ 2.1 MiB).
+const DefaultCompiledResolution = 65
+
+// maxLatticePoints caps the lattice size (resolution^inputs): 2^22 points
+// is 32 MiB of float64 — beyond that the cache behaviour that makes the
+// lattice fast is gone anyway.
+const maxLatticePoints = 1 << 22
+
+// compiledSlack is the safety factor applied to the probe-observed maximum
+// error to obtain the reported bound.  The probe grid hits every cell
+// midpoint; for the piecewise-smooth surfaces fuzzy systems produce, the
+// true maximum sits near a mid-cell kink and exceeds the midpoint sample
+// by at most ~1.5× (one-sided kink at quarter-cell); 2× adds headroom for
+// diagonal creases.
+const compiledSlack = 2.0
+
+// kernelMaxOutTerms bounds the output-term count the exact kernel supports
+// (its activation accumulator lives on the stack so queries stay
+// allocation-free and scratch-free).
+const kernelMaxOutTerms = 8
+
+// kernelProbeRes is the per-axis probe resolution used to cross-check the
+// exact kernel against EvaluateInto at construction.  The kernel is
+// bit-identical by construction; the probe is a defensive regression net,
+// so a modest grid suffices.
+const kernelProbeRes = 33
+
+// kernelTerm is one active term's grade form on a segment, unified as the
+// affine (x - p)·r + c: plateaus use r = 0, c = 1; rising flanks
+// (x - a)/(b - a) use p = a, r = 1/(b - a), c = 0; falling flanks use a
+// negative r.  One fused form means the hot path grades a term with two
+// arithmetic instructions and no branch.
+type kernelTerm struct {
+	p, r, c float64
+}
+
+// kernelSeg is one breakpoint interval of an axis: its upper bound, the
+// ≤ 2 terms with nonzero grade on it (their rule-table offsets
+// pre-multiplied by the axis stride), and their grade forms.  Segments
+// with a single active term duplicate it into both slots, so the combo
+// fold is always a full 2×2×2 walk — the max aggregation is idempotent,
+// and the hot path never branches on the active-term count.
+type kernelSeg struct {
+	hi     float64
+	f0, f1 kernelTerm
+	b0, b1 int32 // term index × axis stride into the dense rule table
+}
+
+// kernelAxis is one compiled input axis: the segment table plus a uniform
+// lookup grid that maps x to its segment in O(1).
+type kernelAxis struct {
+	min, max float64
+	invBin   float64
+	lut      []int32
+	segs     []kernelSeg
+}
+
+// kernelRule is one dense-table combo entry: consequent term (-1: no
+// rule) and rule weight, fused so a combo fold touches one slice.
+type kernelRule struct {
+	out int32
+	w   float64
+}
+
+// surfaceKernel is the exact compiled form of a grid-shaped 3-input
+// system.
+type surfaceKernel struct {
+	axes     [3]kernelAxis
+	strides  [3]int32
+	rules    []kernelRule // dense combo table
+	outs     []int32      // consequent-only view for the complete-grid fast fold
+	complete bool         // every combo has a rule with weight 1 (the paper's FRB)
+	mid      []float64    // output-term core midpoints
+	nOut     int
+}
+
+// CompiledSurface is the precompiled control surface of a System.
+// Construct with CompileSurface or NewCompiledSurface; query with
+// Evaluate/At3/EvaluateBatch.  Exact reports which representation backs
+// it.
+type CompiledSurface struct {
+	sys   *System
+	dims  int
+	bound float64
+
+	kern *surfaceKernel // exact kernel, nil in lattice mode
+
+	// Interpolation lattice (nil values in exact mode).
+	res    int
+	min    []float64
+	step   []float64
+	invStp []float64
+	stride []int
+	values []float64
+}
+
+// CompileOptions tunes CompileSurface.
+type CompileOptions struct {
+	// Resolution is the per-axis lattice resolution (< 2 selects
+	// DefaultCompiledResolution).  Ignored by the exact kernel, which has
+	// no grid.
+	Resolution int
+	// ForceLattice skips the exact kernel even for eligible systems —
+	// for lattice accuracy sweeps and kernel-vs-lattice benchmarks.
+	ForceLattice bool
+}
+
+// NewCompiledSurface compiles the system's control surface, preferring the
+// exact kernel and falling back to a res-point-per-axis interpolation
+// lattice (res < 2 selects DefaultCompiledResolution).  Construction fails
+// when the sampler cannot bound the surface; callers then keep using the
+// exact EvaluateInto path.
+func NewCompiledSurface(s *System, res int) (*CompiledSurface, error) {
+	return CompileSurface(s, CompileOptions{Resolution: res})
+}
+
+// CompileSurface is NewCompiledSurface with explicit options.
+func CompileSurface(s *System, opts CompileOptions) (*CompiledSurface, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fuzzy: compile of nil system")
+	}
+	cs := &CompiledSurface{sys: s, dims: len(s.inputs)}
+	if !opts.ForceLattice {
+		if kern, err := compileKernel(s); err == nil {
+			cs.kern = kern
+			if err := cs.probeKernel(); err != nil {
+				return nil, err
+			}
+			return cs, nil
+		}
+	}
+	if err := cs.buildLattice(opts.Resolution); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// --- Exact kernel ----------------------------------------------------------
+
+// compileKernel builds the exact segment-table kernel, or reports why the
+// system does not fit it.
+func compileKernel(s *System) (*surfaceKernel, error) {
+	if len(s.inputs) != 3 {
+		return nil, fmt.Errorf("fuzzy: kernel needs 3 inputs, have %d", len(s.inputs))
+	}
+	if !s.fastNorms || !s.fastDefuzz {
+		return nil, fmt.Errorf("fuzzy: kernel needs default min/max norms and height defuzzification")
+	}
+	if s.grid == nil || len(s.fastRules) > 0 {
+		return nil, fmt.Errorf("fuzzy: kernel needs a pure dense rule table")
+	}
+	if len(s.output.Terms) > kernelMaxOutTerms {
+		return nil, fmt.Errorf("fuzzy: kernel supports ≤ %d output terms, have %d",
+			kernelMaxOutTerms, len(s.output.Terms))
+	}
+	k := &surfaceKernel{
+		rules: make([]kernelRule, len(s.grid.outTerm)),
+		mid:   s.outMid,
+		nOut:  len(s.output.Terms),
+	}
+	k.complete = true
+	k.outs = s.grid.outTerm
+	for i, ot := range s.grid.outTerm {
+		k.rules[i] = kernelRule{out: ot, w: s.grid.weight[i]}
+		if ot < 0 || s.grid.weight[i] != 1 {
+			k.complete = false
+		}
+	}
+	for i := range s.inputs {
+		k.strides[i] = s.grid.strides[i]
+		ax, err := compileAxis(s.inputs[i], s.grid.strides[i])
+		if err != nil {
+			return nil, err
+		}
+		k.axes[i] = *ax
+	}
+	return k, nil
+}
+
+// compileAxis builds one input variable's breakpoint segment table and
+// validates every segment formula against the membership functions.
+func compileAxis(v *Variable, stride int32) (*kernelAxis, error) {
+	// Collect the finite breakpoints of every term, clamped to the
+	// universe.
+	bps := []float64{v.Min, v.Max}
+	for _, t := range v.Terms {
+		var pts []float64
+		switch m := t.MF.(type) {
+		case Triangular:
+			pts = []float64{m.A, m.B, m.C}
+		case Trapezoidal:
+			pts = []float64{m.A, m.B, m.C, m.D}
+		default:
+			return nil, fmt.Errorf("fuzzy: kernel needs piecewise-linear terms; %q term %q is %T",
+				v.Name, t.Name, t.MF)
+		}
+		for _, p := range pts {
+			if p > v.Min && p < v.Max {
+				bps = append(bps, p)
+			}
+		}
+	}
+	sortDedup(&bps)
+	ax := &kernelAxis{min: v.Min, max: v.Max, segs: make([]kernelSeg, 0, len(bps)-1)}
+	for i := 0; i+1 < len(bps); i++ {
+		seg, err := compileSegment(v, stride, bps[i], bps[i+1])
+		if err != nil {
+			return nil, err
+		}
+		ax.segs = append(ax.segs, *seg)
+	}
+	// Uniform lookup grid: lut[b] is the segment containing the start of
+	// bin b; a query advances at most past the segments inside one bin.
+	const nBins = 256
+	ax.invBin = float64(nBins) / (v.Max - v.Min)
+	ax.lut = make([]int32, nBins)
+	si := int32(0)
+	for b := 0; b < nBins; b++ {
+		x := v.Min + float64(b)*(v.Max-v.Min)/float64(nBins)
+		for x > ax.segs[si].hi {
+			si++
+		}
+		ax.lut[b] = si
+	}
+	return ax, nil
+}
+
+// kernelValidationTol bounds |compiled grade − MF grade| at the validation
+// points of one segment.  The affine form differs from the membership
+// function's own division only by the rounding of the precomputed
+// reciprocal — a few ulps; anything larger means the branch analysis
+// picked the wrong form and the kernel must not ship.
+const kernelValidationTol = 1e-9
+
+// compileSegment resolves the active terms and grade forms on [lo, hi].
+func compileSegment(v *Variable, stride int32, lo, hi float64) (*kernelSeg, error) {
+	seg := &kernelSeg{hi: hi}
+	mid := lo + (hi-lo)/2
+	n := 0
+	terms := [2]int{}
+	for ti, t := range v.Terms {
+		if t.MF.Grade(mid) == 0 {
+			continue // linear on the segment and zero at its midpoint ⇒ zero throughout
+		}
+		if n == 2 {
+			return nil, fmt.Errorf("fuzzy: kernel needs ≤ 2 active terms per segment; %q has ≥ 3 on [%g, %g]",
+				v.Name, lo, hi)
+		}
+		f, err := termForm(t.MF, mid)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzy: %q term %q: %w", v.Name, t.Name, err)
+		}
+		if n == 0 {
+			seg.f0, seg.b0 = *f, int32(ti)*stride
+		} else {
+			seg.f1, seg.b1 = *f, int32(ti)*stride
+		}
+		terms[n] = ti
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("fuzzy: %q has no active term on [%g, %g]", v.Name, lo, hi)
+	}
+	if n == 1 {
+		// Duplicate the single slot: the 2×2×2 combo walk revisits it and
+		// the max aggregation absorbs the repeat.
+		seg.f1, seg.b1, terms[1] = seg.f0, seg.b0, terms[0]
+	}
+	// Validate: the compiled grade of every term must match the membership
+	// function across the segment.  Nine points pin an affine form;
+	// mismatches mean the branch analysis above picked the wrong form.
+	for p := 1; p < 8; p++ {
+		// Segment endpoints belong to the neighbouring branch in the MF's
+		// own switch; interior points must match.
+		x := lo + (hi-lo)*float64(p)/8
+		for ti, t := range v.Terms {
+			want := t.MF.Grade(x)
+			got := 0.0
+			if ti == terms[0] {
+				got = seg.f0.grade(x)
+			} else if ti == terms[1] {
+				got = seg.f1.grade(x)
+			}
+			if math.Abs(got-want) > kernelValidationTol {
+				return nil, fmt.Errorf("fuzzy: kernel formula mismatch for %q term %q at %g: %g ≠ %g",
+					v.Name, t.Name, x, got, want)
+			}
+		}
+	}
+	return seg, nil
+}
+
+// grade evaluates a kernelTerm (construction-time helper; the hot path
+// inlines the same arithmetic).
+func (f *kernelTerm) grade(x float64) float64 { return (x-f.p)*f.r + f.c }
+
+// kernelConst1 is the plateau grade form.
+var kernelConst1 = kernelTerm{c: 1}
+
+// termForm derives the grade form of one membership function on the
+// segment containing mid (where its grade is nonzero).
+func termForm(mf MembershipFunc, mid float64) (*kernelTerm, error) {
+	switch m := mf.(type) {
+	case Triangular:
+		if mid < m.B {
+			return flankForm(m.A, m.B-m.A)
+		}
+		if mid > m.B {
+			return flankForm(m.C, -(m.C - m.B))
+		}
+		return nil, fmt.Errorf("kernel: degenerate triangle peak at %g", mid)
+	case Trapezoidal:
+		switch {
+		case mid < m.B:
+			if math.IsInf(m.A, -1) {
+				return &kernelConst1, nil
+			}
+			return flankForm(m.A, m.B-m.A)
+		case mid <= m.C:
+			return &kernelConst1, nil
+		default:
+			if math.IsInf(m.D, 1) {
+				return &kernelConst1, nil
+			}
+			return flankForm(m.D, -(m.D - m.C))
+		}
+	default:
+		return nil, fmt.Errorf("kernel: unsupported membership type %T", mf)
+	}
+}
+
+// flankForm encodes the linear flank (x - p)/q (q < 0: the falling flank
+// (p - x)/|q|) as (x - p)·(1/q).
+func flankForm(p, q float64) (*kernelTerm, error) {
+	if q == 0 || math.IsInf(q, 0) || math.IsNaN(q) {
+		return nil, fmt.Errorf("kernel: degenerate flank width %g", q)
+	}
+	return &kernelTerm{p: p, r: 1 / q}, nil
+}
+
+func sortDedup(xs *[]float64) {
+	s := *xs
+	for i := 1; i < len(s); i++ { // insertion sort: breakpoint lists are tiny
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := s[:1]
+	for _, x := range s[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	*xs = out
+}
+
+// find locates x's segment on the axis, clamping to the universe first.
+func (ax *kernelAxis) find(x float64) (*kernelSeg, float64) {
+	if x < ax.min {
+		x = ax.min
+	} else if x > ax.max {
+		x = ax.max
+	}
+	bi := int((x - ax.min) * ax.invBin)
+	if bi >= len(ax.lut) {
+		bi = len(ax.lut) - 1
+	}
+	si := ax.lut[bi]
+	for x > ax.segs[si].hi {
+		si++
+	}
+	return &ax.segs[si], x
+}
+
+// eval runs one exact-kernel query.  x0..x2 must be NaN-free (the exported
+// wrappers reject NaN first); out-of-universe values clamp exactly like
+// the reference path.  The 2×2×2 dense-table combo walk performs the same
+// min-folds and max-aggregation, on the same values, as the reference grid
+// inference — straight-line, with duplicated slots standing in for
+// single-term segments.
+func (k *surfaceKernel) eval(x0, x1, x2 float64) (float64, error) {
+	sg0, x0 := k.axes[0].find(x0)
+	sg1, x1 := k.axes[1].find(x1)
+	sg2, x2 := k.axes[2].find(x2)
+	g00 := (x0-sg0.f0.p)*sg0.f0.r + sg0.f0.c
+	g01 := (x0-sg0.f1.p)*sg0.f1.r + sg0.f1.c
+	g10 := (x1-sg1.f0.p)*sg1.f0.r + sg1.f0.c
+	g11 := (x1-sg1.f1.p)*sg1.f1.r + sg1.f1.c
+	g20 := (x2-sg2.f0.p)*sg2.f0.r + sg2.f0.c
+	g21 := (x2-sg2.f1.p)*sg2.f1.r + sg2.f1.c
+	// Pairwise mins of axes 0 and 1, then the eight combos against axis 2.
+	m00, m01, m10, m11 := g10, g11, g10, g11
+	if g00 < m00 {
+		m00 = g00
+	}
+	if g00 < m01 {
+		m01 = g00
+	}
+	if g01 < m10 {
+		m10 = g01
+	}
+	if g01 < m11 {
+		m11 = g01
+	}
+	b00 := sg0.b0 + sg1.b0
+	b01 := sg0.b0 + sg1.b1
+	b10 := sg0.b1 + sg1.b0
+	b11 := sg0.b1 + sg1.b1
+	var act [kernelMaxOutTerms]float64
+	if k.complete {
+		// Complete unweighted grid (the paper's 64-rule FRB): every combo
+		// resolves to a consequent with weight 1, so the fold is a min,
+		// a consequent load and a max — no weight multiply, no rule check.
+		outs := k.outs
+		cfold(m00, g20, outs[b00+sg2.b0], &act)
+		cfold(m00, g21, outs[b00+sg2.b1], &act)
+		cfold(m01, g20, outs[b01+sg2.b0], &act)
+		cfold(m01, g21, outs[b01+sg2.b1], &act)
+		cfold(m10, g20, outs[b10+sg2.b0], &act)
+		cfold(m10, g21, outs[b10+sg2.b1], &act)
+		cfold(m11, g20, outs[b11+sg2.b0], &act)
+		cfold(m11, g21, outs[b11+sg2.b1], &act)
+	} else {
+		k.fold(m00, g20, b00+sg2.b0, &act)
+		k.fold(m00, g21, b00+sg2.b1, &act)
+		k.fold(m01, g20, b01+sg2.b0, &act)
+		k.fold(m01, g21, b01+sg2.b1, &act)
+		k.fold(m10, g20, b10+sg2.b0, &act)
+		k.fold(m10, g21, b10+sg2.b1, &act)
+		k.fold(m11, g20, b11+sg2.b0, &act)
+		k.fold(m11, g21, b11+sg2.b1, &act)
+	}
+	var num, den float64
+	for i, m := range k.mid { // len(mid) == nOut: no bounds checks
+		a := act[i&(kernelMaxOutTerms-1)]
+		if a <= 0 {
+			continue
+		}
+		num += a * m
+		den += a
+	}
+	if den == 0 {
+		return 0, ErrNoActivation
+	}
+	return num / den, nil
+}
+
+// fold accumulates one rule combo: finish the min, look up the consequent,
+// apply the weight, max-aggregate.  A non-positive strength can never beat
+// the non-negative accumulator, so no zero check is needed.
+func (k *surfaceKernel) fold(m, g float64, idx int32, act *[kernelMaxOutTerms]float64) {
+	if g < m {
+		m = g
+	}
+	r := &k.rules[idx]
+	if ot := r.out; ot >= 0 {
+		m *= r.w
+		if m > act[ot] {
+			act[ot] = m
+		}
+	}
+}
+
+// cfold is fold for the complete unweighted grid.  ot is masked to the
+// accumulator size instead of bounds-checked: eligibility pins every
+// consequent under kernelMaxOutTerms.
+func cfold(m, g float64, ot int32, act *[kernelMaxOutTerms]float64) {
+	if g < m {
+		m = g
+	}
+	if m > act[ot&(kernelMaxOutTerms-1)] {
+		act[ot&(kernelMaxOutTerms-1)] = m
+	}
+}
+
+// probeKernel cross-checks the kernel against the exact path on a modest
+// grid and sets the reported bound (expected ≈ 0: the kernel is
+// arithmetic-identical by construction).
+func (cs *CompiledSurface) probeKernel() error {
+	sc := cs.sys.NewScratch()
+	xs := sc.Xs()
+	maxErr := 0.0
+	var walk func(ax int) error
+	walk = func(ax int) error {
+		if ax == cs.dims {
+			exact, exactErr := cs.sys.EvaluateInto(sc, xs)
+			got, kernErr := cs.kern.eval(xs[0], xs[1], xs[2])
+			if (exactErr == nil) != (kernErr == nil) {
+				return fmt.Errorf("fuzzy: kernel probe at %v: exact err %v, kernel err %v",
+					xs, exactErr, kernErr)
+			}
+			if exactErr != nil {
+				// Both paths agree no rule fires here (an incomplete grid's
+				// dead zone); per-query callers get the same error either way.
+				return nil
+			}
+			if e := math.Abs(exact - got); e > maxErr {
+				maxErr = e
+			}
+			return nil
+		}
+		v := cs.sys.inputs[ax]
+		for i := 0; i < kernelProbeRes; i++ {
+			xs[ax] = v.Min + (v.Max-v.Min)*float64(i)/float64(kernelProbeRes-1)
+			if err := walk(ax + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0); err != nil {
+		return err
+	}
+	cs.bound = compiledSlack*maxErr + 1e-12
+	return nil
+}
+
+// --- Interpolation lattice -------------------------------------------------
+
+// buildLattice samples the exact path on a res^d grid and measures the
+// interpolation error bound on the 2×-refined grid.
+func (cs *CompiledSurface) buildLattice(res int) error {
+	s := cs.sys
+	if res < 2 {
+		res = DefaultCompiledResolution
+	}
+	d := cs.dims
+	points := 1
+	for i := 0; i < d; i++ {
+		points *= res
+		if points > maxLatticePoints {
+			return fmt.Errorf("fuzzy: lattice %d^%d exceeds %d points", res, d, maxLatticePoints)
+		}
+	}
+	cs.res = res
+	cs.min = make([]float64, d)
+	cs.step = make([]float64, d)
+	cs.invStp = make([]float64, d)
+	cs.stride = make([]int, d)
+	cs.values = make([]float64, points)
+	for i, v := range s.inputs {
+		cs.min[i] = v.Min
+		cs.step[i] = (v.Max - v.Min) / float64(res-1)
+		cs.invStp[i] = 1 / cs.step[i]
+	}
+	stride := 1
+	for i := d - 1; i >= 0; i-- {
+		cs.stride[i] = stride
+		stride *= res
+	}
+
+	sc := s.NewScratch()
+	xs := sc.Xs()
+	ctr := make([]int, d)
+	for idx := range cs.values {
+		for i := 0; i < d; i++ {
+			if ctr[i] == res-1 {
+				xs[i] = s.inputs[i].Max // pin the edge to the exact universe bound
+			} else {
+				xs[i] = cs.min[i] + float64(ctr[i])*cs.step[i]
+			}
+		}
+		y, err := s.EvaluateInto(sc, xs)
+		if err != nil {
+			return fmt.Errorf("fuzzy: compile sample at %v: %w", xs, err)
+		}
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return fmt.Errorf("fuzzy: compile sample at %v is not finite", xs)
+		}
+		cs.values[idx] = y
+		for i := d - 1; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] < res {
+				break
+			}
+			ctr[i] = 0
+		}
+	}
+	return cs.probeLattice(sc)
+}
+
+// probeLattice walks the 2×-refined grid (all points with at least one
+// half-step coordinate: cell centers, face centers, edge midpoints),
+// compares the exact output with the interpolated one, and records the
+// observed maximum × compiledSlack as the reported bound.  Lattice points
+// themselves interpolate exactly and are skipped.
+func (cs *CompiledSurface) probeLattice(sc *Scratch) error {
+	d := cs.dims
+	fine := 2*cs.res - 1
+	xs := sc.Xs()
+	ctr := make([]int, d)
+	maxErr := 0.0
+	for {
+		onLattice := true
+		for i := 0; i < d; i++ {
+			if ctr[i]%2 != 0 {
+				onLattice = false
+			}
+			if ctr[i] == fine-1 {
+				xs[i] = cs.sys.inputs[i].Max
+			} else {
+				xs[i] = cs.min[i] + float64(ctr[i])*cs.step[i]/2
+			}
+		}
+		if !onLattice {
+			exact, err := cs.sys.EvaluateInto(sc, xs)
+			if err != nil {
+				return fmt.Errorf("fuzzy: compile probe at %v: %w", xs, err)
+			}
+			if e := math.Abs(exact - cs.interp(xs)); e > maxErr {
+				maxErr = e
+			}
+		}
+		i := d - 1
+		for ; i >= 0; i-- {
+			ctr[i]++
+			if ctr[i] < fine {
+				break
+			}
+			ctr[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	cs.bound = compiledSlack*maxErr + 1e-12
+	return nil
+}
+
+// locate maps x to its cell index and intra-cell fraction on one lattice
+// axis.  Out-of-universe values clamp to the edge cells — exactly the
+// saturation the exact path applies via Variable.Clamp.  NaN must be
+// rejected by the caller (its comparisons would select the origin cell).
+func (cs *CompiledSurface) locate(ax int, x float64) (int, float64) {
+	t := (x - cs.min[ax]) * cs.invStp[ax]
+	last := float64(cs.res - 1)
+	if t <= 0 {
+		return 0, 0
+	}
+	if t >= last {
+		return cs.res - 2, 1
+	}
+	i := int(t)
+	return i, t - float64(i)
+}
+
+// interp is the generic d-linear interpolation at xs (no validation).
+func (cs *CompiledSurface) interp(xs []float64) float64 {
+	if cs.dims == 3 {
+		return cs.interp3(xs[0], xs[1], xs[2])
+	}
+	base := 0
+	var frac [24]float64 // d ≤ 22 whenever res^d fits maxLatticePoints (res ≥ 2)
+	for i := 0; i < cs.dims; i++ {
+		idx, f := cs.locate(i, xs[i])
+		base += idx * cs.stride[i]
+		frac[i] = f
+	}
+	out := 0.0
+	for corner := 0; corner < 1<<cs.dims; corner++ {
+		off, w := 0, 1.0
+		for i := 0; i < cs.dims; i++ {
+			if corner&(1<<i) != 0 {
+				off += cs.stride[i]
+				w *= frac[i]
+			} else {
+				w *= 1 - frac[i]
+			}
+		}
+		if w != 0 {
+			out += w * cs.values[base+off]
+		}
+	}
+	return out
+}
+
+// interp3 is the trilinear specialization 3-input lattices run on: three
+// locates, eight loads, seven lerps.
+func (cs *CompiledSurface) interp3(x0, x1, x2 float64) float64 {
+	i0, f0 := cs.locate(0, x0)
+	i1, f1 := cs.locate(1, x1)
+	i2, f2 := cs.locate(2, x2)
+	s0, s1 := cs.stride[0], cs.stride[1]
+	v := cs.values
+	base := i0*s0 + i1*s1 + i2
+	c00 := v[base] + f2*(v[base+1]-v[base])
+	c01 := v[base+s1] + f2*(v[base+s1+1]-v[base+s1])
+	base += s0
+	c10 := v[base] + f2*(v[base+1]-v[base])
+	c11 := v[base+s1] + f2*(v[base+s1+1]-v[base+s1])
+	c0 := c00 + f1*(c01-c00)
+	c1 := c10 + f1*(c11-c10)
+	return c0 + f0*(c1-c0)
+}
+
+// --- Queries ---------------------------------------------------------------
+
+// System returns the system the surface was compiled from.
+func (cs *CompiledSurface) System() *System { return cs.sys }
+
+// NumInputs returns the number of input axes.
+func (cs *CompiledSurface) NumInputs() int { return cs.dims }
+
+// Exact reports whether the surface is backed by the exact kernel (true)
+// or the interpolation lattice (false).
+func (cs *CompiledSurface) Exact() bool { return cs.kern != nil }
+
+// Resolution returns the per-axis lattice resolution (0 in exact-kernel
+// mode, which has no grid).
+func (cs *CompiledSurface) Resolution() int { return cs.res }
+
+// Points returns the number of lattice points (0 in exact-kernel mode).
+func (cs *CompiledSurface) Points() int { return len(cs.values) }
+
+// ErrorBound returns the constructor-reported bound on |compiled − exact|
+// over the whole universe: the probe-observed maximum × a safety factor
+// (≈ 1e-12 in exact-kernel mode; the accuracy regression tests pin real
+// errors under the bound in both modes).
+func (cs *CompiledSurface) ErrorBound() float64 { return cs.bound }
+
+// Evaluate computes the compiled surface at the positional input vector
+// (same order and clamping as EvaluateInto).  NaN inputs are rejected, as
+// on the exact fast path.
+func (cs *CompiledSurface) Evaluate(xs []float64) (float64, error) {
+	if len(xs) != cs.dims {
+		return 0, fmt.Errorf("fuzzy: %d inputs for %d axes", len(xs), cs.dims)
+	}
+	for i, x := range xs {
+		if x != x {
+			return 0, fmt.Errorf("fuzzy: input %q is NaN", cs.sys.inputs[i].Name)
+		}
+	}
+	if cs.kern != nil {
+		return cs.kern.eval(xs[0], xs[1], xs[2])
+	}
+	return cs.interp(xs), nil
+}
+
+// At3 is Evaluate for the 3-input case without the slice: the single-query
+// fast path of the paper's FLC.
+func (cs *CompiledSurface) At3(x0, x1, x2 float64) (float64, error) {
+	if cs.dims != 3 {
+		return 0, fmt.Errorf("fuzzy: At3 on a %d-input surface", cs.dims)
+	}
+	if x0 != x0 || x1 != x1 || x2 != x2 {
+		return 0, fmt.Errorf("fuzzy: NaN input")
+	}
+	if cs.kern != nil {
+		return cs.kern.eval(x0, x1, x2)
+	}
+	return cs.interp3(x0, x1, x2), nil
+}
+
+// EvaluateBatch computes a whole column batch: dst[i] is the output at
+// (cols[0][i], cols[1][i], …).  All columns must have len(dst).  Rows with
+// a NaN input — or, in exact-kernel mode, rows where no rule fires — get
+// dst[i] = NaN (finite lattice values and fired kernels cannot produce
+// NaN, so NaN unambiguously marks a rejected row); the error return
+// covers shape problems only.  The call performs no heap allocations.
+func (cs *CompiledSurface) EvaluateBatch(dst []float64, cols [][]float64) error {
+	if len(cols) != cs.dims {
+		return fmt.Errorf("fuzzy: %d columns for %d axes", len(cols), cs.dims)
+	}
+	if cs.dims == 3 {
+		return cs.EvaluateBatch3(dst, cols[0], cols[1], cols[2])
+	}
+	for _, c := range cols {
+		if len(c) != len(dst) {
+			return fmt.Errorf("fuzzy: column length %d ≠ batch length %d", len(c), len(dst))
+		}
+	}
+	var xs [24]float64
+	for i := range dst {
+		bad := false
+		for a := 0; a < cs.dims; a++ {
+			x := cols[a][i]
+			if x != x {
+				bad = true
+				break
+			}
+			xs[a] = x
+		}
+		if bad {
+			dst[i] = math.NaN()
+			continue
+		}
+		dst[i] = cs.interp(xs[:cs.dims])
+	}
+	return nil
+}
+
+// EvaluateBatch3 is EvaluateBatch specialized to three input columns — the
+// shape the serving layer's columnar decision pipeline drains its
+// struct-of-arrays buffers through.
+func (cs *CompiledSurface) EvaluateBatch3(dst, c0, c1, c2 []float64) error {
+	if cs.dims != 3 {
+		return fmt.Errorf("fuzzy: EvaluateBatch3 on a %d-input surface", cs.dims)
+	}
+	if len(c0) != len(dst) || len(c1) != len(dst) || len(c2) != len(dst) {
+		return fmt.Errorf("fuzzy: column lengths %d/%d/%d ≠ batch length %d",
+			len(c0), len(c1), len(c2), len(dst))
+	}
+	if k := cs.kern; k != nil {
+		for i := range dst {
+			x0, x1, x2 := c0[i], c1[i], c2[i]
+			if x0 != x0 || x1 != x1 || x2 != x2 {
+				dst[i] = math.NaN()
+				continue
+			}
+			y, err := k.eval(x0, x1, x2)
+			if err != nil {
+				y = math.NaN() // no rule fired: mark the row, keep the batch going
+			}
+			dst[i] = y
+		}
+		return nil
+	}
+	for i := range dst {
+		x0, x1, x2 := c0[i], c1[i], c2[i]
+		if x0 != x0 || x1 != x1 || x2 != x2 {
+			dst[i] = math.NaN()
+			continue
+		}
+		dst[i] = cs.interp3(x0, x1, x2)
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package fuzzy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// paperShapedSystem is a 3-input complete-grid Mamdani system of the
+// paper's FLC shape (Ruspini-style triangular/trapezoidal partitions, full
+// AND rulebase) with configurable operators — the exact-kernel eligibility
+// case.
+func paperShapedSystem(t *testing.T, opts Options) *System {
+	t.Helper()
+	a := MustVariable("a", -10, 10,
+		Term{"sm", ShoulderLeft(-10, -5)},
+		Term{"lc", Tri(-10, -5, 0)},
+		Term{"nc", Tri(-5, 0, 10)},
+		Term{"bg", ShoulderRight(0, 10)},
+	)
+	b := MustVariable("b", -120, -80,
+		Term{"wk", ShoulderLeft(-120, -106)},
+		Term{"nsw", Tri(-120, -106, -93)},
+		Term{"no", Tri(-106, -93, -80)},
+		Term{"st", ShoulderRight(-93, -80)},
+	)
+	c := MustVariable("c", 0, 1.5,
+		Term{"nr", ShoulderLeft(0.25, 0.4)},
+		Term{"nsn", Tri(0.25, 0.4, 0.75)},
+		Term{"nsf", Tri(0.4, 0.75, 1.0)},
+		Term{"fa", ShoulderRight(0.8, 1.0)},
+	)
+	y := MustVariable("y", 0, 1,
+		Term{"vl", Trap(0, 0, 0.2, 0.4)},
+		Term{"lo", Tri(0.2, 0.4, 0.6)},
+		Term{"lh", Tri(0.4, 0.6, 0.8)},
+		Term{"hg", Trap(0.6, 1, 1, 1)},
+	)
+	outs := []string{"vl", "lo", "lh", "hg"}
+	var rb RuleBase
+	i := 0
+	for _, at := range a.TermNames() {
+		for _, bt := range b.TermNames() {
+			for _, ct := range c.TermNames() {
+				rb.Add(Rule{
+					If: []Clause{
+						{Var: "a", Term: at}, {Var: "b", Term: bt}, {Var: "c", Term: ct},
+					},
+					Then: Clause{Var: "y", Term: outs[(i*7)%4]},
+				})
+				i++
+			}
+		}
+	}
+	sys, err := NewSystem(y, rb, opts, a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// randomInputs fills xs with uniform samples over (and slightly beyond)
+// each input universe, exercising the clamp path too.
+func randomInputs(sys *System, rng *rand.Rand, xs []float64) {
+	for i, v := range sys.Inputs() {
+		span := v.Max - v.Min
+		xs[i] = v.Min - 0.05*span + rng.Float64()*1.1*span
+	}
+}
+
+// maxAbsError sweeps n random points and returns the maximum
+// |compiled − exact|.
+func maxAbsError(t *testing.T, sys *System, cs *CompiledSurface, n int, seed int64) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sc := sys.NewScratch()
+	xs := sc.Xs()
+	probe := make([]float64, len(xs))
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		randomInputs(sys, rng, probe)
+		copy(xs, probe)
+		exact, exactErr := sys.EvaluateInto(sc, xs)
+		got, compErr := cs.Evaluate(probe)
+		if (exactErr == nil) != (compErr == nil) {
+			t.Fatalf("at %v: exact err %v, compiled err %v", probe, exactErr, compErr)
+		}
+		if exactErr != nil {
+			continue // both agree no rule fires (incomplete-grid dead zone)
+		}
+		if e := math.Abs(exact - got); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+func TestCompiledKernelSelectedForGridShape(t *testing.T) {
+	cs, err := NewCompiledSurface(paperShapedSystem(t, Options{}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Exact() {
+		t.Fatal("paper-shaped system compiled to the lattice, want the exact kernel")
+	}
+	if cs.Points() != 0 {
+		t.Fatalf("exact kernel reports %d lattice points, want 0", cs.Points())
+	}
+	if b := cs.ErrorBound(); b > 1e-9 {
+		t.Fatalf("exact kernel error bound %g, want ≈ 0", b)
+	}
+}
+
+func TestCompiledKernelMatchesExact(t *testing.T) {
+	sys := paperShapedSystem(t, Options{})
+	cs, err := NewCompiledSurface(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, bound := maxAbsError(t, sys, cs, 20000, 1), cs.ErrorBound(); got > bound {
+		t.Fatalf("kernel max abs error %g exceeds reported bound %g", got, bound)
+	}
+}
+
+func TestCompiledLatticeWithinBound(t *testing.T) {
+	// Non-default operators are ineligible for the kernel: these systems
+	// must land on the lattice and still respect the reported bound.
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"product-norm", Options{AndNorm: ProductNorm, OrNorm: ProbSumNorm}},
+		{"centroid", Options{Defuzzifier: Centroid{Samples: 64}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := paperShapedSystem(t, tc.opts)
+			cs, err := NewCompiledSurface(sys, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs.Exact() {
+				t.Fatal("non-default operator set took the exact kernel")
+			}
+			if got, bound := maxAbsError(t, sys, cs, 4000, 2), cs.ErrorBound(); got > bound {
+				t.Fatalf("lattice max abs error %g exceeds reported bound %g", got, bound)
+			}
+		})
+	}
+}
+
+func TestCompiledRejectsUnboundableOperatorSet(t *testing.T) {
+	// Łukasiewicz AND zeroes whole regions of the universe (no rule
+	// fires), so neither the kernel nor the lattice sampler can bound the
+	// surface: construction must fail and callers keep the exact path.
+	sys := paperShapedSystem(t, Options{AndNorm: LukasiewiczNorm, OrNorm: BoundedSumNorm})
+	if _, err := NewCompiledSurface(sys, 17); err == nil {
+		t.Fatal("unboundable operator set compiled without error")
+	}
+}
+
+func TestCompiledLatticeBoundTightensWithResolution(t *testing.T) {
+	sys := paperShapedSystem(t, Options{AndNorm: ProductNorm, OrNorm: ProbSumNorm})
+	prev := math.Inf(1)
+	for _, res := range []int{9, 17, 33, 65} {
+		cs, err := CompileSurface(sys, CompileOptions{Resolution: res, ForceLattice: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := cs.ErrorBound(); b > prev {
+			t.Fatalf("bound grew with resolution: %g at res %d, %g before", b, res, prev)
+		} else {
+			prev = b
+		}
+		if got := maxAbsError(t, sys, cs, 4000, 3); got > cs.ErrorBound() {
+			t.Fatalf("res %d: max abs error %g exceeds bound %g", res, got, cs.ErrorBound())
+		}
+	}
+}
+
+func TestCompiledForcedLatticeStillWithinBound(t *testing.T) {
+	// Forcing the kernel-eligible system onto the lattice exercises the
+	// interpolation path against the creased min/max surface.
+	sys := paperShapedSystem(t, Options{})
+	cs, err := CompileSurface(sys, CompileOptions{Resolution: 33, ForceLattice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Exact() {
+		t.Fatal("ForceLattice compiled the kernel")
+	}
+	if got, bound := maxAbsError(t, sys, cs, 6000, 4), cs.ErrorBound(); got > bound {
+		t.Fatalf("forced lattice max abs error %g exceeds bound %g", got, bound)
+	}
+}
+
+func TestCompiledRandomPerturbations(t *testing.T) {
+	// Random operator/partition perturbations: jittered triangular
+	// partitions under every kernel-ineligible operator pairing must stay
+	// within their reported bounds; unperturbed jitter-free shapes take
+	// the kernel and must match exactly.
+	rng := rand.New(rand.NewSource(99))
+	jitterVar := func(name string, lo, hi float64) *Variable {
+		span := hi - lo
+		p1 := lo + span*(0.25+0.1*rng.Float64())
+		p2 := lo + span*(0.55+0.1*rng.Float64())
+		return MustVariable(name, lo, hi,
+			Term{"l", ShoulderLeft(p1, p2)},
+			Term{"m", Tri(p1, p2, hi)},
+			Term{"h", ShoulderRight(p2, hi)},
+		)
+	}
+	for trial := 0; trial < 6; trial++ {
+		a := jitterVar("a", -5+rng.Float64(), 5+rng.Float64())
+		b := jitterVar("b", 0, 1+rng.Float64())
+		c := jitterVar("c", -1-rng.Float64(), 0)
+		y := MustVariable("y", 0, 1,
+			Term{"s", Tri(0, 0, 0.5)},
+			Term{"m", Tri(0.25, 0.5, 0.75)},
+			Term{"l", Tri(0.5, 1, 1)},
+		)
+		var rb RuleBase
+		i := 0
+		for _, at := range a.TermNames() {
+			for _, bt := range b.TermNames() {
+				for _, ct := range c.TermNames() {
+					rb.Add(Rule{
+						If:   []Clause{{Var: "a", Term: at}, {Var: "b", Term: bt}, {Var: "c", Term: ct}},
+						Then: Clause{Var: "y", Term: y.TermNames()[(i*5)%3]},
+					})
+					i++
+				}
+			}
+		}
+		opts := Options{}
+		if trial%2 == 1 {
+			opts = Options{AndNorm: ProductNorm, OrNorm: ProbSumNorm}
+		}
+		sys, err := NewSystem(y, rb, opts, a, b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := NewCompiledSurface(sys, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, bound := maxAbsError(t, sys, cs, 3000, int64(trial)), cs.ErrorBound(); got > bound {
+			t.Fatalf("trial %d (exact=%v): max abs error %g exceeds bound %g",
+				trial, cs.Exact(), got, bound)
+		}
+	}
+}
+
+func TestCompiledRejectsNaNAndShapes(t *testing.T) {
+	sys := paperShapedSystem(t, Options{})
+	cs, err := NewCompiledSurface(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Evaluate([]float64{1, 2}); err == nil {
+		t.Error("short input vector accepted")
+	}
+	if _, err := cs.Evaluate([]float64{math.NaN(), -100, 0.5}); err == nil {
+		t.Error("NaN input accepted by Evaluate")
+	}
+	if _, err := cs.At3(0, math.NaN(), 0.5); err == nil {
+		t.Error("NaN input accepted by At3")
+	}
+	dst := make([]float64, 2)
+	if err := cs.EvaluateBatch3(dst, []float64{0, 1}, []float64{-100, math.NaN()}, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(dst[0]) || !math.IsNaN(dst[1]) {
+		t.Errorf("batch NaN marking wrong: got %v", dst)
+	}
+	if err := cs.EvaluateBatch3(dst, []float64{0}, []float64{-100, -90}, []float64{0.5, 0.5}); err == nil {
+		t.Error("mismatched column lengths accepted")
+	}
+	if err := cs.EvaluateBatch(dst[:1], [][]float64{{0}, {-100}}); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestCompiledBatchMatchesSingle(t *testing.T) {
+	for _, force := range []bool{false, true} {
+		sys := paperShapedSystem(t, Options{})
+		cs, err := CompileSurface(sys, CompileOptions{Resolution: 17, ForceLattice: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		const n = 257
+		c0, c1, c2, dst := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+		xs := make([]float64, 3)
+		for i := 0; i < n; i++ {
+			randomInputs(sys, rng, xs)
+			c0[i], c1[i], c2[i] = xs[0], xs[1], xs[2]
+		}
+		if err := cs.EvaluateBatch(dst, [][]float64{c0, c1, c2}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			want, err := cs.At3(c0[i], c1[i], c2[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dst[i] != want {
+				t.Fatalf("force=%v row %d: batch %g ≠ single %g", force, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestCompiledQueriesAllocationFree(t *testing.T) {
+	sys := paperShapedSystem(t, Options{})
+	for _, force := range []bool{false, true} {
+		cs, err := CompileSurface(sys, CompileOptions{Resolution: 17, ForceLattice: force})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 64
+		c0, c1, c2, dst := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			c0[i], c1[i], c2[i] = float64(i%7)-3, -118+float64(i%9)*4, float64(i%5)*0.3
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := cs.At3(c0[0], c1[0], c2[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.EvaluateBatch3(dst, c0, c1, c2); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("force=%v: %g allocs per query round, want 0", force, allocs)
+		}
+	}
+}
+
+func TestCompiledIncompleteGridStillServes(t *testing.T) {
+	// Remove one rule: the combo table gets a -1 hole, the kernel's
+	// generic fold must skip it, and queries in regions where no rule
+	// fires must fail with ErrNoActivation exactly like the exact path.
+	sys := paperShapedSystem(t, Options{})
+	rb := sys.Rules()
+	var sparse RuleBase
+	for i, r := range rb.Rules {
+		if i == 0 {
+			continue
+		}
+		sparse.Add(r)
+	}
+	sys2, err := NewSystem(sys.Output(), sparse, Options{}, sys.Inputs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCompiledSurface(sys2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Exact() {
+		t.Fatal("incomplete grid lost the exact kernel")
+	}
+	if got, bound := maxAbsError(t, sys2, cs, 10000, 6), cs.ErrorBound(); got > bound {
+		t.Fatalf("incomplete-grid kernel max abs error %g exceeds bound %g", got, bound)
+	}
+	// The removed rule is the all-first-terms combo: deep in that corner
+	// nothing fires.
+	sc := sys2.NewScratch()
+	_, exactErr := sys2.EvaluateInto(sc, []float64{-10, -120, 0})
+	_, compErr := cs.At3(-10, -120, 0)
+	if (exactErr == nil) != (compErr == nil) {
+		t.Fatalf("no-rule corner: exact err %v, compiled err %v", exactErr, compErr)
+	}
+}

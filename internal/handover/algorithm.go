@@ -48,14 +48,61 @@ type Algorithm interface {
 	Reset()
 }
 
+// ScoreStatus classifies one row of a ScoreBatch result.
+type ScoreStatus uint8
+
+const (
+	// ScoreGated: the POTLC quality gate settled the report; the FLC never
+	// ran and the score is meaningless.
+	ScoreGated ScoreStatus = iota
+	// ScoreEvaluated: the FLC scored the report; the decision completes
+	// with DecideScored.
+	ScoreEvaluated
+	// ScoreError: the FLC could not score the report (no rule fired on an
+	// ablated rulebase); DecideScored reproduces the per-report error.
+	ScoreError
+)
+
+// BatchScorer is the optional Algorithm extension behind the columnar
+// decision pipeline: the stateless part of a decision (the POTLC gate and
+// the FLC score, which depend only on the measurement) is computed for a
+// whole run of reports at once, and the stateful remainder (PRTLC history
+// comparison, commit) completes per report with DecideScored.  Splitting
+// the pipeline this way lets a serving shard drain its queue into
+// struct-of-arrays buffers and amortize the per-report call and branch
+// overhead across the batch, while preserving exactly the per-terminal
+// decision sequence of the one-report Decide path.
+type BatchScorer interface {
+	Algorithm
+	// ScoreBatch scores measurement columns: for every i, either
+	// status[i] = ScoreGated (gate settled it), or ScoreEvaluated with
+	// hd[i] the FLC output, or ScoreError.  All slices must share one
+	// length.  Steady state performs no heap allocations.
+	ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error
+	// DecideScored completes one report's decision from its precomputed
+	// score, equivalent to Decide on the same measurement and history.
+	DecideScored(m cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error)
+}
+
 // Fuzzy adapts the paper's core.Controller to the Algorithm interface.
 // Decisions run on the controller's allocation-free fast path with a
 // per-instance scratch, so — like every stateful Algorithm — one Fuzzy
 // instance must not be driven from multiple goroutines at once (RunFleet
 // configs each get their own instance when Config.Algorithm is nil).
+//
+// Fuzzy also implements BatchScorer: the POTLC gate and FLC evaluation
+// depend only on the measurement, so whole report columns are scored in
+// one pass (through the compiled control surface when the controller's
+// FLC is compiled) and each decision completes against the terminal's
+// history afterwards.
 type Fuzzy struct {
 	ctrl    *core.Controller
 	scratch *fuzzy.Scratch
+	// Dense gather buffers of the batch path: rows the gate does not
+	// settle, packed for FLC.EvaluateBatch.  Pure per-call scratch (fully
+	// rewritten by each ScoreBatch), so Reset keeps them.
+	bIdx                   []int32
+	bCssp, bSsn, bDmb, bHD []float64
 }
 
 // NewFuzzy wraps the given controller; nil uses the paper's defaults.
@@ -64,6 +111,17 @@ func NewFuzzy(ctrl *core.Controller) *Fuzzy {
 		ctrl = core.NewController()
 	}
 	return &Fuzzy{ctrl: ctrl}
+}
+
+// NewCompiledFuzzy returns the paper's controller on the process-wide
+// compiled control surface (core.DefaultCompiledFLC) — the one recipe the
+// sim, serve and CLI compiled modes share.
+func NewCompiledFuzzy() (*Fuzzy, error) {
+	flc, err := core.DefaultCompiledFLC()
+	if err != nil {
+		return nil, err
+	}
+	return NewFuzzy(core.NewControllerWithConfig(core.ControllerConfig{FLC: flc})), nil
 }
 
 // Controller exposes the wrapped controller.
@@ -95,6 +153,76 @@ func (f *Fuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool)
 	if err != nil {
 		return Decision{}, err
 	}
+	return Decision{
+		Handover: d.Handover,
+		Score:    d.HD,
+		Scored:   d.Evaluated,
+		Reason:   d.Stage.String(),
+	}, nil
+}
+
+// ScoreBatch implements BatchScorer: the POTLC gate settles what it can,
+// everything else is packed into dense columns and scored through
+// FLC.EvaluateBatch in one call.
+func (f *Fuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error {
+	n := len(servingDB)
+	if len(csspDB) != n || len(ssnDB) != n || len(dmbNorm) != n || len(hd) != n || len(status) != n {
+		return fmt.Errorf("handover: ScoreBatch column lengths %d/%d/%d/%d/%d ≠ %d",
+			len(csspDB), len(ssnDB), len(dmbNorm), len(hd), len(status), n)
+	}
+	gate := f.ctrl.QualityGateDB()
+	f.bIdx = f.bIdx[:0]
+	f.bCssp, f.bSsn, f.bDmb = f.bCssp[:0], f.bSsn[:0], f.bDmb[:0]
+	for i := 0; i < n; i++ {
+		if servingDB[i] >= gate {
+			status[i] = ScoreGated
+			continue
+		}
+		f.bIdx = append(f.bIdx, int32(i))
+		f.bCssp = append(f.bCssp, csspDB[i])
+		f.bSsn = append(f.bSsn, ssnDB[i])
+		f.bDmb = append(f.bDmb, dmbNorm[i])
+	}
+	if len(f.bIdx) == 0 {
+		return nil
+	}
+	if cap(f.bHD) < len(f.bIdx) {
+		f.bHD = make([]float64, len(f.bIdx))
+	}
+	f.bHD = f.bHD[:len(f.bIdx)]
+	if err := f.ctrl.FLC().EvaluateBatch(f.bHD, f.bCssp, f.bSsn, f.bDmb); err != nil {
+		return err
+	}
+	for k, i := range f.bIdx {
+		if v := f.bHD[k]; v == v {
+			hd[i] = v
+			status[i] = ScoreEvaluated
+		} else {
+			status[i] = ScoreError // NaN marks a row the FLC could not score
+		}
+	}
+	return nil
+}
+
+// DecideScored implements BatchScorer: it completes the Fig. 4 pipeline
+// for one report from its precomputed FLC score, producing exactly the
+// decision Decide would.
+func (f *Fuzzy) DecideScored(m cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error) {
+	switch st {
+	case ScoreGated:
+		return Decision{Reason: core.StageQualityGate.String()}, nil
+	case ScoreError:
+		// A scoring failure means no rule fired for the row (NaN inputs are
+		// clamped before evaluation, so nothing else NaNs a score); wrap the
+		// sentinel exactly like DecideInto so errors.Is behaves identically
+		// on the batch and per-report paths.
+		return Decision{}, fmt.Errorf("core: FLC evaluation: %w", fuzzy.ErrNoActivation)
+	}
+	d := f.ctrl.DecideFromHD(core.Report{
+		ServingDB:     m.ServingDB,
+		PrevServingDB: prevServingDB,
+		HavePrev:      havePrev,
+	}, hd)
 	return Decision{
 		Handover: d.Handover,
 		Score:    d.HD,

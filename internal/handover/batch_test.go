@@ -1,0 +1,140 @@
+package handover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+)
+
+// randomMeasurements builds a stream of FLC-relevant measurements spanning
+// gated, scored and threshold-crossing regions.
+func randomMeasurements(n int, seed int64) []cell.Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	ms := make([]cell.Measurement, n)
+	for i := range ms {
+		ms[i] = cell.Measurement{
+			ServingDB:  -110 + rng.Float64()*40, // straddles the −75 dB gate region
+			CSSPdB:     -12 + rng.Float64()*24,
+			NeighborDB: -125 + rng.Float64()*50,
+			DMBNorm:    rng.Float64() * 1.6,
+			WalkedKm:   float64(i) * 0.1,
+		}
+	}
+	return ms
+}
+
+// TestScoreBatchMatchesDecide drives the same measurement stream through
+// the per-report Decide path and the columnar ScoreBatch → DecideScored
+// path and requires identical decisions, on both the exact and the
+// compiled controller.
+func TestScoreBatchMatchesDecide(t *testing.T) {
+	compiledFLC, err := core.DefaultCompiledFLC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func() *core.Controller
+	}{
+		{"exact", func() *core.Controller { return core.NewController() }},
+		{"compiled", func() *core.Controller {
+			return core.NewControllerWithConfig(core.ControllerConfig{FLC: compiledFLC})
+		}},
+		{"no-gate", func() *core.Controller {
+			return core.NewControllerWithConfig(core.ControllerConfig{DisableQualityGate: true, FLC: compiledFLC})
+		}},
+		{"no-prtlc", func() *core.Controller {
+			return core.NewControllerWithConfig(core.ControllerConfig{DisablePRTLC: true, FLC: compiledFLC})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ms := randomMeasurements(512, 42)
+			seq := NewFuzzy(tc.mk())
+			bat := NewFuzzy(tc.mk())
+
+			serving := make([]float64, len(ms))
+			cssp := make([]float64, len(ms))
+			ssn := make([]float64, len(ms))
+			dmb := make([]float64, len(ms))
+			hd := make([]float64, len(ms))
+			status := make([]ScoreStatus, len(ms))
+			for i, m := range ms {
+				serving[i], cssp[i], ssn[i], dmb[i] = m.ServingDB, m.CSSPdB, m.NeighborDB, m.DMBNorm
+			}
+			if err := bat.ScoreBatch(serving, cssp, ssn, dmb, hd, status); err != nil {
+				t.Fatal(err)
+			}
+
+			// Walk both paths with the same evolving history.
+			prevDB, havePrev := 0.0, false
+			for i, m := range ms {
+				want, err1 := seq.Decide(m, prevDB, havePrev)
+				got, err2 := bat.DecideScored(m, prevDB, havePrev, hd[i], status[i])
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("report %d: seq err %v, batch err %v", i, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if got.Handover != want.Handover || got.Scored != want.Scored || got.Reason != want.Reason {
+					t.Fatalf("report %d: batch %+v ≠ sequential %+v", i, got, want)
+				}
+				if want.Scored && math.Abs(got.Score-want.Score) > 1e-9 {
+					t.Fatalf("report %d: batch score %g ≠ sequential %g", i, got.Score, want.Score)
+				}
+				if want.Handover {
+					prevDB, havePrev = m.ServingDB, false
+				} else {
+					prevDB, havePrev = m.ServingDB, true
+				}
+			}
+		})
+	}
+}
+
+// TestScoreBatchShapes pins the column-length validation.
+func TestScoreBatchShapes(t *testing.T) {
+	f := NewFuzzy(nil)
+	if err := f.ScoreBatch(make([]float64, 3), make([]float64, 2), make([]float64, 3),
+		make([]float64, 3), make([]float64, 3), make([]ScoreStatus, 3)); err == nil {
+		t.Fatal("mismatched column lengths accepted")
+	}
+}
+
+// TestScoreBatchAllocationFree pins the steady-state allocation contract
+// of the columnar path.
+func TestScoreBatchAllocationFree(t *testing.T) {
+	flc, err := core.DefaultCompiledFLC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFuzzy(core.NewControllerWithConfig(core.ControllerConfig{FLC: flc}))
+	const n = 64
+	serving := make([]float64, n)
+	cssp := make([]float64, n)
+	ssn := make([]float64, n)
+	dmb := make([]float64, n)
+	hd := make([]float64, n)
+	status := make([]ScoreStatus, n)
+	for i := 0; i < n; i++ {
+		serving[i] = -95 + float64(i%8)
+		cssp[i] = -2 + float64(i%5)
+		ssn[i] = -100 + float64(i%9)
+		dmb[i] = 0.3 + float64(i%4)*0.25
+	}
+	// Warm the gather buffers.
+	if err := f.ScoreBatch(serving, cssp, ssn, dmb, hd, status); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.ScoreBatch(serving, cssp, ssn, dmb, hd, status); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ScoreBatch allocates %g per call, want 0", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -59,5 +61,59 @@ func TestSubmitBatchSteadyStateAllocs(t *testing.T) {
 	}
 	if got := e.Stats().Totals().Handovers; got != 0 {
 		t.Fatalf("steady batch executed %d handovers; the workload is not steady-state", got)
+	}
+}
+
+// TestServeSteadyStateBytesPerShardCount pins the byte side of the
+// steady-state contract at every shard count, in both decision modes: once
+// each shard's sub-batch buffer population exists (built lazily while the
+// queue first fills; see bufPool), ingest → decide → recycle must allocate
+// nothing, so per-op bytes cannot grow with the shard count.  Bytes are
+// measured from MemStats.TotalAlloc, which is monotonic and GC-independent.
+func TestServeSteadyStateBytesPerShardCount(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the regression runs in the non-race job")
+	}
+	for _, compiled := range []bool{false, true} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("compiled=%v/shards=%d", compiled, shards), func(t *testing.T) {
+				e, err := New(Config{Shards: shards, QueueDepth: 64, Compiled: compiled})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.Start(); err != nil {
+					t.Fatal(err)
+				}
+				defer e.Stop()
+				batch := steadyBatch(256, 32)
+				// Warm until the buffer population of every queue exists:
+				// submit more sub-batches than shards × depth can hold.
+				for i := 0; i < shards*64/2+8; i++ {
+					if err := e.SubmitBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				e.Flush()
+
+				var before, after runtime.MemStats
+				const rounds = 20
+				runtime.ReadMemStats(&before)
+				for i := 0; i < rounds; i++ {
+					if err := e.SubmitBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					e.Flush()
+				}
+				runtime.ReadMemStats(&after)
+				perDecision := float64(after.TotalAlloc-before.TotalAlloc) / float64(rounds*len(batch))
+				// The threshold leaves room for runtime-internal noise
+				// (ReadMemStats itself, background sweeping) while failing
+				// loudly on any real per-decision or per-shard allocation.
+				if perDecision >= 2 {
+					t.Errorf("steady state allocates %.2f B per decision at %d shards, want ≈ 0",
+						perDecision, shards)
+				}
+			})
+		}
 	}
 }

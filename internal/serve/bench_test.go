@@ -6,10 +6,16 @@ import (
 	"testing"
 )
 
+// benchQueueDepth is the per-shard queue bound of the serve benchmarks:
+// deep enough that ingest is never the bottleneck, shallow enough that the
+// warm-up pass can build the complete sub-batch buffer population (shards
+// × depth buffers; see bufPool) before the timer starts.
+const benchQueueDepth = 256
+
 // benchEngine builds and starts an engine with the given shard count.
-func benchEngine(b *testing.B, shards int) *Engine {
+func benchEngine(b *testing.B, shards int, compiled bool) *Engine {
 	b.Helper()
-	e, err := New(Config{Shards: shards, QueueDepth: 2048})
+	e, err := New(Config{Shards: shards, QueueDepth: benchQueueDepth, Compiled: compiled})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -18,6 +24,19 @@ func benchEngine(b *testing.B, shards int) *Engine {
 	}
 	b.Cleanup(func() { e.Stop() })
 	return e
+}
+
+// warmEngine pushes enough reports through the engine to build every
+// steady-state resource: terminal state structs, inference scratches, and
+// — the big one — the full sub-batch buffer population of every shard
+// queue (a queue of depth D lazily builds D buffers while producers
+// outpace the shard).  Benchmarks that skip this measure the population
+// build as per-op bytes that scale with shards × depth instead of the
+// steady state, which is exactly the artifact the old BENCH_serve.json
+// recorded.
+func warmEngine(b *testing.B, e *Engine, batches [][]Report) {
+	b.Helper()
+	runLoad(b, e, batches, e.NumShards()*benchQueueDepth*maxSubBatch+4*512)
 }
 
 // runLoad pushes n reports through the engine from `submitters` concurrent
@@ -58,23 +77,40 @@ func submitterBatches(submitters, batchLen, terminals int) [][]Report {
 	return out
 }
 
+// benchServeShards is the body shared by the exact and compiled shard
+// scaling benchmarks: 4 submitter goroutines feed every configuration so
+// ingest is never the bottleneck, and the warm-up builds the full buffer
+// population so the timed region is true steady state.
+func benchServeShards(b *testing.B, shards int, compiled bool) {
+	e := benchEngine(b, shards, compiled)
+	batches := submitterBatches(4, 512, 256)
+	warmEngine(b, e, batches)
+	before := e.Stats().Totals().Decisions
+	b.ReportAllocs()
+	b.ResetTimer()
+	runLoad(b, e, batches, b.N)
+	b.StopTimer()
+	decided := e.Stats().Totals().Decisions - before
+	b.ReportMetric(float64(decided)/b.Elapsed().Seconds(), "decisions/sec")
+}
+
 // BenchmarkServeShards measures steady-state serving throughput (ns per
-// decision) as the shard count grows — the scaling headline.  4 submitter
-// goroutines feed every configuration so ingest is never the bottleneck.
+// decision) as the shard count grows — the scaling headline.
 func BenchmarkServeShards(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			e := benchEngine(b, shards)
-			batches := submitterBatches(4, 512, 256)
-			// Warm terminal state and scratches.
-			runLoad(b, e, batches, 4*512)
-			before := e.Stats().Totals().Decisions
-			b.ReportAllocs()
-			b.ResetTimer()
-			runLoad(b, e, batches, b.N)
-			b.StopTimer()
-			decided := e.Stats().Totals().Decisions - before
-			b.ReportMetric(float64(decided)/b.Elapsed().Seconds(), "decisions/sec")
+			benchServeShards(b, shards, false)
+		})
+	}
+}
+
+// BenchmarkServeCompiled is BenchmarkServeShards on the compiled control
+// surface: the shard decide loop drains sub-batches through the columnar
+// EvaluateBatch pipeline instead of per-decision Mamdani inference.
+func BenchmarkServeCompiled(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchServeShards(b, shards, true)
 		})
 	}
 }
@@ -83,7 +119,7 @@ func BenchmarkServeShards(b *testing.B) {
 // report is settled by the POTLC quality gate, so the decision work is a
 // branch and the measurement is hash + channel + state bookkeeping.
 func BenchmarkServeIngestOnly(b *testing.B) {
-	e := benchEngine(b, 4)
+	e := benchEngine(b, 4, false)
 	batches := make([][]Report, 4)
 	for s := range batches {
 		batch := make([]Report, 512)
@@ -92,7 +128,7 @@ func BenchmarkServeIngestOnly(b *testing.B) {
 		}
 		batches[s] = batch
 	}
-	runLoad(b, e, batches, 4*512)
+	warmEngine(b, e, batches)
 	b.ReportAllocs()
 	b.ResetTimer()
 	runLoad(b, e, batches, b.N)
@@ -101,9 +137,9 @@ func BenchmarkServeIngestOnly(b *testing.B) {
 // BenchmarkServeSubmitBatch measures the producer-side cost alone: one
 // goroutine submitting against idle-enough shards (large queue, 4 shards).
 func BenchmarkServeSubmitBatch(b *testing.B) {
-	e := benchEngine(b, 4)
+	e := benchEngine(b, 4, false)
 	batch := steadyBatch(512, 64)
-	runLoad(b, e, [][]Report{batch}, 512)
+	warmEngine(b, e, [][]Report{batch})
 	b.ReportAllocs()
 	b.ResetTimer()
 	sent := 0

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/handover"
+	"repro/internal/sim"
+)
+
+// TestCompiledDecisionSequenceEquivalence is the serve-level acceptance
+// regression of the compiled control surface: replaying the paper's
+// scenario grid through a Compiled engine must reproduce the exact-path
+// sim verdicts — handover/no-handover, pipeline stage, execution and
+// ping-pong accounting — per terminal per epoch, at every shard count.
+// The comparison is tolerance-aware: the compiled HD score may differ
+// from exact Mamdani inference within the surface's error bound, the
+// decisions may not.
+func TestCompiledDecisionSequenceEquivalence(t *testing.T) {
+	cfgs := paperFleetConfigs()
+	streams, results := simStreams(t, cfgs)
+	reports := InterleaveReports(streams)
+
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rec := newRecorder(len(cfgs))
+			e, err := New(Config{
+				Shards:           shards,
+				QueueDepth:       64,
+				Compiled:         true,
+				PingPongWindowKm: sim.DefaultPingPongWindowKm,
+				OnDecision:       rec.record,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.SubmitBatch(reports); err != nil {
+				t.Fatal(err)
+			}
+			e.Flush()
+			if err := e.Stop(); err != nil {
+				t.Fatal(err)
+			}
+
+			for i, res := range results {
+				got := *rec[TerminalID(i)]
+				if len(got) != len(res.Epochs) {
+					t.Fatalf("terminal %d: %d outcomes, sim has %d epochs", i, len(got), len(res.Epochs))
+				}
+				pingpongs := 0
+				for j, o := range got {
+					exp := res.Epochs[j]
+					if o.Err != nil {
+						t.Fatalf("terminal %d epoch %d: %v", i, j, o.Err)
+					}
+					if o.Decision.Handover != exp.Decision.Handover || o.Executed != exp.Executed {
+						t.Fatalf("terminal %d epoch %d: compiled verdict (handover=%v executed=%v) ≠ exact (handover=%v executed=%v)",
+							i, j, o.Decision.Handover, o.Executed, exp.Decision.Handover, exp.Executed)
+					}
+					if o.Decision.Reason != exp.Decision.Reason || o.Decision.Scored != exp.Decision.Scored {
+						t.Fatalf("terminal %d epoch %d: compiled stage %q/%v ≠ exact %q/%v",
+							i, j, o.Decision.Reason, o.Decision.Scored, exp.Decision.Reason, exp.Decision.Scored)
+					}
+					if exp.Decision.Scored && math.Abs(o.Decision.Score-exp.Decision.Score) > 1e-9 {
+						t.Fatalf("terminal %d epoch %d: compiled HD %g drifted from exact %g",
+							i, j, o.Decision.Score, exp.Decision.Score)
+					}
+					if o.PingPong {
+						pingpongs++
+					}
+				}
+				if pingpongs != res.PingPongCount {
+					t.Errorf("terminal %d: %d ping-pongs, sim counted %d", i, pingpongs, res.PingPongCount)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRejectsCustomFactory pins the Compiled/AlgorithmFactory
+// conflict diagnostic: the flag only governs the default controller.
+func TestCompiledRejectsCustomFactory(t *testing.T) {
+	_, err := New(Config{
+		Compiled:         true,
+		AlgorithmFactory: func() handover.Algorithm { return handover.NewFuzzy(nil) },
+	})
+	if err == nil {
+		t.Fatal("Compiled with a custom AlgorithmFactory accepted")
+	}
+}

@@ -84,6 +84,11 @@ type Config struct {
 	// counter); the paper's fuzzy controller is stateless across epochs
 	// and serves all of a shard's terminals from one instance.
 	PerTerminalAlgorithms bool
+	// Compiled serves decisions from the compiled control surface: the
+	// default fuzzy controller is built around the process-wide compiled
+	// kernel (core.DefaultCompiledFLC) instead of per-decision Mamdani
+	// inference.  Requires the default algorithm (AlgorithmFactory nil).
+	Compiled bool
 	// PingPongWindowKm is the walked-distance window of the ping-pong
 	// accounting (0: DefaultPingPongWindowKm).
 	PingPongWindowKm float64
@@ -124,22 +129,40 @@ const (
 // resolution) fine.
 const maxSubBatch = 64
 
-// bufPool recycles sub-batch buffers between producers and shard
-// goroutines so steady-state ingest allocates nothing.
-type bufPool struct{ p sync.Pool }
+// Sub-batch buffers cycle producer → queue → shard → per-shard free list
+// (a plain buffered channel rather than a sync.Pool), so steady-state
+// recycling is deterministic and immune to GC pool clearing.
+//
+// The only allocation this scheme performs after warm-up is population
+// growth: a queue of depth D can hold D sub-batches, and those buffers
+// are built lazily on first use, so an engine whose queues have filled
+// once owns shards × (depth+16) buffers and never allocates again (pinned
+// per shard count by TestServeSteadyStateBytesPerShardCount).  This
+// population build is what BenchmarkServeShards used to report as per-op
+// bytes "growing" with the shard count — ~2100 × 7 KiB buffers per shard
+// amortized over a b.N that did not scale with the queue volume; the
+// bench now warms until the population is complete and measures true
+// steady state.
 
-func newBufPool() *bufPool {
-	return &bufPool{p: sync.Pool{New: func() any {
+// getBuf takes an empty sub-batch buffer from the shard's free list,
+// growing the population when the list is empty.
+func (s *shard) getBuf() *[]Report {
+	select {
+	case b := <-s.free:
+		return b
+	default:
 		b := make([]Report, 0, maxSubBatch)
 		return &b
-	}}}
+	}
 }
 
-func (p *bufPool) get() *[]Report { return p.p.Get().(*[]Report) }
-
-func (p *bufPool) put(b *[]Report) {
+// putBuf returns a drained buffer to the shard's free list.
+func (s *shard) putBuf(b *[]Report) {
 	*b = (*b)[:0]
-	p.p.Put(b)
+	select {
+	case s.free <- b:
+	default: // free list full: let the GC take the surplus
+	}
 }
 
 // Engine is the sharded streaming decision engine.  Construct with New,
@@ -147,10 +170,10 @@ func (p *bufPool) put(b *[]Report) {
 // (which drains the queues) when done.  An Engine cannot be restarted.
 type Engine struct {
 	shards []*shard
-	bufs   *bufPool
 	// staging recycles the per-call shard→sub-batch scatter tables of
-	// SubmitBatch.
-	staging sync.Pool
+	// SubmitBatch on a bounded free list (same GC-immunity rationale as
+	// bufPool).
+	staging chan []*[]Report
 
 	// mu serializes lifecycle transitions against submissions: Submit
 	// holds the read side across the queue send so Stop can only close
@@ -185,14 +208,29 @@ func New(cfg Config) (*Engine, error) {
 	}
 	factory := cfg.AlgorithmFactory
 	if factory == nil {
-		factory = func() handover.Algorithm { return handover.NewFuzzy(nil) }
+		if cfg.Compiled {
+			if _, err := handover.NewCompiledFuzzy(); err != nil {
+				return nil, fmt.Errorf("serve: compiled control surface: %w", err)
+			}
+			factory = func() handover.Algorithm {
+				f, _ := handover.NewCompiledFuzzy() // compile already succeeded above
+				return f
+			}
+		} else {
+			factory = func() handover.Algorithm { return handover.NewFuzzy(nil) }
+		}
+	} else if cfg.Compiled {
+		return nil, fmt.Errorf("serve: Compiled applies to the default algorithm only; compile inside the custom AlgorithmFactory instead")
 	}
-	e := &Engine{shards: make([]*shard, nshards), bufs: newBufPool()}
-	e.staging.New = func() any { return make([]*[]Report, nshards) }
+	e := &Engine{
+		shards:  make([]*shard, nshards),
+		staging: make(chan []*[]Report, 2*nshards+8),
+	}
 	for i := range e.shards {
 		s := &shard{
 			id:         i,
 			in:         make(chan *[]Report, depth),
+			free:       make(chan *[]Report, depth+16),
 			terminals:  make(map[TerminalID]*terminal),
 			window:     window,
 			onDecision: cfg.OnDecision,
@@ -202,6 +240,13 @@ func New(cfg Config) (*Engine, error) {
 		} else {
 			s.algo = factory()
 			s.algo.Reset()
+			// The columnar batch pipeline engages when the shared
+			// algorithm can score whole sub-batches (the paper's fuzzy
+			// controller, exact or compiled).
+			if bs, ok := s.algo.(handover.BatchScorer); ok {
+				s.scorer = bs
+				s.cols = newBatchCols()
+			}
 		}
 		e.shards[i] = s
 	}
@@ -223,7 +268,7 @@ func (e *Engine) Start() error {
 		e.wg.Add(1)
 		go func(s *shard) {
 			defer e.wg.Done()
-			s.run(e.bufs)
+			s.run()
 		}(s)
 	}
 	return nil
@@ -279,9 +324,10 @@ func (e *Engine) Submit(r Report) error {
 	if e.state != stateRunning {
 		return ErrNotRunning
 	}
-	buf := e.bufs.get()
+	s := e.shards[e.ShardOf(r.Terminal)]
+	buf := s.getBuf()
 	*buf = append(*buf, r)
-	e.send(e.shards[e.ShardOf(r.Terminal)], buf)
+	e.send(s, buf)
 	return nil
 }
 
@@ -296,12 +342,17 @@ func (e *Engine) SubmitBatch(rs []Report) error {
 	if e.state != stateRunning {
 		return ErrNotRunning
 	}
-	staging := e.staging.Get().([]*[]Report)
+	var staging []*[]Report
+	select {
+	case staging = <-e.staging:
+	default:
+		staging = make([]*[]Report, len(e.shards))
+	}
 	for _, r := range rs {
 		idx := e.ShardOf(r.Terminal)
 		buf := staging[idx]
 		if buf == nil {
-			buf = e.bufs.get()
+			buf = e.shards[idx].getBuf()
 			staging[idx] = buf
 		}
 		*buf = append(*buf, r)
@@ -316,7 +367,10 @@ func (e *Engine) SubmitBatch(rs []Report) error {
 			e.send(e.shards[idx], buf)
 		}
 	}
-	e.staging.Put(staging)
+	select {
+	case e.staging <- staging:
+	default: // free list full: let the GC take the surplus
+	}
 	return nil
 }
 
@@ -329,14 +383,14 @@ func (e *Engine) TrySubmit(r Report) error {
 		return ErrNotRunning
 	}
 	s := e.shards[e.ShardOf(r.Terminal)]
-	buf := e.bufs.get()
+	buf := s.getBuf()
 	*buf = append(*buf, r)
 	select {
 	case s.in <- buf:
 		s.submitted.Add(1)
 		return nil
 	default:
-		e.bufs.put(buf)
+		s.putBuf(buf)
 		return ErrBacklogged
 	}
 }

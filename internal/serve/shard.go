@@ -76,6 +76,26 @@ func (t *terminal) observeHandover(from, to hexgrid.Cell, walkedKm, windowKm flo
 // cache lines so submitters and the shard goroutine do not false-share.
 type pad [64]byte
 
+// batchCols is a shard's struct-of-arrays staging for the columnar
+// decision pipeline: a drained sub-batch's measurements laid out as
+// columns, scored in one BatchScorer call, decisions completed per row.
+// Sized once to maxSubBatch; reused for every sub-batch.
+type batchCols struct {
+	serving, cssp, ssn, dmb, hd []float64
+	status                      []handover.ScoreStatus
+}
+
+func newBatchCols() *batchCols {
+	return &batchCols{
+		serving: make([]float64, maxSubBatch),
+		cssp:    make([]float64, maxSubBatch),
+		ssn:     make([]float64, maxSubBatch),
+		dmb:     make([]float64, maxSubBatch),
+		hd:      make([]float64, maxSubBatch),
+		status:  make([]handover.ScoreStatus, maxSubBatch),
+	}
+}
+
 // shard owns one partition of the terminal population.  All fields below
 // the queue are touched only by the shard goroutine, except the atomic
 // counters, which anyone may read.  The queue carries pooled sub-batches
@@ -84,13 +104,21 @@ type pad [64]byte
 type shard struct {
 	id int
 	in chan *[]Report
+	// free recycles this shard's drained sub-batch buffers back to
+	// producers (see getBuf/putBuf): buffers cycle producer → queue →
+	// shard → free list without touching the garbage collector.
+	free chan *[]Report
 
 	terminals map[TerminalID]*terminal
 	// algo is the shared per-shard instance; newAlgo, when non-nil,
 	// builds per-terminal instances instead.
 	algo    handover.Algorithm
 	newAlgo func() handover.Algorithm
-	window  float64
+	// scorer is algo's BatchScorer view, non-nil when the shared
+	// algorithm supports the columnar batch pipeline.
+	scorer handover.BatchScorer
+	cols   *batchCols
+	window float64
 
 	onDecision func(Outcome)
 
@@ -106,20 +134,56 @@ type shard struct {
 }
 
 // run drains the ingest queue until it is closed, returning emptied
-// sub-batch buffers to the pool for producers to refill.
-func (s *shard) run(pool *bufPool) {
+// sub-batch buffers to the free list for producers to refill.
+func (s *shard) run() {
 	for batch := range s.in {
-		for _, r := range *batch {
-			s.process(r)
+		if s.scorer != nil && len(*batch) > 1 {
+			s.processColumnar(*batch)
+		} else {
+			for _, r := range *batch {
+				s.process(r)
+			}
 		}
-		pool.put(batch)
+		s.putBuf(batch)
 	}
 }
 
-// process serves one report: route to (or create) the terminal state,
-// decide on the fast path, commit executed handovers, update counters and
-// deliver the outcome.  Steady state (known terminal) allocates nothing.
-func (s *shard) process(r Report) {
+// processColumnar serves one sub-batch through the columnar pipeline: the
+// measurements are transposed into struct-of-arrays columns, the
+// stateless decision stages (POTLC gate, FLC score) run over the whole
+// batch in one BatchScorer call — through the compiled control surface's
+// EvaluateBatch when the controller is compiled — and the stateful
+// remainder completes per report, in order, against each terminal's
+// history.  Per-terminal decision sequences are identical to the
+// per-report path because the batched stages depend only on the
+// measurement, never on terminal state.
+func (s *shard) processColumnar(batch []Report) {
+	n := len(batch)
+	c := s.cols
+	for i, r := range batch {
+		c.serving[i] = r.Meas.ServingDB
+		c.cssp[i] = r.Meas.CSSPdB
+		c.ssn[i] = r.Meas.NeighborDB
+		c.dmb[i] = r.Meas.DMBNorm
+	}
+	if err := s.scorer.ScoreBatch(c.serving[:n], c.cssp[:n], c.ssn[:n], c.dmb[:n], c.hd[:n], c.status[:n]); err != nil {
+		// Shape errors cannot happen with shard-owned columns; fall back
+		// to the per-report path rather than dropping the sub-batch.
+		for _, r := range batch {
+			s.process(r)
+		}
+		return
+	}
+	for i, r := range batch {
+		t := s.route(r)
+		dec, err := s.scorer.DecideScored(r.Meas, t.prevDB, t.havePrev, c.hd[i], c.status[i])
+		s.commit(r, t, s.algo, dec, err)
+	}
+}
+
+// route finds (or creates) the terminal state for a report and applies the
+// external-reattachment correction.
+func (s *shard) route(r Report) *terminal {
 	t := s.terminals[r.Terminal]
 	if t == nil {
 		t = &terminal{}
@@ -130,22 +194,38 @@ func (s *shard) process(r Report) {
 		s.terminals[r.Terminal] = t
 		s.nTerminals.Add(1)
 	}
-	m := r.Meas
-	algo := s.algo
-	if t.algo != nil {
-		algo = t.algo
-	}
-	if t.haveServing && m.Serving != t.serving {
+	if t.haveServing && r.Meas.Serving != t.serving {
 		// The radio side reattached the terminal without this engine
 		// deciding it (restart, external handover): the previous-epoch
 		// power belongs to another cell, so the history restarts, as it
 		// does after an engine-decided handover.
 		t.havePrev = false
-		algo.Reset()
+		if t.algo != nil {
+			t.algo.Reset()
+		} else {
+			s.algo.Reset()
+		}
 	}
-	t.serving, t.haveServing = m.Serving, true
+	t.serving, t.haveServing = r.Meas.Serving, true
+	return t
+}
 
-	dec, err := algo.Decide(m, t.prevDB, t.havePrev)
+// process serves one report on the per-report path: route, decide on the
+// fast path, commit.  Steady state (known terminal) allocates nothing.
+func (s *shard) process(r Report) {
+	t := s.route(r)
+	algo := s.algo
+	if t.algo != nil {
+		algo = t.algo
+	}
+	dec, err := algo.Decide(r.Meas, t.prevDB, t.havePrev)
+	s.commit(r, t, algo, dec, err)
+}
+
+// commit applies one decision to the terminal's state, updates counters
+// and delivers the outcome.
+func (s *shard) commit(r Report, t *terminal, algo handover.Algorithm, dec handover.Decision, err error) {
+	m := r.Meas
 	executed := false
 	pingPong := false
 	if err != nil {

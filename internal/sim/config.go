@@ -55,6 +55,13 @@ type Config struct {
 	// fleet-safe way to sweep a custom algorithm (each RunFleet worker gets
 	// its own instance).
 	AlgorithmFactory func() handover.Algorithm
+	// CompiledFLC runs the default fuzzy controller on the compiled
+	// control surface (the process-wide shared kernel; see
+	// core.DefaultCompiledFLC) instead of per-decision Mamdani inference.
+	// Only consulted when Algorithm and AlgorithmFactory are nil.  Fleet
+	// runs inherit it per cell, so a whole SweepGrid shares one compiled
+	// surface.
+	CompiledFLC bool
 	// PingPongWindowKm is the return window of the ping-pong detector.
 	PingPongWindowKm float64
 	// OutageFloorDB is the outage threshold for link-quality accounting.

@@ -27,10 +27,13 @@ bench-json:
 
 # Short bench run gated against the committed artifact: fails if any
 # steady-state decisions/sec metric regresses by more than 30%.  The
-# baseline is machine-specific — regenerate BENCH_serve.json (make
-# bench-json) whenever the reference hardware changes, or the gate
-# measures the runner, not the code.
-bench-smoke:
+# default hobench filter covers all three serve decision modes — exact
+# (BenchmarkServeShards), compiled (BenchmarkServeCompiled) and the
+# speed-adaptive extension (BenchmarkServeAdaptive) — so the gate catches
+# a regression in any of them.  The baseline is machine-specific —
+# regenerate BENCH_serve.json (make bench-json) whenever the reference
+# hardware changes, or the gate measures the runner, not the code.
+bench-smoke: vet
 	$(GO) run ./cmd/hobench -benchtime 120ms -o /tmp/BENCH_smoke.json \
 		-baseline BENCH_serve.json -max-regress 0.30
 

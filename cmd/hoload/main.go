@@ -13,6 +13,7 @@
 //
 //	hoload -terminals 10000 -shards 8 -duration 5s
 //	hoload -terminals 512 -workers 2 -speeds 0,30,50 -replicas 4
+//	hoload -algo adaptive -compiled -speeds 0,30,50   # speed-adaptive extension
 //
 // Determinism caveat: each terminal's decision sequence over its first
 // replay pass is exactly the sim path's (the determinism tests pin this);
@@ -57,6 +58,7 @@ func main() {
 		replicas  = flag.Int("replicas", 4, "seed sub-streams per scenario")
 		speedsCS  = flag.String("speeds", "0,10,30,50", "comma-separated speeds in km/h")
 		batchLen  = flag.Int("batch", 256, "reports per SubmitBatch call")
+		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
 		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 	)
@@ -111,17 +113,26 @@ func main() {
 		}()
 	}
 
-	engine, err := fuzzyho.NewServeEngine(fuzzyho.ServeConfig{
+	cfg := fuzzyho.ServeConfig{
 		Shards:     *shards,
 		QueueDepth: *queue,
-		Compiled:   *compiled,
 		OnDecision: func(o fuzzyho.ServeOutcome) {
 			r := rings[int(o.Terminal)]
 			t0 := r.slots[o.Seq%ringSize]
 			lat.Observe(time.Duration(nowNanos() - t0))
 			r.completed.Store(o.Seq + 1)
 		},
-	})
+	}
+	factory, err := fuzzyho.ServeAlgorithmFactory(*algo, *compiled)
+	if err != nil {
+		fatal(err)
+	}
+	if factory != nil {
+		cfg.AlgorithmFactory = factory
+	} else {
+		cfg.Compiled = *compiled
+	}
+	engine, err := fuzzyho.NewServeEngine(cfg)
 	if err != nil {
 		fatal(err)
 	}

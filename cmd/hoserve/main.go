@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/handover"
 	"repro/internal/serve"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		window    = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
 		listen    = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
 		statsSec  = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
+		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
 		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 	)
@@ -73,13 +75,22 @@ func main() {
 	}
 
 	router := newDecisionRouter()
-	engine, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Shards:           *shards,
 		QueueDepth:       *queue,
 		PingPongWindowKm: *window,
-		Compiled:         *compiled,
 		OnDecision:       router.route,
-	})
+	}
+	factory, err := handover.AlgorithmFactoryFor(*algo, *compiled)
+	if err != nil {
+		fatal(err)
+	}
+	if factory != nil {
+		cfg.AlgorithmFactory = factory
+	} else {
+		cfg.Compiled = *compiled
+	}
+	engine, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}

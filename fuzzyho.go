@@ -258,6 +258,20 @@ type (
 	SIRThreshold = handover.SIRThreshold
 	// AdaptiveFuzzy is the speed-adaptive extension of the paper controller.
 	AdaptiveFuzzy = handover.AdaptiveFuzzy
+	// BatchScorer is the optional Algorithm extension behind the serve
+	// layer's columnar batch pipeline: stateless stages (gate, FLC score,
+	// speed-adaptive threshold) scored for whole report columns at once.
+	BatchScorer = handover.BatchScorer
+	// ScoreStatus classifies one row of a BatchScorer.ScoreBatch result.
+	ScoreStatus = handover.ScoreStatus
+)
+
+// ScoreBatch row statuses (re-exported).
+const (
+	ScoreGated          = handover.ScoreGated
+	ScoreEvaluated      = handover.ScoreEvaluated
+	ScoreError          = handover.ScoreError
+	ScoreBelowThreshold = handover.ScoreBelowThreshold
 )
 
 // NewCompiledFuzzyAlgorithm returns the paper's controller on the shared
@@ -277,6 +291,20 @@ func NewHysteresisTTT(marginDB float64, epochs int) *HysteresisTTT {
 
 // NewAdaptiveFuzzy returns the speed-adaptive fuzzy controller extension.
 func NewAdaptiveFuzzy() *AdaptiveFuzzy { return handover.NewAdaptiveFuzzy() }
+
+// NewCompiledAdaptiveFuzzy returns the speed-adaptive extension on the
+// process-wide compiled control surface — serve engines built with an
+// AlgorithmFactory returning it decide through the columnar pipeline at
+// compiled-kernel speed.
+func NewCompiledAdaptiveFuzzy() (*AdaptiveFuzzy, error) { return handover.NewCompiledAdaptiveFuzzy() }
+
+// ServeAlgorithmFactory resolves an algorithm selector ("fuzzy",
+// "adaptive") into a ServeConfig.AlgorithmFactory; a nil factory with nil
+// error means the engine's default algorithm should be used, honoring
+// ServeConfig.Compiled.  See handover.AlgorithmFactoryFor.
+func ServeAlgorithmFactory(name string, compiled bool) (func() Algorithm, error) {
+	return handover.AlgorithmFactoryFor(name, compiled)
+}
 
 // Streaming serve layer: the sharded decision engine that owns
 // per-terminal state across streamed measurement reports.

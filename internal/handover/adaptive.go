@@ -20,6 +20,12 @@ import (
 // This is an extension beyond the paper (its future-work section asks for
 // algorithm comparisons; this is the natural next step the comparison
 // suggests), evaluated in BenchmarkAblationAdaptiveThreshold.
+//
+// AdaptiveFuzzy also implements BatchScorer, so serve shards drive it
+// through the columnar decision pipeline: the POTLC gate, the FLC score
+// and the speed-adaptive threshold comparison are all row-stateless, so
+// ScoreBatch settles everything but the PRTLC history stage — the speed
+// column is what lets the threshold schedule run in batch.
 type AdaptiveFuzzy struct {
 	flc     *core.FLC
 	scratch *fuzzy.Scratch
@@ -31,6 +37,9 @@ type AdaptiveFuzzy struct {
 	MinThreshold float64
 	// qualityGateDB mirrors the POTLC gate of the core controller.
 	qualityGateDB float64
+	// gather holds the dense batch-path buffers (pure per-call scratch;
+	// Reset keeps it, see the Fuzzy.gather rationale).
+	gather batchGather
 }
 
 // DefaultAdaptiveSlope is the per-km/h threshold reduction that offsets the
@@ -41,8 +50,51 @@ const DefaultAdaptiveSlope = 0.0034
 // NewAdaptiveFuzzy returns the speed-adaptive controller with default
 // calibration.
 func NewAdaptiveFuzzy() *AdaptiveFuzzy {
+	return newAdaptiveFuzzy(core.NewFLC())
+}
+
+// NewCompiledAdaptiveFuzzy returns the speed-adaptive controller on the
+// process-wide compiled control surface (core.DefaultCompiledFLC) — the
+// same shared kernel the sim, serve and CLI compiled modes use for the
+// paper controller.
+func NewCompiledAdaptiveFuzzy() (*AdaptiveFuzzy, error) {
+	flc, err := core.DefaultCompiledFLC()
+	if err != nil {
+		return nil, err
+	}
+	return newAdaptiveFuzzy(flc), nil
+}
+
+// AlgorithmFactoryFor resolves an algorithm selector (the -algo flag of
+// the serve CLIs) into a serve-layer algorithm factory.  "fuzzy" (or "")
+// returns a nil factory: the caller should use the engine's default
+// algorithm, which honors the engine's own compiled flag.  "adaptive"
+// returns a factory for the speed-adaptive extension — on the shared
+// compiled kernel when compiled is set, with the compile verified once up
+// front so the factory itself cannot fail.
+func AlgorithmFactoryFor(name string, compiled bool) (func() Algorithm, error) {
+	switch name {
+	case "fuzzy", "":
+		return nil, nil
+	case "adaptive":
+		if compiled {
+			if _, err := NewCompiledAdaptiveFuzzy(); err != nil {
+				return nil, err
+			}
+			return func() Algorithm {
+				a, _ := NewCompiledAdaptiveFuzzy() // compile already succeeded above
+				return a
+			}, nil
+		}
+		return func() Algorithm { return NewAdaptiveFuzzy() }, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want fuzzy or adaptive)", name)
+	}
+}
+
+func newAdaptiveFuzzy(flc *core.FLC) *AdaptiveFuzzy {
 	return &AdaptiveFuzzy{
-		flc:           core.NewFLC(),
+		flc:           flc,
 		BaseThreshold: core.DefaultHandoverThreshold,
 		SlopePerKmh:   DefaultAdaptiveSlope,
 		MinThreshold:  0.5,
@@ -75,12 +127,58 @@ func (a *AdaptiveFuzzy) Decide(m cell.Measurement, prevServingDB float64, havePr
 	if err != nil {
 		return Decision{}, fmt.Errorf("handover: adaptive FLC: %w", err)
 	}
-	th := a.Threshold(m.SpeedKmh)
-	if hd <= th {
-		return Decision{Score: hd, Scored: true, Reason: fmt.Sprintf("below adaptive threshold %.3f", th)}, nil
+	return a.complete(&m, prevServingDB, havePrev, hd, hd <= a.Threshold(m.SpeedKmh)), nil
+}
+
+// complete finishes the pipeline from a computed score: the threshold
+// verdict is passed in so the batch path (which settles it per column row)
+// and the scalar path share one PRTLC implementation.
+func (a *AdaptiveFuzzy) complete(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, below bool) Decision {
+	if below {
+		// Static reason string: the serving hot path delivers one of
+		// these per sub-threshold decision, and the effective threshold
+		// is recomputable as Threshold(m.SpeedKmh).
+		return Decision{Score: hd, Scored: true, Reason: "below-adaptive-threshold"}
 	}
 	if !havePrev || m.ServingDB >= prevServingDB {
-		return Decision{Score: hd, Scored: true, Reason: "PRTLC-confirmation"}, nil
+		return Decision{Score: hd, Scored: true, Reason: "PRTLC-confirmation"}
 	}
-	return Decision{Handover: true, Score: hd, Scored: true, Reason: "execute-handover"}, nil
+	return Decision{Handover: true, Score: hd, Scored: true, Reason: "execute-handover"}
+}
+
+// ScoreBatch implements BatchScorer.  Beyond the shared gate + FLC stage,
+// the speed-adaptive threshold comparison is itself row-stateless — it
+// depends only on the row's score and speed — so it is settled here:
+// evaluated rows at or below the row's adaptive threshold come back as
+// ScoreBelowThreshold and only the PRTLC history comparison is left for
+// DecideScored.
+func (a *AdaptiveFuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
+	if err := checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd, status); err != nil {
+		return err
+	}
+	if err := a.gather.score(a.flc, a.qualityGateDB, servingDB, csspDB, ssnDB, dmbNorm, hd, status); err != nil {
+		return err
+	}
+	for i := range status {
+		if status[i] == ScoreEvaluated && hd[i] <= a.Threshold(speedKmh[i]) {
+			status[i] = ScoreBelowThreshold
+		}
+	}
+	return nil
+}
+
+// DecideScored implements BatchScorer: it completes the adaptive pipeline
+// for one report from its precomputed score and threshold verdict,
+// producing exactly the decision Decide would for the same measurement.
+func (a *AdaptiveFuzzy) DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error) {
+	switch st {
+	case ScoreGated:
+		return Decision{Reason: "POTLC-quality-gate"}, nil
+	case ScoreError:
+		// Mirrors the Decide error wrapping so errors.Is behaves
+		// identically on both paths (NaN inputs are clamped before
+		// evaluation, so only a no-rule-fired ablation NaNs a score).
+		return Decision{}, fmt.Errorf("handover: adaptive FLC: %w", fuzzy.ErrNoActivation)
+	}
+	return a.complete(m, prevServingDB, havePrev, hd, st == ScoreBelowThreshold), nil
 }

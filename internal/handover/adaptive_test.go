@@ -108,6 +108,24 @@ func TestAdaptiveQualityGate(t *testing.T) {
 	adaptive.Reset() // no-op
 }
 
+func TestAlgorithmFactoryFor(t *testing.T) {
+	if f, err := AlgorithmFactoryFor("fuzzy", true); err != nil || f != nil {
+		t.Errorf("fuzzy: (non-nil=%v, %v), want nil factory (engine default)", f != nil, err)
+	}
+	for _, compiled := range []bool{false, true} {
+		f, err := AlgorithmFactoryFor("adaptive", compiled)
+		if err != nil || f == nil {
+			t.Fatalf("adaptive compiled=%v: (non-nil=%v, %v)", compiled, f != nil, err)
+		}
+		if _, ok := f().(*AdaptiveFuzzy); !ok {
+			t.Errorf("adaptive compiled=%v: factory built %T", compiled, f())
+		}
+	}
+	if _, err := AlgorithmFactoryFor("bogus", false); err == nil {
+		t.Error("unknown selector accepted")
+	}
+}
+
 func TestSIRThresholdBaseline(t *testing.T) {
 	s := SIRThreshold{ThresholdDB: 3, MarginDB: 0}
 	// Strong SIR: stay.

@@ -61,6 +61,13 @@ const (
 	// ScoreError: the FLC could not score the report (no rule fired on an
 	// ablated rulebase); DecideScored reproduces the per-report error.
 	ScoreError
+	// ScoreBelowThreshold: the FLC scored the report and the scorer's
+	// threshold stage — which may depend on the row's speed column —
+	// already settled it as no-handover; hd carries the score.  Emitted
+	// by scorers whose threshold is row-stateless (AdaptiveFuzzy); the
+	// paper's fixed-threshold controller folds the comparison into
+	// DecideScored instead.
+	ScoreBelowThreshold
 )
 
 // BatchScorer is the optional Algorithm extension behind the columnar
@@ -76,12 +83,19 @@ type BatchScorer interface {
 	Algorithm
 	// ScoreBatch scores measurement columns: for every i, either
 	// status[i] = ScoreGated (gate settled it), or ScoreEvaluated with
-	// hd[i] the FLC output, or ScoreError.  All slices must share one
-	// length.  Steady state performs no heap allocations.
-	ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error
+	// hd[i] the FLC output, or ScoreBelowThreshold with hd[i] the score
+	// a row-stateless threshold stage already rejected, or ScoreError.
+	// speedKmh carries each report's terminal speed so speed-adaptive
+	// scorers can batch their threshold schedule.  All slices must share
+	// one length.  Steady state performs no heap allocations.
+	ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error
 	// DecideScored completes one report's decision from its precomputed
 	// score, equivalent to Decide on the same measurement and history.
-	DecideScored(m cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error)
+	// The measurement is passed by pointer — the batch completion loop
+	// runs once per report and a Measurement is ~100 bytes — and is not
+	// retained.  The caller must have scored columns taken from the same
+	// measurements it completes against (serve shards do).
+	DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error)
 }
 
 // Fuzzy adapts the paper's core.Controller to the Algorithm interface.
@@ -98,11 +112,57 @@ type BatchScorer interface {
 type Fuzzy struct {
 	ctrl    *core.Controller
 	scratch *fuzzy.Scratch
-	// Dense gather buffers of the batch path: rows the gate does not
-	// settle, packed for FLC.EvaluateBatch.  Pure per-call scratch (fully
-	// rewritten by each ScoreBatch), so Reset keeps them.
-	bIdx                   []int32
-	bCssp, bSsn, bDmb, bHD []float64
+	// gather holds the dense batch-path buffers.  Pure per-call scratch
+	// (fully rewritten by each ScoreBatch), so Reset keeps it.
+	gather batchGather
+}
+
+// batchGather is the shared column-scoring stage of the BatchScorer
+// implementations: the POTLC gate settles what it can, the surviving rows
+// are packed into dense columns and scored through FLC.EvaluateBatch in
+// one call.  The buffers are pure per-call scratch — fully rewritten by
+// each score — so keeping them across calls is what makes the steady
+// state allocation-free.
+type batchGather struct {
+	idx                []int32
+	cssp, ssn, dmb, hd []float64
+}
+
+// score fills hd/status for every row: ScoreGated where servingDB clears
+// gateDB, otherwise ScoreEvaluated with the FLC output or ScoreError for
+// rows the engine could not score.  Columns must already be length-checked.
+func (g *batchGather) score(flc *core.FLC, gateDB float64, servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error {
+	g.idx = g.idx[:0]
+	g.cssp, g.ssn, g.dmb = g.cssp[:0], g.ssn[:0], g.dmb[:0]
+	for i := range servingDB {
+		if servingDB[i] >= gateDB {
+			status[i] = ScoreGated
+			continue
+		}
+		g.idx = append(g.idx, int32(i))
+		g.cssp = append(g.cssp, csspDB[i])
+		g.ssn = append(g.ssn, ssnDB[i])
+		g.dmb = append(g.dmb, dmbNorm[i])
+	}
+	if len(g.idx) == 0 {
+		return nil
+	}
+	if cap(g.hd) < len(g.idx) {
+		g.hd = make([]float64, len(g.idx))
+	}
+	g.hd = g.hd[:len(g.idx)]
+	if err := flc.EvaluateBatch(g.hd, g.cssp, g.ssn, g.dmb); err != nil {
+		return err
+	}
+	for k, i := range g.idx {
+		if v := g.hd[k]; v == v {
+			hd[i] = v
+			status[i] = ScoreEvaluated
+		} else {
+			status[i] = ScoreError // NaN marks a row the FLC could not score
+		}
+	}
+	return nil
 }
 
 // NewFuzzy wraps the given controller; nil uses the paper's defaults.
@@ -161,53 +221,33 @@ func (f *Fuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool)
 	}, nil
 }
 
-// ScoreBatch implements BatchScorer: the POTLC gate settles what it can,
-// everything else is packed into dense columns and scored through
-// FLC.EvaluateBatch in one call.
-func (f *Fuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error {
+// checkColumns validates the shared-length contract of ScoreBatch.
+func checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
 	n := len(servingDB)
-	if len(csspDB) != n || len(ssnDB) != n || len(dmbNorm) != n || len(hd) != n || len(status) != n {
-		return fmt.Errorf("handover: ScoreBatch column lengths %d/%d/%d/%d/%d ≠ %d",
-			len(csspDB), len(ssnDB), len(dmbNorm), len(hd), len(status), n)
-	}
-	gate := f.ctrl.QualityGateDB()
-	f.bIdx = f.bIdx[:0]
-	f.bCssp, f.bSsn, f.bDmb = f.bCssp[:0], f.bSsn[:0], f.bDmb[:0]
-	for i := 0; i < n; i++ {
-		if servingDB[i] >= gate {
-			status[i] = ScoreGated
-			continue
-		}
-		f.bIdx = append(f.bIdx, int32(i))
-		f.bCssp = append(f.bCssp, csspDB[i])
-		f.bSsn = append(f.bSsn, ssnDB[i])
-		f.bDmb = append(f.bDmb, dmbNorm[i])
-	}
-	if len(f.bIdx) == 0 {
-		return nil
-	}
-	if cap(f.bHD) < len(f.bIdx) {
-		f.bHD = make([]float64, len(f.bIdx))
-	}
-	f.bHD = f.bHD[:len(f.bIdx)]
-	if err := f.ctrl.FLC().EvaluateBatch(f.bHD, f.bCssp, f.bSsn, f.bDmb); err != nil {
-		return err
-	}
-	for k, i := range f.bIdx {
-		if v := f.bHD[k]; v == v {
-			hd[i] = v
-			status[i] = ScoreEvaluated
-		} else {
-			status[i] = ScoreError // NaN marks a row the FLC could not score
-		}
+	if len(csspDB) != n || len(ssnDB) != n || len(dmbNorm) != n ||
+		len(speedKmh) != n || len(hd) != n || len(status) != n {
+		return fmt.Errorf("handover: ScoreBatch column lengths %d/%d/%d/%d/%d/%d ≠ %d",
+			len(csspDB), len(ssnDB), len(dmbNorm), len(speedKmh), len(hd), len(status), n)
 	}
 	return nil
+}
+
+// ScoreBatch implements BatchScorer: the POTLC gate settles what it can,
+// everything else is packed into dense columns and scored through
+// FLC.EvaluateBatch in one call.  The paper's threshold is
+// speed-independent, so the speed column only participates in the shape
+// check here.
+func (f *Fuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
+	if err := checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd, status); err != nil {
+		return err
+	}
+	return f.gather.score(f.ctrl.FLC(), f.ctrl.QualityGateDB(), servingDB, csspDB, ssnDB, dmbNorm, hd, status)
 }
 
 // DecideScored implements BatchScorer: it completes the Fig. 4 pipeline
 // for one report from its precomputed FLC score, producing exactly the
 // decision Decide would.
-func (f *Fuzzy) DecideScored(m cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error) {
+func (f *Fuzzy) DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error) {
 	switch st {
 	case ScoreGated:
 		return Decision{Reason: core.StageQualityGate.String()}, nil

@@ -10,7 +10,8 @@ import (
 )
 
 // randomMeasurements builds a stream of FLC-relevant measurements spanning
-// gated, scored and threshold-crossing regions.
+// gated, scored and threshold-crossing regions, with terminal speeds
+// across the paper's 0-50 km/h sweep (the adaptive scorer's axis).
 func randomMeasurements(n int, seed int64) []cell.Measurement {
 	rng := rand.New(rand.NewSource(seed))
 	ms := make([]cell.Measurement, n)
@@ -20,10 +21,23 @@ func randomMeasurements(n int, seed int64) []cell.Measurement {
 			CSSPdB:     -12 + rng.Float64()*24,
 			NeighborDB: -125 + rng.Float64()*50,
 			DMBNorm:    rng.Float64() * 1.6,
+			SpeedKmh:   float64(i%6) * 10,
 			WalkedKm:   float64(i) * 0.1,
 		}
 	}
 	return ms
+}
+
+// columns transposes measurements into the ScoreBatch input columns.
+func columns(ms []cell.Measurement) (serving, cssp, ssn, dmb, speed, hd []float64, status []ScoreStatus) {
+	n := len(ms)
+	serving, cssp, ssn, dmb = make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+	speed, hd = make([]float64, n), make([]float64, n)
+	status = make([]ScoreStatus, n)
+	for i, m := range ms {
+		serving[i], cssp[i], ssn[i], dmb[i], speed[i] = m.ServingDB, m.CSSPdB, m.NeighborDB, m.DMBNorm, m.SpeedKmh
+	}
+	return
 }
 
 // TestScoreBatchMatchesDecide drives the same measurement stream through
@@ -51,90 +65,146 @@ func TestScoreBatchMatchesDecide(t *testing.T) {
 		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			ms := randomMeasurements(512, 42)
-			seq := NewFuzzy(tc.mk())
-			bat := NewFuzzy(tc.mk())
+			checkScoredWalk(t, NewFuzzy(tc.mk()), NewFuzzy(tc.mk()), randomMeasurements(512, 42))
+		})
+	}
+}
 
-			serving := make([]float64, len(ms))
-			cssp := make([]float64, len(ms))
-			ssn := make([]float64, len(ms))
-			dmb := make([]float64, len(ms))
-			hd := make([]float64, len(ms))
-			status := make([]ScoreStatus, len(ms))
-			for i, m := range ms {
-				serving[i], cssp[i], ssn[i], dmb[i] = m.ServingDB, m.CSSPdB, m.NeighborDB, m.DMBNorm
-			}
-			if err := bat.ScoreBatch(serving, cssp, ssn, dmb, hd, status); err != nil {
+// checkScoredWalk scores a stream through bat's columnar path and walks
+// both decision paths with the same evolving history, requiring identical
+// decisions.
+func checkScoredWalk(t *testing.T, seq Algorithm, bat BatchScorer, ms []cell.Measurement) {
+	t.Helper()
+	serving, cssp, ssn, dmb, speed, hd, status := columns(ms)
+	if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
+		t.Fatal(err)
+	}
+	prevDB, havePrev := 0.0, false
+	for i, m := range ms {
+		want, err1 := seq.Decide(m, prevDB, havePrev)
+		got, err2 := bat.DecideScored(&ms[i], prevDB, havePrev, hd[i], status[i])
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("report %d: seq err %v, batch err %v", i, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got.Handover != want.Handover || got.Scored != want.Scored || got.Reason != want.Reason {
+			t.Fatalf("report %d: batch %+v ≠ sequential %+v", i, got, want)
+		}
+		if want.Scored && math.Abs(got.Score-want.Score) > 1e-9 {
+			t.Fatalf("report %d: batch score %g ≠ sequential %g", i, got.Score, want.Score)
+		}
+		if want.Handover {
+			prevDB, havePrev = m.ServingDB, false
+		} else {
+			prevDB, havePrev = m.ServingDB, true
+		}
+	}
+}
+
+// TestAdaptiveScoreBatchMatchesDecide is the adaptive controller's batch
+// equivalence pin: the speed column must reproduce the per-report
+// threshold schedule exactly, on both the exact and compiled FLC.
+func TestAdaptiveScoreBatchMatchesDecide(t *testing.T) {
+	mkCompiled := func(t *testing.T) *AdaptiveFuzzy {
+		a, err := NewCompiledAdaptiveFuzzy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func(t *testing.T) *AdaptiveFuzzy
+	}{
+		{"exact", func(*testing.T) *AdaptiveFuzzy { return NewAdaptiveFuzzy() }},
+		{"compiled", mkCompiled},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ms := randomMeasurements(512, 43)
+			checkScoredWalk(t, tc.mk(t), tc.mk(t), ms)
+
+			// The schedule must actually engage somewhere in the stream:
+			// at least one row settles as below-threshold at speed, and at
+			// least one survives to PRTLC.
+			serving, cssp, ssn, dmb, speed, hd, status := columns(ms)
+			bat := tc.mk(t)
+			if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
 				t.Fatal(err)
 			}
-
-			// Walk both paths with the same evolving history.
-			prevDB, havePrev := 0.0, false
-			for i, m := range ms {
-				want, err1 := seq.Decide(m, prevDB, havePrev)
-				got, err2 := bat.DecideScored(m, prevDB, havePrev, hd[i], status[i])
-				if (err1 == nil) != (err2 == nil) {
-					t.Fatalf("report %d: seq err %v, batch err %v", i, err1, err2)
+			var below, evaluated int
+			for _, st := range status {
+				switch st {
+				case ScoreBelowThreshold:
+					below++
+				case ScoreEvaluated:
+					evaluated++
 				}
-				if err1 != nil {
-					continue
-				}
-				if got.Handover != want.Handover || got.Scored != want.Scored || got.Reason != want.Reason {
-					t.Fatalf("report %d: batch %+v ≠ sequential %+v", i, got, want)
-				}
-				if want.Scored && math.Abs(got.Score-want.Score) > 1e-9 {
-					t.Fatalf("report %d: batch score %g ≠ sequential %g", i, got.Score, want.Score)
-				}
-				if want.Handover {
-					prevDB, havePrev = m.ServingDB, false
-				} else {
-					prevDB, havePrev = m.ServingDB, true
-				}
+			}
+			if below == 0 || evaluated == 0 {
+				t.Fatalf("threshold stage degenerate: %d below-threshold, %d evaluated rows", below, evaluated)
 			}
 		})
 	}
 }
 
-// TestScoreBatchShapes pins the column-length validation.
+// TestScoreBatchShapes pins the column-length validation, including the
+// speed column, on both BatchScorer implementations.
 func TestScoreBatchShapes(t *testing.T) {
-	f := NewFuzzy(nil)
-	if err := f.ScoreBatch(make([]float64, 3), make([]float64, 2), make([]float64, 3),
-		make([]float64, 3), make([]float64, 3), make([]ScoreStatus, 3)); err == nil {
-		t.Fatal("mismatched column lengths accepted")
+	for _, bat := range []BatchScorer{NewFuzzy(nil), NewAdaptiveFuzzy()} {
+		if err := bat.ScoreBatch(make([]float64, 3), make([]float64, 2), make([]float64, 3),
+			make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]ScoreStatus, 3)); err == nil {
+			t.Fatalf("%s: mismatched column lengths accepted", bat.Name())
+		}
+		if err := bat.ScoreBatch(make([]float64, 3), make([]float64, 3), make([]float64, 3),
+			make([]float64, 3), make([]float64, 2), make([]float64, 3), make([]ScoreStatus, 3)); err == nil {
+			t.Fatalf("%s: short speed column accepted", bat.Name())
+		}
 	}
 }
 
 // TestScoreBatchAllocationFree pins the steady-state allocation contract
-// of the columnar path.
+// of the columnar path for both BatchScorer implementations.
 func TestScoreBatchAllocationFree(t *testing.T) {
 	flc, err := core.DefaultCompiledFLC()
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := NewFuzzy(core.NewControllerWithConfig(core.ControllerConfig{FLC: flc}))
-	const n = 64
-	serving := make([]float64, n)
-	cssp := make([]float64, n)
-	ssn := make([]float64, n)
-	dmb := make([]float64, n)
-	hd := make([]float64, n)
-	status := make([]ScoreStatus, n)
-	for i := 0; i < n; i++ {
-		serving[i] = -95 + float64(i%8)
-		cssp[i] = -2 + float64(i%5)
-		ssn[i] = -100 + float64(i%9)
-		dmb[i] = 0.3 + float64(i%4)*0.25
-	}
-	// Warm the gather buffers.
-	if err := f.ScoreBatch(serving, cssp, ssn, dmb, hd, status); err != nil {
+	adaptive, err := NewCompiledAdaptiveFuzzy()
+	if err != nil {
 		t.Fatal(err)
 	}
-	allocs := testing.AllocsPerRun(50, func() {
-		if err := f.ScoreBatch(serving, cssp, ssn, dmb, hd, status); err != nil {
+	for _, bat := range []BatchScorer{
+		NewFuzzy(core.NewControllerWithConfig(core.ControllerConfig{FLC: flc})),
+		adaptive,
+	} {
+		const n = 64
+		serving := make([]float64, n)
+		cssp := make([]float64, n)
+		ssn := make([]float64, n)
+		dmb := make([]float64, n)
+		speed := make([]float64, n)
+		hd := make([]float64, n)
+		status := make([]ScoreStatus, n)
+		for i := 0; i < n; i++ {
+			serving[i] = -95 + float64(i%8)
+			cssp[i] = -2 + float64(i%5)
+			ssn[i] = -100 + float64(i%9)
+			dmb[i] = 0.3 + float64(i%4)*0.25
+			speed[i] = float64(i%6) * 10
+		}
+		// Warm the gather buffers.
+		if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Errorf("steady-state ScoreBatch allocates %g per call, want 0", allocs)
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state ScoreBatch allocates %g per call, want 0", bat.Name(), allocs)
+		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"repro/internal/handover"
 )
 
 // steadyBatch builds a batch cycling nTerminals terminals through
@@ -65,19 +67,37 @@ func TestSubmitBatchSteadyStateAllocs(t *testing.T) {
 }
 
 // TestServeSteadyStateBytesPerShardCount pins the byte side of the
-// steady-state contract at every shard count, in both decision modes: once
-// each shard's sub-batch buffer population exists (built lazily while the
-// queue first fills; see bufPool), ingest → decide → recycle must allocate
-// nothing, so per-op bytes cannot grow with the shard count.  Bytes are
-// measured from MemStats.TotalAlloc, which is monotonic and GC-independent.
+// steady-state contract at every shard count, in every decision mode
+// (exact, compiled, and the speed-adaptive extension on the compiled
+// kernel): once each shard's sub-batch buffer population exists (built
+// lazily while the queue first fills; see bufPool), ingest → decide →
+// recycle must allocate nothing, so per-op bytes cannot grow with the
+// shard count.  Bytes are measured from MemStats.TotalAlloc, which is
+// monotonic and GC-independent.
 func TestServeSteadyStateBytesPerShardCount(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; the regression runs in the non-race job")
 	}
-	for _, compiled := range []bool{false, true} {
+	modes := []struct {
+		name string
+		cfg  Config
+	}{
+		{"exact", Config{}},
+		{"compiled", Config{Compiled: true}},
+		{"adaptive", Config{AlgorithmFactory: func() handover.Algorithm {
+			a, err := handover.NewCompiledAdaptiveFuzzy()
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}}},
+	}
+	for _, mode := range modes {
 		for _, shards := range []int{1, 2, 4, 8} {
-			t.Run(fmt.Sprintf("compiled=%v/shards=%d", compiled, shards), func(t *testing.T) {
-				e, err := New(Config{Shards: shards, QueueDepth: 64, Compiled: compiled})
+			t.Run(fmt.Sprintf("%s/shards=%d", mode.name, shards), func(t *testing.T) {
+				cfg := mode.cfg
+				cfg.Shards, cfg.QueueDepth = shards, 64
+				e, err := New(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/handover"
 )
 
 // benchQueueDepth is the per-shard queue bound of the serve benchmarks:
@@ -15,7 +17,12 @@ const benchQueueDepth = 256
 // benchEngine builds and starts an engine with the given shard count.
 func benchEngine(b *testing.B, shards int, compiled bool) *Engine {
 	b.Helper()
-	e, err := New(Config{Shards: shards, QueueDepth: benchQueueDepth, Compiled: compiled})
+	return benchEngineCfg(b, Config{Shards: shards, QueueDepth: benchQueueDepth, Compiled: compiled})
+}
+
+func benchEngineCfg(b *testing.B, cfg Config) *Engine {
+	b.Helper()
+	e, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -77,12 +84,11 @@ func submitterBatches(submitters, batchLen, terminals int) [][]Report {
 	return out
 }
 
-// benchServeShards is the body shared by the exact and compiled shard
-// scaling benchmarks: 4 submitter goroutines feed every configuration so
-// ingest is never the bottleneck, and the warm-up builds the full buffer
-// population so the timed region is true steady state.
-func benchServeShards(b *testing.B, shards int, compiled bool) {
-	e := benchEngine(b, shards, compiled)
+// benchServeShards is the body shared by the shard scaling benchmarks
+// (exact, compiled and adaptive): 4 submitter goroutines feed every
+// configuration so ingest is never the bottleneck, and the warm-up builds
+// the full buffer population so the timed region is true steady state.
+func benchServeShards(b *testing.B, e *Engine) {
 	batches := submitterBatches(4, 512, 256)
 	warmEngine(b, e, batches)
 	before := e.Stats().Totals().Decisions
@@ -99,7 +105,7 @@ func benchServeShards(b *testing.B, shards int, compiled bool) {
 func BenchmarkServeShards(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchServeShards(b, shards, false)
+			benchServeShards(b, benchEngine(b, shards, false))
 		})
 	}
 }
@@ -110,7 +116,28 @@ func BenchmarkServeShards(b *testing.B) {
 func BenchmarkServeCompiled(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchServeShards(b, shards, true)
+			benchServeShards(b, benchEngine(b, shards, true))
+		})
+	}
+}
+
+// BenchmarkServeAdaptive serves the speed-adaptive extension on the
+// compiled kernel through the columnar pipeline — the third decision mode
+// the bench-smoke gate tracks.
+func BenchmarkServeAdaptive(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := benchEngineCfg(b, Config{
+				Shards: shards, QueueDepth: benchQueueDepth,
+				AlgorithmFactory: func() handover.Algorithm {
+					a, err := handover.NewCompiledAdaptiveFuzzy()
+					if err != nil {
+						panic(err)
+					}
+					return a
+				},
+			})
+			benchServeShards(b, e)
 		})
 	}
 }

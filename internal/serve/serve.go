@@ -186,10 +186,10 @@ type Engine struct {
 // New validates the configuration and builds a stopped engine.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Shards < 0 {
-		return nil, fmt.Errorf("serve: shard count %d must be positive", cfg.Shards)
+		return nil, fmt.Errorf("serve: shard count %d must be non-negative (0 selects GOMAXPROCS)", cfg.Shards)
 	}
 	if cfg.QueueDepth < 0 {
-		return nil, fmt.Errorf("serve: queue depth %d must be positive", cfg.QueueDepth)
+		return nil, fmt.Errorf("serve: queue depth %d must be non-negative (0 selects the default %d)", cfg.QueueDepth, DefaultQueueDepth)
 	}
 	if cfg.PingPongWindowKm < 0 {
 		return nil, fmt.Errorf("serve: ping-pong window %g km must be non-negative", cfg.PingPongWindowKm)
@@ -231,7 +231,7 @@ func New(cfg Config) (*Engine, error) {
 			id:         i,
 			in:         make(chan *[]Report, depth),
 			free:       make(chan *[]Report, depth+16),
-			terminals:  make(map[TerminalID]*terminal),
+			store:      newTerminalStore(),
 			window:     window,
 			onDecision: cfg.OnDecision,
 		}
@@ -348,14 +348,15 @@ func (e *Engine) SubmitBatch(rs []Report) error {
 	default:
 		staging = make([]*[]Report, len(e.shards))
 	}
-	for _, r := range rs {
+	for i := range rs {
+		r := &rs[i] // by reference: a Report is ~112 bytes, copy it once (into the sub-batch)
 		idx := e.ShardOf(r.Terminal)
 		buf := staging[idx]
 		if buf == nil {
 			buf = e.shards[idx].getBuf()
 			staging[idx] = buf
 		}
-		*buf = append(*buf, r)
+		*buf = append(*buf, *r)
 		if len(*buf) == maxSubBatch {
 			staging[idx] = nil
 			e.send(e.shards[idx], buf)
@@ -385,12 +386,16 @@ func (e *Engine) TrySubmit(r Report) error {
 	s := e.shards[e.ShardOf(r.Terminal)]
 	buf := s.getBuf()
 	*buf = append(*buf, r)
+	// Account before the enqueue, as send does: once the report is in the
+	// queue the shard may decide it immediately, and a submitted counter
+	// that lags the send lets Stats/Flush observe processed > submitted.
+	s.submitted.Add(1)
 	select {
 	case s.in <- buf:
-		s.submitted.Add(1)
 		return nil
 	default:
-		s.putBuf(buf)
+		s.submitted.Add(^uint64(0)) // roll back the optimistic accounting
+		s.putBuf(buf)               // recycle: the buffer never reached the queue
 		return ErrBacklogged
 	}
 }
@@ -401,6 +406,12 @@ func (e *Engine) Flush() {
 	for _, s := range e.shards {
 		target := s.submitted.Load()
 		for i := 0; s.processed.Load() < target; i++ {
+			// The target may include a TrySubmit that lost its enqueue
+			// race and rolled back; chase submitted downward so Flush
+			// never waits on a report that was never queued.
+			if cur := s.submitted.Load(); cur < target {
+				target = cur
+			}
 			if i < 256 {
 				runtime.Gosched()
 			} else {

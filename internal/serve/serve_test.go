@@ -2,11 +2,14 @@ package serve
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cell"
+	"repro/internal/handover"
 	"repro/internal/hexgrid"
 )
 
@@ -31,21 +34,60 @@ func flcMeas(id TerminalID) Report {
 }
 
 func TestConfigValidation(t *testing.T) {
-	for _, cfg := range []Config{
-		{Shards: -1},
-		{QueueDepth: -5},
-		{PingPongWindowKm: -1},
+	// Every validated field distinguishes zero (select a default) from
+	// negative (reject): the diagnostics must say "non-negative", not
+	// demand a positive value the zero default would then violate.
+	for _, tc := range []struct {
+		name    string
+		cfg     Config
+		wantErr string // empty: the config must be accepted
+	}{
+		{"negative shards", Config{Shards: -1}, "non-negative"},
+		{"zero shards selects default", Config{Shards: 0}, ""},
+		{"negative queue depth", Config{QueueDepth: -5}, "non-negative"},
+		{"zero queue depth selects default", Config{QueueDepth: 0}, ""},
+		{"negative ping-pong window", Config{PingPongWindowKm: -1}, "non-negative"},
+		{"zero ping-pong window selects default", Config{PingPongWindowKm: 0}, ""},
 	} {
-		if _, err := New(cfg); err == nil {
-			t.Errorf("config %+v accepted", cfg)
-		}
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := New(tc.cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("config %+v rejected: %v", tc.cfg, err)
+				}
+				if e.NumShards() < 1 {
+					t.Errorf("shard count %d after defaulting", e.NumShards())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
-	e, err := New(Config{})
+}
+
+// TestStartAfterStop: a stopped engine cannot be restarted; Start must
+// fail with ErrNotRunning rather than panic on the closed queues.
+func TestStartAfterStop(t *testing.T) {
+	e, err := New(Config{Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e.NumShards() < 1 {
-		t.Errorf("default shard count %d", e.NumShards())
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Start after Stop: %v, want ErrNotRunning", err)
+	}
+	if err := e.Submit(gateMeas(1)); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Submit after failed restart: %v, want ErrNotRunning", err)
 	}
 }
 
@@ -193,6 +235,253 @@ func TestExternalReattachment(t *testing.T) {
 	tot := e.Stats().Totals()
 	if tot.Terminals != 1 || tot.Handovers != 0 || tot.Errors != 0 {
 		t.Errorf("totals %+v", tot)
+	}
+}
+
+// TestTrySubmitAccountingInvariant: the submitted counter is advanced
+// before the enqueue (and rolled back on ErrBacklogged), so no snapshot —
+// however unluckily timed against a fast shard — can observe
+// processed > submitted.
+func TestTrySubmitAccountingInvariant(t *testing.T) {
+	e, err := New(Config{Shards: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := e.TrySubmit(flcMeas(TerminalID(w*64 + i%64)))
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrBacklogged):
+					// expected under load: the rollback path
+				default:
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Sample the invariant while the submitters hammer the small queues.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, s := range e.shards {
+			submitted := s.submitted.Load()
+			processed := s.processed.Load()
+			// processed is read second: it can only have grown since the
+			// submitted read, so processed > submitted here proves the
+			// ordering bug, not snapshot skew.
+			if processed > submitted {
+				close(stop)
+				t.Fatalf("shard %d: processed %d > submitted %d", s.id, processed, submitted)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Flush must terminate even though rolled-back TrySubmits briefly
+	// over-accounted, and the final ledger must balance exactly.
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Totals().Decisions; got != accepted.Load() {
+		t.Errorf("decisions %d ≠ accepted TrySubmits %d", got, accepted.Load())
+	}
+}
+
+// TestTrySubmitBackloggedRecyclesBuffer: the fail-fast path must return
+// its staged sub-batch buffer to the shard's free list — a TrySubmit
+// storm against a backlogged shard may not grow (or leak) the buffer
+// population.
+func TestTrySubmitBackloggedRecyclesBuffer(t *testing.T) {
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once atomic.Bool
+	e, err := New(Config{Shards: 1, QueueDepth: 2, OnDecision: func(Outcome) {
+		if once.CompareAndSwap(false, true) {
+			close(first)
+		}
+		<-release
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One report stalls in the callback; two more fill the queue.
+	for i := 0; i < 3; i++ {
+		if err := e.Submit(gateMeas(TerminalID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-first
+
+	s := e.shards[0]
+	// Warm: the first failure may mint a fresh buffer and recycle it.
+	if err := e.TrySubmit(gateMeas(9)); !errors.Is(err, ErrBacklogged) {
+		t.Fatalf("TrySubmit on full queue: %v", err)
+	}
+	freeBefore := len(s.free)
+	for i := 0; i < 100; i++ {
+		if err := e.TrySubmit(gateMeas(9)); !errors.Is(err, ErrBacklogged) {
+			t.Fatalf("TrySubmit %d on full queue: %v", i, err)
+		}
+	}
+	if got := len(s.free); got != freeBefore {
+		t.Errorf("free list went %d → %d across 100 backlogged TrySubmits; buffers leaked or hoarded", freeBefore, got)
+	}
+
+	close(release)
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Totals().Decisions; got != 3 {
+		t.Errorf("decisions = %d, want 3 (every backlogged TrySubmit rolled back)", got)
+	}
+}
+
+// crossingMeas is an epoch whose FLC score clears the paper's 0.7
+// threshold (degrading serving power, strong distant neighbor), so the
+// verdict is settled by the PRTLC history stage — the epoch shape that
+// exposes history-handling bugs.  Callers pick serving cell and power.
+func crossingMeas(id TerminalID, serving hexgrid.Cell, servingDB float64) Report {
+	return Report{Terminal: id, Meas: cell.Measurement{
+		Serving:   serving,
+		Neighbor:  hexgrid.Cell{I: serving.I + 1, J: serving.J},
+		ServingDB: servingDB, NeighborDB: -93.7, CSSPdB: -3.5, DMBNorm: 1.2,
+	}}
+}
+
+// TestExternalReattachmentColumnar drives the reattachment correction
+// through the columnar batch pipeline with a stream where the correction
+// is decision-visible: without the history restart, the falling serving
+// power of the reattached terminal would read as a confirmed degradation
+// and execute a handover.
+func TestExternalReattachmentColumnar(t *testing.T) {
+	r1 := crossingMeas(1, hexgrid.Cell{I: 0, J: 0}, -90)
+	r2 := crossingMeas(1, hexgrid.Cell{I: 2, J: 0}, -95) // reattached elsewhere, power falling
+	r2.Meas.WalkedKm = 0.1
+
+	// Precondition: with the stale history kept, r2 would hand over.
+	if dec, err := handover.NewFuzzy(nil).Decide(r2.Meas, r1.Meas.ServingDB, true); err != nil || !dec.Handover {
+		t.Fatalf("precondition: r2 with stale history → (%+v, %v), want an executed handover", dec, err)
+	}
+
+	var outs []Outcome
+	e, err := New(Config{Shards: 1, OnDecision: func(o Outcome) { outs = append(outs, o) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.shards[0].scorer == nil {
+		t.Fatal("default engine lost its BatchScorer; the test would not cover the columnar path")
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One SubmitBatch of two reports for one shard: a single sub-batch of
+	// length 2, which run() routes through processColumnar.
+	if err := e.SubmitBatch([]Report{r1, r2}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	if outs[1].Executed || outs[1].Decision.Handover {
+		t.Fatalf("columnar path executed a handover on reattachment: %+v", outs[1])
+	}
+	if outs[1].Decision.Reason != "PRTLC-confirmation" {
+		t.Errorf("post-reattachment stage %q, want PRTLC-confirmation (history restarted)", outs[1].Decision.Reason)
+	}
+}
+
+// TestCommitRestartsHistoryAfterHandover pins the post-handover PRTLC
+// sequence against the sim path's history semantics (Measurer.Handover:
+// an executed handover invalidates the previous-epoch power; the next
+// no-handover epoch re-seeds it from its own measurement).  The engine
+// must reproduce the per-report reference walk epoch by epoch — in
+// particular, the epoch right after a handover must settle as
+// PRTLC-confirmation even though its power is lower than anything seen
+// before the handover.
+func TestCommitRestartsHistoryAfterHandover(t *testing.T) {
+	cellA := hexgrid.Cell{I: 0, J: 0}
+	// crossingMeas hands over to serving.I+1, so the stream tracks the
+	// attachment the engine commits.
+	cellB := hexgrid.Cell{I: 1, J: 0}
+	reports := []Report{
+		crossingMeas(1, cellA, -90),  // no history yet → PRTLC-confirmation
+		crossingMeas(1, cellA, -95),  // falling vs −90 → execute-handover
+		crossingMeas(1, cellB, -99),  // post-handover: history restarted → PRTLC-confirmation
+		crossingMeas(1, cellB, -101), // falling vs −99 → execute-handover
+	}
+	for i := range reports {
+		reports[i].Meas.WalkedKm = float64(i) * 0.1
+	}
+
+	// Per-report reference with the simulator's history rules.
+	ref := handover.NewFuzzy(nil)
+	prevDB, havePrev := 0.0, false
+	var want []bool
+	for _, r := range reports {
+		dec, err := ref.Decide(r.Meas, prevDB, havePrev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, dec.Handover)
+		prevDB, havePrev = r.Meas.ServingDB, !dec.Handover
+	}
+	if len(want) != 4 || want[0] || !want[1] || want[2] || !want[3] {
+		t.Fatalf("reference walk %v does not exercise the post-handover epochs (want [false true false true])", want)
+	}
+
+	var outs []Outcome
+	e, err := New(Config{Shards: 1, OnDecision: func(o Outcome) { outs = append(outs, o) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("epoch %d: %v", i, o.Err)
+		}
+		if o.Executed != want[i] {
+			t.Errorf("epoch %d: executed %v, reference %v", i, o.Executed, want[i])
+		}
+	}
+	if outs[2].Decision.Reason != "PRTLC-confirmation" {
+		t.Errorf("post-handover epoch stage %q, want PRTLC-confirmation", outs[2].Decision.Reason)
 	}
 }
 

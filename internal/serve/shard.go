@@ -76,13 +76,31 @@ func (t *terminal) observeHandover(from, to hexgrid.Cell, walkedKm, windowKm flo
 // cache lines so submitters and the shard goroutine do not false-share.
 type pad [64]byte
 
+// routeBuckets sizes the per-sub-batch dedup table of the batch router:
+// a power of two comfortably above maxSubBatch, so distinct terminals
+// rarely share a bucket.  The table is 128+64 bytes of int8 — it lives in
+// L1, which is the point: repeated terminals in a sub-batch resolve from
+// it instead of re-probing a store index that can span megabytes.
+const routeBuckets = 128
+
+// The grouping table indexes reports with int8 (-1 terminates chains), so
+// sub-batches must fit in its positive range; this fails to compile if
+// maxSubBatch ever outgrows it.
+const _ uint = 127 - maxSubBatch
+
 // batchCols is a shard's struct-of-arrays staging for the columnar
 // decision pipeline: a drained sub-batch's measurements laid out as
 // columns, scored in one BatchScorer call, decisions completed per row.
 // Sized once to maxSubBatch; reused for every sub-batch.
 type batchCols struct {
-	serving, cssp, ssn, dmb, hd []float64
-	status                      []handover.ScoreStatus
+	serving, cssp, ssn, dmb, speed, hd []float64
+	status                             []handover.ScoreStatus
+	// slots holds the sub-batch's resolved terminal state, one entry per
+	// report; head/next are the grouping table of routeBatch (bucket
+	// heads and chain links over report indexes, -1 terminated).
+	slots []*terminal
+	head  [routeBuckets]int8
+	next  [maxSubBatch]int8
 }
 
 func newBatchCols() *batchCols {
@@ -91,8 +109,10 @@ func newBatchCols() *batchCols {
 		cssp:    make([]float64, maxSubBatch),
 		ssn:     make([]float64, maxSubBatch),
 		dmb:     make([]float64, maxSubBatch),
+		speed:   make([]float64, maxSubBatch),
 		hd:      make([]float64, maxSubBatch),
 		status:  make([]handover.ScoreStatus, maxSubBatch),
+		slots:   make([]*terminal, maxSubBatch),
 	}
 }
 
@@ -109,7 +129,10 @@ type shard struct {
 	// shard → free list without touching the garbage collector.
 	free chan *[]Report
 
-	terminals map[TerminalID]*terminal
+	// store indexes the shard's terminal state: an open-addressing table
+	// over dense slabs (see terminalStore) whose pointers stay stable
+	// across growth.
+	store *terminalStore
 	// algo is the shared per-shard instance; newAlgo, when non-nil,
 	// builds per-terminal instances instead.
 	algo    handover.Algorithm
@@ -134,66 +157,121 @@ type shard struct {
 }
 
 // run drains the ingest queue until it is closed, returning emptied
-// sub-batch buffers to the free list for producers to refill.
+// sub-batch buffers to the free list for producers to refill.  processed
+// is advanced once per sub-batch — after every report in it is decided —
+// so the counter costs one atomic per channel message, not per report.
 func (s *shard) run() {
 	for batch := range s.in {
 		if s.scorer != nil && len(*batch) > 1 {
 			s.processColumnar(*batch)
 		} else {
-			for _, r := range *batch {
-				s.process(r)
+			for i := range *batch {
+				s.process(&(*batch)[i])
 			}
 		}
+		s.processed.Add(uint64(len(*batch)))
 		s.putBuf(batch)
 	}
 }
 
-// processColumnar serves one sub-batch through the columnar pipeline: the
+// processColumnar serves one sub-batch through the columnar pipeline:
+// routeBatch resolves every report's terminal slot up front, the
 // measurements are transposed into struct-of-arrays columns, the
-// stateless decision stages (POTLC gate, FLC score) run over the whole
-// batch in one BatchScorer call — through the compiled control surface's
+// stateless decision stages (POTLC gate, FLC score, and — for adaptive
+// scorers — the speed-dependent threshold) run over the whole batch in
+// one BatchScorer call — through the compiled control surface's
 // EvaluateBatch when the controller is compiled — and the stateful
-// remainder completes per report, in order, against each terminal's
-// history.  Per-terminal decision sequences are identical to the
-// per-report path because the batched stages depend only on the
-// measurement, never on terminal state.
+// remainder completes per report, in order, against each resolved slot.
+// Per-terminal decision sequences are identical to the per-report path
+// because the batched stages depend only on the measurement, never on
+// terminal state, and slot resolution has no decision-visible effect.
 func (s *shard) processColumnar(batch []Report) {
 	n := len(batch)
 	c := s.cols
-	for i, r := range batch {
-		c.serving[i] = r.Meas.ServingDB
-		c.cssp[i] = r.Meas.CSSPdB
-		c.ssn[i] = r.Meas.NeighborDB
-		c.dmb[i] = r.Meas.DMBNorm
+	s.routeBatch(batch)
+	for i := range batch {
+		m := &batch[i].Meas
+		c.serving[i] = m.ServingDB
+		c.cssp[i] = m.CSSPdB
+		c.ssn[i] = m.NeighborDB
+		c.dmb[i] = m.DMBNorm
+		c.speed[i] = m.SpeedKmh
 	}
-	if err := s.scorer.ScoreBatch(c.serving[:n], c.cssp[:n], c.ssn[:n], c.dmb[:n], c.hd[:n], c.status[:n]); err != nil {
+	if err := s.scorer.ScoreBatch(c.serving[:n], c.cssp[:n], c.ssn[:n], c.dmb[:n], c.speed[:n], c.hd[:n], c.status[:n]); err != nil {
 		// Shape errors cannot happen with shard-owned columns; fall back
 		// to the per-report path rather than dropping the sub-batch.
-		for _, r := range batch {
-			s.process(r)
+		for i := range batch {
+			s.process(&batch[i])
 		}
 		return
 	}
-	for i, r := range batch {
-		t := s.route(r)
-		dec, err := s.scorer.DecideScored(r.Meas, t.prevDB, t.havePrev, c.hd[i], c.status[i])
+	for i := range batch {
+		r := &batch[i]
+		t := c.slots[i]
+		s.observe(r, t)
+		dec, err := s.scorer.DecideScored(&r.Meas, t.prevDB, t.havePrev, c.hd[i], c.status[i])
 		s.commit(r, t, s.algo, dec, err)
 	}
 }
 
-// route finds (or creates) the terminal state for a report and applies the
-// external-reattachment correction.
-func (s *shard) route(r Report) *terminal {
-	t := s.terminals[r.Terminal]
-	if t == nil {
-		t = &terminal{}
-		if s.newAlgo != nil {
-			t.algo = s.newAlgo()
-			t.algo.Reset()
-		}
-		s.terminals[r.Terminal] = t
-		s.nTerminals.Add(1)
+// routeBatch resolves the terminal slot of every report in the sub-batch
+// in one pass, so the store index is probed once per distinct terminal
+// per sub-batch rather than once per report.  Repeats resolve from two
+// L1-resident shortcuts: a run of adjacent reports for one terminal
+// reuses the previous slot directly, and non-adjacent repeats (a
+// population cycling through the batch) hit a small hash-bucket grouping
+// table chained over the sub-batch's first occurrences.  Only the slot
+// pointers are resolved here — the reattachment correction and state
+// commits stay in the per-report completion loop, in report order, so
+// per-terminal sequences are untouched.
+func (s *shard) routeBatch(batch []Report) {
+	c := s.cols
+	for i := range c.head {
+		c.head[i] = -1
 	}
+	for i := range batch {
+		id := batch[i].Terminal
+		if i > 0 && batch[i-1].Terminal == id {
+			c.slots[i] = c.slots[i-1]
+			continue
+		}
+		h := mix64(uint64(id))
+		// Bucket on high hash bits: shard selection consumed the low
+		// ones, and within one shard those are correlated.
+		b := (h >> 32) & (routeBuckets - 1)
+		dup := false
+		for j := c.head[b]; j >= 0; j = c.next[j] {
+			if batch[j].Terminal == id {
+				c.slots[i] = c.slots[j]
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		t, created := s.store.acquire(id, h)
+		if created {
+			s.initTerminal(t)
+		}
+		c.slots[i] = t
+		c.next[i] = c.head[b]
+		c.head[b] = int8(i)
+	}
+}
+
+// initTerminal completes a freshly created (zero-valued) terminal slot.
+func (s *shard) initTerminal(t *terminal) {
+	if s.newAlgo != nil {
+		t.algo = s.newAlgo()
+		t.algo.Reset()
+	}
+	s.nTerminals.Add(1)
+}
+
+// observe applies the external-reattachment correction and records the
+// report's serving attachment.
+func (s *shard) observe(r *Report, t *terminal) {
 	if t.haveServing && r.Meas.Serving != t.serving {
 		// The radio side reattached the terminal without this engine
 		// deciding it (restart, external handover): the previous-epoch
@@ -207,12 +285,22 @@ func (s *shard) route(r Report) *terminal {
 		}
 	}
 	t.serving, t.haveServing = r.Meas.Serving, true
+}
+
+// route finds (or creates) the terminal state for a report and applies the
+// external-reattachment correction.
+func (s *shard) route(r *Report) *terminal {
+	t, created := s.store.acquire(r.Terminal, mix64(uint64(r.Terminal)))
+	if created {
+		s.initTerminal(t)
+	}
+	s.observe(r, t)
 	return t
 }
 
 // process serves one report on the per-report path: route, decide on the
 // fast path, commit.  Steady state (known terminal) allocates nothing.
-func (s *shard) process(r Report) {
+func (s *shard) process(r *Report) {
 	t := s.route(r)
 	algo := s.algo
 	if t.algo != nil {
@@ -224,8 +312,8 @@ func (s *shard) process(r Report) {
 
 // commit applies one decision to the terminal's state, updates counters
 // and delivers the outcome.
-func (s *shard) commit(r Report, t *terminal, algo handover.Algorithm, dec handover.Decision, err error) {
-	m := r.Meas
+func (s *shard) commit(r *Report, t *terminal, algo handover.Algorithm, dec handover.Decision, err error) {
+	m := &r.Meas
 	executed := false
 	pingPong := false
 	if err != nil {
@@ -241,10 +329,11 @@ func (s *shard) commit(r Report, t *terminal, algo handover.Algorithm, dec hando
 			s.pingpongs.Add(1)
 		}
 		// Commit: the terminal now serves from the neighbor, and — as in
-		// the simulator's Measurer.Handover — the power history restarts.
+		// the simulator's Measurer.Handover — the power history restarts:
+		// havePrev stays false until the next no-handover epoch seeds
+		// prevDB from its own measurement.
 		t.serving = m.Neighbor
 		t.havePrev = false
-		t.prevDB = m.ServingDB
 		algo.Reset()
 	}
 	if !executed {
@@ -256,7 +345,6 @@ func (s *shard) commit(r Report, t *terminal, algo handover.Algorithm, dec hando
 	}
 	seq := t.seq
 	t.seq++
-	s.processed.Add(1)
 	if s.onDecision != nil {
 		s.onDecision(Outcome{
 			Terminal: r.Terminal,

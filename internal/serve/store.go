@@ -1,0 +1,136 @@
+package serve
+
+// terminalStore is the shard's purpose-built replacement for a
+// map[TerminalID]*terminal: an open-addressing hash table over dense
+// terminal slabs, tuned for the serving loop's access pattern — lookups
+// dominate, inserts happen once per terminal, deletes never happen.
+//
+// Layout.  The index is two parallel power-of-two arrays: keys[i] holds
+// the terminal ID and refs[i] a 1-based reference into the slab arena
+// (0 marks an empty bucket, so the zero value needs no initialisation
+// sweep and TerminalID 0 stays a valid key).  Probing is linear from the
+// SplitMix64 hash of the ID — the finalizer decorrelates dense ID ranges,
+// so linear probing's cache-friendliness comes without its clustering
+// pathology.  Terminal state itself lives in fixed-size slabs
+// ([]terminal blocks): state of terminals created together is
+// cache-adjacent, and growth reallocates only the small index arrays —
+// slab entries never move, so *terminal pointers handed out by acquire
+// stay valid for the life of the store, which is what lets the batch
+// router resolve slots once and commit against them later.
+//
+// The store is single-writer by construction (only the owning shard
+// goroutine touches it) and never shrinks.
+type terminalStore struct {
+	keys []TerminalID
+	refs []uint32
+	mask uint64
+	// live is the number of occupied buckets (== terminals, no deletes);
+	// growAt is the occupancy that triggers the next index doubling.
+	live   int
+	growAt int
+	slabs  [][]terminal
+}
+
+const (
+	// storeMinBuckets sizes the initial index: small enough that an
+	// 8-shard engine serving a handful of terminals stays cheap, large
+	// enough that typical populations skip the first few doublings.
+	storeMinBuckets = 128
+	// slabBits sizes the terminal slabs (1<<slabBits terminals each):
+	// big enough to amortize slab allocation, small enough that a tiny
+	// shard does not commit megabytes up front.
+	slabBits = 9
+	slabSize = 1 << slabBits
+	slabMask = slabSize - 1
+)
+
+func newTerminalStore() *terminalStore {
+	return &terminalStore{
+		keys: make([]TerminalID, storeMinBuckets),
+		refs: make([]uint32, storeMinBuckets),
+		mask: storeMinBuckets - 1,
+		// 3/4 load factor keeps linear-probe runs short.
+		growAt: storeMinBuckets * 3 / 4,
+	}
+}
+
+// count returns the number of terminals in the store.
+func (ts *terminalStore) count() int { return ts.live }
+
+// at resolves a slab reference (0-based) to its terminal.
+func (ts *terminalStore) at(ref uint32) *terminal {
+	return &ts.slabs[ref>>slabBits][ref&slabMask]
+}
+
+// lookup returns the terminal for id, or nil if the store has never seen
+// it.  hashed is mix64(uint64(id)) — callers on the batch path already
+// have it.
+func (ts *terminalStore) lookup(id TerminalID, hashed uint64) *terminal {
+	i := hashed & ts.mask
+	for {
+		r := ts.refs[i]
+		if r == 0 {
+			return nil
+		}
+		if ts.keys[i] == id {
+			return ts.at(r - 1)
+		}
+		i = (i + 1) & ts.mask
+	}
+}
+
+// acquire returns the terminal for id, creating it zero-valued if absent;
+// created reports whether this call made it.  The returned pointer is
+// stable: index growth rehashes buckets, never moves slab entries.
+func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, created bool) {
+	i := hashed & ts.mask
+	for {
+		r := ts.refs[i]
+		if r == 0 {
+			break
+		}
+		if ts.keys[i] == id {
+			return ts.at(r - 1), false
+		}
+		i = (i + 1) & ts.mask
+	}
+	if ts.live >= ts.growAt {
+		ts.grow()
+		// Re-probe in the doubled index for the insertion bucket.
+		i = hashed & ts.mask
+		for ts.refs[i] != 0 {
+			i = (i + 1) & ts.mask
+		}
+	}
+	ref := uint32(ts.live)
+	if int(ref)>>slabBits == len(ts.slabs) {
+		ts.slabs = append(ts.slabs, make([]terminal, slabSize))
+	}
+	ts.keys[i] = id
+	ts.refs[i] = ref + 1
+	ts.live++
+	return ts.at(ref), true
+}
+
+// grow doubles the index and reinserts every occupied bucket.  Slab
+// entries are untouched.
+func (ts *terminalStore) grow() {
+	oldKeys, oldRefs := ts.keys, ts.refs
+	n := uint64(len(oldKeys)) * 2
+	ts.keys = make([]TerminalID, n)
+	ts.refs = make([]uint32, n)
+	ts.mask = n - 1
+	ts.growAt = int(n) * 3 / 4
+	for j, r := range oldRefs {
+		if r == 0 {
+			continue
+		}
+		id := oldKeys[j]
+		i := mix64(uint64(id)) & ts.mask
+		for ts.refs[i] != 0 {
+			i = (i + 1) & ts.mask
+		}
+		ts.keys[i] = id
+		ts.refs[i] = r
+	}
+}

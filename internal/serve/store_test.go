@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"testing"
+)
+
+// TestTerminalStoreRoundTrip pins basic acquire/lookup semantics,
+// including TerminalID 0 (the refs sentinel must not shadow it).
+func TestTerminalStoreRoundTrip(t *testing.T) {
+	ts := newTerminalStore()
+	if got := ts.lookup(0, mix64(0)); got != nil {
+		t.Fatalf("lookup on empty store returned %p", got)
+	}
+	t0, created := ts.acquire(0, mix64(0))
+	if !created || t0 == nil {
+		t.Fatalf("acquire(0) = %p, created=%v", t0, created)
+	}
+	t0.seq = 42
+	if again, created := ts.acquire(0, mix64(0)); created || again != t0 {
+		t.Fatalf("second acquire(0) = %p created=%v, want %p", again, created, t0)
+	}
+	if got := ts.lookup(0, mix64(0)); got != t0 || got.seq != 42 {
+		t.Fatalf("lookup(0) = %p (seq %d), want %p (seq 42)", got, got.seq, t0)
+	}
+	if ts.count() != 1 {
+		t.Fatalf("count = %d, want 1", ts.count())
+	}
+}
+
+// TestTerminalStoreGrowthKeepsPointers is the slab-stability contract the
+// batch router relies on: pointers handed out before index growth must
+// stay valid (and keep their state) after the store has rehashed many
+// times.
+func TestTerminalStoreGrowthKeepsPointers(t *testing.T) {
+	ts := newTerminalStore()
+	const n = 10_000 // ≫ storeMinBuckets: forces several doublings and slabs
+	ptrs := make(map[TerminalID]*terminal, n)
+	for i := 0; i < n; i++ {
+		id := TerminalID(i * 7) // sparse, non-contiguous IDs
+		tt, created := ts.acquire(id, mix64(uint64(id)))
+		if !created {
+			t.Fatalf("id %d: created=false on first acquire", id)
+		}
+		tt.seq = uint64(i)
+		ptrs[id] = tt
+	}
+	if ts.count() != n {
+		t.Fatalf("count = %d, want %d", ts.count(), n)
+	}
+	for id, want := range ptrs {
+		got := ts.lookup(id, mix64(uint64(id)))
+		if got != want {
+			t.Fatalf("id %d: pointer moved across growth: %p ≠ %p", id, got, want)
+		}
+		if got.seq != uint64(id/7) {
+			t.Fatalf("id %d: state lost across growth: seq %d", id, got.seq)
+		}
+	}
+	if got := ts.lookup(TerminalID(n*7+1), mix64(uint64(n*7+1))); got != nil {
+		t.Fatalf("lookup of absent id returned %p", got)
+	}
+}
+
+// TestTerminalStoreDenseIDs exercises the probe sequence under the
+// worst-case key pattern for open addressing — a fully dense ID range —
+// which SplitMix64 must scatter.
+func TestTerminalStoreDenseIDs(t *testing.T) {
+	ts := newTerminalStore()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if _, created := ts.acquire(TerminalID(i), mix64(uint64(i))); !created {
+			t.Fatalf("dense id %d: created=false", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ts.lookup(TerminalID(i), mix64(uint64(i))) == nil {
+			t.Fatalf("dense id %d lost", i)
+		}
+	}
+	if ts.count() != n {
+		t.Fatalf("count = %d, want %d", ts.count(), n)
+	}
+}
+
+// TestTerminalStoreSteadyLookupAllocs pins that post-insert lookups and
+// re-acquires allocate nothing.
+func TestTerminalStoreSteadyLookupAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	ts := newTerminalStore()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		ts.acquire(TerminalID(i), mix64(uint64(i)))
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < n; i++ {
+			if _, created := ts.acquire(TerminalID(i), mix64(uint64(i))); created {
+				t.Fatal("steady-state acquire created a terminal")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state acquire allocates %g per sweep, want 0", allocs)
+	}
+}

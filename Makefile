@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke load-smoke ci
+.PHONY: build test race vet bench bench-json bench-smoke load-smoke cluster-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -41,4 +41,27 @@ bench-smoke: vet
 load-smoke:
 	$(GO) run ./cmd/hoload -terminals 256 -shards 4 -duration 500ms -replicas 2 -speeds 0,30
 
-ci: vet build test race load-smoke
+# Short end-to-end run through the multi-node cluster router: in-process
+# replay, then the full TCP wire path (2 hoserve daemons + hocluster).
+# The wire leg runs in one shell with an EXIT trap so the background
+# daemons are killed even when a step fails mid-way.
+cluster-smoke:
+	$(GO) run ./cmd/hoload -terminals 256 -shards 2 -cluster 2 -duration 500ms -replicas 2 -speeds 0,30 -compiled
+	$(GO) build -o /tmp/fuzzyho-hoserve ./cmd/hoserve
+	$(GO) build -o /tmp/fuzzyho-hocluster ./cmd/hocluster
+	sh -ec '\
+		/tmp/fuzzyho-hoserve -listen 127.0.0.1:7191 -compiled & N1=$$!; \
+		/tmp/fuzzyho-hoserve -listen 127.0.0.1:7192 -compiled & N2=$$!; \
+		trap "kill $$N1 $$N2 2>/dev/null || true" EXIT; \
+		sleep 1; \
+		printf "%s\n%s\n" \
+			"{\"terminal\":1,\"serving\":[0,0],\"neighbor\":[1,0],\"serving_db\":-88.5,\"ssn_db\":-84.0,\"cssp_db\":-2.5,\"dmb\":1.1,\"walked_km\":3.2,\"speed_kmh\":30}" \
+			"{\"terminal\":2,\"serving\":[0,0],\"neighbor\":[1,0],\"serving_db\":-90,\"ssn_db\":-83.0,\"cssp_db\":-1.5,\"dmb\":1.0,\"walked_km\":1.2,\"speed_kmh\":10}" \
+			| /tmp/fuzzyho-hocluster -nodes 127.0.0.1:7191,127.0.0.1:7192'
+
+# Native Go fuzzing of the wire codec, briefly (CI runs the same).
+fuzz-smoke:
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseBatchLine -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzOutcomeRoundTrip -fuzztime 10s
+
+ci: vet build test race load-smoke cluster-smoke fuzz-smoke

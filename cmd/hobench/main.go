@@ -73,10 +73,10 @@ type Artifact struct {
 
 func main() {
 	var (
-		pattern   = flag.String("bench", "BenchmarkServe|BenchmarkEvaluate", "benchmark regexp passed to go test -bench")
+		pattern   = flag.String("bench", "BenchmarkServe|BenchmarkEvaluate|BenchmarkCluster", "benchmark regexp passed to go test -bench")
 		benchtime = flag.String("benchtime", "300ms", "go test -benchtime value")
 		out       = flag.String("o", "BENCH_serve.json", "output path (- for stdout)")
-		pkgsCS    = flag.String("pkgs", "./internal/serve,.", "comma-separated packages to benchmark")
+		pkgsCS    = flag.String("pkgs", "./internal/serve,./internal/cluster,.", "comma-separated packages to benchmark")
 		cpusCS    = flag.String("cpus", "1,max", "comma-separated GOMAXPROCS sections (ints or 'max')")
 		baseline  = flag.String("baseline", "", "previous artifact to compare against (empty: no comparison)")
 		maxReg    = flag.Float64("max-regress", 0.30, "maximum tolerated fractional decisions/sec regression vs -baseline")

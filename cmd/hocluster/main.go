@@ -1,0 +1,191 @@
+// Command hocluster runs the multi-node cluster router as a daemon: the
+// horizontal front door above N engine nodes.  It ingests the same
+// newline-JSON report lines as hoserve, routes every report to the node
+// owning that terminal on a consistent-hash ring (SplitMix64, the same
+// hash family as the engines' shard stores), and emits one JSON decision
+// line per report.  Per-terminal decision sequences are identical to a
+// single engine's — the cluster package's equivalence tests pin this on
+// the paper scenario grid in all three decision modes.
+//
+// Two backends:
+//
+//	hocluster -nodes 10.0.0.1:7077,10.0.0.2:7077   # TCP to remote hoserve daemons
+//	hocluster -local 4 -shards 2                   # N in-process engines
+//
+// Two front doors, as in hoserve:
+//
+//	hocluster -local 2                     # stdin → decisions on stdout
+//	hocluster -local 2 -listen :7070       # TCP; per-connection terminal
+//	                                       # ownership (first client owns)
+//
+// The TCP backend applies per-node backpressure: a slow node fills its
+// bounded send queue and submission blocks; a node that dies mid-stream
+// has its in-flight reports surfaced as lost on stderr (never silently
+// dropped) while the client reconnects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/handover"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		nodesCS  = flag.String("nodes", "", "comma-separated hoserve node addresses (TCP backend)")
+		local    = flag.Int("local", 0, "run N in-process engine nodes instead of -nodes")
+		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "shards per in-process node")
+		queue    = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth of in-process nodes (messages)")
+		nodeQ    = flag.Int("node-queue", serve.DefaultNodeQueueDepth, "per-node send queue of the TCP backend (lines)")
+		vnodes   = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per ring member")
+		window   = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km (in-process nodes)")
+		algo     = flag.String("algo", "fuzzy", "decision algorithm of in-process nodes: fuzzy or adaptive")
+		compiled = flag.Bool("compiled", false, "in-process nodes decide on the compiled control surface")
+		listen   = flag.String("listen", "", "TCP listen address of the front door (empty: stdin/stdout)")
+		statsSec = flag.Float64("stats", 0, "print cluster stats to stderr every N seconds (0: off)")
+		flushSec = flag.Float64("flush-timeout", 30, "seconds to wait for outstanding decisions at shutdown")
+	)
+	flag.Parse()
+	addrs := splitNonEmpty(*nodesCS)
+	if (len(addrs) == 0) == (*local == 0) {
+		fatal(fmt.Errorf("pick exactly one backend: -nodes host:port,... or -local N"))
+	}
+	if *local < 0 || *shards < 1 || *queue < 1 || *nodeQ < 1 || *vnodes < 1 {
+		fatal(fmt.Errorf("-local/-shards/-queue/-node-queue/-vnodes must be positive"))
+	}
+	if *window <= 0 {
+		fatal(fmt.Errorf("-window must be > 0 km, got %g", *window))
+	}
+
+	mux := serve.NewDecisionMux()
+	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, mux)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *statsSec > 0 {
+		go statsLoop(router, time.Duration(*statsSec*float64(time.Second)))
+	}
+
+	flushTimeout := time.Duration(*flushSec * float64(time.Second))
+	daemon := &serve.Daemon{
+		Name:   "hocluster",
+		Mux:    mux,
+		Submit: router.SubmitBatch,
+		Drain:  func() error { return router.Flush(flushTimeout) },
+	}
+	if *listen == "" {
+		runStdio(router, daemon)
+		return
+	}
+	runTCP(router, daemon, *listen)
+}
+
+func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
+	window float64, algo string, compiled bool, mux *serve.DecisionMux) (cluster.Router, error) {
+	if len(addrs) > 0 {
+		return cluster.DialTCP(cluster.TCPConfig{
+			Addrs:        addrs,
+			VirtualNodes: vnodes,
+			QueueDepth:   nodeQ,
+			OnDecision:   func(_ int, o serve.Outcome) { mux.Route(o) },
+			OnError: func(node int, err error) {
+				fmt.Fprintf(os.Stderr, "hocluster: node %d: %v\n", node, err)
+			},
+		})
+	}
+	ecfg := serve.Config{Shards: shards, QueueDepth: queue, PingPongWindowKm: window}
+	factory, err := handover.AlgorithmFactoryFor(algo, compiled)
+	if err != nil {
+		return nil, err
+	}
+	if factory != nil {
+		ecfg.AlgorithmFactory = factory
+	} else {
+		ecfg.Compiled = compiled
+	}
+	return cluster.NewLocal(cluster.LocalConfig{
+		Nodes:        local,
+		VirtualNodes: vnodes,
+		Engine:       ecfg,
+		OnDecision:   func(_ int, o serve.Outcome) { mux.Route(o) },
+	})
+}
+
+func runStdio(router cluster.Router, d *serve.Daemon) {
+	lines, bad, drainErr := d.RunStdio()
+	if err := router.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hocluster: close:", err)
+	}
+	printStats(router)
+	failed := false
+	if drainErr != nil {
+		// A drain failure is a serving problem (slow or dead node), not
+		// an input problem: report it as itself, apart from rejects.
+		fmt.Fprintln(os.Stderr, "hocluster: drain:", drainErr)
+		failed = true
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "hocluster: rejected %d of %d lines\n", bad, lines)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runTCP(router cluster.Router, d *serve.Daemon, addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hocluster: listening on %s (%d nodes)\n", ln.Addr(), router.NumNodes())
+	d.RunTCP(ln)
+}
+
+func statsLoop(router cluster.Router, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var last uint64
+	for range t.C {
+		tot := router.Stats().Totals()
+		fmt.Fprintf(os.Stderr, "hocluster: %.0f decisions/sec | %s\n",
+			float64(tot.Decisions-last)/every.Seconds(), tot)
+		last = tot.Decisions
+	}
+}
+
+func printStats(router cluster.Router) {
+	st := router.Stats()
+	for _, n := range st.Nodes {
+		label := fmt.Sprintf("node %d", n.Node)
+		if n.Addr != "" {
+			label += " (" + n.Addr + ")"
+		}
+		fmt.Fprintf(os.Stderr, "hocluster: %s: %s\n", label, n)
+	}
+	fmt.Fprintf(os.Stderr, "hocluster: total: %s\n", st.Totals())
+}
+
+func splitNonEmpty(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hocluster:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,12 @@
 //	hoload -terminals 10000 -shards 8 -duration 5s
 //	hoload -terminals 512 -workers 2 -speeds 0,30,50 -replicas 4
 //	hoload -algo adaptive -compiled -speeds 0,30,50   # speed-adaptive extension
+//	hoload -cluster 2 -shards 2 -compiled             # route through an
+//	                                                  # in-process 2-node cluster
+//
+// With -cluster N the population is partitioned across N engine nodes by
+// the cluster router's consistent-hash ring (each node gets -shards
+// shards) — the single-box replay mode of the multi-node scaling layer.
 //
 // Determinism caveat: each terminal's decision sequence over its first
 // replay pass is exactly the sim path's (the determinism tests pin this);
@@ -47,10 +53,20 @@ type timeRing struct {
 	slots     [ringSize]int64
 }
 
+// loadTarget abstracts the engine vs cluster-router replay destination.
+type loadTarget struct {
+	submit    func(rs []fuzzyho.MeasurementReport) error
+	flush     func() error
+	stop      func() error
+	totals    func() fuzzyho.ClusterNodeStats
+	statLines func() []string
+}
+
 func main() {
 	var (
 		terminals = flag.Int("terminals", 1024, "terminal population size")
-		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards (per node with -cluster)")
+		clusterN  = flag.Int("cluster", 0, "route through an in-process cluster of N engine nodes (0: single engine)")
 		queue     = flag.Int("queue", 1024, "per-shard queue depth (messages)")
 		workers   = flag.Int("workers", 2, "submitter goroutines")
 		duration  = flag.Duration("duration", 2*time.Second, "load duration")
@@ -68,6 +84,9 @@ func main() {
 	}
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
+	if *clusterN < 0 {
+		fatal(fmt.Errorf("-cluster must be ≥ 0, got %d", *clusterN))
 	}
 	if *queue < 1 {
 		fatal(fmt.Errorf("-queue must be ≥ 1, got %d", *queue))
@@ -97,8 +116,12 @@ func main() {
 	for _, s := range streams {
 		epochs += len(s)
 	}
-	fmt.Printf("hoload: %d walk streams (%d epochs) for %d terminals, %d shards, %d workers, %v\n",
-		len(streams), epochs, *terminals, *shards, *workers, *duration)
+	topology := "1 engine"
+	if *clusterN > 0 {
+		topology = fmt.Sprintf("%d cluster nodes", *clusterN)
+	}
+	fmt.Printf("hoload: %d walk streams (%d epochs) for %d terminals, %s × %d shards, %d workers, %v\n",
+		len(streams), epochs, *terminals, topology, *shards, *workers, *duration)
 
 	rings := make([]*timeRing, *terminals)
 	for i := range rings {
@@ -113,30 +136,14 @@ func main() {
 		}()
 	}
 
-	cfg := fuzzyho.ServeConfig{
-		Shards:     *shards,
-		QueueDepth: *queue,
-		OnDecision: func(o fuzzyho.ServeOutcome) {
-			r := rings[int(o.Terminal)]
-			t0 := r.slots[o.Seq%ringSize]
-			lat.Observe(time.Duration(nowNanos() - t0))
-			r.completed.Store(o.Seq + 1)
-		},
+	onDecision := func(o fuzzyho.ServeOutcome) {
+		r := rings[int(o.Terminal)]
+		t0 := r.slots[o.Seq%ringSize]
+		lat.Observe(time.Duration(nowNanos() - t0))
+		r.completed.Store(o.Seq + 1)
 	}
-	factory, err := fuzzyho.ServeAlgorithmFactory(*algo, *compiled)
+	target, err := buildTarget(*clusterN, *shards, *queue, *algo, *compiled, onDecision)
 	if err != nil {
-		fatal(err)
-	}
-	if factory != nil {
-		cfg.AlgorithmFactory = factory
-	} else {
-		cfg.Compiled = *compiled
-	}
-	engine, err := fuzzyho.NewServeEngine(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	if err := engine.Start(); err != nil {
 		fatal(err)
 	}
 
@@ -152,35 +159,105 @@ func main() {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			submitRange(engine, streams, rings, lo, hi, *batchLen, deadline)
+			submitRange(target.submit, streams, rings, lo, hi, *batchLen, deadline)
 		}(lo, hi)
 	}
 	wg.Wait()
-	engine.Flush()
+	if err := target.flush(); err != nil {
+		fatal(err)
+	}
 	elapsed := time.Since(start)
-	if err := engine.Stop(); err != nil {
+	if err := target.stop(); err != nil {
 		fatal(err)
 	}
 
-	tot := engine.Stats().Totals()
+	tot := target.totals()
 	fmt.Printf("decisions   %d (%d handovers, %d ping-pongs, %d errors)\n",
 		tot.Decisions, tot.Handovers, tot.PingPongs, tot.Errors)
 	fmt.Printf("throughput  %.0f decisions/sec over %v\n",
 		float64(tot.Decisions)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
 	fmt.Printf("latency     p50=%v p90=%v p99=%v max=%v (n=%d)\n",
 		lat.Quantile(0.50), lat.Quantile(0.90), lat.Quantile(0.99), lat.Max(), lat.Count())
-	for _, s := range engine.Stats().Shards {
-		fmt.Printf("shard %-3d   %s\n", s.Shard, s)
+	for _, line := range target.statLines() {
+		fmt.Println(line)
 	}
 	if tot.Errors > 0 {
 		os.Exit(1)
 	}
 }
 
+// buildTarget wires either a single engine or an in-process cluster
+// router as the replay destination.
+func buildTarget(clusterN, shards, queue int, algo string, compiled bool,
+	onDecision func(fuzzyho.ServeOutcome)) (*loadTarget, error) {
+	cfg := fuzzyho.ServeConfig{Shards: shards, QueueDepth: queue}
+	factory, err := fuzzyho.ServeAlgorithmFactory(algo, compiled)
+	if err != nil {
+		return nil, err
+	}
+	if factory != nil {
+		cfg.AlgorithmFactory = factory
+	} else {
+		cfg.Compiled = compiled
+	}
+
+	if clusterN > 0 {
+		router, err := fuzzyho.NewLocalCluster(fuzzyho.ClusterLocalConfig{
+			Nodes:      clusterN,
+			Engine:     cfg,
+			OnDecision: func(_ int, o fuzzyho.ServeOutcome) { onDecision(o) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &loadTarget{
+			submit: router.SubmitBatch,
+			flush:  func() error { return router.Flush(time.Minute) },
+			stop:   router.Close,
+			totals: func() fuzzyho.ClusterNodeStats { return router.Stats().Totals() },
+			statLines: func() []string {
+				var lines []string
+				for _, n := range router.Stats().Nodes {
+					lines = append(lines, fmt.Sprintf("node %-3d    %s", n.Node, n))
+				}
+				return lines
+			},
+		}, nil
+	}
+
+	cfg.OnDecision = onDecision
+	engine, err := fuzzyho.NewServeEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.Start(); err != nil {
+		return nil, err
+	}
+	return &loadTarget{
+		submit: engine.SubmitBatch,
+		flush:  func() error { engine.Flush(); return nil },
+		stop:   engine.Stop,
+		totals: func() fuzzyho.ClusterNodeStats {
+			t := engine.Stats().Totals()
+			return fuzzyho.ClusterNodeStats{
+				Node: -1, Decisions: t.Decisions, Handovers: t.Handovers,
+				PingPongs: t.PingPongs, Errors: t.Errors, Terminals: t.Terminals,
+			}
+		},
+		statLines: func() []string {
+			var lines []string
+			for _, s := range engine.Stats().Shards {
+				lines = append(lines, fmt.Sprintf("shard %-3d   %s", s.Shard, s))
+			}
+			return lines
+		},
+	}, nil
+}
+
 // submitRange drives terminals [lo, hi): round-robin one epoch per
 // terminal, batching reports and capping per-terminal in-flight reports
 // below the timestamp-ring size.
-func submitRange(engine *fuzzyho.ServeEngine, streams [][]fuzzyho.MeasurementReport,
+func submitRange(submit func([]fuzzyho.MeasurementReport) error, streams [][]fuzzyho.MeasurementReport,
 	rings []*timeRing, lo, hi, batchLen int, deadline time.Time) {
 	batch := make([]fuzzyho.MeasurementReport, 0, batchLen)
 	seqs := make([]uint64, hi-lo)
@@ -188,7 +265,7 @@ func submitRange(engine *fuzzyho.ServeEngine, streams [][]fuzzyho.MeasurementRep
 		if len(batch) == 0 {
 			return true
 		}
-		if err := engine.SubmitBatch(batch); err != nil {
+		if err := submit(batch); err != nil {
 			fmt.Fprintln(os.Stderr, "hoload:", err)
 			return false
 		}

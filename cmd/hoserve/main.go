@@ -17,25 +17,28 @@
 //
 // Decision line (see serve.WireOutcome):
 //
-//	{"terminal":7,"seq":12,"handover":true,"score":0.82,
+//	{"terminal":7,"seq":12,"handover":true,"score":0.82,"scored":true,
 //	 "reason":"execute-handover","executed":true}
 //
 // Malformed lines are rejected with a clear error (stderr in stdin mode,
 // an {"error":...} line to the client in TCP mode) and do not stop the
-// daemon.  -stats prints per-shard throughput snapshots to stderr.
+// daemon; a batch that fails validation part-way is served up to the
+// failing report.  In TCP mode each terminal is exclusively owned by the
+// first connection that submits it — a second connection submitting the
+// same terminal has the line rejected with an ownership error until the
+// owner disconnects (see serve.DecisionMux) — so one terminal's state
+// stream can never interleave across clients.  -stats prints per-shard
+// throughput snapshots to stderr.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/handover"
@@ -74,12 +77,12 @@ func main() {
 		}()
 	}
 
-	router := newDecisionRouter()
+	mux := serve.NewDecisionMux()
 	cfg := serve.Config{
 		Shards:           *shards,
 		QueueDepth:       *queue,
 		PingPongWindowKm: *window,
-		OnDecision:       router.route,
+		OnDecision:       mux.Route,
 	}
 	factory, err := handover.AlgorithmFactoryFor(*algo, *compiled)
 	if err != nil {
@@ -102,185 +105,41 @@ func main() {
 		go statsLoop(engine, time.Duration(*statsSec*float64(time.Second)))
 	}
 
+	daemon := &serve.Daemon{
+		Name:   "hoserve",
+		Mux:    mux,
+		Submit: engine.SubmitBatch,
+		Drain:  func() error { engine.Flush(); return nil },
+	}
 	if *listen == "" {
-		runStdio(engine, router)
+		runStdio(engine, daemon)
 		return
 	}
-	runTCP(engine, router, *listen)
+	runTCP(engine, daemon, *listen)
 }
 
-// decisionRouter delivers outcomes to the sink that ingested the
-// terminal's reports.  In stdio mode there is a single sink; in TCP mode
-// each connection registers the terminals it submits.
-type decisionRouter struct {
-	sinks sync.Map // TerminalID → *sink
-}
-
-func newDecisionRouter() *decisionRouter { return &decisionRouter{} }
-
-// sink serializes decision lines onto one writer.  After a write error
-// the sink goes dead and drops further output (a vanished client must not
-// stall the shard callbacks).
-type sink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	buf []byte
-	err error
-}
-
-func newSink(w io.Writer) *sink {
-	return &sink{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
-}
-
-func (s *sink) write(o serve.Outcome) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return
-	}
-	s.buf = serve.AppendOutcomeJSON(s.buf[:0], o)
-	if _, err := s.w.Write(s.buf); err != nil {
-		s.err = err
-	}
-}
-
-func (s *sink) writeError(err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return
-	}
-	fmt.Fprintf(s.w, "{\"error\":%q}\n", err.Error())
-}
-
-func (s *sink) flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err == nil {
-		s.err = s.w.Flush()
-	}
-}
-
-// bind points a terminal's decisions at the sink (cheap when unchanged).
-func (r *decisionRouter) bind(id serve.TerminalID, s *sink) {
-	if cur, ok := r.sinks.Load(id); !ok || cur != s {
-		r.sinks.Store(id, s)
-	}
-}
-
-func (r *decisionRouter) unbindAll(s *sink) {
-	r.sinks.Range(func(k, v any) bool {
-		if v == s {
-			r.sinks.Delete(k)
-		}
-		return true
-	})
-}
-
-// route runs on shard goroutines: look up the terminal's sink and write.
-func (r *decisionRouter) route(o serve.Outcome) {
-	if v, ok := r.sinks.Load(o.Terminal); ok {
-		v.(*sink).write(o)
-	}
-}
-
-// ingest reads newline-JSON batch lines from rd into the engine, binding
-// each report's terminal to out.  Malformed lines are reported through
-// reject and skipped; the reader keeps going.  Returns lines read and
-// lines rejected.
-func ingest(engine *serve.Engine, router *decisionRouter, rd io.Reader, out *sink, reject func(line int, err error)) (lines, bad int) {
-	scanner := bufio.NewScanner(rd)
-	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for scanner.Scan() {
-		lines++
-		reports, err := serve.ParseBatchLine(scanner.Bytes())
-		if err != nil {
-			bad++
-			reject(lines, err)
-			continue
-		}
-		if len(reports) == 0 {
-			continue
-		}
-		for _, rep := range reports {
-			router.bind(rep.Terminal, out)
-		}
-		if err := engine.SubmitBatch(reports); err != nil {
-			bad++
-			reject(lines, err)
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		reject(lines, fmt.Errorf("read: %w", err))
-	}
-	return lines, bad
-}
-
-// flushLoop periodically flushes a sink until stop closes.
-func flushLoop(s *sink, stop <-chan struct{}) {
-	t := time.NewTicker(50 * time.Millisecond)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			s.flush()
-		case <-stop:
-			return
-		}
-	}
-}
-
-func runStdio(engine *serve.Engine, router *decisionRouter) {
-	out := newSink(os.Stdout)
-	stop := make(chan struct{})
-	go flushLoop(out, stop)
-	lines, bad := ingest(engine, router, os.Stdin, out, func(line int, err error) {
-		fmt.Fprintf(os.Stderr, "hoserve: line %d: %v\n", line, err)
-	})
-	engine.Flush()
+func runStdio(engine *serve.Engine, d *serve.Daemon) {
+	lines, bad, drainErr := d.RunStdio()
 	if err := engine.Stop(); err != nil {
 		fatal(err)
 	}
-	close(stop)
-	out.flush()
 	printStats(engine)
+	if drainErr != nil {
+		fatal(fmt.Errorf("drain: %w", drainErr))
+	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "hoserve: rejected %d of %d lines\n", bad, lines)
 		os.Exit(1)
 	}
 }
 
-func runTCP(engine *serve.Engine, router *decisionRouter, addr string) {
+func runTCP(engine *serve.Engine, d *serve.Daemon, addr string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "hoserve: listening on %s (%d shards)\n", ln.Addr(), engine.NumShards())
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			// Transient accept failures (aborted handshakes, fd
-			// exhaustion) must not tear down the daemon and every
-			// connected client: log, back off briefly, keep accepting.
-			fmt.Fprintln(os.Stderr, "hoserve: accept:", err)
-			time.Sleep(100 * time.Millisecond)
-			continue
-		}
-		go func(conn net.Conn) {
-			defer conn.Close()
-			out := newSink(conn)
-			stop := make(chan struct{})
-			go flushLoop(out, stop)
-			ingest(engine, router, conn, out, func(line int, err error) {
-				out.writeError(fmt.Errorf("line %d: %w", line, err))
-			})
-			// Let in-flight decisions for this client drain, then detach.
-			engine.Flush()
-			close(stop)
-			out.flush()
-			router.unbindAll(out)
-		}(conn)
-	}
+	d.RunTCP(ln)
 }
 
 func statsLoop(engine *serve.Engine, every time.Duration) {

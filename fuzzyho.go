@@ -26,6 +26,7 @@ package fuzzyho
 
 import (
 	"repro/internal/cell"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fcl"
 	"repro/internal/fuzzy"
@@ -345,6 +346,58 @@ func ReplayReports(id TerminalID, ms []Measurement) []MeasurementReport {
 // arrival pattern of a live population.
 func InterleaveReports(streams [][]MeasurementReport) []MeasurementReport {
 	return serve.InterleaveReports(streams)
+}
+
+// Multi-node cluster layer: consistent-hash routing of terminals across
+// N engine nodes (in-process or remote hoserve daemons over TCP), with
+// per-terminal decision sequences identical to a single engine's.
+type (
+	// ClusterRouter is the node-routing interface (both backends).
+	ClusterRouter = cluster.Router
+	// ClusterStats merges the per-node counters.
+	ClusterStats = cluster.Stats
+	// ClusterNodeStats is one node's counter snapshot.
+	ClusterNodeStats = cluster.NodeStats
+	// ClusterLocalConfig configures an in-process cluster.
+	ClusterLocalConfig = cluster.LocalConfig
+	// ClusterTCPConfig configures a TCP cluster over hoserve daemons.
+	ClusterTCPConfig = cluster.TCPConfig
+	// LocalCluster is the in-process Router backend.
+	LocalCluster = cluster.Local
+	// TCPCluster is the wire-protocol Router backend.
+	TCPCluster = cluster.TCP
+	// ClusterRing is the consistent-hash ring over TerminalID.
+	ClusterRing = cluster.Ring
+	// ClusterBacklogError reports reports shed by a backlogged node.
+	ClusterBacklogError = cluster.BacklogError
+	// ServeNodeClient speaks the wire protocol to one engine node.
+	ServeNodeClient = serve.NodeClient
+	// ServeNodeClientConfig configures a ServeNodeClient.
+	ServeNodeClientConfig = serve.NodeClientConfig
+)
+
+// DefaultClusterVirtualNodes is the ring's per-member virtual node count.
+const DefaultClusterVirtualNodes = cluster.DefaultVirtualNodes
+
+// NewClusterRing builds a consistent-hash ring (virtualNodes 0 selects
+// the default); see cluster.NewRing.
+func NewClusterRing(nodes, virtualNodes int) (*ClusterRing, error) {
+	return cluster.NewRing(nodes, virtualNodes)
+}
+
+// NewLocalCluster builds and starts an in-process cluster router.
+func NewLocalCluster(cfg ClusterLocalConfig) (*LocalCluster, error) {
+	return cluster.NewLocal(cfg)
+}
+
+// DialTCPCluster connects a cluster router to remote hoserve daemons.
+func DialTCPCluster(cfg ClusterTCPConfig) (*TCPCluster, error) {
+	return cluster.DialTCP(cfg)
+}
+
+// DialServeNode connects a wire-protocol client to one hoserve daemon.
+func DialServeNode(addr string, cfg ServeNodeClientConfig) (*ServeNodeClient, error) {
+	return serve.DialNode(addr, cfg)
 }
 
 // DeriveSeed maps a (seed, replica) pair to a derived seed, the replica

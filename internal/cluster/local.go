@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// LocalConfig configures an in-process cluster: N serve.Engines in one
+// process, partitioned by the consistent-hash ring.
+type LocalConfig struct {
+	// Nodes is the member count (≥ 1).
+	Nodes int
+	// VirtualNodes is the ring's per-member virtual node count (0:
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// Engine is the per-node engine template (shards, queue depth,
+	// algorithm, ping-pong window).  Engine.OnDecision must be nil — use
+	// OnDecision below, which carries the node index.
+	Engine serve.Config
+	// OnDecision, when non-nil, receives every outcome together with the
+	// index of the node that decided it, on that node's shard goroutine.
+	OnDecision func(node int, o serve.Outcome)
+}
+
+// Local is the in-process Router backend: the cheapest way to run one
+// terminal population across several engines (tests, single-box NUMA-ish
+// scaling) and the reference the TCP backend is checked against.
+type Local struct {
+	ring    *Ring
+	engines []*serve.Engine
+
+	submitted []atomic.Uint64 // per node
+
+	// scatter recycles the per-call node → sub-slice tables.
+	scatter sync.Pool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewLocal validates the configuration, builds and starts the node
+// engines.  The router is ready to submit when NewLocal returns.
+func NewLocal(cfg LocalConfig) (*Local, error) {
+	if cfg.Engine.OnDecision != nil {
+		return nil, fmt.Errorf("cluster: set LocalConfig.OnDecision (with the node index), not Engine.OnDecision")
+	}
+	ring, err := NewRing(cfg.Nodes, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	l := &Local{
+		ring:      ring,
+		engines:   make([]*serve.Engine, cfg.Nodes),
+		submitted: make([]atomic.Uint64, cfg.Nodes),
+	}
+	l.scatter.New = func() any {
+		bufs := make([][]serve.Report, cfg.Nodes)
+		return &bufs
+	}
+	for n := range l.engines {
+		ecfg := cfg.Engine
+		if cfg.OnDecision != nil {
+			node := n
+			ecfg.OnDecision = func(o serve.Outcome) { cfg.OnDecision(node, o) }
+		}
+		e, err := serve.New(ecfg)
+		if err == nil {
+			err = e.Start()
+		}
+		if err != nil {
+			for _, started := range l.engines[:n] {
+				started.Stop()
+			}
+			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		l.engines[n] = e
+	}
+	return l, nil
+}
+
+// NumNodes implements Router.
+func (l *Local) NumNodes() int { return l.ring.Nodes() }
+
+// NodeOf implements Router.
+func (l *Local) NodeOf(id serve.TerminalID) int { return l.ring.NodeOf(id) }
+
+// Engine returns node n's engine (read-only use: stats, shard count).
+func (l *Local) Engine(n int) *serve.Engine { return l.engines[n] }
+
+// Submit implements Router.
+func (l *Local) Submit(r serve.Report) error {
+	n := l.ring.NodeOf(r.Terminal)
+	// Account before the engine call, as the engine itself does: once a
+	// report is queued the node may decide it immediately, and a counter
+	// that lags lets Stats observe decisions > submitted.
+	l.submitted[n].Add(1)
+	if err := l.engines[n].Submit(r); err != nil {
+		l.submitted[n].Add(^uint64(0)) // roll back the optimistic accounting
+		return fmt.Errorf("cluster: node %d: %w", n, err)
+	}
+	return nil
+}
+
+// SubmitBatch implements Router: reports scatter into per-node sub-slices
+// (preserving per-terminal order) and each node gets one coalesced
+// Engine.SubmitBatch call, which blocks under that node's backpressure.
+func (l *Local) SubmitBatch(rs []serve.Report) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if l.ring.Nodes() == 1 {
+		l.submitted[0].Add(uint64(len(rs)))
+		if err := l.engines[0].SubmitBatch(rs); err != nil {
+			l.submitted[0].Add(^uint64(len(rs) - 1))
+			return fmt.Errorf("cluster: node 0: %w", err)
+		}
+		return nil
+	}
+	bufs := l.scatter.Get().(*[][]serve.Report)
+	defer l.putScatter(bufs)
+	for i := range rs {
+		n := l.ring.NodeOf(rs[i].Terminal)
+		(*bufs)[n] = append((*bufs)[n], rs[i])
+	}
+	for n, sub := range *bufs {
+		if len(sub) == 0 {
+			continue
+		}
+		l.submitted[n].Add(uint64(len(sub)))
+		if err := l.engines[n].SubmitBatch(sub); err != nil {
+			l.submitted[n].Add(^uint64(len(sub) - 1))
+			return fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// TrySubmitBatch implements Router: per-report TrySubmit against the
+// owning node, shedding (and counting) everything from the first
+// backlogged node on.  Reports accepted before the backlog stay accepted.
+func (l *Local) TrySubmitBatch(rs []serve.Report) error {
+	shed := 0
+	firstNode := -1
+	backlogged := make([]bool, l.ring.Nodes())
+	for i := range rs {
+		n := l.ring.NodeOf(rs[i].Terminal)
+		if backlogged[n] {
+			// Order within a backlogged node must not be violated by
+			// accepting later reports after shedding earlier ones.
+			shed++
+			continue
+		}
+		l.submitted[n].Add(1)
+		err := l.engines[n].TrySubmit(rs[i])
+		if err != nil {
+			l.submitted[n].Add(^uint64(0)) // roll back the optimistic accounting
+		}
+		switch {
+		case err == nil:
+		case errors.Is(err, serve.ErrBacklogged):
+			backlogged[n] = true
+			if firstNode < 0 {
+				firstNode = n
+			}
+			shed++
+		default:
+			return fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+	}
+	if shed > 0 {
+		return &BacklogError{Node: firstNode, Shed: shed}
+	}
+	return nil
+}
+
+func (l *Local) putScatter(bufs *[][]serve.Report) {
+	for i := range *bufs {
+		(*bufs)[i] = (*bufs)[i][:0]
+	}
+	l.scatter.Put(bufs)
+}
+
+// Flush implements Router.  In-process queues drain deterministically, so
+// the timeout is not consulted: Engine.Flush returns once every accepted
+// report is decided.
+func (l *Local) Flush(time.Duration) error {
+	for _, e := range l.engines {
+		e.Flush()
+	}
+	return nil
+}
+
+// Stats implements Router, merging each node's serve.Stats totals.
+func (l *Local) Stats() Stats {
+	st := Stats{Nodes: make([]NodeStats, len(l.engines))}
+	for n, e := range l.engines {
+		tot := e.Stats().Totals()
+		st.Nodes[n] = NodeStats{
+			Node:       n,
+			Submitted:  l.submitted[n].Load(),
+			Decisions:  tot.Decisions,
+			Handovers:  tot.Handovers,
+			PingPongs:  tot.PingPongs,
+			Errors:     tot.Errors,
+			Terminals:  tot.Terminals,
+			QueueDepth: tot.QueueDepth,
+		}
+	}
+	return st
+}
+
+// EngineStats returns node n's full per-shard serve.Stats (the in-process
+// backend's extra observability over the merged Stats view).
+func (l *Local) EngineStats(n int) serve.Stats { return l.engines[n].Stats() }
+
+// Close implements Router: every engine is drained (Stop decides all
+// accepted reports) and stopped.
+func (l *Local) Close() error {
+	l.closeOnce.Do(func() {
+		for n, e := range l.engines {
+			if err := e.Stop(); err != nil && l.closeErr == nil {
+				l.closeErr = fmt.Errorf("cluster: node %d: %w", n, err)
+			}
+		}
+	})
+	return l.closeErr
+}

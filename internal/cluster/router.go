@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Router routes measurement reports to the engine node owning each
+// terminal.  Both backends guarantee per-terminal submission order is
+// preserved end to end, which is what makes cluster decision sequences
+// identical to a single engine's.
+//
+// Backpressure semantics differ by backend and are part of the contract:
+//
+//   - SubmitBatch blocks while a destination cannot accept (the
+//     in-process backend delegates to Engine.SubmitBatch's bounded
+//     queues; the TCP backend blocks on the owning node's send queue).
+//   - TrySubmitBatch never blocks: a full destination fails fast with a
+//     *BacklogError (errors.Is serve.ErrBacklogged) naming the node and
+//     how many reports were shed — sub-batches bound for other nodes are
+//     still accepted, so the error is the caller's resubmission ledger,
+//     never a silent drop.
+type Router interface {
+	// Submit routes one report.
+	Submit(r serve.Report) error
+	// SubmitBatch routes a batch, coalescing per destination node and
+	// blocking under backpressure.
+	SubmitBatch(rs []serve.Report) error
+	// TrySubmitBatch routes a batch without blocking; see the
+	// backpressure contract above.
+	TrySubmitBatch(rs []serve.Report) error
+	// Flush blocks until every routed report is decided (or accounted
+	// lost by a failed node), up to timeout.
+	Flush(timeout time.Duration) error
+	// Stats snapshots the per-node counters.
+	Stats() Stats
+	// NumNodes returns the member count.
+	NumNodes() int
+	// NodeOf returns the ring's owner for a terminal.
+	NodeOf(id serve.TerminalID) int
+	// Close tears the router down.  In-process engines are drained and
+	// stopped; TCP node connections are flushed and closed.
+	Close() error
+}
+
+// BacklogError reports a fail-fast submission that shed reports because a
+// node's queue was full.  It unwraps to serve.ErrBacklogged.
+type BacklogError struct {
+	// Node is the first backlogged member; Shed the total reports (across
+	// all backlogged members) that were NOT accepted and may be
+	// resubmitted by the caller.
+	Node int
+	Shed int
+}
+
+func (e *BacklogError) Error() string {
+	return fmt.Sprintf("cluster: node %d backlogged; %d reports shed", e.Node, e.Shed)
+}
+
+func (e *BacklogError) Unwrap() error { return serve.ErrBacklogged }
+
+// NodeStats is one member's counter snapshot.
+type NodeStats struct {
+	// Node is the member index (-1 in aggregated totals); Addr its dial
+	// address for the TCP backend ("" in-process).
+	Node int
+	Addr string
+	// Submitted counts reports routed to the node; Decisions the
+	// decisions it delivered; Lost the reports a failed TCP connection
+	// dropped (always 0 in-process).
+	Submitted, Decisions, Lost uint64
+	// Handovers/PingPongs/Errors tally executed handovers, flagged
+	// returns, and errors (algorithm errors in-process; line-level remote
+	// rejects over TCP) among the node's decisions.
+	Handovers, PingPongs, Errors uint64
+	// Terminals is the distinct-terminal count (in-process only: the wire
+	// protocol does not carry it).
+	Terminals uint64
+	// QueueDepth is the instantaneous ingest backlog (sub-batches
+	// in-process, encoded lines over TCP).
+	QueueDepth int
+}
+
+// Stats is a point-in-time snapshot of every node's counters, merging the
+// per-node serve.Stats (in-process) or client ledgers (TCP).
+type Stats struct {
+	Nodes []NodeStats
+}
+
+// Totals aggregates the per-node counters (Node is -1).
+func (s Stats) Totals() NodeStats {
+	t := NodeStats{Node: -1}
+	for _, n := range s.Nodes {
+		t.Submitted += n.Submitted
+		t.Decisions += n.Decisions
+		t.Lost += n.Lost
+		t.Handovers += n.Handovers
+		t.PingPongs += n.PingPongs
+		t.Errors += n.Errors
+		t.Terminals += n.Terminals
+		t.QueueDepth += n.QueueDepth
+	}
+	return t
+}
+
+// String implements fmt.Stringer.
+func (n NodeStats) String() string {
+	return fmt.Sprintf("submitted=%d decisions=%d handovers=%d pingpong=%d errors=%d lost=%d queue=%d",
+		n.Submitted, n.Decisions, n.Handovers, n.PingPongs, n.Errors, n.Lost, n.QueueDepth)
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TCPConfig configures a TCP cluster router: one serve.NodeClient per
+// remote hoserve daemon, partitioned by the consistent-hash ring.
+type TCPConfig struct {
+	// Addrs are the node daemons' dial addresses; the ring member index
+	// is the position in this slice, so the address order is part of the
+	// cluster identity (reordering remaps terminals).
+	Addrs []string
+	// VirtualNodes is the ring's per-member virtual node count (0:
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// QueueDepth bounds each node's send queue in encoded batch lines (0:
+	// serve.DefaultNodeQueueDepth).  A full queue is that node's
+	// backpressure signal.
+	QueueDepth int
+	// RedialWait/MaxRedials/CloseGrace tune each node client's
+	// reconnection and bounded teardown (0: serve defaults).
+	RedialWait time.Duration
+	MaxRedials int
+	CloseGrace time.Duration
+	// OnDecision, when non-nil, receives every outcome with the deciding
+	// node's index, on that node client's reader goroutine.
+	OnDecision func(node int, o serve.Outcome)
+	// OnError receives per-node failures: line-level remote rejects,
+	// lost-report notices, connection losses.  Routing never drops
+	// reports silently — when a connection dies, the in-flight count is
+	// surfaced here and in Stats().Lost.
+	OnError func(node int, err error)
+}
+
+// TCP is the multi-process Router backend: it speaks the existing
+// newline-JSON wire protocol to remote hoserve daemons, with a dedicated
+// ordered connection and writer per node, batch coalescing per
+// destination, per-node backpressure and reconnect-with-error-surfacing
+// (see serve.NodeClient for the delivery contract).
+type TCP struct {
+	ring    *Ring
+	clients []*serve.NodeClient
+
+	scatter sync.Pool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// DialTCP connects to every node daemon and returns the router.  All
+// dials are synchronous: a cluster with an unreachable member fails
+// construction rather than shedding that member's terminals later.
+func DialTCP(cfg TCPConfig) (*TCP, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no node addresses")
+	}
+	ring, err := NewRing(len(cfg.Addrs), cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{ring: ring, clients: make([]*serve.NodeClient, len(cfg.Addrs))}
+	t.scatter.New = func() any {
+		bufs := make([][]serve.Report, len(cfg.Addrs))
+		return &bufs
+	}
+	for n, addr := range cfg.Addrs {
+		node := n
+		ccfg := serve.NodeClientConfig{
+			QueueDepth: cfg.QueueDepth,
+			RedialWait: cfg.RedialWait,
+			MaxRedials: cfg.MaxRedials,
+			CloseGrace: cfg.CloseGrace,
+		}
+		if cfg.OnDecision != nil {
+			ccfg.OnOutcome = func(o serve.Outcome) { cfg.OnDecision(node, o) }
+		}
+		if cfg.OnError != nil {
+			ccfg.OnError = func(err error) { cfg.OnError(node, err) }
+		}
+		c, err := serve.DialNode(addr, ccfg)
+		if err != nil {
+			for _, dialed := range t.clients[:n] {
+				dialed.Close()
+			}
+			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		t.clients[n] = c
+	}
+	return t, nil
+}
+
+// NumNodes implements Router.
+func (t *TCP) NumNodes() int { return t.ring.Nodes() }
+
+// NodeOf implements Router.
+func (t *TCP) NodeOf(id serve.TerminalID) int { return t.ring.NodeOf(id) }
+
+// Client returns node n's client (read-only use: counters, address).
+func (t *TCP) Client(n int) *serve.NodeClient { return t.clients[n] }
+
+// Submit implements Router.
+func (t *TCP) Submit(r serve.Report) error {
+	n := t.ring.NodeOf(r.Terminal)
+	if err := t.clients[n].Send([]serve.Report{r}); err != nil {
+		return fmt.Errorf("cluster: node %d: %w", n, err)
+	}
+	return nil
+}
+
+// SubmitBatch implements Router: reports scatter into per-node sub-slices
+// and each destination gets one coalesced wire line, blocking on that
+// node's send queue under backpressure.
+func (t *TCP) SubmitBatch(rs []serve.Report) error {
+	return t.submitBatch(rs, func(n int, sub []serve.Report) error {
+		return t.clients[n].Send(sub)
+	})
+}
+
+// TrySubmitBatch implements Router: like SubmitBatch but a full node
+// queue sheds that node's sub-batch and fails with *BacklogError instead
+// of blocking; other nodes' sub-batches are still accepted.
+func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
+	shed := 0
+	firstNode := -1
+	err := t.submitBatch(rs, func(n int, sub []serve.Report) error {
+		err := t.clients[n].TrySend(sub)
+		if errors.Is(err, serve.ErrBacklogged) {
+			shed += len(sub)
+			if firstNode < 0 {
+				firstNode = n
+			}
+			return nil
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if shed > 0 {
+		return &BacklogError{Node: firstNode, Shed: shed}
+	}
+	return nil
+}
+
+func (t *TCP) submitBatch(rs []serve.Report, send func(n int, sub []serve.Report) error) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	if t.ring.Nodes() == 1 {
+		if err := send(0, rs); err != nil {
+			return fmt.Errorf("cluster: node 0: %w", err)
+		}
+		return nil
+	}
+	bufs := t.scatter.Get().(*[][]serve.Report)
+	defer t.putScatter(bufs)
+	for i := range rs {
+		n := t.ring.NodeOf(rs[i].Terminal)
+		(*bufs)[n] = append((*bufs)[n], rs[i])
+	}
+	for n, sub := range *bufs {
+		if len(sub) == 0 {
+			continue
+		}
+		if err := send(n, sub); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+func (t *TCP) putScatter(bufs *[][]serve.Report) {
+	for i := range *bufs {
+		(*bufs)[i] = (*bufs)[i][:0]
+	}
+	t.scatter.Put(bufs)
+}
+
+// Flush implements Router: waits until every node's ledger balances
+// (delivered + lost ≥ submitted) within the shared timeout.  Node
+// failures are returned joined, not hidden.
+func (t *TCP) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var errs []error
+	for n, c := range t.clients {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		if err := c.Flush(remaining); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats implements Router from the per-node client ledgers.  Terminal
+// counts are not carried on the wire and read 0.
+func (t *TCP) Stats() Stats {
+	st := Stats{Nodes: make([]NodeStats, len(t.clients))}
+	for n, c := range t.clients {
+		cnt := c.Counters()
+		st.Nodes[n] = NodeStats{
+			Node:       n,
+			Addr:       c.Addr(),
+			Submitted:  cnt.Submitted,
+			Decisions:  cnt.Delivered,
+			Lost:       cnt.Lost,
+			Handovers:  cnt.Handovers,
+			PingPongs:  cnt.PingPongs,
+			Errors:     cnt.RemoteErrors,
+			QueueDepth: cnt.QueuedLines,
+		}
+	}
+	return st
+}
+
+// Close implements Router: every node client drains its queue to the
+// node, reads the remaining decisions and closes.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		var errs []error
+		for n, c := range t.clients {
+			if err := c.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
+				errs = append(errs, fmt.Errorf("cluster: node %d: %w", n, err))
+			}
+		}
+		t.closeErr = errors.Join(errs...)
+	})
+	return t.closeErr
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/hexgrid"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// testMeas builds a valid measurement whose inputs vary with id.
+func testMeas(id int) cell.Measurement {
+	return cell.Measurement{
+		Serving:    hexgrid.Cell{I: 0, J: 0},
+		Neighbor:   hexgrid.Cell{I: 1, J: 0},
+		ServingDB:  -80 - float64(id%7),
+		NeighborDB: -100 + float64(id%9),
+		CSSPdB:     -1 + float64(id%5)*0.5,
+		DMBNorm:    0.5 + float64(id%4)*0.1,
+		WalkedKm:   0.1 * float64(id%11),
+		SpeedKmh:   float64(10 * (id % 5)),
+	}
+}
+
+// startNodeDaemon serves one engine over TCP with the daemon connection
+// protocol — the in-test stand-in for a hoserve process.  Returns the
+// node's address and a stop function.
+func startNodeDaemon(t testing.TB, cfg serve.Config) (addr string, stop func()) {
+	t.Helper()
+	mux := serve.NewDecisionMux()
+	cfg.OnDecision = mux.Route
+	e, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &serve.Daemon{
+		Name:   "testnode",
+		Mux:    mux,
+		Submit: e.SubmitBatch,
+		Drain:  func() error { e.Flush(); return nil },
+	}
+	var wg sync.WaitGroup
+	var cmu sync.Mutex
+	var conns []net.Conn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			cmu.Lock()
+			conns = append(conns, conn)
+			cmu.Unlock()
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				d.ServeConn(conn)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		ln.Close()
+		cmu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		cmu.Unlock()
+		wg.Wait()
+		e.Stop()
+	}
+}
+
+// TestTCPClusterMatchesSingleEngine runs the paper scenario grid through
+// a 2-node TCP cluster (real sockets, real wire protocol) and demands
+// per-terminal decision sequences identical to a single engine — wire
+// codec parity included, since scores and flags survive the JSON round
+// trip bit for bit.
+func TestTCPClusterMatchesSingleEngine(t *testing.T) {
+	reports, terminals := paperGridReports(t, []float64{0, 30}, nil)
+	single := serve.Config{Shards: 4, QueueDepth: 64, Compiled: true, PingPongWindowKm: sim.DefaultPingPongWindowKm}
+	ref := runSingleEngine(t, single, reports, terminals)
+
+	nodeCfg := serve.Config{Shards: 2, QueueDepth: 64, Compiled: true, PingPongWindowKm: sim.DefaultPingPongWindowKm}
+	addr0, stop0 := startNodeDaemon(t, nodeCfg)
+	defer stop0()
+	addr1, stop1 := startNodeDaemon(t, nodeCfg)
+	defer stop1()
+
+	rec := newOutcomeRecorder(terminals)
+	var recMu sync.Mutex
+	router, err := DialTCP(TCPConfig{
+		Addrs: []string{addr0, addr1},
+		OnDecision: func(_ int, o serve.Outcome) {
+			// Two node readers may interleave across terminals; each
+			// terminal still arrives on exactly one reader.  The lock
+			// only orders the slice-header writes.
+			recMu.Lock()
+			rec.record(o)
+			recMu.Unlock()
+		},
+		OnError: func(node int, err error) { t.Errorf("node %d: %v", node, err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(reports); i += 113 {
+		end := i + 113
+		if end > len(reports) {
+			end = len(reports)
+		}
+		if err := router.SubmitBatch(reports[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := router.Flush(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tot := router.Stats().Totals()
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	checkSequencesEqual(t, "tcp/nodes=2", rec, ref)
+	if tot.Submitted != uint64(len(reports)) || tot.Decisions != uint64(len(reports)) || tot.Lost != 0 {
+		t.Errorf("totals %+v, want submitted=decisions=%d lost=0", tot, len(reports))
+	}
+	if tot.Handovers == 0 {
+		t.Error("grid executed no handovers over TCP; equivalence is vacuous")
+	}
+	// Both nodes must have decided — otherwise the ring degenerated.
+	for _, ns := range router.Stats().Nodes {
+		if ns.Decisions == 0 {
+			t.Errorf("node %d (%s) decided nothing", ns.Node, ns.Addr)
+		}
+	}
+}
+
+// TestTCPClusterBackpressure: a stalled node fills its bounded send queue
+// and TrySubmitBatch sheds that node's sub-batch with a BacklogError
+// naming the shed count, while the healthy node keeps accepting.
+func TestTCPClusterBackpressure(t *testing.T) {
+	// Healthy node.
+	addr0, stop0 := startNodeDaemon(t, serve.Config{Shards: 1, QueueDepth: 64})
+	defer stop0()
+	// Stalled node: accepts and never reads.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hold := make(chan struct{})
+	var holdOnce sync.Once
+	unhold := func() { holdOnce.Do(func() { close(hold) }) }
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		<-hold
+		conn.Close()
+	}()
+
+	router, err := DialTCP(TCPConfig{
+		Addrs:      []string{addr0, ln.Addr().String()},
+		QueueDepth: 2,
+		RedialWait: 10 * time.Millisecond,
+		MaxRedials: 2,
+		CloseGrace: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	defer unhold()
+
+	var rs []serve.Report
+	for id := 0; id < 512; id++ {
+		rs = append(rs, serve.Report{Terminal: serve.TerminalID(id), Meas: testMeas(id)})
+	}
+	sawBacklog := false
+	for i := 0; i < 20000 && !sawBacklog; i++ {
+		err := router.TrySubmitBatch(rs)
+		if err == nil {
+			continue
+		}
+		var be *BacklogError
+		if !errors.As(err, &be) || !errors.Is(err, serve.ErrBacklogged) {
+			t.Fatalf("TrySubmitBatch: %v", err)
+		}
+		if be.Node != 1 || be.Shed == 0 {
+			t.Fatalf("backlog error %+v, want node 1 with a shed count", be)
+		}
+		sawBacklog = true
+	}
+	if !sawBacklog {
+		t.Fatal("stalled node never surfaced ErrBacklogged")
+	}
+	// The healthy node kept serving its share.
+	if n0 := router.Stats().Nodes[0]; n0.Submitted == 0 {
+		t.Error("healthy node accepted nothing while its peer was stalled")
+	}
+}
+
+// TestTCPClusterSurfacesNodeLoss: killing one node mid-stream surfaces
+// the loss through OnError and the Lost counter — never a silent drop —
+// while the surviving node keeps deciding its terminals.
+func TestTCPClusterSurfacesNodeLoss(t *testing.T) {
+	addr0, stop0 := startNodeDaemon(t, serve.Config{Shards: 1, QueueDepth: 64})
+	defer stop0()
+	addr1, stop1 := startNodeDaemon(t, serve.Config{Shards: 1, QueueDepth: 64})
+
+	lossCh := make(chan error, 64)
+	router, err := DialTCP(TCPConfig{
+		Addrs:      []string{addr0, addr1},
+		RedialWait: 10 * time.Millisecond,
+		MaxRedials: 2,
+		OnError:    func(node int, err error) { lossCh <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	var rs []serve.Report
+	for id := 0; id < 256; id++ {
+		rs = append(rs, serve.Report{Terminal: serve.TerminalID(id), Meas: testMeas(id)})
+	}
+	if err := router.SubmitBatch(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stop1() // node 1 dies for good
+	deadline := time.Now().Add(10 * time.Second)
+	lossSeen := false
+	for !lossSeen && time.Now().Before(deadline) {
+		if err := router.SubmitBatch(rs); err != nil {
+			// Node 1 down for good: submission against it now fails
+			// loudly, which also satisfies the no-silent-drop contract.
+			lossSeen = true
+			break
+		}
+		select {
+		case <-lossCh:
+			lossSeen = true
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if !lossSeen {
+		t.Fatal("node loss never surfaced")
+	}
+	if router.Stats().Nodes[0].Decisions == 0 {
+		t.Error("surviving node decided nothing")
+	}
+}

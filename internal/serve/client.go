@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Node-client defaults.
+const (
+	// DefaultNodeQueueDepth bounds a node client's send queue, in encoded
+	// batch lines.
+	DefaultNodeQueueDepth = 256
+	// DefaultRedialWait is the pause between reconnect attempts.
+	DefaultRedialWait = 200 * time.Millisecond
+	// DefaultMaxRedials bounds consecutive failed reconnect attempts
+	// before the client goes fatally down.
+	DefaultMaxRedials = 25
+	// DefaultCloseGrace bounds how long Close waits for the node to
+	// answer the drained tail (and for a blocked write to clear) before
+	// the connection is cut and the remainder accounted lost.
+	DefaultCloseGrace = 10 * time.Second
+)
+
+// ErrClientClosed is returned by NodeClient sends after Close.
+var ErrClientClosed = errors.New("serve: node client closed")
+
+// NodeClientConfig configures a NodeClient.
+type NodeClientConfig struct {
+	// QueueDepth bounds the send queue in encoded batch lines (0:
+	// DefaultNodeQueueDepth).  A full queue is per-node backpressure:
+	// TrySend fails fast with ErrBacklogged, Send blocks.
+	QueueDepth int
+	// OnOutcome receives every decoded decision, in the node's emission
+	// order (per-terminal order is the engine's submission order).  It
+	// runs on the client's reader goroutine.
+	OnOutcome func(Outcome)
+	// OnError receives line-level remote rejects, lost-report notices and
+	// connection errors.  Nil discards them — set it: the client's
+	// no-silent-drop guarantee is only as good as the listener.
+	OnError func(error)
+	// RedialWait is the pause between reconnect attempts (0: default).
+	RedialWait time.Duration
+	// MaxRedials bounds consecutive failed reconnects before the client
+	// goes fatally down (0: default; negative: no reconnection at all).
+	MaxRedials int
+	// CloseGrace bounds Close's wait for the tail of decisions (0:
+	// DefaultCloseGrace).  Flush before Close to not race the grace.
+	CloseGrace time.Duration
+}
+
+// NodeCounters is a snapshot of a NodeClient's report ledger.
+type NodeCounters struct {
+	// Submitted counts reports accepted into the send queue; Delivered
+	// the outcomes received back; Lost the reports the client has given
+	// up on (connection died with them in flight, or the client went
+	// fatally down with them queued).  Submitted − Delivered − Lost is
+	// the in-flight balance Flush waits on.
+	Submitted, Delivered, Lost uint64
+	// Handovers/PingPongs tally executed handovers and flagged returns
+	// among the delivered outcomes; RemoteErrors counts line-level
+	// rejects the node sent back.
+	Handovers, PingPongs, RemoteErrors uint64
+	// QueuedLines is the instantaneous send-queue depth in lines.
+	QueuedLines int
+}
+
+// pendingLine is one encoded batch line in the send queue.
+type pendingLine struct {
+	line []byte
+	n    uint64 // reports in the line
+}
+
+// NodeClient speaks the newline-JSON wire protocol to one remote engine
+// node (a hoserve daemon): report batches out on a single ordered
+// connection, decision lines back.  It is the per-node building block of
+// the cluster's TCP router.
+//
+// Delivery contract: every submitted report is either decided (OnOutcome)
+// or loudly lost — when the connection dies, in-flight reports are counted
+// in Lost and surfaced through OnError; the client then reconnects (up to
+// MaxRedials) and keeps serving the queue.  Reports are never silently
+// dropped and never retried (a retry after a partial write could replay a
+// decision and fork the terminal's state stream — re-submission policy
+// belongs to the caller, which knows whether its stream is idempotent).
+type NodeClient struct {
+	addr string
+	cfg  NodeClientConfig
+
+	queue chan pendingLine
+
+	// mu guards the closing flag against sends.
+	mu      sync.RWMutex
+	closing bool
+	// connMu guards conn, the live connection, so Close can bound a
+	// blocked read or write with a deadline.
+	connMu sync.Mutex
+	conn   net.Conn
+	// down closes when the client goes fatally down; fatalErr carries the
+	// error.  Kept apart from mu so a sender blocked on a full queue can
+	// observe the transition without anyone needing the write lock.
+	down     chan struct{}
+	fatalErr atomic.Pointer[error]
+
+	wg sync.WaitGroup
+
+	submitted  atomic.Uint64
+	written    atomic.Uint64
+	delivered  atomic.Uint64
+	lost       atomic.Uint64
+	handovers  atomic.Uint64
+	pingpongs  atomic.Uint64
+	remoteErrs atomic.Uint64
+}
+
+// DialNode connects to a node daemon and starts the writer/reader loops.
+// The initial dial is synchronous: a node that is down at construction is
+// reported immediately, not after a queue fills.
+func DialNode(addr string, cfg NodeClientConfig) (*NodeClient, error) {
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultNodeQueueDepth
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: node queue depth %d must be positive", cfg.QueueDepth)
+	}
+	if cfg.RedialWait == 0 {
+		cfg.RedialWait = DefaultRedialWait
+	}
+	if cfg.MaxRedials == 0 {
+		cfg.MaxRedials = DefaultMaxRedials
+	}
+	if cfg.CloseGrace == 0 {
+		cfg.CloseGrace = DefaultCloseGrace
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: node %s: %w", addr, err)
+	}
+	c := &NodeClient{
+		addr:  addr,
+		cfg:   cfg,
+		queue: make(chan pendingLine, cfg.QueueDepth),
+		down:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.run(conn)
+	return c, nil
+}
+
+// Addr returns the node address the client dials.
+func (c *NodeClient) Addr() string { return c.addr }
+
+// Err returns the sticky fatal error, if the client has gone down.
+func (c *NodeClient) Err() error {
+	if p := c.fatalErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Send encodes the reports as one batch line and enqueues it, blocking
+// while the node's queue is full (backpressure).  It fails with
+// ErrClientClosed after Close and with the fatal error once the client
+// has given up on the node.
+func (c *NodeClient) Send(rs []Report) error { return c.send(rs, true) }
+
+// TrySend is Send without blocking: a full queue fails fast with
+// ErrBacklogged so the caller can shed or retry on its own terms.
+func (c *NodeClient) TrySend(rs []Report) error { return c.send(rs, false) }
+
+func (c *NodeClient) send(rs []Report, block bool) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	// Enforce wire validity before anything is enqueued: one invalid
+	// report (non-finite float, negative distance, serving == neighbor)
+	// would make the remote daemon reject part or all of the coalesced
+	// line — dropping other reports on it and opening a ledger gap the
+	// client cannot account.  The in-process backends accept what the
+	// engine accepts; the wire must be held to the wire's rules here.
+	for i := range rs {
+		if err := rs[i].Wire().Validate(); err != nil {
+			return fmt.Errorf("serve: node %s: report %d: %w", c.addr, i, err)
+		}
+	}
+	p := pendingLine{line: AppendBatchJSON(make([]byte, 0, 160*len(rs)), rs), n: uint64(len(rs))}
+	var wait *time.Timer
+	defer func() {
+		if wait != nil {
+			wait.Stop()
+		}
+	}()
+	for {
+		// The enqueue itself is non-blocking and happens under the read
+		// lock, after the closing/fatal checks: a line is only ever added
+		// while the writer is still guaranteed to drain it (Close flips
+		// the flag under the write lock, goDown drains under it).
+		// Critically, no sender blocks while holding the lock — that
+		// would deadlock Close/goDown against a stalled peer.
+		c.mu.RLock()
+		if c.closing {
+			c.mu.RUnlock()
+			return ErrClientClosed
+		}
+		if err := c.Err(); err != nil {
+			c.mu.RUnlock()
+			return err
+		}
+		select {
+		case c.queue <- p:
+			c.submitted.Add(p.n)
+			c.mu.RUnlock()
+			return nil
+		default:
+		}
+		c.mu.RUnlock()
+		if !block {
+			return ErrBacklogged
+		}
+		// Queue full: wait for drain (or client death) without the lock.
+		// One reusable timer — a saturated sender must not allocate a
+		// fresh timer every spin.
+		if wait == nil {
+			wait = time.NewTimer(100 * time.Microsecond)
+		} else {
+			wait.Reset(100 * time.Microsecond)
+		}
+		select {
+		case <-c.down:
+			return c.Err()
+		case <-wait.C:
+		}
+	}
+}
+
+// Flush blocks until every report submitted before the call is either
+// delivered or accounted lost, or the timeout elapses.  The target is
+// snapshotted once — concurrent submitters cannot turn Flush into a
+// moving-target wait.  It returns the client's fatal error if it went
+// down, and a descriptive error on timeout.
+func (c *NodeClient) Flush(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	sub := c.submitted.Load()
+	for {
+		if c.delivered.Load()+c.lost.Load() >= sub {
+			return c.Err()
+		}
+		if err := c.Err(); err != nil {
+			// Down for good: the outstanding balance will never clear.
+			return err
+		}
+		if n := c.remoteErrs.Load(); n > 0 {
+			// The node rejected n whole ingest lines: their reports will
+			// never be decided and the client cannot know how many there
+			// were, so the balance can never provably clear.  Fail fast
+			// instead of burning the whole timeout on every Flush.
+			return fmt.Errorf("serve: node %s: %d ingest line(s) rejected by the node; the ledger cannot balance (see OnError for the rejects)", c.addr, n)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: node %s: flush timed out with %d of %d reports outstanding",
+				c.addr, sub-c.delivered.Load()-c.lost.Load(), sub)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Close stops accepting sends, drains the queued lines to the node, reads
+// the remaining decisions and tears the connection down.  The whole
+// teardown is bounded by CloseGrace: a node that stops answering cannot
+// wedge Close — the tail is cut and accounted lost instead.  Safe to call
+// once; concurrent with sends.
+func (c *NodeClient) Close() error {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.closing = true
+	c.mu.Unlock()
+	// Bound a write blocked against a stalled peer (and the read drain).
+	c.connMu.Lock()
+	if c.conn != nil {
+		c.conn.SetDeadline(time.Now().Add(c.cfg.CloseGrace))
+	}
+	c.connMu.Unlock()
+	c.wg.Wait()
+	return c.Err()
+}
+
+// setConn records the live connection for Close to bound.  (Lock order:
+// connMu may take mu's read side; Close releases mu before taking connMu,
+// so there is no inversion.)
+func (c *NodeClient) setConn(conn net.Conn) {
+	c.connMu.Lock()
+	c.conn = conn
+	if c.isClosing() {
+		conn.SetDeadline(time.Now().Add(c.cfg.CloseGrace))
+	}
+	c.connMu.Unlock()
+}
+
+// Counters snapshots the report ledger.
+func (c *NodeClient) Counters() NodeCounters {
+	return NodeCounters{
+		Submitted:    c.submitted.Load(),
+		Delivered:    c.delivered.Load(),
+		Lost:         c.lost.Load(),
+		Handovers:    c.handovers.Load(),
+		PingPongs:    c.pingpongs.Load(),
+		RemoteErrors: c.remoteErrs.Load(),
+		QueuedLines:  len(c.queue),
+	}
+}
+
+// surfaces err through OnError, if set.
+func (c *NodeClient) surface(err error) {
+	if c.cfg.OnError != nil {
+		c.cfg.OnError(err)
+	}
+}
+
+// isClosing reports whether Close has been requested.
+func (c *NodeClient) isClosing() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.closing
+}
+
+// run owns the connection lifecycle: write the queue to the connection,
+// read decisions back, reconnect on failure, account in-flight reports as
+// lost whenever a connection dies.
+func (c *NodeClient) run(conn net.Conn) {
+	defer c.wg.Done()
+	for {
+		c.setConn(conn)
+		readerDone := make(chan struct{})
+		go c.readLoop(conn, readerDone)
+		finished, werr := c.writeLoop(conn, readerDone)
+		if finished {
+			// Clean shutdown: everything queued was written; half-close
+			// so the node sees EOF, decides the tail and closes — the
+			// reader drains those decisions before we return, bounded by
+			// the close grace so a mute peer cannot wedge us.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				conn.Close()
+			}
+			conn.SetReadDeadline(time.Now().Add(c.cfg.CloseGrace))
+			<-readerDone
+			conn.Close()
+			c.accountLost("connection closed")
+			return
+		}
+		conn.Close()
+		<-readerDone
+		c.accountLost("connection lost")
+		if werr != nil {
+			c.surface(fmt.Errorf("serve: node %s: %w", c.addr, werr))
+		}
+		next, err := c.redial()
+		if err != nil {
+			c.goDown(err)
+			return
+		}
+		conn = next
+	}
+}
+
+// writeLoop drains the send queue onto the connection.  It returns
+// finished=true when Close was requested and the queue is empty, false
+// (with the error) when the connection failed — including a connection
+// the peer closed, which only the reader notices (readerDone).
+func (c *NodeClient) writeLoop(conn net.Conn, readerDone <-chan struct{}) (finished bool, err error) {
+	write := func(p pendingLine) error {
+		// The line may partially reach the node on failure, where the
+		// fragment cannot parse as a complete report line; its reports
+		// are this connection's in-flight loss either way.
+		_, werr := conn.Write(p.line)
+		c.written.Add(p.n)
+		return werr
+	}
+	idle := time.NewTimer(10 * time.Millisecond)
+	defer idle.Stop()
+	for {
+		select {
+		case p := <-c.queue:
+			if err := write(p); err != nil {
+				return false, err
+			}
+		default:
+			if c.isClosing() {
+				// Queue empty and no new sends can start: done.  (A send
+				// that raced the closing flag enqueued before we read it
+				// here — the inner drain below catches it.)
+				select {
+				case p := <-c.queue:
+					if err := write(p); err != nil {
+						return false, err
+					}
+					continue
+				default:
+					return true, nil
+				}
+			}
+			// Idle: block until work, peer death or closing (reusable
+			// timer — this arm runs for the life of the connection).
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(10 * time.Millisecond)
+			select {
+			case p := <-c.queue:
+				if err := write(p); err != nil {
+					return false, err
+				}
+			case <-readerDone:
+				return false, errors.New("connection closed by peer")
+			case <-idle.C:
+			}
+		}
+	}
+}
+
+// readLoop decodes decision lines until the connection fails or closes.
+func (c *NodeClient) readLoop(conn net.Conn, done chan<- struct{}) {
+	defer close(done)
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for scanner.Scan() {
+		w, err := ParseOutcomeLine(scanner.Bytes())
+		if err != nil {
+			var we *WireError
+			if errors.As(err, &we) {
+				// The node rejected a whole ingest line: its reports will
+				// never be decided.  The client cannot know the count from
+				// here, so it surfaces loudly and lets Flush's timeout
+				// catch the ledger gap.
+				c.remoteErrs.Add(1)
+				c.surface(fmt.Errorf("serve: node %s rejected a line: %w", c.addr, err))
+			} else {
+				c.surface(fmt.Errorf("serve: node %s: %w", c.addr, err))
+			}
+			continue
+		}
+		o := w.Outcome()
+		c.delivered.Add(1)
+		if o.Executed {
+			c.handovers.Add(1)
+		}
+		if o.PingPong {
+			c.pingpongs.Add(1)
+		}
+		if c.cfg.OnOutcome != nil {
+			c.cfg.OnOutcome(o)
+		}
+	}
+}
+
+// accountLost moves the written-but-undelivered balance into the lost
+// ledger and surfaces it.  Called only from run, with no reader active.
+func (c *NodeClient) accountLost(cause string) {
+	inflight := c.written.Load() - c.delivered.Load() - c.lost.Load()
+	if inflight == 0 {
+		return
+	}
+	c.lost.Add(inflight)
+	c.surface(fmt.Errorf("serve: node %s: %s with %d reports in flight; they are lost (resubmit if idempotent)",
+		c.addr, cause, inflight))
+}
+
+// redial re-establishes the connection with bounded retries.  Every
+// attempt — the first included — waits RedialWait beforehand: the node
+// needs a beat to notice the dead connection and release its
+// per-connection state (terminal ownership) before the replacement
+// arrives, or the new connection's first lines bounce off stale claims.
+func (c *NodeClient) redial() (net.Conn, error) {
+	if c.cfg.MaxRedials < 0 {
+		return nil, fmt.Errorf("serve: node %s: connection lost and reconnection disabled", c.addr)
+	}
+	var last error
+	for i := 0; i < c.cfg.MaxRedials; i++ {
+		time.Sleep(c.cfg.RedialWait)
+		if c.isClosing() {
+			return nil, fmt.Errorf("serve: node %s: closed while reconnecting", c.addr)
+		}
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			return conn, nil
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("serve: node %s: gave up after %d reconnect attempts: %w", c.addr, c.cfg.MaxRedials, last)
+}
+
+// goDown marks the client fatally down: queued lines are drained into the
+// lost ledger (loudly), and future sends fail with err.  The fatal error
+// is published before down closes, so a sender woken by down always reads
+// a non-nil Err.  The drain runs under the write lock, which a sender
+// never holds while enqueueing-or-waiting: any enqueue that raced the
+// transition completed before the lock was granted and is caught by the
+// drain, so no report is ever stranded un-accounted.
+func (c *NodeClient) goDown(err error) {
+	c.fatalErr.Store(&err)
+	close(c.down)
+	c.mu.Lock()
+	var dropped uint64
+	for {
+		select {
+		case p := <-c.queue:
+			dropped += p.n
+		default:
+			c.mu.Unlock()
+			if dropped > 0 {
+				c.lost.Add(dropped)
+				c.surface(fmt.Errorf("serve: node %s: dropped %d queued reports: %w", c.addr, dropped, err))
+			}
+			c.surface(err)
+			return
+		}
+	}
+}

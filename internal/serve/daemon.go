@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// Daemon is the shared front-door scaffolding of the serving binaries
+// (hoserve above one engine, hocluster above a node router): newline-JSON
+// report ingest from stdin or TCP, one decision line back per report
+// through a DecisionMux, periodic sink flushing, and exclusive
+// per-connection terminal ownership with release on disconnect.  Keeping
+// the connection lifecycle here means both daemons share one teardown
+// ordering (drain, then release) instead of diverging copies.
+//
+// Half-open clients cannot hold their terminals forever: accepted TCP
+// connections carry the runtime's default keepalive, so a vanished peer
+// errors the ingest read within the OS probe window and the handler
+// releases its claims.
+type Daemon struct {
+	// Name prefixes stderr log lines ("hoserve", "hocluster").
+	Name string
+	// Mux routes outcomes to the owning connection's sink; the caller
+	// wires Mux.Route as the engine's/router's decision callback.
+	Mux *DecisionMux
+	// Submit routes one parsed report batch (Engine.SubmitBatch or a
+	// cluster router's SubmitBatch).
+	Submit func([]Report) error
+	// Drain blocks until every report submitted so far is decided
+	// (Engine.Flush, or a router Flush with timeout).  Its error is a
+	// serving failure, reported separately from rejected input lines.
+	Drain func() error
+}
+
+// flushLoop periodically flushes a sink until stop closes.
+func flushLoop(s *Sink, stop <-chan struct{}) {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// RunStdio ingests os.Stdin to completion, emits decisions on os.Stdout,
+// and drains.  It returns the lines read, the lines (fully or partially)
+// rejected, and the drain error, so the caller can report input problems
+// and serving problems as what they are.
+func (d *Daemon) RunStdio() (lines, bad int, drainErr error) {
+	out := NewSink(os.Stdout)
+	stop := make(chan struct{})
+	go flushLoop(out, stop)
+	lines, bad = IngestLines(os.Stdin, d.Mux, out, d.Submit, func(line int, err error) {
+		fmt.Fprintf(os.Stderr, "%s: line %d: %v\n", d.Name, line, err)
+	})
+	drainErr = d.Drain()
+	close(stop)
+	out.Flush()
+	return lines, bad, drainErr
+}
+
+// RunTCP accepts ingest connections forever.  Each connection owns the
+// terminals it submits first (see DecisionMux) until it disconnects; its
+// rejects come back as {"error":...} lines on its own sink.
+func (d *Daemon) RunTCP(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Transient accept failures (aborted handshakes, fd
+			// exhaustion) must not tear down the daemon and every
+			// connected client: log, back off briefly, keep accepting.
+			fmt.Fprintf(os.Stderr, "%s: accept: %v\n", d.Name, err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		go d.serveConn(conn)
+	}
+}
+
+// serveConn runs one ingest connection to completion: ingest, drain the
+// in-flight decisions so the client's tail reaches its sink, then release
+// the connection's terminal claims.
+func (d *Daemon) serveConn(conn net.Conn) {
+	defer conn.Close()
+	out := NewSink(conn)
+	stop := make(chan struct{})
+	go flushLoop(out, stop)
+	IngestLines(conn, d.Mux, out, d.Submit, func(line int, err error) {
+		out.WriteError(fmt.Errorf("line %d: %w", line, err))
+	})
+	if err := d.Drain(); err != nil {
+		out.WriteError(fmt.Errorf("drain: %w", err))
+	}
+	close(stop)
+	out.Flush()
+	d.Mux.Release(out)
+}
+
+// ServeConn exposes the per-connection protocol for callers that manage
+// their own listener (tests, embedding).
+func (d *Daemon) ServeConn(conn net.Conn) { d.serveConn(conn) }

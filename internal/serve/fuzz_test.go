@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseBatchLine drives the ingest parser with arbitrary lines and
+// checks its structural invariants: no panics, the validated-prefix
+// contract (returned reports always validate, an error always names a
+// report index on partial returns), and encode→parse idempotence on
+// whatever was accepted.
+func FuzzParseBatchLine(f *testing.F) {
+	single := `{"terminal":7,"serving":[0,0],"neighbor":[1,0],"serving_db":-88.5,"ssn_db":-84,"cssp_db":-2.5,"dmb":1.1,"walked_km":3.2,"speed_kmh":30}`
+	f.Add([]byte(single))
+	f.Add([]byte("[" + single + "," + strings.Replace(single, `"terminal":7`, `"terminal":8`, 1) + "]"))
+	f.Add([]byte("  \t "))
+	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[0,0]}`)) // serving == neighbor
+	f.Add([]byte(`[{"terminal":1,"serving":[0,0],"neighbor":[1,0],"dmb":-2},` + single + `]`))
+	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"serving_db":1e999}`))
+	f.Add([]byte(`"just a string"`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		reports, err := ParseBatchLine(line)
+		if err == nil && reports == nil && len(trimSpace(line)) != 0 {
+			// Non-blank lines either parse to reports or error; a silent
+			// nil/nil is only the blank-line contract.  (A parsed empty
+			// batch "[]" is also fine: len 0 but non-nil is not required.)
+			_ = reports
+		}
+		for i := range reports {
+			// Everything returned — full parse or validated prefix — must
+			// itself survive the wire validator.
+			if verr := reports[i].Wire().Validate(); verr != nil {
+				t.Fatalf("returned report %d fails validation: %v (line %q)", i, verr, line)
+			}
+		}
+		if err != nil && len(reports) > 0 && !strings.Contains(err.Error(), "report ") {
+			t.Fatalf("partial return without an index-bearing error: %v", err)
+		}
+		if err == nil && len(reports) > 0 {
+			// Round trip: encoding the accepted reports and re-parsing
+			// must reproduce them exactly.
+			enc := AppendBatchJSON(nil, reports)
+			again, err2 := ParseBatchLine(enc)
+			if err2 != nil {
+				t.Fatalf("re-parse of encoded batch failed: %v (%s)", err2, enc)
+			}
+			if !reflect.DeepEqual(reports, again) {
+				t.Fatalf("round trip drifted:\n in  %+v\n out %+v", reports, again)
+			}
+		}
+	})
+}
+
+// FuzzOutcomeRoundTrip drives the outcome codec with arbitrary decision
+// shapes: encode → ParseOutcomeLine → re-encode must be the identity on
+// bytes, and the decoded outcome must preserve every field — including
+// the scored/score-0 distinction the omitempty encoding used to lose.
+func FuzzOutcomeRoundTrip(f *testing.F) {
+	f.Add(uint64(42), uint64(9), true, 0.7321, true, "execute-handover", true, true, "")
+	f.Add(uint64(3), uint64(7), false, 0.0, true, "below threshold", false, false, "")
+	f.Add(uint64(1), uint64(0), false, 0.0, false, "POTLC-gate", false, false, "")
+	f.Add(uint64(6), uint64(2), false, 0.0, false, "", false, false, "algorithm: inference failed")
+	f.Fuzz(func(t *testing.T, terminal, seq uint64, handover bool, score float64, scored bool,
+		reason string, executed, pingpong bool, errMsg string) {
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			t.Skip("scores come from the FLC and are finite by construction")
+		}
+		if !scored {
+			// Score is meaningful (and wire-carried) only when Scored:
+			// an unscored decision's score is not part of the contract.
+			score = 0
+		}
+		if !utf8.ValidString(reason) || !utf8.ValidString(errMsg) {
+			// encoding/json replaces invalid UTF-8 on decode; reasons and
+			// error texts are ASCII in practice.
+			t.Skip("non-UTF-8 strings are out of codec scope")
+		}
+		o := Outcome{
+			Terminal: TerminalID(terminal),
+			Seq:      seq,
+			Executed: executed,
+			PingPong: pingpong,
+			Shard:    -1,
+		}
+		o.Decision.Handover = handover
+		o.Decision.Score = score
+		o.Decision.Scored = scored
+		o.Decision.Reason = reason
+		if errMsg != "" {
+			o.Err = &WireError{Msg: errMsg}
+		}
+
+		line1 := AppendOutcomeJSON(nil, o)
+		w, err := ParseOutcomeLine(line1)
+		if err != nil {
+			t.Fatalf("decode: %v (line %s)", err, line1)
+		}
+		got := w.Outcome()
+		if got.Terminal != o.Terminal || got.Seq != o.Seq ||
+			got.Decision.Handover != o.Decision.Handover ||
+			got.Decision.Scored != o.Decision.Scored ||
+			got.Decision.Score != o.Decision.Score ||
+			got.Decision.Reason != o.Decision.Reason ||
+			got.Executed != o.Executed || got.PingPong != o.PingPong {
+			t.Fatalf("decode drifted:\n in  %+v\n out %+v\nline %s", o, got, line1)
+		}
+		if (o.Err == nil) != (got.Err == nil) || (o.Err != nil && got.Err.Error() != o.Err.Error()) {
+			t.Fatalf("error drifted: %v vs %v", o.Err, got.Err)
+		}
+		line2 := AppendOutcomeJSON(nil, got)
+		if string(line1) != string(line2) {
+			t.Fatalf("re-encode drifted:\n first  %s second %s", line1, line2)
+		}
+	})
+}

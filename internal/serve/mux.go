@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sink serializes decision lines onto one writer — one per ingest
+// connection (or one for stdout).  After a write error the sink goes dead
+// and drops further output: a vanished client must not stall the shard
+// callbacks that feed it.
+type Sink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewSink wraps w in a buffered decision sink.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 256)}
+}
+
+// WriteOutcome encodes and writes one decision line.
+func (s *Sink) WriteOutcome(o Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendOutcomeJSON(s.buf[:0], o)
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// WriteError writes one line-level `{"error":...}` message (the shape
+// ParseOutcomeLine decodes as *WireError).
+func (s *Sink) WriteError(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = append(s.buf[:0], `{"error":`...)
+	s.buf = appendJSONString(s.buf, err.Error())
+	s.buf = append(s.buf, '}', '\n')
+	if _, werr := s.w.Write(s.buf); werr != nil {
+		s.err = werr
+	}
+}
+
+// Flush pushes buffered lines to the underlying writer and returns the
+// sink's sticky error, if any.
+func (s *Sink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.w.Flush()
+	}
+	return s.err
+}
+
+// OwnershipError reports a terminal-ownership conflict: a connection
+// submitted reports for a terminal another live connection already owns.
+type OwnershipError struct{ Terminal TerminalID }
+
+func (e *OwnershipError) Error() string {
+	return fmt.Sprintf("serve: terminal %d is owned by another connection", e.Terminal)
+}
+
+// DecisionMux routes engine outcomes back to the ingest connection that
+// owns each terminal, with exclusive ownership:
+//
+//   - A terminal is claimed by the first connection that submits a report
+//     for it and stays claimed until that connection releases (closes).
+//   - A second connection submitting the same terminal is rejected with an
+//     *OwnershipError — accepting it would interleave one terminal's state
+//     stream across connections and route decisions to whichever sink
+//     happened to bind last.
+//   - A claim made by a line that is later rejected (validation error
+//     further into the batch) is kept: ownership is a property of the
+//     connection, not of any one line's fate.
+//
+// Route runs on shard goroutines; Bind/Release on connection goroutines.
+type DecisionMux struct {
+	sinks sync.Map // TerminalID → *Sink
+}
+
+// NewDecisionMux returns an empty mux.
+func NewDecisionMux() *DecisionMux { return &DecisionMux{} }
+
+// Bind claims the terminal for s.  Rebinding by the owner is a cheap
+// no-op; a claim held by another sink fails with *OwnershipError.
+func (m *DecisionMux) Bind(id TerminalID, s *Sink) error {
+	if cur, loaded := m.sinks.LoadOrStore(id, s); loaded && cur != any(s) {
+		return &OwnershipError{Terminal: id}
+	}
+	return nil
+}
+
+// BindAll claims every report's terminal for s, failing on the first
+// conflict.  Terminals claimed earlier in the same call keep their claim —
+// see the DecisionMux ownership rules.
+func (m *DecisionMux) BindAll(rs []Report, s *Sink) error {
+	for i := range rs {
+		if err := m.Bind(rs[i].Terminal, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Release drops every claim held by s, so its terminals can be re-claimed
+// by a later connection.
+func (m *DecisionMux) Release(s *Sink) {
+	m.sinks.Range(func(k, v any) bool {
+		if v == any(s) {
+			m.sinks.Delete(k)
+		}
+		return true
+	})
+}
+
+// Route delivers one outcome to the owning sink (drops it if the owner
+// already released).  Use as the engine's OnDecision callback.
+func (m *DecisionMux) Route(o Outcome) {
+	if v, ok := m.sinks.Load(o.Terminal); ok {
+		v.(*Sink).WriteOutcome(o)
+	}
+}
+
+// IngestLines reads newline-JSON report lines from rd, claims each
+// report's terminal for out on mux, and submits through submit.  Rejected
+// lines are reported through reject (with their 1-based line number) and
+// skipped; the reader keeps going.  A line whose batch fails validation
+// part-way is served up to the failing report: the validated prefix is
+// bound and submitted, and the error names the index where the rest was
+// dropped.  Returns lines read and lines (fully or partially) rejected.
+func IngestLines(rd io.Reader, mux *DecisionMux, out *Sink, submit func([]Report) error, reject func(line int, err error)) (lines, bad int) {
+	scanner := bufio.NewScanner(rd)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for scanner.Scan() {
+		lines++
+		rejected := false
+		fail := func(err error) {
+			if !rejected {
+				rejected = true
+				bad++
+			}
+			reject(lines, err)
+		}
+		reports, err := ParseBatchLine(scanner.Bytes())
+		if err != nil {
+			fail(err)
+		}
+		if len(reports) == 0 {
+			continue
+		}
+		if err := mux.BindAll(reports, out); err != nil {
+			fail(err)
+			continue
+		}
+		if err := submit(reports); err != nil {
+			fail(err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		reject(lines, fmt.Errorf("read: %w", err))
+	}
+	return lines, bad
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func muxReportLine(terminal uint64, servingDB float64) string {
+	return fmt.Sprintf(`{"terminal":%d,"serving":[0,0],"neighbor":[1,0],"serving_db":%g,"ssn_db":-84,"cssp_db":-2.5,"dmb":1.1,"walked_km":3.2,"speed_kmh":30}`,
+		terminal, servingDB)
+}
+
+// TestDecisionMuxExclusiveOwnership pins the ownership rule: first binder
+// owns, a conflicting bind fails with *OwnershipError, release frees the
+// terminal for re-claiming.
+func TestDecisionMuxExclusiveOwnership(t *testing.T) {
+	mux := NewDecisionMux()
+	a := NewSink(&bytes.Buffer{})
+	b := NewSink(&bytes.Buffer{})
+
+	if err := mux.Bind(7, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Bind(7, a); err != nil {
+		t.Fatalf("owner rebind: %v", err)
+	}
+	err := mux.Bind(7, b)
+	var oe *OwnershipError
+	if !errors.As(err, &oe) || oe.Terminal != 7 {
+		t.Fatalf("conflicting bind: %v", err)
+	}
+	// Other terminals are unaffected.
+	if err := mux.Bind(8, b); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing a frees 7 but not b's 8.
+	mux.Release(a)
+	if err := mux.Bind(7, b); err != nil {
+		t.Fatalf("re-claim after release: %v", err)
+	}
+	if err := mux.Bind(8, a); err == nil {
+		t.Fatal("b's claim vanished with a's release")
+	}
+}
+
+// TestDecisionMuxRoutesToOwner: outcomes reach the owning sink only.
+func TestDecisionMuxRoutesToOwner(t *testing.T) {
+	mux := NewDecisionMux()
+	var bufA, bufB bytes.Buffer
+	a, b := NewSink(&bufA), NewSink(&bufB)
+	if err := mux.Bind(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Bind(2, b); err != nil {
+		t.Fatal(err)
+	}
+	mux.Route(Outcome{Terminal: 1, Seq: 0})
+	mux.Route(Outcome{Terminal: 2, Seq: 0})
+	mux.Route(Outcome{Terminal: 3, Seq: 0}) // unowned: dropped
+	a.Flush()
+	b.Flush()
+	if got := bufA.String(); !strings.Contains(got, `"terminal":1`) || strings.Contains(got, `"terminal":2`) {
+		t.Errorf("sink a got %q", got)
+	}
+	if got := bufB.String(); !strings.Contains(got, `"terminal":2`) || strings.Contains(got, `"terminal":1`) {
+		t.Errorf("sink b got %q", got)
+	}
+}
+
+// TestIngestDuplicateTerminalAcrossConnections is the regression test for
+// duplicate terminal ownership in TCP mode: two clients submitting the
+// same TerminalID must not interleave one terminal's state stream.  The
+// second client's conflicting line is rejected whole; after the first
+// client disconnects (Release), the terminal can be re-claimed.
+func TestIngestDuplicateTerminalAcrossConnections(t *testing.T) {
+	mux := NewDecisionMux()
+	e, err := New(Config{Shards: 2, QueueDepth: 16, OnDecision: mux.Route})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	var outA, outB bytes.Buffer
+	sinkA, sinkB := NewSink(&outA), NewSink(&outB)
+
+	// Client A claims terminals 1 and 2.
+	var rejectsA []error
+	IngestLines(strings.NewReader(muxReportLine(1, -88)+"\n"+muxReportLine(2, -88)+"\n"),
+		mux, sinkA, e.SubmitBatch, func(_ int, err error) { rejectsA = append(rejectsA, err) })
+	if len(rejectsA) != 0 {
+		t.Fatalf("client A rejected: %v", rejectsA)
+	}
+
+	// Client B submits a batch touching its own terminal 3 and A's
+	// terminal 1: the whole line must be rejected with an ownership error
+	// and nothing from it submitted.
+	conflict := "[" + muxReportLine(3, -90) + "," + muxReportLine(1, -90) + "]\n"
+	var rejectsB []error
+	lines, bad := IngestLines(strings.NewReader(conflict+muxReportLine(4, -91)+"\n"),
+		mux, sinkB, e.SubmitBatch, func(_ int, err error) { rejectsB = append(rejectsB, err) })
+	if lines != 2 || bad != 1 || len(rejectsB) != 1 {
+		t.Fatalf("lines=%d bad=%d rejects=%v", lines, bad, rejectsB)
+	}
+	var oe *OwnershipError
+	if !errors.As(rejectsB[0], &oe) || oe.Terminal != 1 {
+		t.Fatalf("reject is %v, want ownership conflict on terminal 1", rejectsB[0])
+	}
+
+	e.Flush()
+	sinkA.Flush()
+	sinkB.Flush()
+	if got := outB.String(); strings.Contains(got, `"terminal":1`) {
+		t.Errorf("client B received decisions for A's terminal: %q", got)
+	}
+	if got := outA.String(); !strings.Contains(got, `"terminal":1`) || !strings.Contains(got, `"terminal":2`) {
+		t.Errorf("client A missing its decisions: %q", got)
+	}
+	// Terminal 1 decided exactly once: B's conflicting report never ran.
+	if n := strings.Count(outA.String()+outB.String(), `"terminal":1,`); n != 1 {
+		t.Errorf("terminal 1 decided %d times, want 1", n)
+	}
+
+	// A disconnects; B can now claim terminal 1 and its decisions flow to B.
+	mux.Release(sinkA)
+	var rejects2 []error
+	IngestLines(strings.NewReader(muxReportLine(1, -92)+"\n"),
+		mux, sinkB, e.SubmitBatch, func(_ int, err error) { rejects2 = append(rejects2, err) })
+	if len(rejects2) != 0 {
+		t.Fatalf("post-release claim rejected: %v", rejects2)
+	}
+	e.Flush()
+	sinkB.Flush()
+	if got := outB.String(); !strings.Contains(got, `"terminal":1,`) {
+		t.Errorf("client B did not receive re-claimed terminal's decision: %q", got)
+	}
+}
+
+// TestIngestServesValidatedPrefix pins the partial-batch ingest policy: a
+// line whose batch fails validation mid-way serves the validated prefix
+// and reports the failing index; later lines keep flowing.
+func TestIngestServesValidatedPrefix(t *testing.T) {
+	mux := NewDecisionMux()
+	e, err := New(Config{Shards: 1, QueueDepth: 16, OnDecision: mux.Route})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	var out bytes.Buffer
+	sink := NewSink(&out)
+	badReport := `{"terminal":9,"serving":[0,0],"neighbor":[1,0],"dmb":-2}`
+	mixed := "[" + muxReportLine(1, -88) + "," + muxReportLine(2, -88) + "," + badReport + "]\n"
+	var rejects []error
+	lines, bad := IngestLines(strings.NewReader(mixed+muxReportLine(3, -89)+"\n"),
+		mux, sink, e.SubmitBatch, func(_ int, err error) { rejects = append(rejects, err) })
+	if lines != 2 || bad != 1 {
+		t.Fatalf("lines=%d bad=%d", lines, bad)
+	}
+	if len(rejects) != 1 || !strings.Contains(rejects[0].Error(), "report 2") {
+		t.Fatalf("rejects %v", rejects)
+	}
+	e.Flush()
+	sink.Flush()
+	got := out.String()
+	for _, want := range []string{`"terminal":1,`, `"terminal":2,`, `"terminal":3,`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("prefix/later decisions missing %s in %q", want, got)
+		}
+	}
+	if strings.Contains(got, `"terminal":9`) {
+		t.Errorf("invalid report decided: %q", got)
+	}
+}

@@ -303,6 +303,12 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// HashTerminal exposes the engine's terminal hash (the SplitMix64
+// finalizer) so higher routing layers — the cluster's consistent-hash
+// ring — partition terminals from the same hash family as the shard
+// store.
+func HashTerminal(id TerminalID) uint64 { return mix64(uint64(id)) }
+
 // ShardOf returns the index of the shard owning the terminal.
 func (e *Engine) ShardOf(id TerminalID) int {
 	return int(mix64(uint64(id)) % uint64(len(e.shards)))

@@ -62,11 +62,23 @@ func (ts *terminalStore) at(ref uint32) *terminal {
 	return &ts.slabs[ref>>slabBits][ref&slabMask]
 }
 
+// probeStart folds the high hash bits into the probe origin: shard
+// selection consumed the low bits (mix64(id) % shards), so within one
+// shard those are correlated — at power-of-two shard counts every
+// terminal of a shard shares its low log2(shards) bits, and probing from
+// `hashed & mask` directly would start every chain on a stride-of-shards
+// subset of buckets, inflating linear-probe runs by roughly the shard
+// count.  (routeBatch's grouping table buckets on high bits for the same
+// reason.)
+func (ts *terminalStore) probeStart(hashed uint64) uint64 {
+	return (hashed ^ hashed>>32) & ts.mask
+}
+
 // lookup returns the terminal for id, or nil if the store has never seen
 // it.  hashed is mix64(uint64(id)) — callers on the batch path already
 // have it.
 func (ts *terminalStore) lookup(id TerminalID, hashed uint64) *terminal {
-	i := hashed & ts.mask
+	i := ts.probeStart(hashed)
 	for {
 		r := ts.refs[i]
 		if r == 0 {
@@ -83,7 +95,7 @@ func (ts *terminalStore) lookup(id TerminalID, hashed uint64) *terminal {
 // created reports whether this call made it.  The returned pointer is
 // stable: index growth rehashes buckets, never moves slab entries.
 func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, created bool) {
-	i := hashed & ts.mask
+	i := ts.probeStart(hashed)
 	for {
 		r := ts.refs[i]
 		if r == 0 {
@@ -97,7 +109,7 @@ func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, cre
 	if ts.live >= ts.growAt {
 		ts.grow()
 		// Re-probe in the doubled index for the insertion bucket.
-		i = hashed & ts.mask
+		i = ts.probeStart(hashed)
 		for ts.refs[i] != 0 {
 			i = (i + 1) & ts.mask
 		}
@@ -126,7 +138,7 @@ func (ts *terminalStore) grow() {
 			continue
 		}
 		id := oldKeys[j]
-		i := mix64(uint64(id)) & ts.mask
+		i := ts.probeStart(mix64(uint64(id)))
 		for ts.refs[i] != 0 {
 			i = (i + 1) & ts.mask
 		}

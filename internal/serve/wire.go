@@ -26,15 +26,38 @@ type WireReport struct {
 }
 
 // WireOutcome is the newline-JSON decision format cmd/hoserve emits.
+// Score is meaningful only when Scored is set: the pair distinguishes a
+// legitimate score of exactly 0 from "the algorithm produced no score",
+// which a bare omitempty float cannot.
 type WireOutcome struct {
 	Terminal uint64  `json:"terminal"`
 	Seq      uint64  `json:"seq"`
 	Handover bool    `json:"handover"`
 	Score    float64 `json:"score,omitempty"`
+	Scored   bool    `json:"scored,omitempty"`
 	Reason   string  `json:"reason"`
 	Executed bool    `json:"executed"`
 	PingPong bool    `json:"pingpong,omitempty"`
 	Error    string  `json:"error,omitempty"`
+}
+
+// Wire converts a report to its wire shape — the inverse of
+// WireReport.Report, used by clients to validate before encoding (a
+// non-finite float would render as a bare NaN/Inf token, which is not
+// JSON, and an invalid report would poison its whole coalesced batch
+// line at the remote daemon).
+func (r Report) Wire() WireReport {
+	return WireReport{
+		Terminal:   uint64(r.Terminal),
+		Serving:    [2]int{r.Meas.Serving.I, r.Meas.Serving.J},
+		Neighbor:   [2]int{r.Meas.Neighbor.I, r.Meas.Neighbor.J},
+		ServingDB:  r.Meas.ServingDB,
+		NeighborDB: r.Meas.NeighborDB,
+		CSSPdB:     r.Meas.CSSPdB,
+		DMBNorm:    r.Meas.DMBNorm,
+		WalkedKm:   r.Meas.WalkedKm,
+		SpeedKmh:   r.Meas.SpeedKmh,
+	}
 }
 
 // Report converts the wire shape to the engine's ingest type.
@@ -84,8 +107,12 @@ func (w WireReport) Validate() error {
 }
 
 // ParseBatchLine decodes one ingest line: either a single JSON report
-// object or a JSON array of them (one batch).  Every report is validated;
-// a malformed line yields a descriptive error and no reports.
+// object or a JSON array of them (one batch).  A malformed line (broken
+// JSON) yields a descriptive error and no reports.  A line that parses but
+// contains an invalid report yields the validated prefix — every report
+// before the offending one, in order — alongside an error naming the
+// failing index, so callers can serve the prefix (or drop it) without
+// re-parsing; reports after the first invalid one are never returned.
 func ParseBatchLine(line []byte) ([]Report, error) {
 	trimmed := trimSpace(line)
 	if len(trimmed) == 0 {
@@ -106,7 +133,7 @@ func ParseBatchLine(line []byte) ([]Report, error) {
 	out := make([]Report, 0, len(wires))
 	for i, w := range wires {
 		if err := w.Validate(); err != nil {
-			return nil, fmt.Errorf("report %d: %w", i, err)
+			return out, fmt.Errorf("report %d: %w (%d of %d validated)", i, err, len(out), len(wires))
 		}
 		out = append(out, w.Report())
 	}
@@ -125,9 +152,55 @@ func trimSpace(b []byte) []byte {
 	return b[lo:hi]
 }
 
+// AppendReportJSON appends one report in the WireReport shape (no trailing
+// newline — reports usually travel inside batch arrays) to dst and returns
+// the extended slice.  Hand-rolled like AppendOutcomeJSON so a cluster
+// router forwarding millions of reports does not allocate per report.
+func AppendReportJSON(dst []byte, r Report) []byte {
+	dst = append(dst, `{"terminal":`...)
+	dst = strconv.AppendUint(dst, uint64(r.Terminal), 10)
+	dst = append(dst, `,"serving":[`...)
+	dst = strconv.AppendInt(dst, int64(r.Meas.Serving.I), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(r.Meas.Serving.J), 10)
+	dst = append(dst, `],"neighbor":[`...)
+	dst = strconv.AppendInt(dst, int64(r.Meas.Neighbor.I), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(r.Meas.Neighbor.J), 10)
+	dst = append(dst, `],"serving_db":`...)
+	dst = strconv.AppendFloat(dst, r.Meas.ServingDB, 'g', -1, 64)
+	dst = append(dst, `,"ssn_db":`...)
+	dst = strconv.AppendFloat(dst, r.Meas.NeighborDB, 'g', -1, 64)
+	dst = append(dst, `,"cssp_db":`...)
+	dst = strconv.AppendFloat(dst, r.Meas.CSSPdB, 'g', -1, 64)
+	dst = append(dst, `,"dmb":`...)
+	dst = strconv.AppendFloat(dst, r.Meas.DMBNorm, 'g', -1, 64)
+	dst = append(dst, `,"walked_km":`...)
+	dst = strconv.AppendFloat(dst, r.Meas.WalkedKm, 'g', -1, 64)
+	dst = append(dst, `,"speed_kmh":`...)
+	dst = strconv.AppendFloat(dst, r.Meas.SpeedKmh, 'g', -1, 64)
+	return append(dst, '}')
+}
+
+// AppendBatchJSON appends a batch of reports as one JSON-array ingest line
+// (with trailing newline) to dst and returns the extended slice.  The
+// output round-trips through ParseBatchLine report for report.
+func AppendBatchJSON(dst []byte, rs []Report) []byte {
+	dst = append(dst, '[')
+	for i := range rs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = AppendReportJSON(dst, rs[i])
+	}
+	return append(dst, ']', '\n')
+}
+
 // AppendOutcomeJSON appends the outcome as one JSON line (with trailing
 // newline) to dst and returns the extended slice.  It is hand-rolled so a
-// busy decision stream does not allocate per outcome.
+// busy decision stream does not allocate per outcome.  The score is
+// emitted together with an explicit "scored" flag whenever the decision
+// carries one, so a score of exactly 0 survives the round trip.
 func AppendOutcomeJSON(dst []byte, o Outcome) []byte {
 	dst = append(dst, `{"terminal":`...)
 	dst = strconv.AppendUint(dst, uint64(o.Terminal), 10)
@@ -138,6 +211,7 @@ func AppendOutcomeJSON(dst []byte, o Outcome) []byte {
 	if o.Decision.Scored {
 		dst = append(dst, `,"score":`...)
 		dst = strconv.AppendFloat(dst, o.Decision.Score, 'g', -1, 64)
+		dst = append(dst, `,"scored":true`...)
 	}
 	dst = append(dst, `,"reason":`...)
 	dst = appendJSONString(dst, o.Decision.Reason)
@@ -152,6 +226,77 @@ func AppendOutcomeJSON(dst []byte, o Outcome) []byte {
 	}
 	dst = append(dst, '}', '\n')
 	return dst
+}
+
+// WireError is the decode of a line-level `{"error":...}` message: the
+// shape a daemon emits when it rejects a whole ingest line (malformed
+// JSON, ownership conflict) rather than deciding a report.  It is also
+// the Err type of decoded outcomes, carrying the remote error text
+// verbatim — re-encoding a decoded outcome reproduces the original line
+// byte for byte.
+type WireError struct{ Msg string }
+
+func (e *WireError) Error() string { return e.Msg }
+
+// ParseOutcomeLine decodes one decision line a daemon emitted.  Lines
+// carrying a terminal decode into a WireOutcome; line-level error messages
+// (no "terminal" key) decode into a *WireError so clients can tell "a
+// report was decided, possibly with an algorithm error" from "an ingest
+// line was rejected and its reports will never be decided".  One JSON
+// parse per line — this sits on the cluster read hot path.
+func ParseOutcomeLine(line []byte) (WireOutcome, error) {
+	var aux struct {
+		Terminal *uint64 `json:"terminal"` // pointer: presence distinguishes reject lines
+		Seq      uint64  `json:"seq"`
+		Handover bool    `json:"handover"`
+		Score    float64 `json:"score"`
+		Scored   bool    `json:"scored"`
+		Reason   string  `json:"reason"`
+		Executed bool    `json:"executed"`
+		PingPong bool    `json:"pingpong"`
+		Error    string  `json:"error"`
+	}
+	if err := json.Unmarshal(line, &aux); err != nil {
+		return WireOutcome{}, fmt.Errorf("serve: malformed outcome line: %w", err)
+	}
+	if aux.Terminal == nil {
+		if aux.Error != "" {
+			return WireOutcome{}, &WireError{Msg: aux.Error}
+		}
+		return WireOutcome{}, fmt.Errorf("serve: outcome line carries no terminal: %.200s", line)
+	}
+	return WireOutcome{
+		Terminal: *aux.Terminal,
+		Seq:      aux.Seq,
+		Handover: aux.Handover,
+		Score:    aux.Score,
+		Scored:   aux.Scored,
+		Reason:   aux.Reason,
+		Executed: aux.Executed,
+		PingPong: aux.PingPong,
+		Error:    aux.Error,
+	}, nil
+}
+
+// Outcome converts the wire shape back to the engine's outcome type.  The
+// Shard field is not carried on the wire (a remote consumer has no use for
+// another process's shard index) and decodes as -1.
+func (w WireOutcome) Outcome() Outcome {
+	o := Outcome{
+		Terminal: TerminalID(w.Terminal),
+		Seq:      w.Seq,
+		Executed: w.Executed,
+		PingPong: w.PingPong,
+		Shard:    -1,
+	}
+	o.Decision.Handover = w.Handover
+	o.Decision.Score = w.Score
+	o.Decision.Scored = w.Scored
+	o.Decision.Reason = w.Reason
+	if w.Error != "" {
+		o.Err = &WireError{Msg: w.Error}
+	}
+	return o
 }
 
 // appendJSONString appends s as a JSON string.  Reasons and error texts

@@ -541,6 +541,91 @@ func TestBuildAveragedPaperTable(t *testing.T) {
 	}
 }
 
+// TestAveragedPaperTableConfidenceIntervals pins the CI semantics of the
+// averaging harness: identical replicas (σ = 0) carry zero-width
+// intervals, fading replicas carry positive ones on the shadow-affected
+// rows, the deterministic builder carries none, and the rendered table
+// shows the ±95% CI rows.
+func TestAveragedPaperTableConfidenceIntervals(t *testing.T) {
+	cfg := corridorConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochs := res.CrossingTableEpochs()
+
+	det, err := BuildPaperTable("t", res, nil, epochs, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Replicas != 1 {
+		t.Errorf("deterministic table reports %d replicas", det.Replicas)
+	}
+	for c, cell := range det.Rows[0].Cells {
+		if cell.OutputHDCI95 != 0 || cell.SSNdBCI95 != 0 || cell.CSSPdBCI95 != 0 {
+			t.Errorf("deterministic cell %d carries a CI: %+v", c, cell)
+		}
+	}
+	if strings.Contains(det.String(), "±95% CI") {
+		t.Error("deterministic table renders CI rows")
+	}
+
+	// σ = 0: all replicas coincide, every interval collapses to zero.
+	avg0, err := BuildAveragedPaperTable("t", cfg, nil, epochs, []float64{0}, 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cell := range avg0.Rows[0].Cells {
+		if cell.OutputHDCI95 != 0 || cell.SSNdBCI95 != 0 {
+			t.Errorf("sigma-0 cell %d carries a nonzero CI: %+v", c, cell)
+		}
+	}
+
+	// σ > 0: the shadow-affected rows (SSN, and HD through it) spread.
+	avg, err := BuildAveragedPaperTable("t", cfg, nil, epochs, []float64{0}, 10, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg.Replicas != 10 {
+		t.Fatalf("averaged table reports %d replicas", avg.Replicas)
+	}
+	sawSSN, sawHD := false, false
+	for _, cell := range avg.Rows[0].Cells {
+		if cell.SSNdBCI95 < 0 || cell.OutputHDCI95 < 0 || cell.CSSPdBCI95 < 0 {
+			t.Fatalf("negative CI half-width: %+v", cell)
+		}
+		sawSSN = sawSSN || cell.SSNdBCI95 > 0
+		sawHD = sawHD || cell.OutputHDCI95 > 0
+	}
+	if !sawSSN || !sawHD {
+		t.Errorf("shadowed averaging produced no spread (SSN CI > 0: %v, HD CI > 0: %v)", sawSSN, sawHD)
+	}
+	rendered := avg.String()
+	if !strings.Contains(rendered, "±95% CI") {
+		t.Errorf("averaged table does not render CI rows:\n%s", rendered)
+	}
+	if !strings.Contains(avg.Title, "±95% CI") {
+		t.Errorf("averaged title does not mention CIs: %q", avg.Title)
+	}
+	// The max-output cell reports its own CI for check notes.
+	if got := avg.MaxOutputCell(); got.OutputHD != avg.MaxOutput() {
+		t.Errorf("MaxOutputCell %.4f disagrees with MaxOutput %.4f", got.OutputHD, avg.MaxOutput())
+	}
+}
+
+// TestTCritical95 sanity-pins the Student t table the CI harness uses.
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 4: 2.776, 9: 2.262, 30: 2.042, 31: 1.96, 1000: 1.96}
+	for df, want := range cases {
+		if got := tCritical95(df); got != want {
+			t.Errorf("tCritical95(%d) = %g, want %g", df, got, want)
+		}
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("df 0 must be NaN")
+	}
+}
+
 // TestRunConcurrentSharedFLC exercises the documented concurrency contract:
 // one FLC (and one stateless Controller) may serve many goroutines.
 func TestRunConcurrentSharedFLC(t *testing.T) {

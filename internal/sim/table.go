@@ -130,6 +130,11 @@ type PaperTableCell struct {
 	CSSPdB, SSNdB, DistanceKm float64
 	// OutputHD is the FLC output for these inputs.
 	OutputHD float64
+	// CSSPdBCI95, SSNdBCI95, OutputHDCI95 are the half-widths of the
+	// two-sided 95% confidence intervals (Student t over the averaging
+	// replicas' shadow-fading sub-streams).  Zero on deterministic
+	// (non-averaged) tables.
+	CSSPdBCI95, SSNdBCI95, OutputHDCI95 float64
 }
 
 // PaperTableRow is one speed block of Tables 3-4.
@@ -149,6 +154,9 @@ type PaperTable struct {
 	Rows        []PaperTableRow
 	// Threshold is the handover threshold the outputs compare against.
 	Threshold float64
+	// Replicas is the number of averaged sub-streams (1 for a
+	// deterministic table); above 1 the cells carry 95% CIs.
+	Replicas int
 }
 
 // BuildPaperTable evaluates the FLC at the given epochs across the speed
@@ -172,6 +180,7 @@ func BuildPaperTable(title string, r *Result, flc *core.FLC, epochs []int, speed
 		Title:       title,
 		PointEpochs: append([]int(nil), epochs...),
 		Threshold:   core.DefaultHandoverThreshold,
+		Replicas:    1,
 	}
 	baseSpeed := r.Config.SpeedKmh
 	for _, speed := range speeds {
@@ -207,6 +216,11 @@ func BuildPaperTable(title string, r *Result, flc *core.FLC, epochs []int, speed
 // report distances from the original BS throughout the walk.  With
 // shadowSigmaDB = 0 every replica coincides and the result equals
 // BuildPaperTable on a passive deterministic run.
+//
+// Beyond the paper's point estimates, every averaged cell carries the
+// half-width of its two-sided 95% confidence interval over the replica
+// sub-streams (Student t with replicas−1 degrees of freedom), so the
+// tables report how tight the averaging protocol actually is.
 func BuildAveragedPaperTable(title string, base Config, flc *core.FLC, epochs []int, speeds []float64, replicas int, shadowSigmaDB, shadowDecorrKm float64) (*PaperTable, error) {
 	if replicas < 1 {
 		return nil, fmt.Errorf("sim: replicas %d < 1", replicas)
@@ -215,6 +229,7 @@ func BuildAveragedPaperTable(title string, base Config, flc *core.FLC, epochs []
 		flc = core.NewFLC()
 	}
 	var acc *PaperTable
+	var samples [][][3][]float64 // [row][cell]{CSSP, SSN, HD} replica samples
 	for rep := 0; rep < replicas; rep++ {
 		cfg := base
 		cfg.Algorithm = handover.Passive{}
@@ -233,40 +248,84 @@ func BuildAveragedPaperTable(title string, base Config, flc *core.FLC, epochs []
 		}
 		if acc == nil {
 			acc = t
-			continue
+			samples = make([][][3][]float64, len(t.Rows))
+			for r := range t.Rows {
+				samples[r] = make([][3][]float64, len(t.Rows[r].Cells))
+			}
 		}
-		for r := range acc.Rows {
-			for c := range acc.Rows[r].Cells {
-				acc.Rows[r].Cells[c].SSNdB += t.Rows[r].Cells[c].SSNdB
-				acc.Rows[r].Cells[c].OutputHD += t.Rows[r].Cells[c].OutputHD
-				acc.Rows[r].Cells[c].CSSPdB += t.Rows[r].Cells[c].CSSPdB
+		for r := range t.Rows {
+			for c := range t.Rows[r].Cells {
+				cell := t.Rows[r].Cells[c]
+				samples[r][c][0] = append(samples[r][c][0], cell.CSSPdB)
+				samples[r][c][1] = append(samples[r][c][1], cell.SSNdB)
+				samples[r][c][2] = append(samples[r][c][2], cell.OutputHD)
 			}
 		}
 	}
-	inv := 1 / float64(replicas)
+	tcrit := tCritical95(replicas - 1)
 	for r := range acc.Rows {
 		for c := range acc.Rows[r].Cells {
-			acc.Rows[r].Cells[c].SSNdB *= inv
-			acc.Rows[r].Cells[c].OutputHD *= inv
-			acc.Rows[r].Cells[c].CSSPdB *= inv
+			cell := &acc.Rows[r].Cells[c]
+			cell.CSSPdB, cell.CSSPdBCI95 = meanCI(samples[r][c][0], tcrit)
+			cell.SSNdB, cell.SSNdBCI95 = meanCI(samples[r][c][1], tcrit)
+			cell.OutputHD, cell.OutputHDCI95 = meanCI(samples[r][c][2], tcrit)
 		}
 	}
-	acc.Title = fmt.Sprintf("%s (avg of %d replicas, σ=%g dB)", title, replicas, shadowSigmaDB)
+	acc.Replicas = replicas
+	acc.Title = fmt.Sprintf("%s (avg of %d replicas ±95%% CI, σ=%g dB)", title, replicas, shadowSigmaDB)
 	return acc, nil
 }
 
-// MaxOutput returns the largest FLC output anywhere in the table.
-func (t *PaperTable) MaxOutput() float64 {
-	max := math.Inf(-1)
-	for _, row := range t.Rows {
-		for _, c := range row.Cells {
-			if c.OutputHD > max {
-				max = c.OutputHD
-			}
+// meanCI returns the sample mean and the 95% CI half-width t · s/√n over
+// the replica samples.  The variance is computed in the numerically
+// stable centered form, and coinciding replicas (σ = 0 runs) yield an
+// exactly-zero interval rather than cancellation noise.
+func meanCI(xs []float64, tcrit float64) (mean, ci float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	min, max := xs[0], xs[0]
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
 		}
 	}
-	return max
+	if min == max {
+		return min, 0
+	}
+	return mean, tcrit * math.Sqrt(ss/(n-1)/n)
 }
+
+// tCritical95 returns the two-sided 95% Student t critical value for the
+// given degrees of freedom (1.96, the normal limit, past the table).
+func tCritical95(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.96
+}
+
+// MaxOutput returns the largest FLC output anywhere in the table.
+func (t *PaperTable) MaxOutput() float64 { return t.MaxOutputCell().OutputHD }
 
 // MinOutput returns the smallest FLC output anywhere in the table.
 func (t *PaperTable) MinOutput() float64 {
@@ -300,11 +359,35 @@ func (t *PaperTable) String() string {
 			b.WriteByte('\n')
 		}
 		writeRow("CSSP BS [dB]", func(c PaperTableCell) float64 { return c.CSSPdB })
+		if t.Replicas > 1 {
+			writeRow("  ±95% CI", func(c PaperTableCell) float64 { return c.CSSPdBCI95 })
+		}
 		writeRow("Neighbor BS [dB]", func(c PaperTableCell) float64 { return c.SSNdB })
+		if t.Replicas > 1 {
+			writeRow("  ±95% CI", func(c PaperTableCell) float64 { return c.SSNdBCI95 })
+		}
 		writeRow("Distance [km]", func(c PaperTableCell) float64 { return c.DistanceKm })
 		writeRow("System Output", func(c PaperTableCell) float64 { return c.OutputHD })
+		if t.Replicas > 1 {
+			writeRow("  ±95% CI", func(c PaperTableCell) float64 { return c.OutputHDCI95 })
+		}
 	}
 	return b.String()
+}
+
+// MaxOutputCell returns the cell holding the largest FLC output — with
+// its CI fields, so callers can report "max output m ± ci".
+func (t *PaperTable) MaxOutputCell() PaperTableCell {
+	var max PaperTableCell
+	max.OutputHD = math.Inf(-1)
+	for _, row := range t.Rows {
+		for _, c := range row.Cells {
+			if c.OutputHD > max.OutputHD {
+				max = c
+			}
+		}
+	}
+	return max
 }
 
 // argsort returns indices ordering xs ascending.

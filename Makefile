@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke load-smoke cluster-smoke fuzz-smoke ci
+.PHONY: build test race vet bench bench-json bench-smoke load-smoke cluster-smoke cluster-chaos-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -59,9 +59,21 @@ cluster-smoke:
 			"{\"terminal\":2,\"serving\":[0,0],\"neighbor\":[1,0],\"serving_db\":-90,\"ssn_db\":-83.0,\"cssp_db\":-1.5,\"dmb\":1.0,\"walked_km\":1.2,\"speed_kmh\":10}" \
 			| /tmp/fuzzyho-hocluster -nodes 127.0.0.1:7191,127.0.0.1:7192'
 
-# Native Go fuzzing of the wire codec, briefly (CI runs the same).
+# Race-enabled membership chaos: kill/restart and leave/join of TCP nodes
+# mid-replay (state migrating over the wire), the reconnect-vs-drain
+# takeover regression, and the hoload -churn path growing and shrinking
+# an in-process cluster under live load.  Asserts zero lost terminal
+# state and byte-identical decision sequences.
+cluster-chaos-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestTCPMembershipEquivalence|TestTCPNodeKillRestartRecovers|TestLocalMembershipEquivalence|TestBindingTakeoverByIdentity|TestNodeClientIdentityTakeover' \
+		./internal/cluster ./internal/serve
+	$(GO) run -race ./cmd/hoload -terminals 256 -shards 2 -cluster 2 -duration 1s -churn 250ms -replicas 2 -speeds 0,30 -compiled
+
+# Native Go fuzzing of the wire and snapshot codecs, briefly (CI runs the same).
 fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseBatchLine -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzOutcomeRoundTrip -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 10s
 
-ci: vet build test race load-smoke cluster-smoke fuzz-smoke
+ci: vet build test race load-smoke cluster-smoke cluster-chaos-smoke fuzz-smoke

@@ -21,7 +21,14 @@
 // The TCP backend applies per-node backpressure: a slow node fills its
 // bounded send queue and submission blocks; a node that dies mid-stream
 // has its in-flight reports surfaced as lost on stderr (never silently
-// dropped) while the client reconnects.
+// dropped) while the client reconnects; -stats includes each node's
+// lost and reconnect counters so shed traffic is visible, not inferred.
+//
+// Crash recovery (in-process backend): -restore loads a whole-cluster
+// snapshot file before serving, scattering each terminal to the ring
+// member owning it; -snapshot writes one on clean shutdown (EOF on
+// stdin, SIGINT/SIGTERM in -listen mode).  TCP nodes persist themselves
+// with hoserve's own -snapshot/-restore flags instead.
 package main
 
 import (
@@ -29,8 +36,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -52,6 +61,8 @@ func main() {
 		listen   = flag.String("listen", "", "TCP listen address of the front door (empty: stdin/stdout)")
 		statsSec = flag.Float64("stats", 0, "print cluster stats to stderr every N seconds (0: off)")
 		flushSec = flag.Float64("flush-timeout", 30, "seconds to wait for outstanding decisions at shutdown")
+		snapFile = flag.String("snapshot", "", "write a whole-cluster terminal snapshot file on clean shutdown (-local only)")
+		restFile = flag.String("restore", "", "restore a whole-cluster terminal snapshot file before serving (-local only)")
 	)
 	flag.Parse()
 	addrs := splitNonEmpty(*nodesCS)
@@ -65,10 +76,20 @@ func main() {
 		fatal(fmt.Errorf("-window must be > 0 km, got %g", *window))
 	}
 
+	if (*snapFile != "" || *restFile != "") && *local == 0 {
+		fatal(fmt.Errorf("-snapshot/-restore need the in-process backend (-local N); TCP nodes persist themselves via hoserve -snapshot/-restore"))
+	}
+
 	mux := serve.NewDecisionMux()
 	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, mux)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *restFile != "" {
+		if err := restoreCluster(router.(*cluster.Local), *restFile); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *statsSec > 0 {
@@ -83,10 +104,63 @@ func main() {
 		Drain:  func() error { return router.Flush(flushTimeout) },
 	}
 	if *listen == "" {
-		runStdio(router, daemon)
+		runStdio(router, daemon, *snapFile)
 		return
 	}
-	runTCP(router, daemon, *listen)
+	runTCP(router, daemon, *listen, *snapFile)
+}
+
+// restoreCluster loads a whole-cluster snapshot file and scatters it
+// across the ring.
+func restoreCluster(l *cluster.Local, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	defer f.Close()
+	snaps, err := serve.ReadSnapshots(f)
+	if err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	if err := l.RestoreAll(snaps); err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "hocluster: restored %d terminals from %s\n", len(snaps), path)
+	return nil
+}
+
+// snapshotCluster drains every node and writes the whole cluster's
+// terminal snapshots to path (temp file + rename, so a crash mid-write
+// never truncates the previous good snapshot).
+func snapshotCluster(router cluster.Router, path string) error {
+	l, ok := router.(*cluster.Local)
+	if !ok {
+		return fmt.Errorf("snapshot: only the in-process backend snapshots the whole cluster")
+	}
+	snaps, err := l.SnapshotAll()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := serve.WriteSnapshots(f, snaps); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "hocluster: wrote %d terminal snapshots to %s\n", len(snaps), path)
+	return nil
 }
 
 func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
@@ -120,8 +194,14 @@ func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
 	})
 }
 
-func runStdio(router cluster.Router, d *serve.Daemon) {
+func runStdio(router cluster.Router, d *serve.Daemon, snapFile string) {
 	lines, bad, drainErr := d.RunStdio()
+	if snapFile != "" {
+		if err := snapshotCluster(router, snapFile); err != nil {
+			fmt.Fprintln(os.Stderr, "hocluster:", err)
+			os.Exit(1)
+		}
+	}
 	if err := router.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "hocluster: close:", err)
 	}
@@ -142,13 +222,30 @@ func runStdio(router cluster.Router, d *serve.Daemon) {
 	}
 }
 
-func runTCP(router cluster.Router, d *serve.Daemon, addr string) {
+func runTCP(router cluster.Router, d *serve.Daemon, addr, snapFile string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "hocluster: listening on %s (%d nodes)\n", ln.Addr(), router.NumNodes())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "hocluster: shutting down")
+		ln.Close()
+	}()
 	d.RunTCP(ln)
+	if snapFile != "" {
+		if err := snapshotCluster(router, snapFile); err != nil {
+			fmt.Fprintln(os.Stderr, "hocluster:", err)
+			os.Exit(1)
+		}
+	}
+	if err := router.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "hocluster: close:", err)
+	}
+	printStats(router)
 }
 
 func statsLoop(router cluster.Router, every time.Duration) {

@@ -16,10 +16,16 @@
 //	hoload -algo adaptive -compiled -speeds 0,30,50   # speed-adaptive extension
 //	hoload -cluster 2 -shards 2 -compiled             # route through an
 //	                                                  # in-process 2-node cluster
+//	hoload -cluster 2 -churn 250ms                    # grow/shrink membership
+//	                                                  # mid-replay, migrating state
 //
 // With -cluster N the population is partitioned across N engine nodes by
 // the cluster router's consistent-hash ring (each node gets -shards
 // shards) — the single-box replay mode of the multi-node scaling layer.
+// With -churn D the membership alternately grows and shrinks every D
+// while the replay runs: each step migrates the moved terminals' full
+// decision state to the new owner, exercising the elastic-membership
+// path under sustained load.
 //
 // Determinism caveat: each terminal's decision sequence over its first
 // replay pass is exactly the sim path's (the determinism tests pin this);
@@ -77,6 +83,7 @@ func main() {
 		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
 		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
+		churn     = flag.Duration("churn", 0, "with -cluster: alternately grow and shrink the membership every interval, migrating terminal state live (0: off)")
 	)
 	flag.Parse()
 	if *terminals < 1 {
@@ -142,9 +149,21 @@ func main() {
 		lat.Observe(time.Duration(nowNanos() - t0))
 		r.completed.Store(o.Seq + 1)
 	}
-	target, err := buildTarget(*clusterN, *shards, *queue, *algo, *compiled, onDecision)
+	target, router, err := buildTarget(*clusterN, *shards, *queue, *algo, *compiled, onDecision)
 	if err != nil {
 		fatal(err)
+	}
+	if *churn > 0 && router == nil {
+		fatal(fmt.Errorf("-churn needs -cluster N"))
+	}
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if *churn > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			churnLoop(router, *churn, churnStop)
+		}()
 	}
 
 	start := time.Now()
@@ -163,6 +182,8 @@ func main() {
 		}(lo, hi)
 	}
 	wg.Wait()
+	close(churnStop)
+	churnWG.Wait()
 	if err := target.flush(); err != nil {
 		fatal(err)
 	}
@@ -186,14 +207,48 @@ func main() {
 	}
 }
 
+// churnLoop alternately grows and shrinks the cluster membership every
+// interval until stopped: each step migrates the moved terminals' full
+// decision state to their new owner under live load.  Shrink steps
+// remove the lowest live member, so long-held state keeps moving.
+func churnLoop(router *fuzzyho.LocalCluster, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	grow := true
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if grow {
+			id, err := router.AddNode()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hoload: churn add:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "hoload: churn: added node %d (members %v)\n", id, router.Members())
+			}
+		} else if members := router.Members(); len(members) > 1 {
+			id := members[0]
+			if err := router.RemoveNode(id); err != nil {
+				fmt.Fprintln(os.Stderr, "hoload: churn remove:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "hoload: churn: removed node %d (members %v)\n", id, router.Members())
+			}
+		}
+		grow = !grow
+	}
+}
+
 // buildTarget wires either a single engine or an in-process cluster
-// router as the replay destination.
+// router as the replay destination.  The second return is non-nil in
+// cluster mode (the -churn hook).
 func buildTarget(clusterN, shards, queue int, algo string, compiled bool,
-	onDecision func(fuzzyho.ServeOutcome)) (*loadTarget, error) {
+	onDecision func(fuzzyho.ServeOutcome)) (*loadTarget, *fuzzyho.LocalCluster, error) {
 	cfg := fuzzyho.ServeConfig{Shards: shards, QueueDepth: queue}
 	factory, err := fuzzyho.ServeAlgorithmFactory(algo, compiled)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if factory != nil {
 		cfg.AlgorithmFactory = factory
@@ -208,7 +263,7 @@ func buildTarget(clusterN, shards, queue int, algo string, compiled bool,
 			OnDecision: func(_ int, o fuzzyho.ServeOutcome) { onDecision(o) },
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		return &loadTarget{
 			submit: router.SubmitBatch,
@@ -222,16 +277,16 @@ func buildTarget(clusterN, shards, queue int, algo string, compiled bool,
 				}
 				return lines
 			},
-		}, nil
+		}, router, nil
 	}
 
 	cfg.OnDecision = onDecision
 	engine, err := fuzzyho.NewServeEngine(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := engine.Start(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return &loadTarget{
 		submit: engine.SubmitBatch,
@@ -251,7 +306,7 @@ func buildTarget(clusterN, shards, queue int, algo string, compiled bool,
 			}
 			return lines
 		},
-	}, nil
+	}, nil, nil
 }
 
 // submitRange drives terminals [lo, hi): round-robin one epoch per

@@ -26,9 +26,21 @@
 // failing report.  In TCP mode each terminal is exclusively owned by the
 // first connection that submits it — a second connection submitting the
 // same terminal has the line rejected with an ownership error until the
-// owner disconnects (see serve.DecisionMux) — so one terminal's state
-// stream can never interleave across clients.  -stats prints per-shard
-// throughput snapshots to stderr.
+// owner disconnects or a connection with the same -client identity takes
+// the claims over after a drain (see serve.DecisionMux) — so one
+// terminal's state stream can never interleave across clients.  -stats
+// prints per-shard throughput snapshots to stderr.
+//
+// Crash recovery and elastic membership:
+//
+//	hoserve -listen :7077 -snapshot state.snap -restore state.snap
+//
+// -restore loads a whole-node snapshot file (one JSON snapshot line per
+// terminal, see serve.TerminalSnapshot) before serving; -snapshot writes
+// one on clean shutdown (EOF in stdio mode, SIGINT/SIGTERM in TCP mode).
+// In TCP mode the daemon also serves the snapshot control plane
+// ({"ctl":"extract"} / {"ctl":"restore"} lines), which is how a cluster
+// router's AddNode/RemoveNode migrates terminal state between live nodes.
 package main
 
 import (
@@ -38,9 +50,12 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/handover"
 	"repro/internal/serve"
 )
@@ -55,6 +70,8 @@ func main() {
 		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
 		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
+		snapFile  = flag.String("snapshot", "", "write a whole-node terminal snapshot file on clean shutdown (empty: off)")
+		restFile  = flag.String("restore", "", "restore a whole-node terminal snapshot file before serving (empty: off)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -101,6 +118,12 @@ func main() {
 		fatal(err)
 	}
 
+	if *restFile != "" {
+		if err := restoreNode(engine, *restFile); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *statsSec > 0 {
 		go statsLoop(engine, time.Duration(*statsSec*float64(time.Second)))
 	}
@@ -111,15 +134,70 @@ func main() {
 		Submit: engine.SubmitBatch,
 		Drain:  func() error { engine.Flush(); return nil },
 	}
+	daemon.Extract, daemon.Restore = cluster.MigrationHooks(engine)
 	if *listen == "" {
-		runStdio(engine, daemon)
+		runStdio(engine, daemon, *snapFile)
 		return
 	}
-	runTCP(engine, daemon, *listen)
+	runTCP(engine, daemon, *listen, *snapFile)
 }
 
-func runStdio(engine *serve.Engine, d *serve.Daemon) {
+// restoreNode loads a whole-node snapshot file into the engine.
+func restoreNode(engine *serve.Engine, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	defer f.Close()
+	snaps, err := serve.ReadSnapshots(f)
+	if err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	if err := engine.RestoreSnapshots(snaps); err != nil {
+		return fmt.Errorf("restore %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "hoserve: restored %d terminals from %s\n", len(snaps), path)
+	return nil
+}
+
+// snapshotNode drains the engine and writes every terminal's snapshot to
+// path (atomically: temp file + rename), so a crash mid-write never
+// truncates the previous good snapshot.
+func snapshotNode(engine *serve.Engine, path string) error {
+	engine.Flush()
+	snaps, err := engine.SnapshotTerminals()
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := serve.WriteSnapshots(f, snaps); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "hoserve: wrote %d terminal snapshots to %s\n", len(snaps), path)
+	return nil
+}
+
+func runStdio(engine *serve.Engine, d *serve.Daemon, snapFile string) {
 	lines, bad, drainErr := d.RunStdio()
+	if snapFile != "" {
+		if err := snapshotNode(engine, snapFile); err != nil {
+			fatal(err)
+		}
+	}
 	if err := engine.Stop(); err != nil {
 		fatal(err)
 	}
@@ -133,13 +211,32 @@ func runStdio(engine *serve.Engine, d *serve.Daemon) {
 	}
 }
 
-func runTCP(engine *serve.Engine, d *serve.Daemon, addr string) {
+func runTCP(engine *serve.Engine, d *serve.Daemon, addr, snapFile string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "hoserve: listening on %s (%d shards)\n", ln.Addr(), engine.NumShards())
+	// SIGINT/SIGTERM is the clean-shutdown path: close the listener (which
+	// unblocks RunTCP once live connections finish) and, when -snapshot is
+	// set, persist the whole node for -restore on the next start.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "hoserve: shutting down")
+		ln.Close()
+	}()
 	d.RunTCP(ln)
+	if snapFile != "" {
+		if err := snapshotNode(engine, snapFile); err != nil {
+			fatal(err)
+		}
+	}
+	if err := engine.Stop(); err != nil {
+		fatal(err)
+	}
+	printStats(engine)
 }
 
 func statsLoop(engine *serve.Engine, every time.Duration) {

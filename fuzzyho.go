@@ -374,6 +374,17 @@ type (
 	ServeNodeClient = serve.NodeClient
 	// ServeNodeClientConfig configures a ServeNodeClient.
 	ServeNodeClientConfig = serve.NodeClientConfig
+	// TerminalSnapshot is one terminal's complete decision state — the
+	// migration and crash-recovery payload.
+	TerminalSnapshot = serve.TerminalSnapshot
+	// SnapshotEvent is one executed handover in a snapshot's ring.
+	SnapshotEvent = serve.SnapshotEvent
+	// ServeWireControl is one snapshot-control-plane line (hello,
+	// extract, restore) interleaved with a connection's report stream.
+	ServeWireControl = serve.WireControl
+	// ServeFaultInjector wraps node-client dials with deterministic
+	// fault knobs (delay, drop, duplicate, partition, cut).
+	ServeFaultInjector = serve.FaultInjector
 )
 
 // DefaultClusterVirtualNodes is the ring's per-member virtual node count.
@@ -384,6 +395,26 @@ const DefaultClusterVirtualNodes = cluster.DefaultVirtualNodes
 func NewClusterRing(nodes, virtualNodes int) (*ClusterRing, error) {
 	return cluster.NewRing(nodes, virtualNodes)
 }
+
+// NewClusterRingMembers builds a ring over an explicit member-ID set —
+// the elastic-membership form; see cluster.NewRingMembers.
+func NewClusterRingMembers(members []int, virtualNodes int) (*ClusterRing, error) {
+	return cluster.NewRingMembers(members, virtualNodes)
+}
+
+// ClusterMigrationHooks returns serve.Daemon Extract/Restore hooks that
+// serve the snapshot control plane for an engine, as hoserve wires them;
+// see cluster.MigrationHooks.
+func ClusterMigrationHooks(e *ServeEngine) (
+	extract func(members []int, vnodes, self int) ([]TerminalSnapshot, error),
+	restore func([]TerminalSnapshot) error,
+) {
+	return cluster.MigrationHooks(e)
+}
+
+// NewServeFaultInjector builds a fault-injection dialer for resilience
+// tests; see serve.NewFaultInjector.
+func NewServeFaultInjector() *ServeFaultInjector { return serve.NewFaultInjector() }
 
 // NewLocalCluster builds and starts an in-process cluster router.
 func NewLocalCluster(cfg ClusterLocalConfig) (*LocalCluster, error) {

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/serve"
+)
+
+// MigrationHooks returns serve.Daemon Extract/Restore implementations
+// backed by engine e, closing the loop between the wire control plane
+// and the ring: a router driving a membership change tells each daemon
+// the NEW member set, and the daemon itself computes which of its
+// terminals the new ring no longer assigns to it and extracts exactly
+// those.
+//
+// The predicate is "every terminal the ring over members does NOT give
+// to self", which covers both migration directions with one rule:
+//
+//   - grow: an existing member (self ∈ members) gives up the arcs the
+//     new member took — ~1/(N+1) of its terminals;
+//   - shrink: the departing member (self ∉ members) owns nothing under
+//     the new ring and gives up everything it holds.
+//
+// Extraction is atomic per call (serve.Engine.ExtractSnapshots): the
+// engine is drained first by the daemon, so every extracted snapshot
+// carries the terminal's complete decision history up to the last
+// report routed under the old ring.
+func MigrationHooks(e *serve.Engine) (
+	extract func(members []int, vnodes, self int) ([]serve.TerminalSnapshot, error),
+	restore func([]serve.TerminalSnapshot) error,
+) {
+	extract = func(members []int, vnodes, self int) ([]serve.TerminalSnapshot, error) {
+		ring, err := NewRingMembers(members, vnodes)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: extract ring: %w", err)
+		}
+		if !contains(ring.Members(), self) {
+			// Departing member: nothing is ours under the new ring.
+			return e.ExtractSnapshots(func(serve.TerminalID) bool { return true })
+		}
+		return e.ExtractSnapshots(func(t serve.TerminalID) bool {
+			return ring.NodeOf(t) != self
+		})
+	}
+	return extract, e.RestoreSnapshots
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,28 +14,48 @@ import (
 // LocalConfig configures an in-process cluster: N serve.Engines in one
 // process, partitioned by the consistent-hash ring.
 type LocalConfig struct {
-	// Nodes is the member count (≥ 1).
+	// Nodes is the initial member count (≥ 1); members get IDs
+	// 0..Nodes-1.  AddNode grows the set with fresh IDs.
 	Nodes int
 	// VirtualNodes is the ring's per-member virtual node count (0:
 	// DefaultVirtualNodes).
 	VirtualNodes int
 	// Engine is the per-node engine template (shards, queue depth,
 	// algorithm, ping-pong window).  Engine.OnDecision must be nil — use
-	// OnDecision below, which carries the node index.
+	// OnDecision below, which carries the node ID.
 	Engine serve.Config
 	// OnDecision, when non-nil, receives every outcome together with the
-	// index of the node that decided it, on that node's shard goroutine.
+	// ID of the node that decided it, on that node's shard goroutine.
 	OnDecision func(node int, o serve.Outcome)
+}
+
+// localNode is one in-process member: an engine plus its route ledger.
+type localNode struct {
+	id        int
+	engine    *serve.Engine
+	submitted atomic.Uint64
 }
 
 // Local is the in-process Router backend: the cheapest way to run one
 // terminal population across several engines (tests, single-box NUMA-ish
 // scaling) and the reference the TCP backend is checked against.
+//
+// Membership is elastic: AddNode/RemoveNode migrate exactly the
+// terminals whose ring arc moved, under the member lock, so routing
+// before and after a change delivers every terminal an unbroken
+// decision sequence.
 type Local struct {
-	ring    *Ring
-	engines []*serve.Engine
+	cfg LocalConfig
 
-	submitted []atomic.Uint64 // per node
+	// memMu orders membership changes against routing: submits hold the
+	// read side, Add/RemoveNode the write side (a membership change is a
+	// barrier — routing with the old ring while terminals migrate would
+	// send reports to an engine that no longer holds their state).
+	memMu   sync.RWMutex
+	ring    *Ring
+	nodes   map[int]*localNode
+	nextID  int
+	retired []NodeStats
 
 	// scatter recycles the per-call node → sub-slice tables.
 	scatter sync.Pool
@@ -47,61 +68,267 @@ type Local struct {
 // engines.  The router is ready to submit when NewLocal returns.
 func NewLocal(cfg LocalConfig) (*Local, error) {
 	if cfg.Engine.OnDecision != nil {
-		return nil, fmt.Errorf("cluster: set LocalConfig.OnDecision (with the node index), not Engine.OnDecision")
+		return nil, fmt.Errorf("cluster: set LocalConfig.OnDecision (with the node ID), not Engine.OnDecision")
 	}
 	ring, err := NewRing(cfg.Nodes, cfg.VirtualNodes)
 	if err != nil {
 		return nil, err
 	}
 	l := &Local{
-		ring:      ring,
-		engines:   make([]*serve.Engine, cfg.Nodes),
-		submitted: make([]atomic.Uint64, cfg.Nodes),
+		cfg:    cfg,
+		ring:   ring,
+		nodes:  make(map[int]*localNode, cfg.Nodes),
+		nextID: cfg.Nodes,
 	}
-	l.scatter.New = func() any {
-		bufs := make([][]serve.Report, cfg.Nodes)
-		return &bufs
-	}
-	for n := range l.engines {
-		ecfg := cfg.Engine
-		if cfg.OnDecision != nil {
-			node := n
-			ecfg.OnDecision = func(o serve.Outcome) { cfg.OnDecision(node, o) }
-		}
-		e, err := serve.New(ecfg)
-		if err == nil {
-			err = e.Start()
-		}
+	l.scatter.New = func() any { return &map[int][]serve.Report{} }
+	for n := 0; n < cfg.Nodes; n++ {
+		node, err := l.startNode(n)
 		if err != nil {
-			for _, started := range l.engines[:n] {
-				started.Stop()
+			for _, started := range l.nodes {
+				started.engine.Stop()
 			}
-			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+			return nil, err
 		}
-		l.engines[n] = e
+		l.nodes[n] = node
 	}
 	return l, nil
 }
 
+// startNode builds and starts one member engine (does not link it into
+// the member map).
+func (l *Local) startNode(id int) (*localNode, error) {
+	ecfg := l.cfg.Engine
+	if l.cfg.OnDecision != nil {
+		ecfg.OnDecision = func(o serve.Outcome) { l.cfg.OnDecision(id, o) }
+	}
+	e, err := serve.New(ecfg)
+	if err == nil {
+		err = e.Start()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
+	}
+	return &localNode{id: id, engine: e}, nil
+}
+
 // NumNodes implements Router.
-func (l *Local) NumNodes() int { return l.ring.Nodes() }
+func (l *Local) NumNodes() int {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	return l.ring.Nodes()
+}
+
+// Members returns the live member IDs in ascending order.
+func (l *Local) Members() []int {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	return l.ring.Members()
+}
 
 // NodeOf implements Router.
-func (l *Local) NodeOf(id serve.TerminalID) int { return l.ring.NodeOf(id) }
+func (l *Local) NodeOf(id serve.TerminalID) int {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	return l.ring.NodeOf(id)
+}
 
-// Engine returns node n's engine (read-only use: stats, shard count).
-func (l *Local) Engine(n int) *serve.Engine { return l.engines[n] }
+// Engine returns member id's engine (read-only use: stats, shard
+// count), or nil after the member departed.
+func (l *Local) Engine(id int) *serve.Engine {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	if n, ok := l.nodes[id]; ok {
+		return n.engine
+	}
+	return nil
+}
+
+// AddNode starts a fresh member engine, migrates to it exactly the
+// terminals the grown ring assigns to it, and routes to it from then
+// on.  Returns the new member's ID.  Submissions block for the duration
+// of the migration (the member lock is the drain barrier); every moved
+// terminal resumes its decision sequence on the new node exactly where
+// it stopped on the old one.
+func (l *Local) AddNode() (int, error) {
+	l.memMu.Lock()
+	defer l.memMu.Unlock()
+	id := l.nextID
+	newRing, err := NewRingMembers(append(l.ring.Members(), id), l.cfg.VirtualNodes)
+	if err != nil {
+		return 0, err
+	}
+	node, err := l.startNode(id)
+	if err != nil {
+		return 0, err
+	}
+	// Pull the new member's terminals out of every current owner.
+	var moved []serve.TerminalSnapshot
+	for _, src := range l.sortedNodes() {
+		snaps, err := src.engine.ExtractSnapshots(func(t serve.TerminalID) bool {
+			return newRing.NodeOf(t) == id
+		})
+		if err != nil {
+			// Put back what earlier members already gave up.
+			l.restoreBack(moved)
+			node.engine.Stop()
+			return 0, fmt.Errorf("cluster: extracting for new node %d from node %d: %w", id, src.id, err)
+		}
+		moved = append(moved, snaps...)
+	}
+	if err := node.engine.RestoreSnapshots(moved); err != nil {
+		l.restoreBack(moved)
+		node.engine.Stop()
+		return 0, fmt.Errorf("cluster: restoring into new node %d: %w", id, err)
+	}
+	l.ring = newRing
+	l.nodes[id] = node
+	l.nextID = id + 1
+	return id, nil
+}
+
+// RemoveNode drains member id, migrates every terminal it owns to the
+// member the shrunk ring assigns it to, freezes the departing node's
+// stats, and stops its engine.  Submissions block for the duration.
+func (l *Local) RemoveNode(id int) error {
+	l.memMu.Lock()
+	defer l.memMu.Unlock()
+	node, ok := l.nodes[id]
+	if !ok {
+		return fmt.Errorf("cluster: node %d is not a member", id)
+	}
+	if len(l.nodes) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last member")
+	}
+	members := l.ring.Members()
+	rest := members[:0]
+	for _, m := range members {
+		if m != id {
+			rest = append(rest, m)
+		}
+	}
+	newRing, err := NewRingMembers(rest, l.cfg.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	moved, err := node.engine.ExtractSnapshots(func(serve.TerminalID) bool { return true })
+	if err != nil {
+		return fmt.Errorf("cluster: extracting node %d: %w", id, err)
+	}
+	// Scatter the departing member's terminals to their new owners.
+	byDest := map[int][]serve.TerminalSnapshot{}
+	for _, s := range moved {
+		d := newRing.NodeOf(s.Terminal)
+		byDest[d] = append(byDest[d], s)
+	}
+	var restored []serve.TerminalSnapshot
+	for _, d := range sortedKeys(byDest) {
+		if err := l.nodes[d].engine.RestoreSnapshots(byDest[d]); err != nil {
+			// Roll the migration back: reclaim what already landed and
+			// return everything to the departing member.
+			for _, s := range restored {
+				l.nodes[newRing.NodeOf(s.Terminal)].engine.ExtractSnapshots(func(t serve.TerminalID) bool {
+					return t == s.Terminal
+				})
+			}
+			if rerr := node.engine.RestoreSnapshots(moved); rerr != nil {
+				return errors.Join(
+					fmt.Errorf("cluster: restoring into node %d: %w", d, err),
+					fmt.Errorf("cluster: rollback to node %d also failed: %w", id, rerr))
+			}
+			return fmt.Errorf("cluster: restoring into node %d: %w", d, err)
+		}
+		restored = append(restored, byDest[d]...)
+	}
+	st := l.nodeStats(node)
+	st.Departed = true
+	l.retired = append(l.retired, st)
+	delete(l.nodes, id)
+	l.ring = newRing
+	if err := node.engine.Stop(); err != nil {
+		return fmt.Errorf("cluster: stopping node %d: %w", id, err)
+	}
+	return nil
+}
+
+// SnapshotAll drains every member and returns the whole cluster's
+// terminal snapshots (crash-recovery export; state stays live).
+func (l *Local) SnapshotAll() ([]serve.TerminalSnapshot, error) {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	var all []serve.TerminalSnapshot
+	for _, n := range l.sortedNodes() {
+		n.engine.Flush()
+		snaps, err := n.engine.SnapshotTerminals()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: snapshotting node %d: %w", n.id, err)
+		}
+		all = append(all, snaps...)
+	}
+	return all, nil
+}
+
+// RestoreAll scatters a whole-cluster snapshot set to the members the
+// current ring assigns each terminal to (crash-recovery import).
+func (l *Local) RestoreAll(snaps []serve.TerminalSnapshot) error {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	byDest := map[int][]serve.TerminalSnapshot{}
+	for _, s := range snaps {
+		d := l.ring.NodeOf(s.Terminal)
+		byDest[d] = append(byDest[d], s)
+	}
+	for _, d := range sortedKeys(byDest) {
+		if err := l.nodes[d].engine.RestoreSnapshots(byDest[d]); err != nil {
+			return fmt.Errorf("cluster: restoring into node %d: %w", d, err)
+		}
+	}
+	return nil
+}
+
+// restoreBack returns extracted snapshots to the engines the CURRENT
+// ring assigns them to (their source), after a failed migration.
+func (l *Local) restoreBack(snaps []serve.TerminalSnapshot) {
+	byDest := map[int][]serve.TerminalSnapshot{}
+	for _, s := range snaps {
+		d := l.ring.NodeOf(s.Terminal)
+		byDest[d] = append(byDest[d], s)
+	}
+	for d, group := range byDest {
+		l.nodes[d].engine.RestoreSnapshots(group)
+	}
+}
+
+// sortedNodes returns the live members in ascending ID order.
+func (l *Local) sortedNodes() []*localNode {
+	out := make([]*localNode, 0, len(l.nodes))
+	for _, n := range l.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // Submit implements Router.
 func (l *Local) Submit(r serve.Report) error {
-	n := l.ring.NodeOf(r.Terminal)
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	node := l.nodes[l.ring.NodeOf(r.Terminal)]
 	// Account before the engine call, as the engine itself does: once a
 	// report is queued the node may decide it immediately, and a counter
 	// that lags lets Stats observe decisions > submitted.
-	l.submitted[n].Add(1)
-	if err := l.engines[n].Submit(r); err != nil {
-		l.submitted[n].Add(^uint64(0)) // roll back the optimistic accounting
-		return fmt.Errorf("cluster: node %d: %w", n, err)
+	node.submitted.Add(1)
+	if err := node.engine.Submit(r); err != nil {
+		node.submitted.Add(^uint64(0)) // roll back the optimistic accounting
+		return fmt.Errorf("cluster: node %d: %w", node.id, err)
 	}
 	return nil
 }
@@ -113,28 +340,33 @@ func (l *Local) SubmitBatch(rs []serve.Report) error {
 	if len(rs) == 0 {
 		return nil
 	}
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
 	if l.ring.Nodes() == 1 {
-		l.submitted[0].Add(uint64(len(rs)))
-		if err := l.engines[0].SubmitBatch(rs); err != nil {
-			l.submitted[0].Add(^uint64(len(rs) - 1))
-			return fmt.Errorf("cluster: node 0: %w", err)
+		node := l.nodes[l.ring.Members()[0]]
+		node.submitted.Add(uint64(len(rs)))
+		if err := node.engine.SubmitBatch(rs); err != nil {
+			node.submitted.Add(^uint64(len(rs) - 1))
+			return fmt.Errorf("cluster: node %d: %w", node.id, err)
 		}
 		return nil
 	}
-	bufs := l.scatter.Get().(*[][]serve.Report)
+	bufs := l.scatter.Get().(*map[int][]serve.Report)
 	defer l.putScatter(bufs)
 	for i := range rs {
 		n := l.ring.NodeOf(rs[i].Terminal)
 		(*bufs)[n] = append((*bufs)[n], rs[i])
 	}
-	for n, sub := range *bufs {
+	for _, id := range sortedKeys(*bufs) {
+		sub := (*bufs)[id]
 		if len(sub) == 0 {
 			continue
 		}
-		l.submitted[n].Add(uint64(len(sub)))
-		if err := l.engines[n].SubmitBatch(sub); err != nil {
-			l.submitted[n].Add(^uint64(len(sub) - 1))
-			return fmt.Errorf("cluster: node %d: %w", n, err)
+		node := l.nodes[id]
+		node.submitted.Add(uint64(len(sub)))
+		if err := node.engine.SubmitBatch(sub); err != nil {
+			node.submitted.Add(^uint64(len(sub) - 1))
+			return fmt.Errorf("cluster: node %d: %w", id, err)
 		}
 	}
 	return nil
@@ -144,9 +376,11 @@ func (l *Local) SubmitBatch(rs []serve.Report) error {
 // owning node, shedding (and counting) everything from the first
 // backlogged node on.  Reports accepted before the backlog stay accepted.
 func (l *Local) TrySubmitBatch(rs []serve.Report) error {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
 	shed := 0
 	firstNode := -1
-	backlogged := make([]bool, l.ring.Nodes())
+	backlogged := map[int]bool{}
 	for i := range rs {
 		n := l.ring.NodeOf(rs[i].Terminal)
 		if backlogged[n] {
@@ -155,10 +389,11 @@ func (l *Local) TrySubmitBatch(rs []serve.Report) error {
 			shed++
 			continue
 		}
-		l.submitted[n].Add(1)
-		err := l.engines[n].TrySubmit(rs[i])
+		node := l.nodes[n]
+		node.submitted.Add(1)
+		err := node.engine.TrySubmit(rs[i])
 		if err != nil {
-			l.submitted[n].Add(^uint64(0)) // roll back the optimistic accounting
+			node.submitted.Add(^uint64(0)) // roll back the optimistic accounting
 		}
 		switch {
 		case err == nil:
@@ -178,9 +413,9 @@ func (l *Local) TrySubmitBatch(rs []serve.Report) error {
 	return nil
 }
 
-func (l *Local) putScatter(bufs *[][]serve.Report) {
-	for i := range *bufs {
-		(*bufs)[i] = (*bufs)[i][:0]
+func (l *Local) putScatter(bufs *map[int][]serve.Report) {
+	for id, sub := range *bufs {
+		(*bufs)[id] = sub[:0]
 	}
 	l.scatter.Put(bufs)
 }
@@ -189,42 +424,64 @@ func (l *Local) putScatter(bufs *[][]serve.Report) {
 // the timeout is not consulted: Engine.Flush returns once every accepted
 // report is decided.
 func (l *Local) Flush(time.Duration) error {
-	for _, e := range l.engines {
-		e.Flush()
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	for _, n := range l.sortedNodes() {
+		n.engine.Flush()
 	}
 	return nil
 }
 
-// Stats implements Router, merging each node's serve.Stats totals.
-func (l *Local) Stats() Stats {
-	st := Stats{Nodes: make([]NodeStats, len(l.engines))}
-	for n, e := range l.engines {
-		tot := e.Stats().Totals()
-		st.Nodes[n] = NodeStats{
-			Node:       n,
-			Submitted:  l.submitted[n].Load(),
-			Decisions:  tot.Decisions,
-			Handovers:  tot.Handovers,
-			PingPongs:  tot.PingPongs,
-			Errors:     tot.Errors,
-			Terminals:  tot.Terminals,
-			QueueDepth: tot.QueueDepth,
-		}
+// nodeStats snapshots one live member's counters.
+func (l *Local) nodeStats(n *localNode) NodeStats {
+	tot := n.engine.Stats().Totals()
+	return NodeStats{
+		Node:       n.id,
+		Submitted:  n.submitted.Load(),
+		Decisions:  tot.Decisions,
+		Handovers:  tot.Handovers,
+		PingPongs:  tot.PingPongs,
+		Errors:     tot.Errors,
+		Terminals:  tot.Terminals,
+		QueueDepth: tot.QueueDepth,
 	}
+}
+
+// Stats implements Router, merging each node's serve.Stats totals.
+// Departed members appear after the live ones with frozen counters, so
+// cluster totals still account every decision ever made.
+func (l *Local) Stats() Stats {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	st := Stats{Nodes: make([]NodeStats, 0, len(l.nodes)+len(l.retired))}
+	for _, n := range l.sortedNodes() {
+		st.Nodes = append(st.Nodes, l.nodeStats(n))
+	}
+	st.Nodes = append(st.Nodes, l.retired...)
 	return st
 }
 
-// EngineStats returns node n's full per-shard serve.Stats (the in-process
-// backend's extra observability over the merged Stats view).
-func (l *Local) EngineStats(n int) serve.Stats { return l.engines[n].Stats() }
+// EngineStats returns member id's full per-shard serve.Stats (the
+// in-process backend's extra observability over the merged Stats view);
+// zero after the member departed.
+func (l *Local) EngineStats(id int) serve.Stats {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	if n, ok := l.nodes[id]; ok {
+		return n.engine.Stats()
+	}
+	return serve.Stats{}
+}
 
 // Close implements Router: every engine is drained (Stop decides all
 // accepted reports) and stopped.
 func (l *Local) Close() error {
 	l.closeOnce.Do(func() {
-		for n, e := range l.engines {
-			if err := e.Stop(); err != nil && l.closeErr == nil {
-				l.closeErr = fmt.Errorf("cluster: node %d: %w", n, err)
+		l.memMu.Lock()
+		defer l.memMu.Unlock()
+		for _, n := range l.sortedNodes() {
+			if err := n.engine.Stop(); err != nil && l.closeErr == nil {
+				l.closeErr = fmt.Errorf("cluster: node %d: %w", n.id, err)
 			}
 		}
 	})

@@ -38,9 +38,16 @@ type ringPoint struct {
 // serve.HashTerminal — the same SplitMix64 family the engine's shard
 // store probes with — and are owned by the first virtual node clockwise
 // from their hash.  Immutable once built; safe for concurrent use.
+//
+// Members are identified by arbitrary small integer IDs, and a member's
+// ring points depend only on its own ID: a ring over {0,1,2} and a ring
+// over {0,1,2,5} place the shared members' points identically, so
+// adding or removing one member moves only the ~1/(N+1) of terminals
+// whose owning arc changed.  Elastic membership (Local.AddNode and
+// friends) is built on exactly this property.
 type Ring struct {
-	points []ringPoint
-	nodes  int
+	points  []ringPoint
+	members []int // sorted, unique
 	// lut is the fast path of NodeOf: bucket b covers the hash prefix
 	// range [b<<lutShift, (b+1)<<lutShift); when every hash in the bucket
 	// resolves to one member the entry holds that member, otherwise -1
@@ -56,11 +63,29 @@ const lutBits = 16
 
 const lutShift = 64 - lutBits
 
-// NewRing builds a ring of nodes members with virtualNodes points each
-// (0 selects DefaultVirtualNodes).
+// MaxMemberID bounds member IDs: the LUT stores members as int16 with
+// -1 reserved as the straddle sentinel.
+const MaxMemberID = 32766
+
+// NewRing builds a ring of member IDs 0..nodes-1 with virtualNodes
+// points each (0 selects DefaultVirtualNodes).
 func NewRing(nodes, virtualNodes int) (*Ring, error) {
 	if nodes < 1 {
 		return nil, fmt.Errorf("cluster: node count %d must be ≥ 1", nodes)
+	}
+	members := make([]int, nodes)
+	for i := range members {
+		members[i] = i
+	}
+	return NewRingMembers(members, virtualNodes)
+}
+
+// NewRingMembers builds a ring over an explicit member-ID set with
+// virtualNodes points per member (0 selects DefaultVirtualNodes).  IDs
+// must be unique and within [0, MaxMemberID]; order does not matter.
+func NewRingMembers(members []int, virtualNodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
 	}
 	if virtualNodes == 0 {
 		virtualNodes = DefaultVirtualNodes
@@ -69,10 +94,21 @@ func NewRing(nodes, virtualNodes int) (*Ring, error) {
 		return nil, fmt.Errorf("cluster: virtual node count %d must be ≥ 1 (0 selects the default %d)",
 			virtualNodes, DefaultVirtualNodes)
 	}
-	r := &Ring{points: make([]ringPoint, 0, nodes*virtualNodes), nodes: nodes}
-	for n := 0; n < nodes; n++ {
+	sorted := make([]int, len(members))
+	copy(sorted, members)
+	sort.Ints(sorted)
+	for i, m := range sorted {
+		if m < 0 || m > MaxMemberID {
+			return nil, fmt.Errorf("cluster: member ID %d outside [0, %d]", m, MaxMemberID)
+		}
+		if i > 0 && sorted[i-1] == m {
+			return nil, fmt.Errorf("cluster: duplicate member ID %d", m)
+		}
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(sorted)*virtualNodes), members: sorted}
+	for _, m := range sorted {
 		for v := 0; v < virtualNodes; v++ {
-			r.points = append(r.points, ringPoint{hash: pointHash(n, v), node: n})
+			r.points = append(r.points, ringPoint{hash: pointHash(m, v), node: m})
 		}
 	}
 	sort.Slice(r.points, func(i, j int) bool {
@@ -83,7 +119,7 @@ func NewRing(nodes, virtualNodes int) (*Ring, error) {
 		// cannot make two equally-configured rings disagree.
 		return r.points[i].node < r.points[j].node
 	})
-	if nodes > 1 {
+	if len(sorted) > 1 {
 		r.buildLUT()
 	}
 	return r, nil
@@ -117,13 +153,20 @@ func pointHash(node, v int) uint64 {
 }
 
 // Nodes returns the member count.
-func (r *Ring) Nodes() int { return r.nodes }
+func (r *Ring) Nodes() int { return len(r.members) }
+
+// Members returns the member IDs in ascending order (a copy).
+func (r *Ring) Members() []int {
+	out := make([]int, len(r.members))
+	copy(out, r.members)
+	return out
+}
 
 // NodeOf returns the member owning the terminal: the node of the first
 // ring point at or clockwise past the terminal's hash.
 func (r *Ring) NodeOf(id serve.TerminalID) int {
 	if r.lut == nil {
-		return 0 // single member owns everything
+		return r.members[0] // single member owns everything
 	}
 	h := serve.HashTerminal(id)
 	if n := r.lut[h>>lutShift]; n >= 0 {

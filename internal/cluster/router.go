@@ -78,9 +78,14 @@ type NodeStats struct {
 	// Terminals is the distinct-terminal count (in-process only: the wire
 	// protocol does not carry it).
 	Terminals uint64
+	// Reconnects counts re-established node connections (TCP only).
+	Reconnects uint64
 	// QueueDepth is the instantaneous ingest backlog (sub-batches
 	// in-process, encoded lines over TCP).
 	QueueDepth int
+	// Departed marks a node removed from the ring: its counters are the
+	// frozen final snapshot, kept so totals still account its work.
+	Departed bool
 }
 
 // Stats is a point-in-time snapshot of every node's counters, merging the
@@ -100,6 +105,7 @@ func (s Stats) Totals() NodeStats {
 		t.PingPongs += n.PingPongs
 		t.Errors += n.Errors
 		t.Terminals += n.Terminals
+		t.Reconnects += n.Reconnects
 		t.QueueDepth += n.QueueDepth
 	}
 	return t
@@ -107,6 +113,10 @@ func (s Stats) Totals() NodeStats {
 
 // String implements fmt.Stringer.
 func (n NodeStats) String() string {
-	return fmt.Sprintf("submitted=%d decisions=%d handovers=%d pingpong=%d errors=%d lost=%d queue=%d",
-		n.Submitted, n.Decisions, n.Handovers, n.PingPongs, n.Errors, n.Lost, n.QueueDepth)
+	s := fmt.Sprintf("submitted=%d decisions=%d handovers=%d pingpong=%d errors=%d lost=%d reconnects=%d queue=%d",
+		n.Submitted, n.Decisions, n.Handovers, n.PingPongs, n.Errors, n.Lost, n.Reconnects, n.QueueDepth)
+	if n.Departed {
+		s += " departed"
+	}
+	return s
 }

@@ -3,18 +3,25 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/serve"
 )
 
+// DefaultMigrateTimeout bounds each extract/restore control exchange
+// during a TCP membership change.
+const DefaultMigrateTimeout = 30 * time.Second
+
 // TCPConfig configures a TCP cluster router: one serve.NodeClient per
 // remote hoserve daemon, partitioned by the consistent-hash ring.
 type TCPConfig struct {
-	// Addrs are the node daemons' dial addresses; the ring member index
-	// is the position in this slice, so the address order is part of the
-	// cluster identity (reordering remaps terminals).
+	// Addrs are the node daemons' dial addresses; the ring member ID is
+	// the position in this slice, so the address order is part of the
+	// cluster identity (reordering remaps terminals).  AddNode grows the
+	// member set with fresh IDs past the initial ones.
 	Addrs []string
 	// VirtualNodes is the ring's per-member virtual node count (0:
 	// DefaultVirtualNodes).
@@ -23,19 +30,34 @@ type TCPConfig struct {
 	// serve.DefaultNodeQueueDepth).  A full queue is that node's
 	// backpressure signal.
 	QueueDepth int
-	// RedialWait/MaxRedials/CloseGrace tune each node client's
-	// reconnection and bounded teardown (0: serve defaults).
-	RedialWait time.Duration
-	MaxRedials int
-	CloseGrace time.Duration
+	// RedialWait/RedialMaxWait/MaxRedials/CloseGrace tune each node
+	// client's reconnection backoff and bounded teardown (0: serve
+	// defaults).
+	RedialWait    time.Duration
+	RedialMaxWait time.Duration
+	MaxRedials    int
+	CloseGrace    time.Duration
+	// MigrateTimeout bounds each node's extract/restore exchange during
+	// AddNode/RemoveNode (0: DefaultMigrateTimeout).
+	MigrateTimeout time.Duration
 	// OnDecision, when non-nil, receives every outcome with the deciding
-	// node's index, on that node client's reader goroutine.
+	// node's ID, on that node client's reader goroutine.
 	OnDecision func(node int, o serve.Outcome)
 	// OnError receives per-node failures: line-level remote rejects,
 	// lost-report notices, connection losses.  Routing never drops
 	// reports silently — when a connection dies, the in-flight count is
 	// surfaced here and in Stats().Lost.
 	OnError func(node int, err error)
+	// Dial, when non-nil, replaces net.Dial for every node client (fault
+	// injection, custom transports).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// tcpNode is one remote member: its client plus identity.
+type tcpNode struct {
+	id     int
+	addr   string
+	client *serve.NodeClient
 }
 
 // TCP is the multi-process Router backend: it speaks the existing
@@ -43,9 +65,22 @@ type TCPConfig struct {
 // ordered connection and writer per node, batch coalescing per
 // destination, per-node backpressure and reconnect-with-error-surfacing
 // (see serve.NodeClient for the delivery contract).
+//
+// Membership is elastic when the daemons serve the snapshot control
+// plane (hoserve does): AddNode/RemoveNode move exactly the terminals
+// whose ring arc changed, extracting their decision state from the old
+// owner and restoring it bit-faithfully into the new one, so decision
+// sequences continue across the migration as if nothing moved.
 type TCP struct {
+	cfg TCPConfig
+
+	// memMu orders membership changes against routing, exactly as in
+	// Local: submits hold the read side, Add/RemoveNode the write side.
+	memMu   sync.RWMutex
 	ring    *Ring
-	clients []*serve.NodeClient
+	nodes   map[int]*tcpNode
+	nextID  int
+	retired []NodeStats
 
 	scatter sync.Pool
 
@@ -60,54 +95,250 @@ func DialTCP(cfg TCPConfig) (*TCP, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("cluster: no node addresses")
 	}
+	if cfg.MigrateTimeout == 0 {
+		cfg.MigrateTimeout = DefaultMigrateTimeout
+	}
 	ring, err := NewRing(len(cfg.Addrs), cfg.VirtualNodes)
 	if err != nil {
 		return nil, err
 	}
-	t := &TCP{ring: ring, clients: make([]*serve.NodeClient, len(cfg.Addrs))}
-	t.scatter.New = func() any {
-		bufs := make([][]serve.Report, len(cfg.Addrs))
-		return &bufs
+	t := &TCP{
+		cfg:    cfg,
+		ring:   ring,
+		nodes:  make(map[int]*tcpNode, len(cfg.Addrs)),
+		nextID: len(cfg.Addrs),
 	}
+	t.scatter.New = func() any { return &map[int][]serve.Report{} }
 	for n, addr := range cfg.Addrs {
-		node := n
-		ccfg := serve.NodeClientConfig{
-			QueueDepth: cfg.QueueDepth,
-			RedialWait: cfg.RedialWait,
-			MaxRedials: cfg.MaxRedials,
-			CloseGrace: cfg.CloseGrace,
-		}
-		if cfg.OnDecision != nil {
-			ccfg.OnOutcome = func(o serve.Outcome) { cfg.OnDecision(node, o) }
-		}
-		if cfg.OnError != nil {
-			ccfg.OnError = func(err error) { cfg.OnError(node, err) }
-		}
-		c, err := serve.DialNode(addr, ccfg)
+		node, err := t.dialNode(n, addr)
 		if err != nil {
-			for _, dialed := range t.clients[:n] {
-				dialed.Close()
+			for _, dialed := range t.sortedNodes() {
+				dialed.client.Close()
 			}
-			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+			return nil, err
 		}
-		t.clients[n] = c
+		t.nodes[n] = node
 	}
 	return t, nil
 }
 
+// dialNode dials one member daemon (does not link it into the member
+// map).
+func (t *TCP) dialNode(id int, addr string) (*tcpNode, error) {
+	ccfg := serve.NodeClientConfig{
+		QueueDepth:    t.cfg.QueueDepth,
+		RedialWait:    t.cfg.RedialWait,
+		RedialMaxWait: t.cfg.RedialMaxWait,
+		MaxRedials:    t.cfg.MaxRedials,
+		CloseGrace:    t.cfg.CloseGrace,
+	}
+	if t.cfg.OnDecision != nil {
+		ccfg.OnOutcome = func(o serve.Outcome) { t.cfg.OnDecision(id, o) }
+	}
+	if t.cfg.OnError != nil {
+		ccfg.OnError = func(err error) { t.cfg.OnError(id, err) }
+	}
+	if t.cfg.Dial != nil {
+		ccfg.Dial = t.cfg.Dial
+	}
+	c, err := serve.DialNode(addr, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", id, err)
+	}
+	return &tcpNode{id: id, addr: addr, client: c}, nil
+}
+
 // NumNodes implements Router.
-func (t *TCP) NumNodes() int { return t.ring.Nodes() }
+func (t *TCP) NumNodes() int {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
+	return t.ring.Nodes()
+}
+
+// Members returns the live member IDs in ascending order.
+func (t *TCP) Members() []int {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
+	return t.ring.Members()
+}
 
 // NodeOf implements Router.
-func (t *TCP) NodeOf(id serve.TerminalID) int { return t.ring.NodeOf(id) }
+func (t *TCP) NodeOf(id serve.TerminalID) int {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
+	return t.ring.NodeOf(id)
+}
 
-// Client returns node n's client (read-only use: counters, address).
-func (t *TCP) Client(n int) *serve.NodeClient { return t.clients[n] }
+// Client returns member id's client (read-only use: counters, address),
+// or nil after the member departed.
+func (t *TCP) Client(id int) *serve.NodeClient {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
+	if n, ok := t.nodes[id]; ok {
+		return n.client
+	}
+	return nil
+}
+
+// AddNode dials addr as a fresh member, migrates to it exactly the
+// terminals the grown ring assigns to it (each current member extracts
+// and ships its share over the snapshot control plane), and routes to
+// it from then on.  Returns the new member's ID.  Submissions block for
+// the duration; every moved terminal resumes its decision sequence on
+// the new node where it stopped on the old one.
+func (t *TCP) AddNode(addr string) (int, error) {
+	t.memMu.Lock()
+	defer t.memMu.Unlock()
+	id := t.nextID
+	newMembers := append(t.ring.Members(), id)
+	newRing, err := NewRingMembers(newMembers, t.cfg.VirtualNodes)
+	if err != nil {
+		return 0, err
+	}
+	node, err := t.dialNode(id, addr)
+	if err != nil {
+		return 0, err
+	}
+	vnodes := t.cfg.VirtualNodes
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	// Each current owner computes the new ring itself (from the member
+	// list on the wire) and extracts the terminals it loses to id.
+	for _, src := range t.sortedNodes() {
+		snaps, err := src.client.Extract(newMembers, vnodes, src.id, t.cfg.MigrateTimeout)
+		if err != nil {
+			node.client.Close()
+			return 0, fmt.Errorf("cluster: extracting for new node %d from node %d: %w", id, src.id, err)
+		}
+		if len(snaps) == 0 {
+			continue
+		}
+		if err := node.client.Restore(snaps, t.cfg.MigrateTimeout); err != nil {
+			// The source daemon restores extracted state back on a failed
+			// delivery only when ITS sink died; here delivery to the new
+			// node failed, so hand the snapshots back explicitly.
+			if rerr := src.client.Restore(snaps, t.cfg.MigrateTimeout); rerr != nil {
+				node.client.Close()
+				return 0, errors.Join(
+					fmt.Errorf("cluster: restoring into new node %d: %w", id, err),
+					fmt.Errorf("cluster: rollback to node %d also failed: %w", src.id, rerr))
+			}
+			node.client.Close()
+			return 0, fmt.Errorf("cluster: restoring into new node %d: %w", id, err)
+		}
+	}
+	t.ring = newRing
+	t.nodes[id] = node
+	t.nextID = id + 1
+	return id, nil
+}
+
+// RemoveNode drains member id, migrates every terminal it owns to the
+// members the shrunk ring assigns them to, freezes the departing node's
+// final counters into Stats (Departed), and closes its client.
+// Submissions block for the duration.
+func (t *TCP) RemoveNode(id int) error {
+	t.memMu.Lock()
+	defer t.memMu.Unlock()
+	node, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("cluster: node %d is not a member", id)
+	}
+	if len(t.nodes) == 1 {
+		return fmt.Errorf("cluster: cannot remove the last member")
+	}
+	members := t.ring.Members()
+	rest := members[:0]
+	for _, m := range members {
+		if m != id {
+			rest = append(rest, m)
+		}
+	}
+	newRing, err := NewRingMembers(rest, t.cfg.VirtualNodes)
+	if err != nil {
+		return err
+	}
+	vnodes := t.cfg.VirtualNodes
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	// The departing member is not in the remaining set, which the daemon
+	// extract hook reads as "extract everything I hold".
+	moved, err := node.client.Extract(rest, vnodes, id, t.cfg.MigrateTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: extracting node %d: %w", id, err)
+	}
+	byDest := map[int][]serve.TerminalSnapshot{}
+	for _, s := range moved {
+		d := newRing.NodeOf(s.Terminal)
+		byDest[d] = append(byDest[d], s)
+	}
+	var delivered []int
+	for _, d := range sortedKeys(byDest) {
+		if err := t.nodes[d].client.Restore(byDest[d], t.cfg.MigrateTimeout); err != nil {
+			// Roll back: reclaim from the already-restored destinations the
+			// terminals the OLD ring (which still includes the departing
+			// member) does not assign them, then return everything to the
+			// departing member.  The membership change does not happen.
+			rerrs := []error{fmt.Errorf("cluster: restoring into node %d: %w", d, err)}
+			returned := make([]serve.TerminalSnapshot, 0, len(moved))
+			for _, s := range moved {
+				if newRing.NodeOf(s.Terminal) == d || !contains(delivered, newRing.NodeOf(s.Terminal)) {
+					returned = append(returned, s)
+				}
+			}
+			for _, landed := range delivered {
+				back, xerr := t.nodes[landed].client.Extract(members, vnodes, landed, t.cfg.MigrateTimeout)
+				if xerr != nil {
+					rerrs = append(rerrs, fmt.Errorf("cluster: reclaiming from node %d: %w", landed, xerr))
+					continue
+				}
+				returned = append(returned, back...)
+			}
+			if rerr := node.client.Restore(returned, t.cfg.MigrateTimeout); rerr != nil {
+				rerrs = append(rerrs, fmt.Errorf("cluster: rollback to node %d failed: %w", id, rerr))
+			}
+			return errors.Join(rerrs...)
+		}
+		delivered = append(delivered, d)
+	}
+	st := t.nodeStats(node)
+	st.Departed = true
+	t.retired = append(t.retired, st)
+	delete(t.nodes, id)
+	t.ring = newRing
+	if err := node.client.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
+		return fmt.Errorf("cluster: closing node %d: %w", id, err)
+	}
+	return nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedNodes returns the live members in ascending ID order.
+func (t *TCP) sortedNodes() []*tcpNode {
+	out := make([]*tcpNode, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
 
 // Submit implements Router.
 func (t *TCP) Submit(r serve.Report) error {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
 	n := t.ring.NodeOf(r.Terminal)
-	if err := t.clients[n].Send([]serve.Report{r}); err != nil {
+	if err := t.nodes[n].client.Send([]serve.Report{r}); err != nil {
 		return fmt.Errorf("cluster: node %d: %w", n, err)
 	}
 	return nil
@@ -117,8 +348,10 @@ func (t *TCP) Submit(r serve.Report) error {
 // and each destination gets one coalesced wire line, blocking on that
 // node's send queue under backpressure.
 func (t *TCP) SubmitBatch(rs []serve.Report) error {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
 	return t.submitBatch(rs, func(n int, sub []serve.Report) error {
-		return t.clients[n].Send(sub)
+		return t.nodes[n].client.Send(sub)
 	})
 }
 
@@ -126,10 +359,12 @@ func (t *TCP) SubmitBatch(rs []serve.Report) error {
 // queue sheds that node's sub-batch and fails with *BacklogError instead
 // of blocking; other nodes' sub-batches are still accepted.
 func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
 	shed := 0
 	firstNode := -1
 	err := t.submitBatch(rs, func(n int, sub []serve.Report) error {
-		err := t.clients[n].TrySend(sub)
+		err := t.nodes[n].client.TrySend(sub)
 		if errors.Is(err, serve.ErrBacklogged) {
 			shed += len(sub)
 			if firstNode < 0 {
@@ -148,23 +383,26 @@ func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
 	return nil
 }
 
+// submitBatch scatters under a held read lock.
 func (t *TCP) submitBatch(rs []serve.Report, send func(n int, sub []serve.Report) error) error {
 	if len(rs) == 0 {
 		return nil
 	}
 	if t.ring.Nodes() == 1 {
-		if err := send(0, rs); err != nil {
-			return fmt.Errorf("cluster: node 0: %w", err)
+		sole := t.ring.Members()[0]
+		if err := send(sole, rs); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", sole, err)
 		}
 		return nil
 	}
-	bufs := t.scatter.Get().(*[][]serve.Report)
+	bufs := t.scatter.Get().(*map[int][]serve.Report)
 	defer t.putScatter(bufs)
 	for i := range rs {
 		n := t.ring.NodeOf(rs[i].Terminal)
 		(*bufs)[n] = append((*bufs)[n], rs[i])
 	}
-	for n, sub := range *bufs {
+	for _, n := range sortedKeys(*bufs) {
+		sub := (*bufs)[n]
 		if len(sub) == 0 {
 			continue
 		}
@@ -175,9 +413,9 @@ func (t *TCP) submitBatch(rs []serve.Report, send func(n int, sub []serve.Report
 	return nil
 }
 
-func (t *TCP) putScatter(bufs *[][]serve.Report) {
-	for i := range *bufs {
-		(*bufs)[i] = (*bufs)[i][:0]
+func (t *TCP) putScatter(bufs *map[int][]serve.Report) {
+	for n, sub := range *bufs {
+		(*bufs)[n] = sub[:0]
 	}
 	t.scatter.Put(bufs)
 }
@@ -186,38 +424,50 @@ func (t *TCP) putScatter(bufs *[][]serve.Report) {
 // (delivered + lost ≥ submitted) within the shared timeout.  Node
 // failures are returned joined, not hidden.
 func (t *TCP) Flush(timeout time.Duration) error {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
 	deadline := time.Now().Add(timeout)
 	var errs []error
-	for n, c := range t.clients {
+	for _, n := range t.sortedNodes() {
 		remaining := time.Until(deadline)
 		if remaining < 0 {
 			remaining = 0
 		}
-		if err := c.Flush(remaining); err != nil {
-			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n, err))
+		if err := n.client.Flush(remaining); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.id, err))
 		}
 	}
 	return errors.Join(errs...)
 }
 
-// Stats implements Router from the per-node client ledgers.  Terminal
-// counts are not carried on the wire and read 0.
-func (t *TCP) Stats() Stats {
-	st := Stats{Nodes: make([]NodeStats, len(t.clients))}
-	for n, c := range t.clients {
-		cnt := c.Counters()
-		st.Nodes[n] = NodeStats{
-			Node:       n,
-			Addr:       c.Addr(),
-			Submitted:  cnt.Submitted,
-			Decisions:  cnt.Delivered,
-			Lost:       cnt.Lost,
-			Handovers:  cnt.Handovers,
-			PingPongs:  cnt.PingPongs,
-			Errors:     cnt.RemoteErrors,
-			QueueDepth: cnt.QueuedLines,
-		}
+// nodeStats snapshots one live member's client ledger.
+func (t *TCP) nodeStats(n *tcpNode) NodeStats {
+	cnt := n.client.Counters()
+	return NodeStats{
+		Node:       n.id,
+		Addr:       n.addr,
+		Submitted:  cnt.Submitted,
+		Decisions:  cnt.Delivered,
+		Lost:       cnt.Lost,
+		Handovers:  cnt.Handovers,
+		PingPongs:  cnt.PingPongs,
+		Errors:     cnt.RemoteErrors,
+		Reconnects: cnt.Reconnects,
+		QueueDepth: cnt.QueuedLines,
 	}
+}
+
+// Stats implements Router from the per-node client ledgers.  Terminal
+// counts are not carried on the wire and read 0.  Departed members
+// appear after the live ones with frozen counters.
+func (t *TCP) Stats() Stats {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
+	st := Stats{Nodes: make([]NodeStats, 0, len(t.nodes)+len(t.retired))}
+	for _, n := range t.sortedNodes() {
+		st.Nodes = append(st.Nodes, t.nodeStats(n))
+	}
+	st.Nodes = append(st.Nodes, t.retired...)
 	return st
 }
 
@@ -225,10 +475,12 @@ func (t *TCP) Stats() Stats {
 // node, reads the remaining decisions and closes.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
+		t.memMu.Lock()
+		defer t.memMu.Unlock()
 		var errs []error
-		for n, c := range t.clients {
-			if err := c.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
-				errs = append(errs, fmt.Errorf("cluster: node %d: %w", n, err))
+		for _, n := range t.sortedNodes() {
+			if err := n.client.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
+				errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.id, err))
 			}
 		}
 		t.closeErr = errors.Join(errs...)

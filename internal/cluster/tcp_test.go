@@ -32,6 +32,20 @@ func testMeas(id int) cell.Measurement {
 // node's address and a stop function.
 func startNodeDaemon(t testing.TB, cfg serve.Config) (addr string, stop func()) {
 	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr, stop = startNodeDaemonOn(t, ln, cfg)
+	return addr, stop
+}
+
+// startNodeDaemonOn is startNodeDaemon on a caller-provided listener
+// (kill/restart tests rebind the same port), also returning the engine
+// so crash-recovery tests can snapshot it.  The daemon serves the full
+// snapshot control plane, exactly as hoserve wires it.
+func startNodeDaemonOn(t testing.TB, ln net.Listener, cfg serve.Config) (engine *serve.Engine, addr string, stop func()) {
+	t.Helper()
 	mux := serve.NewDecisionMux()
 	cfg.OnDecision = mux.Route
 	e, err := serve.New(cfg)
@@ -41,16 +55,13 @@ func startNodeDaemon(t testing.TB, cfg serve.Config) (addr string, stop func()) 
 	if err := e.Start(); err != nil {
 		t.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
 	d := &serve.Daemon{
 		Name:   "testnode",
 		Mux:    mux,
 		Submit: e.SubmitBatch,
 		Drain:  func() error { e.Flush(); return nil },
 	}
+	d.Extract, d.Restore = MigrationHooks(e)
 	var wg sync.WaitGroup
 	var cmu sync.Mutex
 	var conns []net.Conn
@@ -72,7 +83,7 @@ func startNodeDaemon(t testing.TB, cfg serve.Config) (addr string, stop func()) 
 			}(conn)
 		}
 	}()
-	return ln.Addr().String(), func() {
+	return e, ln.Addr().String(), func() {
 		ln.Close()
 		cmu.Lock()
 		for _, c := range conns {

@@ -2,8 +2,11 @@ package serve
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,8 +18,11 @@ const (
 	// DefaultNodeQueueDepth bounds a node client's send queue, in encoded
 	// batch lines.
 	DefaultNodeQueueDepth = 256
-	// DefaultRedialWait is the pause between reconnect attempts.
+	// DefaultRedialWait is the base pause before the first reconnect
+	// attempt; later attempts back off exponentially from it.
 	DefaultRedialWait = 200 * time.Millisecond
+	// DefaultRedialMaxWait caps the exponential reconnect backoff.
+	DefaultRedialMaxWait = 3 * time.Second
 	// DefaultMaxRedials bounds consecutive failed reconnect attempts
 	// before the client goes fatally down.
 	DefaultMaxRedials = 25
@@ -43,14 +49,26 @@ type NodeClientConfig struct {
 	// connection errors.  Nil discards them — set it: the client's
 	// no-silent-drop guarantee is only as good as the listener.
 	OnError func(error)
-	// RedialWait is the pause between reconnect attempts (0: default).
+	// RedialWait is the base pause before the first reconnect attempt
+	// (0: default); attempt n waits about RedialWait·2ⁿ, jittered.
 	RedialWait time.Duration
+	// RedialMaxWait caps the exponential backoff between reconnect
+	// attempts (0: default; clamped up to RedialWait).
+	RedialMaxWait time.Duration
 	// MaxRedials bounds consecutive failed reconnects before the client
 	// goes fatally down (0: default; negative: no reconnection at all).
 	MaxRedials int
 	// CloseGrace bounds Close's wait for the tail of decisions (0:
 	// DefaultCloseGrace).  Flush before Close to not race the grace.
 	CloseGrace time.Duration
+	// ClientID is the connection identity announced to the node in the
+	// hello control line; a reconnection with the same identity takes
+	// over the dead connection's terminal claims instead of bouncing off
+	// them (0: a fresh random identity).
+	ClientID string
+	// Dial overrides how connections are established (nil: net.Dial
+	// "tcp").  The fault-injection harness hooks here.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // NodeCounters is a snapshot of a NodeClient's report ledger.
@@ -65,6 +83,8 @@ type NodeCounters struct {
 	// among the delivered outcomes; RemoteErrors counts line-level
 	// rejects the node sent back.
 	Handovers, PingPongs, RemoteErrors uint64
+	// Reconnects counts successful re-establishments of the connection.
+	Reconnects uint64
 	// QueuedLines is the instantaneous send-queue depth in lines.
 	QueuedLines int
 }
@@ -108,6 +128,12 @@ type NodeClient struct {
 
 	wg sync.WaitGroup
 
+	// ctlMu admits one control operation (Extract/Restore) at a time;
+	// pendMu guards the pending op the reader completes.
+	ctlMu  sync.Mutex
+	pendMu sync.Mutex
+	pend   *ctlOp
+
 	submitted  atomic.Uint64
 	written    atomic.Uint64
 	delivered  atomic.Uint64
@@ -115,6 +141,14 @@ type NodeClient struct {
 	handovers  atomic.Uint64
 	pingpongs  atomic.Uint64
 	remoteErrs atomic.Uint64
+	reconnects atomic.Uint64
+}
+
+// ctlOp is one in-flight control operation: the reader goroutine
+// accumulates shipped snapshots into it and completes done exactly once.
+type ctlOp struct {
+	snaps []TerminalSnapshot
+	done  chan error // buffered; completion never blocks the reader
 }
 
 // DialNode connects to a node daemon and starts the writer/reader loops.
@@ -130,21 +164,30 @@ func DialNode(addr string, cfg NodeClientConfig) (*NodeClient, error) {
 	if cfg.RedialWait == 0 {
 		cfg.RedialWait = DefaultRedialWait
 	}
+	if cfg.RedialMaxWait == 0 {
+		cfg.RedialMaxWait = DefaultRedialMaxWait
+	}
+	if cfg.RedialMaxWait < cfg.RedialWait {
+		cfg.RedialMaxWait = cfg.RedialWait
+	}
 	if cfg.MaxRedials == 0 {
 		cfg.MaxRedials = DefaultMaxRedials
 	}
 	if cfg.CloseGrace == 0 {
 		cfg.CloseGrace = DefaultCloseGrace
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("serve: node %s: %w", addr, err)
+	if cfg.ClientID == "" {
+		cfg.ClientID = newClientID()
 	}
 	c := &NodeClient{
 		addr:  addr,
 		cfg:   cfg,
 		queue: make(chan pendingLine, cfg.QueueDepth),
 		down:  make(chan struct{}),
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("serve: node %s: %w", addr, err)
 	}
 	c.wg.Add(1)
 	go c.run(conn)
@@ -188,6 +231,12 @@ func (c *NodeClient) send(rs []Report, block bool) error {
 		}
 	}
 	p := pendingLine{line: AppendBatchJSON(make([]byte, 0, 160*len(rs)), rs), n: uint64(len(rs))}
+	return c.enqueue(p, block, time.Time{})
+}
+
+// enqueue adds one encoded line to the send queue.  block=false fails
+// fast on a full queue; a non-zero deadline bounds the blocking wait.
+func (c *NodeClient) enqueue(p pendingLine, block bool, deadline time.Time) error {
 	var wait *time.Timer
 	defer func() {
 		if wait != nil {
@@ -220,6 +269,9 @@ func (c *NodeClient) send(rs []Report, block bool) error {
 		c.mu.RUnlock()
 		if !block {
 			return ErrBacklogged
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("serve: node %s: send queue full past deadline", c.addr)
 		}
 		// Queue full: wait for drain (or client death) without the lock.
 		// One reusable timer — a saturated sender must not allocate a
@@ -312,6 +364,7 @@ func (c *NodeClient) Counters() NodeCounters {
 		Handovers:    c.handovers.Load(),
 		PingPongs:    c.pingpongs.Load(),
 		RemoteErrors: c.remoteErrs.Load(),
+		Reconnects:   c.reconnects.Load(),
 		QueuedLines:  len(c.queue),
 	}
 }
@@ -337,6 +390,21 @@ func (c *NodeClient) run(conn net.Conn) {
 	defer c.wg.Done()
 	for {
 		c.setConn(conn)
+		// Announce the connection identity before anything else: the
+		// node keys claim takeover on it, so a reconnection must say who
+		// it is before its first report line bounces off stale claims.
+		if _, err := conn.Write(AppendControlJSON(nil, WireControl{Op: "hello", Client: c.cfg.ClientID})); err != nil {
+			conn.Close()
+			c.surface(fmt.Errorf("serve: node %s: hello: %w", c.addr, err))
+			next, rerr := c.redial()
+			if rerr != nil {
+				c.failPendingCtl(rerr)
+				c.goDown(rerr)
+				return
+			}
+			conn = next
+			continue
+		}
 		readerDone := make(chan struct{})
 		go c.readLoop(conn, readerDone)
 		finished, werr := c.writeLoop(conn, readerDone)
@@ -354,11 +422,15 @@ func (c *NodeClient) run(conn net.Conn) {
 			<-readerDone
 			conn.Close()
 			c.accountLost("connection closed")
+			c.failPendingCtl(ErrClientClosed)
 			return
 		}
 		conn.Close()
 		<-readerDone
 		c.accountLost("connection lost")
+		// A control op spanning the dead connection cannot resume — its
+		// partial snapshot stream is gone.  Fail it; the caller retries.
+		c.failPendingCtl(fmt.Errorf("serve: node %s: connection lost during control op", c.addr))
 		if werr != nil {
 			c.surface(fmt.Errorf("serve: node %s: %w", c.addr, werr))
 		}
@@ -435,6 +507,10 @@ func (c *NodeClient) readLoop(conn net.Conn, done chan<- struct{}) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for scanner.Scan() {
+		if isControlLine(scanner.Bytes()) {
+			c.handleCtlLine(scanner.Bytes())
+			continue
+		}
 		w, err := ParseOutcomeLine(scanner.Bytes())
 		if err != nil {
 			var we *WireError
@@ -451,7 +527,6 @@ func (c *NodeClient) readLoop(conn net.Conn, done chan<- struct{}) {
 			continue
 		}
 		o := w.Outcome()
-		c.delivered.Add(1)
 		if o.Executed {
 			c.handovers.Add(1)
 		}
@@ -461,6 +536,10 @@ func (c *NodeClient) readLoop(conn net.Conn, done chan<- struct{}) {
 		if c.cfg.OnOutcome != nil {
 			c.cfg.OnOutcome(o)
 		}
+		// Counted only after the callback returns: Flush observing
+		// delivered == submitted must mean every outcome has fully reached
+		// the caller, so post-Flush reads of callback state are ordered.
+		c.delivered.Add(1)
 	}
 }
 
@@ -476,28 +555,59 @@ func (c *NodeClient) accountLost(cause string) {
 		c.addr, cause, inflight))
 }
 
-// redial re-establishes the connection with bounded retries.  Every
-// attempt — the first included — waits RedialWait beforehand: the node
-// needs a beat to notice the dead connection and release its
-// per-connection state (terminal ownership) before the replacement
-// arrives, or the new connection's first lines bounce off stale claims.
+// redialDelay computes the pause before reconnect attempt (0-based):
+// exponential from base, capped at max, plus up to half a step of jitter
+// (jitter ∈ [0,1)).  Pure, so the schedule is testable; jitter keeps a
+// fleet of clients that lost the same node from redialing in lockstep.
+func redialDelay(base, max time.Duration, attempt int, jitter float64) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d + time.Duration(jitter*float64(d)/2)
+}
+
+// redial re-establishes the connection with bounded retries and
+// exponential backoff.  Every attempt — the first included — waits
+// beforehand: the node needs a beat to notice the dead connection before
+// the replacement arrives (same-identity takeover covers the race, but
+// an orderly release is cheaper than a takeover drain).
 func (c *NodeClient) redial() (net.Conn, error) {
 	if c.cfg.MaxRedials < 0 {
 		return nil, fmt.Errorf("serve: node %s: connection lost and reconnection disabled", c.addr)
 	}
 	var last error
 	for i := 0; i < c.cfg.MaxRedials; i++ {
-		time.Sleep(c.cfg.RedialWait)
+		time.Sleep(redialDelay(c.cfg.RedialWait, c.cfg.RedialMaxWait, i, rand.Float64()))
 		if c.isClosing() {
 			return nil, fmt.Errorf("serve: node %s: closed while reconnecting", c.addr)
 		}
-		conn, err := net.Dial("tcp", c.addr)
+		conn, err := c.dial()
 		if err == nil {
+			c.reconnects.Add(1)
 			return conn, nil
 		}
 		last = err
 	}
 	return nil, fmt.Errorf("serve: node %s: gave up after %d reconnect attempts: %w", c.addr, c.cfg.MaxRedials, last)
+}
+
+// dial opens one connection to the node via the configured dialer.
+func (c *NodeClient) dial() (net.Conn, error) {
+	if c.cfg.Dial != nil {
+		return c.cfg.Dial(c.addr)
+	}
+	return net.Dial("tcp", c.addr)
+}
+
+// newClientID returns a random connection identity.
+func newClientID() string {
+	var b [8]byte
+	crand.Read(b[:])
+	return hex.EncodeToString(b[:])
 }
 
 // goDown marks the client fatally down: queued lines are drained into the
@@ -525,5 +635,131 @@ func (c *NodeClient) goDown(err error) {
 			c.surface(err)
 			return
 		}
+	}
+}
+
+// Extract asks the node to drain, remove and ship back every terminal
+// that the consistent-hash ring over members (vnodes virtual nodes each)
+// no longer assigns to member self.  The control line rides the ordered
+// send queue, so it lands behind every report already submitted; the
+// node drains before extracting, so the snapshots carry every decision.
+// One control op runs at a time; timeout bounds the whole exchange.
+func (c *NodeClient) Extract(members []int, vnodes, self int, timeout time.Duration) ([]TerminalSnapshot, error) {
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	op := c.armCtl()
+	defer c.disarmCtl()
+	line := AppendControlJSON(nil, WireControl{Op: "extract", Members: members, VNodes: vnodes, Self: self})
+	if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
+		return nil, err
+	}
+	if err := c.waitCtl(op, deadline); err != nil {
+		return nil, err
+	}
+	return op.snaps, nil
+}
+
+// Restore ships terminal snapshots to the node in bounded chunks and
+// waits for the restored ack.  Snapshot validation failures and
+// already-live terminals are reported in the returned error.
+func (c *NodeClient) Restore(snaps []TerminalSnapshot, timeout time.Duration) error {
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	op := c.armCtl()
+	defer c.disarmCtl()
+	for rest := snaps; len(rest) > 0; {
+		n := min(len(rest), snapshotChunk)
+		line := AppendControlJSON(nil, WireControl{Op: "restore", Snapshots: rest[:n]})
+		if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	done := AppendControlJSON(nil, WireControl{Op: "restore-done"})
+	if err := c.enqueue(pendingLine{line: done}, true, deadline); err != nil {
+		return err
+	}
+	return c.waitCtl(op, deadline)
+}
+
+// armCtl installs a fresh pending op for the reader to complete.
+func (c *NodeClient) armCtl() *ctlOp {
+	op := &ctlOp{done: make(chan error, 1)}
+	c.pendMu.Lock()
+	c.pend = op
+	c.pendMu.Unlock()
+	return op
+}
+
+func (c *NodeClient) disarmCtl() {
+	c.pendMu.Lock()
+	c.pend = nil
+	c.pendMu.Unlock()
+}
+
+// waitCtl blocks until the pending op completes, the client goes down,
+// or the deadline passes.
+func (c *NodeClient) waitCtl(op *ctlOp, deadline time.Time) error {
+	wait := time.NewTimer(time.Until(deadline))
+	defer wait.Stop()
+	select {
+	case err := <-op.done:
+		return err
+	case <-c.down:
+		return c.Err()
+	case <-wait.C:
+		return fmt.Errorf("serve: node %s: control op timed out", c.addr)
+	}
+}
+
+// failPendingCtl completes the pending control op with err, if one is
+// armed.  Called from run when a connection dies or the client stops.
+func (c *NodeClient) failPendingCtl(err error) {
+	c.pendMu.Lock()
+	op := c.pend
+	c.pendMu.Unlock()
+	if op != nil {
+		select {
+		case op.done <- err:
+		default:
+		}
+	}
+}
+
+// handleCtlLine processes one node→client control line on the reader
+// goroutine: snapshot chunks accumulate into the pending op, acks
+// complete it.  The op's channel hand-off orders the accumulation before
+// the waiter's read.
+func (c *NodeClient) handleCtlLine(line []byte) {
+	ctl, err := ParseControlLine(line)
+	if err != nil {
+		c.surface(fmt.Errorf("serve: node %s: %w", c.addr, err))
+		return
+	}
+	c.pendMu.Lock()
+	op := c.pend
+	c.pendMu.Unlock()
+	if op == nil {
+		c.surface(fmt.Errorf("serve: node %s: control %q with no operation pending", c.addr, ctl.Op))
+		return
+	}
+	switch ctl.Op {
+	case "snapshots":
+		op.snaps = append(op.snaps, ctl.Snapshots...)
+	case "extracted", "restored":
+		var res error
+		if ctl.Error != "" {
+			res = fmt.Errorf("serve: node %s: %s", c.addr, ctl.Error)
+		} else if ctl.Op == "extracted" && ctl.Count != len(op.snaps) {
+			res = fmt.Errorf("serve: node %s: extracted ack counts %d snapshots, %d received", c.addr, ctl.Count, len(op.snaps))
+		}
+		select {
+		case op.done <- res:
+		default:
+		}
+	default:
+		c.surface(fmt.Errorf("serve: node %s: unexpected control op %q", c.addr, ctl.Op))
 	}
 }

@@ -34,6 +34,25 @@ func startTestNode(t *testing.T, cfg Config) (addr string, stop func()) {
 		Mux:    mux,
 		Submit: e.SubmitBatch,
 		Drain:  func() error { e.Flush(); return nil },
+		// Stand-in membership pred: member i of members owns terminals
+		// with id ≡ i (mod len).  The real daemons build a consistent-
+		// hash ring here; the serve-layer protocol doesn't care how the
+		// pred partitions.
+		Extract: func(members []int, _, self int) ([]TerminalSnapshot, error) {
+			idx := -1
+			for i, m := range members {
+				if m == self {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				return nil, errors.New("self not in members")
+			}
+			return e.ExtractSnapshots(func(id TerminalID) bool {
+				return int(id)%len(members) != idx
+			})
+		},
+		Restore: e.RestoreSnapshots,
 	}
 	var wg sync.WaitGroup
 	var cmu sync.Mutex

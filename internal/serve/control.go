@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// The wire control plane rides the same newline-JSON streams as reports
+// and outcomes, on both directions of a node connection.  A control line
+// always leads with the "ctl" key — AppendControlJSON guarantees it —
+// so both ends dispatch with one prefix comparison and the data hot
+// path never JSON-parses a line twice.
+//
+// Ops, client → node:
+//
+//	{"ctl":"hello","client":ID}       announce connection identity; lets
+//	                                  a reconnection take over its own
+//	                                  terminal claims (see DecisionMux)
+//	{"ctl":"extract","members":[...],"vnodes":V,"self":S}
+//	                                  extract every terminal the ring
+//	                                  over members no longer assigns to
+//	                                  member S
+//	{"ctl":"restore","snapshots":[...]}  install one snapshot chunk
+//	{"ctl":"restore-done"}            finish the restore op
+//
+// Ops, node → client:
+//
+//	{"ctl":"snapshots","snapshots":[...]}  one extracted chunk
+//	{"ctl":"extracted","count":N}     extract finished (Error on failure)
+//	{"ctl":"restored","count":N}      restore finished (Error on failure)
+type WireControl struct {
+	// Op names the control operation.
+	Op string
+	// Client is the connection identity ("hello").
+	Client string
+	// Members/VNodes/Self describe the post-change ring membership
+	// ("extract"): the node keeps only terminals the ring still assigns
+	// to member Self.
+	Members []int
+	VNodes  int
+	Self    int
+	// Count is the total snapshot count of a finished op.
+	Count int
+	// Snapshots carries one chunk of terminal state.
+	Snapshots []TerminalSnapshot
+	// Error reports an op failure in an ack.
+	Error string
+}
+
+// snapshotChunk bounds the snapshots packed into one control line, so a
+// big migration streams as bounded lines instead of one giant one.
+const snapshotChunk = 512
+
+// controlPrefix is the mandatory lead of a control line.
+var controlPrefix = []byte(`{"ctl"`)
+
+// isControlLine reports whether the line is a control message.  The
+// encoder emits the ctl key first, making this a single memcmp.
+func isControlLine(line []byte) bool {
+	return bytes.HasPrefix(trimSpace(line), controlPrefix)
+}
+
+// AppendControlJSON appends the control message as one JSON line (with
+// trailing newline) to dst and returns the extended slice.  The ctl key
+// is emitted first — isControlLine depends on it.
+func AppendControlJSON(dst []byte, c WireControl) []byte {
+	dst = append(dst, `{"ctl":`...)
+	dst = appendJSONString(dst, c.Op)
+	if c.Client != "" {
+		dst = append(dst, `,"client":`...)
+		dst = appendJSONString(dst, c.Client)
+	}
+	if c.Members != nil {
+		dst = append(dst, `,"members":[`...)
+		for i, m := range c.Members {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(m), 10)
+		}
+		dst = append(dst, `],"vnodes":`...)
+		dst = strconv.AppendInt(dst, int64(c.VNodes), 10)
+		dst = append(dst, `,"self":`...)
+		dst = strconv.AppendInt(dst, int64(c.Self), 10)
+	}
+	if c.Snapshots != nil {
+		dst = append(dst, `,"snapshots":[`...)
+		for i, s := range c.Snapshots {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendSnapshotObj(dst, s)
+		}
+		dst = append(dst, ']')
+	}
+	if c.Count != 0 {
+		dst = append(dst, `,"count":`...)
+		dst = strconv.AppendInt(dst, int64(c.Count), 10)
+	}
+	if c.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, c.Error)
+	}
+	return append(dst, '}', '\n')
+}
+
+// ParseControlLine decodes one control line, validating any embedded
+// snapshots (bad state is rejected at the wire, before it can reach an
+// engine).
+func ParseControlLine(line []byte) (WireControl, error) {
+	var aux struct {
+		Op        string         `json:"ctl"`
+		Client    string         `json:"client"`
+		Members   []int          `json:"members"`
+		VNodes    int            `json:"vnodes"`
+		Self      int            `json:"self"`
+		Count     int            `json:"count"`
+		Snapshots []wireSnapshot `json:"snapshots"`
+		Error     string         `json:"error"`
+	}
+	if err := json.Unmarshal(trimSpace(line), &aux); err != nil {
+		return WireControl{}, fmt.Errorf("serve: malformed control line: %w", err)
+	}
+	if aux.Op == "" {
+		return WireControl{}, fmt.Errorf("serve: control line carries no op: %.200s", line)
+	}
+	c := WireControl{
+		Op:      aux.Op,
+		Client:  aux.Client,
+		Members: aux.Members,
+		VNodes:  aux.VNodes,
+		Self:    aux.Self,
+		Count:   aux.Count,
+		Error:   aux.Error,
+	}
+	for i, w := range aux.Snapshots {
+		s, err := w.snapshot()
+		if err != nil {
+			return WireControl{}, fmt.Errorf("serve: control snapshot %d: %w", i, err)
+		}
+		c.Snapshots = append(c.Snapshots, s)
+	}
+	return c, nil
+}

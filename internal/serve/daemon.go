@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -14,6 +16,14 @@ import (
 // per-connection terminal ownership with release on disconnect.  Keeping
 // the connection lifecycle here means both daemons share one teardown
 // ordering (drain, then release) instead of diverging copies.
+//
+// Connections may interleave control lines (see WireControl) with their
+// report stream: hello announces a connection identity so a reconnection
+// can take over its own terminal claims, and extract/restore move
+// terminal state in and out for cluster membership changes.  Control
+// failures are answered inside the op's ack (Error field), never as
+// `{"error":...}` reject lines — a reject line would poison the client's
+// data-plane error accounting for an op the data plane never issued.
 //
 // Half-open clients cannot hold their terminals forever: accepted TCP
 // connections carry the runtime's default keepalive, so a vanished peer
@@ -31,7 +41,29 @@ type Daemon struct {
 	// Drain blocks until every report submitted so far is decided
 	// (Engine.Flush, or a router Flush with timeout).  Its error is a
 	// serving failure, reported separately from rejected input lines.
+	// Also installed as Mux.Drain (the takeover barrier) if that is
+	// still nil.
 	Drain func() error
+	// Extract, if set, removes and returns snapshots of every terminal
+	// that the consistent-hash ring over members (with vnodes virtual
+	// nodes each) no longer assigns to member self.  Serving the
+	// "extract" control op requires it.
+	Extract func(members []int, vnodes, self int) ([]TerminalSnapshot, error)
+	// Restore, if set, installs terminal snapshots into the engine.
+	// Serving the "restore" control op requires it; it is also the
+	// recovery path when extracted state cannot reach the requester.
+	Restore func([]TerminalSnapshot) error
+
+	initOnce sync.Once
+}
+
+// init wires the mux's takeover drain barrier to the daemon's drain.
+func (d *Daemon) init() {
+	d.initOnce.Do(func() {
+		if d.Mux.Drain == nil {
+			d.Mux.Drain = d.Drain
+		}
+	})
 }
 
 // flushLoop periodically flushes a sink until stop closes.
@@ -51,17 +83,21 @@ func flushLoop(s *Sink, stop <-chan struct{}) {
 // RunStdio ingests os.Stdin to completion, emits decisions on os.Stdout,
 // and drains.  It returns the lines read, the lines (fully or partially)
 // rejected, and the drain error, so the caller can report input problems
-// and serving problems as what they are.
+// and serving problems as what they are.  Control ops are not served on
+// stdio — there is no reconnection or migration without a network.
 func (d *Daemon) RunStdio() (lines, bad int, drainErr error) {
+	d.init()
 	out := NewSink(os.Stdout)
+	bnd := NewBinding(d.Mux, out)
 	stop := make(chan struct{})
 	go flushLoop(out, stop)
-	lines, bad = IngestLines(os.Stdin, d.Mux, out, d.Submit, func(line int, err error) {
+	lines, bad = IngestLines(os.Stdin, bnd, d.Submit, nil, func(line int, err error) {
 		fmt.Fprintf(os.Stderr, "%s: line %d: %v\n", d.Name, line, err)
 	})
 	drainErr = d.Drain()
 	close(stop)
 	out.Flush()
+	bnd.Release()
 	return lines, bad, drainErr
 }
 
@@ -69,9 +105,14 @@ func (d *Daemon) RunStdio() (lines, bad int, drainErr error) {
 // terminals it submits first (see DecisionMux) until it disconnects; its
 // rejects come back as {"error":...} lines on its own sink.
 func (d *Daemon) RunTCP(ln net.Listener) {
+	d.init()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				// Closing the listener is the clean-shutdown signal.
+				return
+			}
 			// Transient accept failures (aborted handshakes, fd
 			// exhaustion) must not tear down the daemon and every
 			// connected client: log, back off briefly, keep accepting.
@@ -87,11 +128,55 @@ func (d *Daemon) RunTCP(ln net.Listener) {
 // in-flight decisions so the client's tail reaches its sink, then release
 // the connection's terminal claims.
 func (d *Daemon) serveConn(conn net.Conn) {
+	d.init()
 	defer conn.Close()
 	out := NewSink(conn)
+	bnd := NewBinding(d.Mux, out)
 	stop := make(chan struct{})
 	go flushLoop(out, stop)
-	IngestLines(conn, d.Mux, out, d.Submit, func(line int, err error) {
+
+	// Restore arrives as a chunk stream; failures park here until the
+	// restore-done ack reports them.
+	var restoreCount int
+	var restoreErr error
+	ctl := func(c WireControl) error {
+		switch c.Op {
+		case "hello":
+			if c.Client != "" {
+				bnd.SetIdentity(c.Client)
+			}
+			return nil
+		case "extract":
+			d.handleExtract(out, c)
+			return nil
+		case "restore":
+			if restoreErr != nil {
+				return nil // op already failed; swallow remaining chunks
+			}
+			if d.Restore == nil {
+				restoreErr = fmt.Errorf("%s: restore not supported", d.Name)
+				return nil
+			}
+			if err := d.Restore(c.Snapshots); err != nil {
+				restoreErr = err
+			} else {
+				restoreCount += len(c.Snapshots)
+			}
+			return nil
+		case "restore-done":
+			ack := WireControl{Op: "restored", Count: restoreCount}
+			if restoreErr != nil {
+				ack = WireControl{Op: "restored", Error: restoreErr.Error()}
+			}
+			restoreCount, restoreErr = 0, nil
+			out.WriteControl(ack)
+			return nil
+		default:
+			return fmt.Errorf("%s: unknown control op %q", d.Name, c.Op)
+		}
+	}
+
+	IngestLines(conn, bnd, d.Submit, ctl, func(line int, err error) {
 		out.WriteError(fmt.Errorf("line %d: %w", line, err))
 	})
 	if err := d.Drain(); err != nil {
@@ -99,7 +184,46 @@ func (d *Daemon) serveConn(conn net.Conn) {
 	}
 	close(stop)
 	out.Flush()
-	d.Mux.Release(out)
+	bnd.Release()
+}
+
+// handleExtract serves one "extract" control op: drain, extract the
+// terminals the new ring assigns elsewhere, stream their snapshots back
+// in bounded chunks, and ack with the count.  Failures answer inside the
+// "extracted" ack.  If the extracted state cannot reach the requester
+// (the connection died mid-stream), it is restored locally rather than
+// lost.
+func (d *Daemon) handleExtract(out *Sink, c WireControl) {
+	if d.Extract == nil {
+		out.WriteControl(WireControl{Op: "extracted", Error: d.Name + ": extract not supported"})
+		return
+	}
+	// The extract control line was parsed in ingest order, but reports
+	// already submitted may still be in flight; settle them so the
+	// snapshots carry every decision the client has sent.
+	if err := d.Drain(); err != nil {
+		out.WriteControl(WireControl{Op: "extracted", Error: err.Error()})
+		return
+	}
+	snaps, err := d.Extract(c.Members, c.VNodes, c.Self)
+	if err != nil {
+		out.WriteControl(WireControl{Op: "extracted", Error: err.Error()})
+		return
+	}
+	for rest := snaps; len(rest) > 0; {
+		n := min(len(rest), snapshotChunk)
+		out.WriteControl(WireControl{Op: "snapshots", Snapshots: rest[:n]})
+		rest = rest[n:]
+	}
+	out.WriteControl(WireControl{Op: "extracted", Count: len(snaps)})
+	if out.Flush() != nil && len(snaps) > 0 && d.Restore != nil {
+		// The requester never got the state; losing it would erase the
+		// terminals' histories.  Put it back and let the requester retry.
+		if rerr := d.Restore(snaps); rerr != nil {
+			fmt.Fprintf(os.Stderr, "%s: restoring %d snapshots after failed extract delivery: %v\n",
+				d.Name, len(snaps), rerr)
+		}
+	}
 }
 
 // ServeConn exposes the per-connection protocol for callers that manage

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"unicode/utf8"
+
+	"repro/internal/hexgrid"
 )
 
 // FuzzParseBatchLine drives the ingest parser with arbitrary lines and
@@ -51,6 +53,62 @@ func FuzzParseBatchLine(f *testing.F) {
 			if !reflect.DeepEqual(reports, again) {
 				t.Fatalf("round trip drifted:\n in  %+v\n out %+v", reports, again)
 			}
+		}
+	})
+}
+
+// FuzzSnapshotRoundTrip drives the terminal-snapshot codec with
+// arbitrary decision states: a structurally valid snapshot must encode →
+// ParseSnapshotLine → re-encode byte-identically.  The byte identity is
+// what migration and crash-recovery lean on — shipped state can be
+// compared for equality as bytes, and a restore-then-extract returns
+// exactly what arrived.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add(uint64(7), uint64(12), -88.5, true, -2, 3, true, uint64(3), uint64(1), uint64(3), 1.25)
+	f.Add(uint64(0), uint64(0), 0.0, false, 0, 0, false, uint64(0), uint64(0), uint64(0), 0.0)
+	f.Add(uint64(1<<40), uint64(1<<50), 1e-300, true, 1000, -1000, true, uint64(99), uint64(98), uint64(97), -0.0)
+	f.Fuzz(func(t *testing.T, terminal, seq uint64, prevDB float64, havePrev bool,
+		si, sj int, haveServing bool, handovers, pingpongs, totalEvents uint64, walked float64) {
+		if math.IsNaN(prevDB) || math.IsInf(prevDB, 0) || math.IsNaN(walked) || math.IsInf(walked, 0) {
+			t.Skip("power and distance values are finite by construction")
+		}
+		totalEvents %= maxSnapshotTotalEvents + 1
+		s := TerminalSnapshot{
+			Terminal:    TerminalID(terminal),
+			Seq:         seq,
+			PrevDB:      prevDB,
+			HavePrev:    havePrev,
+			Serving:     hexgrid.Cell{I: si, J: sj},
+			HaveServing: haveServing,
+			Handovers:   handovers,
+			PingPongs:   pingpongs,
+			TotalEvents: totalEvents,
+		}
+		n := int(totalEvents)
+		if n > pingPongHistory {
+			n = pingPongHistory
+		}
+		for i := 0; i < n; i++ {
+			s.Events = append(s.Events, SnapshotEvent{
+				From:     hexgrid.Cell{I: si + i, J: sj - i},
+				To:       hexgrid.Cell{I: si + i + 1, J: sj - i},
+				WalkedKm: walked + float64(i),
+			})
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("constructed snapshot invalid: %v", err)
+		}
+		line1 := AppendSnapshotJSON(nil, s)
+		got, err := ParseSnapshotLine(line1)
+		if err != nil {
+			t.Fatalf("decode: %v (line %s)", err, line1)
+		}
+		if !reflect.DeepEqual(s, got) {
+			t.Fatalf("decode drifted:\n in  %+v\n out %+v\nline %s", s, got, line1)
+		}
+		line2 := AppendSnapshotJSON(nil, got)
+		if string(line1) != string(line2) {
+			t.Fatalf("re-encode drifted:\n first  %s second %s", line1, line2)
 		}
 	})
 }

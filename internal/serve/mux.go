@@ -2,9 +2,12 @@ package serve
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Sink serializes decision lines onto one writer — one per ingest
@@ -31,6 +34,19 @@ func (s *Sink) WriteOutcome(o Outcome) {
 		return
 	}
 	s.buf = AppendOutcomeJSON(s.buf[:0], o)
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// WriteControl encodes and writes one control line.
+func (s *Sink) WriteControl(c WireControl) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.buf = AppendControlJSON(s.buf[:0], c)
 	if _, err := s.w.Write(s.buf); err != nil {
 		s.err = err
 	}
@@ -71,6 +87,11 @@ func (e *OwnershipError) Error() string {
 	return fmt.Sprintf("serve: terminal %d is owned by another connection", e.Terminal)
 }
 
+// ErrSuperseded means the connection's claims were taken over by a newer
+// connection carrying the same identity; the superseded connection must
+// stop submitting.
+var ErrSuperseded = errors.New("serve: connection superseded by a newer connection with the same identity")
+
 // DecisionMux routes engine outcomes back to the ingest connection that
 // owns each terminal, with exclusive ownership:
 //
@@ -80,66 +101,182 @@ func (e *OwnershipError) Error() string {
 //     *OwnershipError — accepting it would interleave one terminal's state
 //     stream across connections and route decisions to whichever sink
 //     happened to bind last.
+//   - Exception: a connection that announced the same identity (hello)
+//     as the current owner TAKES OVER the owner's claims.  This is the
+//     reconnect path — the old connection is a dead incarnation of the
+//     same client, but its socket may not have errored yet, so waiting
+//     for its release would strand the client.  Takeover is safe, not
+//     just permitted: the old binding is revoked first (its in-flight
+//     submit fences out), then the mux drains so every already-submitted
+//     outcome reaches the old sink, and only then do claims transfer.
+//     No terminal's decision stream is lost or interleaved across the
+//     boundary.
 //   - A claim made by a line that is later rejected (validation error
 //     further into the batch) is kept: ownership is a property of the
 //     connection, not of any one line's fate.
 //
-// Route runs on shard goroutines; Bind/Release on connection goroutines.
+// Route runs on shard goroutines; Binding methods on connection
+// goroutines.
 type DecisionMux struct {
-	sinks sync.Map // TerminalID → *Sink
+	// Drain blocks until every outcome for reports submitted so far has
+	// been routed.  Takeover uses it as the barrier between routing a
+	// terminal's decisions to the old sink and to the new one; nil skips
+	// the barrier (outcomes may race the transfer).
+	Drain func() error
+
+	claims sync.Map // TerminalID → *Binding
 }
 
 // NewDecisionMux returns an empty mux.
 func NewDecisionMux() *DecisionMux { return &DecisionMux{} }
 
-// Bind claims the terminal for s.  Rebinding by the owner is a cheap
-// no-op; a claim held by another sink fails with *OwnershipError.
-func (m *DecisionMux) Bind(id TerminalID, s *Sink) error {
-	if cur, loaded := m.sinks.LoadOrStore(id, s); loaded && cur != any(s) {
-		return &OwnershipError{Terminal: id}
+// Route delivers one outcome to the owning connection's sink (drops it
+// if the owner already released).  Use as the engine's OnDecision
+// callback.
+func (m *DecisionMux) Route(o Outcome) {
+	if v, ok := m.claims.Load(o.Terminal); ok {
+		v.(*Binding).sink.WriteOutcome(o)
 	}
-	return nil
 }
 
-// BindAll claims every report's terminal for s, failing on the first
-// conflict.  Terminals claimed earlier in the same call keep their claim —
-// see the DecisionMux ownership rules.
-func (m *DecisionMux) BindAll(rs []Report, s *Sink) error {
+// Binding is one connection's claim-holding handle on a mux.  It pairs
+// the connection's sink with an optional client identity and carries the
+// revocation state takeover needs.
+type Binding struct {
+	mux  *DecisionMux
+	sink *Sink
+
+	// identity is the client-announced connection identity ("" until a
+	// hello arrives).  Claims held under an identity can be taken over
+	// by a new connection announcing the same one.
+	identity atomic.Value // string
+
+	// revoked flips when a newer same-identity connection takes this
+	// binding's claims (or the binding releases); Submit then refuses
+	// with ErrSuperseded.
+	revoked atomic.Bool
+
+	// mu serializes Submit/Release and is the takeover fence: a taker
+	// must hold it before moving claims, so no submit is mid-flight
+	// across the transfer.
+	mu sync.Mutex
+}
+
+// NewBinding returns a binding routing the mux's outcomes to sink.
+func NewBinding(m *DecisionMux, sink *Sink) *Binding {
+	return &Binding{mux: m, sink: sink}
+}
+
+// SetIdentity records the client-announced connection identity, enabling
+// same-identity claim takeover on reconnect.
+func (b *Binding) SetIdentity(id string) { b.identity.Store(id) }
+
+func (b *Binding) identityString() string {
+	s, _ := b.identity.Load().(string)
+	return s
+}
+
+// Superseded reports whether a newer connection took this binding's
+// claims.
+func (b *Binding) Superseded() bool { return b.revoked.Load() }
+
+// Submit claims every report's terminal for this binding and forwards
+// the batch through submit.  Claims made before the first conflict are
+// kept (see DecisionMux).  Returns ErrSuperseded once a newer connection
+// with the same identity has taken over.
+func (b *Binding) Submit(rs []Report, submit func([]Report) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.revoked.Load() {
+		return ErrSuperseded
+	}
 	for i := range rs {
-		if err := m.Bind(rs[i].Terminal, s); err != nil {
+		if err := b.bind(rs[i].Terminal); err != nil {
 			return err
 		}
 	}
+	return submit(rs)
+}
+
+// bind claims one terminal, taking over a dead same-identity owner if
+// needed.  Called with b.mu held.
+func (b *Binding) bind(id TerminalID) error {
+	for {
+		cur, loaded := b.mux.claims.LoadOrStore(id, b)
+		if !loaded || cur == any(b) {
+			return nil
+		}
+		owner := cur.(*Binding)
+		ident := b.identityString()
+		if ident == "" || owner.identityString() != ident {
+			return &OwnershipError{Terminal: id}
+		}
+		if err := b.takeover(owner); err != nil {
+			return err
+		}
+		// Claims transferred (or the owner released concurrently);
+		// retry the claim.
+	}
+}
+
+// takeover moves every claim held by owner to b: revoke, fence out the
+// owner's in-flight submit, drain routed outcomes to the old sink, then
+// transfer.  Called with b.mu held.
+func (b *Binding) takeover(owner *Binding) error {
+	owner.revoked.Store(true)
+	// Fence: wait until no submit is running on the owner.  TryLock-spin
+	// instead of Lock so that two live same-identity connections taking
+	// each other over cannot deadlock — each sees itself revoked by the
+	// other and backs out.
+	for !owner.mu.TryLock() {
+		if b.revoked.Load() {
+			return ErrSuperseded
+		}
+		runtime.Gosched()
+	}
+	defer owner.mu.Unlock()
+	// Barrier: everything the owner submitted must route to the owner's
+	// sink before claims move, or the tail of its decision stream would
+	// appear on the new connection.
+	if b.mux.Drain != nil {
+		if err := b.mux.Drain(); err != nil {
+			return fmt.Errorf("serve: drain before takeover: %w", err)
+		}
+	}
+	b.mux.claims.Range(func(k, v any) bool {
+		if v == any(owner) {
+			b.mux.claims.CompareAndSwap(k, owner, b)
+		}
+		return true
+	})
 	return nil
 }
 
-// Release drops every claim held by s, so its terminals can be re-claimed
-// by a later connection.
-func (m *DecisionMux) Release(s *Sink) {
-	m.sinks.Range(func(k, v any) bool {
-		if v == any(s) {
-			m.sinks.Delete(k)
+// Release revokes the binding and drops every claim it still holds, so
+// its terminals can be re-claimed by a later connection.  Claims already
+// taken over are left with their new owner.
+func (b *Binding) Release() {
+	b.revoked.Store(true)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mux.claims.Range(func(k, v any) bool {
+		if v == any(b) {
+			b.mux.claims.CompareAndDelete(k, b)
 		}
 		return true
 	})
 }
 
-// Route delivers one outcome to the owning sink (drops it if the owner
-// already released).  Use as the engine's OnDecision callback.
-func (m *DecisionMux) Route(o Outcome) {
-	if v, ok := m.sinks.Load(o.Terminal); ok {
-		v.(*Sink).WriteOutcome(o)
-	}
-}
-
-// IngestLines reads newline-JSON report lines from rd, claims each
-// report's terminal for out on mux, and submits through submit.  Rejected
+// IngestLines reads newline-JSON lines from rd until EOF.  Report lines
+// claim their terminals for b and are forwarded through submit; control
+// lines (leading `{"ctl"`) are parsed and handed to ctl, which answers
+// on the connection's sink itself (a nil ctl rejects them).  Rejected
 // lines are reported through reject (with their 1-based line number) and
 // skipped; the reader keeps going.  A line whose batch fails validation
 // part-way is served up to the failing report: the validated prefix is
 // bound and submitted, and the error names the index where the rest was
 // dropped.  Returns lines read and lines (fully or partially) rejected.
-func IngestLines(rd io.Reader, mux *DecisionMux, out *Sink, submit func([]Report) error, reject func(line int, err error)) (lines, bad int) {
+func IngestLines(rd io.Reader, b *Binding, submit func([]Report) error, ctl func(WireControl) error, reject func(line int, err error)) (lines, bad int) {
 	scanner := bufio.NewScanner(rd)
 	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	for scanner.Scan() {
@@ -152,6 +289,19 @@ func IngestLines(rd io.Reader, mux *DecisionMux, out *Sink, submit func([]Report
 			}
 			reject(lines, err)
 		}
+		if isControlLine(scanner.Bytes()) {
+			c, err := ParseControlLine(scanner.Bytes())
+			if err == nil && ctl == nil {
+				err = fmt.Errorf("serve: control op %q not supported here", c.Op)
+			}
+			if err == nil {
+				err = ctl(c)
+			}
+			if err != nil {
+				fail(err)
+			}
+			continue
+		}
 		reports, err := ParseBatchLine(scanner.Bytes())
 		if err != nil {
 			fail(err)
@@ -159,11 +309,7 @@ func IngestLines(rd io.Reader, mux *DecisionMux, out *Sink, submit func([]Report
 		if len(reports) == 0 {
 			continue
 		}
-		if err := mux.BindAll(reports, out); err != nil {
-			fail(err)
-			continue
-		}
-		if err := submit(reports); err != nil {
+		if err := b.Submit(reports, submit); err != nil {
 			fail(err)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -13,36 +14,50 @@ func muxReportLine(terminal uint64, servingDB float64) string {
 		terminal, servingDB)
 }
 
-// TestDecisionMuxExclusiveOwnership pins the ownership rule: first binder
-// owns, a conflicting bind fails with *OwnershipError, release frees the
-// terminal for re-claiming.
+// bindTerminals claims ids for b through the Submit path with a no-op
+// submit, returning the first error.
+func bindTerminals(b *Binding, ids ...TerminalID) error {
+	rs := make([]Report, len(ids))
+	for i, id := range ids {
+		rs[i] = Report{Terminal: id}
+	}
+	return b.Submit(rs, func([]Report) error { return nil })
+}
+
+// TestDecisionMuxExclusiveOwnership pins the ownership rule: first
+// claimer owns, a conflicting anonymous claim fails with
+// *OwnershipError, release frees the terminal for re-claiming.
 func TestDecisionMuxExclusiveOwnership(t *testing.T) {
 	mux := NewDecisionMux()
-	a := NewSink(&bytes.Buffer{})
-	b := NewSink(&bytes.Buffer{})
+	a := NewBinding(mux, NewSink(&bytes.Buffer{}))
+	b := NewBinding(mux, NewSink(&bytes.Buffer{}))
 
-	if err := mux.Bind(7, a); err != nil {
+	if err := bindTerminals(a, 7); err != nil {
 		t.Fatal(err)
 	}
-	if err := mux.Bind(7, a); err != nil {
+	if err := bindTerminals(a, 7); err != nil {
 		t.Fatalf("owner rebind: %v", err)
 	}
-	err := mux.Bind(7, b)
+	err := bindTerminals(b, 7)
 	var oe *OwnershipError
 	if !errors.As(err, &oe) || oe.Terminal != 7 {
 		t.Fatalf("conflicting bind: %v", err)
 	}
 	// Other terminals are unaffected.
-	if err := mux.Bind(8, b); err != nil {
+	if err := bindTerminals(b, 8); err != nil {
 		t.Fatal(err)
 	}
 	// Releasing a frees 7 but not b's 8.
-	mux.Release(a)
-	if err := mux.Bind(7, b); err != nil {
+	a.Release()
+	if err := bindTerminals(b, 7); err != nil {
 		t.Fatalf("re-claim after release: %v", err)
 	}
-	if err := mux.Bind(8, a); err == nil {
+	if err := bindTerminals(NewBinding(mux, NewSink(&bytes.Buffer{})), 8); err == nil {
 		t.Fatal("b's claim vanished with a's release")
+	}
+	// A released binding refuses further submits.
+	if err := bindTerminals(a, 9); !errors.Is(err, ErrSuperseded) {
+		t.Fatalf("submit after release: %v", err)
 	}
 }
 
@@ -50,18 +65,18 @@ func TestDecisionMuxExclusiveOwnership(t *testing.T) {
 func TestDecisionMuxRoutesToOwner(t *testing.T) {
 	mux := NewDecisionMux()
 	var bufA, bufB bytes.Buffer
-	a, b := NewSink(&bufA), NewSink(&bufB)
-	if err := mux.Bind(1, a); err != nil {
+	a, b := NewBinding(mux, NewSink(&bufA)), NewBinding(mux, NewSink(&bufB))
+	if err := bindTerminals(a, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := mux.Bind(2, b); err != nil {
+	if err := bindTerminals(b, 2); err != nil {
 		t.Fatal(err)
 	}
 	mux.Route(Outcome{Terminal: 1, Seq: 0})
 	mux.Route(Outcome{Terminal: 2, Seq: 0})
 	mux.Route(Outcome{Terminal: 3, Seq: 0}) // unowned: dropped
-	a.Flush()
-	b.Flush()
+	a.sink.Flush()
+	b.sink.Flush()
 	if got := bufA.String(); !strings.Contains(got, `"terminal":1`) || strings.Contains(got, `"terminal":2`) {
 		t.Errorf("sink a got %q", got)
 	}
@@ -87,12 +102,12 @@ func TestIngestDuplicateTerminalAcrossConnections(t *testing.T) {
 	defer e.Stop()
 
 	var outA, outB bytes.Buffer
-	sinkA, sinkB := NewSink(&outA), NewSink(&outB)
+	bndA, bndB := NewBinding(mux, NewSink(&outA)), NewBinding(mux, NewSink(&outB))
 
 	// Client A claims terminals 1 and 2.
 	var rejectsA []error
 	IngestLines(strings.NewReader(muxReportLine(1, -88)+"\n"+muxReportLine(2, -88)+"\n"),
-		mux, sinkA, e.SubmitBatch, func(_ int, err error) { rejectsA = append(rejectsA, err) })
+		bndA, e.SubmitBatch, nil, func(_ int, err error) { rejectsA = append(rejectsA, err) })
 	if len(rejectsA) != 0 {
 		t.Fatalf("client A rejected: %v", rejectsA)
 	}
@@ -103,7 +118,7 @@ func TestIngestDuplicateTerminalAcrossConnections(t *testing.T) {
 	conflict := "[" + muxReportLine(3, -90) + "," + muxReportLine(1, -90) + "]\n"
 	var rejectsB []error
 	lines, bad := IngestLines(strings.NewReader(conflict+muxReportLine(4, -91)+"\n"),
-		mux, sinkB, e.SubmitBatch, func(_ int, err error) { rejectsB = append(rejectsB, err) })
+		bndB, e.SubmitBatch, nil, func(_ int, err error) { rejectsB = append(rejectsB, err) })
 	if lines != 2 || bad != 1 || len(rejectsB) != 1 {
 		t.Fatalf("lines=%d bad=%d rejects=%v", lines, bad, rejectsB)
 	}
@@ -113,8 +128,8 @@ func TestIngestDuplicateTerminalAcrossConnections(t *testing.T) {
 	}
 
 	e.Flush()
-	sinkA.Flush()
-	sinkB.Flush()
+	bndA.sink.Flush()
+	bndB.sink.Flush()
 	if got := outB.String(); strings.Contains(got, `"terminal":1`) {
 		t.Errorf("client B received decisions for A's terminal: %q", got)
 	}
@@ -127,15 +142,15 @@ func TestIngestDuplicateTerminalAcrossConnections(t *testing.T) {
 	}
 
 	// A disconnects; B can now claim terminal 1 and its decisions flow to B.
-	mux.Release(sinkA)
+	bndA.Release()
 	var rejects2 []error
 	IngestLines(strings.NewReader(muxReportLine(1, -92)+"\n"),
-		mux, sinkB, e.SubmitBatch, func(_ int, err error) { rejects2 = append(rejects2, err) })
+		bndB, e.SubmitBatch, nil, func(_ int, err error) { rejects2 = append(rejects2, err) })
 	if len(rejects2) != 0 {
 		t.Fatalf("post-release claim rejected: %v", rejects2)
 	}
 	e.Flush()
-	sinkB.Flush()
+	bndB.sink.Flush()
 	if got := outB.String(); !strings.Contains(got, `"terminal":1,`) {
 		t.Errorf("client B did not receive re-claimed terminal's decision: %q", got)
 	}
@@ -156,12 +171,12 @@ func TestIngestServesValidatedPrefix(t *testing.T) {
 	defer e.Stop()
 
 	var out bytes.Buffer
-	sink := NewSink(&out)
+	bnd := NewBinding(mux, NewSink(&out))
 	badReport := `{"terminal":9,"serving":[0,0],"neighbor":[1,0],"dmb":-2}`
 	mixed := "[" + muxReportLine(1, -88) + "," + muxReportLine(2, -88) + "," + badReport + "]\n"
 	var rejects []error
 	lines, bad := IngestLines(strings.NewReader(mixed+muxReportLine(3, -89)+"\n"),
-		mux, sink, e.SubmitBatch, func(_ int, err error) { rejects = append(rejects, err) })
+		bnd, e.SubmitBatch, nil, func(_ int, err error) { rejects = append(rejects, err) })
 	if lines != 2 || bad != 1 {
 		t.Fatalf("lines=%d bad=%d", lines, bad)
 	}
@@ -169,7 +184,7 @@ func TestIngestServesValidatedPrefix(t *testing.T) {
 		t.Fatalf("rejects %v", rejects)
 	}
 	e.Flush()
-	sink.Flush()
+	bnd.sink.Flush()
 	got := out.String()
 	for _, want := range []string{`"terminal":1,`, `"terminal":2,`, `"terminal":3,`} {
 		if !strings.Contains(got, want) {
@@ -178,5 +193,101 @@ func TestIngestServesValidatedPrefix(t *testing.T) {
 	}
 	if strings.Contains(got, `"terminal":9`) {
 		t.Errorf("invalid report decided: %q", got)
+	}
+}
+
+// TestBindingTakeoverByIdentity is the reconnect-vs-drain regression
+// test: a new connection announcing the same identity as a still-bound
+// old connection takes the old connection's claims — after the mux
+// drain barrier ran — instead of bouncing off them, and the old binding
+// is fenced out of further submits.
+func TestBindingTakeoverByIdentity(t *testing.T) {
+	mux := NewDecisionMux()
+	drains := 0
+	mux.Drain = func() error { drains++; return nil }
+	var bufOld, bufNew bytes.Buffer
+	old := NewBinding(mux, NewSink(&bufOld))
+	old.SetIdentity("client-x")
+	if err := bindTerminals(old, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different identity still conflicts.
+	other := NewBinding(mux, NewSink(&bytes.Buffer{}))
+	other.SetIdentity("client-y")
+	var oe *OwnershipError
+	if err := bindTerminals(other, 1); !errors.As(err, &oe) {
+		t.Fatalf("cross-identity claim: %v", err)
+	}
+	// An anonymous binding conflicts too.
+	if err := bindTerminals(NewBinding(mux, NewSink(&bytes.Buffer{})), 1); !errors.As(err, &oe) {
+		t.Fatalf("anonymous claim: %v", err)
+	}
+
+	// The same identity takes over ALL of the old binding's claims.
+	reborn := NewBinding(mux, NewSink(&bufNew))
+	reborn.SetIdentity("client-x")
+	if err := bindTerminals(reborn, 1); err != nil {
+		t.Fatalf("same-identity takeover: %v", err)
+	}
+	if drains != 1 {
+		t.Fatalf("takeover ran %d drains, want 1", drains)
+	}
+	if !old.Superseded() {
+		t.Fatal("old binding not revoked by takeover")
+	}
+	if err := bindTerminals(old, 4); !errors.Is(err, ErrSuperseded) {
+		t.Fatalf("old binding submit after takeover: %v", err)
+	}
+	// Claims 2 and 3 moved with 1: outcomes route to the new sink.
+	mux.Route(Outcome{Terminal: 2})
+	mux.Route(Outcome{Terminal: 3})
+	reborn.sink.Flush()
+	old.sink.Flush()
+	if bufOld.Len() != 0 {
+		t.Errorf("old sink got post-takeover outcomes: %q", bufOld.String())
+	}
+	if got := bufNew.String(); !strings.Contains(got, `"terminal":2`) || !strings.Contains(got, `"terminal":3`) {
+		t.Errorf("new sink missing transferred terminals: %q", got)
+	}
+	// The old binding's release must not free the transferred claims.
+	old.Release()
+	stranger := NewBinding(mux, NewSink(&bytes.Buffer{}))
+	if err := bindTerminals(stranger, 2); !errors.As(err, &oe) {
+		t.Fatalf("transferred claim freed by old release: %v", err)
+	}
+}
+
+// TestBindingMutualTakeoverNoDeadlock pins the takeover fence's escape
+// hatch: two live connections with the same identity trying to take each
+// other over must both back out with ErrSuperseded, not deadlock.
+func TestBindingMutualTakeoverNoDeadlock(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		mux := NewDecisionMux()
+		a := NewBinding(mux, NewSink(&bytes.Buffer{}))
+		b := NewBinding(mux, NewSink(&bytes.Buffer{}))
+		a.SetIdentity("same")
+		b.SetIdentity("same")
+		if err := bindTerminals(a, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := bindTerminals(b, 2); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); errs[0] = bindTerminals(a, 2) }()
+		go func() { defer wg.Done(); errs[1] = bindTerminals(b, 1) }()
+		wg.Wait() // deadlock here fails the test by timeout
+		// At most one side can win; a loser reports ErrSuperseded.
+		if errs[0] == nil && errs[1] == nil {
+			t.Fatalf("round %d: both mutual takeovers succeeded", round)
+		}
+		for i, err := range errs {
+			if err != nil && !errors.Is(err, ErrSuperseded) {
+				t.Fatalf("round %d: loser %d failed with %v", round, i, err)
+			}
+		}
 	}
 }

@@ -170,6 +170,9 @@ func (s *shard) putBuf(b *[]Report) {
 // (which drains the queues) when done.  An Engine cannot be restarted.
 type Engine struct {
 	shards []*shard
+	// perTerminal mirrors Config.PerTerminalAlgorithms: snapshot APIs are
+	// refused in that mode (algorithm-internal state is not capturable).
+	perTerminal bool
 	// staging recycles the per-call shard→sub-batch scatter tables of
 	// SubmitBatch on a bounded free list (same GC-immunity rationale as
 	// bufPool).
@@ -223,13 +226,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("serve: Compiled applies to the default algorithm only; compile inside the custom AlgorithmFactory instead")
 	}
 	e := &Engine{
-		shards:  make([]*shard, nshards),
-		staging: make(chan []*[]Report, 2*nshards+8),
+		shards:      make([]*shard, nshards),
+		perTerminal: cfg.PerTerminalAlgorithms,
+		staging:     make(chan []*[]Report, 2*nshards+8),
 	}
 	for i := range e.shards {
 		s := &shard{
 			id:         i,
-			in:         make(chan *[]Report, depth),
+			in:         make(chan shardMsg, depth),
 			free:       make(chan *[]Report, depth+16),
 			store:      newTerminalStore(),
 			window:     window,
@@ -318,7 +322,7 @@ func (e *Engine) ShardOf(id TerminalID) int {
 // shard's queue is full.
 func (e *Engine) send(s *shard, buf *[]Report) {
 	s.submitted.Add(uint64(len(*buf)))
-	s.in <- buf
+	s.in <- shardMsg{batch: buf}
 }
 
 // Submit enqueues one report, blocking while the owning shard's queue is
@@ -397,7 +401,7 @@ func (e *Engine) TrySubmit(r Report) error {
 	// that lags the send lets Stats/Flush observe processed > submitted.
 	s.submitted.Add(1)
 	select {
-	case s.in <- buf:
+	case s.in <- shardMsg{batch: buf}:
 		return nil
 	default:
 		s.submitted.Add(^uint64(0)) // roll back the optimistic accounting

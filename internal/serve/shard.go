@@ -116,6 +116,16 @@ func newBatchCols() *batchCols {
 	}
 }
 
+// shardMsg is one queued unit of shard work: a pooled report sub-batch
+// (the overwhelmingly common case) or a control message (snapshot
+// extract/restore).  Control rides the same ordered queue as reports so
+// "everything submitted before the control" is drained by construction —
+// the queue itself is the migration protocol's barrier.
+type shardMsg struct {
+	batch *[]Report
+	ctl   *shardCtl
+}
+
 // shard owns one partition of the terminal population.  All fields below
 // the queue are touched only by the shard goroutine, except the atomic
 // counters, which anyone may read.  The queue carries pooled sub-batches
@@ -123,7 +133,7 @@ func newBatchCols() *batchCols {
 // operation per sub-batch, not per report.
 type shard struct {
 	id int
-	in chan *[]Report
+	in chan shardMsg
 	// free recycles this shard's drained sub-batch buffers back to
 	// producers (see getBuf/putBuf): buffers cycle producer → queue →
 	// shard → free list without touching the garbage collector.
@@ -161,7 +171,12 @@ type shard struct {
 // is advanced once per sub-batch — after every report in it is decided —
 // so the counter costs one atomic per channel message, not per report.
 func (s *shard) run() {
-	for batch := range s.in {
+	for msg := range s.in {
+		if msg.ctl != nil {
+			s.handleCtl(msg.ctl)
+			continue
+		}
+		batch := msg.batch
 		if s.scorer != nil && len(*batch) > 1 {
 			s.processColumnar(*batch)
 		} else {

@@ -3,7 +3,8 @@ package serve
 // terminalStore is the shard's purpose-built replacement for a
 // map[TerminalID]*terminal: an open-addressing hash table over dense
 // terminal slabs, tuned for the serving loop's access pattern — lookups
-// dominate, inserts happen once per terminal, deletes never happen.
+// dominate, inserts happen once per terminal, deletes only on membership
+// migrations (a terminal's authority moving to another node).
 //
 // Layout.  The index is two parallel power-of-two arrays: keys[i] holds
 // the terminal ID and refs[i] a 1-based reference into the slab arena
@@ -18,17 +19,26 @@ package serve
 // stay valid for the life of the store, which is what lets the batch
 // router resolve slots once and commit against them later.
 //
+// Deletion uses backward-shift repair instead of tombstones: probe
+// chains stay exactly as long as live occupancy warrants, so a store
+// that has churned through many migrations probes like one that never
+// deleted.  Freed slab slots are recycled through a free list.
+//
 // The store is single-writer by construction (only the owning shard
-// goroutine touches it) and never shrinks.
+// goroutine touches it) and never shrinks its index.
 type terminalStore struct {
 	keys []TerminalID
 	refs []uint32
 	mask uint64
-	// live is the number of occupied buckets (== terminals, no deletes);
-	// growAt is the occupancy that triggers the next index doubling.
+	// live is the number of occupied buckets (== live terminals); growAt
+	// is the occupancy that triggers the next index doubling.
 	live   int
 	growAt int
 	slabs  [][]terminal
+	// nextRef is the next never-used slab slot (0-based); freeRefs holds
+	// slots freed by remove, reused LIFO so churn stays cache-warm.
+	nextRef  uint32
+	freeRefs []uint32
 }
 
 const (
@@ -114,14 +124,73 @@ func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, cre
 			i = (i + 1) & ts.mask
 		}
 	}
-	ref := uint32(ts.live)
-	if int(ref)>>slabBits == len(ts.slabs) {
-		ts.slabs = append(ts.slabs, make([]terminal, slabSize))
+	var ref uint32
+	if n := len(ts.freeRefs); n > 0 {
+		ref = ts.freeRefs[n-1]
+		ts.freeRefs = ts.freeRefs[:n-1]
+	} else {
+		ref = ts.nextRef
+		if int(ref)>>slabBits == len(ts.slabs) {
+			ts.slabs = append(ts.slabs, make([]terminal, slabSize))
+		}
+		ts.nextRef++
 	}
 	ts.keys[i] = id
 	ts.refs[i] = ref + 1
 	ts.live++
 	return ts.at(ref), true
+}
+
+// remove deletes id from the store, zeroing and recycling its slab slot.
+// It reports whether the terminal was present.  The probe chain is
+// repaired by backward shifting: every entry past the hole whose home
+// bucket lies at or cyclically before the hole moves into it, so no
+// tombstones accumulate and lookup never needs a "deleted" marker.
+func (ts *terminalStore) remove(id TerminalID, hashed uint64) bool {
+	i := ts.probeStart(hashed)
+	for {
+		r := ts.refs[i]
+		if r == 0 {
+			return false
+		}
+		if ts.keys[i] == id {
+			break
+		}
+		i = (i + 1) & ts.mask
+	}
+	ref := ts.refs[i] - 1
+	*ts.at(ref) = terminal{} // drop algorithm/state references for the GC
+	ts.freeRefs = append(ts.freeRefs, ref)
+	j := i
+	for {
+		j = (j + 1) & ts.mask
+		if ts.refs[j] == 0 {
+			break
+		}
+		k := ts.probeStart(mix64(uint64(ts.keys[j])))
+		// Entry j may fill hole i only if its probe distance from home k
+		// reaches at least as far as i — otherwise moving it would strand
+		// it before its home and lookups would miss it.
+		if (j-k)&ts.mask >= (j-i)&ts.mask {
+			ts.keys[i], ts.refs[i] = ts.keys[j], ts.refs[j]
+			i = j
+		}
+	}
+	ts.keys[i] = 0
+	ts.refs[i] = 0
+	ts.live--
+	return true
+}
+
+// forEach visits every live terminal in index-bucket order.  The visit
+// function must not insert or remove (single-writer shard code never
+// needs to).
+func (ts *terminalStore) forEach(fn func(id TerminalID, t *terminal)) {
+	for i, r := range ts.refs {
+		if r != 0 {
+			fn(ts.keys[i], ts.at(r-1))
+		}
+	}
 }
 
 // grow doubles the index and reinserts every occupied bucket.  Slab

@@ -104,3 +104,115 @@ func TestTerminalStoreSteadyLookupAllocs(t *testing.T) {
 		t.Errorf("steady-state acquire allocates %g per sweep, want 0", allocs)
 	}
 }
+
+// TestTerminalStoreRemove pins deletion semantics: removed terminals
+// vanish from lookup, survivors keep their pointers and state, freed
+// slab slots are recycled, and the probe chains stay intact (checked
+// against a map reference under randomized interleaved ops).
+func TestTerminalStoreRemove(t *testing.T) {
+	ts := newTerminalStore()
+	const n = 5000
+	ptrs := make(map[TerminalID]*terminal, n)
+	for i := 0; i < n; i++ {
+		id := TerminalID(i * 3)
+		tt, _ := ts.acquire(id, mix64(uint64(id)))
+		tt.seq = uint64(i)
+		ptrs[id] = tt
+	}
+	// Remove every other terminal.
+	for i := 0; i < n; i += 2 {
+		id := TerminalID(i * 3)
+		if !ts.remove(id, mix64(uint64(id))) {
+			t.Fatalf("remove(%d) = false for a live terminal", id)
+		}
+		delete(ptrs, id)
+	}
+	if ts.remove(TerminalID(1), mix64(1)) {
+		t.Fatal("remove of an absent id reported true")
+	}
+	if ts.count() != n/2 {
+		t.Fatalf("count = %d, want %d", ts.count(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		id := TerminalID(i * 3)
+		got := ts.lookup(id, mix64(uint64(id)))
+		if i%2 == 0 {
+			if got != nil {
+				t.Fatalf("removed id %d still resolves (probe chain not repaired)", id)
+			}
+			continue
+		}
+		if got != ptrs[id] || got.seq != uint64(i) {
+			t.Fatalf("survivor id %d: got %p seq %d, want %p seq %d", id, got, got.seq, ptrs[id], uint64(i))
+		}
+	}
+	// Re-inserting after removal recycles freed slots: the slab arena
+	// must not grow past its high-water mark.
+	slabsBefore := len(ts.slabs)
+	for i := 0; i < n; i += 2 {
+		id := TerminalID(i * 3)
+		tt, created := ts.acquire(id, mix64(uint64(id)))
+		if !created {
+			t.Fatalf("re-acquire(%d) after remove: created=false", id)
+		}
+		if tt.seq != 0 {
+			t.Fatalf("recycled slot for id %d not zeroed: seq=%d", id, tt.seq)
+		}
+	}
+	if len(ts.slabs) != slabsBefore {
+		t.Fatalf("slab arena grew %d→%d despite %d freed slots", slabsBefore, len(ts.slabs), n/2)
+	}
+	if ts.count() != n {
+		t.Fatalf("count after re-insert = %d, want %d", ts.count(), n)
+	}
+}
+
+// TestTerminalStoreRemoveRandomized cross-checks interleaved
+// acquire/remove/lookup against a map reference with a deterministic
+// xorshift schedule, catching backward-shift repair mistakes that only
+// specific collision geometries trigger.
+func TestTerminalStoreRemoveRandomized(t *testing.T) {
+	ts := newTerminalStore()
+	ref := make(map[TerminalID]uint64)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for step := 0; step < 200_000; step++ {
+		id := TerminalID(next() % 2048) // small key space: high collision churn
+		switch next() % 3 {
+		case 0: // acquire
+			tt, created := ts.acquire(id, mix64(uint64(id)))
+			if _, have := ref[id]; have == created {
+				t.Fatalf("step %d: acquire(%d) created=%v disagrees with reference", step, id, created)
+			}
+			if created {
+				tt.seq = uint64(step)
+				ref[id] = uint64(step)
+			} else if tt.seq != ref[id] {
+				t.Fatalf("step %d: id %d seq %d, want %d", step, id, tt.seq, ref[id])
+			}
+		case 1: // remove
+			_, have := ref[id]
+			if got := ts.remove(id, mix64(uint64(id))); got != have {
+				t.Fatalf("step %d: remove(%d) = %v, reference has=%v", step, id, got, have)
+			}
+			delete(ref, id)
+		case 2: // lookup
+			got := ts.lookup(id, mix64(uint64(id)))
+			want, have := ref[id]
+			if have != (got != nil) {
+				t.Fatalf("step %d: lookup(%d) = %p, reference has=%v", step, id, got, have)
+			}
+			if got != nil && got.seq != want {
+				t.Fatalf("step %d: lookup(%d) seq %d, want %d", step, id, got.seq, want)
+			}
+		}
+		if ts.count() != len(ref) {
+			t.Fatalf("step %d: count %d ≠ reference %d", step, ts.count(), len(ref))
+		}
+	}
+}

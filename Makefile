@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke load-smoke cluster-smoke cluster-chaos-smoke fuzz-smoke ci
+.PHONY: build test race vet bench bench-json bench-smoke load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,13 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 
 # Machine-readable perf artifact: serve + inference hot paths, recorded at
-# GOMAXPROCS=1 and GOMAXPROCS=NumCPU.
+# GOMAXPROCS=1 and GOMAXPROCS=NumCPU, plus a 10s per-second load time
+# series (throughput, windowed latency quantiles, backlog sheds) from
+# hoload -metrics-out.
 bench-json:
 	$(GO) run ./cmd/hobench -o BENCH_serve.json
+	$(GO) run ./cmd/hoload -terminals 4096 -shards 4 -duration 10s \
+		-replicas 2 -speeds 0,30 -compiled -metrics-out BENCH_load_series.jsonl
 
 # Short bench run gated against the committed artifact: fails if any
 # steady-state decisions/sec metric regresses by more than 30%.  The
@@ -70,10 +74,33 @@ cluster-chaos-smoke:
 		./internal/cluster ./internal/serve
 	$(GO) run -race ./cmd/hoload -terminals 256 -shards 2 -cluster 2 -duration 1s -churn 250ms -replicas 2 -speeds 0,30 -compiled
 
+# End-to-end scrape of the admin plane: boot hoserve with -admin and
+# decision tracing, feed it reports, then assert /healthz answers,
+# /metrics carries a non-zero serve_decisions_total, /statusz reports
+# the engine and claim table, and /tracez captured a sampled decision.
+# Same one-shell EXIT-trap pattern as cluster-smoke.
+obs-smoke:
+	$(GO) build -o /tmp/fuzzyho-hoserve ./cmd/hoserve
+	sh -ec '\
+		{ printf "%s\n%s\n" \
+			"{\"terminal\":1,\"serving\":[0,0],\"neighbor\":[1,0],\"serving_db\":-88.5,\"ssn_db\":-84.0,\"cssp_db\":-2.5,\"dmb\":1.1,\"walked_km\":3.2,\"speed_kmh\":30}" \
+			"{\"terminal\":2,\"serving\":[0,0],\"neighbor\":[1,0],\"serving_db\":-90,\"ssn_db\":-83.0,\"cssp_db\":-1.5,\"dmb\":1.0,\"walked_km\":1.2,\"speed_kmh\":10}"; \
+		  sleep 6; } \
+			| /tmp/fuzzyho-hoserve -admin 127.0.0.1:9193 -trace-every 1 -compiled \
+				>/dev/null & SRV=$$!; \
+		trap "kill $$SRV 2>/dev/null || true" EXIT; \
+		sleep 2; \
+		curl -fsS http://127.0.0.1:9193/healthz | grep -q ok; \
+		curl -fsS http://127.0.0.1:9193/metrics >/tmp/obs-smoke-metrics.txt; \
+		grep -q "^serve_decisions_total [1-9]" /tmp/obs-smoke-metrics.txt; \
+		grep -q "^serve_batch_service_ns_count" /tmp/obs-smoke-metrics.txt; \
+		curl -fsS http://127.0.0.1:9193/statusz | grep -q "\"Decisions\""; \
+		curl -fsS http://127.0.0.1:9193/tracez | grep -q "\"sampled\""'
+
 # Native Go fuzzing of the wire and snapshot codecs, briefly (CI runs the same).
 fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseBatchLine -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzOutcomeRoundTrip -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 10s
 
-ci: vet build test race load-smoke cluster-smoke cluster-chaos-smoke fuzz-smoke
+ci: vet build test race load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke

@@ -29,6 +29,17 @@
 // member owning it; -snapshot writes one on clean shutdown (EOF on
 // stdin, SIGINT/SIGTERM in -listen mode).  TCP nodes persist themselves
 // with hoserve's own -snapshot/-restore flags instead.
+//
+// Observability:
+//
+//	hocluster -nodes ... -admin 127.0.0.1:7079
+//
+// -admin serves the cluster-wide stats plane: /metrics merges every
+// member's own metric points (scraped over the existing node connections
+// with {"ctl":"stats"} on the TCP backend; shared in-process on -local),
+// each labeled node="<id>", alongside the router's cluster_node_*
+// counters; /statusz reports ring membership, per-node counters, and the
+// claim table.
 package main
 
 import (
@@ -44,8 +55,13 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/handover"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
+
+// scrapeTimeout bounds each member's {"ctl":"stats"} reply when the
+// admin /metrics endpoint fans out over the TCP backend.
+const scrapeTimeout = 5 * time.Second
 
 func main() {
 	var (
@@ -63,6 +79,7 @@ func main() {
 		flushSec = flag.Float64("flush-timeout", 30, "seconds to wait for outstanding decisions at shutdown")
 		snapFile = flag.String("snapshot", "", "write a whole-cluster terminal snapshot file on clean shutdown (-local only)")
 		restFile = flag.String("restore", "", "restore a whole-cluster terminal snapshot file before serving (-local only)")
+		adminCfg = flag.String("admin", "", "admin HTTP listen address serving /metrics /statusz /healthz (empty: off)")
 	)
 	flag.Parse()
 	addrs := splitNonEmpty(*nodesCS)
@@ -81,10 +98,15 @@ func main() {
 	}
 
 	mux := serve.NewDecisionMux()
-	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, mux)
+	// The registry carries the router's cluster_node_* counters always,
+	// and — on the in-process backend — every member engine's own
+	// instruments, labeled node="<id>".
+	reg := obs.NewRegistry()
+	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, mux, reg)
 	if err != nil {
 		fatal(err)
 	}
+	cluster.RegisterMetrics(reg, router)
 
 	if *restFile != "" {
 		if err := restoreCluster(router.(*cluster.Local), *restFile); err != nil {
@@ -92,8 +114,59 @@ func main() {
 		}
 	}
 
+	reporter := &serve.StatsReporter{
+		Name:             "hocluster",
+		Registry:         reg,
+		DecisionsCounter: "cluster_node_decisions_total",
+		Units: func() []string {
+			st := router.Stats()
+			out := make([]string, 0, len(st.Nodes))
+			for _, n := range st.Nodes {
+				label := fmt.Sprintf("node %d", n.Node)
+				if n.Addr != "" {
+					label += " (" + n.Addr + ")"
+				}
+				out = append(out, label+": "+n.String())
+			}
+			return out
+		},
+		Totals: func() string { return router.Stats().Totals().String() },
+	}
 	if *statsSec > 0 {
-		go statsLoop(router, time.Duration(*statsSec*float64(time.Second)))
+		go reporter.Loop(time.Duration(*statsSec*float64(time.Second)), nil)
+	}
+
+	if *adminCfg != "" {
+		adm := &obs.Admin{
+			Registry: reg,
+			Status: func() any {
+				return map[string]any{
+					"cluster": cluster.StatusOf(router),
+					"claims":  mux.Claims(),
+				}
+			},
+		}
+		if t, ok := router.(*cluster.TCP); ok {
+			// Remote members' own points are not in the local registry;
+			// scrape them over the node connections at export time.
+			adm.Extra = func() []obs.Point {
+				var points []obs.Point
+				for _, sc := range t.ScrapeStats(scrapeTimeout) {
+					if sc.Err != nil {
+						fmt.Fprintf(os.Stderr, "hocluster: stats scrape node %d (%s): %v\n", sc.Node, sc.Addr, sc.Err)
+						continue
+					}
+					points = append(points, sc.Stats.Points...)
+				}
+				return points
+			}
+		}
+		aln, err := adm.Serve(*adminCfg)
+		if err != nil {
+			fatal(fmt.Errorf("admin: %w", err))
+		}
+		defer aln.Close()
+		fmt.Fprintf(os.Stderr, "hocluster: admin endpoints on http://%s\n", aln.Addr())
 	}
 
 	flushTimeout := time.Duration(*flushSec * float64(time.Second))
@@ -102,12 +175,15 @@ func main() {
 		Mux:    mux,
 		Submit: router.SubmitBatch,
 		Drain:  func() error { return router.Flush(flushTimeout) },
+		Stats: func() serve.WireStats {
+			return serve.WireStats{Points: reg.Export()}
+		},
 	}
 	if *listen == "" {
-		runStdio(router, daemon, *snapFile)
+		runStdio(router, daemon, reporter, *snapFile)
 		return
 	}
-	runTCP(router, daemon, *listen, *snapFile)
+	runTCP(router, daemon, reporter, *listen, *snapFile)
 }
 
 // restoreCluster loads a whole-cluster snapshot file and scatters it
@@ -164,7 +240,7 @@ func snapshotCluster(router cluster.Router, path string) error {
 }
 
 func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
-	window float64, algo string, compiled bool, mux *serve.DecisionMux) (cluster.Router, error) {
+	window float64, algo string, compiled bool, mux *serve.DecisionMux, reg *obs.Registry) (cluster.Router, error) {
 	if len(addrs) > 0 {
 		return cluster.DialTCP(cluster.TCPConfig{
 			Addrs:        addrs,
@@ -191,10 +267,11 @@ func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
 		VirtualNodes: vnodes,
 		Engine:       ecfg,
 		OnDecision:   func(_ int, o serve.Outcome) { mux.Route(o) },
+		Metrics:      reg,
 	})
 }
 
-func runStdio(router cluster.Router, d *serve.Daemon, snapFile string) {
+func runStdio(router cluster.Router, d *serve.Daemon, reporter *serve.StatsReporter, snapFile string) {
 	lines, bad, drainErr := d.RunStdio()
 	if snapFile != "" {
 		if err := snapshotCluster(router, snapFile); err != nil {
@@ -205,7 +282,7 @@ func runStdio(router cluster.Router, d *serve.Daemon, snapFile string) {
 	if err := router.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "hocluster: close:", err)
 	}
-	printStats(router)
+	reporter.Print()
 	failed := false
 	if drainErr != nil {
 		// A drain failure is a serving problem (slow or dead node), not
@@ -222,7 +299,7 @@ func runStdio(router cluster.Router, d *serve.Daemon, snapFile string) {
 	}
 }
 
-func runTCP(router cluster.Router, d *serve.Daemon, addr, snapFile string) {
+func runTCP(router cluster.Router, d *serve.Daemon, reporter *serve.StatsReporter, addr, snapFile string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -245,31 +322,7 @@ func runTCP(router cluster.Router, d *serve.Daemon, addr, snapFile string) {
 	if err := router.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "hocluster: close:", err)
 	}
-	printStats(router)
-}
-
-func statsLoop(router cluster.Router, every time.Duration) {
-	t := time.NewTicker(every)
-	defer t.Stop()
-	var last uint64
-	for range t.C {
-		tot := router.Stats().Totals()
-		fmt.Fprintf(os.Stderr, "hocluster: %.0f decisions/sec | %s\n",
-			float64(tot.Decisions-last)/every.Seconds(), tot)
-		last = tot.Decisions
-	}
-}
-
-func printStats(router cluster.Router) {
-	st := router.Stats()
-	for _, n := range st.Nodes {
-		label := fmt.Sprintf("node %d", n.Node)
-		if n.Addr != "" {
-			label += " (" + n.Addr + ")"
-		}
-		fmt.Fprintf(os.Stderr, "hocluster: %s: %s\n", label, n)
-	}
-	fmt.Fprintf(os.Stderr, "hocluster: total: %s\n", st.Totals())
+	reporter.Print()
 }
 
 func splitNonEmpty(csv string) []string {

@@ -35,6 +35,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -66,6 +68,9 @@ type loadTarget struct {
 	stop      func() error
 	totals    func() fuzzyho.ClusterNodeStats
 	statLines func() []string
+	// nodes snapshots the per-node counters (-metrics-out per-node
+	// submitted series); nil in single-engine mode.
+	nodes func() []fuzzyho.ClusterNodeStats
 }
 
 func main() {
@@ -84,6 +89,7 @@ func main() {
 		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 		churn     = flag.Duration("churn", 0, "with -cluster: alternately grow and shrink the membership every interval, migrating terminal state live (0: off)")
+		metricsTo = flag.String("metrics-out", "", "write a per-second JSONL time series (throughput, windowed latency quantiles, backlog sheds, per-node submitted) to this file")
 	)
 	flag.Parse()
 	if *terminals < 1 {
@@ -156,6 +162,26 @@ func main() {
 	if *churn > 0 && router == nil {
 		fatal(fmt.Errorf("-churn needs -cluster N"))
 	}
+	// Count backlog sheds for the -metrics-out series without changing
+	// submit error semantics (the blocking submit paths rarely shed; the
+	// counter proves it either way).
+	var sheds atomic.Uint64
+	baseSubmit := target.submit
+	target.submit = func(rs []fuzzyho.MeasurementReport) error {
+		err := baseSubmit(rs)
+		var be *fuzzyho.ClusterBacklogError
+		if errors.As(err, &be) {
+			sheds.Add(uint64(be.Shed))
+		}
+		return err
+	}
+	var sampler *metricsSampler
+	if *metricsTo != "" {
+		sampler, err = startSampler(*metricsTo, target, &lat, &sheds)
+		if err != nil {
+			fatal(err)
+		}
+	}
 	churnStop := make(chan struct{})
 	var churnWG sync.WaitGroup
 	if *churn > 0 {
@@ -191,6 +217,11 @@ func main() {
 	if err := target.stop(); err != nil {
 		fatal(err)
 	}
+	if sampler != nil {
+		if err := sampler.close(); err != nil {
+			fatal(err)
+		}
+	}
 
 	tot := target.totals()
 	fmt.Printf("decisions   %d (%d handovers, %d ping-pongs, %d errors)\n",
@@ -205,6 +236,113 @@ func main() {
 	if tot.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// metricsSample is one -metrics-out line: a per-second window of the
+// run, with windowed (not cumulative) latency quantiles.
+type metricsSample struct {
+	TSec      float64      `json:"t_sec"`
+	Decisions uint64       `json:"decisions"`
+	Rate      float64      `json:"decisions_per_sec"`
+	P50Ns     int64        `json:"p50_ns"`
+	P90Ns     int64        `json:"p90_ns"`
+	P99Ns     int64        `json:"p99_ns"`
+	MaxNs     int64        `json:"max_ns"`
+	Samples   uint64       `json:"samples"`
+	Sheds     uint64       `json:"backlog_sheds"`
+	Nodes     []nodeSample `json:"nodes,omitempty"`
+}
+
+// nodeSample is one node's share of the routed load at sample time.
+type nodeSample struct {
+	Node      int    `json:"node"`
+	Submitted uint64 `json:"submitted"`
+	Decisions uint64 `json:"decisions"`
+}
+
+// metricsSampler writes the per-second JSONL series for -metrics-out.
+type metricsSampler struct {
+	f      *os.File
+	enc    *json.Encoder
+	target *loadTarget
+	lat    *fuzzyho.LatencyRecorder
+	sheds  *atomic.Uint64
+	start  time.Time
+	prev   fuzzyho.LatencySnapshot
+	prevN  uint64
+	stop   chan struct{}
+	done   chan struct{}
+	err    error
+}
+
+// startSampler opens path and samples once a second until closed.
+func startSampler(path string, target *loadTarget, lat *fuzzyho.LatencyRecorder, sheds *atomic.Uint64) (*metricsSampler, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("metrics-out: %w", err)
+	}
+	s := &metricsSampler{
+		f: f, enc: json.NewEncoder(f), target: target, lat: lat,
+		sheds: sheds, start: time.Now(),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func (s *metricsSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample writes one window line.
+func (s *metricsSampler) sample() {
+	win := s.lat.SnapshotDelta(&s.prev)
+	dec := s.target.totals().Decisions
+	rec := metricsSample{
+		TSec:      time.Since(s.start).Seconds(),
+		Decisions: dec,
+		Rate:      float64(dec - s.prevN),
+		P50Ns:     int64(win.Quantile(0.50)),
+		P90Ns:     int64(win.Quantile(0.90)),
+		P99Ns:     int64(win.Quantile(0.99)),
+		MaxNs:     int64(win.Max()),
+		Samples:   win.Count(),
+		Sheds:     s.sheds.Load(),
+	}
+	s.prevN = dec
+	if s.target.nodes != nil {
+		for _, n := range s.target.nodes() {
+			rec.Nodes = append(rec.Nodes, nodeSample{Node: n.Node, Submitted: n.Submitted, Decisions: n.Decisions})
+		}
+	}
+	if err := s.enc.Encode(rec); err != nil && s.err == nil {
+		s.err = fmt.Errorf("metrics-out: %w", err)
+	}
+}
+
+// close writes a final sample covering the tail window and closes the
+// file.
+func (s *metricsSampler) close() error {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	if err := s.f.Close(); err != nil && s.err == nil {
+		s.err = fmt.Errorf("metrics-out: %w", err)
+	}
+	if s.err == nil {
+		fmt.Fprintf(os.Stderr, "hoload: wrote per-second metrics to %s\n", s.f.Name())
+	}
+	return s.err
 }
 
 // churnLoop alternately grows and shrinks the cluster membership every
@@ -277,6 +415,7 @@ func buildTarget(clusterN, shards, queue int, algo string, compiled bool,
 				}
 				return lines
 			},
+			nodes: func() []fuzzyho.ClusterNodeStats { return router.Stats().Nodes },
 		}, router, nil
 	}
 

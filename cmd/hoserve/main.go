@@ -40,7 +40,17 @@
 // one on clean shutdown (EOF in stdio mode, SIGINT/SIGTERM in TCP mode).
 // In TCP mode the daemon also serves the snapshot control plane
 // ({"ctl":"extract"} / {"ctl":"restore"} lines), which is how a cluster
-// router's AddNode/RemoveNode migrates terminal state between live nodes.
+// router's AddNode/RemoveNode migrates terminal state between live nodes,
+// and answers {"ctl":"stats"} with its shard counters and metric points.
+//
+// Observability:
+//
+//	hoserve -listen :7077 -admin 127.0.0.1:7078 -trace-every 1000
+//
+// -admin serves /metrics (Prometheus text), /statusz (engine stats,
+// claim table, snapshot age, Go runtime), /healthz, and /tracez.
+// -trace-every N samples every Nth decision per shard into a bounded
+// ring with its full FLC inference trace, served at /tracez.
 package main
 
 import (
@@ -52,13 +62,19 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/handover"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
+
+// lastSnapshot is the unix-nano time of the last successful snapshot
+// write or restore (0: never), surfaced on /statusz as snapshot age.
+var lastSnapshot atomic.Int64
 
 func main() {
 	var (
@@ -72,6 +88,9 @@ func main() {
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 		snapFile  = flag.String("snapshot", "", "write a whole-node terminal snapshot file on clean shutdown (empty: off)")
 		restFile  = flag.String("restore", "", "restore a whole-node terminal snapshot file before serving (empty: off)")
+		adminAddr = flag.String("admin", "", "admin HTTP listen address serving /metrics /statusz /healthz /tracez (empty: off)")
+		traceEvry = flag.Int("trace-every", 0, "sample every Nth decision per shard into the /tracez ring (0: off)")
+		traceBuf  = flag.Int("trace-buffer", 0, "decision-trace ring capacity (0: default)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -95,11 +114,17 @@ func main() {
 	}
 
 	mux := serve.NewDecisionMux()
+	// The registry is always built — the {"ctl":"stats"} control op and
+	// the -stats loop render from it even when -admin is off.
+	reg := obs.NewRegistry()
 	cfg := serve.Config{
 		Shards:           *shards,
 		QueueDepth:       *queue,
 		PingPongWindowKm: *window,
 		OnDecision:       mux.Route,
+		Metrics:          reg,
+		TraceEvery:       *traceEvry,
+		TraceBuffer:      *traceBuf,
 	}
 	factory, err := handover.AlgorithmFactoryFor(*algo, *compiled)
 	if err != nil {
@@ -124,8 +149,52 @@ func main() {
 		}
 	}
 
+	reporter := &serve.StatsReporter{
+		Name:             "hoserve",
+		Registry:         reg,
+		DecisionsCounter: "serve_decisions_total",
+		Service:          engine.ServiceHistogram(),
+		Units: func() []string {
+			st := engine.Stats()
+			out := make([]string, 0, len(st.Shards))
+			for _, s := range st.Shards {
+				out = append(out, fmt.Sprintf("shard %d: %s", s.Shard, s))
+			}
+			return out
+		},
+		Totals: func() string { return engine.Stats().Totals().String() },
+	}
 	if *statsSec > 0 {
-		go statsLoop(engine, time.Duration(*statsSec*float64(time.Second)))
+		go reporter.Loop(time.Duration(*statsSec*float64(time.Second)), nil)
+	}
+
+	if *adminAddr != "" {
+		adm := &obs.Admin{
+			Registry: reg,
+			Status: func() any {
+				return map[string]any{
+					"stats":    engine.Stats(),
+					"verdicts": engine.Verdicts(),
+					"claims":   mux.Claims(),
+					"snapshot": snapshotStatus(),
+				}
+			},
+		}
+		if *traceEvry > 0 {
+			adm.Traces = func() any {
+				return map[string]any{
+					"every":   *traceEvry,
+					"sampled": engine.TracesSampled(),
+					"traces":  engine.Traces(),
+				}
+			}
+		}
+		aln, err := adm.Serve(*adminAddr)
+		if err != nil {
+			fatal(fmt.Errorf("admin: %w", err))
+		}
+		defer aln.Close()
+		fmt.Fprintf(os.Stderr, "hoserve: admin endpoints on http://%s\n", aln.Addr())
 	}
 
 	daemon := &serve.Daemon{
@@ -133,13 +202,29 @@ func main() {
 		Mux:    mux,
 		Submit: engine.SubmitBatch,
 		Drain:  func() error { engine.Flush(); return nil },
+		Stats: func() serve.WireStats {
+			return serve.WireStats{Shards: engine.Stats().Shards, Points: reg.Export()}
+		},
 	}
 	daemon.Extract, daemon.Restore = cluster.MigrationHooks(engine)
 	if *listen == "" {
-		runStdio(engine, daemon, *snapFile)
+		runStdio(engine, daemon, reporter, *snapFile)
 		return
 	}
-	runTCP(engine, daemon, *listen, *snapFile)
+	runTCP(engine, daemon, reporter, *listen, *snapFile)
+}
+
+// snapshotStatus is the /statusz snapshot-age payload.
+func snapshotStatus() map[string]any {
+	ns := lastSnapshot.Load()
+	if ns == 0 {
+		return map[string]any{"taken": false}
+	}
+	return map[string]any{
+		"taken":   true,
+		"unix_ns": ns,
+		"age_sec": time.Since(time.Unix(0, ns)).Seconds(),
+	}
 }
 
 // restoreNode loads a whole-node snapshot file into the engine.
@@ -156,6 +241,7 @@ func restoreNode(engine *serve.Engine, path string) error {
 	if err := engine.RestoreSnapshots(snaps); err != nil {
 		return fmt.Errorf("restore %s: %w", path, err)
 	}
+	lastSnapshot.Store(time.Now().UnixNano())
 	fmt.Fprintf(os.Stderr, "hoserve: restored %d terminals from %s\n", len(snaps), path)
 	return nil
 }
@@ -187,11 +273,12 @@ func snapshotNode(engine *serve.Engine, path string) error {
 		os.Remove(tmp)
 		return fmt.Errorf("snapshot %s: %w", path, err)
 	}
+	lastSnapshot.Store(time.Now().UnixNano())
 	fmt.Fprintf(os.Stderr, "hoserve: wrote %d terminal snapshots to %s\n", len(snaps), path)
 	return nil
 }
 
-func runStdio(engine *serve.Engine, d *serve.Daemon, snapFile string) {
+func runStdio(engine *serve.Engine, d *serve.Daemon, reporter *serve.StatsReporter, snapFile string) {
 	lines, bad, drainErr := d.RunStdio()
 	if snapFile != "" {
 		if err := snapshotNode(engine, snapFile); err != nil {
@@ -201,7 +288,7 @@ func runStdio(engine *serve.Engine, d *serve.Daemon, snapFile string) {
 	if err := engine.Stop(); err != nil {
 		fatal(err)
 	}
-	printStats(engine)
+	reporter.Print()
 	if drainErr != nil {
 		fatal(fmt.Errorf("drain: %w", drainErr))
 	}
@@ -211,7 +298,7 @@ func runStdio(engine *serve.Engine, d *serve.Daemon, snapFile string) {
 	}
 }
 
-func runTCP(engine *serve.Engine, d *serve.Daemon, addr, snapFile string) {
+func runTCP(engine *serve.Engine, d *serve.Daemon, reporter *serve.StatsReporter, addr, snapFile string) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
@@ -236,29 +323,7 @@ func runTCP(engine *serve.Engine, d *serve.Daemon, addr, snapFile string) {
 	if err := engine.Stop(); err != nil {
 		fatal(err)
 	}
-	printStats(engine)
-}
-
-func statsLoop(engine *serve.Engine, every time.Duration) {
-	t := time.NewTicker(every)
-	defer t.Stop()
-	var last uint64
-	for range t.C {
-		tot := engine.Stats().Totals()
-		fmt.Fprintf(os.Stderr,
-			"hoserve: %.0f decisions/sec | terminals=%d decisions=%d handovers=%d pingpong=%d queue=%d\n",
-			float64(tot.Decisions-last)/every.Seconds(),
-			tot.Terminals, tot.Decisions, tot.Handovers, tot.PingPongs, tot.QueueDepth)
-		last = tot.Decisions
-	}
-}
-
-func printStats(engine *serve.Engine) {
-	st := engine.Stats()
-	for _, s := range st.Shards {
-		fmt.Fprintf(os.Stderr, "hoserve: shard %d: %s\n", s.Shard, s)
-	}
-	fmt.Fprintf(os.Stderr, "hoserve: total: %s\n", st.Totals())
+	reporter.Print()
 }
 
 func fatal(err error) {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/hexgrid"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/serve"
@@ -324,7 +325,35 @@ type (
 	TerminalID = serve.TerminalID
 	// LatencyRecorder accumulates concurrent latency samples (load harness).
 	LatencyRecorder = serve.LatencyRecorder
+	// LatencySnapshot is a point-in-time — or, via SnapshotDelta,
+	// windowed — view of a LatencyRecorder.
+	LatencySnapshot = serve.LatencySnapshot
+	// DecisionTrace is one sampled decision with its FLC explanation
+	// (ServeConfig.TraceEvery; served at /tracez).
+	DecisionTrace = serve.DecisionTrace
 )
+
+// Observability layer: the dependency-free metrics registry and admin
+// endpoints every serving binary exposes (see internal/obs).
+type (
+	// MetricsRegistry collects counters, gauges, histograms and
+	// collector callbacks for export.
+	MetricsRegistry = obs.Registry
+	// MetricsLabel is one key=value metric label.
+	MetricsLabel = obs.Label
+	// MetricsPoint is one exported metric sample (the /metrics and
+	// {"ctl":"stats"} payload unit).
+	MetricsPoint = obs.Point
+	// MetricsHistogram is the lock-free log-linear histogram shared by
+	// the registry and LatencyRecorder.
+	MetricsHistogram = obs.Histogram
+	// ObsAdmin serves /metrics, /statusz, /healthz and /tracez.
+	ObsAdmin = obs.Admin
+)
+
+// NewMetricsRegistry builds a metrics registry; base labels are attached
+// to every exported point.
+func NewMetricsRegistry(base ...MetricsLabel) *MetricsRegistry { return obs.NewRegistry(base...) }
 
 // Serve-layer sentinel errors (re-exported).
 var (

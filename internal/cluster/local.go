@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -27,6 +29,11 @@ type LocalConfig struct {
 	// OnDecision, when non-nil, receives every outcome together with the
 	// ID of the node that decided it, on that node's shard goroutine.
 	OnDecision func(node int, o serve.Outcome)
+	// Metrics, when non-nil, is the shared registry every member engine
+	// registers its instruments in, each labeled node="<id>" (overriding
+	// Engine.Metrics/Engine.MetricsLabels).  Engines added later by
+	// AddNode register under their fresh IDs in the same registry.
+	Metrics *obs.Registry
 }
 
 // localNode is one in-process member: an engine plus its route ledger.
@@ -100,6 +107,10 @@ func (l *Local) startNode(id int) (*localNode, error) {
 	ecfg := l.cfg.Engine
 	if l.cfg.OnDecision != nil {
 		ecfg.OnDecision = func(o serve.Outcome) { l.cfg.OnDecision(id, o) }
+	}
+	if l.cfg.Metrics != nil {
+		ecfg.Metrics = l.cfg.Metrics
+		ecfg.MetricsLabels = []obs.Label{obs.L("node", strconv.Itoa(id))}
 	}
 	e, err := serve.New(ecfg)
 	if err == nil {

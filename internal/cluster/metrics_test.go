@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// clusterBatch builds n reports spread across terminals 0..terminals-1.
+func clusterBatch(terminals, n int) []serve.Report {
+	rs := make([]serve.Report, n)
+	for i := range rs {
+		id := i % terminals
+		rs[i] = serve.Report{Terminal: serve.TerminalID(id), Meas: testMeas(id)}
+	}
+	return rs
+}
+
+// nodePoints indexes exported points by metric name and node label.
+func nodePoints(points []obs.Point) map[string]map[int]obs.Point {
+	out := map[string]map[int]obs.Point{}
+	for _, p := range points {
+		node := -1
+		for _, l := range p.Labels {
+			if l.Key == "node" {
+				node, _ = strconv.Atoi(l.Value)
+				break
+			}
+		}
+		if out[p.Name] == nil {
+			out[p.Name] = map[int]obs.Point{}
+		}
+		out[p.Name][node] = p
+	}
+	return out
+}
+
+// TestRegisterMetricsMatchesClusterStats is the acceptance pin for the
+// cluster stats plane: after concurrent load across a multi-node router,
+// every cluster_node_* series on /metrics equals the same node's
+// cluster.Stats() counters exactly, and every member's engine exports
+// its serve_* instruments under its own node label.  Runs under race.
+func TestRegisterMetricsMatchesClusterStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	router, err := NewLocal(LocalConfig{
+		Nodes:   3,
+		Engine:  serve.Config{Shards: 2, QueueDepth: 128},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	RegisterMetrics(reg, router)
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if err := router.SubmitBatch(clusterBatch(64, 100)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := router.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := router.Stats()
+	if got := stats.Totals().Decisions; got != workers*5*100 {
+		t.Fatalf("decisions = %d, want %d", got, workers*5*100)
+	}
+	byNode := nodePoints(reg.Export())
+	for _, n := range stats.Nodes {
+		pin := func(name string, want float64) {
+			t.Helper()
+			p, ok := byNode[name][n.Node]
+			if !ok {
+				t.Errorf("node %d: no %s point on /metrics", n.Node, name)
+				return
+			}
+			if p.Value != want {
+				t.Errorf("node %d: %s = %g on /metrics, %g in cluster.Stats()", n.Node, name, p.Value, want)
+			}
+		}
+		pin("cluster_node_submitted_total", float64(n.Submitted))
+		pin("cluster_node_decisions_total", float64(n.Decisions))
+		pin("cluster_node_lost_total", float64(n.Lost))
+		pin("cluster_node_handovers_total", float64(n.Handovers))
+		pin("cluster_node_pingpongs_total", float64(n.PingPongs))
+		pin("cluster_node_errors_total", float64(n.Errors))
+		pin("cluster_node_terminals", float64(n.Terminals))
+		pin("cluster_node_queue_depth", float64(n.QueueDepth))
+
+		// The member's engine shares the registry under the same label:
+		// its serve_decisions_total must agree with the node's ledger.
+		pin("serve_decisions_total", float64(n.Decisions))
+		if _, ok := byNode["serve_batch_service_ns"][n.Node]; !ok {
+			t.Errorf("node %d: engine histograms missing from shared registry", n.Node)
+		}
+	}
+
+	// The rendered exposition carries one decisions sample per member.
+	text := obs.PrometheusText(reg.Export())
+	for _, id := range router.Members() {
+		want := `cluster_node_decisions_total{node="` + strconv.Itoa(id) + `"}`
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text lacks %s", want)
+		}
+	}
+}
+
+// TestScrapeStatsPerNode pins the TCP stats plane: hocluster's merged
+// /metrics view scrapes every live member over the existing daemon
+// connections and labels each point with the member's node ID.
+func TestScrapeStatsPerNode(t *testing.T) {
+	regs := []*obs.Registry{obs.NewRegistry(), obs.NewRegistry()}
+	addr0, stop0 := startNodeDaemon(t, serve.Config{Shards: 2, Metrics: regs[0]})
+	defer stop0()
+	addr1, stop1 := startNodeDaemon(t, serve.Config{Shards: 2, Metrics: regs[1]})
+	defer stop1()
+
+	router, err := DialTCP(TCPConfig{Addrs: []string{addr0, addr1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+
+	if err := router.SubmitBatch(clusterBatch(64, 640)); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	scrapes := router.ScrapeStats(5 * time.Second)
+	if len(scrapes) != 2 {
+		t.Fatalf("scraped %d members, want 2", len(scrapes))
+	}
+	stats := router.Stats()
+	var total uint64
+	for i, sc := range scrapes {
+		if sc.Err != nil {
+			t.Fatalf("node %d scrape: %v", sc.Node, sc.Err)
+		}
+		if sc.Node != stats.Nodes[i].Node || sc.Addr != stats.Nodes[i].Addr {
+			t.Errorf("scrape %d: node %d@%s, stats order %d@%s", i, sc.Node, sc.Addr, stats.Nodes[i].Node, stats.Nodes[i].Addr)
+		}
+		var shardSum uint64
+		for _, sh := range sc.Stats.Shards {
+			shardSum += sh.Decisions
+		}
+		// The daemon's shard truth must match both the router's ledger and
+		// the node's own exported counter.
+		if shardSum != stats.Nodes[i].Decisions {
+			t.Errorf("node %d: %d decisions on the wire, %d in router stats", sc.Node, shardSum, stats.Nodes[i].Decisions)
+		}
+		byNode := nodePoints(sc.Stats.Points)
+		p, ok := byNode["serve_decisions_total"][sc.Node]
+		if !ok {
+			t.Fatalf("node %d: scraped points lack serve_decisions_total under its own label", sc.Node)
+		}
+		if p.Value != float64(shardSum) {
+			t.Errorf("node %d: exported %g decisions, shards say %d", sc.Node, p.Value, shardSum)
+		}
+		// Every scraped point is tagged with this member's ID.
+		for _, pt := range sc.Stats.Points {
+			if len(pt.Labels) == 0 || pt.Labels[0] != obs.L("node", strconv.Itoa(sc.Node)) {
+				t.Fatalf("node %d: point %s not node-labeled: %+v", sc.Node, pt.Name, pt.Labels)
+			}
+		}
+		total += shardSum
+	}
+	if total != 640 {
+		t.Errorf("scraped decisions total %d, want 640", total)
+	}
+}
+
+// statuszApp decodes the cluster half of a /statusz reply.
+type statuszApp struct {
+	App struct {
+		Cluster Status             `json:"cluster"`
+		Claims  serve.ClaimSummary `json:"claims"`
+	} `json:"app"`
+}
+
+// getStatusz hits the admin handler and decodes the app payload.
+func getStatusz(t *testing.T, adm *obs.Admin) statuszApp {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	adm.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/statusz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/statusz status %d", rec.Code)
+	}
+	var got statuszApp
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("/statusz decode: %v\n%s", err, rec.Body.String())
+	}
+	return got
+}
+
+// TestStatuszAcrossMembershipAndTakeover drives /statusz exactly as
+// hocluster wires it — cluster.StatusOf plus the mux claim table — and
+// pins it across AddNode, RemoveNode, and a same-identity claim
+// takeover.
+func TestStatuszAcrossMembershipAndTakeover(t *testing.T) {
+	mux := serve.NewDecisionMux()
+	router, err := NewLocal(LocalConfig{
+		Nodes:      2,
+		Engine:     serve.Config{Shards: 1, QueueDepth: 64},
+		OnDecision: func(_ int, o serve.Outcome) { mux.Route(o) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	mux.Drain = func() error { return router.Flush(5 * time.Second) }
+	adm := &obs.Admin{Status: func() any {
+		return map[string]any{"cluster": StatusOf(router), "claims": mux.Claims()}
+	}}
+
+	// A first connection claims 8 terminals under identity "loader".
+	sinkA := serve.NewSink(discard{})
+	bindA := serve.NewBinding(mux, sinkA)
+	bindA.SetIdentity("loader")
+	if err := bindA.Submit(clusterBatch(8, 8), router.SubmitBatch); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Flush(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	st := getStatusz(t, adm)
+	if len(st.App.Cluster.Members) != 2 {
+		t.Fatalf("members = %v, want 2 live members", st.App.Cluster.Members)
+	}
+	if st.App.Cluster.Totals.Decisions != 8 {
+		t.Errorf("totals.decisions = %d, want 8", st.App.Cluster.Totals.Decisions)
+	}
+	if st.App.Claims.Terminals != 8 || st.App.Claims.Owners["loader"] != 8 {
+		t.Errorf("claims = %+v, want 8 terminals under \"loader\"", st.App.Claims)
+	}
+
+	// Grow the ring: the new member appears in /statusz and its node row
+	// exists (zero counters are fine — it has decided nothing yet).
+	newID, err := router.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = getStatusz(t, adm)
+	if len(st.App.Cluster.Members) != 3 {
+		t.Fatalf("after AddNode: members = %v", st.App.Cluster.Members)
+	}
+	found := false
+	for _, n := range st.App.Cluster.Nodes {
+		if n.Node == newID && !n.Departed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("after AddNode: node %d missing from /statusz nodes", newID)
+	}
+
+	// Shrink: the removed member leaves Members but stays in Nodes as a
+	// departed row with frozen counters, so Totals still accounts it.
+	preTotals := st.App.Cluster.Totals.Decisions
+	if err := router.RemoveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	st = getStatusz(t, adm)
+	if len(st.App.Cluster.Members) != 2 {
+		t.Fatalf("after RemoveNode: members = %v", st.App.Cluster.Members)
+	}
+	for _, id := range st.App.Cluster.Members {
+		if id == 0 {
+			t.Fatalf("after RemoveNode: node 0 still a member: %v", st.App.Cluster.Members)
+		}
+	}
+	departed := false
+	for _, n := range st.App.Cluster.Nodes {
+		if n.Node == 0 && n.Departed {
+			departed = true
+		}
+	}
+	if !departed {
+		t.Error("after RemoveNode: node 0 has no departed row in /statusz")
+	}
+	if st.App.Cluster.Totals.Decisions != preTotals {
+		t.Errorf("after RemoveNode: totals.decisions %d, want the frozen %d", st.App.Cluster.Totals.Decisions, preTotals)
+	}
+
+	// Reconnect: a new connection with the same identity takes the claims
+	// over; the table must show the same 8 terminals under "loader" — no
+	// claim lost, none duplicated — and the old binding is superseded.
+	sinkB := serve.NewSink(discard{})
+	bindB := serve.NewBinding(mux, sinkB)
+	bindB.SetIdentity("loader")
+	if err := bindB.Submit(clusterBatch(8, 8), router.SubmitBatch); err != nil {
+		t.Fatal(err)
+	}
+	if !bindA.Superseded() {
+		t.Error("old binding not superseded after takeover")
+	}
+	st = getStatusz(t, adm)
+	if st.App.Claims.Terminals != 8 || st.App.Claims.Owners["loader"] != 8 {
+		t.Errorf("after takeover: claims = %+v, want 8 terminals under \"loader\"", st.App.Claims)
+	}
+	if err := bindA.Submit(clusterBatch(8, 1), router.SubmitBatch); err != serve.ErrSuperseded {
+		t.Errorf("superseded binding submit: %v, want ErrSuperseded", err)
+	}
+}
+
+// discard is an io.Writer black hole for test sinks.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

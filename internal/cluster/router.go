@@ -38,6 +38,8 @@ type Router interface {
 	Stats() Stats
 	// NumNodes returns the member count.
 	NumNodes() int
+	// Members returns the live member IDs in ascending order.
+	Members() []int
 	// NodeOf returns the ring's owner for a terminal.
 	NodeOf(id serve.TerminalID) int
 	// Close tears the router down.  In-process engines are drained and

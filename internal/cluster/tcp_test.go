@@ -62,6 +62,13 @@ func startNodeDaemonOn(t testing.TB, ln net.Listener, cfg serve.Config) (engine 
 		Drain:  func() error { e.Flush(); return nil },
 	}
 	d.Extract, d.Restore = MigrationHooks(e)
+	d.Stats = func() serve.WireStats {
+		ws := serve.WireStats{Shards: e.Stats().Shards}
+		if cfg.Metrics != nil {
+			ws.Points = cfg.Metrics.Export()
+		}
+		return ws
+	}
 	var wg sync.WaitGroup
 	var cmu sync.Mutex
 	var conns []net.Conn

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Admin serves the observability endpoints:
+//
+//	/metrics  Prometheus text exposition of Registry.Export() + Extra()
+//	/statusz  JSON: uptime, Go runtime/GC stats, and the app payload
+//	/healthz  "ok" once the process is serving
+//	/tracez   JSON decision-trace ring (404 when tracing is not wired)
+type Admin struct {
+	Registry *Registry
+	// Extra returns additional /metrics points (e.g. stats scraped from
+	// cluster peers) appended to the registry's own export.
+	Extra func() []Point
+	// Status returns the app-specific /statusz payload, marshaled under
+	// the "app" key.
+	Status func() any
+	// Traces returns the /tracez payload (typically []serve.DecisionTrace).
+	Traces func() any
+
+	once    sync.Once
+	started time.Time
+}
+
+// Handler returns the admin HTTP handler.
+func (a *Admin) Handler() http.Handler {
+	a.once.Do(func() { a.started = time.Now() })
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metrics)
+	mux.HandleFunc("/statusz", a.statusz)
+	mux.HandleFunc("/healthz", a.healthz)
+	mux.HandleFunc("/tracez", a.tracez)
+	return mux
+}
+
+// Serve binds addr and serves the admin endpoints in a background
+// goroutine until the returned listener is closed.
+func (a *Admin) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: a.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln, nil
+}
+
+func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
+	var points []Point
+	if a.Registry != nil {
+		points = a.Registry.Export()
+	}
+	if a.Extra != nil {
+		points = append(points, a.Extra()...)
+	}
+	var sb strings.Builder
+	WritePrometheus(&sb, points)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(sb.String()))
+}
+
+func (a *Admin) statusz(w http.ResponseWriter, _ *http.Request) {
+	payload := struct {
+		UptimeSec float64       `json:"uptime_sec"`
+		Runtime   RuntimeStatus `json:"runtime"`
+		App       any           `json:"app,omitempty"`
+	}{
+		UptimeSec: time.Since(a.started).Seconds(),
+		Runtime:   ReadRuntimeStatus(),
+	}
+	if a.Status != nil {
+		payload.App = a.Status()
+	}
+	writeJSON(w, payload)
+}
+
+func (a *Admin) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (a *Admin) tracez(w http.ResponseWriter, _ *http.Request) {
+	if a.Traces == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, a.Traces())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// RuntimeStatus is a compact snapshot of Go runtime and GC state.
+type RuntimeStatus struct {
+	Goroutines      int     `json:"goroutines"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	SysBytes        uint64  `json:"sys_bytes"`
+	NumGC           uint32  `json:"num_gc"`
+	PauseTotalNs    uint64  `json:"gc_pause_total_ns"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
+}
+
+// ReadRuntimeStatus reads the current runtime state.
+func ReadRuntimeStatus() RuntimeStatus {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStatus{
+		Goroutines:      runtime.NumGoroutine(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		SysBytes:        ms.Sys,
+		NumGC:           ms.NumGC,
+		PauseTotalNs:    ms.PauseTotalNs,
+		GCCPUFraction:   ms.GCCPUFraction,
+	}
+}

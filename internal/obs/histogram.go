@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histMajors × histSubs log-linear buckets cover 1 .. ~2^63 with ≤ 1/32
+// relative resolution — the classic HDR-histogram layout, reduced to
+// fixed atomic counters so Observe is lock- and allocation-free from
+// any goroutine.  The layout is shared with serve.LatencyRecorder,
+// which is built on this type.
+const (
+	histMajors  = 64
+	histSubs    = 32
+	histBuckets = histMajors * histSubs
+)
+
+// ExportQuantiles are the quantile estimates a histogram Point carries.
+var ExportQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Histogram accumulates uint64 samples (conventionally nanoseconds)
+// concurrently and reports approximate quantiles.  The zero value is
+// ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// BucketIndex maps a sample to a log-linear bucket.
+func BucketIndex(v uint64) int {
+	major := bits.Len64(v) // 1..64 for v ≥ 1
+	if major <= 5 {
+		return int(v) // exact below 32
+	}
+	sub := (v >> (uint(major) - 6)) & (histSubs - 1)
+	return (major-5)*histSubs + int(sub)
+}
+
+// BucketValue returns the lower bound of bucket i (inverse of BucketIndex).
+func BucketValue(i int) uint64 {
+	if i < histSubs {
+		return uint64(i)
+	}
+	major := i/histSubs + 5
+	sub := uint64(i % histSubs)
+	return (1 << (uint(major) - 1)) | sub<<(uint(major)-6)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in nanoseconds.  Negative durations are
+// ignored (they arise only from cross-goroutine clock misuse).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Mean returns the mean sample (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns the approximate q-quantile (q in [0, 1]; the lower
+// bound of the containing bucket, so the estimate errs low by at most
+// 1/32 relative).  Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := quantileTarget(q, n)
+	var acc uint64
+	for i := range h.buckets {
+		acc += h.buckets[i].Load()
+		if acc >= target {
+			return BucketValue(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot copies the histogram's current state.  The copy is not
+// atomic across buckets — concurrent Observes may land in count but not
+// yet in a bucket — which only matters if samples arrive during the
+// copy; totals reconcile at the next snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	s.count = h.count.Load()
+	s.sum = h.sum.Load()
+	s.max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram; Delta
+// subtracts an earlier snapshot to get a windowed view, which is how
+// the -stats loops report per-interval quantiles.
+type HistogramSnapshot struct {
+	buckets [histBuckets]uint64
+	count   uint64
+	sum     uint64
+	max     uint64
+}
+
+// Count returns the number of samples in the snapshot.
+func (s *HistogramSnapshot) Count() uint64 { return s.count }
+
+// Sum returns the sum of samples in the snapshot.
+func (s *HistogramSnapshot) Sum() uint64 { return s.sum }
+
+// Max returns the largest sample.  For windowed snapshots produced by
+// Delta this is the lower bound of the highest occupied bucket (the
+// per-window true max is not recoverable from cumulative counters).
+func (s *HistogramSnapshot) Max() uint64 { return s.max }
+
+// Mean returns the mean sample (0 when empty).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.count)
+}
+
+// Quantile returns the approximate q-quantile of the snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) uint64 {
+	if s.count == 0 {
+		return 0
+	}
+	target := quantileTarget(q, s.count)
+	var acc uint64
+	for i := range s.buckets {
+		acc += s.buckets[i]
+		if acc >= target {
+			return BucketValue(i)
+		}
+	}
+	return s.max
+}
+
+// Delta returns the samples recorded between prev and s.
+func (s *HistogramSnapshot) Delta(prev *HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	for i := range s.buckets {
+		d.buckets[i] = s.buckets[i] - prev.buckets[i]
+		if d.buckets[i] > 0 {
+			d.max = BucketValue(i)
+		}
+	}
+	d.count = s.count - prev.count
+	d.sum = s.sum - prev.sum
+	return d
+}
+
+func quantileTarget(q float64, n uint64) uint64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	return target
+}
+
+// point exports the histogram as a Point with the standard quantiles.
+func (h *Histogram) point(name string, labels []Label) Point {
+	s := h.Snapshot()
+	p := Point{
+		Name:   name,
+		Kind:   KindHistogram,
+		Labels: labels,
+		Count:  s.count,
+		Sum:    float64(s.sum),
+		Max:    float64(s.max),
+	}
+	if s.count > 0 {
+		p.Quantiles = make([]Quantile, len(ExportQuantiles))
+		for i, q := range ExportQuantiles {
+			p.Quantiles[i] = Quantile{Q: q, Value: float64(s.Quantile(q))}
+		}
+	}
+	return p
+}

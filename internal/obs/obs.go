@@ -1,0 +1,191 @@
+// Package obs is the repo's dependency-free telemetry layer: atomic
+// counters, gauges and lock-free log-linear histograms collected in a
+// Registry, exported as structured Points (JSON-friendly — the same
+// shape travels over the cluster wire in a {"ctl":"stats"} reply) and
+// rendered as Prometheus text exposition for /metrics scrapes.
+//
+// Hot-path record calls (Counter.Add, Gauge.Set, Histogram.Observe)
+// never lock or allocate, so engines record from shard goroutines at
+// full rate; the alloc tests in this package pin that property.
+// Export and rendering are cold paths and may allocate freely.
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one key=value dimension attached to a metric.
+type Label struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind classifies an exported Point.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Quantile is one quantile estimate exported from a histogram.
+type Quantile struct {
+	Q     float64 `json:"q"`
+	Value float64 `json:"v"`
+}
+
+// Point is one exported sample: a counter or gauge carries Value; a
+// histogram carries Count/Sum/Max plus quantile estimates.  Points are
+// plain data — they marshal to JSON for the wire and for /statusz.
+type Point struct {
+	Name      string     `json:"name"`
+	Kind      Kind       `json:"kind"`
+	Labels    []Label    `json:"labels,omitempty"`
+	Value     float64    `json:"value,omitempty"`
+	Count     uint64     `json:"count,omitempty"`
+	Sum       float64    `json:"sum,omitempty"`
+	Max       float64    `json:"max,omitempty"`
+	Quantiles []Quantile `json:"quantiles,omitempty"`
+}
+
+// WithLabel returns a copy of p with key=value prepended to its labels
+// (the merge direction hocluster uses to tag scraped points per node).
+func (p Point) WithLabel(key, value string) Point {
+	labels := make([]Label, 0, len(p.Labels)+1)
+	labels = append(labels, Label{Key: key, Value: value})
+	labels = append(labels, p.Labels...)
+	p.Labels = labels
+	return p
+}
+
+// WritePrometheus renders points in the Prometheus text exposition
+// format (v0.0.4).  Points sharing a name are grouped under one # TYPE
+// line; histograms render as summaries (quantile-labeled samples plus
+// _sum and _count).  Counter and gauge values that are whole numbers
+// render without a fractional part, so a rendered line is byte-stable
+// against the integer the counter holds.
+func WritePrometheus(sb *strings.Builder, points []Point) {
+	// Group by name, preserving first-appearance order.
+	order := make([]string, 0, len(points))
+	groups := make(map[string][]Point, len(points))
+	for _, p := range points {
+		if _, ok := groups[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		groups[p.Name] = append(groups[p.Name], p)
+	}
+	for _, name := range order {
+		group := groups[name]
+		switch group[0].Kind {
+		case KindHistogram:
+			sb.WriteString("# TYPE ")
+			sb.WriteString(name)
+			sb.WriteString(" summary\n")
+			for _, p := range group {
+				for _, q := range p.Quantiles {
+					writeSample(sb, name, p.Labels, Label{Key: "quantile", Value: formatValue(q.Q)}, q.Value)
+				}
+				writeSample(sb, name+"_sum", p.Labels, Label{}, p.Sum)
+				writeSample(sb, name+"_count", p.Labels, Label{}, float64(p.Count))
+			}
+		case KindGauge:
+			sb.WriteString("# TYPE ")
+			sb.WriteString(name)
+			sb.WriteString(" gauge\n")
+			for _, p := range group {
+				writeSample(sb, name, p.Labels, Label{}, p.Value)
+			}
+		default:
+			sb.WriteString("# TYPE ")
+			sb.WriteString(name)
+			sb.WriteString(" counter\n")
+			for _, p := range group {
+				writeSample(sb, name, p.Labels, Label{}, p.Value)
+			}
+		}
+	}
+}
+
+// PrometheusText renders points to a string.
+func PrometheusText(points []Point) string {
+	var sb strings.Builder
+	WritePrometheus(&sb, points)
+	return sb.String()
+}
+
+func writeSample(sb *strings.Builder, name string, labels []Label, extra Label, v float64) {
+	sb.WriteString(name)
+	if len(labels) > 0 || extra.Key != "" {
+		sb.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				sb.WriteByte(',')
+			}
+			first = false
+			writeLabel(sb, l)
+		}
+		if extra.Key != "" {
+			if !first {
+				sb.WriteByte(',')
+			}
+			writeLabel(sb, extra)
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(v))
+	sb.WriteByte('\n')
+}
+
+func writeLabel(sb *strings.Builder, l Label) {
+	sb.WriteString(l.Key)
+	sb.WriteString(`="`)
+	for i := 0; i < len(l.Value); i++ {
+		switch c := l.Value[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+}
+
+// formatValue renders a float with no trailing fractional noise: whole
+// values print as integers ("12345"), everything else in shortest form.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SortPoints orders points by name, then rendered label set — a stable
+// order for tests and merged multi-node views.
+func SortPoints(points []Point) {
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].Name != points[j].Name {
+			return points[i].Name < points[j].Name
+		}
+		return labelKey(points[i].Labels) < labelKey(points[j].Labels)
+	})
+}
+
+func labelKey(labels []Label) string {
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}

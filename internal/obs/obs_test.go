@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketsInvertible(t *testing.T) {
+	for _, v := range []uint64{0, 1, 5, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := BucketIndex(v)
+		lo := BucketValue(i)
+		if lo > v {
+			t.Errorf("BucketValue(%d) = %d > sample %d", i, lo, v)
+		}
+		if v > 64 && float64(v-lo)/float64(v) > 1.0/32 {
+			t.Errorf("sample %d mapped to bound %d: error %g", v, lo, float64(v-lo)/float64(v))
+		}
+	}
+}
+
+func TestHistogramQuantilesAndSnapshot(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(i * 1000)
+	}
+	h.ObserveDuration(-time.Second) // ignored
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Max(); got != 1000*1000 {
+		t.Errorf("max %d", got)
+	}
+	for _, c := range []struct {
+		q    float64
+		want uint64
+	}{{0.5, 500_000}, {0.99, 990_000}, {1, 1_000_000}} {
+		got := h.Quantile(c.q)
+		if got > c.want || float64(c.want-got) > float64(c.want)/16 {
+			t.Errorf("q%.2f = %d, want ≈ %d", c.q, got, c.want)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count() != h.Count() || s.Sum() != h.Sum() || s.Max() != h.Max() {
+		t.Error("snapshot totals diverge from live histogram")
+	}
+	if s.Quantile(0.5) != h.Quantile(0.5) {
+		t.Error("snapshot quantile diverges")
+	}
+}
+
+func TestHistogramSnapshotDelta(t *testing.T) {
+	var h Histogram
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	prev := h.Snapshot()
+	for i := uint64(0); i < 50; i++ {
+		h.Observe(1 << 30) // a much slower window
+	}
+	cur := h.Snapshot()
+	d := cur.Delta(&prev)
+	if d.Count() != 50 {
+		t.Fatalf("delta count %d", d.Count())
+	}
+	if got := d.Quantile(0.5); got < (1<<30)/2 {
+		t.Errorf("windowed p50 %d still reflects old samples", got)
+	}
+	if d.Max() > 1<<30 || d.Max() < (1<<30)-(1<<30)/32 {
+		t.Errorf("windowed max %d not ≈ 2^30", d.Max())
+	}
+	// The cumulative view is unchanged by taking deltas.
+	if cur.Quantile(0.5) > 100 {
+		// 100 fast + 50 slow samples: cumulative p50 is still a fast one.
+		t.Errorf("cumulative p50 %d", cur.Quantile(0.5))
+	}
+}
+
+func TestRegistryExportAndPrometheus(t *testing.T) {
+	r := NewRegistry(L("node", "3"))
+	c := r.Counter("demo_total")
+	g := r.Gauge("demo_depth", L("shard", "0"))
+	r.GaugeFunc("demo_fn", func() float64 { return 2.5 })
+	h := r.Histogram("demo_ns")
+	r.Collector(func(emit func(Point)) {
+		emit(Point{Name: "demo_dyn", Kind: KindCounter, Labels: []Label{L("k", "v")}, Value: 7})
+	})
+	c.Add(41)
+	c.Inc()
+	g.Set(9)
+	h.Observe(100)
+	h.Observe(200)
+
+	points := r.Export()
+	if len(points) != 5 {
+		t.Fatalf("exported %d points", len(points))
+	}
+	text := PrometheusText(points)
+	for _, want := range []string{
+		"# TYPE demo_total counter\ndemo_total{node=\"3\"} 42\n",
+		"demo_depth{node=\"3\",shard=\"0\"} 9\n",
+		"demo_fn{node=\"3\"} 2.5\n",
+		"# TYPE demo_ns summary\n",
+		"demo_ns_count{node=\"3\"} 2\n",
+		"demo_ns_sum{node=\"3\"} 300\n",
+		"demo_ns{node=\"3\",quantile=\"0.5\"} ",
+		"demo_dyn{node=\"3\",k=\"v\"} 7\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered text missing %q:\n%s", want, text)
+		}
+	}
+
+	// Points must survive a JSON round trip unchanged (the wire path).
+	b, err := json.Marshal(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Point
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if PrometheusText(back) != text {
+		t.Error("JSON round trip changed the rendered exposition")
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	text := PrometheusText([]Point{{
+		Name: "m", Kind: KindGauge,
+		Labels: []Label{L("k", "a\"b\\c\nd")}, Value: 1,
+	}})
+	if !strings.Contains(text, `m{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("bad escaping: %s", text)
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	pts := []Point{
+		{Name: "b", Labels: []Label{L("node", "1")}},
+		{Name: "a", Labels: []Label{L("node", "1")}},
+		{Name: "a", Labels: []Label{L("node", "0")}},
+	}
+	SortPoints(pts)
+	if pts[0].Name != "a" || pts[0].Labels[0].Value != "0" || pts[2].Name != "b" {
+		t.Errorf("bad order: %+v", pts)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count %d", h.Count())
+	}
+}
+
+// TestRecordAllocs pins the zero-allocation property of every hot-path
+// record call.
+func TestRecordAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is skewed under the race detector")
+	}
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_ns")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.Set(7)
+		g.Add(-2)
+		h.Observe(12345)
+		h.ObserveDuration(54321)
+	}); n != 0 {
+		t.Errorf("record path allocates %.2f allocs/op", n)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-regression tests skip under it (the instrumentation itself
+// allocates).
+const raceEnabled = true

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.  All methods are
+// lock-free and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value.  All methods are lock-free
+// and allocation-free.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// instrument is one registered metric source.
+type instrument struct {
+	name    string
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+	collect func(emit func(Point))
+}
+
+// Registry holds a set of named instruments plus dynamic collectors and
+// exports them all as Points.  Registration takes the registry lock;
+// recording on the returned instruments never does.  Base labels given
+// at construction are prepended to every exported point.
+type Registry struct {
+	mu    sync.Mutex
+	base  []Label
+	items []instrument
+}
+
+// NewRegistry returns an empty registry whose exported points all carry
+// the given base labels.
+func NewRegistry(base ...Label) *Registry {
+	return &Registry{base: base}
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.add(instrument{name: name, labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.add(instrument{name: name, labels: labels, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed by fn at export time.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	r.add(instrument{name: name, labels: labels, gaugeFn: fn})
+}
+
+// Histogram registers and returns a new histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.add(instrument{name: name, labels: labels, hist: h})
+	return h
+}
+
+// Collector registers fn, called at export time to emit dynamic points
+// (e.g. per-shard or per-node stats read from live atomics).  Emitted
+// points get the registry's base labels prepended.
+func (r *Registry) Collector(fn func(emit func(Point))) {
+	r.add(instrument{collect: fn})
+}
+
+func (r *Registry) add(it instrument) {
+	r.mu.Lock()
+	r.items = append(r.items, it)
+	r.mu.Unlock()
+}
+
+// Export snapshots every instrument into a flat point list, in
+// registration order (collector points in emission order).
+func (r *Registry) Export() []Point {
+	r.mu.Lock()
+	items := r.items[:len(r.items):len(r.items)]
+	r.mu.Unlock()
+	points := make([]Point, 0, len(items))
+	for _, it := range items {
+		switch {
+		case it.counter != nil:
+			points = append(points, Point{
+				Name: it.name, Kind: KindCounter,
+				Labels: r.labels(it.labels), Value: float64(it.counter.Load()),
+			})
+		case it.gauge != nil:
+			points = append(points, Point{
+				Name: it.name, Kind: KindGauge,
+				Labels: r.labels(it.labels), Value: float64(it.gauge.Load()),
+			})
+		case it.gaugeFn != nil:
+			points = append(points, Point{
+				Name: it.name, Kind: KindGauge,
+				Labels: r.labels(it.labels), Value: it.gaugeFn(),
+			})
+		case it.hist != nil:
+			points = append(points, it.hist.point(it.name, r.labels(it.labels)))
+		case it.collect != nil:
+			it.collect(func(p Point) {
+				p.Labels = r.labels(p.Labels)
+				points = append(points, p)
+			})
+		}
+	}
+	return points
+}
+
+// labels prepends the registry's base labels to extra.
+func (r *Registry) labels(extra []Label) []Label {
+	if len(r.base) == 0 {
+		return extra
+	}
+	out := make([]Label, 0, len(r.base)+len(extra))
+	out = append(out, r.base...)
+	out = append(out, extra...)
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/handover"
+	"repro/internal/obs"
 )
 
 // benchQueueDepth is the per-shard queue bound of the serve benchmarks:
@@ -117,6 +118,22 @@ func BenchmarkServeCompiled(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			benchServeShards(b, benchEngine(b, shards, true))
+		})
+	}
+}
+
+// BenchmarkServeCompiledMetrics is BenchmarkServeCompiled with the full
+// telemetry layer live — registry, stage histograms, verdict tallies —
+// recording what always-on metrics cost the compiled hot path (the
+// acceptance budget is <2% against the uninstrumented baseline).
+func BenchmarkServeCompiledMetrics(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			e := benchEngineCfg(b, Config{
+				Shards: shards, QueueDepth: benchQueueDepth, Compiled: true,
+				Metrics: obs.NewRegistry(),
+			})
+			benchServeShards(b, e)
 		})
 	}
 }

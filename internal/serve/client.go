@@ -145,9 +145,11 @@ type NodeClient struct {
 }
 
 // ctlOp is one in-flight control operation: the reader goroutine
-// accumulates shipped snapshots into it and completes done exactly once.
+// accumulates shipped snapshots (or the stats payload) into it and
+// completes done exactly once.
 type ctlOp struct {
 	snaps []TerminalSnapshot
+	stats WireStats
 	done  chan error // buffered; completion never blocks the reader
 }
 
@@ -684,6 +686,27 @@ func (c *NodeClient) Restore(snaps []TerminalSnapshot, timeout time.Duration) er
 	return c.waitCtl(op, deadline)
 }
 
+// Stats asks the node for its telemetry snapshot: shard counters plus
+// the exported points of its metrics registry.  Like every control op it
+// rides the ordered send queue (so it observes every report already
+// submitted on this connection), runs one at a time, and is bounded by
+// timeout.
+func (c *NodeClient) Stats(timeout time.Duration) (WireStats, error) {
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	op := c.armCtl()
+	defer c.disarmCtl()
+	line := AppendControlJSON(nil, WireControl{Op: "stats"})
+	if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
+		return WireStats{}, err
+	}
+	if err := c.waitCtl(op, deadline); err != nil {
+		return WireStats{}, err
+	}
+	return op.stats, nil
+}
+
 // armCtl installs a fresh pending op for the reader to complete.
 func (c *NodeClient) armCtl() *ctlOp {
 	op := &ctlOp{done: make(chan error, 1)}
@@ -740,6 +763,13 @@ func (c *NodeClient) handleCtlLine(line []byte) {
 	}
 	c.pendMu.Lock()
 	op := c.pend
+	if op != nil && ctl.Op != "snapshots" {
+		// A completing reply finishes the op exactly once; disarming here
+		// keeps a stale duplicate (e.g. a retransmitted request answered
+		// after the waiter timed out) from mutating an op that has already
+		// been handed back to its waiter.
+		c.pend = nil
+	}
 	c.pendMu.Unlock()
 	if op == nil {
 		c.surface(fmt.Errorf("serve: node %s: control %q with no operation pending", c.addr, ctl.Op))
@@ -748,6 +778,17 @@ func (c *NodeClient) handleCtlLine(line []byte) {
 	switch ctl.Op {
 	case "snapshots":
 		op.snaps = append(op.snaps, ctl.Snapshots...)
+	case "stats":
+		var res error
+		if ctl.Error != "" {
+			res = fmt.Errorf("serve: node %s: %s", c.addr, ctl.Error)
+		} else if ctl.Stats != nil {
+			op.stats = *ctl.Stats
+		}
+		select {
+		case op.done <- res:
+		default:
+		}
 	case "extracted", "restored":
 		var res error
 		if ctl.Error != "" {

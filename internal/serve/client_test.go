@@ -53,6 +53,13 @@ func startTestNode(t *testing.T, cfg Config) (addr string, stop func()) {
 			})
 		},
 		Restore: e.RestoreSnapshots,
+		Stats: func() WireStats {
+			ws := WireStats{Shards: e.Stats().Shards}
+			if cfg.Metrics != nil {
+				ws.Points = cfg.Metrics.Export()
+			}
+			return ws
+		},
 	}
 	var wg sync.WaitGroup
 	var cmu sync.Mutex

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
+
+	"repro/internal/obs"
 )
 
 // The wire control plane rides the same newline-JSON streams as reports
@@ -24,12 +26,16 @@ import (
 //	                                  member S
 //	{"ctl":"restore","snapshots":[...]}  install one snapshot chunk
 //	{"ctl":"restore-done"}            finish the restore op
+//	{"ctl":"stats"}                   request the node's stats/metrics
 //
 // Ops, node → client:
 //
 //	{"ctl":"snapshots","snapshots":[...]}  one extracted chunk
 //	{"ctl":"extracted","count":N}     extract finished (Error on failure)
 //	{"ctl":"restored","count":N}      restore finished (Error on failure)
+//	{"ctl":"stats","stats":{...}}     the node's shard counters and
+//	                                  exported metric points (Error when
+//	                                  the node serves no stats)
 type WireControl struct {
 	// Op names the control operation.
 	Op string
@@ -45,8 +51,18 @@ type WireControl struct {
 	Count int
 	// Snapshots carries one chunk of terminal state.
 	Snapshots []TerminalSnapshot
+	// Stats carries a node's telemetry in a "stats" reply.
+	Stats *WireStats
 	// Error reports an op failure in an ack.
 	Error string
+}
+
+// WireStats is the payload of a {"ctl":"stats"} reply: the node's shard
+// counter snapshot plus its registry's exported metric points.  Not a
+// hot-path message, so it is encoded with encoding/json.
+type WireStats struct {
+	Shards []ShardStats `json:"shards,omitempty"`
+	Points []obs.Point  `json:"points,omitempty"`
 }
 
 // snapshotChunk bounds the snapshots packed into one control line, so a
@@ -99,6 +115,18 @@ func AppendControlJSON(dst []byte, c WireControl) []byte {
 		dst = append(dst, `,"count":`...)
 		dst = strconv.AppendInt(dst, int64(c.Count), 10)
 	}
+	if c.Stats != nil {
+		dst = append(dst, `,"stats":`...)
+		// Stats replies are rare (one per scrape) and never on the data
+		// hot path; the stdlib encoder is fine here.
+		b, err := json.Marshal(c.Stats)
+		if err != nil {
+			// A WireStats is plain data and cannot fail to marshal; keep
+			// the line well-formed regardless.
+			b = []byte(`{}`)
+		}
+		dst = append(dst, b...)
+	}
 	if c.Error != "" {
 		dst = append(dst, `,"error":`...)
 		dst = appendJSONString(dst, c.Error)
@@ -118,6 +146,7 @@ func ParseControlLine(line []byte) (WireControl, error) {
 		Self      int            `json:"self"`
 		Count     int            `json:"count"`
 		Snapshots []wireSnapshot `json:"snapshots"`
+		Stats     *WireStats     `json:"stats"`
 		Error     string         `json:"error"`
 	}
 	if err := json.Unmarshal(trimSpace(line), &aux); err != nil {
@@ -133,6 +162,7 @@ func ParseControlLine(line []byte) (WireControl, error) {
 		VNodes:  aux.VNodes,
 		Self:    aux.Self,
 		Count:   aux.Count,
+		Stats:   aux.Stats,
 		Error:   aux.Error,
 	}
 	for i, w := range aux.Snapshots {

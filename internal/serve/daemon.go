@@ -53,6 +53,10 @@ type Daemon struct {
 	// Serving the "restore" control op requires it; it is also the
 	// recovery path when extracted state cannot reach the requester.
 	Restore func([]TerminalSnapshot) error
+	// Stats, if set, snapshots the node's telemetry (shard counters plus
+	// exported metric points) for the "stats" control op — how a cluster
+	// router scrapes member nodes over their existing connections.
+	Stats func() WireStats
 
 	initOnce sync.Once
 }
@@ -170,6 +174,14 @@ func (d *Daemon) serveConn(conn net.Conn) {
 			}
 			restoreCount, restoreErr = 0, nil
 			out.WriteControl(ack)
+			return nil
+		case "stats":
+			if d.Stats == nil {
+				out.WriteControl(WireControl{Op: "stats", Error: d.Name + ": stats not supported"})
+				return nil
+			}
+			st := d.Stats()
+			out.WriteControl(WireControl{Op: "stats", Stats: &st})
 			return nil
 		default:
 			return fmt.Errorf("%s: unknown control op %q", d.Name, c.Op)

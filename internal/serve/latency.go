@@ -1,106 +1,82 @@
 package serve
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
-)
 
-// latencyMajors × latencySubs log-linear buckets cover 1 ns .. ~290 years
-// with ≤ 1/32 relative resolution — the classic HDR-histogram layout,
-// reduced to fixed atomic counters so Observe is lock- and allocation-free
-// from any goroutine (the load harness records from shard callbacks).
-const (
-	latencyMajors = 64
-	latencySubs   = 32
+	"repro/internal/obs"
 )
 
 // LatencyRecorder accumulates duration samples concurrently and reports
-// approximate quantiles.  The zero value is ready to use.
+// approximate quantiles.  It is a thin duration-typed veneer over
+// obs.Histogram (the same log-linear layout: 64×32 buckets, ≤ 1/32
+// relative resolution, lock- and allocation-free Observe).  The zero
+// value is ready to use.
 type LatencyRecorder struct {
-	buckets [latencyMajors * latencySubs]atomic.Uint64
-	count   atomic.Uint64
-	sum     atomic.Uint64
-	max     atomic.Uint64
+	h obs.Histogram
 }
 
 // bucketIndex maps nanoseconds to a log-linear bucket.
-func bucketIndex(ns uint64) int {
-	major := bits.Len64(ns) // 1..64 for ns ≥ 1
-	if major <= 5 {
-		return int(ns) // exact below 32 ns
-	}
-	sub := (ns >> (uint(major) - 6)) & (latencySubs - 1)
-	return (major-5)*latencySubs + int(sub)
-}
+func bucketIndex(ns uint64) int { return obs.BucketIndex(ns) }
 
 // bucketValue returns the lower bound of bucket i (inverse of bucketIndex).
-func bucketValue(i int) uint64 {
-	if i < latencySubs {
-		return uint64(i)
-	}
-	major := i/latencySubs + 5
-	sub := uint64(i % latencySubs)
-	return (1 << (uint(major) - 1)) | sub<<(uint(major)-6)
-}
+func bucketValue(i int) uint64 { return obs.BucketValue(i) }
 
 // Observe records one sample.  Negative durations are ignored (they arise
 // only from cross-goroutine clock misuse).
-func (l *LatencyRecorder) Observe(d time.Duration) {
-	if d < 0 {
-		return
-	}
-	ns := uint64(d)
-	l.buckets[bucketIndex(ns)].Add(1)
-	l.count.Add(1)
-	l.sum.Add(ns)
-	for {
-		cur := l.max.Load()
-		if ns <= cur || l.max.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
-}
+func (l *LatencyRecorder) Observe(d time.Duration) { l.h.ObserveDuration(d) }
 
 // Count returns the number of samples recorded.
-func (l *LatencyRecorder) Count() uint64 { return l.count.Load() }
+func (l *LatencyRecorder) Count() uint64 { return l.h.Count() }
 
 // Mean returns the mean sample (0 when empty).
-func (l *LatencyRecorder) Mean() time.Duration {
-	n := l.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(l.sum.Load() / n)
-}
+func (l *LatencyRecorder) Mean() time.Duration { return time.Duration(l.h.Mean()) }
 
 // Max returns the largest sample.
-func (l *LatencyRecorder) Max() time.Duration { return time.Duration(l.max.Load()) }
+func (l *LatencyRecorder) Max() time.Duration { return time.Duration(l.h.Max()) }
 
 // Quantile returns the approximate q-quantile (q in [0, 1]; the lower
 // bound of the containing bucket, so the estimate errs low by at most
 // 1/32 relative).  Returns 0 when empty.
 func (l *LatencyRecorder) Quantile(q float64) time.Duration {
-	n := l.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	target := uint64(q * float64(n))
-	if target == 0 {
-		target = 1
-	}
-	var acc uint64
-	for i := range l.buckets {
-		acc += l.buckets[i].Load()
-		if acc >= target {
-			return time.Duration(bucketValue(i))
-		}
-	}
-	return time.Duration(l.max.Load())
+	return time.Duration(l.h.Quantile(q))
+}
+
+// Histogram exposes the underlying histogram, e.g. for registering the
+// recorder in an obs.Registry.
+func (l *LatencyRecorder) Histogram() *obs.Histogram { return &l.h }
+
+// Snapshot copies the recorder's cumulative state.
+func (l *LatencyRecorder) Snapshot() LatencySnapshot {
+	return LatencySnapshot{s: l.h.Snapshot()}
+}
+
+// SnapshotDelta returns the samples recorded since *prev and advances
+// *prev to now — the one-liner a -stats loop calls each interval to get
+// per-interval quantiles instead of cumulative ones.
+func (l *LatencyRecorder) SnapshotDelta(prev *LatencySnapshot) LatencySnapshot {
+	cur := l.h.Snapshot()
+	d := cur.Delta(&prev.s)
+	prev.s = cur
+	return LatencySnapshot{s: d}
+}
+
+// LatencySnapshot is a point-in-time (or, via SnapshotDelta, windowed)
+// view of a LatencyRecorder.
+type LatencySnapshot struct {
+	s obs.HistogramSnapshot
+}
+
+// Count returns the number of samples in the snapshot.
+func (s *LatencySnapshot) Count() uint64 { return s.s.Count() }
+
+// Mean returns the mean sample (0 when empty).
+func (s *LatencySnapshot) Mean() time.Duration { return time.Duration(s.s.Mean()) }
+
+// Max returns the largest sample; for windowed snapshots this is the
+// lower bound of the highest occupied bucket.
+func (s *LatencySnapshot) Max() time.Duration { return time.Duration(s.s.Max()) }
+
+// Quantile returns the approximate q-quantile of the snapshot.
+func (s *LatencySnapshot) Quantile(q float64) time.Duration {
+	return time.Duration(s.s.Quantile(q))
 }

@@ -139,6 +139,33 @@ func (m *DecisionMux) Route(o Outcome) {
 	}
 }
 
+// ClaimSummary is the mux's live claim table grouped by connection
+// identity — the /statusz view of which connections own which share of
+// the terminal population.
+type ClaimSummary struct {
+	// Terminals is the total number of claimed terminals.
+	Terminals int `json:"terminals"`
+	// Owners maps connection identity ("anonymous" when the connection
+	// never sent a hello) to its claim count.
+	Owners map[string]int `json:"owners,omitempty"`
+}
+
+// Claims summarizes the live claim table.  A snapshot under concurrent
+// claiming is consistent per entry, not across the table.
+func (m *DecisionMux) Claims() ClaimSummary {
+	sum := ClaimSummary{Owners: make(map[string]int)}
+	m.claims.Range(func(_, v any) bool {
+		sum.Terminals++
+		id := v.(*Binding).identityString()
+		if id == "" {
+			id = "anonymous"
+		}
+		sum.Owners[id]++
+		return true
+	})
+	return sum
+}
+
 // Binding is one connection's claim-holding handle on a mux.  It pairs
 // the connection's sink with an optional client identity and carries the
 // revocation state takeover needs.

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/handover"
+	"repro/internal/obs"
 )
 
 // TerminalID identifies one terminal (UE) across reports.
@@ -96,6 +97,23 @@ type Config struct {
 	// shard's goroutine.  A blocking callback stalls that shard and —
 	// through the bounded queue — eventually the submitters.
 	OnDecision func(Outcome)
+	// Metrics, when non-nil, registers the engine's telemetry in the
+	// registry: per-stage histograms (queue wait, kernel, service,
+	// snapshot/restore) plus a collector exporting the live counters
+	// Stats() reads.  The steady-state hot path stays allocation-free
+	// with metrics enabled (pinned by TestMetricsSteadyStateAllocs); the
+	// per-decision cost is a few clock reads per sub-batch.
+	Metrics *obs.Registry
+	// MetricsLabels are attached to every metric this engine registers —
+	// how a multi-engine process (hocluster -local) tells nodes apart.
+	MetricsLabels []obs.Label
+	// TraceEvery samples every Nth decision per shard into the decision
+	// trace ring served at /tracez (0: tracing off).  Sampled captures
+	// re-run the FLC for its full inference trace and may allocate;
+	// steady-state decisions in between are untouched.
+	TraceEvery int
+	// TraceBuffer bounds the trace ring (0: DefaultTraceBuffer).
+	TraceBuffer int
 }
 
 // Defaults.
@@ -177,6 +195,12 @@ type Engine struct {
 	// SubmitBatch on a bounded free list (same GC-immunity rationale as
 	// bufPool).
 	staging chan []*[]Report
+	// metrics/traces are the optional telemetry surfaces (Config.Metrics
+	// / Config.TraceEvery); epoch is the monotonic base the queue-wait
+	// stamps are taken against.
+	metrics *engineMetrics
+	traces  *traceRing
+	epoch   time.Time
 
 	// mu serializes lifecycle transitions against submissions: Submit
 	// holds the read side across the queue send so Stop can only close
@@ -196,6 +220,12 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.PingPongWindowKm < 0 {
 		return nil, fmt.Errorf("serve: ping-pong window %g km must be non-negative", cfg.PingPongWindowKm)
+	}
+	if cfg.TraceEvery < 0 {
+		return nil, fmt.Errorf("serve: trace sampling interval %d must be non-negative (0 disables tracing)", cfg.TraceEvery)
+	}
+	if cfg.TraceBuffer < 0 {
+		return nil, fmt.Errorf("serve: trace buffer %d must be non-negative (0 selects the default %d)", cfg.TraceBuffer, DefaultTraceBuffer)
 	}
 	nshards := cfg.Shards
 	if nshards == 0 {
@@ -229,6 +259,18 @@ func New(cfg Config) (*Engine, error) {
 		shards:      make([]*shard, nshards),
 		perTerminal: cfg.PerTerminalAlgorithms,
 		staging:     make(chan []*[]Report, 2*nshards+8),
+		epoch:       time.Now(),
+	}
+	if cfg.Metrics != nil {
+		e.metrics = newEngineMetrics(cfg.Metrics, cfg.MetricsLabels)
+		e.registerCollector(cfg.Metrics, cfg.MetricsLabels)
+	}
+	if cfg.TraceEvery > 0 {
+		bufSize := cfg.TraceBuffer
+		if bufSize == 0 {
+			bufSize = DefaultTraceBuffer
+		}
+		e.traces = newTraceRing(bufSize)
 	}
 	for i := range e.shards {
 		s := &shard{
@@ -238,6 +280,10 @@ func New(cfg Config) (*Engine, error) {
 			store:      newTerminalStore(),
 			window:     window,
 			onDecision: cfg.OnDecision,
+			metrics:    e.metrics,
+			epoch:      e.epoch,
+			traceEvery: cfg.TraceEvery,
+			traces:     e.traces,
 		}
 		if cfg.PerTerminalAlgorithms {
 			s.newAlgo = factory
@@ -322,7 +368,11 @@ func (e *Engine) ShardOf(id TerminalID) int {
 // shard's queue is full.
 func (e *Engine) send(s *shard, buf *[]Report) {
 	s.submitted.Add(uint64(len(*buf)))
-	s.in <- shardMsg{batch: buf}
+	msg := shardMsg{batch: buf}
+	if s.metrics != nil {
+		msg.enq = int64(time.Since(s.epoch))
+	}
+	s.in <- msg
 }
 
 // Submit enqueues one report, blocking while the owning shard's queue is
@@ -396,12 +446,16 @@ func (e *Engine) TrySubmit(r Report) error {
 	s := e.shards[e.ShardOf(r.Terminal)]
 	buf := s.getBuf()
 	*buf = append(*buf, r)
+	msg := shardMsg{batch: buf}
+	if s.metrics != nil {
+		msg.enq = int64(time.Since(s.epoch))
+	}
 	// Account before the enqueue, as send does: once the report is in the
 	// queue the shard may decide it immediately, and a submitted counter
 	// that lags the send lets Stats/Flush observe processed > submitted.
 	s.submitted.Add(1)
 	select {
-	case s.in <- shardMsg{batch: buf}:
+	case s.in <- msg:
 		return nil
 	default:
 		s.submitted.Add(^uint64(0)) // roll back the optimistic accounting

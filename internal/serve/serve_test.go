@@ -282,11 +282,15 @@ func TestTrySubmitAccountingInvariant(t *testing.T) {
 	deadline := time.Now().Add(100 * time.Millisecond)
 	for time.Now().Before(deadline) {
 		for _, s := range e.shards {
-			submitted := s.submitted.Load()
 			processed := s.processed.Load()
-			// processed is read second: it can only have grown since the
-			// submitted read, so processed > submitted here proves the
-			// ordering bug, not snapshot skew.
+			submitted := s.submitted.Load()
+			// processed is read FIRST: submitted can only have grown by the
+			// time it is read (every processed report's submitted increment
+			// happened before its enqueue and is never rolled back), so
+			// processed > submitted here proves the ordering bug, not
+			// snapshot skew.  Reading submitted first would race fresh
+			// accepted submissions into the processed read and flag phantom
+			// violations.
 			if processed > submitted {
 				close(stop)
 				t.Fatalf("shard %d: processed %d > submitted %d", s.id, processed, submitted)

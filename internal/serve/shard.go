@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/handover"
 	"repro/internal/hexgrid"
@@ -124,6 +125,10 @@ func newBatchCols() *batchCols {
 type shardMsg struct {
 	batch *[]Report
 	ctl   *shardCtl
+	// enq is the enqueue timestamp (nanoseconds since the engine epoch),
+	// stamped only when metrics are enabled; the shard observes the
+	// dequeue delta as queue wait.
+	enq int64
 }
 
 // shard owns one partition of the terminal population.  All fields below
@@ -155,6 +160,24 @@ type shard struct {
 
 	onDecision func(Outcome)
 
+	// metrics/epoch mirror the engine's telemetry wiring (nil/zero when
+	// metrics are off); traceEvery/traces drive decision-trace sampling
+	// and traceSkip is the shard-local decision countdown.  stageSkip
+	// counts sub-batches toward the next sampled stage-timing observation
+	// and stageSample marks the in-flight sub-batch as sampled (see
+	// stageSampleEvery).
+	metrics     *engineMetrics
+	epoch       time.Time
+	traceEvery  int
+	traceSkip   int
+	traces      *traceRing
+	stageSkip   int
+	stageSample bool
+	// verdictLocal tallies decision verdicts within the current
+	// sub-batch (shard-goroutine only); flushVerdicts publishes it into
+	// the readable verdicts atomics once per sub-batch.
+	verdictLocal [numVerdicts]uint64
+
 	// submitted is written by producers; the remaining counters by the
 	// shard goroutine.
 	submitted  atomic.Uint64
@@ -164,6 +187,7 @@ type shard struct {
 	pingpongs  atomic.Uint64
 	errors     atomic.Uint64
 	nTerminals atomic.Uint64
+	verdicts   [numVerdicts]atomic.Uint64
 }
 
 // run drains the ingest queue until it is closed, returning emptied
@@ -176,6 +200,20 @@ func (s *shard) run() {
 			s.handleCtl(msg.ctl)
 			continue
 		}
+		var start int64
+		if m := s.metrics; m != nil {
+			// Stage timings are sampled 1-in-stageSampleEvery sub-batches:
+			// the histograms stay faithful distributions while the hot loop
+			// pays the clock reads and the contended histogram atomics on a
+			// small fraction of sub-batches.
+			s.stageSkip++
+			s.stageSample = s.stageSkip >= stageSampleEvery
+			if s.stageSample {
+				s.stageSkip = 0
+				start = int64(time.Since(s.epoch))
+				m.queueWait.Observe(uint64(start - msg.enq))
+			}
+		}
 		batch := msg.batch
 		if s.scorer != nil && len(*batch) > 1 {
 			s.processColumnar(*batch)
@@ -185,6 +223,12 @@ func (s *shard) run() {
 			}
 		}
 		s.processed.Add(uint64(len(*batch)))
+		if m := s.metrics; m != nil {
+			if s.stageSample {
+				m.service.Observe(uint64(int64(time.Since(s.epoch)) - start))
+			}
+			s.flushVerdicts()
+		}
 		s.putBuf(batch)
 	}
 }
@@ -212,7 +256,16 @@ func (s *shard) processColumnar(batch []Report) {
 		c.dmb[i] = m.DMBNorm
 		c.speed[i] = m.SpeedKmh
 	}
-	if err := s.scorer.ScoreBatch(c.serving[:n], c.cssp[:n], c.ssn[:n], c.dmb[:n], c.speed[:n], c.hd[:n], c.status[:n]); err != nil {
+	var scoreStart int64
+	sampled := s.metrics != nil && s.stageSample
+	if sampled {
+		scoreStart = int64(time.Since(s.epoch))
+	}
+	err := s.scorer.ScoreBatch(c.serving[:n], c.cssp[:n], c.ssn[:n], c.dmb[:n], c.speed[:n], c.hd[:n], c.status[:n])
+	if sampled {
+		s.metrics.score.Observe(uint64(int64(time.Since(s.epoch)) - scoreStart))
+	}
+	if err != nil {
 		// Shape errors cannot happen with shard-owned columns; fall back
 		// to the per-report path rather than dropping the sub-batch.
 		for i := range batch {
@@ -358,8 +411,18 @@ func (s *shard) commit(r *Report, t *terminal, algo handover.Algorithm, dec hand
 		t.prevDB = m.ServingDB
 		t.havePrev = true
 	}
+	if s.metrics != nil {
+		s.classifyVerdict(&dec, err, executed)
+	}
 	seq := t.seq
 	t.seq++
+	if s.traceEvery > 0 {
+		s.traceSkip++
+		if s.traceSkip >= s.traceEvery {
+			s.traceSkip = 0
+			s.captureTrace(r, algo, &dec, err, executed, pingPong, seq)
+		}
+	}
 	if s.onDecision != nil {
 		s.onDecision(Outcome{
 			Terminal: r.Terminal,

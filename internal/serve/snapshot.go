@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"strconv"
+	"time"
 
 	"repro/internal/hexgrid"
 )
@@ -378,11 +379,16 @@ func (e *Engine) snapshotWhere(pred func(TerminalID) bool, remove bool) ([]Termi
 	if e.perTerminal {
 		return nil, ErrStatefulAlgorithms
 	}
+	start := time.Now()
 	ctls := make([]*shardCtl, len(e.shards))
 	for i := range ctls {
 		ctls[i] = &shardCtl{pred: pred, remove: remove}
 	}
-	return e.runCtls(ctls)
+	snaps, err := e.runCtls(ctls)
+	if e.metrics != nil {
+		e.metrics.snapshot.ObserveDuration(time.Since(start))
+	}
+	return snaps, err
 }
 
 // SnapshotTerminals captures the decision state of every live terminal
@@ -421,6 +427,7 @@ func (e *Engine) RestoreSnapshots(snaps []TerminalSnapshot) error {
 			return err
 		}
 	}
+	start := time.Now()
 	ctls := make([]*shardCtl, len(e.shards))
 	for i := range ctls {
 		ctls[i] = &shardCtl{}
@@ -430,5 +437,8 @@ func (e *Engine) RestoreSnapshots(snaps []TerminalSnapshot) error {
 		ctls[idx].install = append(ctls[idx].install, s)
 	}
 	_, err := e.runCtls(ctls)
+	if e.metrics != nil {
+		e.metrics.restore.ObserveDuration(time.Since(start))
+	}
 	return err
 }

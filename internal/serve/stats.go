@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StatsReporter is the shared stats printer of the serving CLIs
+// (hoserve, hocluster) — the -stats loop and the end-of-run dump both
+// binaries used to carry as diverging copies.  The loop line is
+// rendered from the obs registry every daemon now carries, so whatever
+// is on /metrics is what lands on stderr.
+type StatsReporter struct {
+	// Name prefixes every stderr line ("hoserve", "hocluster").
+	Name string
+	// Registry is the process registry the loop line renders from.
+	Registry *obs.Registry
+	// DecisionsCounter names the counter whose per-interval delta is the
+	// throughput figure (e.g. "serve_decisions_total").
+	DecisionsCounter string
+	// Service, when non-nil, appends the histogram's per-interval
+	// p50/p99 (windowed via SnapshotDelta semantics) to each loop line.
+	Service *obs.Histogram
+	// Units returns the per-unit lines of the final dump (per shard,
+	// per node); Totals returns the aggregate line.
+	Units  func() []string
+	Totals func() string
+}
+
+// Loop prints one throughput-and-counters line per tick until stop
+// closes.  Rates and quantiles are per interval, not cumulative.
+func (sr *StatsReporter) Loop(every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var last uint64
+	var prevSvc obs.HistogramSnapshot
+	if sr.Service != nil {
+		prevSvc = sr.Service.Snapshot()
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		line, decisions := sr.renderCounters()
+		rate := float64(decisions-last) / every.Seconds()
+		last = decisions
+		if sr.Service != nil {
+			cur := sr.Service.Snapshot()
+			d := cur.Delta(&prevSvc)
+			prevSvc = cur
+			line += fmt.Sprintf(" batch_p50=%s batch_p99=%s",
+				time.Duration(d.Quantile(0.5)), time.Duration(d.Quantile(0.99)))
+		}
+		fmt.Fprintf(os.Stderr, "%s: %.0f decisions/sec |%s\n", sr.Name, rate, line)
+	}
+}
+
+// renderCounters aggregates the registry's counters and gauges into one
+// compact key=value line.  Points are summed across the "node" label (a
+// multi-engine process reports cluster totals here; the per-node view
+// lives on /metrics) and per-shard gauges are left to the endpoint; any
+// other label is folded into the key ("verdicts/execute-handover").
+func (sr *StatsReporter) renderCounters() (string, uint64) {
+	points := sr.Registry.Export()
+	agg := make(map[string]float64, len(points))
+	order := make([]string, 0, len(points))
+	var decisions float64
+	for _, p := range points {
+		if p.Name == sr.DecisionsCounter {
+			decisions += p.Value
+		}
+		if p.Kind == obs.KindHistogram {
+			continue
+		}
+		key := shortMetricName(p.Name)
+		skip := false
+		for _, l := range p.Labels {
+			switch l.Key {
+			case "node":
+				// Aggregate across nodes.
+			case "shard":
+				skip = true
+			default:
+				key += "/" + l.Value
+			}
+		}
+		if skip {
+			continue
+		}
+		if _, ok := agg[key]; !ok {
+			order = append(order, key)
+		}
+		agg[key] += p.Value
+	}
+	var sb strings.Builder
+	for _, key := range order {
+		fmt.Fprintf(&sb, " %s=%g", key, agg[key])
+	}
+	return sb.String(), uint64(decisions)
+}
+
+// shortMetricName compresses "serve_decisions_total" to "decisions" for
+// the stderr line; /metrics keeps the full names.
+func shortMetricName(name string) string {
+	if i := strings.IndexByte(name, '_'); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.TrimSuffix(name, "_total")
+}
+
+// Print writes the end-of-run dump: one line per unit, then the total.
+func (sr *StatsReporter) Print() {
+	if sr.Units != nil {
+		for _, u := range sr.Units() {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", sr.Name, u)
+		}
+	}
+	if sr.Totals != nil {
+		fmt.Fprintf(os.Stderr, "%s: total: %s\n", sr.Name, sr.Totals())
+	}
+}

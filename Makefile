@@ -64,15 +64,48 @@ cluster-smoke:
 			| /tmp/fuzzyho-hocluster -nodes 127.0.0.1:7191,127.0.0.1:7192'
 
 # Race-enabled membership chaos: kill/restart and leave/join of TCP nodes
-# mid-replay (state migrating over the wire), the reconnect-vs-drain
-# takeover regression, and the hoload -churn path growing and shrinking
-# an in-process cluster under live load.  Asserts zero lost terminal
-# state and byte-identical decision sequences.
+# mid-replay (state migrating over the wire), the ROUTER itself killed
+# mid-migration and restarted from its intent journal, submissions
+# overlapping an in-flight migration, membership ops over the wire
+# control plane, the reconnect-vs-drain takeover regression, and the
+# hoload -churn path growing and shrinking an in-process cluster under
+# live load.  Asserts zero lost terminal state and byte-identical
+# decision sequences.  The shell leg then drives the operator surface
+# end to end: runtime addnode/removenode through the admin HTTP
+# endpoints, kill -9 of the router, and a restart on the same journal
+# recovering the changed membership.
 cluster-chaos-smoke:
 	$(GO) test -race -count=1 \
-		-run 'TestTCPMembershipEquivalence|TestTCPNodeKillRestartRecovers|TestLocalMembershipEquivalence|TestBindingTakeoverByIdentity|TestNodeClientIdentityTakeover' \
+		-run 'TestTCPMembershipEquivalence|TestTCPNodeKillRestartRecovers|TestTCPRouterKillRestartResumesFromJournal|TestLocalMembershipEquivalence|TestLocalMigrationOverlapsSubmissions|TestDaemonMembershipCtlOps|TestBindingTakeoverByIdentity|TestNodeClientIdentityTakeover' \
 		./internal/cluster ./internal/serve
 	$(GO) run -race ./cmd/hoload -terminals 256 -shards 2 -cluster 2 -duration 1s -churn 250ms -replicas 2 -speeds 0,30 -compiled
+	$(GO) build -o /tmp/fuzzyho-hoserve ./cmd/hoserve
+	$(GO) build -o /tmp/fuzzyho-hocluster ./cmd/hocluster
+	sh -ec '\
+		rm -f /tmp/fuzzyho-chaos-journal.jsonl; \
+		/tmp/fuzzyho-hoserve -listen 127.0.0.1:7291 -compiled & N1=$$!; \
+		/tmp/fuzzyho-hoserve -listen 127.0.0.1:7292 -compiled & N2=$$!; \
+		/tmp/fuzzyho-hoserve -listen 127.0.0.1:7293 -compiled & N3=$$!; \
+		trap "kill $$N1 $$N2 $$N3 2>/dev/null || true" EXIT; \
+		sleep 1; \
+		/tmp/fuzzyho-hocluster -nodes 127.0.0.1:7291,127.0.0.1:7292 \
+			-journal /tmp/fuzzyho-chaos-journal.jsonl \
+			-listen 127.0.0.1:7290 -admin 127.0.0.1:7294 & RTR=$$!; \
+		trap "kill $$N1 $$N2 $$N3 $$RTR 2>/dev/null || true" EXIT; \
+		sleep 1; \
+		curl -fsS -X POST "http://127.0.0.1:7294/admin/addnode?addr=127.0.0.1:7293" \
+			| grep -q "\"node\": 2"; \
+		curl -fsS -X POST "http://127.0.0.1:7294/admin/removenode?node=0" \
+			| grep -q "\"ok\": true"; \
+		kill -9 $$RTR; sleep 1; \
+		/tmp/fuzzyho-hocluster -nodes 127.0.0.1:7291,127.0.0.1:7292 \
+			-journal /tmp/fuzzyho-chaos-journal.jsonl \
+			-listen 127.0.0.1:7290 -admin 127.0.0.1:7294 & RTR=$$!; \
+		trap "kill $$N1 $$N2 $$N3 $$RTR 2>/dev/null || true" EXIT; \
+		sleep 1; \
+		curl -fsS http://127.0.0.1:7294/statusz >/tmp/fuzzyho-chaos-statusz.json; \
+		grep -q "\"Addr\": \"127.0.0.1:7293\"" /tmp/fuzzyho-chaos-statusz.json; \
+		! grep -q "\"Addr\": \"127.0.0.1:7291\"" /tmp/fuzzyho-chaos-statusz.json'
 
 # End-to-end scrape of the admin plane: boot hoserve with -admin and
 # decision tracing, feed it reports, then assert /healthz answers,
@@ -102,5 +135,6 @@ fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseBatchLine -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzOutcomeRoundTrip -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseCtlLine -fuzztime 10s
 
 ci: vet build test race load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke

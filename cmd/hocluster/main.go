@@ -46,10 +46,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -63,23 +66,43 @@ import (
 // admin /metrics endpoint fans out over the TCP backend.
 const scrapeTimeout = 5 * time.Second
 
+// lastSnapshot is the unix-nano time of the last successful background
+// snapshot write (0: never), surfaced on /statusz as snapshot age.
+var lastSnapshot atomic.Int64
+
+// snapshotStatus is the /statusz snapshot-age payload.
+func snapshotStatus() map[string]any {
+	ns := lastSnapshot.Load()
+	if ns == 0 {
+		return map[string]any{"taken": false}
+	}
+	return map[string]any{
+		"taken":   true,
+		"unix_ns": ns,
+		"age_sec": time.Since(time.Unix(0, ns)).Seconds(),
+	}
+}
+
 func main() {
 	var (
-		nodesCS  = flag.String("nodes", "", "comma-separated hoserve node addresses (TCP backend)")
-		local    = flag.Int("local", 0, "run N in-process engine nodes instead of -nodes")
-		shards   = flag.Int("shards", runtime.GOMAXPROCS(0), "shards per in-process node")
-		queue    = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth of in-process nodes (messages)")
-		nodeQ    = flag.Int("node-queue", serve.DefaultNodeQueueDepth, "per-node send queue of the TCP backend (lines)")
-		vnodes   = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per ring member")
-		window   = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km (in-process nodes)")
-		algo     = flag.String("algo", "fuzzy", "decision algorithm of in-process nodes: fuzzy or adaptive")
-		compiled = flag.Bool("compiled", false, "in-process nodes decide on the compiled control surface")
-		listen   = flag.String("listen", "", "TCP listen address of the front door (empty: stdin/stdout)")
-		statsSec = flag.Float64("stats", 0, "print cluster stats to stderr every N seconds (0: off)")
-		flushSec = flag.Float64("flush-timeout", 30, "seconds to wait for outstanding decisions at shutdown")
-		snapFile = flag.String("snapshot", "", "write a whole-cluster terminal snapshot file on clean shutdown (-local only)")
-		restFile = flag.String("restore", "", "restore a whole-cluster terminal snapshot file before serving (-local only)")
-		adminCfg = flag.String("admin", "", "admin HTTP listen address serving /metrics /statusz /healthz (empty: off)")
+		nodesCS    = flag.String("nodes", "", "comma-separated hoserve node addresses (TCP backend)")
+		local      = flag.Int("local", 0, "run N in-process engine nodes instead of -nodes")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "shards per in-process node")
+		queue      = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth of in-process nodes (messages)")
+		nodeQ      = flag.Int("node-queue", serve.DefaultNodeQueueDepth, "per-node send queue of the TCP backend (lines)")
+		vnodes     = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per ring member")
+		window     = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km (in-process nodes)")
+		algo       = flag.String("algo", "fuzzy", "decision algorithm of in-process nodes: fuzzy or adaptive")
+		compiled   = flag.Bool("compiled", false, "in-process nodes decide on the compiled control surface")
+		listen     = flag.String("listen", "", "TCP listen address of the front door (empty: stdin/stdout)")
+		statsSec   = flag.Float64("stats", 0, "print cluster stats to stderr every N seconds (0: off)")
+		flushSec   = flag.Float64("flush-timeout", 30, "seconds to wait for outstanding decisions at shutdown")
+		snapFile   = flag.String("snapshot", "", "write a whole-cluster terminal snapshot file on clean shutdown (-local only)")
+		snapEvery  = flag.Duration("snapshot-every", 0, "also write the -snapshot file periodically in the background (0: off; -local only)")
+		snapDecide = flag.Int("snapshot-decisions", 0, "also write the -snapshot file every N decisions (0: off; -local only)")
+		restFile   = flag.String("restore", "", "restore a whole-cluster terminal snapshot file before serving (-local only)")
+		journal    = flag.String("journal", "", "migration intent journal path: membership changes become crash-safe and survive router restarts (TCP backend only)")
+		adminCfg   = flag.String("admin", "", "admin HTTP listen address serving /metrics /statusz /healthz and POST /admin/addnode|removenode (empty: off)")
 	)
 	flag.Parse()
 	addrs := splitNonEmpty(*nodesCS)
@@ -96,13 +119,19 @@ func main() {
 	if (*snapFile != "" || *restFile != "") && *local == 0 {
 		fatal(fmt.Errorf("-snapshot/-restore need the in-process backend (-local N); TCP nodes persist themselves via hoserve -snapshot/-restore"))
 	}
+	if (*snapEvery > 0 || *snapDecide > 0) && *snapFile == "" {
+		fatal(fmt.Errorf("-snapshot-every/-snapshot-decisions require -snapshot"))
+	}
+	if *journal != "" && *local != 0 {
+		fatal(fmt.Errorf("-journal needs the TCP backend (-nodes); the in-process backend has no daemons to recover state from after a crash"))
+	}
 
 	mux := serve.NewDecisionMux()
 	// The registry carries the router's cluster_node_* counters always,
 	// and — on the in-process backend — every member engine's own
 	// instruments, labeled node="<id>".
 	reg := obs.NewRegistry()
-	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, mux, reg)
+	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, *journal, mux, reg)
 	if err != nil {
 		fatal(err)
 	}
@@ -112,6 +141,57 @@ func main() {
 		if err := restoreCluster(router.(*cluster.Local), *restFile); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Runtime membership ops, exposed on both operator surfaces: the wire
+	// control plane ({"ctl":"addnode"} on the front door) and the admin
+	// HTTP endpoints (POST /admin/addnode).  The TCP backend joins a
+	// running hoserve daemon by address; the in-process backend starts a
+	// fresh engine (no address to give).
+	addNode := func(addr string) (int, error) {
+		switch r := router.(type) {
+		case *cluster.TCP:
+			if addr == "" {
+				return 0, fmt.Errorf("addnode: the TCP backend needs the joining daemon's address")
+			}
+			return r.AddNode(addr)
+		case *cluster.Local:
+			if addr != "" {
+				return 0, fmt.Errorf("addnode: the in-process backend starts its own engine; do not pass an address")
+			}
+			return r.AddNode()
+		default:
+			return 0, fmt.Errorf("addnode: unsupported router backend")
+		}
+	}
+	removeNode := func(node int) error {
+		switch r := router.(type) {
+		case *cluster.TCP:
+			return r.RemoveNode(node)
+		case *cluster.Local:
+			return r.RemoveNode(node)
+		default:
+			return fmt.Errorf("removenode: unsupported router backend")
+		}
+	}
+
+	if *snapEvery > 0 || *snapDecide > 0 {
+		l := router.(*cluster.Local) // -local enforced above
+		snapper := &serve.Snapshotter{
+			Every:          *snapEvery,
+			EveryDecisions: uint64(*snapDecide),
+			Snapshot:       l.SnapshotAll,
+			Decisions:      func() uint64 { return router.Stats().Totals().Decisions },
+			Write: func(snaps []serve.TerminalSnapshot) error {
+				if err := serve.WriteSnapshotFile(*snapFile, snaps); err != nil {
+					return err
+				}
+				lastSnapshot.Store(time.Now().UnixNano())
+				return nil
+			},
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "hocluster: snapshot:", err) },
+		}
+		go snapper.Run(nil)
 	}
 
 	reporter := &serve.StatsReporter{
@@ -141,9 +221,29 @@ func main() {
 			Registry: reg,
 			Status: func() any {
 				return map[string]any{
-					"cluster": cluster.StatusOf(router),
-					"claims":  mux.Claims(),
+					"cluster":  cluster.StatusOf(router),
+					"claims":   mux.Claims(),
+					"snapshot": snapshotStatus(),
 				}
+			},
+			Ops: map[string]func(r *http.Request) (any, error){
+				"addnode": func(r *http.Request) (any, error) {
+					id, err := addNode(r.FormValue("addr"))
+					if err != nil {
+						return nil, err
+					}
+					return map[string]any{"node": id, "members": router.Members()}, nil
+				},
+				"removenode": func(r *http.Request) (any, error) {
+					node, err := strconv.Atoi(r.FormValue("node"))
+					if err != nil {
+						return nil, fmt.Errorf("removenode: node=%q: %w", r.FormValue("node"), err)
+					}
+					if err := removeNode(node); err != nil {
+						return nil, err
+					}
+					return map[string]any{"node": node, "members": router.Members()}, nil
+				},
 			},
 		}
 		if t, ok := router.(*cluster.TCP); ok {
@@ -178,6 +278,8 @@ func main() {
 		Stats: func() serve.WireStats {
 			return serve.WireStats{Points: reg.Export()}
 		},
+		AddNode:    addNode,
+		RemoveNode: removeNode,
 	}
 	if *listen == "" {
 		runStdio(router, daemon, reporter, *snapFile)
@@ -217,22 +319,7 @@ func snapshotCluster(router cluster.Router, path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	if err := serve.WriteSnapshots(f, snaps); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("snapshot %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("snapshot %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := serve.WriteSnapshotFile(path, snaps); err != nil {
 		return fmt.Errorf("snapshot %s: %w", path, err)
 	}
 	fmt.Fprintf(os.Stderr, "hocluster: wrote %d terminal snapshots to %s\n", len(snaps), path)
@@ -240,12 +327,13 @@ func snapshotCluster(router cluster.Router, path string) error {
 }
 
 func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
-	window float64, algo string, compiled bool, mux *serve.DecisionMux, reg *obs.Registry) (cluster.Router, error) {
+	window float64, algo string, compiled bool, journal string, mux *serve.DecisionMux, reg *obs.Registry) (cluster.Router, error) {
 	if len(addrs) > 0 {
 		return cluster.DialTCP(cluster.TCPConfig{
 			Addrs:        addrs,
 			VirtualNodes: vnodes,
 			QueueDepth:   nodeQ,
+			Journal:      journal,
 			OnDecision:   func(_ int, o serve.Outcome) { mux.Route(o) },
 			OnError: func(node int, err error) {
 				fmt.Fprintf(os.Stderr, "hocluster: node %d: %v\n", node, err)

@@ -360,18 +360,20 @@ func churnLoop(router *fuzzyho.LocalCluster, every time.Duration, stop <-chan st
 		case <-t.C:
 		}
 		if grow {
+			start := time.Now()
 			id, err := router.AddNode()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "hoload: churn add:", err)
 			} else {
-				fmt.Fprintf(os.Stderr, "hoload: churn: added node %d (members %v)\n", id, router.Members())
+				fmt.Fprintf(os.Stderr, "hoload: churn: added node %d in %v (members %v)\n", id, time.Since(start).Round(time.Millisecond), router.Members())
 			}
 		} else if members := router.Members(); len(members) > 1 {
 			id := members[0]
+			start := time.Now()
 			if err := router.RemoveNode(id); err != nil {
 				fmt.Fprintln(os.Stderr, "hoload: churn remove:", err)
 			} else {
-				fmt.Fprintf(os.Stderr, "hoload: churn: removed node %d (members %v)\n", id, router.Members())
+				fmt.Fprintf(os.Stderr, "hoload: churn: removed node %d in %v (members %v)\n", id, time.Since(start).Round(time.Millisecond), router.Members())
 			}
 		}
 		grow = !grow

@@ -78,19 +78,21 @@ var lastSnapshot atomic.Int64
 
 func main() {
 	var (
-		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards (state partitions)")
-		queue     = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth (messages)")
-		window    = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
-		listen    = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
-		statsSec  = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
-		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
-		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
-		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
-		snapFile  = flag.String("snapshot", "", "write a whole-node terminal snapshot file on clean shutdown (empty: off)")
-		restFile  = flag.String("restore", "", "restore a whole-node terminal snapshot file before serving (empty: off)")
-		adminAddr = flag.String("admin", "", "admin HTTP listen address serving /metrics /statusz /healthz /tracez (empty: off)")
-		traceEvry = flag.Int("trace-every", 0, "sample every Nth decision per shard into the /tracez ring (0: off)")
-		traceBuf  = flag.Int("trace-buffer", 0, "decision-trace ring capacity (0: default)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "engine shards (state partitions)")
+		queue      = flag.Int("queue", serve.DefaultQueueDepth, "per-shard queue depth (messages)")
+		window     = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
+		listen     = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
+		statsSec   = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
+		algo       = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
+		compiled   = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
+		pprofHost  = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
+		snapFile   = flag.String("snapshot", "", "write a whole-node terminal snapshot file on clean shutdown (empty: off)")
+		snapEvery  = flag.Duration("snapshot-every", 0, "also write the -snapshot file periodically in the background (0: off)")
+		snapDecide = flag.Int("snapshot-decisions", 0, "also write the -snapshot file every N decisions (0: off)")
+		restFile   = flag.String("restore", "", "restore a whole-node terminal snapshot file before serving (empty: off)")
+		adminAddr  = flag.String("admin", "", "admin HTTP listen address serving /metrics /statusz /healthz /tracez (empty: off)")
+		traceEvry  = flag.Int("trace-every", 0, "sample every Nth decision per shard into the /tracez ring (0: off)")
+		traceBuf   = flag.Int("trace-buffer", 0, "decision-trace ring capacity (0: default)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -206,7 +208,31 @@ func main() {
 			return serve.WireStats{Shards: engine.Stats().Shards, Points: reg.Export()}
 		},
 	}
-	daemon.Extract, daemon.Restore = cluster.MigrationHooks(engine)
+	daemon.Extract, daemon.Restore, daemon.Release = cluster.MigrationHooks(engine)
+
+	if *snapEvery > 0 || *snapDecide > 0 {
+		if *snapFile == "" {
+			fatal(fmt.Errorf("-snapshot-every/-snapshot-decisions require -snapshot"))
+		}
+		snapper := &serve.Snapshotter{
+			Every:          *snapEvery,
+			EveryDecisions: uint64(*snapDecide),
+			// SnapshotTerminals rides the shard queues, so the background
+			// snapshot is consistent without stalling ingest on a Flush.
+			Snapshot:  engine.SnapshotTerminals,
+			Decisions: func() uint64 { return engine.Stats().Totals().Decisions },
+			Write: func(snaps []serve.TerminalSnapshot) error {
+				if err := serve.WriteSnapshotFile(*snapFile, snaps); err != nil {
+					return err
+				}
+				lastSnapshot.Store(time.Now().UnixNano())
+				return nil
+			},
+			OnError: func(err error) { fmt.Fprintln(os.Stderr, "hoserve: snapshot:", err) },
+		}
+		go snapper.Run(nil)
+	}
+
 	if *listen == "" {
 		runStdio(engine, daemon, reporter, *snapFile)
 		return
@@ -255,22 +281,7 @@ func snapshotNode(engine *serve.Engine, path string) error {
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("snapshot: %w", err)
-	}
-	if err := serve.WriteSnapshots(f, snaps); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("snapshot %s: %w", path, err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("snapshot %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := serve.WriteSnapshotFile(path, snaps); err != nil {
 		return fmt.Errorf("snapshot %s: %w", path, err)
 	}
 	lastSnapshot.Store(time.Now().UnixNano())

@@ -431,12 +431,13 @@ func NewClusterRingMembers(members []int, virtualNodes int) (*ClusterRing, error
 	return cluster.NewRingMembers(members, virtualNodes)
 }
 
-// ClusterMigrationHooks returns serve.Daemon Extract/Restore hooks that
-// serve the snapshot control plane for an engine, as hoserve wires them;
-// see cluster.MigrationHooks.
+// ClusterMigrationHooks returns serve.Daemon Extract/Restore/Release
+// hooks that serve the two-phase snapshot control plane for an engine,
+// as hoserve wires them; see cluster.MigrationHooks.
 func ClusterMigrationHooks(e *ServeEngine) (
-	extract func(members []int, vnodes, self int) ([]TerminalSnapshot, error),
-	restore func([]TerminalSnapshot) error,
+	extract func(members []int, vnodes, self int, keep bool) ([]TerminalSnapshot, error),
+	restore func(snaps []TerminalSnapshot, skipLive bool) error,
+	release func(members []int, vnodes, self int) (int, error),
 ) {
 	return cluster.MigrationHooks(e)
 }

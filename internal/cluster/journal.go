@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// The migration intent journal makes membership changes crash-safe: the
+// daemons hold the state, the journal holds the intent.  It is a
+// newline-JSON file of three record kinds:
+//
+//	{"j":"checkpoint","members":[0,1],"addrs":{"0":"...","1":"..."},"next_id":2}
+//	{"j":"intent","op":"addnode","node":2,"addr":"...","members":[0,1],"new_members":[0,1,2],"vnodes":128}
+//	{"j":"phase","phase":"moved","source":0,"count":37}
+//	{"j":"phase","phase":"cutover"}
+//
+// A checkpoint is always the first record — Checkpoint rewrites the
+// whole file atomically (temp + fsync + rename), which is also how a
+// completed change truncates its intent.  The intent record is appended
+// and fsync'd BEFORE the first snapshot moves; phase records track
+// progress; the cutover phase commits the change.  On restart, a journal
+// that still carries an intent is replayed: no cutover → roll back (pull
+// the copies off the destination, old membership stands), cutover → roll
+// forward (finish the idempotent copy/restore/release sweep).  A torn
+// final line — the append the crash interrupted — is ignored: fsync
+// ordering guarantees every decision-relevant record before it is whole.
+
+// IntentRecord names one membership change before any state moves.
+type IntentRecord struct {
+	// Op is "addnode" or "removenode"; Node the member joining or
+	// leaving; Addr its dial address (the only place a joining member's
+	// address is recorded before it is committed).
+	Op   string `json:"op"`
+	Node int    `json:"node"`
+	Addr string `json:"addr,omitempty"`
+	// Members is the pre-change membership, NewMembers the post-change
+	// one, VNodes the ring's virtual-node count — everything recovery
+	// needs to rebuild both rings without the dead router's memory.
+	Members    []int `json:"members"`
+	NewMembers []int `json:"new_members"`
+	VNodes     int   `json:"vnodes"`
+}
+
+// PhaseRecord is one progress mark inside an intent: "moved" after a
+// source's arcs landed on their destination (Source/Count say whose and
+// how many), "cutover" when the change committed.
+type PhaseRecord struct {
+	Phase  string `json:"phase"`
+	Source int    `json:"source,omitempty"`
+	Count  int    `json:"count,omitempty"`
+}
+
+// JournalState is what OpenJournal recovered from an existing file.
+type JournalState struct {
+	// HasCheckpoint reports a checkpoint record was present; Members,
+	// Addrs and NextID are its contents — the durable membership that
+	// supersedes whatever static configuration the router restarted with.
+	HasCheckpoint bool
+	Members       []int
+	Addrs         map[int]string
+	NextID        int
+	// Intent is the pending (non-truncated) membership change, nil when
+	// the last change completed; Cutover whether it committed; Phases the
+	// progress marks recorded before the crash.
+	Intent  *IntentRecord
+	Cutover bool
+	Phases  []PhaseRecord
+}
+
+type journalCheckpoint struct {
+	Kind    string            `json:"j"`
+	Members []int             `json:"members"`
+	Addrs   map[string]string `json:"addrs,omitempty"`
+	NextID  int               `json:"next_id"`
+}
+
+type journalIntent struct {
+	Kind string `json:"j"`
+	IntentRecord
+}
+
+type journalPhase struct {
+	Kind string `json:"j"`
+	PhaseRecord
+}
+
+// Journal is the append handle.  All writes fsync before returning, so a
+// record that was "written" survives any later crash.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+}
+
+// OpenJournal opens (or creates) the journal at path and parses whatever
+// a previous router left in it.  A structurally bad record anywhere but
+// the final line is corruption and fails the open — recovering from a
+// journal that lies is worse than not recovering.
+func OpenJournal(path string) (*Journal, JournalState, error) {
+	var st JournalState
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, st, fmt.Errorf("cluster: journal %s: %w", path, err)
+	}
+	if err == nil {
+		if st, err = parseJournal(data); err != nil {
+			return nil, JournalState{}, fmt.Errorf("cluster: journal %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, st, fmt.Errorf("cluster: journal %s: %w", path, err)
+	}
+	return &Journal{path: path, f: f}, st, nil
+}
+
+// parseJournal folds the record stream into the recovered state.
+func parseJournal(data []byte) (JournalState, error) {
+	var st JournalState
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var lines [][]byte
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	for i, line := range lines {
+		var kind struct {
+			Kind string `json:"j"`
+		}
+		bad := func(err error) (JournalState, error) {
+			return JournalState{}, fmt.Errorf("record %d: %w", i+1, err)
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			if i == len(lines)-1 {
+				// The append a crash tore mid-line; everything durable
+				// precedes it.
+				break
+			}
+			return bad(err)
+		}
+		switch kind.Kind {
+		case "checkpoint":
+			var c journalCheckpoint
+			if err := json.Unmarshal(line, &c); err != nil {
+				return bad(err)
+			}
+			st = JournalState{HasCheckpoint: true, Members: c.Members, NextID: c.NextID}
+			if c.Addrs != nil {
+				st.Addrs = make(map[int]string, len(c.Addrs))
+				for k, a := range c.Addrs {
+					id, err := strconv.Atoi(k)
+					if err != nil {
+						return bad(fmt.Errorf("checkpoint addr key %q: %w", k, err))
+					}
+					st.Addrs[id] = a
+				}
+			}
+		case "intent":
+			var in journalIntent
+			if err := json.Unmarshal(line, &in); err != nil {
+				return bad(err)
+			}
+			if st.Intent != nil {
+				return bad(fmt.Errorf("second intent (%s node %d) before the first completed", in.Op, in.Node))
+			}
+			rec := in.IntentRecord
+			st.Intent = &rec
+		case "phase":
+			var p journalPhase
+			if err := json.Unmarshal(line, &p); err != nil {
+				return bad(err)
+			}
+			if st.Intent == nil {
+				return bad(fmt.Errorf("phase %q with no intent", p.Phase))
+			}
+			if p.Phase == "cutover" {
+				st.Cutover = true
+			} else {
+				st.Phases = append(st.Phases, p.PhaseRecord)
+			}
+		default:
+			return bad(fmt.Errorf("unknown record kind %q", kind.Kind))
+		}
+	}
+	return st, nil
+}
+
+// append marshals one record, appends it and fsyncs.
+func (j *Journal) append(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: journal %s: %w", j.path, err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("cluster: journal %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("cluster: journal %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Intent durably records a membership change before any state moves.
+func (j *Journal) Intent(rec IntentRecord) error {
+	return j.append(journalIntent{Kind: "intent", IntentRecord: rec})
+}
+
+// Phase durably records migration progress inside the current intent.
+func (j *Journal) Phase(rec PhaseRecord) error {
+	return j.append(journalPhase{Kind: "phase", PhaseRecord: rec})
+}
+
+// Cutover durably commits the current intent: recovery past this record
+// rolls the change forward instead of back.
+func (j *Journal) Cutover() error {
+	return j.Phase(PhaseRecord{Phase: "cutover"})
+}
+
+// Checkpoint atomically rewrites the journal to a single checkpoint
+// record carrying the (post-change) membership — which is also how a
+// completed or rolled-back change truncates its intent.  The rewrite
+// goes through a fsync'd temp file and a rename, then reopens the append
+// handle (the old descriptor points at the replaced inode) and fsyncs
+// the directory so the rename itself is durable.
+func (j *Journal) Checkpoint(members []int, addrs map[int]string, nextID int) error {
+	rec := journalCheckpoint{Kind: "checkpoint", Members: members, NextID: nextID}
+	if addrs != nil {
+		rec.Addrs = make(map[string]string, len(addrs))
+		for id, a := range addrs {
+			rec.Addrs[strconv.Itoa(id)] = a
+		}
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("cluster: journal %s: %w", j.path, err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dir, base := filepath.Split(j.path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cluster: journal %s: %w", j.path, err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(b)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, j.path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: journal %s: %w", j.path, err)
+	}
+	j.f.Close()
+	if j.f, err = os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		return fmt.Errorf("cluster: journal %s: reopen after checkpoint: %w", j.path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Close releases the append handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalRoundTrip pins the journal's happy path: checkpoint +
+// intent + phases written by one handle are recovered verbatim by the
+// next open, and a completing checkpoint truncates the intent.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasCheckpoint || st.Intent != nil {
+		t.Fatalf("fresh journal recovered %+v, want empty state", st)
+	}
+	addrs := map[int]string{0: "127.0.0.1:7291", 1: "127.0.0.1:7292"}
+	if err := j.Checkpoint([]int{0, 1}, addrs, 2); err != nil {
+		t.Fatal(err)
+	}
+	intent := IntentRecord{
+		Op: "addnode", Node: 2, Addr: "127.0.0.1:7293",
+		Members: []int{0, 1}, NewMembers: []int{0, 1, 2}, VNodes: 128,
+	}
+	if err := j.Intent(intent); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Phase(PhaseRecord{Phase: "moved", Source: 0, Count: 37}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the crash-recovery read.
+	j2, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.HasCheckpoint || !equalInts(st.Members, []int{0, 1}) || st.NextID != 2 {
+		t.Fatalf("checkpoint state %+v, want members [0 1] nextID 2", st)
+	}
+	if len(st.Addrs) != 2 || st.Addrs[0] != addrs[0] || st.Addrs[1] != addrs[1] {
+		t.Fatalf("addrs %v, want %v", st.Addrs, addrs)
+	}
+	if st.Intent == nil || st.Cutover {
+		t.Fatalf("state %+v, want pending non-cutover intent", st)
+	}
+	if got := *st.Intent; got.Op != intent.Op || got.Node != intent.Node || got.Addr != intent.Addr ||
+		!equalInts(got.Members, intent.Members) || !equalInts(got.NewMembers, intent.NewMembers) ||
+		got.VNodes != intent.VNodes {
+		t.Fatalf("intent %+v, want %+v", got, intent)
+	}
+	if len(st.Phases) != 1 || st.Phases[0] != (PhaseRecord{Phase: "moved", Source: 0, Count: 37}) {
+		t.Fatalf("phases %+v, want the one moved record", st.Phases)
+	}
+
+	// Cutover flips the recovery direction.
+	if err := j2.Cutover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Intent == nil || !st.Cutover {
+		t.Fatalf("state %+v, want committed (cutover) intent", st)
+	}
+
+	// A checkpoint after completion truncates the intent: the next open
+	// sees only the new membership.
+	j3, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Checkpoint([]int{0, 1, 2}, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	// The handle must survive its own rewrite: a post-checkpoint append
+	// lands in the NEW file, not the renamed-away inode.
+	if err := j3.Intent(IntentRecord{Op: "removenode", Node: 0, Members: []int{0, 1, 2}, NewMembers: []int{1, 2}, VNodes: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err = OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalInts(st.Members, []int{0, 1, 2}) || st.NextID != 3 {
+		t.Fatalf("post-truncate state %+v, want members [0 1 2] nextID 3", st)
+	}
+	if st.Intent == nil || st.Intent.Op != "removenode" || st.Cutover {
+		t.Fatalf("post-truncate intent %+v, want fresh removenode", st.Intent)
+	}
+}
+
+// TestJournalTornFinalLine: the append a crash interrupted mid-line is
+// ignored, everything fsync'd before it is recovered.
+func TestJournalTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Checkpoint([]int{0, 1}, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Intent(IntentRecord{Op: "addnode", Node: 2, Members: []int{0, 1}, NewMembers: []int{0, 1, 2}, VNodes: 128}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn tail of an interrupted append.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"j":"phase","ph`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, st, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn final line must not fail the open: %v", err)
+	}
+	if !st.HasCheckpoint || st.Intent == nil || st.Cutover || len(st.Phases) != 0 {
+		t.Fatalf("recovered %+v, want checkpoint + pending intent, torn phase dropped", st)
+	}
+}
+
+// TestJournalRejectsCorruption: structurally bad records anywhere but
+// the final line are corruption, not noise — the open must fail rather
+// than recover from a journal that lies.
+func TestJournalRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{
+			name: "torn-line-mid-file",
+			content: `{"j":"checkpoint","members":[0,1],"next_id":2}
+{"j":"inte
+{"j":"phase","phase":"cutover"}
+`,
+			wantErr: "record 2",
+		},
+		{
+			name: "phase-without-intent",
+			content: `{"j":"checkpoint","members":[0,1],"next_id":2}
+{"j":"phase","phase":"moved","source":0,"count":3}
+`,
+			wantErr: "no intent",
+		},
+		{
+			name: "second-intent",
+			content: `{"j":"intent","op":"addnode","node":2,"members":[0,1],"new_members":[0,1,2],"vnodes":128}
+{"j":"intent","op":"removenode","node":0,"members":[0,1],"new_members":[1],"vnodes":128}
+`,
+			wantErr: "second intent",
+		},
+		{
+			name:    "unknown-kind",
+			content: `{"j":"wat"}` + "\n" + `{"j":"checkpoint","members":[0],"next_id":1}` + "\n",
+			wantErr: "unknown record kind",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "journal.jsonl")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := OpenJournal(path)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("OpenJournal = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

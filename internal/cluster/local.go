@@ -34,6 +34,14 @@ type LocalConfig struct {
 	// Engine.Metrics/Engine.MetricsLabels).  Engines added later by
 	// AddNode register under their fresh IDs in the same registry.
 	Metrics *obs.Registry
+	// OrphanDir is where rollback double-failures quarantine terminal
+	// snapshots that could be delivered to no live owner ("": the OS temp
+	// directory).
+	OrphanDir string
+	// MigrateBufferCap bounds the reports buffered for moving terminals
+	// during a membership change; TrySubmitBatch sheds past it (0:
+	// DefaultMigrateBufferCap).
+	MigrateBufferCap int
 }
 
 // localNode is one in-process member: an engine plus its route ledger.
@@ -48,27 +56,44 @@ type localNode struct {
 // scaling) and the reference the TCP backend is checked against.
 //
 // Membership is elastic: AddNode/RemoveNode migrate exactly the
-// terminals whose ring arc moved, under the member lock, so routing
-// before and after a change delivers every terminal an unbroken
-// decision sequence.
+// terminals whose ring arc moved, and submissions keep flowing while the
+// migration runs — unmoved arcs route normally, moving arcs buffer until
+// the cutover flips the ring (see migration).
 type Local struct {
 	cfg LocalConfig
 
-	// memMu orders membership changes against routing: submits hold the
-	// read side, Add/RemoveNode the write side (a membership change is a
-	// barrier — routing with the old ring while terminals migrate would
-	// send reports to an engine that no longer holds their state).
-	memMu   sync.RWMutex
-	ring    *Ring
-	nodes   map[int]*localNode
-	nextID  int
-	retired []NodeStats
+	// changeMu serializes membership changes — one migration at a time.
+	// memMu orders the brief ring mutations against routing: submits hold
+	// the read side; only the install and cutover steps take the write
+	// side, so routing never stalls for a whole migration.
+	changeMu sync.Mutex
+	memMu    sync.RWMutex
+	ring     *Ring
+	nodes    map[int]*localNode
+	nextID   int
+	retired  []NodeStats
+	// mig is non-nil while a membership change is in flight; submit paths
+	// consult it under the read lock (see migration).
+	mig     *migration
+	migStat migTracker
+
+	// migHook is a test-only hook called at the "copy" and "cutover"
+	// boundaries of a membership change, so tests can hold a migration
+	// open and drive submissions through the route-to-both window.
+	migHook func(phase string)
 
 	// scatter recycles the per-call node → sub-slice tables.
 	scatter sync.Pool
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// hook consults the test-only migration hook.
+func (l *Local) hook(phase string) {
+	if l.migHook != nil {
+		l.migHook(phase)
+	}
 }
 
 // NewLocal validates the configuration, builds and starts the node
@@ -154,17 +179,52 @@ func (l *Local) Engine(id int) *serve.Engine {
 	return nil
 }
 
-// AddNode starts a fresh member engine, migrates to it exactly the
-// terminals the grown ring assigns to it, and routes to it from then
-// on.  Returns the new member's ID.  Submissions block for the duration
-// of the migration (the member lock is the drain barrier); every moved
-// terminal resumes its decision sequence on the new node exactly where
-// it stopped on the old one.
-func (l *Local) AddNode() (int, error) {
+// beginMigration installs the route-to-both window: from here until
+// cutover (or abort), submissions for moving terminals buffer instead of
+// routing, and everything else routes under the old ring.
+func (l *Local) beginMigration(op string, node int, oldRing, newRing *Ring) {
+	bcap := l.cfg.MigrateBufferCap
+	if bcap == 0 {
+		bcap = DefaultMigrateBufferCap
+	}
+	m := &migration{oldRing: oldRing, newRing: newRing, cap: bcap}
 	l.memMu.Lock()
-	defer l.memMu.Unlock()
+	l.mig = m
+	l.memMu.Unlock()
+	l.migStat.begin(op, node)
+}
+
+// abortMigration dismantles the window after a rolled-back change: the
+// buffered moving-terminal reports are released under the UNCHANGED old
+// ring (their owners got their state back).
+func (l *Local) abortMigration() error {
+	l.memMu.Lock()
+	buf := l.mig.take()
+	l.mig = nil
+	err := l.submitBatchLocked(buf)
+	l.memMu.Unlock()
+	l.migStat.end()
+	if err != nil {
+		return fmt.Errorf("cluster: resubmitting %d reports buffered during the aborted migration: %w", len(buf), err)
+	}
+	return nil
+}
+
+// AddNode starts a fresh member engine, migrates to it exactly the
+// terminals the grown ring assigns to it, and routes to it from then on.
+// Returns the new member's ID.  Submissions keep flowing while the
+// migration runs: unmoved arcs route normally, moving arcs buffer until
+// the cutover flips the ring — every moved terminal resumes its decision
+// sequence on the new node exactly where it stopped on the old one.
+func (l *Local) AddNode() (int, error) {
+	l.changeMu.Lock()
+	defer l.changeMu.Unlock()
+	l.memMu.RLock()
+	oldRing := l.ring
 	id := l.nextID
-	newRing, err := NewRingMembers(append(l.ring.Members(), id), l.cfg.VirtualNodes)
+	srcs := l.sortedNodes()
+	l.memMu.RUnlock()
+	newRing, err := NewRingMembers(append(oldRing.Members(), id), l.cfg.VirtualNodes)
 	if err != nil {
 		return 0, err
 	}
@@ -172,46 +232,79 @@ func (l *Local) AddNode() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Pull the new member's terminals out of every current owner.
+	l.beginMigration("addnode", id, oldRing, newRing)
+	l.hook("copy")
+	// Pull the new member's terminals out of every current owner.  The
+	// extract rides each engine's shard queues behind every report already
+	// submitted, so the snapshots carry complete histories; reports
+	// arriving DURING the pull are for buffered (moving) terminals and
+	// wait for cutover.
 	var moved []serve.TerminalSnapshot
-	for _, src := range l.sortedNodes() {
-		snaps, err := src.engine.ExtractSnapshots(func(t serve.TerminalID) bool {
-			return newRing.NodeOf(t) == id
-		})
-		if err != nil {
-			// Put back what earlier members already gave up.
-			l.restoreBack(moved)
-			node.engine.Stop()
-			return 0, fmt.Errorf("cluster: extracting for new node %d from node %d: %w", id, src.id, err)
+	migErr := func() error {
+		for _, src := range srcs {
+			l.migStat.phase(fmt.Sprintf("copy:%d", src.id))
+			snaps, err := src.engine.ExtractSnapshots(func(t serve.TerminalID) bool {
+				return newRing.NodeOf(t) == id
+			})
+			if err != nil {
+				return fmt.Errorf("cluster: extracting for new node %d from node %d: %w", id, src.id, err)
+			}
+			moved = append(moved, snaps...)
 		}
-		moved = append(moved, snaps...)
-	}
-	if err := node.engine.RestoreSnapshots(moved); err != nil {
-		l.restoreBack(moved)
+		l.migStat.phase(fmt.Sprintf("restore:%d", id))
+		if err := node.engine.RestoreSnapshots(moved); err != nil {
+			return fmt.Errorf("cluster: restoring into new node %d: %w", id, err)
+		}
+		return nil
+	}()
+	if migErr != nil {
+		// Put back what the owners already gave up, then release the
+		// buffered reports under the unchanged ring.
+		rbErr := l.restoreBack(oldRing, moved)
 		node.engine.Stop()
-		return 0, fmt.Errorf("cluster: restoring into new node %d: %w", id, err)
+		abErr := l.abortMigration()
+		return 0, errors.Join(migErr, rbErr, abErr)
 	}
+	l.hook("cutover")
+	l.migStat.phase("cutover")
+	// Commit: flip the ring and release the buffered moving-arc reports
+	// under the same write lock, so no post-cutover submission can outrun
+	// them and break per-terminal order.
+	l.memMu.Lock()
 	l.ring = newRing
 	l.nodes[id] = node
 	l.nextID = id + 1
+	buf := l.mig.take()
+	l.mig = nil
+	ferr := l.submitBatchLocked(buf)
+	l.memMu.Unlock()
+	l.migStat.end()
+	if ferr != nil {
+		return id, fmt.Errorf("cluster: migration committed, but releasing %d buffered reports failed: %w", len(buf), ferr)
+	}
 	return id, nil
 }
 
-// RemoveNode drains member id, migrates every terminal it owns to the
-// member the shrunk ring assigns it to, freezes the departing node's
-// stats, and stops its engine.  Submissions block for the duration.
+// RemoveNode migrates every terminal member id owns to the members the
+// shrunk ring assigns them to, freezes the departing node's stats, and
+// stops its engine.  Submissions keep flowing throughout: only the
+// departing member's arcs buffer, everything else routes normally.
 func (l *Local) RemoveNode(id int) error {
-	l.memMu.Lock()
-	defer l.memMu.Unlock()
+	l.changeMu.Lock()
+	defer l.changeMu.Unlock()
+	l.memMu.RLock()
 	node, ok := l.nodes[id]
+	nLive := len(l.nodes)
+	oldRing := l.ring
+	l.memMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("cluster: node %d is not a member", id)
 	}
-	if len(l.nodes) == 1 {
+	if nLive == 1 {
 		return fmt.Errorf("cluster: cannot remove the last member")
 	}
-	members := l.ring.Members()
-	rest := members[:0]
+	members := oldRing.Members()
+	rest := make([]int, 0, len(members)-1)
 	for _, m := range members {
 		if m != id {
 			rest = append(rest, m)
@@ -221,44 +314,82 @@ func (l *Local) RemoveNode(id int) error {
 	if err != nil {
 		return err
 	}
-	moved, err := node.engine.ExtractSnapshots(func(serve.TerminalID) bool { return true })
-	if err != nil {
-		return fmt.Errorf("cluster: extracting node %d: %w", id, err)
-	}
-	// Scatter the departing member's terminals to their new owners.
-	byDest := map[int][]serve.TerminalSnapshot{}
-	for _, s := range moved {
-		d := newRing.NodeOf(s.Terminal)
-		byDest[d] = append(byDest[d], s)
-	}
-	var restored []serve.TerminalSnapshot
-	for _, d := range sortedKeys(byDest) {
-		if err := l.nodes[d].engine.RestoreSnapshots(byDest[d]); err != nil {
-			// Roll the migration back: reclaim what already landed and
-			// return everything to the departing member.
-			for _, s := range restored {
-				l.nodes[newRing.NodeOf(s.Terminal)].engine.ExtractSnapshots(func(t serve.TerminalID) bool {
-					return t == s.Terminal
-				})
-			}
-			if rerr := node.engine.RestoreSnapshots(moved); rerr != nil {
-				return errors.Join(
-					fmt.Errorf("cluster: restoring into node %d: %w", d, err),
-					fmt.Errorf("cluster: rollback to node %d also failed: %w", id, rerr))
-			}
-			return fmt.Errorf("cluster: restoring into node %d: %w", d, err)
+	l.beginMigration("removenode", id, oldRing, newRing)
+	l.hook("copy")
+	migErr := func() error {
+		l.migStat.phase(fmt.Sprintf("copy:%d", id))
+		moved, err := node.engine.ExtractSnapshots(func(serve.TerminalID) bool { return true })
+		if err != nil {
+			return fmt.Errorf("cluster: extracting node %d: %w", id, err)
 		}
-		restored = append(restored, byDest[d]...)
+		// Scatter the departing member's terminals to their new owners.
+		byDest := map[int][]serve.TerminalSnapshot{}
+		for _, s := range moved {
+			d := newRing.NodeOf(s.Terminal)
+			byDest[d] = append(byDest[d], s)
+		}
+		var delivered []int
+		for _, d := range sortedKeys(byDest) {
+			l.migStat.phase(fmt.Sprintf("restore:%d", d))
+			if err := l.nodes[d].engine.RestoreSnapshots(byDest[d]); err != nil {
+				// Roll the migration back: reclaim what already landed and
+				// return everything to the departing member.  The reclaimed
+				// copies equal the extracted snapshots (reports for moving
+				// terminals buffer, so no destination decided anything),
+				// which is why restoring `moved` restores the world.
+				movedSet := make(map[serve.TerminalID]bool, len(moved))
+				for _, s := range moved {
+					movedSet[s.Terminal] = true
+				}
+				errs := []error{fmt.Errorf("cluster: restoring into node %d: %w", d, err)}
+				for _, dd := range delivered {
+					if _, xerr := l.nodes[dd].engine.ExtractSnapshots(func(t serve.TerminalID) bool {
+						return movedSet[t]
+					}); xerr != nil {
+						errs = append(errs, fmt.Errorf("cluster: reclaiming from node %d: %w", dd, xerr))
+					}
+				}
+				if rerr := node.engine.RestoreSnapshots(moved); rerr != nil {
+					// The departing member cannot take its state back: the
+					// snapshots now live nowhere, so quarantine them rather
+					// than lose them with this process.
+					errs = append(errs,
+						fmt.Errorf("cluster: rollback to node %d also failed: %w", id, rerr),
+						orphanError(l.cfg.OrphanDir, moved))
+				}
+				return errors.Join(errs...)
+			}
+			delivered = append(delivered, d)
+		}
+		return nil
+	}()
+	if migErr != nil {
+		return errors.Join(migErr, l.abortMigration())
 	}
+	l.hook("cutover")
+	l.migStat.phase("cutover")
+	// Commit: freeze the departing member's final counters, drop it from
+	// the ring, and release the buffered reports — all of which now route
+	// to remaining members, since every arc of id moved.
+	l.memMu.Lock()
 	st := l.nodeStats(node)
 	st.Departed = true
 	l.retired = append(l.retired, st)
 	delete(l.nodes, id)
 	l.ring = newRing
-	if err := node.engine.Stop(); err != nil {
-		return fmt.Errorf("cluster: stopping node %d: %w", id, err)
+	buf := l.mig.take()
+	l.mig = nil
+	ferr := l.submitBatchLocked(buf)
+	l.memMu.Unlock()
+	l.migStat.end()
+	var errs []error
+	if ferr != nil {
+		errs = append(errs, fmt.Errorf("cluster: migration committed, but releasing %d buffered reports failed: %w", len(buf), ferr))
 	}
-	return nil
+	if err := node.engine.Stop(); err != nil {
+		errs = append(errs, fmt.Errorf("cluster: stopping node %d: %w", id, err))
+	}
+	return errors.Join(errs...)
 }
 
 // SnapshotAll drains every member and returns the whole cluster's
@@ -296,17 +427,43 @@ func (l *Local) RestoreAll(snaps []serve.TerminalSnapshot) error {
 	return nil
 }
 
-// restoreBack returns extracted snapshots to the engines the CURRENT
-// ring assigns them to (their source), after a failed migration.
-func (l *Local) restoreBack(snaps []serve.TerminalSnapshot) {
+// restoreBack returns extracted snapshots to the engines ring assigns
+// them to (their sources), after a failed migration, skipping terminals
+// an engine still holds.  Snapshots that can land nowhere are
+// quarantined, never dropped.
+func (l *Local) restoreBack(ring *Ring, snaps []serve.TerminalSnapshot) error {
+	if len(snaps) == 0 {
+		return nil
+	}
+	l.memMu.RLock()
+	nodes := make(map[int]*localNode, len(l.nodes))
+	for id, n := range l.nodes {
+		nodes[id] = n
+	}
+	l.memMu.RUnlock()
 	byDest := map[int][]serve.TerminalSnapshot{}
 	for _, s := range snaps {
-		d := l.ring.NodeOf(s.Terminal)
+		d := ring.NodeOf(s.Terminal)
 		byDest[d] = append(byDest[d], s)
 	}
-	for d, group := range byDest {
-		l.nodes[d].engine.RestoreSnapshots(group)
+	var errs []error
+	var orphans []serve.TerminalSnapshot
+	for _, d := range sortedKeys(byDest) {
+		n, ok := nodes[d]
+		if !ok {
+			errs = append(errs, fmt.Errorf("cluster: owner %d of %d reclaimed terminals is not a live member", d, len(byDest[d])))
+			orphans = append(orphans, byDest[d]...)
+			continue
+		}
+		if _, err := n.engine.RestoreSnapshotsSkipLive(byDest[d]); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: returning %d terminals to node %d: %w", len(byDest[d]), d, err))
+			orphans = append(orphans, byDest[d]...)
+		}
 	}
+	if len(orphans) > 0 {
+		errs = append(errs, orphanError(l.cfg.OrphanDir, orphans))
+	}
+	return errors.Join(errs...)
 }
 
 // sortedNodes returns the live members in ascending ID order.
@@ -328,10 +485,16 @@ func sortedKeys[V any](m map[int]V) []int {
 	return keys
 }
 
-// Submit implements Router.
+// Submit implements Router.  During a membership change a report for a
+// moving terminal buffers until cutover; everything else routes as if no
+// change were in flight.
 func (l *Local) Submit(r serve.Report) error {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
+	if l.mig != nil && l.mig.moving(r.Terminal) {
+		l.mig.add(r)
+		return nil
+	}
 	node := l.nodes[l.ring.NodeOf(r.Terminal)]
 	// Account before the engine call, as the engine itself does: once a
 	// report is queued the node may decide it immediately, and a counter
@@ -347,12 +510,23 @@ func (l *Local) Submit(r serve.Report) error {
 // SubmitBatch implements Router: reports scatter into per-node sub-slices
 // (preserving per-terminal order) and each node gets one coalesced
 // Engine.SubmitBatch call, which blocks under that node's backpressure.
+// During a membership change, moving-terminal reports peel off into the
+// migration buffer first.
 func (l *Local) SubmitBatch(rs []serve.Report) error {
+	l.memMu.RLock()
+	defer l.memMu.RUnlock()
+	if l.mig != nil {
+		rs = l.mig.intercept(rs)
+	}
+	return l.submitBatchLocked(rs)
+}
+
+// submitBatchLocked scatters under a held member lock (read side for
+// submissions, write side for the cutover/abort buffer flush).
+func (l *Local) submitBatchLocked(rs []serve.Report) error {
 	if len(rs) == 0 {
 		return nil
 	}
-	l.memMu.RLock()
-	defer l.memMu.RUnlock()
 	if l.ring.Nodes() == 1 {
 		node := l.nodes[l.ring.Members()[0]]
 		node.submitted.Add(uint64(len(rs)))
@@ -386,11 +560,20 @@ func (l *Local) SubmitBatch(rs []serve.Report) error {
 // TrySubmitBatch implements Router: per-report TrySubmit against the
 // owning node, shedding (and counting) everything from the first
 // backlogged node on.  Reports accepted before the backlog stay accepted.
+// A full migration buffer sheds moving-terminal reports the same way.
 func (l *Local) TrySubmitBatch(rs []serve.Report) error {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
 	shed := 0
 	firstNode := -1
+	if l.mig != nil {
+		var bshed, bnode int
+		rs, bshed, bnode = l.mig.interceptTry(rs)
+		if bshed > 0 {
+			shed = bshed
+			firstNode = bnode
+		}
+	}
 	backlogged := map[int]bool{}
 	for i := range rs {
 		n := l.ring.NodeOf(rs[i].Terminal)
@@ -470,6 +653,17 @@ func (l *Local) Stats() Stats {
 	}
 	st.Nodes = append(st.Nodes, l.retired...)
 	return st
+}
+
+// Migration implements Router.
+func (l *Local) Migration() MigrationStatus {
+	l.memMu.RLock()
+	buffered := 0
+	if l.mig != nil {
+		buffered = l.mig.buffered()
+	}
+	l.memMu.RUnlock()
+	return l.migStat.status(buffered)
 }
 
 // EngineStats returns member id's full per-shard serve.Stats (the

@@ -40,6 +40,22 @@ func RegisterMetrics(r *obs.Registry, router Router) {
 			gauge("cluster_node_departed", departed)
 		}
 	})
+	// The TCP backend additionally exports the raw client-ledger counters
+	// delivery debugging wants: redials (every dial attempt, including
+	// failed ones — the gap against cluster_node_reconnects_total is
+	// connection flappiness) and lost reports, per node.
+	if t, ok := router.(*TCP); ok {
+		r.Collector(func(emit func(obs.Point)) {
+			for _, c := range t.ClientCounters() {
+				labels := []obs.Label{
+					obs.L("node", strconv.Itoa(c.Node)),
+					obs.L("addr", c.Addr),
+				}
+				emit(obs.Point{Name: "serve_client_redials_total", Kind: obs.KindCounter, Labels: labels, Value: float64(c.Counters.Redials)})
+				emit(obs.Point{Name: "serve_client_lost_total", Kind: obs.KindCounter, Labels: labels, Value: float64(c.Counters.Lost)})
+			}
+		})
+	}
 }
 
 // Status is the /statusz view of a cluster router: the live ring
@@ -52,15 +68,20 @@ type Status struct {
 	Nodes []NodeStats `json:"nodes"`
 	// Totals aggregates Nodes (Node is -1).
 	Totals NodeStats `json:"totals"`
+	// Migration is the in-flight membership change, if any (Active=false
+	// on a stable ring).
+	Migration MigrationStatus `json:"migration"`
 }
 
-// StatusOf snapshots a router's membership and counters.
+// StatusOf snapshots a router's membership, counters, and any in-flight
+// membership change.
 func StatusOf(router Router) Status {
 	st := router.Stats()
 	return Status{
-		Members: router.Members(),
-		Nodes:   st.Nodes,
-		Totals:  st.Totals(),
+		Members:   router.Members(),
+		Nodes:     st.Nodes,
+		Totals:    st.Totals(),
+		Migration: router.Migration(),
 	}
 }
 

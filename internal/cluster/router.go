@@ -42,9 +42,29 @@ type Router interface {
 	Members() []int
 	// NodeOf returns the ring's owner for a terminal.
 	NodeOf(id serve.TerminalID) int
+	// Migration snapshots the in-flight membership change, if any:
+	// Active=false means the ring is stable.  Submissions never block on
+	// a migration — unmoved arcs route normally and moving arcs buffer —
+	// so this is observability, not a gate.
+	Migration() MigrationStatus
 	// Close tears the router down.  In-process engines are drained and
 	// stopped; TCP node connections are flushed and closed.
 	Close() error
+}
+
+// MigrationStatus is the observable progress of an in-flight membership
+// change (Router.Migration, /statusz).
+type MigrationStatus struct {
+	// Active reports a change in flight; Op ("addnode"/"removenode") and
+	// Node name it; Phase is the current step ("prepare", "copy:<src>",
+	// "restore:<dst>", "release", "cutover").
+	Active bool   `json:"active"`
+	Op     string `json:"op,omitempty"`
+	Node   int    `json:"node"`
+	Phase  string `json:"phase,omitempty"`
+	// Buffered counts reports for moving terminals held in the
+	// route-to-both buffer, to be released at cutover.
+	Buffered int `json:"buffered"`
 }
 
 // BacklogError reports a fail-fast submission that shed reports because a

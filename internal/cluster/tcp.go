@@ -40,6 +40,22 @@ type TCPConfig struct {
 	// MigrateTimeout bounds each node's extract/restore exchange during
 	// AddNode/RemoveNode (0: DefaultMigrateTimeout).
 	MigrateTimeout time.Duration
+	// Journal, when non-empty, is the migration intent journal path.
+	// Membership changes are journaled before any state moves, and a
+	// router restarted on the same journal recovers both the committed
+	// membership (which then supersedes Addrs) and any half-done change —
+	// completing or rolling it back from the daemons' state.  Empty
+	// disables crash-safe membership (changes still work; a router killed
+	// mid-change strands the moving terminals).
+	Journal string
+	// OrphanDir is where rollback double-failures quarantine terminal
+	// snapshots that could be delivered to no live owner ("": the OS temp
+	// directory).
+	OrphanDir string
+	// MigrateBufferCap bounds the reports buffered for moving terminals
+	// during a membership change; TrySubmitBatch sheds past it (0:
+	// DefaultMigrateBufferCap).
+	MigrateBufferCap int
 	// OnDecision, when non-nil, receives every outcome with the deciding
 	// node's ID, on that node client's reader goroutine.
 	OnDecision func(node int, o serve.Outcome)
@@ -68,19 +84,37 @@ type tcpNode struct {
 //
 // Membership is elastic when the daemons serve the snapshot control
 // plane (hoserve does): AddNode/RemoveNode move exactly the terminals
-// whose ring arc changed, extracting their decision state from the old
-// owner and restoring it bit-faithfully into the new one, so decision
-// sequences continue across the migration as if nothing moved.
+// whose ring arc changed in two overlapped phases (copy, then release
+// after a cutover record), so decision sequences continue across the
+// migration as if nothing moved — and submissions keep flowing while it
+// runs: unmoved arcs route normally, moving arcs buffer until cutover.
+// With a Journal configured the change is also crash-safe; see
+// TCPConfig.Journal.
 type TCP struct {
-	cfg TCPConfig
+	cfg     TCPConfig
+	journal *Journal
 
-	// memMu orders membership changes against routing, exactly as in
-	// Local: submits hold the read side, Add/RemoveNode the write side.
-	memMu   sync.RWMutex
-	ring    *Ring
-	nodes   map[int]*tcpNode
-	nextID  int
-	retired []NodeStats
+	// changeMu serializes membership changes — one migration at a time.
+	// memMu orders the brief ring mutations against routing: submits
+	// hold the read side; only the short prepare and cutover steps take
+	// the write side.  The copy/restore/release window itself runs under
+	// neither — that is the two-phase overlap.
+	changeMu sync.Mutex
+	memMu    sync.RWMutex
+	ring     *Ring
+	nodes    map[int]*tcpNode
+	nextID   int
+	retired  []NodeStats
+	// mig is non-nil while a membership change is in flight; submit
+	// paths consult it under the read lock (see migration).
+	mig     *migration
+	migStat migTracker
+
+	// crashPoint is a test-only hook: returning true at a named phase
+	// boundary abandons the migration exactly as a killed router would —
+	// no rollback, no journal truncation — so recovery tests can replay
+	// the journal from a realistic half-done state.
+	crashPoint func(phase string) bool
 
 	scatter sync.Pool
 
@@ -88,38 +122,157 @@ type TCP struct {
 	closeErr  error
 }
 
+// vnodes is the effective per-member virtual-node count.
+func (t *TCP) vnodes() int {
+	if t.cfg.VirtualNodes != 0 {
+		return t.cfg.VirtualNodes
+	}
+	return DefaultVirtualNodes
+}
+
+// crashed consults the test-only crash hook at a phase boundary.
+func (t *TCP) crashed(phase string) bool {
+	return t.crashPoint != nil && t.crashPoint(phase)
+}
+
 // DialTCP connects to every node daemon and returns the router.  All
 // dials are synchronous: a cluster with an unreachable member fails
 // construction rather than shedding that member's terminals later.
+//
+// With cfg.Journal set, a checkpoint in the journal supersedes
+// cfg.Addrs — runtime membership changes survive a router restart — and
+// a pending intent (a change a previous router died inside) is replayed
+// before the router serves: rolled back when it never cut over, rolled
+// forward when it did.  Either way the journal ends checkpointed to the
+// recovered membership.
 func DialTCP(cfg TCPConfig) (*TCP, error) {
-	if len(cfg.Addrs) == 0 {
-		return nil, fmt.Errorf("cluster: no node addresses")
-	}
 	if cfg.MigrateTimeout == 0 {
 		cfg.MigrateTimeout = DefaultMigrateTimeout
 	}
-	ring, err := NewRing(len(cfg.Addrs), cfg.VirtualNodes)
-	if err != nil {
-		return nil, err
-	}
-	t := &TCP{
-		cfg:    cfg,
-		ring:   ring,
-		nodes:  make(map[int]*tcpNode, len(cfg.Addrs)),
-		nextID: len(cfg.Addrs),
-	}
+	t := &TCP{cfg: cfg, nodes: make(map[int]*tcpNode, len(cfg.Addrs))}
 	t.scatter.New = func() any { return &map[int][]serve.Report{} }
-	for n, addr := range cfg.Addrs {
-		node, err := t.dialNode(n, addr)
+
+	members := make([]int, 0, len(cfg.Addrs))
+	addrs := make(map[int]string, len(cfg.Addrs))
+	for i, a := range cfg.Addrs {
+		members = append(members, i)
+		addrs[i] = a
+	}
+	t.nextID = len(cfg.Addrs)
+
+	var pending JournalState
+	if cfg.Journal != "" {
+		j, st, err := OpenJournal(cfg.Journal)
 		if err != nil {
-			for _, dialed := range t.sortedNodes() {
-				dialed.client.Close()
-			}
 			return nil, err
 		}
-		t.nodes[n] = node
+		t.journal = j
+		pending = st
+		if st.HasCheckpoint {
+			members = st.Members
+			addrs = st.Addrs
+			if st.NextID > t.nextID {
+				t.nextID = st.NextID
+			}
+		} else if st.Intent != nil {
+			t.journal.Close()
+			return nil, fmt.Errorf("cluster: journal %s carries an intent but no checkpoint; refusing to guess the base membership", cfg.Journal)
+		}
+	}
+	fail := func(err error) (*TCP, error) {
+		for _, dialed := range t.sortedNodes() {
+			dialed.client.Close()
+		}
+		if t.journal != nil {
+			t.journal.Close()
+		}
+		return nil, err
+	}
+	if len(members) == 0 {
+		return fail(fmt.Errorf("cluster: no node addresses"))
+	}
+	ring, err := NewRingMembers(members, cfg.VirtualNodes)
+	if err != nil {
+		return fail(err)
+	}
+	t.ring = ring
+	for _, m := range members {
+		if m >= t.nextID {
+			t.nextID = m + 1
+		}
+		addr, ok := addrs[m]
+		if !ok {
+			return fail(fmt.Errorf("cluster: journal names member %d with no address", m))
+		}
+		node, err := t.dialNode(m, addr)
+		if err != nil {
+			if in := pending.Intent; in != nil && pending.Cutover && in.Op == "removenode" && in.Node == m {
+				// The member was mid-removal and its change committed; its
+				// daemon may legitimately be gone already.  Recovery below
+				// finishes dropping it from the ring.
+				continue
+			}
+			return fail(err)
+		}
+		t.nodes[m] = node
+	}
+	if pending.Intent != nil {
+		if err := t.recoverIntent(pending); err != nil {
+			return fail(fmt.Errorf("cluster: journal replay: %w", err))
+		}
+	}
+	if err := t.checkpoint(); err != nil {
+		return fail(err)
 	}
 	return t, nil
+}
+
+// checkpoint rewrites the journal (if any) to the current membership,
+// truncating any completed intent.
+func (t *TCP) checkpoint() error {
+	if t.journal == nil {
+		return nil
+	}
+	t.memMu.RLock()
+	members := t.ring.Members()
+	addrs := make(map[int]string, len(t.nodes))
+	for id, n := range t.nodes {
+		addrs[id] = n.addr
+	}
+	next := t.nextID
+	t.memMu.RUnlock()
+	return t.journal.Checkpoint(members, addrs, next)
+}
+
+// journalIntent durably records a change before any state moves; with no
+// journal it is a no-op (the change then simply is not crash-safe).
+func (t *TCP) journalIntent(rec IntentRecord) error {
+	if t.journal == nil {
+		return nil
+	}
+	if err := t.journal.Intent(rec); err != nil {
+		return fmt.Errorf("cluster: journaling %s intent: %w", rec.Op, err)
+	}
+	return nil
+}
+
+// journalPhase records best-effort progress — recovery does not depend
+// on phase records (replay is idempotent), so a failed append must not
+// fail the migration.
+func (t *TCP) journalPhase(rec PhaseRecord) {
+	if t.journal != nil {
+		t.journal.Phase(rec)
+	}
+}
+
+// journalCutover durably commits the in-flight change.  Unlike phase
+// records its failure fails the migration: without the record, a crash
+// would roll back a change whose release already ran.
+func (t *TCP) journalCutover() error {
+	if t.journal == nil {
+		return nil
+	}
+	return t.journal.Cutover()
 }
 
 // dialNode dials one member daemon (does not link it into the member
@@ -180,17 +333,59 @@ func (t *TCP) Client(id int) *serve.NodeClient {
 	return nil
 }
 
-// AddNode dials addr as a fresh member, migrates to it exactly the
-// terminals the grown ring assigns to it (each current member extracts
-// and ships its share over the snapshot control plane), and routes to
-// it from then on.  Returns the new member's ID.  Submissions block for
-// the duration; every moved terminal resumes its decision sequence on
-// the new node where it stopped on the old one.
-func (t *TCP) AddNode(addr string) (int, error) {
+// beginMigration installs the route-to-both window: from here until
+// cutover (or abort), submissions for moving terminals buffer instead of
+// routing, and everything else routes under the old ring.
+func (t *TCP) beginMigration(op string, node int, oldRing, newRing *Ring) {
+	bcap := t.cfg.MigrateBufferCap
+	if bcap == 0 {
+		bcap = DefaultMigrateBufferCap
+	}
+	m := &migration{oldRing: oldRing, newRing: newRing, cap: bcap}
 	t.memMu.Lock()
-	defer t.memMu.Unlock()
+	t.mig = m
+	t.memMu.Unlock()
+	t.migStat.begin(op, node)
+}
+
+// abortMigration dismantles the window after a rolled-back change: the
+// buffered moving-terminal reports are released under the UNCHANGED old
+// ring (their owners kept — or got back — their state).
+func (t *TCP) abortMigration() error {
+	t.memMu.Lock()
+	buf := t.mig.take()
+	t.mig = nil
+	err := t.submitBatch(buf, func(n int, sub []serve.Report) error {
+		return t.nodes[n].client.Send(sub)
+	})
+	t.memMu.Unlock()
+	t.migStat.end()
+	if err != nil {
+		return fmt.Errorf("cluster: resubmitting %d reports buffered during the aborted migration: %w", len(buf), err)
+	}
+	return nil
+}
+
+// AddNode dials addr as a fresh member and migrates to it exactly the
+// terminals the grown ring assigns to it, in two overlapped phases per
+// source: the owner copies its moving arcs (keeping the originals), the
+// copies land on the new node, then the owner releases them.  While that
+// runs, submissions keep flowing — unmoved arcs route normally and
+// moving arcs buffer until the cutover flips the ring, so their stall is
+// bounded by their own backlog, not the whole extract/restore window.
+// With a journal configured the change is crash-safe: a durable intent
+// precedes the first copy and a cutover record commits the change, so a
+// router killed mid-change replays the journal on restart (see DialTCP).
+// Returns the new member's ID.
+func (t *TCP) AddNode(addr string) (int, error) {
+	t.changeMu.Lock()
+	defer t.changeMu.Unlock()
+	t.memMu.RLock()
+	oldRing := t.ring
 	id := t.nextID
-	newMembers := append(t.ring.Members(), id)
+	srcs := t.sortedNodes()
+	t.memMu.RUnlock()
+	newMembers := append(oldRing.Members(), id)
 	newRing, err := NewRingMembers(newMembers, t.cfg.VirtualNodes)
 	if err != nil {
 		return 0, err
@@ -199,57 +394,117 @@ func (t *TCP) AddNode(addr string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	vnodes := t.cfg.VirtualNodes
-	if vnodes == 0 {
-		vnodes = DefaultVirtualNodes
+	vnodes := t.vnodes()
+	if err := t.journalIntent(IntentRecord{
+		Op: "addnode", Node: id, Addr: addr,
+		Members: oldRing.Members(), NewMembers: newMembers, VNodes: vnodes,
+	}); err != nil {
+		node.client.Close()
+		return 0, err
 	}
-	// Each current owner computes the new ring itself (from the member
-	// list on the wire) and extracts the terminals it loses to id.
-	for _, src := range t.sortedNodes() {
-		snaps, err := src.client.Extract(newMembers, vnodes, src.id, t.cfg.MigrateTimeout)
-		if err != nil {
-			node.client.Close()
-			return 0, fmt.Errorf("cluster: extracting for new node %d from node %d: %w", id, src.id, err)
-		}
-		if len(snaps) == 0 {
-			continue
-		}
-		if err := node.client.Restore(snaps, t.cfg.MigrateTimeout); err != nil {
-			// The source daemon restores extracted state back on a failed
-			// delivery only when ITS sink died; here delivery to the new
-			// node failed, so hand the snapshots back explicitly.
-			if rerr := src.client.Restore(snaps, t.cfg.MigrateTimeout); rerr != nil {
-				node.client.Close()
-				return 0, errors.Join(
-					fmt.Errorf("cluster: restoring into new node %d: %w", id, err),
-					fmt.Errorf("cluster: rollback to node %d also failed: %w", src.id, rerr))
+	t.beginMigration("addnode", id, oldRing, newRing)
+
+	migErr := func() error {
+		for _, src := range srcs {
+			t.migStat.phase(fmt.Sprintf("copy:%d", src.id))
+			if t.crashed("copy") {
+				return errMigrationAbandoned
 			}
-			node.client.Close()
-			return 0, fmt.Errorf("cluster: restoring into new node %d: %w", id, err)
+			// Copy before release: at every instant some daemon holds a
+			// complete replica of each moving terminal, which is what
+			// makes a crash anywhere recoverable.
+			snaps, err := src.client.Extract(newMembers, vnodes, src.id, true, t.cfg.MigrateTimeout)
+			if err != nil {
+				return fmt.Errorf("cluster: copying for new node %d from node %d: %w", id, src.id, err)
+			}
+			if len(snaps) > 0 {
+				if err := node.client.Restore(snaps, false, t.cfg.MigrateTimeout); err != nil {
+					return fmt.Errorf("cluster: restoring into new node %d: %w", id, err)
+				}
+				if t.crashed("restored") {
+					return errMigrationAbandoned
+				}
+				if _, err := src.client.Release(newMembers, vnodes, src.id, t.cfg.MigrateTimeout); err != nil {
+					return fmt.Errorf("cluster: releasing moved arcs on node %d: %w", src.id, err)
+				}
+			}
+			t.journalPhase(PhaseRecord{Phase: "moved", Source: src.id, Count: len(snaps)})
 		}
+		if t.crashed("pre-cutover") {
+			return errMigrationAbandoned
+		}
+		t.migStat.phase("cutover")
+		if err := t.journalCutover(); err != nil {
+			return fmt.Errorf("cluster: journaling cutover: %w", err)
+		}
+		if t.crashed("cutover") {
+			return errMigrationAbandoned
+		}
+		return nil
+	}()
+	if migErr != nil {
+		if errors.Is(migErr, errMigrationAbandoned) {
+			// Simulated router crash: leave the daemons' half-moved state
+			// and the journaled intent exactly as a dead process would.
+			// Only the new node's client is torn down — a real crash
+			// closes that socket too.
+			node.client.Close()
+			return 0, migErr
+		}
+		// Roll back: pull everything the new node received and return it
+		// to the owners the old ring names.  Sources that already
+		// released get their arcs back; sources that did not skip the
+		// duplicates (skip-live restore).
+		rbErr := t.reclaimInto(node, oldRing.Members(), vnodes, oldRing)
+		node.client.Close()
+		abErr := t.abortMigration()
+		ckErr := t.checkpoint()
+		return 0, errors.Join(migErr, rbErr, abErr, ckErr)
 	}
+
+	// Commit: flip the ring and release the buffered moving-arc reports
+	// to the new node under the same write lock, so no post-cutover
+	// submission can outrun them and break per-terminal order.
+	t.memMu.Lock()
 	t.ring = newRing
 	t.nodes[id] = node
 	t.nextID = id + 1
-	return id, nil
+	buf := t.mig.take()
+	t.mig = nil
+	ferr := t.submitBatch(buf, func(n int, sub []serve.Report) error {
+		return t.nodes[n].client.Send(sub)
+	})
+	t.memMu.Unlock()
+	t.migStat.end()
+	err = t.checkpoint()
+	if ferr != nil {
+		err = errors.Join(fmt.Errorf("cluster: migration committed, but releasing %d buffered reports failed: %w", len(buf), ferr), err)
+	}
+	return id, err
 }
 
-// RemoveNode drains member id, migrates every terminal it owns to the
-// members the shrunk ring assigns them to, freezes the departing node's
-// final counters into Stats (Departed), and closes its client.
-// Submissions block for the duration.
+// RemoveNode migrates every terminal member id owns to the members the
+// shrunk ring assigns them to (copy to the new owners, then release the
+// originals), freezes the departing node's final counters into Stats
+// (Departed), and closes its client.  Submissions keep flowing
+// throughout: only the departing member's arcs buffer, everything else
+// routes normally.  Crash-safe with a journal, like AddNode.
 func (t *TCP) RemoveNode(id int) error {
-	t.memMu.Lock()
-	defer t.memMu.Unlock()
+	t.changeMu.Lock()
+	defer t.changeMu.Unlock()
+	t.memMu.RLock()
 	node, ok := t.nodes[id]
+	nLive := len(t.nodes)
+	oldRing := t.ring
+	t.memMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("cluster: node %d is not a member", id)
 	}
-	if len(t.nodes) == 1 {
+	if nLive == 1 {
 		return fmt.Errorf("cluster: cannot remove the last member")
 	}
-	members := t.ring.Members()
-	rest := members[:0]
+	members := oldRing.Members()
+	rest := make([]int, 0, len(members)-1)
 	for _, m := range members {
 		if m != id {
 			rest = append(rest, m)
@@ -259,59 +514,279 @@ func (t *TCP) RemoveNode(id int) error {
 	if err != nil {
 		return err
 	}
-	vnodes := t.cfg.VirtualNodes
-	if vnodes == 0 {
-		vnodes = DefaultVirtualNodes
+	vnodes := t.vnodes()
+	if err := t.journalIntent(IntentRecord{
+		Op: "removenode", Node: id, Addr: node.addr,
+		Members: members, NewMembers: rest, VNodes: vnodes,
+	}); err != nil {
+		return err
 	}
-	// The departing member is not in the remaining set, which the daemon
-	// extract hook reads as "extract everything I hold".
-	moved, err := node.client.Extract(rest, vnodes, id, t.cfg.MigrateTimeout)
-	if err != nil {
-		return fmt.Errorf("cluster: extracting node %d: %w", id, err)
-	}
-	byDest := map[int][]serve.TerminalSnapshot{}
-	for _, s := range moved {
-		d := newRing.NodeOf(s.Terminal)
-		byDest[d] = append(byDest[d], s)
-	}
-	var delivered []int
-	for _, d := range sortedKeys(byDest) {
-		if err := t.nodes[d].client.Restore(byDest[d], t.cfg.MigrateTimeout); err != nil {
-			// Roll back: reclaim from the already-restored destinations the
-			// terminals the OLD ring (which still includes the departing
-			// member) does not assign them, then return everything to the
-			// departing member.  The membership change does not happen.
-			rerrs := []error{fmt.Errorf("cluster: restoring into node %d: %w", d, err)}
-			returned := make([]serve.TerminalSnapshot, 0, len(moved))
-			for _, s := range moved {
-				if newRing.NodeOf(s.Terminal) == d || !contains(delivered, newRing.NodeOf(s.Terminal)) {
-					returned = append(returned, s)
-				}
-			}
-			for _, landed := range delivered {
-				back, xerr := t.nodes[landed].client.Extract(members, vnodes, landed, t.cfg.MigrateTimeout)
-				if xerr != nil {
-					rerrs = append(rerrs, fmt.Errorf("cluster: reclaiming from node %d: %w", landed, xerr))
-					continue
-				}
-				returned = append(returned, back...)
-			}
-			if rerr := node.client.Restore(returned, t.cfg.MigrateTimeout); rerr != nil {
-				rerrs = append(rerrs, fmt.Errorf("cluster: rollback to node %d failed: %w", id, rerr))
-			}
-			return errors.Join(rerrs...)
+	t.beginMigration("removenode", id, oldRing, newRing)
+
+	migErr := func() error {
+		t.migStat.phase(fmt.Sprintf("copy:%d", id))
+		if t.crashed("copy") {
+			return errMigrationAbandoned
 		}
-		delivered = append(delivered, d)
+		// The departing member is not in the remaining set, which the
+		// daemon hook reads as "everything I hold"; keep leaves it
+		// authoritative until release.
+		moved, err := node.client.Extract(rest, vnodes, id, true, t.cfg.MigrateTimeout)
+		if err != nil {
+			return fmt.Errorf("cluster: copying node %d: %w", id, err)
+		}
+		byDest := map[int][]serve.TerminalSnapshot{}
+		for _, s := range moved {
+			d := newRing.NodeOf(s.Terminal)
+			byDest[d] = append(byDest[d], s)
+		}
+		for _, d := range sortedKeys(byDest) {
+			t.migStat.phase(fmt.Sprintf("restore:%d", d))
+			if err := t.nodes[d].client.Restore(byDest[d], false, t.cfg.MigrateTimeout); err != nil {
+				return fmt.Errorf("cluster: restoring into node %d: %w", d, err)
+			}
+			t.journalPhase(PhaseRecord{Phase: "moved", Source: d, Count: len(byDest[d])})
+		}
+		if t.crashed("restored") {
+			return errMigrationAbandoned
+		}
+		t.migStat.phase("release")
+		if _, err := node.client.Release(rest, vnodes, id, t.cfg.MigrateTimeout); err != nil {
+			return fmt.Errorf("cluster: releasing node %d: %w", id, err)
+		}
+		t.migStat.phase("cutover")
+		if err := t.journalCutover(); err != nil {
+			return fmt.Errorf("cluster: journaling cutover: %w", err)
+		}
+		if t.crashed("cutover") {
+			return errMigrationAbandoned
+		}
+		return nil
+	}()
+	if migErr != nil {
+		if errors.Is(migErr, errMigrationAbandoned) {
+			return migErr
+		}
+		// Roll back: the departing member still holds its originals
+		// (release runs last), so stripping the copies off the remaining
+		// members restores the pre-change world.  If release itself
+		// failed the departing member may hold nothing — then the
+		// reclaimed copies restore it (skip-live covers both cases).
+		var rbErrs []error
+		for _, d := range rest {
+			t.memMu.RLock()
+			dn := t.nodes[d]
+			t.memMu.RUnlock()
+			back, xerr := dn.client.Extract(members, vnodes, d, false, t.cfg.MigrateTimeout)
+			if xerr != nil {
+				rbErrs = append(rbErrs, fmt.Errorf("cluster: reclaiming from node %d: %w", d, xerr))
+				continue
+			}
+			if rerr := t.returnToOwners(oldRing, back); rerr != nil {
+				rbErrs = append(rbErrs, rerr)
+			}
+		}
+		abErr := t.abortMigration()
+		ckErr := t.checkpoint()
+		return errors.Join(append(rbErrs, migErr, abErr, ckErr)...)
 	}
+
+	// Commit: freeze the departing member's final counters, drop it from
+	// the ring, and release the buffered reports — all of which now route
+	// to remaining members, since every arc of id moved.
+	t.memMu.Lock()
 	st := t.nodeStats(node)
 	st.Departed = true
 	t.retired = append(t.retired, st)
 	delete(t.nodes, id)
 	t.ring = newRing
-	if err := node.client.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
-		return fmt.Errorf("cluster: closing node %d: %w", id, err)
+	buf := t.mig.take()
+	t.mig = nil
+	ferr := t.submitBatch(buf, func(n int, sub []serve.Report) error {
+		return t.nodes[n].client.Send(sub)
+	})
+	t.memMu.Unlock()
+	t.migStat.end()
+	var errs []error
+	if ferr != nil {
+		errs = append(errs, fmt.Errorf("cluster: migration committed, but releasing %d buffered reports failed: %w", len(buf), ferr))
 	}
-	return nil
+	if err := node.client.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
+		errs = append(errs, fmt.Errorf("cluster: closing node %d: %w", id, err))
+	}
+	if err := t.checkpoint(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// reclaimInto pulls everything member `from` holds that ownerRing (over
+// ownerMembers) does not assign to it — for a node being rolled out of
+// an addnode, its ID is not in ownerMembers, so that is everything —
+// and returns the state to the owners.  Failed returns quarantine the
+// orphans instead of losing them with the router's memory.
+func (t *TCP) reclaimInto(from *tcpNode, ownerMembers []int, vnodes int, ownerRing *Ring) error {
+	back, err := from.client.Extract(ownerMembers, vnodes, from.id, false, t.cfg.MigrateTimeout)
+	if err != nil {
+		return fmt.Errorf("cluster: reclaiming from node %d failed — its terminal state is still on the daemon at %s: %w", from.id, from.addr, err)
+	}
+	return t.returnToOwners(ownerRing, back)
+}
+
+// returnToOwners restores snapshots to the members ring assigns them to,
+// skipping terminals an owner still holds (rollback reaches here with a
+// mix of released and still-held arcs).  Snapshots that can land nowhere
+// are quarantined, never dropped.
+func (t *TCP) returnToOwners(ring *Ring, snaps []serve.TerminalSnapshot) error {
+	if len(snaps) == 0 {
+		return nil
+	}
+	t.memMu.RLock()
+	nodes := make(map[int]*tcpNode, len(t.nodes))
+	for id, n := range t.nodes {
+		nodes[id] = n
+	}
+	t.memMu.RUnlock()
+	byDest := map[int][]serve.TerminalSnapshot{}
+	for _, s := range snaps {
+		d := ring.NodeOf(s.Terminal)
+		byDest[d] = append(byDest[d], s)
+	}
+	var errs []error
+	var orphans []serve.TerminalSnapshot
+	for _, d := range sortedKeys(byDest) {
+		dn, ok := nodes[d]
+		if !ok {
+			errs = append(errs, fmt.Errorf("cluster: owner %d of %d reclaimed terminals is not a live member", d, len(byDest[d])))
+			orphans = append(orphans, byDest[d]...)
+			continue
+		}
+		if err := dn.client.Restore(byDest[d], true, t.cfg.MigrateTimeout); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: returning %d terminals to node %d: %w", len(byDest[d]), d, err))
+			orphans = append(orphans, byDest[d]...)
+		}
+	}
+	if len(orphans) > 0 {
+		errs = append(errs, orphanError(t.cfg.OrphanDir, orphans))
+	}
+	return errors.Join(errs...)
+}
+
+// recoverIntent completes or rolls back the half-done membership change
+// a previous router process left in the journal.  Before the cutover
+// record the change never committed: the copies are pulled back off the
+// destination(s) and the old membership stands.  At or past cutover the
+// change is completed — the re-copy/skip-live-restore/release sweep is
+// idempotent, so replaying a partially executed phase is safe.  Runs at
+// construction, before the router serves anything.
+func (t *TCP) recoverIntent(st JournalState) error {
+	in := st.Intent
+	oldRing, err := NewRingMembers(in.Members, in.VNodes)
+	if err != nil {
+		return fmt.Errorf("old ring: %w", err)
+	}
+	newRing, err := NewRingMembers(in.NewMembers, in.VNodes)
+	if err != nil {
+		return fmt.Errorf("new ring: %w", err)
+	}
+	vnodes := in.VNodes
+	switch in.Op {
+	case "addnode":
+		dest, err := t.dialNode(in.Node, in.Addr)
+		if err != nil {
+			return fmt.Errorf("dialing half-joined node %d at %s: %w", in.Node, in.Addr, err)
+		}
+		if !st.Cutover {
+			// Roll back: whatever landed on the new node goes back to the
+			// owners the old ring names; the join never happened.
+			rbErr := t.reclaimInto(dest, in.Members, vnodes, oldRing)
+			dest.client.Close()
+			return rbErr
+		}
+		// Roll forward: finish the copy/restore/release sweep (no-ops for
+		// sources that completed before the crash) and seat the member.
+		for _, src := range t.sortedNodes() {
+			snaps, err := src.client.Extract(in.NewMembers, vnodes, src.id, true, t.cfg.MigrateTimeout)
+			if err != nil {
+				dest.client.Close()
+				return fmt.Errorf("re-copying from node %d: %w", src.id, err)
+			}
+			if len(snaps) > 0 {
+				if err := dest.client.Restore(snaps, true, t.cfg.MigrateTimeout); err != nil {
+					dest.client.Close()
+					return fmt.Errorf("re-restoring into node %d: %w", in.Node, err)
+				}
+			}
+			if _, err := src.client.Release(in.NewMembers, vnodes, src.id, t.cfg.MigrateTimeout); err != nil {
+				dest.client.Close()
+				return fmt.Errorf("releasing node %d: %w", src.id, err)
+			}
+		}
+		t.nodes[in.Node] = dest
+		t.ring = newRing
+		if in.Node >= t.nextID {
+			t.nextID = in.Node + 1
+		}
+		return nil
+	case "removenode":
+		if !st.Cutover {
+			// Roll back: the departing member still holds its originals
+			// (or gets them back skip-live); strip the copies off the
+			// remaining members.
+			var errs []error
+			for _, m := range in.NewMembers {
+				dn, ok := t.nodes[m]
+				if !ok {
+					errs = append(errs, fmt.Errorf("member %d from the journal is not dialed", m))
+					continue
+				}
+				back, err := dn.client.Extract(in.Members, vnodes, m, false, t.cfg.MigrateTimeout)
+				if err != nil {
+					errs = append(errs, fmt.Errorf("reclaiming from node %d: %w", m, err))
+					continue
+				}
+				if err := t.returnToOwners(oldRing, back); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			return errors.Join(errs...)
+		}
+		// Roll forward: drain whatever the departing member still holds
+		// to the new owners and drop it from the ring.  A departing
+		// daemon that is already gone is tolerated — cutover means every
+		// copy landed (and was released) before the crash.
+		if node, ok := t.nodes[in.Node]; ok {
+			moved, err := node.client.Extract(in.NewMembers, vnodes, in.Node, true, t.cfg.MigrateTimeout)
+			if err != nil {
+				return fmt.Errorf("re-copying departing node %d: %w", in.Node, err)
+			}
+			byDest := map[int][]serve.TerminalSnapshot{}
+			for _, s := range moved {
+				byDest[newRing.NodeOf(s.Terminal)] = append(byDest[newRing.NodeOf(s.Terminal)], s)
+			}
+			for _, d := range sortedKeys(byDest) {
+				dn, ok := t.nodes[d]
+				if !ok {
+					return fmt.Errorf("owner %d of re-copied terminals is not dialed", d)
+				}
+				if err := dn.client.Restore(byDest[d], true, t.cfg.MigrateTimeout); err != nil {
+					return fmt.Errorf("re-restoring into node %d: %w", d, err)
+				}
+			}
+			if _, err := node.client.Release(in.NewMembers, vnodes, in.Node, t.cfg.MigrateTimeout); err != nil {
+				return fmt.Errorf("releasing departing node %d: %w", in.Node, err)
+			}
+			fin := t.nodeStats(node)
+			fin.Departed = true
+			t.retired = append(t.retired, fin)
+			delete(t.nodes, in.Node)
+			node.client.Close()
+		}
+		t.ring = newRing
+		return nil
+	default:
+		return fmt.Errorf("unknown intent op %q", in.Op)
+	}
 }
 
 func contains(xs []int, x int) bool {
@@ -333,10 +808,16 @@ func (t *TCP) sortedNodes() []*tcpNode {
 	return out
 }
 
-// Submit implements Router.
+// Submit implements Router.  During a membership change a report for a
+// moving terminal buffers until cutover; everything else routes as if no
+// change were in flight.
 func (t *TCP) Submit(r serve.Report) error {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
+	if t.mig != nil && t.mig.moving(r.Terminal) {
+		t.mig.add(r)
+		return nil
+	}
 	n := t.ring.NodeOf(r.Terminal)
 	if err := t.nodes[n].client.Send([]serve.Report{r}); err != nil {
 		return fmt.Errorf("cluster: node %d: %w", n, err)
@@ -346,10 +827,14 @@ func (t *TCP) Submit(r serve.Report) error {
 
 // SubmitBatch implements Router: reports scatter into per-node sub-slices
 // and each destination gets one coalesced wire line, blocking on that
-// node's send queue under backpressure.
+// node's send queue under backpressure.  During a membership change,
+// moving-terminal reports peel off into the migration buffer first.
 func (t *TCP) SubmitBatch(rs []serve.Report) error {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
+	if t.mig != nil {
+		rs = t.mig.intercept(rs)
+	}
 	return t.submitBatch(rs, func(n int, sub []serve.Report) error {
 		return t.nodes[n].client.Send(sub)
 	})
@@ -357,12 +842,21 @@ func (t *TCP) SubmitBatch(rs []serve.Report) error {
 
 // TrySubmitBatch implements Router: like SubmitBatch but a full node
 // queue sheds that node's sub-batch and fails with *BacklogError instead
-// of blocking; other nodes' sub-batches are still accepted.
+// of blocking; other nodes' sub-batches are still accepted.  A full
+// migration buffer sheds moving-terminal reports the same way.
 func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
 	shed := 0
 	firstNode := -1
+	if t.mig != nil {
+		var bshed, bnode int
+		rs, bshed, bnode = t.mig.interceptTry(rs)
+		if bshed > 0 {
+			shed = bshed
+			firstNode = bnode
+		}
+	}
 	err := t.submitBatch(rs, func(n int, sub []serve.Report) error {
 		err := t.nodes[n].client.TrySend(sub)
 		if errors.Is(err, serve.ErrBacklogged) {
@@ -381,6 +875,17 @@ func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
 		return &BacklogError{Node: firstNode, Shed: shed}
 	}
 	return nil
+}
+
+// Migration implements Router.
+func (t *TCP) Migration() MigrationStatus {
+	t.memMu.RLock()
+	buffered := 0
+	if t.mig != nil {
+		buffered = t.mig.buffered()
+	}
+	t.memMu.RUnlock()
+	return t.migStat.status(buffered)
 }
 
 // submitBatch scatters under a held read lock.
@@ -471,16 +976,50 @@ func (t *TCP) Stats() Stats {
 	return st
 }
 
+// ClientCounters is one member's raw serve.NodeCounters snapshot paired
+// with its cluster identity, for telemetry that wants the client-level
+// ledger (redials, lost reports) rather than the NodeStats digest.
+type ClientCounters struct {
+	Node     int
+	Addr     string
+	Counters serve.NodeCounters
+}
+
+// ClientCounters snapshots every live member's client ledger in
+// ascending node order.
+func (t *TCP) ClientCounters() []ClientCounters {
+	t.memMu.RLock()
+	defer t.memMu.RUnlock()
+	out := make([]ClientCounters, 0, len(t.nodes))
+	for _, n := range t.sortedNodes() {
+		out = append(out, ClientCounters{Node: n.id, Addr: n.addr, Counters: n.client.Counters()})
+	}
+	return out
+}
+
 // Close implements Router: every node client drains its queue to the
-// node, reads the remaining decisions and closes.
+// node, reads the remaining decisions and closes.  Reports still held in
+// an in-flight migration's buffer are in no client's ledger, so Close
+// surfaces their count through OnError instead of dropping them silently.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
 		t.memMu.Lock()
 		defer t.memMu.Unlock()
 		var errs []error
+		if t.mig != nil {
+			if buf := t.mig.take(); len(buf) > 0 && t.cfg.OnError != nil {
+				t.cfg.OnError(-1, fmt.Errorf("cluster: %d buffered reports dropped by Close during an in-flight migration", len(buf)))
+			}
+			t.mig = nil
+		}
 		for _, n := range t.sortedNodes() {
 			if err := n.client.Close(); err != nil && !errors.Is(err, serve.ErrClientClosed) {
 				errs = append(errs, fmt.Errorf("cluster: node %d: %w", n.id, err))
+			}
+		}
+		if t.journal != nil {
+			if err := t.journal.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cluster: closing journal: %w", err))
 			}
 		}
 		t.closeErr = errors.Join(errs...)

@@ -61,7 +61,7 @@ func startNodeDaemonOn(t testing.TB, ln net.Listener, cfg serve.Config) (engine 
 		Submit: e.SubmitBatch,
 		Drain:  func() error { e.Flush(); return nil },
 	}
-	d.Extract, d.Restore = MigrationHooks(e)
+	d.Extract, d.Restore, d.Release = MigrationHooks(e)
 	d.Stats = func() serve.WireStats {
 		ws := serve.WireStats{Shards: e.Stats().Shards}
 		if cfg.Metrics != nil {

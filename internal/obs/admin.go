@@ -12,10 +12,11 @@ import (
 
 // Admin serves the observability endpoints:
 //
-//	/metrics  Prometheus text exposition of Registry.Export() + Extra()
-//	/statusz  JSON: uptime, Go runtime/GC stats, and the app payload
-//	/healthz  "ok" once the process is serving
-//	/tracez   JSON decision-trace ring (404 when tracing is not wired)
+//	/metrics       Prometheus text exposition of Registry.Export() + Extra()
+//	/statusz       JSON: uptime, Go runtime/GC stats, and the app payload
+//	/healthz       "ok" once the process is serving
+//	/tracez        JSON decision-trace ring (404 when tracing is not wired)
+//	/admin/<name>  POST-only mutation endpoints from Ops
 type Admin struct {
 	Registry *Registry
 	// Extra returns additional /metrics points (e.g. stats scraped from
@@ -26,6 +27,13 @@ type Admin struct {
 	Status func() any
 	// Traces returns the /tracez payload (typically []serve.DecisionTrace).
 	Traces func() any
+	// Ops maps operation names to mutation handlers, each served at
+	// POST /admin/<name> (other methods get 405).  The returned value is
+	// marshaled under "result" in {"ok":true,...}; an error becomes a 500
+	// with {"error":...}.  Unlike the read-only endpoints above these
+	// change the process, so anything listed here is part of the
+	// operator surface (e.g. the cluster routers' addnode/removenode).
+	Ops map[string]func(r *http.Request) (any, error)
 
 	once    sync.Once
 	started time.Time
@@ -39,6 +47,22 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/statusz", a.statusz)
 	mux.HandleFunc("/healthz", a.healthz)
 	mux.HandleFunc("/tracez", a.tracez)
+	for name, op := range a.Ops {
+		mux.HandleFunc("/admin/"+name, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			res, err := op(r)
+			if err != nil {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.WriteHeader(http.StatusInternalServerError)
+				json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+				return
+			}
+			writeJSON(w, map[string]any{"ok": true, "result": res})
+		})
+	}
 	return mux
 }
 

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestAdminOps pins the mutation-endpoint contract: each Ops entry is
+// served at POST /admin/<name> only, success wraps the handler's value
+// in {"ok":true,"result":...}, and a handler error is a 500 carrying
+// {"error":...} — never a dropped or half-written body.
+func TestAdminOps(t *testing.T) {
+	adm := &Admin{
+		Ops: map[string]func(r *http.Request) (any, error){
+			"addnode": func(r *http.Request) (any, error) {
+				if r.FormValue("addr") == "" {
+					return nil, errors.New("addnode requires addr")
+				}
+				return map[string]any{"node": 2, "members": []int{0, 1, 2}}, nil
+			},
+		},
+	}
+	srv := httptest.NewServer(adm.Handler())
+	defer srv.Close()
+
+	// Non-POST methods are refused.
+	resp, err := http.Get(srv.URL + "/admin/addnode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/addnode = %d, want 405", resp.StatusCode)
+	}
+
+	// A handler error is a JSON 500.
+	resp, err = http.PostForm(srv.URL+"/admin/addnode", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("POST with no addr = %d, want 500 (body %s)", resp.StatusCode, body)
+	}
+	var failure struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &failure); err != nil || !strings.Contains(failure.Error, "requires addr") {
+		t.Fatalf("error body %s (%v), want the handler's message", body, err)
+	}
+
+	// Success wraps the handler's value.
+	resp, err = http.PostForm(srv.URL+"/admin/addnode", url.Values{"addr": {"127.0.0.1:7293"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /admin/addnode = %d, want 200 (body %s)", resp.StatusCode, body)
+	}
+	var success struct {
+		OK     bool `json:"ok"`
+		Result struct {
+			Node    int   `json:"node"`
+			Members []int `json:"members"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &success); err != nil {
+		t.Fatalf("success body %s: %v", body, err)
+	}
+	if !success.OK || success.Result.Node != 2 || len(success.Result.Members) != 3 {
+		t.Fatalf("success body %s, want ok=true node=2 members=[0 1 2]", body)
+	}
+
+	// Unlisted names are 404s, not silent successes.
+	resp, err = http.Post(srv.URL+"/admin/nope", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /admin/nope = %d, want 404", resp.StatusCode)
+	}
+}

@@ -83,8 +83,11 @@ type NodeCounters struct {
 	// among the delivered outcomes; RemoteErrors counts line-level
 	// rejects the node sent back.
 	Handovers, PingPongs, RemoteErrors uint64
-	// Reconnects counts successful re-establishments of the connection.
-	Reconnects uint64
+	// Reconnects counts successful re-establishments of the connection;
+	// Redials every reconnect attempt, successful or not — the gap
+	// between them is the node's flappiness, which /metrics exports as
+	// serve_client_redials_total.
+	Reconnects, Redials uint64
 	// QueuedLines is the instantaneous send-queue depth in lines.
 	QueuedLines int
 }
@@ -142,14 +145,17 @@ type NodeClient struct {
 	pingpongs  atomic.Uint64
 	remoteErrs atomic.Uint64
 	reconnects atomic.Uint64
+	redials    atomic.Uint64
 }
 
 // ctlOp is one in-flight control operation: the reader goroutine
-// accumulates shipped snapshots (or the stats payload) into it and
-// completes done exactly once.
+// accumulates shipped snapshots (or the stats payload, or an ack's
+// count/node) into it and completes done exactly once.
 type ctlOp struct {
 	snaps []TerminalSnapshot
 	stats WireStats
+	count int
+	node  int
 	done  chan error // buffered; completion never blocks the reader
 }
 
@@ -367,6 +373,7 @@ func (c *NodeClient) Counters() NodeCounters {
 		PingPongs:    c.pingpongs.Load(),
 		RemoteErrors: c.remoteErrs.Load(),
 		Reconnects:   c.reconnects.Load(),
+		Redials:      c.redials.Load(),
 		QueuedLines:  len(c.queue),
 	}
 }
@@ -587,6 +594,7 @@ func (c *NodeClient) redial() (net.Conn, error) {
 		if c.isClosing() {
 			return nil, fmt.Errorf("serve: node %s: closed while reconnecting", c.addr)
 		}
+		c.redials.Add(1)
 		conn, err := c.dial()
 		if err == nil {
 			c.reconnects.Add(1)
@@ -640,19 +648,21 @@ func (c *NodeClient) goDown(err error) {
 	}
 }
 
-// Extract asks the node to drain, remove and ship back every terminal
-// that the consistent-hash ring over members (vnodes virtual nodes each)
-// no longer assigns to member self.  The control line rides the ordered
-// send queue, so it lands behind every report already submitted; the
-// node drains before extracting, so the snapshots carry every decision.
-// One control op runs at a time; timeout bounds the whole exchange.
-func (c *NodeClient) Extract(members []int, vnodes, self int, timeout time.Duration) ([]TerminalSnapshot, error) {
+// Extract asks the node to drain and ship back every terminal that the
+// consistent-hash ring over members (vnodes virtual nodes each) no
+// longer assigns to member self — removing them, or only copying when
+// keep is true (the source then stays authoritative until Release
+// commits the move).  The control line rides the ordered send queue, so
+// it lands behind every report already submitted; the node drains before
+// extracting, so the snapshots carry every decision.  One control op
+// runs at a time; timeout bounds the whole exchange.
+func (c *NodeClient) Extract(members []int, vnodes, self int, keep bool, timeout time.Duration) ([]TerminalSnapshot, error) {
 	c.ctlMu.Lock()
 	defer c.ctlMu.Unlock()
 	deadline := time.Now().Add(timeout)
 	op := c.armCtl()
 	defer c.disarmCtl()
-	line := AppendControlJSON(nil, WireControl{Op: "extract", Members: members, VNodes: vnodes, Self: self})
+	line := AppendControlJSON(nil, WireControl{Op: "extract", Members: members, VNodes: vnodes, Self: self, Keep: keep})
 	if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
 		return nil, err
 	}
@@ -662,10 +672,32 @@ func (c *NodeClient) Extract(members []int, vnodes, self int, timeout time.Durat
 	return op.snaps, nil
 }
 
+// Release asks the node to drop — without shipping — every terminal the
+// ring over members no longer assigns to member self: the commit of an
+// earlier keep-Extract, issued only after the copies landed on their new
+// owner.  Returns how many terminals the node dropped.
+func (c *NodeClient) Release(members []int, vnodes, self int, timeout time.Duration) (int, error) {
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	op := c.armCtl()
+	defer c.disarmCtl()
+	line := AppendControlJSON(nil, WireControl{Op: "release", Members: members, VNodes: vnodes, Self: self})
+	if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
+		return 0, err
+	}
+	if err := c.waitCtl(op, deadline); err != nil {
+		return 0, err
+	}
+	return op.count, nil
+}
+
 // Restore ships terminal snapshots to the node in bounded chunks and
-// waits for the restored ack.  Snapshot validation failures and
-// already-live terminals are reported in the returned error.
-func (c *NodeClient) Restore(snaps []TerminalSnapshot, timeout time.Duration) error {
+// waits for the restored ack.  skipLive makes already-live terminals a
+// silent skip instead of an error — the idempotent replay form crash
+// recovery uses.  Snapshot validation failures (and, without skipLive,
+// already-live terminals) are reported in the returned error.
+func (c *NodeClient) Restore(snaps []TerminalSnapshot, skipLive bool, timeout time.Duration) error {
 	c.ctlMu.Lock()
 	defer c.ctlMu.Unlock()
 	deadline := time.Now().Add(timeout)
@@ -673,7 +705,7 @@ func (c *NodeClient) Restore(snaps []TerminalSnapshot, timeout time.Duration) er
 	defer c.disarmCtl()
 	for rest := snaps; len(rest) > 0; {
 		n := min(len(rest), snapshotChunk)
-		line := AppendControlJSON(nil, WireControl{Op: "restore", Snapshots: rest[:n]})
+		line := AppendControlJSON(nil, WireControl{Op: "restore", Snapshots: rest[:n], SkipLive: skipLive})
 		if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
 			return err
 		}
@@ -681,6 +713,40 @@ func (c *NodeClient) Restore(snaps []TerminalSnapshot, timeout time.Duration) er
 	}
 	done := AppendControlJSON(nil, WireControl{Op: "restore-done"})
 	if err := c.enqueue(pendingLine{line: done}, true, deadline); err != nil {
+		return err
+	}
+	return c.waitCtl(op, deadline)
+}
+
+// AddNode asks a cluster front-door daemon (hocluster) to grow the
+// membership by dialing addr as a fresh member, returning the new
+// member's ID.  Engine nodes answer with an unsupported-op error.
+func (c *NodeClient) AddNode(addr string, timeout time.Duration) (int, error) {
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	op := c.armCtl()
+	defer c.disarmCtl()
+	line := AppendControlJSON(nil, WireControl{Op: "addnode", Addr: addr})
+	if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
+		return 0, err
+	}
+	if err := c.waitCtl(op, deadline); err != nil {
+		return 0, err
+	}
+	return op.node, nil
+}
+
+// RemoveNode asks a cluster front-door daemon to retire member node,
+// migrating its terminals to the remaining members first.
+func (c *NodeClient) RemoveNode(node int, timeout time.Duration) error {
+	c.ctlMu.Lock()
+	defer c.ctlMu.Unlock()
+	deadline := time.Now().Add(timeout)
+	op := c.armCtl()
+	defer c.disarmCtl()
+	line := AppendControlJSON(nil, WireControl{Op: "removenode", Node: node})
+	if err := c.enqueue(pendingLine{line: line}, true, deadline); err != nil {
 		return err
 	}
 	return c.waitCtl(op, deadline)
@@ -789,13 +855,15 @@ func (c *NodeClient) handleCtlLine(line []byte) {
 		case op.done <- res:
 		default:
 		}
-	case "extracted", "restored":
+	case "extracted", "restored", "released", "node-added", "node-removed":
 		var res error
 		if ctl.Error != "" {
 			res = fmt.Errorf("serve: node %s: %s", c.addr, ctl.Error)
 		} else if ctl.Op == "extracted" && ctl.Count != len(op.snaps) {
 			res = fmt.Errorf("serve: node %s: extracted ack counts %d snapshots, %d received", c.addr, ctl.Count, len(op.snaps))
 		}
+		op.count = ctl.Count
+		op.node = ctl.Node
 		select {
 		case op.done <- res:
 		default:

@@ -176,7 +176,7 @@ func TestNodeClientExtractRestore(t *testing.T) {
 	// No explicit Flush: the extract op drains behind the reports.
 	// The test node's membership pred keeps id%2==0 for member 0, so
 	// extracting as self=0 of members {0,1} ships the odd terminals.
-	snaps, err := c1.Extract([]int{0, 1}, 128, 0, 5*time.Second)
+	snaps, err := c1.Extract([]int{0, 1}, 128, 0, false, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,12 +191,12 @@ func TestNodeClientExtractRestore(t *testing.T) {
 			t.Fatalf("terminal %d snapshot at seq %d, want 6", s.Terminal, s.Seq)
 		}
 	}
-	if err := c2.Restore(snaps, 5*time.Second); err != nil {
+	if err := c2.Restore(snaps, false, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Restoring the same terminals again must fail in the ack: they are
 	// live on node 2 now.
-	if err := c2.Restore(snaps, 5*time.Second); err == nil || !strings.Contains(err.Error(), "already live") {
+	if err := c2.Restore(snaps, false, 5*time.Second); err == nil || !strings.Contains(err.Error(), "already live") {
 		t.Fatalf("double restore: %v", err)
 	}
 
@@ -239,7 +239,7 @@ func TestNodeClientCtlErrorsDoNotPoisonFlush(t *testing.T) {
 	}
 	defer c.Close()
 	// self not in members → the extract fails remotely, inside the ack.
-	if _, err := c.Extract([]int{5, 6}, 128, 9, 5*time.Second); err == nil ||
+	if _, err := c.Extract([]int{5, 6}, 128, 9, false, 5*time.Second); err == nil ||
 		!strings.Contains(err.Error(), "self not in members") {
 		t.Fatalf("extract with bad membership: %v", err)
 	}

@@ -38,7 +38,7 @@ func startTestNode(t *testing.T, cfg Config) (addr string, stop func()) {
 		// with id ≡ i (mod len).  The real daemons build a consistent-
 		// hash ring here; the serve-layer protocol doesn't care how the
 		// pred partitions.
-		Extract: func(members []int, _, self int) ([]TerminalSnapshot, error) {
+		Extract: func(members []int, _, self int, keep bool) ([]TerminalSnapshot, error) {
 			idx := -1
 			for i, m := range members {
 				if m == self {
@@ -48,11 +48,35 @@ func startTestNode(t *testing.T, cfg Config) (addr string, stop func()) {
 			if idx < 0 {
 				return nil, errors.New("self not in members")
 			}
-			return e.ExtractSnapshots(func(id TerminalID) bool {
+			pred := func(id TerminalID) bool {
+				return int(id)%len(members) != idx
+			}
+			if keep {
+				return e.SnapshotWhere(pred)
+			}
+			return e.ExtractSnapshots(pred)
+		},
+		Restore: func(snaps []TerminalSnapshot, skipLive bool) error {
+			if skipLive {
+				_, err := e.RestoreSnapshotsSkipLive(snaps)
+				return err
+			}
+			return e.RestoreSnapshots(snaps)
+		},
+		Release: func(members []int, _, self int) (int, error) {
+			idx := -1
+			for i, m := range members {
+				if m == self {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				return 0, errors.New("self not in members")
+			}
+			return e.DiscardTerminals(func(id TerminalID) bool {
 				return int(id)%len(members) != idx
 			})
 		},
-		Restore: e.RestoreSnapshots,
 		Stats: func() WireStats {
 			ws := WireStats{Shards: e.Stats().Shards}
 			if cfg.Metrics != nil {

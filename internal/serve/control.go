@@ -23,16 +23,35 @@ import (
 //	{"ctl":"extract","members":[...],"vnodes":V,"self":S}
 //	                                  extract every terminal the ring
 //	                                  over members no longer assigns to
-//	                                  member S
-//	{"ctl":"restore","snapshots":[...]}  install one snapshot chunk
+//	                                  member S; with "keep":true the node
+//	                                  copies instead of removing (the
+//	                                  first phase of a two-phase move)
+//	{"ctl":"release","members":[...],"vnodes":V,"self":S}
+//	                                  drop every terminal the ring no
+//	                                  longer assigns to member S without
+//	                                  shipping it — commits a keep-copy
+//	                                  after the copies landed elsewhere
+//	{"ctl":"restore","snapshots":[...]}  install one snapshot chunk; with
+//	                                  "skip_live":true already-live
+//	                                  terminals are skipped, not errors
+//	                                  (idempotent crash-recovery replay)
 //	{"ctl":"restore-done"}            finish the restore op
 //	{"ctl":"stats"}                   request the node's stats/metrics
+//	{"ctl":"addnode","addr":A}        grow the membership (front door of
+//	                                  a cluster router; engine nodes
+//	                                  reject it)
+//	{"ctl":"removenode","node":N}     shrink the membership
 //
 // Ops, node → client:
 //
 //	{"ctl":"snapshots","snapshots":[...]}  one extracted chunk
 //	{"ctl":"extracted","count":N}     extract finished (Error on failure)
 //	{"ctl":"restored","count":N}      restore finished (Error on failure)
+//	{"ctl":"released","count":N}      release finished (Error on failure)
+//	{"ctl":"node-added","node":N}     addnode finished: the new member ID
+//	                                  (Error on failure)
+//	{"ctl":"node-removed","node":N}   removenode finished (Error on
+//	                                  failure)
 //	{"ctl":"stats","stats":{...}}     the node's shard counters and
 //	                                  exported metric points (Error when
 //	                                  the node serves no stats)
@@ -42,11 +61,21 @@ type WireControl struct {
 	// Client is the connection identity ("hello").
 	Client string
 	// Members/VNodes/Self describe the post-change ring membership
-	// ("extract"): the node keeps only terminals the ring still assigns
-	// to member Self.
+	// ("extract"/"release"): the node keeps only terminals the ring
+	// still assigns to member Self.
 	Members []int
 	VNodes  int
 	Self    int
+	// Keep makes "extract" copy instead of remove: the source stays
+	// authoritative until a later "release" commits the move.
+	Keep bool
+	// SkipLive makes "restore" skip terminals the node already serves
+	// instead of failing them — the idempotent replay form.
+	SkipLive bool
+	// Addr is the new member's dial address ("addnode").
+	Addr string
+	// Node is a member ID ("removenode" and the membership acks).
+	Node int
 	// Count is the total snapshot count of a finished op.
 	Count int
 	// Snapshots carries one chunk of terminal state.
@@ -88,6 +117,14 @@ func AppendControlJSON(dst []byte, c WireControl) []byte {
 		dst = append(dst, `,"client":`...)
 		dst = appendJSONString(dst, c.Client)
 	}
+	if c.Addr != "" {
+		dst = append(dst, `,"addr":`...)
+		dst = appendJSONString(dst, c.Addr)
+	}
+	if c.Node != 0 {
+		dst = append(dst, `,"node":`...)
+		dst = strconv.AppendInt(dst, int64(c.Node), 10)
+	}
 	if c.Members != nil {
 		dst = append(dst, `,"members":[`...)
 		for i, m := range c.Members {
@@ -100,6 +137,12 @@ func AppendControlJSON(dst []byte, c WireControl) []byte {
 		dst = strconv.AppendInt(dst, int64(c.VNodes), 10)
 		dst = append(dst, `,"self":`...)
 		dst = strconv.AppendInt(dst, int64(c.Self), 10)
+	}
+	if c.Keep {
+		dst = append(dst, `,"keep":true`...)
+	}
+	if c.SkipLive {
+		dst = append(dst, `,"skip_live":true`...)
 	}
 	if c.Snapshots != nil {
 		dst = append(dst, `,"snapshots":[`...)
@@ -141,9 +184,13 @@ func ParseControlLine(line []byte) (WireControl, error) {
 	var aux struct {
 		Op        string         `json:"ctl"`
 		Client    string         `json:"client"`
+		Addr      string         `json:"addr"`
+		Node      int            `json:"node"`
 		Members   []int          `json:"members"`
 		VNodes    int            `json:"vnodes"`
 		Self      int            `json:"self"`
+		Keep      bool           `json:"keep"`
+		SkipLive  bool           `json:"skip_live"`
 		Count     int            `json:"count"`
 		Snapshots []wireSnapshot `json:"snapshots"`
 		Stats     *WireStats     `json:"stats"`
@@ -156,14 +203,18 @@ func ParseControlLine(line []byte) (WireControl, error) {
 		return WireControl{}, fmt.Errorf("serve: control line carries no op: %.200s", line)
 	}
 	c := WireControl{
-		Op:      aux.Op,
-		Client:  aux.Client,
-		Members: aux.Members,
-		VNodes:  aux.VNodes,
-		Self:    aux.Self,
-		Count:   aux.Count,
-		Stats:   aux.Stats,
-		Error:   aux.Error,
+		Op:       aux.Op,
+		Client:   aux.Client,
+		Addr:     aux.Addr,
+		Node:     aux.Node,
+		Members:  aux.Members,
+		VNodes:   aux.VNodes,
+		Self:     aux.Self,
+		Keep:     aux.Keep,
+		SkipLive: aux.SkipLive,
+		Count:    aux.Count,
+		Stats:    aux.Stats,
+		Error:    aux.Error,
 	}
 	for i, w := range aux.Snapshots {
 		s, err := w.snapshot()

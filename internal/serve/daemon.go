@@ -44,15 +44,29 @@ type Daemon struct {
 	// Also installed as Mux.Drain (the takeover barrier) if that is
 	// still nil.
 	Drain func() error
-	// Extract, if set, removes and returns snapshots of every terminal
-	// that the consistent-hash ring over members (with vnodes virtual
-	// nodes each) no longer assigns to member self.  Serving the
-	// "extract" control op requires it.
-	Extract func(members []int, vnodes, self int) ([]TerminalSnapshot, error)
+	// Extract, if set, returns snapshots of every terminal that the
+	// consistent-hash ring over members (with vnodes virtual nodes each)
+	// no longer assigns to member self — removing them, or only copying
+	// when keep is true (the first phase of a two-phase move, committed
+	// by a later Release).  Serving the "extract" control op requires it.
+	Extract func(members []int, vnodes, self int, keep bool) ([]TerminalSnapshot, error)
 	// Restore, if set, installs terminal snapshots into the engine.
-	// Serving the "restore" control op requires it; it is also the
-	// recovery path when extracted state cannot reach the requester.
-	Restore func([]TerminalSnapshot) error
+	// skipLive skips terminals already live instead of failing them (the
+	// idempotent crash-recovery replay).  Serving the "restore" control
+	// op requires it; it is also the recovery path when extracted state
+	// cannot reach the requester.
+	Restore func(snaps []TerminalSnapshot, skipLive bool) error
+	// Release, if set, drops every terminal the ring over members no
+	// longer assigns to member self without shipping it — the commit of
+	// a keep-extract, after the copies landed on their new owner.
+	// Serving the "release" control op requires it.
+	Release func(members []int, vnodes, self int) (int, error)
+	// AddNode/RemoveNode, if set, serve the runtime membership control
+	// ops — only meaningful on a daemon fronting a cluster router
+	// (hocluster); engine nodes leave them nil and the ops fail in their
+	// acks.
+	AddNode    func(addr string) (int, error)
+	RemoveNode func(node int) error
 	// Stats, if set, snapshots the node's telemetry (shard counters plus
 	// exported metric points) for the "stats" control op — how a cluster
 	// router scrapes member nodes over their existing connections.
@@ -161,11 +175,53 @@ func (d *Daemon) serveConn(conn net.Conn) {
 				restoreErr = fmt.Errorf("%s: restore not supported", d.Name)
 				return nil
 			}
-			if err := d.Restore(c.Snapshots); err != nil {
+			if err := d.Restore(c.Snapshots, c.SkipLive); err != nil {
 				restoreErr = err
 			} else {
 				restoreCount += len(c.Snapshots)
 			}
+			return nil
+		case "release":
+			if d.Release == nil {
+				out.WriteControl(WireControl{Op: "released", Error: d.Name + ": release not supported"})
+				return nil
+			}
+			// Settle in-flight reports first: a report decided after its
+			// terminal was released would resurrect the terminal from
+			// zero and fork its stream from the migrated copy.
+			if err := d.Drain(); err != nil {
+				out.WriteControl(WireControl{Op: "released", Error: err.Error()})
+				return nil
+			}
+			n, err := d.Release(c.Members, c.VNodes, c.Self)
+			if err != nil {
+				out.WriteControl(WireControl{Op: "released", Error: err.Error()})
+				return nil
+			}
+			out.WriteControl(WireControl{Op: "released", Count: n})
+			return nil
+		case "addnode":
+			if d.AddNode == nil {
+				out.WriteControl(WireControl{Op: "node-added", Error: d.Name + ": addnode not supported"})
+				return nil
+			}
+			id, err := d.AddNode(c.Addr)
+			if err != nil {
+				out.WriteControl(WireControl{Op: "node-added", Error: err.Error()})
+				return nil
+			}
+			out.WriteControl(WireControl{Op: "node-added", Node: id})
+			return nil
+		case "removenode":
+			if d.RemoveNode == nil {
+				out.WriteControl(WireControl{Op: "node-removed", Error: d.Name + ": removenode not supported"})
+				return nil
+			}
+			if err := d.RemoveNode(c.Node); err != nil {
+				out.WriteControl(WireControl{Op: "node-removed", Error: err.Error()})
+				return nil
+			}
+			out.WriteControl(WireControl{Op: "node-removed", Node: c.Node})
 			return nil
 		case "restore-done":
 			ack := WireControl{Op: "restored", Count: restoreCount}
@@ -217,7 +273,7 @@ func (d *Daemon) handleExtract(out *Sink, c WireControl) {
 		out.WriteControl(WireControl{Op: "extracted", Error: err.Error()})
 		return
 	}
-	snaps, err := d.Extract(c.Members, c.VNodes, c.Self)
+	snaps, err := d.Extract(c.Members, c.VNodes, c.Self, c.Keep)
 	if err != nil {
 		out.WriteControl(WireControl{Op: "extracted", Error: err.Error()})
 		return
@@ -228,10 +284,11 @@ func (d *Daemon) handleExtract(out *Sink, c WireControl) {
 		rest = rest[n:]
 	}
 	out.WriteControl(WireControl{Op: "extracted", Count: len(snaps)})
-	if out.Flush() != nil && len(snaps) > 0 && d.Restore != nil {
+	if out.Flush() != nil && len(snaps) > 0 && d.Restore != nil && !c.Keep {
 		// The requester never got the state; losing it would erase the
 		// terminals' histories.  Put it back and let the requester retry.
-		if rerr := d.Restore(snaps); rerr != nil {
+		// (A keep-copy removed nothing, so there is nothing to put back.)
+		if rerr := d.Restore(snaps, false); rerr != nil {
 			fmt.Fprintf(os.Stderr, "%s: restoring %d snapshots after failed extract delivery: %v\n",
 				d.Name, len(snaps), rerr)
 		}

@@ -113,6 +113,54 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzParseCtlLine drives the control-plane codec with arbitrary lines:
+// no panics, and anything ParseControlLine accepts must reach a one-round
+// encode fixed point — AppendControlJSON(parse(AppendControlJSON(c))) is
+// byte-identical to AppendControlJSON(c), and the encoding satisfies the
+// isControlLine prefix contract the wire dispatcher leans on.  (The
+// fixed point is one round, not input-identity: omitted zero fields and
+// empty snapshot arrays normalize on the first encode.)
+func FuzzParseCtlLine(f *testing.F) {
+	snap := `{"terminal":7,"seq":3,"prev_db":-88.5,"serving":[1,0],"handovers":2,"pingpongs":1,"total_events":2}`
+	for _, seed := range []string{
+		`{"ctl":"hello","client":"loadgen-1"}`,
+		`{"ctl":"extract","members":[0,1,2],"vnodes":128,"self":0,"keep":true}`,
+		`{"ctl":"extracted","count":37}`,
+		`{"ctl":"restore","snapshots":[` + snap + `],"skip_live":true}`,
+		`{"ctl":"restore-done"}`,
+		`{"ctl":"restored","count":37}`,
+		`{"ctl":"release","members":[1,2],"vnodes":128,"self":1}`,
+		`{"ctl":"released","count":12}`,
+		`{"ctl":"addnode","addr":"127.0.0.1:7293"}`,
+		`{"ctl":"node-added","node":2}`,
+		`{"ctl":"removenode","node":0}`,
+		`{"ctl":"node-removed","node":0,"error":"cluster: node 0 is not a member"}`,
+		`{"ctl":"stats"}`,
+		`{"ctl":"drain"}`,
+		`{"ctl":"snapshots","snapshots":[` + snap + `]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		c1, err := ParseControlLine(line)
+		if err != nil {
+			return
+		}
+		enc1 := AppendControlJSON(nil, c1)
+		if !isControlLine(enc1) {
+			t.Fatalf("encoded control line fails the prefix contract: %s", enc1)
+		}
+		c2, err := ParseControlLine(enc1)
+		if err != nil {
+			t.Fatalf("re-parse of encoded control line failed: %v (%s)", err, enc1)
+		}
+		enc2 := AppendControlJSON(nil, c2)
+		if string(enc1) != string(enc2) {
+			t.Fatalf("encode fixed point drifted:\n first  %s second %s(input %q)", enc1, enc2, line)
+		}
+	})
+}
+
 // FuzzOutcomeRoundTrip drives the outcome codec with arbitrary decision
 // shapes: encode → ParseOutcomeLine → re-encode must be the identity on
 // bytes, and the decoded outcome must preserve every field — including

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -307,14 +309,22 @@ func (e *TerminalExistsError) Error() string {
 // flush.
 type shardCtl struct {
 	// pred, when non-nil, selects terminals to snapshot; remove also
-	// deletes them (extract).  snaps receives the result.
-	pred   func(TerminalID) bool
-	remove bool
-	snaps  []TerminalSnapshot
+	// deletes them (extract).  snaps receives the result, unless discard
+	// drops the state instead of capturing it (release) — then count
+	// tallies the terminals removed.
+	pred    func(TerminalID) bool
+	remove  bool
+	discard bool
+	snaps   []TerminalSnapshot
 	// install, when non-empty, restores these snapshots into the shard.
-	install []TerminalSnapshot
-	err     error
-	done    chan *shardCtl
+	// skipLive makes already-live terminals a silent no-op instead of a
+	// *TerminalExistsError — the idempotent-replay form; count tallies
+	// the snapshots actually installed.
+	install  []TerminalSnapshot
+	skipLive bool
+	count    int
+	err      error
+	done     chan *shardCtl
 }
 
 // handleCtl executes one control message on the shard goroutine.
@@ -325,7 +335,11 @@ func (s *shard) handleCtl(c *shardCtl) {
 			if !c.pred(id) {
 				return
 			}
-			c.snaps = append(c.snaps, t.snapshot(id))
+			if c.discard {
+				c.count++
+			} else {
+				c.snaps = append(c.snaps, t.snapshot(id))
+			}
 			if c.remove {
 				removed = append(removed, id)
 			}
@@ -338,11 +352,14 @@ func (s *shard) handleCtl(c *shardCtl) {
 	for _, snap := range c.install {
 		t, created := s.store.acquire(snap.Terminal, mix64(uint64(snap.Terminal)))
 		if !created {
-			c.err = errors.Join(c.err, &TerminalExistsError{Terminal: snap.Terminal})
+			if !c.skipLive {
+				c.err = errors.Join(c.err, &TerminalExistsError{Terminal: snap.Terminal})
+			}
 			continue
 		}
 		s.initTerminal(t)
 		t.restoreFrom(snap)
+		c.count++
 	}
 	c.done <- c
 }
@@ -411,26 +428,75 @@ func (e *Engine) ExtractSnapshots(pred func(TerminalID) bool) ([]TerminalSnapsho
 	return e.snapshotWhere(pred, true)
 }
 
+// SnapshotWhere captures every terminal matching pred without removing
+// it — the copy phase of a two-phase migration: the source keeps serving
+// (and holding) the state until the copies have landed on the
+// destination and a later DiscardTerminals releases the originals.
+func (e *Engine) SnapshotWhere(pred func(TerminalID) bool) ([]TerminalSnapshot, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("serve: SnapshotWhere requires a predicate")
+	}
+	return e.snapshotWhere(pred, false)
+}
+
+// DiscardTerminals removes every terminal matching pred without
+// capturing snapshots, returning how many were dropped — the release
+// phase of a two-phase migration, after the copies landed elsewhere.
+// Discarding state no other node holds loses it; callers sequence a
+// successful restore on the destination first.
+func (e *Engine) DiscardTerminals(pred func(TerminalID) bool) (int, error) {
+	if pred == nil {
+		return 0, fmt.Errorf("serve: DiscardTerminals requires a predicate")
+	}
+	if e.perTerminal {
+		return 0, ErrStatefulAlgorithms
+	}
+	ctls := make([]*shardCtl, len(e.shards))
+	for i := range ctls {
+		ctls[i] = &shardCtl{pred: pred, remove: true, discard: true}
+	}
+	_, err := e.runCtls(ctls)
+	n := 0
+	for _, c := range ctls {
+		n += c.count
+	}
+	return n, err
+}
+
 // RestoreSnapshots installs validated snapshots — the recipient half of
 // a migration, or a whole-node restore.  Restoring a terminal the engine
 // already serves fails with *TerminalExistsError (joined across the
 // batch); the remaining snapshots are still installed.
 func (e *Engine) RestoreSnapshots(snaps []TerminalSnapshot) error {
+	_, err := e.restoreSnaps(snaps, false)
+	return err
+}
+
+// RestoreSnapshotsSkipLive installs snapshots like RestoreSnapshots but
+// silently skips terminals the engine already serves, returning how many
+// were actually installed.  This is the idempotent replay form crash
+// recovery needs: re-running a half-done restore installs exactly the
+// missing terminals and never disturbs live ones.
+func (e *Engine) RestoreSnapshotsSkipLive(snaps []TerminalSnapshot) (int, error) {
+	return e.restoreSnaps(snaps, true)
+}
+
+func (e *Engine) restoreSnaps(snaps []TerminalSnapshot, skipLive bool) (int, error) {
 	if e.perTerminal {
-		return ErrStatefulAlgorithms
+		return 0, ErrStatefulAlgorithms
 	}
 	if len(snaps) == 0 {
-		return nil
+		return 0, nil
 	}
 	for _, s := range snaps {
 		if err := s.Validate(); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	start := time.Now()
 	ctls := make([]*shardCtl, len(e.shards))
 	for i := range ctls {
-		ctls[i] = &shardCtl{}
+		ctls[i] = &shardCtl{skipLive: skipLive}
 	}
 	for _, s := range snaps {
 		idx := e.ShardOf(s.Terminal)
@@ -440,5 +506,56 @@ func (e *Engine) RestoreSnapshots(snaps []TerminalSnapshot) error {
 	if e.metrics != nil {
 		e.metrics.restore.ObserveDuration(time.Since(start))
 	}
-	return err
+	n := 0
+	for _, c := range ctls {
+		n += c.count
+	}
+	return n, err
+}
+
+// WriteSnapshotFile atomically persists the snapshots to path: the bytes
+// land in a uniquely named temp file in the same directory, are fsync'd,
+// and replace path with one rename.  A crash mid-write never truncates
+// or corrupts the previous good snapshot, and concurrent writers (a
+// periodic Snapshotter racing a shutdown snapshot) each complete — last
+// rename wins.
+func WriteSnapshotFile(path string, snaps []TerminalSnapshot) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	tmp := f.Name()
+	err = WriteSnapshots(f, snaps)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads a snapshot file written by WriteSnapshotFile.
+func ReadSnapshotFile(path string) ([]TerminalSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snaps, err := ReadSnapshots(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	return snaps, nil
 }

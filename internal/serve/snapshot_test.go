@@ -263,3 +263,76 @@ func TestSnapshotAPISemantics(t *testing.T) {
 		t.Errorf("RestoreSnapshots on per-terminal engine: %v", err)
 	}
 }
+
+// TestTwoPhasePrimitives pins the copy/commit/replay primitives a
+// two-phase migration is built from: SnapshotWhere copies without
+// removing, DiscardTerminals removes without capturing (and counts),
+// and RestoreSnapshotsSkipLive installs exactly the missing terminals —
+// the idempotent replay form crash recovery leans on.
+func TestTwoPhasePrimitives(t *testing.T) {
+	e, err := New(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	if err := e.SubmitBatch(clientTestReports(8, 6)); err != nil {
+		t.Fatal(err)
+	}
+	moving := func(id TerminalID) bool { return id%2 == 0 }
+
+	// Copy phase: the source still serves everything it copied.
+	copies, err := e.SnapshotWhere(moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 4 {
+		t.Fatalf("SnapshotWhere copied %d terminals, want 4", len(copies))
+	}
+	if tot := e.Stats().Totals(); tot.Terminals != 8 {
+		t.Fatalf("copy phase changed population: %d terminals, want 8", tot.Terminals)
+	}
+
+	// The destination of the move.
+	dst, err := New(Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Start()
+	defer dst.Stop()
+	if err := dst.RestoreSnapshots(copies); err != nil {
+		t.Fatal(err)
+	}
+
+	// Release phase: the originals drop without being captured again.
+	n, err := e.DiscardTerminals(moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("DiscardTerminals dropped %d, want 4", n)
+	}
+	if tot := e.Stats().Totals(); tot.Terminals != 4 {
+		t.Fatalf("release left %d terminals, want 4", tot.Terminals)
+	}
+	// Releasing again is a no-op, not an error.
+	if n, err := e.DiscardTerminals(moving); err != nil || n != 0 {
+		t.Fatalf("second release = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Idempotent replay: re-restoring the same copies over a live
+	// destination skips every one of them; a half-done restore replayed
+	// installs exactly the missing terminals.
+	if n, err := dst.RestoreSnapshotsSkipLive(copies); err != nil || n != 0 {
+		t.Fatalf("skip-live over live terminals = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := dst.ExtractSnapshots(func(id TerminalID) bool { return id == copies[0].Terminal }); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := dst.RestoreSnapshotsSkipLive(copies); err != nil || n != 1 {
+		t.Fatalf("skip-live replay after partial loss = (%d, %v), want (1, nil)", n, err)
+	}
+	if tot := dst.Stats().Totals(); tot.Terminals != 4 {
+		t.Fatalf("destination serves %d terminals after replay, want 4", tot.Terminals)
+	}
+}

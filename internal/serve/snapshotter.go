@@ -1,0 +1,77 @@
+package serve
+
+import "time"
+
+// Snapshotter periodically persists terminal state in the background —
+// the crash-recovery companion of the graceful-shutdown snapshot: a
+// hard-killed daemon restarts from the last periodic capture instead of
+// zero.  Writes are triggered by time (Every) and/or by decision volume
+// (EveryDecisions); a trigger with no new decisions since the last write
+// is skipped, so an idle daemon does not churn the disk rewriting an
+// identical file.
+//
+// The capture itself (Engine.SnapshotTerminals, Local.SnapshotAll) rides
+// the shard control queues and never stops the world, so a background
+// snapshot is safe under live traffic; Write should be atomic
+// (WriteSnapshotFile) so a crash mid-write cannot eat the previous good
+// capture.
+type Snapshotter struct {
+	// Every triggers a write when this much time has passed since the
+	// last one (0: time trigger off).
+	Every time.Duration
+	// EveryDecisions triggers a write when this many decisions have
+	// accumulated since the last one (0: count trigger off).
+	EveryDecisions uint64
+	// Snapshot captures the current terminal state.
+	Snapshot func() ([]TerminalSnapshot, error)
+	// Decisions reads the monotonic decided-report counter, feeding the
+	// count trigger and the idle skip.
+	Decisions func() uint64
+	// Write persists one capture (typically a WriteSnapshotFile closure).
+	Write func([]TerminalSnapshot) error
+	// OnError, if set, receives capture/write failures; the loop keeps
+	// running — one failed write must not end crash protection.
+	OnError func(error)
+}
+
+// Run loops until stop closes (a nil stop channel never fires, so the
+// loop then runs for the life of the process).  Ticks are internal and
+// finer than Every, so a short Every is honored without a busy loop.
+func (s *Snapshotter) Run(stop <-chan struct{}) {
+	period := s.Every / 4
+	if period <= 0 || period > time.Second {
+		period = time.Second
+	}
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	last := s.Decisions()
+	lastWrite := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		d := s.Decisions()
+		due := s.Every > 0 && time.Since(lastWrite) >= s.Every && d != last
+		due = due || (s.EveryDecisions > 0 && d-last >= s.EveryDecisions)
+		if !due {
+			continue
+		}
+		snaps, err := s.Snapshot()
+		if err == nil {
+			err = s.Write(snaps)
+		}
+		if err != nil {
+			if s.OnError != nil {
+				s.OnError(err)
+			}
+			continue
+		}
+		lastWrite = time.Now()
+		last = d
+	}
+}

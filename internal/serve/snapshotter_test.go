@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSnapshotterTimeTriggerRetriesAndSkipsIdle pins the background
+// snapshot loop's contracts on the time trigger: an idle engine is never
+// rewritten, a failed write surfaces through OnError without ending the
+// loop (the next tick retries), and a quiet period after a successful
+// write stays quiet.
+func TestSnapshotterTimeTriggerRetriesAndSkipsIdle(t *testing.T) {
+	var decisions atomic.Uint64
+	writes := make(chan int, 64)
+	failures := make(chan error, 64)
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	s := &Snapshotter{
+		Every: 20 * time.Millisecond,
+		Snapshot: func() ([]TerminalSnapshot, error) {
+			return []TerminalSnapshot{{Terminal: 1, Seq: decisions.Load()}}, nil
+		},
+		Decisions: decisions.Load,
+		Write: func(snaps []TerminalSnapshot) error {
+			if failOnce.CompareAndSwap(true, false) {
+				return errors.New("disk full")
+			}
+			writes <- len(snaps)
+			return nil
+		},
+		OnError: func(err error) { failures <- err },
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); s.Run(stop) }()
+	defer func() { close(stop); <-done }()
+
+	// Idle: the time trigger alone must not rewrite an unchanged capture.
+	select {
+	case <-writes:
+		t.Fatal("idle snapshotter wrote with no new decisions")
+	case <-failures:
+		t.Fatal("idle snapshotter attempted a write")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// New decisions: the first write fails and surfaces; the loop keeps
+	// running and the retry succeeds.
+	decisions.Store(5)
+	select {
+	case <-failures:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write failure never reached OnError")
+	}
+	select {
+	case n := <-writes:
+		if n != 1 {
+			t.Fatalf("write carried %d snapshots, want 1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop never retried after the failed write")
+	}
+
+	// Quiet again: the successful write reset the idle skip.
+	select {
+	case <-writes:
+		t.Fatal("snapshotter rewrote an unchanged capture after success")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestSnapshotterDecisionTrigger pins the volume trigger: crossing
+// EveryDecisions forces a write even with no time trigger configured.
+func TestSnapshotterDecisionTrigger(t *testing.T) {
+	var decisions atomic.Uint64
+	writes := make(chan struct{}, 16)
+	s := &Snapshotter{
+		EveryDecisions: 3,
+		Snapshot:       func() ([]TerminalSnapshot, error) { return nil, nil },
+		Decisions:      decisions.Load,
+		Write:          func([]TerminalSnapshot) error { writes <- struct{}{}; return nil },
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); s.Run(stop) }()
+	defer func() { close(stop); <-done }()
+
+	// Keep deciding until the write lands: the loop samples its baseline
+	// when it starts, so a single pre-loop bump could be folded into it.
+	deadline := time.After(10 * time.Second)
+	for {
+		decisions.Add(3)
+		select {
+		case <-writes:
+			return
+		case <-deadline:
+			t.Fatal("decision-volume trigger never fired")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-smoke load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke ci
+.PHONY: build test race vet lint escape-check bench bench-json bench-smoke load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project analyzer suite (cmd/hovet): hotpath allocation audit,
+# determinism, lock-safety and wire codec pairing, driven by //fuzzyho:
+# annotations.  Always run over ./... — subset patterns would skip the
+# fact-exporting dependency packages and blind the transitive checks.
+lint:
+	$(GO) run ./cmd/hovet ./...
+
+# Compile hotpath-annotated packages with -m=1 and diff heap escapes in
+# hotpath functions against the committed baseline; any new escape fails.
+escape-check:
+	$(GO) run ./cmd/hovet -escape -baseline escape_baseline.txt ./...
 
 # Full benchmark/reproduction record (slow).
 bench:
@@ -37,7 +49,7 @@ bench-json:
 # a regression in any of them.  The baseline is machine-specific —
 # regenerate BENCH_serve.json (make bench-json) whenever the reference
 # hardware changes, or the gate measures the runner, not the code.
-bench-smoke: vet
+bench-smoke: vet lint
 	$(GO) run ./cmd/hobench -benchtime 120ms -o /tmp/BENCH_smoke.json \
 		-baseline BENCH_serve.json -max-regress 0.30
 
@@ -135,6 +147,6 @@ fuzz-smoke:
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseBatchLine -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzOutcomeRoundTrip -fuzztime 10s
 	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzSnapshotRoundTrip -fuzztime 10s
-	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseCtlLine -fuzztime 10s
+	$(GO) test ./internal/serve -run '^$$' -fuzz FuzzParseControlLine -fuzztime 10s
 
-ci: vet build test race load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke
+ci: vet lint escape-check build test race load-smoke cluster-smoke cluster-chaos-smoke obs-smoke fuzz-smoke

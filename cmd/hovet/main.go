@@ -1,0 +1,89 @@
+// Command hovet is the project's static-analysis driver: a multichecker
+// over the internal/analysis suite (hotpath, determinism, lockcheck,
+// wirepair), plus an escape-analysis baseline mode.
+//
+// Usage:
+//
+//	hovet [packages]                      run the analyzer suite (default ./...)
+//	hovet -escape [-baseline file] [pkgs] compile hotpath packages with -m=1
+//	                                      and diff escapes against the baseline
+//	hovet -list                           print the analyzers and exit
+//
+// Exit status is 1 when any diagnostic (or any new escape) is found, so
+// `make lint` / `make escape-check` fail the build.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	escape := flag.Bool("escape", false, "run escape-analysis baseline check instead of the analyzer suite")
+	baseline := flag.String("baseline", "escape_baseline.txt", "escape baseline file (with -escape)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.DefaultAnalyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hovet:", err)
+		os.Exit(2)
+	}
+
+	if *escape {
+		runEscape(pkgs, *baseline)
+		return
+	}
+
+	suite := analysis.NewSuite(analysis.DefaultAnalyzers()...)
+	diags, err := suite.Run(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hovet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hovet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func runEscape(pkgs []*analysis.Package, baseline string) {
+	findings, err := analysis.EscapeCheck(".", pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hovet -escape:", err)
+		os.Exit(2)
+	}
+	news, stale, err := analysis.CompareBaseline(baseline, findings)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hovet -escape:", err)
+		os.Exit(2)
+	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "hovet -escape: warning: stale baseline entry (no longer produced): %s\n", s)
+	}
+	if len(news) > 0 {
+		for _, f := range news {
+			fmt.Printf("new heap escape on hot path: %s\n", f)
+		}
+		fmt.Fprintf(os.Stderr, "hovet -escape: %d new escape(s) not in %s — eliminate the allocation or, if it is provably cold, add it to the baseline with a PR-reviewed justification\n", len(news), baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("hovet -escape: %d known escape(s), baseline clean\n", len(findings))
+}

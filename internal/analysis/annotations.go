@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive names.
+const (
+	DirHotpath       = "hotpath"
+	DirDeterministic = "deterministic"
+	DirNoLockIO      = "nolockio"
+	DirAllow         = "allow"
+	DirWirepair      = "wirepair"
+)
+
+const directivePrefix = "//fuzzyho:"
+
+// Directive is one parsed //fuzzyho: annotation.
+type Directive struct {
+	Name string
+	Args string
+	Pos  token.Pos
+}
+
+// parseDirectives extracts fuzzyho directives from a comment group.
+func parseDirectives(doc *ast.CommentGroup) []Directive {
+	if doc == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		name, args, _ := strings.Cut(rest, " ")
+		out = append(out, Directive{Name: name, Args: strings.TrimSpace(args), Pos: c.Pos()})
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group carries the named
+// fuzzyho directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	for _, d := range parseDirectives(doc) {
+		if d.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveArgs returns the argument string of the named directive and
+// whether it is present.
+func DirectiveArgs(doc *ast.CommentGroup, name string) (string, bool) {
+	for _, d := range parseDirectives(doc) {
+		if d.Name == name {
+			return d.Args, true
+		}
+	}
+	return "", false
+}
+
+// Annotations is the per-package allow index.
+type Annotations struct {
+	// allows maps file name -> line -> justification.
+	allows map[string]map[int]string
+}
+
+// Allowed reports whether a diagnostic at pos is suppressed by a
+// `//fuzzyho:allow reason` annotation on the same line (trailing
+// comment) or on a standalone comment line directly above.
+func (a *Annotations) Allowed(pos token.Position) bool {
+	lines := a.allows[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	_, ok := lines[pos.Line]
+	return ok
+}
+
+// knownDirectives guards against typos: an unknown fuzzyho directive is
+// an error, not a silently dead annotation.
+var knownDirectives = map[string]bool{
+	DirHotpath:       true,
+	DirDeterministic: true,
+	DirNoLockIO:      true,
+	DirAllow:         true,
+	DirWirepair:      true,
+}
+
+// ScanAnnotations indexes every //fuzzyho: comment in the package's
+// non-test files and validates annotation syntax.  An allow annotation
+// that ends a code line suppresses that line; an allow on a line of its
+// own suppresses the next line.  Allows without a justification string,
+// and unknown directives, are diagnostics.
+func ScanAnnotations(pkg *Package) (*Annotations, []Diagnostic) {
+	ann := &Annotations{allows: make(map[string]map[int]string)}
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "fuzzyho", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				name, args, _ := strings.Cut(rest, " ")
+				args = strings.TrimSpace(args)
+				if !knownDirectives[name] {
+					report(c.Pos(), "unknown fuzzyho directive //fuzzyho:"+name+" (known: hotpath, deterministic, nolockio, allow, wirepair)")
+					continue
+				}
+				if name != DirAllow {
+					continue
+				}
+				if args == "" {
+					report(c.Pos(), "//fuzzyho:allow requires a justification string (what invariant is being waived, and why it holds anyway)")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if standaloneComment(pkg.Src[pos.Filename], pos) {
+					line++
+				}
+				m := ann.allows[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					ann.allows[pos.Filename] = m
+				}
+				m[line] = args
+			}
+		}
+	}
+	return ann, diags
+}
+
+// standaloneComment reports whether the comment starting at pos is the
+// only thing on its source line (everything before it is whitespace), in
+// which case an allow applies to the following line.
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil || pos.Offset > len(src) {
+		return false
+	}
+	i := pos.Offset - 1
+	for i >= 0 && src[i] != '\n' {
+		if src[i] != ' ' && src[i] != '\t' {
+			return false
+		}
+		i--
+	}
+	return true
+}
+
+// annotatedFuncs returns the *types.Func of every function declaration
+// in the package carrying the named directive, including interface
+// methods annotated at the interface definition (the way the hot
+// decision interfaces mark their call sites as audited).
+func annotatedFuncs(pkg *Package, directive string) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if HasDirective(d.Doc, directive) {
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						out[fn] = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					it, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range it.Methods.List {
+						if !HasDirective(m.Doc, directive) {
+							continue
+						}
+						for _, name := range m.Names {
+							if fn, ok := pkg.Info.Defs[name].(*types.Func); ok {
+								out[fn] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// funcDeclsWith yields the package's function declarations (with bodies)
+// carrying the named directive.
+func funcDeclsWith(pkg *Package, directive string) map[*ast.FuncDecl]*ast.File {
+	out := make(map[*ast.FuncDecl]*ast.File)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil && HasDirective(fd.Doc, directive) {
+				out[fd] = f
+			}
+		}
+	}
+	return out
+}

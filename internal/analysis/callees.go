@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeKind classifies what a CallExpr invokes.
+type calleeKind int
+
+const (
+	calleeUnknown calleeKind = iota
+	calleeFunc               // static function or method (incl. interface methods)
+	calleeBuiltin            // len, append, make, ...
+	calleeConversion
+	calleeDynamic // call through a func value (variable, field, parameter)
+)
+
+// callee resolves what a call expression invokes using the package's
+// type information.
+func callee(info *types.Info, call *ast.CallExpr) (calleeKind, types.Object) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return calleeConversion, nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		} else if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil {
+		return calleeDynamic, nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	switch o := obj.(type) {
+	case *types.Builtin:
+		return calleeBuiltin, o
+	case *types.Func:
+		if g := o.Origin(); g != nil {
+			o = g
+		}
+		return calleeFunc, o
+	case *types.Var:
+		return calleeDynamic, o
+	case *types.TypeName:
+		return calleeConversion, nil
+	case nil:
+		return calleeUnknown, nil
+	}
+	return calleeUnknown, obj
+}
+
+// funcDisplayName renders a callee for diagnostics: FullName for
+// methods, package-qualified name for functions.
+func funcDisplayName(fn *types.Func) string {
+	return fn.FullName()
+}
+
+// isMapType reports whether t (after unwrapping named types and
+// pointers) is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	_, ok := u.(*types.Map)
+	return ok
+}
+
+// pointerShaped reports whether values of type t fit an interface's data
+// word without heap allocation (pointers, channels, maps, funcs, unsafe
+// pointers).  Everything else boxes when converted to an interface.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the byte-identical-decision-sequence
+// invariant on functions annotated //fuzzyho:deterministic: the serve
+// wire codecs, the cluster ring and migration planning, the fuzzy
+// inference kernels and the sim replay path.  The runtime guards for the
+// same property are the equivalence pins (sim-vs-serve-vs-cluster
+// decision sequences, encode→decode→encode byte identity); they sample
+// specific inputs — this analyzer rejects the constructs that make
+// output depend on anything but the input:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until),
+//   - the global math/rand generator (decision streams must draw from
+//     the seeded internal/rng sub-streams),
+//   - map iteration (order is randomized per run; emitted or
+//     accumulated results become order-unstable — iterate a sorted key
+//     slice instead, cf. sortedKeys in internal/cluster),
+//   - select over multiple communication cases (the runtime picks a
+//     ready case pseudo-randomly).
+//
+// Order-insensitive exceptions (pure reductions over a map, say) carry
+// //fuzzyho:allow with the reason the result cannot observe order.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clock, global rand, map-order and select nondeterminism in //fuzzyho:deterministic functions",
+	Run:  runDeterminism,
+}
+
+// deterministicDeniedFuncs maps forbidden callees to the invariant each
+// would break.
+var deterministicDeniedFuncs = map[string]string{
+	"time.Now":   "wall-clock input makes replay diverge: byte-identical decision sequences across sim/serve/cluster (equivalence pins, TestLocalMembershipEquivalence) require outputs to be a function of the inputs only",
+	"time.Since": "wall-clock input makes replay diverge: byte-identical decision sequences across sim/serve/cluster require outputs to be a function of the inputs only",
+	"time.Until": "wall-clock input makes replay diverge: byte-identical decision sequences across sim/serve/cluster require outputs to be a function of the inputs only",
+}
+
+// globalRandPkg flags package-level math/rand draws; seeded *rand.Rand
+// instances are fine (the sim's per-replica sub-streams are exactly
+// that), so only package functions are denied, not methods.
+const globalRandPkg = "math/rand"
+
+func runDeterminism(pass *Pass) error {
+	pkg := pass.Pkg
+	for decl := range funcDeclsWith(pkg, DirDeterministic) {
+		name := decl.Name.Name
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				kind, obj := callee(pkg.Info, n)
+				if kind != calleeFunc {
+					return true
+				}
+				fn := obj.(*types.Func)
+				full := fn.FullName()
+				if why, ok := deterministicDeniedFuncs[full]; ok {
+					pass.Reportf(n.Pos(), "%s in deterministic function %s: %s", full, name, why)
+					return true
+				}
+				if fnPkg := fn.Pkg(); fnPkg != nil && fnPkg.Path() == globalRandPkg && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(n.Pos(), "global %s in deterministic function %s: the process-global generator is seeded per run; decision streams must draw from the seeded internal/rng sub-streams so sim, serve and cluster replay the same bytes", full, name)
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[n.X]; ok && isMapType(tv.Type) {
+					pass.Reportf(n.Pos(), "map iteration in deterministic function %s: iteration order is randomized per run, so anything emitted or accumulated in order becomes unstable — iterate a sorted key slice instead (cf. sortedKeys in internal/cluster)", name)
+				}
+			case *ast.SelectStmt:
+				comm := 0
+				for _, clause := range n.Body.List {
+					if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					pass.Reportf(n.Pos(), "select with %d communication cases in deterministic function %s: the runtime picks among ready cases pseudo-randomly, reordering the decision stream", comm, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

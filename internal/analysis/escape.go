@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeFinding is one compiler-reported heap escape inside a
+// //fuzzyho:hotpath function.  Findings are normalized to be
+// line-number independent (function identity plus the compiler's escape
+// message) so the committed baseline survives unrelated edits to the
+// same file.
+type EscapeFinding struct {
+	Func    string // pkgpath.(Recv).Name
+	Message string // e.g. "make([]uint64, n) escapes to heap"
+}
+
+func (e EscapeFinding) String() string { return e.Func + ": " + e.Message }
+
+// EscapeCheck recompiles every target package that contains hotpath
+// annotations with `go tool compile -m=1` and returns the escape
+// diagnostics that land inside hotpath function bodies, sorted and
+// deduplicated.
+//
+// The hotpath analyzer forbids the allocation constructs it can see in
+// the syntax; this pass asks the compiler's escape analysis about the
+// ones it cannot (a parameter leaking to the heap through a callee, a
+// slice header outliving its frame).  `go build -gcflags=-m` is useless
+// here because cached builds print nothing; invoking the compiler
+// directly with an importcfg assembled from `go list -export` is
+// cache-proof and touches only the annotated packages.
+func EscapeCheck(dir string, pkgs []*Package) ([]EscapeFinding, error) {
+	seen := make(map[EscapeFinding]bool)
+	var out []EscapeFinding
+	for _, pkg := range pkgs {
+		if !pkg.Target {
+			continue
+		}
+		decls := funcDeclsWith(pkg, DirHotpath)
+		if len(decls) == 0 {
+			continue
+		}
+		findings, err := escapeCheckPkg(dir, pkg, decls)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range findings {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Func != out[j].Func {
+			return out[i].Func < out[j].Func
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// escapeCheckPkg compiles one package with -m=1 and maps escape
+// diagnostics back to the hotpath functions that contain them.
+func escapeCheckPkg(dir string, pkg *Package, decls map[*ast.FuncDecl]*ast.File) ([]EscapeFinding, error) {
+	list, err := goList(dir, []string{pkg.Path})
+	if err != nil {
+		return nil, err
+	}
+	var cfg bytes.Buffer
+	var files []string
+	for _, lp := range list {
+		if lp.ImportPath == pkg.Path {
+			for _, name := range lp.GoFiles {
+				files = append(files, filepath.Join(lp.Dir, name))
+			}
+			continue
+		}
+		if lp.Export != "" {
+			fmt.Fprintf(&cfg, "packagefile %s=%s\n", lp.ImportPath, lp.Export)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("escape-check: no Go files for %s", pkg.Path)
+	}
+	cfgFile, err := os.CreateTemp("", "hovet-importcfg-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(cfgFile.Name())
+	if _, err := cfgFile.Write(cfg.Bytes()); err != nil {
+		cfgFile.Close()
+		return nil, err
+	}
+	cfgFile.Close()
+
+	args := append([]string{"tool", "compile", "-m=1", "-p", pkg.Path,
+		"-importcfg", cfgFile.Name(), "-o", os.DevNull}, files...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	outBytes, err := cmd.CombinedOutput()
+	// compile exits 0 with -m diagnostics on stdout/stderr; a non-zero
+	// exit means the package does not compile, which Load would already
+	// have caught — report it with the compiler's own output.
+	if err != nil && !looksLikeDiagnosticsOnly(outBytes) {
+		return nil, fmt.Errorf("escape-check: compiling %s: %v\n%s", pkg.Path, err, outBytes)
+	}
+
+	// Index hotpath body line ranges per file.
+	type span struct {
+		start, end int
+		name       string
+	}
+	spans := make(map[string][]span)
+	for fd := range decls {
+		start := pkg.Fset.Position(fd.Body.Pos())
+		end := pkg.Fset.Position(fd.Body.End())
+		spans[start.Filename] = append(spans[start.Filename],
+			span{start: start.Line, end: end.Line, name: declDisplayName(pkg, fd)})
+	}
+
+	var findings []EscapeFinding
+	sc := bufio.NewScanner(bytes.NewReader(outBytes))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		file, lineNo, msg, ok := splitCompilerDiag(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		for _, sp := range spans[file] {
+			if lineNo >= sp.start && lineNo <= sp.end {
+				findings = append(findings, EscapeFinding{Func: sp.name, Message: msg})
+				break
+			}
+		}
+	}
+	return findings, sc.Err()
+}
+
+// splitCompilerDiag parses "file.go:12:6: message" (column optional).
+func splitCompilerDiag(line string) (file string, lineNo int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return "", 0, "", false
+	}
+	rest = rest[j+1:]
+	// Optional column.
+	if k := strings.IndexByte(rest, ':'); k >= 0 {
+		if _, err := strconv.Atoi(rest[:k]); err == nil {
+			rest = rest[k+1:]
+		}
+	}
+	return file, n, strings.TrimSpace(rest), true
+}
+
+// looksLikeDiagnosticsOnly reports whether compiler output consists only
+// of -m diagnostic lines (inlining/escape notes), not errors.
+func looksLikeDiagnosticsOnly(out []byte) bool {
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.Contains(line, ": can inline") || strings.Contains(line, ": inlining call") ||
+			strings.Contains(line, "escapes to heap") || strings.Contains(line, "moved to heap") ||
+			strings.Contains(line, "does not escape") || strings.Contains(line, ": leaking param") {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// declDisplayName renders a FuncDecl as pkgpath.Name or
+// pkgpath.(Recv).Name for baseline entries.
+func declDisplayName(pkg *Package, fd *ast.FuncDecl) string {
+	if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return pkg.Path + "." + fd.Name.Name
+}
+
+// CompareBaseline diffs findings against the committed baseline file.
+// Returns the findings missing from the baseline (failures) and baseline
+// entries no longer produced (stale, warn-only).  A missing baseline
+// file is treated as empty: everything is new.
+func CompareBaseline(baselinePath string, findings []EscapeFinding) (news []EscapeFinding, stale []string, err error) {
+	base := make(map[string]bool)
+	data, err := os.ReadFile(baselinePath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	if err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			base[line] = true
+		}
+	}
+	got := make(map[string]bool, len(findings))
+	for _, f := range findings {
+		s := f.String()
+		got[s] = true
+		if !base[s] {
+			news = append(news, f)
+		}
+	}
+	for line := range base {
+		if !got[line] {
+			stale = append(stale, line)
+		}
+	}
+	sort.Strings(stale)
+	return news, stale, nil
+}

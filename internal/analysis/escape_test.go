@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.txt")
+	content := "# accepted escapes, one per line\n" +
+		"\n" +
+		"repro/internal/x.Old: make([]uint64, n) escapes to heap\n" +
+		"repro/internal/x.Gone: moved to heap: v\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := []EscapeFinding{
+		{Func: "repro/internal/x.Old", Message: "make([]uint64, n) escapes to heap"},
+		{Func: "repro/internal/x.New", Message: "new(big) escapes to heap"},
+	}
+	news, stale, err := CompareBaseline(path, findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(news) != 1 || news[0].Func != "repro/internal/x.New" {
+		t.Errorf("news = %v; want the one unbaselined finding", news)
+	}
+	if len(stale) != 1 || stale[0] != "repro/internal/x.Gone: moved to heap: v" {
+		t.Errorf("stale = %v; want the one no-longer-observed entry", stale)
+	}
+}
+
+// TestCompareBaselineMissingFile: no baseline means every finding is
+// new — the make target bootstraps by redirecting -list output.
+func TestCompareBaselineMissingFile(t *testing.T) {
+	findings := []EscapeFinding{{Func: "repro/internal/x.F", Message: "x escapes to heap"}}
+	news, stale, err := CompareBaseline(filepath.Join(t.TempDir(), "absent.txt"), findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(news) != 1 || len(stale) != 0 {
+		t.Errorf("got news=%v stale=%v; want all findings new, nothing stale", news, stale)
+	}
+}
+
+func TestSplitCompilerDiag(t *testing.T) {
+	file, line, msg, ok := splitCompilerDiag("serve.go:12:6: make([]byte, n) escapes to heap")
+	if !ok || file != "serve.go" || line != 12 || msg != "make([]byte, n) escapes to heap" {
+		t.Errorf("got (%q, %d, %q, %v)", file, line, msg, ok)
+	}
+	if _, _, _, ok := splitCompilerDiag("not a diagnostic"); ok {
+		t.Error("plain text accepted as a diagnostic")
+	}
+}

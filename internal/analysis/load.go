@@ -1,0 +1,358 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Package is one loaded package: syntax with comments, type information,
+// and the parsed (but deliberately not type-checked) in-package and
+// external test files, which the wirepair analyzer scans for fuzz
+// targets.
+type Package struct {
+	Path string
+	Dir  string
+	Fset *token.FileSet
+	// Files are the package's non-test files, type-checked.
+	Files []*ast.File
+	// TestFiles are the package's *_test.go files (internal and
+	// external), parsed for syntax only.
+	TestFiles []*ast.File
+	// Src maps file path to raw content, for annotation-position checks.
+	Src map[string][]byte
+
+	Types *types.Package
+	Info  *types.Info
+
+	// Target marks packages the suite analyzes (dependencies loaded only
+	// for type information have Target false).
+	Target bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	ImportMap    map[string]string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	Incomplete   bool
+}
+
+// goList runs `go list -deps -export -json` over the patterns and
+// returns the decoded records in dependency order (go list emits
+// dependencies before dependents).
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data files (the
+// paths `go list -export` reports), with source-checked module packages
+// taking precedence so the whole load shares one types object space.
+type exportImporter struct {
+	gc     types.ImporterFrom
+	source map[string]*types.Package
+	// importMap, per importing package, translates import paths as
+	// written to resolved paths (vendoring, "C" shims); nil when empty.
+	importMap map[string]string
+}
+
+func (im *exportImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if m, ok := im.importMap[path]; ok && m != "" {
+		path = m
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.source[path]; ok {
+		return p, nil
+	}
+	return im.gc.ImportFrom(path, dir, mode)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load loads the packages matching patterns (relative to dir; "" means
+// the current directory) for analysis.  Packages in the pattern set are
+// type-checked from source and marked Target; their dependencies are
+// imported from export data.  The returned slice is in dependency order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	list, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	exportFiles := make(map[string]string, len(list))
+	for _, lp := range list {
+		if lp.Export != "" {
+			exportFiles[lp.ImportPath] = lp.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	gc, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("gc importer does not implement types.ImporterFrom")
+	}
+	source := make(map[string]*types.Package)
+
+	var out []*Package
+	for _, lp := range list {
+		if lp.Standard || lp.DepOnly || lp.ImportPath == "unsafe" {
+			continue
+		}
+		if lp.Incomplete {
+			return nil, fmt.Errorf("package %s failed to load (run `go build ./...` first)", lp.ImportPath)
+		}
+		pkg, err := typeCheck(fset, lp, &exportImporter{gc: gc, source: source, importMap: lp.ImportMap})
+		if err != nil {
+			return nil, err
+		}
+		source[lp.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typeCheck parses and type-checks one package from source and parses
+// its test files for syntax.
+func typeCheck(fset *token.FileSet, lp *listPkg, imp types.Importer) (*Package, error) {
+	pkg := &Package{
+		Path:   lp.ImportPath,
+		Dir:    lp.Dir,
+		Fset:   fset,
+		Src:    make(map[string][]byte),
+		Target: true,
+	}
+	for _, name := range lp.GoFiles {
+		f, err := parseOne(fset, pkg, filepath.Join(lp.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	for _, name := range append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...) {
+		f, err := parseOne(fset, pkg, filepath.Join(lp.Dir, name))
+		if err != nil {
+			return nil, err
+		}
+		pkg.TestFiles = append(pkg.TestFiles, f)
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+func parseOne(fset *token.FileSet, pkg *Package, path string) (*ast.File, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Src[path] = src
+	return f, nil
+}
+
+// LoadFixtures loads analyzer test fixtures: each entry in paths names a
+// package directory under root (its import path inside the fixture
+// universe).  Imports between fixture packages resolve by directory;
+// everything else resolves through the toolchain's export data via one
+// `go list` call.  Fixture *_test.go files are parsed but not
+// type-checked, matching the real loader.  The result is in dependency
+// order, all packages Target.
+func LoadFixtures(root string, paths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	type fixture struct {
+		path  string
+		pkg   *Package
+		deps  []string // fixture-internal imports
+		ext   []string // external imports
+		done  bool
+		onStk bool
+	}
+	fixtures := make(map[string]*fixture, len(paths))
+	isFixture := func(imp string) bool {
+		st, err := os.Stat(filepath.Join(root, imp))
+		return err == nil && st.IsDir()
+	}
+	extSet := map[string]bool{}
+	for _, p := range paths {
+		dir := filepath.Join(root, p)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		fx := &fixture{path: p, pkg: &Package{Path: p, Dir: dir, Fset: fset, Src: make(map[string][]byte), Target: true}}
+		var names []string
+		for _, e := range ents {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f, err := parseOne(fset, fx.pkg, filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			if isTestFile(name) {
+				fx.pkg.TestFiles = append(fx.pkg.TestFiles, f)
+				continue
+			}
+			fx.pkg.Files = append(fx.pkg.Files, f)
+			for _, spec := range f.Imports {
+				imp, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					return nil, err
+				}
+				if isFixture(imp) {
+					fx.deps = append(fx.deps, imp)
+				} else {
+					fx.ext = append(fx.ext, imp)
+					extSet[imp] = true
+				}
+			}
+		}
+		fixtures[p] = fx
+	}
+
+	// One go list over the union of external imports supplies export data
+	// for the fixtures' dependencies.
+	exportFiles := make(map[string]string)
+	if len(extSet) > 0 {
+		ext := make([]string, 0, len(extSet))
+		for p := range extSet {
+			ext = append(ext, p)
+		}
+		sort.Strings(ext)
+		list, err := goList(root, ext)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range list {
+			if lp.Export != "" {
+				exportFiles[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	gc, _ := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	source := make(map[string]*types.Package)
+	imp := &exportImporter{gc: gc, source: source}
+
+	// Type-check in dependency order (fixture graphs are tiny; recurse).
+	var out []*Package
+	var visit func(p string) error
+	visit = func(p string) error {
+		fx, ok := fixtures[p]
+		if !ok {
+			return fmt.Errorf("fixture %s imported but not listed", p)
+		}
+		if fx.done {
+			return nil
+		}
+		if fx.onStk {
+			return fmt.Errorf("fixture import cycle through %s", p)
+		}
+		fx.onStk = true
+		for _, d := range fx.deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		fx.onStk = false
+		fx.pkg.Info = newInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		tpkg, err := conf.Check(p, fset, fx.pkg.Files, fx.pkg.Info)
+		if err != nil {
+			return fmt.Errorf("type-checking fixture %s: %w", p, err)
+		}
+		fx.pkg.Types = tpkg
+		source[p] = tpkg
+		fx.done = true
+		out = append(out, fx.pkg)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture files under testdata/src mark each line that must produce a
+// finding with a trailing `want:<analyzer>` comment (repeated when the
+// line must produce several findings of the same analyzer).  The checks
+// run both directions: every marker must be matched by a diagnostic and
+// every diagnostic by a marker, so a fixture line staying silent is as
+// much an assertion as one that fires.
+var wantMarker = regexp.MustCompile(`want:([a-z]+)`)
+
+type findingKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func runFixture(t *testing.T, paths ...string) ([]Diagnostic, []*Package) {
+	t.Helper()
+	pkgs, err := LoadFixtures(filepath.Join("testdata", "src"), paths...)
+	if err != nil {
+		t.Fatalf("LoadFixtures(%v): %v", paths, err)
+	}
+	diags, err := NewSuite(DefaultAnalyzers()...).Run(pkgs)
+	if err != nil {
+		t.Fatalf("Run(%v): %v", paths, err)
+	}
+	return diags, pkgs
+}
+
+func checkFixture(t *testing.T, paths ...string) {
+	t.Helper()
+	diags, pkgs := runFixture(t, paths...)
+	want := make(map[findingKey]int)
+	for _, pkg := range pkgs {
+		for path, src := range pkg.Src {
+			for i, line := range strings.Split(string(src), "\n") {
+				for _, m := range wantMarker.FindAllStringSubmatch(line, -1) {
+					want[findingKey{filepath.Base(path), i + 1, m[1]}]++
+				}
+			}
+		}
+	}
+	got := make(map[findingKey]int)
+	for _, d := range diags {
+		got[findingKey{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer}]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", k.file, k.line, n, k.analyzer, got[k])
+		}
+	}
+	for _, d := range diags {
+		k := findingKey{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer}
+		if want[k] == 0 {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+func TestHotpathAnalyzer(t *testing.T) { checkFixture(t, "hot") }
+
+// TestHotpathTransitiveFacts loads a fixture package importing another:
+// hotdep calls both an annotated and an unannotated function from hot,
+// exercising the cross-package fact flow.
+func TestHotpathTransitiveFacts(t *testing.T) { checkFixture(t, "hot", "hotdep") }
+
+func TestDeterminismAnalyzer(t *testing.T) { checkFixture(t, "det") }
+
+// TestLockcheckAnalyzer covers direct blocking ops, package-local
+// transitive reach, bare vs select-bounded sends, allow waivers, and —
+// via lockdep — blocking facts imported across packages.
+func TestLockcheckAnalyzer(t *testing.T) { checkFixture(t, "lock", "lockdep") }
+
+func TestWirepairAnalyzer(t *testing.T) { checkFixture(t, "wire") }
+
+// TestAnnotationDiagnostics asserts the two annotation-syntax errors in
+// the ann fixture explicitly (markers cannot sit on comment-only lines):
+// an unknown directive and a justification-less allow.  Neither is
+// waivable, so exact positions and messages are pinned here.
+func TestAnnotationDiagnostics(t *testing.T) {
+	diags, _ := runFixture(t, "ann")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 annotation diagnostics, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "fuzzyho" {
+			t.Errorf("want analyzer fuzzyho, got %q in %s", d.Analyzer, d)
+		}
+	}
+	if diags[0].Pos.Line != 5 || !strings.Contains(diags[0].Message, "unknown fuzzyho directive") {
+		t.Errorf("want unknown-directive diagnostic at ann.go:5, got %s", diags[0])
+	}
+	if diags[1].Pos.Line != 9 || !strings.Contains(diags[1].Message, "requires a justification") {
+		t.Errorf("want bare-allow diagnostic at ann.go:9, got %s", diags[1])
+	}
+}

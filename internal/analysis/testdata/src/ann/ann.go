@@ -1,0 +1,11 @@
+// Package ann holds deliberately broken fuzzyho annotations; the suite
+// must turn each into a "fuzzyho" diagnostic that no allow can waive.
+package ann
+
+//fuzzyho:hotpth
+func Typo() {}
+
+func Unjustified() {
+	//fuzzyho:allow
+	_ = 0
+}

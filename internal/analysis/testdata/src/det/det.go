@@ -1,0 +1,44 @@
+// Package det is the determinism analyzer fixture.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+//fuzzyho:deterministic
+func Bad(m map[int]int, ch chan int) int {
+	t := time.Now()   // want:determinism
+	r := rand.Intn(3) // want:determinism
+	s := 0
+	for k := range m { // want:determinism
+		s += k
+	}
+	select { // want:determinism
+	case v := <-ch:
+		s += v
+	case ch <- s:
+	}
+	return s + r + int(t.UnixNano())
+}
+
+// SeededDraw shows the accepted pattern: a seeded *rand.Rand method is
+// not the global generator.
+//
+//fuzzyho:deterministic
+func SeededDraw(rng *rand.Rand) int { return rng.Intn(3) }
+
+// Sum shows //fuzzyho:allow on an order-insensitive map reduction.
+//
+//fuzzyho:deterministic
+func Sum(m map[int]int) int {
+	s := 0
+	//fuzzyho:allow order-insensitive reduction: addition is commutative, the result cannot observe iteration order
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// Unannotated functions may do what they like.
+func Clock() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,14 @@
+// Package hotdep exercises cross-package hotpath facts: hot.Step is
+// annotated in its own package and must be accepted here; hot.Cold is
+// not and must be flagged.
+package hotdep
+
+import "hot"
+
+//fuzzyho:hotpath
+func Fast(x int) int { return hot.Step(x) }
+
+//fuzzyho:hotpath
+func Slow(x int) int {
+	return hot.Cold(x) // want:hotpath
+}

@@ -1,0 +1,14 @@
+// Package lockdep exercises cross-package lockcheck facts: lock.Blocking
+// reaches a network write in its own package and must be flagged here.
+package lockdep
+
+import (
+	"net"
+
+	"lock"
+)
+
+//fuzzyho:nolockio
+func Remote(c net.Conn, b []byte) {
+	lock.Blocking(c, b) // want:lockcheck
+}

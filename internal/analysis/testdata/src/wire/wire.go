@@ -1,0 +1,43 @@
+// Package wire is the wirepair analyzer fixture.
+package wire
+
+// AppendGoodJSON has the conventional decoder and a seeded fuzz target.
+func AppendGoodJSON(dst []byte, v byte) []byte { return append(dst, v) }
+
+// ParseGoodLine pairs with AppendGoodJSON.
+func ParseGoodLine(line []byte) (int, error) { return len(line), nil }
+
+// AppendOrphanJSON has neither a decoder nor a fuzz target.
+func AppendOrphanJSON(dst []byte) []byte { // want:wirepair want:wirepair
+	return dst
+}
+
+// AppendStaleJSON has a decoder, but its fuzz target carries no f.Add
+// seed.
+func AppendStaleJSON(dst []byte) []byte { // want:wirepair
+	return dst
+}
+
+// ParseStaleLine pairs with AppendStaleJSON.
+func ParseStaleLine(line []byte) (int, error) { return len(line), nil }
+
+// AppendCustomJSON declares its non-conventional pair explicitly.
+//
+//fuzzyho:wirepair parse=DecodeCustom fuzz=FuzzDecodeCustom
+func AppendCustomJSON(dst []byte) []byte { return dst }
+
+// DecodeCustom is AppendCustomJSON's decoder.
+func DecodeCustom(line []byte) int { return len(line) }
+
+// AppendHalfJSON carries a malformed wirepair annotation (missing fuzz=).
+//
+//fuzzyho:wirepair parse=DecodeCustom
+func AppendHalfJSON(dst []byte) []byte { // want:wirepair
+	return dst
+}
+
+// appendLowerJSON is unexported: the convention does not apply.
+func appendLowerJSON(dst []byte) []byte { return dst }
+
+// AppendText is not an Append*JSON encoder.
+func AppendText(dst []byte) []byte { return dst }

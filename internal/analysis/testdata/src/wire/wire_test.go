@@ -1,0 +1,17 @@
+package wire
+
+import "testing"
+
+func FuzzParseGoodLine(f *testing.F) {
+	f.Add([]byte("1"))
+	f.Fuzz(func(t *testing.T, b []byte) { ParseGoodLine(b) })
+}
+
+func FuzzParseStaleLine(f *testing.F) {
+	f.Fuzz(func(t *testing.T, b []byte) { ParseStaleLine(b) })
+}
+
+func FuzzDecodeCustom(f *testing.F) {
+	f.Add([]byte("x"))
+	f.Fuzz(func(t *testing.T, b []byte) { DecodeCustom(b) })
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// WirepairAnalyzer enforces the codec-pairing invariant on the wire
+// surface: every exported `Append<X>JSON` encoder must have a matching
+// `Parse<X>Line` decoder in the same package and a seeded `FuzzParse<X>Line`
+// fuzz target in its test files.  The encode→decode→encode byte-identity
+// pins only cover codecs that HAVE a decoder; an encoder without one is
+// a wire format nothing can read back — exactly how the v1 snapshot
+// format rotted before the journaling rework.
+//
+// Encoders whose decoder breaks the naming convention declare the pair
+// explicitly:
+//
+//	//fuzzyho:wirepair parse=ParseBatchLine fuzz=FuzzParseBatchLine
+//
+// A fuzz target counts as seeded when its body calls f.Add at least
+// once; an unseeded target starts from the empty corpus and spends its
+// smoke budget rediscovering the format's first byte.
+var WirepairAnalyzer = &Analyzer{
+	Name: "wirepair",
+	Doc:  "require a Parse* decoder and a seeded Fuzz* target for every exported Append*JSON encoder",
+	Run:  runWirepair,
+}
+
+func runWirepair(pass *Pass) error {
+	pkg := pass.Pkg
+
+	// Index package-level function names in source and test files.
+	funcs := make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+				funcs[fd.Name.Name] = true
+			}
+		}
+	}
+	fuzzSeeded := make(map[string]bool) // fuzz func name -> calls f.Add
+	for _, f := range pkg.TestFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			seeded := false
+			if fd.Body != nil {
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+							seeded = true
+							return false
+						}
+					}
+					return true
+				})
+			}
+			fuzzSeeded[fd.Name.Name] = seeded
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			name := fd.Name.Name
+			base, ok := wireBaseName(name)
+			if !ok {
+				continue
+			}
+			parseName := "Parse" + base + "Line"
+			fuzzName := "FuzzParse" + base + "Line"
+			if args, ok := DirectiveArgs(fd.Doc, DirWirepair); ok {
+				p, fz, err := parseWirepairArgs(args)
+				if err != nil {
+					pass.Reportf(fd.Pos(), "%s: bad //fuzzyho:wirepair annotation: %v", name, err)
+					continue
+				}
+				parseName, fuzzName = p, fz
+			}
+			if !funcs[parseName] {
+				pass.Reportf(fd.Pos(), "encoder %s has no decoder %s in this package: every wire encoder needs a decoder so the encode→decode→encode byte-identity pin can cover it (declare a non-conventional pair with //fuzzyho:wirepair parse=... fuzz=...)", name, parseName)
+			}
+			seeded, exists := fuzzSeeded[fuzzName]
+			switch {
+			case !exists:
+				pass.Reportf(fd.Pos(), "encoder %s has no fuzz target %s: wire decoders take bytes from the network and must survive arbitrary input (see the fuzz-smoke make target)", name, fuzzName)
+			case !seeded:
+				pass.Reportf(fd.Pos(), "fuzz target %s for encoder %s has no f.Add seed: an unseeded target starts from the empty corpus and the smoke budget never reaches the interesting states", fuzzName, name)
+			}
+		}
+	}
+	return nil
+}
+
+// wireBaseName extracts X from Append<X>JSON; ok is false for names that
+// do not match the encoder convention.
+func wireBaseName(name string) (string, bool) {
+	rest, ok := strings.CutPrefix(name, "Append")
+	if !ok {
+		return "", false
+	}
+	base, ok := strings.CutSuffix(rest, "JSON")
+	if !ok || base == "" {
+		return "", false
+	}
+	return base, true
+}
+
+// parseWirepairArgs parses `parse=Name fuzz=Name` annotation arguments.
+func parseWirepairArgs(args string) (parse, fuzz string, err error) {
+	for _, field := range strings.Fields(args) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok || v == "" {
+			return "", "", fmt.Errorf("expected key=value fields, got %q", field)
+		}
+		switch k {
+		case "parse":
+			parse = v
+		case "fuzz":
+			fuzz = v
+		default:
+			return "", "", fmt.Errorf("unknown key %q (want parse=, fuzz=)", k)
+		}
+	}
+	if parse == "" || fuzz == "" {
+		return "", "", fmt.Errorf("both parse= and fuzz= are required, got %q", args)
+	}
+	return parse, fuzz, nil
+}

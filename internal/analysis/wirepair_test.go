@@ -1,0 +1,43 @@
+package analysis
+
+import "testing"
+
+func TestWireBaseName(t *testing.T) {
+	cases := []struct {
+		name string
+		base string
+		ok   bool
+	}{
+		{"AppendReportJSON", "Report", true},
+		{"AppendOutcomeJSON", "Outcome", true},
+		{"AppendJSON", "", false}, // empty base is not a codec name
+		{"AppendText", "", false},
+		{"ParseReportLine", "", false},
+		{"Append", "", false},
+	}
+	for _, c := range cases {
+		base, ok := wireBaseName(c.name)
+		if base != c.base || ok != c.ok {
+			t.Errorf("wireBaseName(%q) = %q, %v; want %q, %v", c.name, base, ok, c.base, c.ok)
+		}
+	}
+}
+
+func TestParseWirepairArgs(t *testing.T) {
+	p, fz, err := parseWirepairArgs("parse=ParseBatchLine fuzz=FuzzParseBatchLine")
+	if err != nil || p != "ParseBatchLine" || fz != "FuzzParseBatchLine" {
+		t.Errorf("got (%q, %q, %v)", p, fz, err)
+	}
+	for _, bad := range []string{
+		"parse=ParseBatchLine",    // fuzz missing
+		"fuzz=FuzzParseBatchLine", // parse missing
+		"parse=",                  // empty value
+		"parse=P fuzz=F extra=Q",  // unknown key
+		"parse=P fuzz=F bare",     // not key=value
+		"",                        // both missing
+	} {
+		if _, _, err := parseWirepairArgs(bad); err == nil {
+			t.Errorf("parseWirepairArgs(%q): want error, got nil", bad)
+		}
+	}
+}

@@ -148,6 +148,8 @@ func (l *Local) startNode(id int) (*localNode, error) {
 }
 
 // NumNodes implements Router.
+//
+//fuzzyho:nolockio
 func (l *Local) NumNodes() int {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
@@ -155,6 +157,8 @@ func (l *Local) NumNodes() int {
 }
 
 // Members returns the live member IDs in ascending order.
+//
+//fuzzyho:nolockio
 func (l *Local) Members() []int {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
@@ -162,6 +166,8 @@ func (l *Local) Members() []int {
 }
 
 // NodeOf implements Router.
+//
+//fuzzyho:nolockio
 func (l *Local) NodeOf(id serve.TerminalID) int {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
@@ -467,6 +473,8 @@ func (l *Local) restoreBack(ring *Ring, snaps []serve.TerminalSnapshot) error {
 }
 
 // sortedNodes returns the live members in ascending ID order.
+//
+//fuzzyho:nolockio
 func (l *Local) sortedNodes() []*localNode {
 	out := make([]*localNode, 0, len(l.nodes))
 	for _, n := range l.nodes {
@@ -476,8 +484,14 @@ func (l *Local) sortedNodes() []*localNode {
 	return out
 }
 
+// sortedKeys collects a map's keys in ascending order — the pattern that
+// turns map iteration into a deterministic visit order.
+//
+//fuzzyho:nolockio
+//fuzzyho:deterministic
 func sortedKeys[V any](m map[int]V) []int {
 	keys := make([]int, 0, len(m))
+	//fuzzyho:allow order-insensitive reduction: the keys are sorted below, so the result cannot observe iteration order
 	for k := range m {
 		keys = append(keys, k)
 	}
@@ -488,6 +502,8 @@ func sortedKeys[V any](m map[int]V) []int {
 // Submit implements Router.  During a membership change a report for a
 // moving terminal buffers until cutover; everything else routes as if no
 // change were in flight.
+//
+//fuzzyho:nolockio
 func (l *Local) Submit(r serve.Report) error {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
@@ -500,6 +516,7 @@ func (l *Local) Submit(r serve.Report) error {
 	// report is queued the node may decide it immediately, and a counter
 	// that lags lets Stats observe decisions > submitted.
 	node.submitted.Add(1)
+	//fuzzyho:allow backpressure by design: the engine's shard consumers drain independently of memMu, so this wait is bounded by shard progress, never by the membership change itself
 	if err := node.engine.Submit(r); err != nil {
 		node.submitted.Add(^uint64(0)) // roll back the optimistic accounting
 		return fmt.Errorf("cluster: node %d: %w", node.id, err)
@@ -512,17 +529,22 @@ func (l *Local) Submit(r serve.Report) error {
 // Engine.SubmitBatch call, which blocks under that node's backpressure.
 // During a membership change, moving-terminal reports peel off into the
 // migration buffer first.
+//
+//fuzzyho:nolockio
 func (l *Local) SubmitBatch(rs []serve.Report) error {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
 	if l.mig != nil {
 		rs = l.mig.intercept(rs)
 	}
+	//fuzzyho:allow backpressure by design: shard queues drain independently of memMu (see submitBatchLocked)
 	return l.submitBatchLocked(rs)
 }
 
 // submitBatchLocked scatters under a held member lock (read side for
 // submissions, write side for the cutover/abort buffer flush).
+//
+//fuzzyho:nolockio
 func (l *Local) submitBatchLocked(rs []serve.Report) error {
 	if len(rs) == 0 {
 		return nil
@@ -530,6 +552,7 @@ func (l *Local) submitBatchLocked(rs []serve.Report) error {
 	if l.ring.Nodes() == 1 {
 		node := l.nodes[l.ring.Members()[0]]
 		node.submitted.Add(uint64(len(rs)))
+		//fuzzyho:allow backpressure by design: the engine's shard consumers drain independently of memMu, so this wait is bounded by shard progress, never by the membership change itself
 		if err := node.engine.SubmitBatch(rs); err != nil {
 			node.submitted.Add(^uint64(len(rs) - 1))
 			return fmt.Errorf("cluster: node %d: %w", node.id, err)
@@ -549,6 +572,7 @@ func (l *Local) submitBatchLocked(rs []serve.Report) error {
 		}
 		node := l.nodes[id]
 		node.submitted.Add(uint64(len(sub)))
+		//fuzzyho:allow backpressure by design: the engine's shard consumers drain independently of memMu, so this wait is bounded by shard progress, never by the membership change itself
 		if err := node.engine.SubmitBatch(sub); err != nil {
 			node.submitted.Add(^uint64(len(sub) - 1))
 			return fmt.Errorf("cluster: node %d: %w", id, err)
@@ -561,6 +585,8 @@ func (l *Local) submitBatchLocked(rs []serve.Report) error {
 // owning node, shedding (and counting) everything from the first
 // backlogged node on.  Reports accepted before the backlog stay accepted.
 // A full migration buffer sheds moving-terminal reports the same way.
+//
+//fuzzyho:nolockio
 func (l *Local) TrySubmitBatch(rs []serve.Report) error {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
@@ -607,6 +633,7 @@ func (l *Local) TrySubmitBatch(rs []serve.Report) error {
 	return nil
 }
 
+//fuzzyho:nolockio
 func (l *Local) putScatter(bufs *map[int][]serve.Report) {
 	for id, sub := range *bufs {
 		(*bufs)[id] = sub[:0]
@@ -627,6 +654,8 @@ func (l *Local) Flush(time.Duration) error {
 }
 
 // nodeStats snapshots one live member's counters.
+//
+//fuzzyho:nolockio
 func (l *Local) nodeStats(n *localNode) NodeStats {
 	tot := n.engine.Stats().Totals()
 	return NodeStats{
@@ -644,6 +673,8 @@ func (l *Local) nodeStats(n *localNode) NodeStats {
 // Stats implements Router, merging each node's serve.Stats totals.
 // Departed members appear after the live ones with frozen counters, so
 // cluster totals still account every decision ever made.
+//
+//fuzzyho:nolockio
 func (l *Local) Stats() Stats {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()
@@ -656,6 +687,8 @@ func (l *Local) Stats() Stats {
 }
 
 // Migration implements Router.
+//
+//fuzzyho:nolockio
 func (l *Local) Migration() MigrationStatus {
 	l.memMu.RLock()
 	buffered := 0
@@ -669,6 +702,8 @@ func (l *Local) Migration() MigrationStatus {
 // EngineStats returns member id's full per-shard serve.Stats (the
 // in-process backend's extra observability over the merged Stats view);
 // zero after the member departed.
+//
+//fuzzyho:nolockio
 func (l *Local) EngineStats(id int) serve.Stats {
 	l.memMu.RLock()
 	defer l.memMu.RUnlock()

@@ -39,6 +39,9 @@ type migration struct {
 }
 
 // moving reports whether the terminal's owner changes under the new ring.
+//
+//fuzzyho:nolockio
+//fuzzyho:deterministic
 func (m *migration) moving(t serve.TerminalID) bool {
 	return m.oldRing.NodeOf(t) != m.newRing.NodeOf(t)
 }
@@ -46,6 +49,8 @@ func (m *migration) moving(t serve.TerminalID) bool {
 // add buffers one moving-terminal report.  Appends never block: a
 // submitter stalled here while holding the router's read lock would
 // deadlock the cutover's write lock.
+//
+//fuzzyho:nolockio
 func (m *migration) add(r serve.Report) {
 	m.mu.Lock()
 	m.buf = append(m.buf, r)
@@ -57,6 +62,8 @@ func (m *migration) add(r serve.Report) {
 // ring).  The input slice is never mutated; when nothing moves it is
 // returned as-is with no allocation — the common case, since a change
 // moves ~1/N of the key space.
+//
+//fuzzyho:nolockio
 func (m *migration) intercept(rs []serve.Report) []serve.Report {
 	split := -1
 	for i := range rs {
@@ -87,6 +94,8 @@ func (m *migration) intercept(rs []serve.Report) []serve.Report {
 // first shed report) instead of growing the buffer unboundedly.  Only
 // this call's own reports are ever shed — reports a blocking submit
 // already buffered were accepted and stay accepted.
+//
+//fuzzyho:nolockio
 func (m *migration) interceptTry(rs []serve.Report) (rest []serve.Report, shed int, node int) {
 	node = -1
 	split := -1
@@ -121,6 +130,8 @@ func (m *migration) interceptTry(rs []serve.Report) (rest []serve.Report, shed i
 }
 
 // take hands the buffered reports to the cutover (or abort) flush.
+//
+//fuzzyho:nolockio
 func (m *migration) take() []serve.Report {
 	m.mu.Lock()
 	b := m.buf
@@ -130,6 +141,8 @@ func (m *migration) take() []serve.Report {
 }
 
 // buffered is the instantaneous buffer depth.
+//
+//fuzzyho:nolockio
 func (m *migration) buffered() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -162,6 +175,7 @@ func (g *migTracker) end() {
 	g.mu.Unlock()
 }
 
+//fuzzyho:nolockio
 func (g *migTracker) status(buffered int) MigrationStatus {
 	g.mu.Lock()
 	st := g.st

@@ -147,15 +147,22 @@ func (r *Ring) buildLUT() {
 // small blends would place node 0's points exactly on the hashes of
 // terminal IDs 0..virtualNodes-1 (identical inputs to HashTerminal), and
 // every low terminal would systematically land on node 0.
+//
+//fuzzyho:deterministic
 func pointHash(node, v int) uint64 {
 	h := serve.HashTerminal(serve.TerminalID(uint64(node)<<32 + uint64(v)))
 	return serve.HashTerminal(serve.TerminalID(h))
 }
 
 // Nodes returns the member count.
+//
+//fuzzyho:nolockio
 func (r *Ring) Nodes() int { return len(r.members) }
 
 // Members returns the member IDs in ascending order (a copy).
+//
+//fuzzyho:nolockio
+//fuzzyho:deterministic
 func (r *Ring) Members() []int {
 	out := make([]int, len(r.members))
 	copy(out, r.members)
@@ -163,7 +170,13 @@ func (r *Ring) Members() []int {
 }
 
 // NodeOf returns the member owning the terminal: the node of the first
-// ring point at or clockwise past the terminal's hash.
+// ring point at or clockwise past the terminal's hash.  Runs per report
+// under the router's membership read lock: hot, deterministic (the
+// equivalence pins route on it) and never blocking.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+//fuzzyho:nolockio
 func (r *Ring) NodeOf(id serve.TerminalID) int {
 	if r.lut == nil {
 		return r.members[0] // single member owns everything
@@ -177,6 +190,10 @@ func (r *Ring) NodeOf(id serve.TerminalID) int {
 
 // search returns the index of the first point with hash ≥ h (== len when
 // h is past the last point; callers wrap with % len).
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+//fuzzyho:nolockio
 func (r *Ring) search(h uint64) int {
 	lo, hi := 0, len(r.points)
 	for lo < hi {

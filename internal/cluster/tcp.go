@@ -799,6 +799,8 @@ func contains(xs []int, x int) bool {
 }
 
 // sortedNodes returns the live members in ascending ID order.
+//
+//fuzzyho:nolockio
 func (t *TCP) sortedNodes() []*tcpNode {
 	out := make([]*tcpNode, 0, len(t.nodes))
 	for _, n := range t.nodes {
@@ -810,7 +812,11 @@ func (t *TCP) sortedNodes() []*tcpNode {
 
 // Submit implements Router.  During a membership change a report for a
 // moving terminal buffers until cutover; everything else routes as if no
-// change were in flight.
+// change were in flight.  Runs under memMu's read side: the client send
+// below parks on a select (queue slot or client death), never on the
+// network — lockcheck audits the rest of the path.
+//
+//fuzzyho:nolockio
 func (t *TCP) Submit(r serve.Report) error {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
@@ -829,6 +835,8 @@ func (t *TCP) Submit(r serve.Report) error {
 // and each destination gets one coalesced wire line, blocking on that
 // node's send queue under backpressure.  During a membership change,
 // moving-terminal reports peel off into the migration buffer first.
+//
+//fuzzyho:nolockio
 func (t *TCP) SubmitBatch(rs []serve.Report) error {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
@@ -844,6 +852,8 @@ func (t *TCP) SubmitBatch(rs []serve.Report) error {
 // queue sheds that node's sub-batch and fails with *BacklogError instead
 // of blocking; other nodes' sub-batches are still accepted.  A full
 // migration buffer sheds moving-terminal reports the same way.
+//
+//fuzzyho:nolockio
 func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
@@ -878,6 +888,8 @@ func (t *TCP) TrySubmitBatch(rs []serve.Report) error {
 }
 
 // Migration implements Router.
+//
+//fuzzyho:nolockio
 func (t *TCP) Migration() MigrationStatus {
 	t.memMu.RLock()
 	buffered := 0
@@ -889,6 +901,8 @@ func (t *TCP) Migration() MigrationStatus {
 }
 
 // submitBatch scatters under a held read lock.
+//
+//fuzzyho:nolockio
 func (t *TCP) submitBatch(rs []serve.Report, send func(n int, sub []serve.Report) error) error {
 	if len(rs) == 0 {
 		return nil
@@ -918,6 +932,7 @@ func (t *TCP) submitBatch(rs []serve.Report, send func(n int, sub []serve.Report
 	return nil
 }
 
+//fuzzyho:nolockio
 func (t *TCP) putScatter(bufs *map[int][]serve.Report) {
 	for n, sub := range *bufs {
 		(*bufs)[n] = sub[:0]
@@ -946,6 +961,8 @@ func (t *TCP) Flush(timeout time.Duration) error {
 }
 
 // nodeStats snapshots one live member's client ledger.
+//
+//fuzzyho:nolockio
 func (t *TCP) nodeStats(n *tcpNode) NodeStats {
 	cnt := n.client.Counters()
 	return NodeStats{
@@ -965,6 +982,8 @@ func (t *TCP) nodeStats(n *tcpNode) NodeStats {
 // Stats implements Router from the per-node client ledgers.  Terminal
 // counts are not carried on the wire and read 0.  Departed members
 // appear after the live ones with frozen counters.
+//
+//fuzzyho:nolockio
 func (t *TCP) Stats() Stats {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()
@@ -987,6 +1006,8 @@ type ClientCounters struct {
 
 // ClientCounters snapshots every live member's client ledger in
 // ascending node order.
+//
+//fuzzyho:nolockio
 func (t *TCP) ClientCounters() []ClientCounters {
 	t.memMu.RLock()
 	defer t.memMu.RUnlock()

@@ -34,7 +34,11 @@ const (
 	StageExecute
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer.  Every named stage returns a
+// package-level string constant, so the serve decision loop delivers
+// reasons without allocating.
+//
+//fuzzyho:hotpath
 func (s Stage) String() string {
 	switch s {
 	case StageQualityGate:
@@ -46,6 +50,7 @@ func (s Stage) String() string {
 	case StageExecute:
 		return "execute-handover"
 	default:
+		//fuzzyho:allow unreachable for the four defined stages; only an out-of-range Stage value formats
 		return fmt.Sprintf("Stage(%d)", int(s))
 	}
 }
@@ -149,12 +154,16 @@ func NewControllerWithConfig(cfg ControllerConfig) *Controller {
 }
 
 // FLC returns the controller's fuzzy logic controller.
+//
+//fuzzyho:hotpath
 func (c *Controller) FLC() *FLC { return c.flc }
 
 // Threshold returns the HD handover threshold.
 func (c *Controller) Threshold() float64 { return c.threshold }
 
 // QualityGateDB returns the POTLC gate level.
+//
+//fuzzyho:hotpath
 func (c *Controller) QualityGateDB() float64 { return c.qualityGateDB }
 
 // Decide runs one epoch through the Fig. 4 pipeline:
@@ -181,6 +190,8 @@ func (c *Controller) Decide(r Report) (Decision, error) {
 // FLC → PRTLC pipeline runs without heap allocations.  sc must come from
 // this controller's FLC().NewScratch() and must not be shared across
 // goroutines.
+//
+//fuzzyho:hotpath
 func (c *Controller) DecideInto(sc *fuzzy.Scratch, r Report) (Decision, error) {
 	// Stage 1: POTLC quality gate.
 	if r.ServingDB >= c.qualityGateDB {
@@ -189,6 +200,7 @@ func (c *Controller) DecideInto(sc *fuzzy.Scratch, r Report) (Decision, error) {
 	// Stage 2: FLC.
 	hd, err := c.flc.EvaluateInto(sc, r.CSSPdB, r.SSNdB, r.DMBNorm)
 	if err != nil {
+		//fuzzyho:allow error path: only a no-rule-fired ablation reaches this wrap, never a steady-state decision
 		return Decision{}, fmt.Errorf("core: FLC evaluation: %w", err)
 	}
 	return c.DecideFromHD(r, hd), nil
@@ -199,6 +211,8 @@ func (c *Controller) DecideInto(sc *fuzzy.Scratch, r Report) (Decision, error) {
 // columns through FLC.EvaluateBatch and finishes each decision here.  The
 // POTLC gate must have been applied by the caller (a report that passes
 // the gate never reaches the FLC).
+//
+//fuzzyho:hotpath
 func (c *Controller) DecideFromHD(r Report, hd float64) Decision {
 	if hd <= c.threshold {
 		return Decision{Handover: false, Stage: StageFLC, HD: hd, Evaluated: true}

@@ -151,14 +151,22 @@ func (f *FLC) System() *fuzzy.System { return f.sys }
 func (f *FLC) NewScratch() *fuzzy.Scratch { return f.sys.NewScratch() }
 
 // getScratch pops a pooled Scratch (or makes one); putScratch recycles it.
+//
+//fuzzyho:hotpath
 func (f *FLC) getScratch() *fuzzy.Scratch {
+	//fuzzyho:allow sync.Pool hit returns a pooled buffer without allocating; a miss (first use per P, or after GC) builds one
 	if sc, ok := f.scratches.Get().(*fuzzy.Scratch); ok {
 		return sc
 	}
+	//fuzzyho:allow pool-miss path only: builds the scratch the pool will recycle
 	return f.sys.NewScratch()
 }
 
-func (f *FLC) putScratch(sc *fuzzy.Scratch) { f.scratches.Put(sc) }
+//fuzzyho:hotpath
+func (f *FLC) putScratch(sc *fuzzy.Scratch) {
+	//fuzzyho:allow sync.Pool.Put stores the pointer without allocating in practice; the scratch itself is reused
+	f.scratches.Put(sc)
+}
 
 // Evaluate computes the handover-decision output HD ∈ [0, 1] for the given
 // raw inputs.  Inputs are clamped to the Fig. 5 universes, so out-of-range
@@ -177,6 +185,9 @@ func (f *FLC) Evaluate(csspDB, ssnDB, dmbNorm float64) (float64, error) {
 // per call.  sc must come from this FLC's NewScratch and must not be shared
 // across goroutines.  A compiled FLC answers from the surface and leaves sc
 // untouched.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (f *FLC) EvaluateInto(sc *fuzzy.Scratch, csspDB, ssnDB, dmbNorm float64) (float64, error) {
 	cssp, ssn, dmb := ClampInputs(csspDB, ssnDB, dmbNorm)
 	if f.surface != nil {
@@ -194,10 +205,13 @@ func (f *FLC) EvaluateInto(sc *fuzzy.Scratch, csspDB, ssnDB, dmbNorm float64) (f
 // dst[i] = NaN; the error return covers shape mismatches only.  On a compiled FLC the batch runs through the surface's columnar
 // fast path; otherwise it loops the exact path over pooled buffers.
 // Steady state performs no heap allocations either way.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (f *FLC) EvaluateBatch(dst, cssp, ssn, dmb []float64) error {
 	if len(cssp) != len(dst) || len(ssn) != len(dst) || len(dmb) != len(dst) {
-		return fmt.Errorf("core: column lengths %d/%d/%d ≠ batch length %d",
-			len(cssp), len(ssn), len(dmb), len(dst))
+		//fuzzyho:allow shape guard: shard-owned columns always share one length, so this formats only on a caller contract violation
+		return fmt.Errorf("core: column lengths %d/%d/%d ≠ batch length %d", len(cssp), len(ssn), len(dmb), len(dst))
 	}
 	for i := range dst {
 		cssp[i], ssn[i], dmb[i] = ClampInputs(cssp[i], ssn[i], dmb[i])

@@ -116,12 +116,20 @@ func NewHD() *fuzzy.Variable {
 
 // ClampInputs clamps raw measurements to the Fig. 5 universes; exported so
 // that report generators can show the effective FLC inputs.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func ClampInputs(cssp, ssn, dmb float64) (float64, float64, float64) {
-	clamp := func(x, lo, hi float64) float64 {
-		if math.IsNaN(x) {
-			return lo
-		}
-		return math.Min(math.Max(x, lo), hi)
-	}
 	return clamp(cssp, CsspMin, CsspMax), clamp(ssn, SsnMin, SsnMax), clamp(dmb, DmbMin, DmbMax)
+}
+
+// clamp bounds x to [lo, hi], mapping NaN to lo.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+func clamp(x, lo, hi float64) float64 {
+	if math.IsNaN(x) {
+		return lo
+	}
+	return math.Min(math.Max(x, lo), hi)
 }

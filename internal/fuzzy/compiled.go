@@ -396,6 +396,9 @@ func sortDedup(xs *[]float64) {
 }
 
 // find locates x's segment on the axis, clamping to the universe first.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (ax *kernelAxis) find(x float64) (*kernelSeg, float64) {
 	if x < ax.min {
 		x = ax.min
@@ -419,6 +422,9 @@ func (ax *kernelAxis) find(x float64) (*kernelSeg, float64) {
 // min-folds and max-aggregation, on the same values, as the reference grid
 // inference — straight-line, with duplicated slots standing in for
 // single-term segments.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (k *surfaceKernel) eval(x0, x1, x2 float64) (float64, error) {
 	sg0, x0 := k.axes[0].find(x0)
 	sg1, x1 := k.axes[1].find(x1)
@@ -489,6 +495,9 @@ func (k *surfaceKernel) eval(x0, x1, x2 float64) (float64, error) {
 // fold accumulates one rule combo: finish the min, look up the consequent,
 // apply the weight, max-aggregate.  A non-positive strength can never beat
 // the non-negative accumulator, so no zero check is needed.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (k *surfaceKernel) fold(m, g float64, idx int32, act *[kernelMaxOutTerms]float64) {
 	if g < m {
 		m = g
@@ -505,6 +514,9 @@ func (k *surfaceKernel) fold(m, g float64, idx int32, act *[kernelMaxOutTerms]fl
 // cfold is fold for the complete unweighted grid.  ot is masked to the
 // accumulator size instead of bounds-checked: eligibility pins every
 // consequent under kernelMaxOutTerms.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func cfold(m, g float64, ot int32, act *[kernelMaxOutTerms]float64) {
 	if g < m {
 		m = g
@@ -672,6 +684,9 @@ func (cs *CompiledSurface) probeLattice(sc *Scratch) error {
 // axis.  Out-of-universe values clamp to the edge cells — exactly the
 // saturation the exact path applies via Variable.Clamp.  NaN must be
 // rejected by the caller (its comparisons would select the origin cell).
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) locate(ax int, x float64) (int, float64) {
 	t := (x - cs.min[ax]) * cs.invStp[ax]
 	last := float64(cs.res - 1)
@@ -717,6 +732,9 @@ func (cs *CompiledSurface) interp(xs []float64) float64 {
 
 // interp3 is the trilinear specialization 3-input lattices run on: three
 // locates, eight loads, seven lerps.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) interp3(x0, x1, x2 float64) float64 {
 	i0, f0 := cs.locate(0, x0)
 	i1, f1 := cs.locate(1, x1)
@@ -779,11 +797,16 @@ func (cs *CompiledSurface) Evaluate(xs []float64) (float64, error) {
 
 // At3 is Evaluate for the 3-input case without the slice: the single-query
 // fast path of the paper's FLC.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) At3(x0, x1, x2 float64) (float64, error) {
 	if cs.dims != 3 {
+		//fuzzyho:allow construction guard: the serve path only builds 3-input surfaces, so this formats only on caller misuse
 		return 0, fmt.Errorf("fuzzy: At3 on a %d-input surface", cs.dims)
 	}
 	if x0 != x0 || x1 != x1 || x2 != x2 {
+		//fuzzyho:allow NaN guard: core.ClampInputs maps NaN to the universe floor before any decision-path query
 		return 0, fmt.Errorf("fuzzy: NaN input")
 	}
 	if cs.kern != nil {
@@ -833,13 +856,17 @@ func (cs *CompiledSurface) EvaluateBatch(dst []float64, cols [][]float64) error 
 // EvaluateBatch3 is EvaluateBatch specialized to three input columns — the
 // shape the serving layer's columnar decision pipeline drains its
 // struct-of-arrays buffers through.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) EvaluateBatch3(dst, c0, c1, c2 []float64) error {
 	if cs.dims != 3 {
+		//fuzzyho:allow construction guard: the serve path only builds 3-input surfaces, so this formats only on caller misuse
 		return fmt.Errorf("fuzzy: EvaluateBatch3 on a %d-input surface", cs.dims)
 	}
 	if len(c0) != len(dst) || len(c1) != len(dst) || len(c2) != len(dst) {
-		return fmt.Errorf("fuzzy: column lengths %d/%d/%d ≠ batch length %d",
-			len(c0), len(c1), len(c2), len(dst))
+		//fuzzyho:allow shape guard: shard-owned columns always share one length, so this formats only on a caller contract violation
+		return fmt.Errorf("fuzzy: column lengths %d/%d/%d ≠ batch length %d", len(c0), len(c1), len(c2), len(dst))
 	}
 	if k := cs.kern; k != nil {
 		for i := range dst {

@@ -57,6 +57,8 @@ func compileTerm(mf MembershipFunc) fastTerm {
 	}
 }
 
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (f *fastTerm) grade(x float64) float64 {
 	switch f.kind {
 	case mfTriangular:
@@ -261,14 +263,20 @@ func (sc *Scratch) Xs() []float64 { return sc.xs }
 // zero heap allocations for the default operator set (min/max norms,
 // weighted-average defuzzifier).  It is safe to call EvaluateInto
 // concurrently as long as each goroutine owns its Scratch.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (s *System) EvaluateInto(dst *Scratch, xs []float64) (float64, error) {
 	if dst == nil {
+		//fuzzyho:allow caller-contract guard, never taken by the serve path (shards own their scratch)
 		return 0, fmt.Errorf("fuzzy: nil scratch")
 	}
 	if dst.sys != s {
+		//fuzzyho:allow caller-contract guard, never taken by the serve path (scratch is created from this system)
 		return 0, fmt.Errorf("fuzzy: scratch belongs to a different system")
 	}
 	if len(xs) != len(s.inputs) {
+		//fuzzyho:allow caller-contract guard, never taken by the serve path (positional arity is fixed at 3)
 		return 0, fmt.Errorf("fuzzy: %d inputs for %d variables", len(xs), len(s.inputs))
 	}
 	// Fuzzify: grade every input against every term of its variable.  NaN
@@ -279,6 +287,7 @@ func (s *System) EvaluateInto(dst *Scratch, xs []float64) (float64, error) {
 	for i, v := range s.inputs {
 		x := xs[i]
 		if x != x {
+			//fuzzyho:allow NaN guard: core.ClampInputs maps NaN to the universe floor before any decision-path query
 			return 0, fmt.Errorf("fuzzy: input %q is NaN", v.Name)
 		}
 		x = v.Clamp(x)
@@ -301,6 +310,7 @@ func (s *System) EvaluateInto(dst *Scratch, xs []float64) (float64, error) {
 			s.inferFast(dst.flat, act)
 		}
 	} else {
+		//fuzzyho:allow generic-operator fallback: the paper's controller always satisfies fastNorms, so the decision path never reaches the pointer-dispatch inference
 		s.inferInto(dst.grades, act, nil)
 	}
 	// Defuzzify.
@@ -318,6 +328,7 @@ func (s *System) EvaluateInto(dst *Scratch, xs []float64) (float64, error) {
 		}
 		return num / den, nil
 	}
+	//fuzzyho:allow custom-defuzzifier fallback: the default weighted-average defuzzifier takes the fastDefuzz branch above
 	return s.opts.Defuzzifier.Defuzzify(s.output, act, s.opts.Implication)
 }
 
@@ -327,6 +338,9 @@ func (s *System) EvaluateInto(dst *Scratch, xs []float64) (float64, error) {
 // is zero whenever any clause grade is — so restricting to nonzero terms
 // visits exactly the rules the reference path would let fire, with exactly
 // the same strengths (min and the max aggregation are order-independent).
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (g *gridTable) infer(sc *Scratch, act []float64) {
 	nvars := len(sc.grades)
 	for i, gr := range sc.grades {
@@ -383,6 +397,9 @@ func (g *gridTable) infer(sc *Scratch, act []float64) {
 // math.Min/math.Max, which for membership grades in [0, 1] reduce to plain
 // comparisons, so the whole specialization reproduces the generic path
 // bit-for-bit.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (s *System) inferFast(flat []float64, act []float64) {
 	clauses := s.fastClauses
 	for ri := range s.fastRules {

@@ -20,6 +20,10 @@ import (
 // in [0, 1], and be continuous except for Singleton.
 type MembershipFunc interface {
 	// Grade returns the membership grade of x, in [0, 1].
+	// Implementations run inside the serve decision loop's inference
+	// kernel: Grade must be pure arithmetic and must not allocate.
+	//
+	//fuzzyho:hotpath
 	Grade(x float64) float64
 	// Support returns the closed interval outside of which Grade is 0.
 	// Unbounded shoulders return ±Inf endpoints.
@@ -52,6 +56,9 @@ type Triangular struct {
 func Tri(a, b, c float64) Triangular { return Triangular{a, b, c} }
 
 // Grade implements MembershipFunc.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (t Triangular) Grade(x float64) float64 {
 	switch {
 	case x <= t.A || x >= t.C:
@@ -109,6 +116,9 @@ func ShoulderRight(a, b float64) Trapezoidal {
 }
 
 // Grade implements MembershipFunc.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (t Trapezoidal) Grade(x float64) float64 {
 	switch {
 	case x < t.A || x > t.D:
@@ -169,6 +179,9 @@ type Gaussian struct {
 }
 
 // Grade implements MembershipFunc.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (g Gaussian) Grade(x float64) float64 {
 	d := (x - g.Mean) / g.Sigma
 	return math.Exp(-d * d / 2)
@@ -197,6 +210,9 @@ type Bell struct {
 }
 
 // Grade implements MembershipFunc.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (b Bell) Grade(x float64) float64 {
 	return 1 / (1 + math.Pow(math.Abs((x-b.C)/b.A), 2*b.B))
 }
@@ -229,6 +245,9 @@ type Singleton struct {
 }
 
 // Grade implements MembershipFunc.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (s Singleton) Grade(x float64) float64 {
 	if x == s.X {
 		return 1

@@ -94,6 +94,9 @@ func (v *Variable) TermNames() []string {
 // Clamp restricts x to the universe [Min, Max].  The engine clamps inputs
 // before fuzzification so out-of-range measurements saturate at the edge
 // terms instead of falling off every membership function.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (v *Variable) Clamp(x float64) float64 {
 	if x < v.Min {
 		return v.Min

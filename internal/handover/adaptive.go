@@ -106,9 +106,14 @@ func newAdaptiveFuzzy(flc *core.FLC) *AdaptiveFuzzy {
 func (a *AdaptiveFuzzy) Name() string { return "fuzzy-adaptive" }
 
 // Reset implements Algorithm.
+//
+//fuzzyho:hotpath
 func (a *AdaptiveFuzzy) Reset() {}
 
 // Threshold returns the effective threshold at the given speed.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (a *AdaptiveFuzzy) Threshold(speedKmh float64) float64 {
 	return math.Max(a.MinThreshold, a.BaseThreshold-a.SlopePerKmh*math.Abs(speedKmh))
 }
@@ -116,15 +121,19 @@ func (a *AdaptiveFuzzy) Threshold(speedKmh float64) float64 {
 // Decide implements Algorithm with the same POTLC → FLC → PRTLC pipeline as
 // the paper's controller, but comparing HD against the speed-adaptive
 // threshold.
+//
+//fuzzyho:hotpath
 func (a *AdaptiveFuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error) {
 	if m.ServingDB >= a.qualityGateDB {
 		return Decision{Reason: "POTLC-quality-gate"}, nil
 	}
 	if a.scratch == nil {
+		//fuzzyho:allow one-time lazy scratch construction on the instance's first decision; every later call reuses it
 		a.scratch = a.flc.NewScratch()
 	}
 	hd, err := a.flc.EvaluateInto(a.scratch, m.CSSPdB, m.NeighborDB, m.DMBNorm)
 	if err != nil {
+		//fuzzyho:allow error path: only a no-rule-fired ablation reaches this wrap, never a steady-state decision
 		return Decision{}, fmt.Errorf("handover: adaptive FLC: %w", err)
 	}
 	return a.complete(&m, prevServingDB, havePrev, hd, hd <= a.Threshold(m.SpeedKmh)), nil
@@ -133,6 +142,8 @@ func (a *AdaptiveFuzzy) Decide(m cell.Measurement, prevServingDB float64, havePr
 // complete finishes the pipeline from a computed score: the threshold
 // verdict is passed in so the batch path (which settles it per column row)
 // and the scalar path share one PRTLC implementation.
+//
+//fuzzyho:hotpath
 func (a *AdaptiveFuzzy) complete(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, below bool) Decision {
 	if below {
 		// Static reason string: the serving hot path delivers one of
@@ -152,7 +163,10 @@ func (a *AdaptiveFuzzy) complete(m *cell.Measurement, prevServingDB float64, hav
 // evaluated rows at or below the row's adaptive threshold come back as
 // ScoreBelowThreshold and only the PRTLC history comparison is left for
 // DecideScored.
+//
+//fuzzyho:hotpath
 func (a *AdaptiveFuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
+	//fuzzyho:allow shape guard: formats an error only when the caller violates the shared-length contract; shard-owned columns never do
 	if err := checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd, status); err != nil {
 		return err
 	}
@@ -170,6 +184,8 @@ func (a *AdaptiveFuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, 
 // DecideScored implements BatchScorer: it completes the adaptive pipeline
 // for one report from its precomputed score and threshold verdict,
 // producing exactly the decision Decide would for the same measurement.
+//
+//fuzzyho:hotpath
 func (a *AdaptiveFuzzy) DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error) {
 	switch st {
 	case ScoreGated:
@@ -178,6 +194,7 @@ func (a *AdaptiveFuzzy) DecideScored(m *cell.Measurement, prevServingDB float64,
 		// Mirrors the Decide error wrapping so errors.Is behaves
 		// identically on both paths (NaN inputs are clamped before
 		// evaluation, so only a no-rule-fired ablation NaNs a score).
+		//fuzzyho:allow error path: only a no-rule-fired ablation reaches this wrap, never a steady-state decision
 		return Decision{}, fmt.Errorf("handover: adaptive FLC: %w", fuzzy.ErrNoActivation)
 	}
 	return a.complete(m, prevServingDB, havePrev, hd, st == ScoreBelowThreshold), nil

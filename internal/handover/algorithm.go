@@ -42,9 +42,15 @@ type Decision struct {
 type Algorithm interface {
 	// Name identifies the algorithm in tables and traces.
 	Name() string
-	// Decide inspects one epoch.
+	// Decide inspects one epoch.  Implementations run on the serve
+	// decision loop: steady state must not allocate.
+	//
+	//fuzzyho:hotpath
 	Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error)
-	// Reset clears cross-epoch state (see the contract above).
+	// Reset clears cross-epoch state (see the contract above).  Called
+	// per executed handover on the decision loop: must not allocate.
+	//
+	//fuzzyho:hotpath
 	Reset()
 }
 
@@ -88,6 +94,8 @@ type BatchScorer interface {
 	// speedKmh carries each report's terminal speed so speed-adaptive
 	// scorers can batch their threshold schedule.  All slices must share
 	// one length.  Steady state performs no heap allocations.
+	//
+	//fuzzyho:hotpath
 	ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error
 	// DecideScored completes one report's decision from its precomputed
 	// score, equivalent to Decide on the same measurement and history.
@@ -95,6 +103,8 @@ type BatchScorer interface {
 	// runs once per report and a Measurement is ~100 bytes — and is not
 	// retained.  The caller must have scored columns taken from the same
 	// measurements it completes against (serve shards do).
+	//
+	//fuzzyho:hotpath
 	DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error)
 }
 
@@ -131,6 +141,8 @@ type batchGather struct {
 // score fills hd/status for every row: ScoreGated where servingDB clears
 // gateDB, otherwise ScoreEvaluated with the FLC output or ScoreError for
 // rows the engine could not score.  Columns must already be length-checked.
+//
+//fuzzyho:hotpath
 func (g *batchGather) score(flc *core.FLC, gateDB float64, servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error {
 	g.idx = g.idx[:0]
 	g.cssp, g.ssn, g.dmb = g.cssp[:0], g.ssn[:0], g.dmb[:0]
@@ -148,6 +160,7 @@ func (g *batchGather) score(flc *core.FLC, gateDB float64, servingDB, csspDB, ss
 		return nil
 	}
 	if cap(g.hd) < len(g.idx) {
+		//fuzzyho:allow grows once to the largest sub-batch ever scored (≤ maxSubBatch) and is reused for every later call
 		g.hd = make([]float64, len(g.idx))
 	}
 	g.hd = g.hd[:len(g.idx)]
@@ -195,11 +208,16 @@ func (f *Fuzzy) Name() string { return "fuzzy" }
 // to clear; the lazily built scratch is a pure inference buffer whose
 // contents are fully overwritten by every evaluation, and keeping it is
 // what makes pooled reuse (sim fleets, serve shards) allocation-free.
+//
+//fuzzyho:hotpath
 func (f *Fuzzy) Reset() {}
 
 // Decide implements Algorithm.
+//
+//fuzzyho:hotpath
 func (f *Fuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool) (Decision, error) {
 	if f.scratch == nil {
+		//fuzzyho:allow one-time lazy scratch construction on the instance's first decision; every later call reuses it
 		f.scratch = f.ctrl.FLC().NewScratch()
 	}
 	d, err := f.ctrl.DecideInto(f.scratch, core.Report{
@@ -237,7 +255,10 @@ func checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, sta
 // FLC.EvaluateBatch in one call.  The paper's threshold is
 // speed-independent, so the speed column only participates in the shape
 // check here.
+//
+//fuzzyho:hotpath
 func (f *Fuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
+	//fuzzyho:allow shape guard: formats an error only when the caller violates the shared-length contract; shard-owned columns never do
 	if err := checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd, status); err != nil {
 		return err
 	}
@@ -247,6 +268,8 @@ func (f *Fuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []flo
 // DecideScored implements BatchScorer: it completes the Fig. 4 pipeline
 // for one report from its precomputed FLC score, producing exactly the
 // decision Decide would.
+//
+//fuzzyho:hotpath
 func (f *Fuzzy) DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error) {
 	switch st {
 	case ScoreGated:
@@ -256,6 +279,7 @@ func (f *Fuzzy) DecideScored(m *cell.Measurement, prevServingDB float64, havePre
 		// clamped before evaluation, so nothing else NaNs a score); wrap the
 		// sentinel exactly like DecideInto so errors.Is behaves identically
 		// on the batch and per-report paths.
+		//fuzzyho:allow error path: only a no-rule-fired ablation reaches this wrap, never a steady-state decision
 		return Decision{}, fmt.Errorf("core: FLC evaluation: %w", fuzzy.ErrNoActivation)
 	}
 	d := f.ctrl.DecideFromHD(core.Report{

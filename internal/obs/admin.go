@@ -86,6 +86,10 @@ func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
 	if a.Extra != nil {
 		points = append(points, a.Extra()...)
 	}
+	// Registry order is registration order and Extra points land after it;
+	// sort so consecutive scrapes (and diffs of them) are byte-stable no
+	// matter which goroutine registered an instrument first.
+	SortPoints(points)
 	var sb strings.Builder
 	WritePrometheus(&sb, points)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

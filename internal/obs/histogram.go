@@ -31,6 +31,9 @@ type Histogram struct {
 }
 
 // BucketIndex maps a sample to a log-linear bucket.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func BucketIndex(v uint64) int {
 	major := bits.Len64(v) // 1..64 for v ≥ 1
 	if major <= 5 {
@@ -51,6 +54,8 @@ func BucketValue(i int) uint64 {
 }
 
 // Observe records one sample.
+//
+//fuzzyho:hotpath
 func (h *Histogram) Observe(v uint64) {
 	h.buckets[BucketIndex(v)].Add(1)
 	h.count.Add(1)

@@ -10,9 +10,13 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter by n.
+//
+//fuzzyho:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Inc increments the counter by 1.
+//
+//fuzzyho:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Load returns the current value.
@@ -23,9 +27,13 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set replaces the gauge value.
+//
+//fuzzyho:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the gauge by n (may be negative).
+//
+//fuzzyho:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Load returns the current value.

@@ -103,13 +103,21 @@ var controlPrefix = []byte(`{"ctl"`)
 
 // isControlLine reports whether the line is a control message.  The
 // encoder emits the ctl key first, making this a single memcmp.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func isControlLine(line []byte) bool {
 	return bytes.HasPrefix(trimSpace(line), controlPrefix)
 }
 
 // AppendControlJSON appends the control message as one JSON line (with
 // trailing newline) to dst and returns the extended slice.  The ctl key
-// is emitted first — isControlLine depends on it.
+// is emitted first — isControlLine depends on it.  Control messages are
+// rare (migration, admin) so the encoder is not hotpath-audited, but it
+// is deterministic: migration journal replay compares control lines as
+// bytes.
+//
+//fuzzyho:deterministic
 func AppendControlJSON(dst []byte, c WireControl) []byte {
 	dst = append(dst, `{"ctl":`...)
 	dst = appendJSONString(dst, c.Op)
@@ -180,6 +188,8 @@ func AppendControlJSON(dst []byte, c WireControl) []byte {
 // ParseControlLine decodes one control line, validating any embedded
 // snapshots (bad state is rejected at the wire, before it can reach an
 // engine).
+//
+//fuzzyho:deterministic
 func ParseControlLine(line []byte) (WireControl, error) {
 	var aux struct {
 		Op        string         `json:"ctl"`

@@ -113,14 +113,14 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzParseCtlLine drives the control-plane codec with arbitrary lines:
+// FuzzParseControlLine drives the control-plane codec with arbitrary lines:
 // no panics, and anything ParseControlLine accepts must reach a one-round
 // encode fixed point — AppendControlJSON(parse(AppendControlJSON(c))) is
 // byte-identical to AppendControlJSON(c), and the encoding satisfies the
 // isControlLine prefix contract the wire dispatcher leans on.  (The
 // fixed point is one round, not input-identity: omitted zero fields and
 // empty snapshot arrays normalize on the first encode.)
-func FuzzParseCtlLine(f *testing.F) {
+func FuzzParseControlLine(f *testing.F) {
 	snap := `{"terminal":7,"seq":3,"prev_db":-88.5,"serving":[1,0],"handovers":2,"pingpongs":1,"total_events":2}`
 	for _, seed := range []string{
 		`{"ctl":"hello","client":"loadgen-1"}`,

@@ -148,6 +148,8 @@ func (e *Engine) Verdicts() map[string]uint64 {
 
 // classifyVerdict tallies one committed decision in the shard-local
 // verdict array (flushed to atomics per sub-batch by flushVerdicts).
+//
+//fuzzyho:hotpath
 func (s *shard) classifyVerdict(dec *handover.Decision, err error, executed bool) {
 	switch {
 	case err != nil:
@@ -167,6 +169,8 @@ func (s *shard) classifyVerdict(dec *handover.Decision, err error, executed bool
 
 // flushVerdicts publishes the shard-local verdict tallies, one atomic add
 // per non-zero class per sub-batch.
+//
+//fuzzyho:hotpath
 func (s *shard) flushVerdicts() {
 	for v := range s.verdictLocal {
 		if n := s.verdictLocal[v]; n != 0 {

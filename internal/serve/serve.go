@@ -175,6 +175,8 @@ func (s *shard) getBuf() *[]Report {
 }
 
 // putBuf returns a drained buffer to the shard's free list.
+//
+//fuzzyho:hotpath
 func (s *shard) putBuf(b *[]Report) {
 	*b = (*b)[:0]
 	select {
@@ -344,6 +346,9 @@ func (e *Engine) Stop() error {
 
 // mix64 is the SplitMix64 finalizer: a cheap, well-distributed hash that
 // decouples shard assignment from dense terminal-ID patterns.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -357,6 +362,9 @@ func mix64(x uint64) uint64 {
 // finalizer) so higher routing layers — the cluster's consistent-hash
 // ring — partition terminals from the same hash family as the shard
 // store.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func HashTerminal(id TerminalID) uint64 { return mix64(uint64(id)) }
 
 // ShardOf returns the index of the shard owning the terminal.

@@ -51,6 +51,8 @@ type terminal struct {
 // observeHandover records an executed handover and reports whether it
 // closes a ping-pong pair, using the simulator detector's rule: a prior
 // B→A hop within the walked-distance window makes this A→B hop a return.
+//
+//fuzzyho:hotpath
 func (t *terminal) observeHandover(from, to hexgrid.Cell, walkedKm, windowKm float64) bool {
 	pingPong := false
 	n := t.total
@@ -194,9 +196,12 @@ type shard struct {
 // sub-batch buffers to the free list for producers to refill.  processed
 // is advanced once per sub-batch — after every report in it is decided —
 // so the counter costs one atomic per channel message, not per report.
+//
+//fuzzyho:hotpath
 func (s *shard) run() {
 	for msg := range s.in {
 		if msg.ctl != nil {
+			//fuzzyho:allow control path: migration extract/restore messages are rare and allowed to allocate; report sub-batches never take this branch
 			s.handleCtl(msg.ctl)
 			continue
 		}
@@ -244,6 +249,8 @@ func (s *shard) run() {
 // Per-terminal decision sequences are identical to the per-report path
 // because the batched stages depend only on the measurement, never on
 // terminal state, and slot resolution has no decision-visible effect.
+//
+//fuzzyho:hotpath
 func (s *shard) processColumnar(batch []Report) {
 	n := len(batch)
 	c := s.cols
@@ -292,6 +299,8 @@ func (s *shard) processColumnar(batch []Report) {
 // pointers are resolved here — the reattachment correction and state
 // commits stay in the per-report completion loop, in report order, so
 // per-terminal sequences are untouched.
+//
+//fuzzyho:hotpath
 func (s *shard) routeBatch(batch []Report) {
 	c := s.cols
 	for i := range c.head {
@@ -320,6 +329,7 @@ func (s *shard) routeBatch(batch []Report) {
 		}
 		t, created := s.store.acquire(id, h)
 		if created {
+			//fuzzyho:allow creation path: runs once per terminal lifetime (and may build a per-terminal algorithm); steady state resolves existing slots only
 			s.initTerminal(t)
 		}
 		c.slots[i] = t
@@ -339,6 +349,8 @@ func (s *shard) initTerminal(t *terminal) {
 
 // observe applies the external-reattachment correction and records the
 // report's serving attachment.
+//
+//fuzzyho:hotpath
 func (s *shard) observe(r *Report, t *terminal) {
 	if t.haveServing && r.Meas.Serving != t.serving {
 		// The radio side reattached the terminal without this engine
@@ -357,9 +369,12 @@ func (s *shard) observe(r *Report, t *terminal) {
 
 // route finds (or creates) the terminal state for a report and applies the
 // external-reattachment correction.
+//
+//fuzzyho:hotpath
 func (s *shard) route(r *Report) *terminal {
 	t, created := s.store.acquire(r.Terminal, mix64(uint64(r.Terminal)))
 	if created {
+		//fuzzyho:allow creation path: runs once per terminal lifetime (and may build a per-terminal algorithm); steady state resolves existing slots only
 		s.initTerminal(t)
 	}
 	s.observe(r, t)
@@ -368,6 +383,8 @@ func (s *shard) route(r *Report) *terminal {
 
 // process serves one report on the per-report path: route, decide on the
 // fast path, commit.  Steady state (known terminal) allocates nothing.
+//
+//fuzzyho:hotpath
 func (s *shard) process(r *Report) {
 	t := s.route(r)
 	algo := s.algo
@@ -380,6 +397,8 @@ func (s *shard) process(r *Report) {
 
 // commit applies one decision to the terminal's state, updates counters
 // and delivers the outcome.
+//
+//fuzzyho:hotpath
 func (s *shard) commit(r *Report, t *terminal, algo handover.Algorithm, dec handover.Decision, err error) {
 	m := &r.Meas
 	executed := false
@@ -420,10 +439,12 @@ func (s *shard) commit(r *Report, t *terminal, algo handover.Algorithm, dec hand
 		s.traceSkip++
 		if s.traceSkip >= s.traceEvery {
 			s.traceSkip = 0
+			//fuzzyho:allow sampled tracing: reached once per traceEvery decisions by construction of the countdown above, and the ring slot is preallocated
 			s.captureTrace(r, algo, &dec, err, executed, pingPong, seq)
 		}
 	}
 	if s.onDecision != nil {
+		//fuzzyho:allow delivery hook: bound once at engine construction (loopback or cluster reply writer), audited at its definition; the Outcome is passed by value
 		s.onDecision(Outcome{
 			Terminal: r.Terminal,
 			Seq:      seq,

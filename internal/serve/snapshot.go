@@ -132,6 +132,10 @@ func (t *terminal) restoreFrom(s TerminalSnapshot) {
 // order and float formatting are fixed, so encode→decode→encode is
 // byte-identical (pinned by FuzzSnapshotRoundTrip) — which is what lets
 // migration tests compare shipped state for equality as bytes.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+//fuzzyho:wirepair parse=ParseSnapshotLine fuzz=FuzzSnapshotRoundTrip
 func AppendSnapshotJSON(dst []byte, s TerminalSnapshot) []byte {
 	return append(appendSnapshotObj(dst, s), '\n')
 }
@@ -139,6 +143,9 @@ func AppendSnapshotJSON(dst []byte, s TerminalSnapshot) []byte {
 // appendSnapshotObj appends the snapshot object without the line
 // terminator — the embeddable form control messages carry in their
 // "snapshots" arrays.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func appendSnapshotObj(dst []byte, s TerminalSnapshot) []byte {
 	dst = append(dst, `{"v":`...)
 	dst = strconv.AppendInt(dst, SnapshotVersion, 10)
@@ -237,6 +244,8 @@ func (w wireSnapshot) snapshot() (TerminalSnapshot, error) {
 // versions and structurally inconsistent snapshots (event count not
 // matching the tally, non-finite floats) are rejected: restoring them
 // would corrupt a terminal's decision stream silently.
+//
+//fuzzyho:deterministic
 func ParseSnapshotLine(line []byte) (TerminalSnapshot, error) {
 	var w wireSnapshot
 	if err := json.Unmarshal(trimSpace(line), &w); err != nil {

@@ -68,6 +68,8 @@ func newTerminalStore() *terminalStore {
 func (ts *terminalStore) count() int { return ts.live }
 
 // at resolves a slab reference (0-based) to its terminal.
+//
+//fuzzyho:hotpath
 func (ts *terminalStore) at(ref uint32) *terminal {
 	return &ts.slabs[ref>>slabBits][ref&slabMask]
 }
@@ -80,6 +82,8 @@ func (ts *terminalStore) at(ref uint32) *terminal {
 // subset of buckets, inflating linear-probe runs by roughly the shard
 // count.  (routeBatch's grouping table buckets on high bits for the same
 // reason.)
+//
+//fuzzyho:hotpath
 func (ts *terminalStore) probeStart(hashed uint64) uint64 {
 	return (hashed ^ hashed>>32) & ts.mask
 }
@@ -87,6 +91,8 @@ func (ts *terminalStore) probeStart(hashed uint64) uint64 {
 // lookup returns the terminal for id, or nil if the store has never seen
 // it.  hashed is mix64(uint64(id)) — callers on the batch path already
 // have it.
+//
+//fuzzyho:hotpath
 func (ts *terminalStore) lookup(id TerminalID, hashed uint64) *terminal {
 	i := ts.probeStart(hashed)
 	for {
@@ -104,6 +110,8 @@ func (ts *terminalStore) lookup(id TerminalID, hashed uint64) *terminal {
 // acquire returns the terminal for id, creating it zero-valued if absent;
 // created reports whether this call made it.  The returned pointer is
 // stable: index growth rehashes buckets, never moves slab entries.
+//
+//fuzzyho:hotpath
 func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, created bool) {
 	i := ts.probeStart(hashed)
 	for {
@@ -117,6 +125,7 @@ func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, cre
 		i = (i + 1) & ts.mask
 	}
 	if ts.live >= ts.growAt {
+		//fuzzyho:allow index growth is amortized O(1) and stops at the population high-water mark; steady state (pinned by TestServeSteadyStateBytesPerShardCount) never takes this branch
 		ts.grow()
 		// Re-probe in the doubled index for the insertion bucket.
 		i = ts.probeStart(hashed)
@@ -131,6 +140,7 @@ func (ts *terminalStore) acquire(id TerminalID, hashed uint64) (t *terminal, cre
 	} else {
 		ref = ts.nextRef
 		if int(ref)>>slabBits == len(ts.slabs) {
+			//fuzzyho:allow slab growth happens once per slabSize new terminals and never in steady state, where every report hits an existing slot
 			ts.slabs = append(ts.slabs, make([]terminal, slabSize))
 		}
 		ts.nextRef++

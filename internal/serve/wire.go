@@ -113,6 +113,8 @@ func (w WireReport) Validate() error {
 // before the offending one, in order — alongside an error naming the
 // failing index, so callers can serve the prefix (or drop it) without
 // re-parsing; reports after the first invalid one are never returned.
+//
+//fuzzyho:deterministic
 func ParseBatchLine(line []byte) ([]Report, error) {
 	trimmed := trimSpace(line)
 	if len(trimmed) == 0 {
@@ -141,6 +143,9 @@ func ParseBatchLine(line []byte) ([]Report, error) {
 }
 
 // trimSpace strips ASCII whitespace without allocating.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func trimSpace(b []byte) []byte {
 	lo, hi := 0, len(b)
 	for lo < hi && (b[lo] == ' ' || b[lo] == '\t' || b[lo] == '\r' || b[lo] == '\n') {
@@ -156,6 +161,10 @@ func trimSpace(b []byte) []byte {
 // newline — reports usually travel inside batch arrays) to dst and returns
 // the extended slice.  Hand-rolled like AppendOutcomeJSON so a cluster
 // router forwarding millions of reports does not allocate per report.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+//fuzzyho:wirepair parse=ParseBatchLine fuzz=FuzzParseBatchLine
 func AppendReportJSON(dst []byte, r Report) []byte {
 	dst = append(dst, `{"terminal":`...)
 	dst = strconv.AppendUint(dst, uint64(r.Terminal), 10)
@@ -185,6 +194,9 @@ func AppendReportJSON(dst []byte, r Report) []byte {
 // AppendBatchJSON appends a batch of reports as one JSON-array ingest line
 // (with trailing newline) to dst and returns the extended slice.  The
 // output round-trips through ParseBatchLine report for report.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func AppendBatchJSON(dst []byte, rs []Report) []byte {
 	dst = append(dst, '[')
 	for i := range rs {
@@ -201,6 +213,10 @@ func AppendBatchJSON(dst []byte, rs []Report) []byte {
 // busy decision stream does not allocate per outcome.  The score is
 // emitted together with an explicit "scored" flag whenever the decision
 // carries one, so a score of exactly 0 survives the round trip.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+//fuzzyho:wirepair parse=ParseOutcomeLine fuzz=FuzzOutcomeRoundTrip
 func AppendOutcomeJSON(dst []byte, o Outcome) []byte {
 	dst = append(dst, `{"terminal":`...)
 	dst = strconv.AppendUint(dst, uint64(o.Terminal), 10)
@@ -244,6 +260,8 @@ func (e *WireError) Error() string { return e.Msg }
 // report was decided, possibly with an algorithm error" from "an ingest
 // line was rejected and its reports will never be decided".  One JSON
 // parse per line — this sits on the cluster read hot path.
+//
+//fuzzyho:deterministic
 func ParseOutcomeLine(line []byte) (WireOutcome, error) {
 	var aux struct {
 		Terminal *uint64 `json:"terminal"` // pointer: presence distinguishes reject lines
@@ -301,7 +319,11 @@ func (w WireOutcome) Outcome() Outcome {
 
 // appendJSONString appends s as a JSON string.  Reasons and error texts
 // are ASCII; anything outside the safe set is escaped numerically.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func appendJSONString(dst []byte, s string) []byte {
+	const hexDigits = "0123456789abcdef"
 	dst = append(dst, '"')
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -309,7 +331,10 @@ func appendJSONString(dst []byte, s string) []byte {
 		case c == '"' || c == '\\':
 			dst = append(dst, '\\', c)
 		case c < 0x20:
-			dst = append(dst, fmt.Sprintf(`\u%04x`, c)...)
+			// Control bytes escape as \u00XX, hand-rolled: a fmt.Sprintf
+			// here would put an allocation on the outcome encode path for
+			// every reason string containing one.
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
 		default:
 			dst = append(dst, c)
 		}

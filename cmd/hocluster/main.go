@@ -92,7 +92,7 @@ func main() {
 		nodeQ      = flag.Int("node-queue", serve.DefaultNodeQueueDepth, "per-node send queue of the TCP backend (lines)")
 		vnodes     = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per ring member")
 		window     = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km (in-process nodes)")
-		algo       = flag.String("algo", "fuzzy", "decision algorithm of in-process nodes: fuzzy or adaptive")
+		algo       = flag.String("algo", "fuzzy", "decision algorithm: fuzzy, adaptive or trendfuzzy (runs on in-process nodes; on the TCP backend it names the schema the member daemons must serve)")
 		compiled   = flag.Bool("compiled", false, "in-process nodes decide on the compiled control surface")
 		listen     = flag.String("listen", "", "TCP listen address of the front door (empty: stdin/stdout)")
 		statsSec   = flag.Float64("stats", 0, "print cluster stats to stderr every N seconds (0: off)")
@@ -131,7 +131,15 @@ func main() {
 	// and — on the in-process backend — every member engine's own
 	// instruments, labeled node="<id>".
 	reg := obs.NewRegistry()
-	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, *algo, *compiled, *journal, mux, reg)
+	factory, err := handover.AlgorithmFactoryFor(*algo, *compiled)
+	if err != nil {
+		fatal(err)
+	}
+	schemaHash := handover.PaperFeatureSchema().Hash()
+	if factory != nil {
+		schemaHash = handover.SchemaHashOf(factory())
+	}
+	router, err := buildRouter(addrs, *local, *shards, *queue, *nodeQ, *vnodes, *window, factory, *compiled, schemaHash, *journal, mux, reg)
 	if err != nil {
 		fatal(err)
 	}
@@ -271,10 +279,11 @@ func main() {
 
 	flushTimeout := time.Duration(*flushSec * float64(time.Second))
 	daemon := &serve.Daemon{
-		Name:   "hocluster",
-		Mux:    mux,
-		Submit: router.SubmitBatch,
-		Drain:  func() error { return router.Flush(flushTimeout) },
+		Name:       "hocluster",
+		Mux:        mux,
+		Submit:     router.SubmitBatch,
+		Drain:      func() error { return router.Flush(flushTimeout) },
+		SchemaHash: schemaHash,
 		Stats: func() serve.WireStats {
 			return serve.WireStats{Points: reg.Export()}
 		},
@@ -327,13 +336,15 @@ func snapshotCluster(router cluster.Router, path string) error {
 }
 
 func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
-	window float64, algo string, compiled bool, journal string, mux *serve.DecisionMux, reg *obs.Registry) (cluster.Router, error) {
+	window float64, factory func() handover.Algorithm, compiled bool, schemaHash uint64,
+	journal string, mux *serve.DecisionMux, reg *obs.Registry) (cluster.Router, error) {
 	if len(addrs) > 0 {
 		return cluster.DialTCP(cluster.TCPConfig{
 			Addrs:        addrs,
 			VirtualNodes: vnodes,
 			QueueDepth:   nodeQ,
 			Journal:      journal,
+			SchemaHash:   schemaHash,
 			OnDecision:   func(_ int, o serve.Outcome) { mux.Route(o) },
 			OnError: func(node int, err error) {
 				fmt.Fprintf(os.Stderr, "hocluster: node %d: %v\n", node, err)
@@ -341,10 +352,6 @@ func buildRouter(addrs []string, local, shards, queue, nodeQ, vnodes int,
 		})
 	}
 	ecfg := serve.Config{Shards: shards, QueueDepth: queue, PingPongWindowKm: window}
-	factory, err := handover.AlgorithmFactoryFor(algo, compiled)
-	if err != nil {
-		return nil, err
-	}
 	if factory != nil {
 		ecfg.AlgorithmFactory = factory
 	} else {

@@ -81,11 +81,11 @@ func main() {
 		queue     = flag.Int("queue", 1024, "per-shard queue depth (messages)")
 		workers   = flag.Int("workers", 2, "submitter goroutines")
 		duration  = flag.Duration("duration", 2*time.Second, "load duration")
-		scenario  = flag.String("scenario", "both", "walk family: boundary, crossing or both")
+		scenario  = flag.String("scenario", "both", "walk family: boundary, crossing, trend or both")
 		replicas  = flag.Int("replicas", 4, "seed sub-streams per scenario")
 		speedsCS  = flag.String("speeds", "0,10,30,50", "comma-separated speeds in km/h")
 		batchLen  = flag.Int("batch", 256, "reports per SubmitBatch call")
-		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
+		algo      = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller), adaptive (speed-adaptive threshold) or trendfuzzy (4-input FLC with the SSN-trend antecedent)")
 		compiled  = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 		churn     = flag.Duration("churn", 0, "with -cluster: alternately grow and shrink the membership every interval, migrating terminal state live (0: off)")
@@ -509,10 +509,12 @@ func buildStreams(scenario string, replicas int, speeds []float64) ([][]fuzzyho.
 		bases = []fuzzyho.SimConfig{fuzzyho.PaperBoundaryConfig()}
 	case "crossing":
 		bases = []fuzzyho.SimConfig{fuzzyho.PaperCrossingConfig()}
+	case "trend":
+		bases = []fuzzyho.SimConfig{fuzzyho.TrendDriftConfig()}
 	case "both", "":
 		bases = []fuzzyho.SimConfig{fuzzyho.PaperBoundaryConfig(), fuzzyho.PaperCrossingConfig()}
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (want boundary, crossing or both)", scenario)
+		return nil, fmt.Errorf("unknown scenario %q (want boundary, crossing, trend or both)", scenario)
 	}
 	var cfgs []fuzzyho.SimConfig
 	for _, b := range bases {

@@ -83,7 +83,7 @@ func main() {
 		window     = flag.Float64("window", serve.DefaultPingPongWindowKm, "ping-pong window in km")
 		listen     = flag.String("listen", "", "TCP listen address (empty: stdin/stdout)")
 		statsSec   = flag.Float64("stats", 0, "print engine stats to stderr every N seconds (0: off)")
-		algo       = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller) or adaptive (speed-adaptive threshold)")
+		algo       = flag.String("algo", "fuzzy", "decision algorithm: fuzzy (the paper controller), adaptive (speed-adaptive threshold) or trendfuzzy (4-input FLC with the SSN-trend antecedent)")
 		compiled   = flag.Bool("compiled", false, "decide on the compiled control surface (columnar batch pipeline)")
 		pprofHost  = flag.String("pprof", "", "net/http/pprof listen address (e.g. 127.0.0.1:6060; empty: off)")
 		snapFile   = flag.String("snapshot", "", "write a whole-node terminal snapshot file on clean shutdown (empty: off)")
@@ -200,10 +200,11 @@ func main() {
 	}
 
 	daemon := &serve.Daemon{
-		Name:   "hoserve",
-		Mux:    mux,
-		Submit: engine.SubmitBatch,
-		Drain:  func() error { engine.Flush(); return nil },
+		Name:       "hoserve",
+		Mux:        mux,
+		Submit:     engine.SubmitBatch,
+		Drain:      func() error { engine.Flush(); return nil },
+		SchemaHash: engine.SchemaHash(),
 		Stats: func() serve.WireStats {
 			return serve.WireStats{Shards: engine.Stats().Shards, Points: reg.Export()}
 		},

@@ -230,6 +230,11 @@ func PaperBoundaryConfig() SimConfig { return sim.PaperBoundaryConfig() }
 // PaperCrossingConfig is the iseed = 200 scenario (Fig. 8 / Table 4).
 func PaperCrossingConfig() SimConfig { return sim.PaperCrossingConfig() }
 
+// TrendDriftConfig is the SSN-trend scenario family: the crossing walk
+// class under correlated shadow fading, where the TrendFuzzy fourth
+// antecedent changes decisions.
+func TrendDriftConfig() SimConfig { return sim.TrendDriftConfig() }
+
 // ResolveScenario finds the sub-stream of cfg.Seed realising the paper's
 // scenario for that seed; see sim.ResolveScenario.
 func ResolveScenario(cfg SimConfig, maxReplicas int) (SimConfig, ScenarioSearchResult, error) {
@@ -260,15 +265,29 @@ type (
 	SIRThreshold = handover.SIRThreshold
 	// AdaptiveFuzzy is the speed-adaptive extension of the paper controller.
 	AdaptiveFuzzy = handover.AdaptiveFuzzy
+	// TrendFuzzy is the 4-input FLC variant with the SSN-trend antecedent.
+	TrendFuzzy = handover.TrendFuzzy
 	// BatchScorer is the optional Algorithm extension behind the serve
-	// layer's columnar batch pipeline: stateless stages (gate, FLC score,
-	// speed-adaptive threshold) scored for whole report columns at once.
+	// layer's columnar pipeline: it declares a FeatureSchema and scores
+	// whole FeatureFrame columns at once.
 	BatchScorer = handover.BatchScorer
-	// ScoreStatus classifies one row of a BatchScorer.ScoreBatch result.
+	// FeatureSchema is an ordered, named feature set a BatchScorer
+	// consumes; its hash is the cross-node compatibility contract.
+	FeatureSchema = handover.FeatureSchema
+	// FeatureFrame is the reusable columnar (structure-of-arrays) batch a
+	// BatchScorer scores.
+	FeatureFrame = handover.FeatureFrame
+	// ExtValue is one named extension feature carried by a wire report's
+	// "x" object.
+	ExtValue = handover.ExtValue
+	// TrendState is the per-terminal EWMA slope state behind the SSN-trend
+	// feature.
+	TrendState = handover.TrendState
+	// ScoreStatus classifies one row of a BatchScorer.ScoreFrame result.
 	ScoreStatus = handover.ScoreStatus
 )
 
-// ScoreBatch row statuses (re-exported).
+// ScoreFrame row statuses (re-exported).
 const (
 	ScoreGated          = handover.ScoreGated
 	ScoreEvaluated      = handover.ScoreEvaluated
@@ -300,10 +319,33 @@ func NewAdaptiveFuzzy() *AdaptiveFuzzy { return handover.NewAdaptiveFuzzy() }
 // compiled-kernel speed.
 func NewCompiledAdaptiveFuzzy() (*AdaptiveFuzzy, error) { return handover.NewCompiledAdaptiveFuzzy() }
 
+// NewTrendFuzzy returns the 4-input trend controller (CSSP, SSN, DMB plus
+// the per-terminal SSN-trend antecedent) on per-decision Mamdani
+// inference.
+func NewTrendFuzzy() (*TrendFuzzy, error) { return handover.NewTrendFuzzy() }
+
+// NewCompiledTrendFuzzy returns the trend controller on its process-wide
+// compiled 4-axis control surface.
+func NewCompiledTrendFuzzy() (*TrendFuzzy, error) { return handover.NewCompiledTrendFuzzy() }
+
+// PaperFeatureSchema returns the paper's 3-feature schema
+// (cssp, ssn, dmb) — what every fixed-pipeline algorithm consumes.
+func PaperFeatureSchema() *FeatureSchema { return handover.PaperFeatureSchema() }
+
+// TrendFeatureSchema returns the 4-feature schema (cssp, ssn, dmb,
+// ssn_trend) consumed by TrendFuzzy; its ssn_trend feature is stateful.
+func TrendFeatureSchema() *FeatureSchema { return handover.TrendFeatureSchema() }
+
+// SchemaHashOf returns the feature-schema hash an algorithm serves: the
+// declared schema's hash for a BatchScorer, the paper schema's hash for
+// everything else.  It is what hoserve announces in Daemon.SchemaHash and
+// node clients announce in their hello line.
+func SchemaHashOf(a Algorithm) uint64 { return handover.SchemaHashOf(a) }
+
 // ServeAlgorithmFactory resolves an algorithm selector ("fuzzy",
-// "adaptive") into a ServeConfig.AlgorithmFactory; a nil factory with nil
-// error means the engine's default algorithm should be used, honoring
-// ServeConfig.Compiled.  See handover.AlgorithmFactoryFor.
+// "adaptive", "trendfuzzy") into a ServeConfig.AlgorithmFactory; a nil
+// factory with nil error means the engine's default algorithm should be
+// used, honoring ServeConfig.Compiled.  See handover.AlgorithmFactoryFor.
 func ServeAlgorithmFactory(name string, compiled bool) (func() Algorithm, error) {
 	return handover.AlgorithmFactoryFor(name, compiled)
 }

@@ -67,6 +67,13 @@ type TCPConfig struct {
 	// Dial, when non-nil, replaces net.Dial for every node client (fault
 	// injection, custom transports).
 	Dial func(addr string) (net.Conn, error)
+	// SchemaHash is the feature-schema hash every node client announces
+	// in its hello line (serve.NodeClientConfig.SchemaHash).  Member
+	// daemons serving a different schema reject the connection, so a
+	// mixed-schema cluster fails at dial time instead of silently
+	// mis-scoring reports (0: not announced; daemons then check the
+	// paper schema).
+	SchemaHash uint64
 }
 
 // tcpNode is one remote member: its client plus identity.
@@ -284,6 +291,7 @@ func (t *TCP) dialNode(id int, addr string) (*tcpNode, error) {
 		RedialMaxWait: t.cfg.RedialMaxWait,
 		MaxRedials:    t.cfg.MaxRedials,
 		CloseGrace:    t.cfg.CloseGrace,
+		SchemaHash:    t.cfg.SchemaHash,
 	}
 	if t.cfg.OnDecision != nil {
 		ccfg.OnOutcome = func(o serve.Outcome) { t.cfg.OnDecision(id, o) }

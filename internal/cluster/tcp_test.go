@@ -3,11 +3,13 @@ package cluster
 import (
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cell"
+	"repro/internal/handover"
 	"repro/internal/hexgrid"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -56,10 +58,11 @@ func startNodeDaemonOn(t testing.TB, ln net.Listener, cfg serve.Config) (engine 
 		t.Fatal(err)
 	}
 	d := &serve.Daemon{
-		Name:   "testnode",
-		Mux:    mux,
-		Submit: e.SubmitBatch,
-		Drain:  func() error { e.Flush(); return nil },
+		Name:       "testnode",
+		Mux:        mux,
+		Submit:     e.SubmitBatch,
+		Drain:      func() error { e.Flush(); return nil },
+		SchemaHash: e.SchemaHash(),
 	}
 	d.Extract, d.Restore, d.Release = MigrationHooks(e)
 	d.Stats = func() serve.WireStats {
@@ -165,6 +168,148 @@ func TestTCPClusterMatchesSingleEngine(t *testing.T) {
 			t.Errorf("node %d (%s) decided nothing", ns.Node, ns.Addr)
 		}
 	}
+}
+
+// trendNodeConfig is a node engine serving the 4-input trend schema.
+func trendNodeConfig(shards int) serve.Config {
+	return serve.Config{
+		Shards: shards, QueueDepth: 64,
+		PingPongWindowKm: sim.DefaultPingPongWindowKm,
+		AlgorithmFactory: func() handover.Algorithm {
+			a, err := handover.NewCompiledTrendFuzzy()
+			if err != nil {
+				panic(err)
+			}
+			return a
+		},
+	}
+}
+
+// TestTCPClusterSchemaMismatch pins the fail-fast contract of the hello
+// schema exchange: a router announcing the paper schema (the zero-value
+// default) against a node serving the trend schema is rejected at the
+// first connection — loudly, through OnError — and a router announcing
+// the matching hash is served.
+func TestTCPClusterSchemaMismatch(t *testing.T) {
+	addr, stop := startNodeDaemon(t, trendNodeConfig(1))
+	defer stop()
+
+	errCh := make(chan error, 64)
+	router, err := DialTCP(TCPConfig{
+		Addrs:      []string{addr},
+		RedialWait: 10 * time.Millisecond,
+		MaxRedials: 2,
+		OnError:    func(_ int, err error) { errCh <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	sawMismatch := false
+	deadline := time.After(10 * time.Second)
+	for !sawMismatch {
+		select {
+		case err := <-errCh:
+			if strings.Contains(err.Error(), "schema mismatch") {
+				sawMismatch = true
+			}
+		case <-deadline:
+			t.Fatal("schema mismatch never surfaced through OnError")
+		}
+	}
+
+	// The matching announcement is served end to end.
+	ok, err := DialTCP(TCPConfig{
+		Addrs:      []string{addr},
+		SchemaHash: handover.TrendFeatureSchema().Hash(),
+		OnError:    func(_ int, err error) { t.Errorf("matching schema: %v", err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs []serve.Report
+	for id := 0; id < 64; id++ {
+		rs = append(rs, serve.Report{Terminal: serve.TerminalID(id), Meas: testMeas(id)})
+	}
+	if err := ok.SubmitBatch(rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Flush(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := ok.Stats().Totals().Decisions; got != uint64(len(rs)) {
+		t.Errorf("matching-schema router decided %d, want %d", got, len(rs))
+	}
+	if err := ok.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPClusterTrendFuzzyMatchesSingleEngine extends the wire-parity
+// guarantee to the 4-input stateful schema: the trend fleet through a
+// 2-node TCP cluster of trend engines must reproduce a single trend
+// engine's per-terminal sequences — which also exercises the schema
+// announcement on every node connection.
+func TestTCPClusterTrendFuzzyMatchesSingleEngine(t *testing.T) {
+	cfgs, _ := sim.SweepGrid("cluster", sim.TrendDriftConfig(), 2, []float64{0, 30})
+	factory := func() handover.Algorithm {
+		a, err := handover.NewCompiledTrendFuzzy()
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	for i := range cfgs {
+		cfgs[i].AlgorithmFactory = factory
+	}
+	streams := make([][]serve.Report, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("sim config %d: %v", i, err)
+		}
+		streams[i] = serve.ReplayReports(serve.TerminalID(i), res.Measurements())
+	}
+	reports, terminals := serve.InterleaveReports(streams), len(cfgs)
+
+	ref := runSingleEngine(t, trendNodeConfig(4), reports, terminals)
+
+	addr0, stop0 := startNodeDaemon(t, trendNodeConfig(2))
+	defer stop0()
+	addr1, stop1 := startNodeDaemon(t, trendNodeConfig(2))
+	defer stop1()
+
+	rec := newOutcomeRecorder(terminals)
+	var recMu sync.Mutex
+	router, err := DialTCP(TCPConfig{
+		Addrs:      []string{addr0, addr1},
+		SchemaHash: handover.TrendFeatureSchema().Hash(),
+		OnDecision: func(_ int, o serve.Outcome) {
+			recMu.Lock()
+			rec.record(o)
+			recMu.Unlock()
+		},
+		OnError: func(node int, err error) { t.Errorf("node %d: %v", node, err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(reports); i += 113 {
+		end := i + 113
+		if end > len(reports) {
+			end = len(reports)
+		}
+		if err := router.SubmitBatch(reports[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := router.Flush(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkSequencesEqual(t, "tcp-trend/nodes=2", rec, ref)
 }
 
 // TestTCPClusterBackpressure: a stalled node fills its bounded send queue

@@ -11,12 +11,12 @@ import (
 // be compiled offline into a form that answers online queries without the
 // rule loop.  CompileSurface produces one of two representations:
 //
-//   - Exact kernel: when the system is "grid shaped" (the paper's FLC:
-//     three inputs with piecewise-linear terms, a dense AND rule table,
+//   - Exact kernel: when the system is "grid shaped" (like the paper's
+//     FLC: 2–8 inputs with piecewise-linear terms, a dense AND rule table,
 //     min/max norms, height defuzzification), every input axis is compiled
 //     into a breakpoint segment table — per segment, the ≤ 2 active terms
-//     and their linear grade forms — and a query is three segment lookups,
-//     ≤ 8 table-indexed min/max folds and one weighted average.  The
+//     and their linear grade forms — and a query is d segment lookups,
+//     2^d table-indexed min/max folds and one weighted average.  The
 //     kernel reproduces EvaluateInto's arithmetic operation for operation
 //     (the construction validates every segment formula against the
 //     membership functions bit-for-bit), so its reported error bound is
@@ -59,6 +59,12 @@ const compiledSlack = 2.0
 // (its activation accumulator lives on the stack so queries stay
 // allocation-free and scratch-free).
 const kernelMaxOutTerms = 8
+
+// kernelMaxAxes bounds the input-axis count the exact kernel supports: the
+// generic query walks 2^d segment-term combos with stack-resident per-axis
+// state, so d is capped where that walk (256 combos) stops being the fast
+// path anyway.  The 3-axis paper shape keeps its fully unrolled query.
+const kernelMaxAxes = 8
 
 // kernelProbeRes is the per-axis probe resolution used to cross-check the
 // exact kernel against EvaluateInto at construction.  The kernel is
@@ -103,11 +109,14 @@ type kernelRule struct {
 	w   float64
 }
 
-// surfaceKernel is the exact compiled form of a grid-shaped 3-input
-// system.
+// surfaceKernel is the exact compiled form of a grid-shaped N-input
+// system (2 ≤ N ≤ kernelMaxAxes).  The 3-axis case — the paper's FLC —
+// additionally gets a fully unrolled query (eval); every other axis count
+// runs the generic combo walk (evalN) over the same tables.
 type surfaceKernel struct {
-	axes     [3]kernelAxis
-	strides  [3]int32
+	dims     int
+	axes     []kernelAxis
+	strides  []int32
 	rules    []kernelRule // dense combo table
 	outs     []int32      // consequent-only view for the complete-grid fast fold
 	complete bool         // every combo has a rule with weight 1 (the paper's FRB)
@@ -181,8 +190,8 @@ func CompileSurface(s *System, opts CompileOptions) (*CompiledSurface, error) {
 // compileKernel builds the exact segment-table kernel, or reports why the
 // system does not fit it.
 func compileKernel(s *System) (*surfaceKernel, error) {
-	if len(s.inputs) != 3 {
-		return nil, fmt.Errorf("fuzzy: kernel needs 3 inputs, have %d", len(s.inputs))
+	if d := len(s.inputs); d < 2 || d > kernelMaxAxes {
+		return nil, fmt.Errorf("fuzzy: kernel supports 2–%d inputs, have %d", kernelMaxAxes, d)
 	}
 	if !s.fastNorms || !s.fastDefuzz {
 		return nil, fmt.Errorf("fuzzy: kernel needs default min/max norms and height defuzzification")
@@ -195,9 +204,12 @@ func compileKernel(s *System) (*surfaceKernel, error) {
 			kernelMaxOutTerms, len(s.output.Terms))
 	}
 	k := &surfaceKernel{
-		rules: make([]kernelRule, len(s.grid.outTerm)),
-		mid:   s.outMid,
-		nOut:  len(s.output.Terms),
+		dims:    len(s.inputs),
+		axes:    make([]kernelAxis, len(s.inputs)),
+		strides: make([]int32, len(s.inputs)),
+		rules:   make([]kernelRule, len(s.grid.outTerm)),
+		mid:     s.outMid,
+		nOut:    len(s.output.Terms),
 	}
 	k.complete = true
 	k.outs = s.grid.outTerm
@@ -492,6 +504,92 @@ func (k *surfaceKernel) eval(x0, x1, x2 float64) (float64, error) {
 	return num / den, nil
 }
 
+// evalAt dispatches one exact-kernel query by axis count: the paper's
+// 3-axis shape keeps its fully unrolled eval, everything else runs the
+// generic combo walk.  xs must be NaN-free, like eval.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+func (k *surfaceKernel) evalAt(xs []float64) (float64, error) {
+	if k.dims == 3 {
+		return k.eval(xs[0], xs[1], xs[2])
+	}
+	return k.evalN(xs)
+}
+
+// evalN is the generic N-axis exact-kernel query: one segment lookup and
+// two grade forms per axis, then a 2^d walk over the segment-term combos
+// folding min over the selected grades into the dense rule table — the
+// same min-folds and max-aggregation as the reference grid inference,
+// with duplicated slots standing in for single-term segments exactly as
+// in the unrolled 3-axis eval.  All state is stack-resident; the walk
+// allocates nothing.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+func (k *surfaceKernel) evalN(xs []float64) (float64, error) {
+	d := k.dims
+	var g [kernelMaxAxes][2]float64
+	var b [kernelMaxAxes][2]int32
+	for a := 0; a < d; a++ {
+		sg, x := k.axes[a].find(xs[a])
+		g[a][0] = (x-sg.f0.p)*sg.f0.r + sg.f0.c
+		g[a][1] = (x-sg.f1.p)*sg.f1.r + sg.f1.c
+		b[a][0] = sg.b0
+		b[a][1] = sg.b1
+	}
+	var act [kernelMaxOutTerms]float64
+	if k.complete {
+		outs := k.outs
+		for combo := 0; combo < 1<<d; combo++ {
+			m := 1.0 // neutral for min over grades in [0, 1]
+			idx := int32(0)
+			for a := 0; a < d; a++ {
+				s := (combo >> a) & 1
+				if v := g[a][s]; v < m {
+					m = v
+				}
+				idx += b[a][s]
+			}
+			if ot := outs[idx] & (kernelMaxOutTerms - 1); m > act[ot] {
+				act[ot] = m
+			}
+		}
+	} else {
+		for combo := 0; combo < 1<<d; combo++ {
+			m := 1.0
+			idx := int32(0)
+			for a := 0; a < d; a++ {
+				s := (combo >> a) & 1
+				if v := g[a][s]; v < m {
+					m = v
+				}
+				idx += b[a][s]
+			}
+			r := &k.rules[idx]
+			if ot := r.out; ot >= 0 {
+				m *= r.w
+				if m > act[ot&(kernelMaxOutTerms-1)] {
+					act[ot&(kernelMaxOutTerms-1)] = m
+				}
+			}
+		}
+	}
+	var num, den float64
+	for i, m := range k.mid {
+		a := act[i&(kernelMaxOutTerms-1)]
+		if a <= 0 {
+			continue
+		}
+		num += a * m
+		den += a
+	}
+	if den == 0 {
+		return 0, ErrNoActivation
+	}
+	return num / den, nil
+}
+
 // fold accumulates one rule combo: finish the min, look up the consequent,
 // apply the weight, max-aggregate.  A non-positive strength can never beat
 // the non-negative accumulator, so no zero check is needed.
@@ -533,11 +631,17 @@ func (cs *CompiledSurface) probeKernel() error {
 	sc := cs.sys.NewScratch()
 	xs := sc.Xs()
 	maxErr := 0.0
+	// Beyond three axes the probe grid grows as res^d; a coarser grid keeps
+	// construction fast while still sweeping every segment combination.
+	res := kernelProbeRes
+	if cs.dims > 3 {
+		res = 13
+	}
 	var walk func(ax int) error
 	walk = func(ax int) error {
 		if ax == cs.dims {
 			exact, exactErr := cs.sys.EvaluateInto(sc, xs)
-			got, kernErr := cs.kern.eval(xs[0], xs[1], xs[2])
+			got, kernErr := cs.kern.evalAt(xs)
 			if (exactErr == nil) != (kernErr == nil) {
 				return fmt.Errorf("fuzzy: kernel probe at %v: exact err %v, kernel err %v",
 					xs, exactErr, kernErr)
@@ -553,8 +657,8 @@ func (cs *CompiledSurface) probeKernel() error {
 			return nil
 		}
 		v := cs.sys.inputs[ax]
-		for i := 0; i < kernelProbeRes; i++ {
-			xs[ax] = v.Min + (v.Max-v.Min)*float64(i)/float64(kernelProbeRes-1)
+		for i := 0; i < res; i++ {
+			xs[ax] = v.Min + (v.Max-v.Min)*float64(i)/float64(res-1)
 			if err := walk(ax + 1); err != nil {
 				return err
 			}
@@ -701,6 +805,9 @@ func (cs *CompiledSurface) locate(ax int, x float64) (int, float64) {
 }
 
 // interp is the generic d-linear interpolation at xs (no validation).
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) interp(xs []float64) float64 {
 	if cs.dims == 3 {
 		return cs.interp3(xs[0], xs[1], xs[2])
@@ -779,18 +886,24 @@ func (cs *CompiledSurface) ErrorBound() float64 { return cs.bound }
 
 // Evaluate computes the compiled surface at the positional input vector
 // (same order and clamping as EvaluateInto).  NaN inputs are rejected, as
-// on the exact fast path.
+// on the exact fast path.  It is the scalar decision path of N-input
+// scorers (the trend controller's Decide), so it is hot-path audited.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) Evaluate(xs []float64) (float64, error) {
 	if len(xs) != cs.dims {
+		//fuzzyho:allow shape guard: scorers pass their own scratch vector, so this formats only on caller misuse
 		return 0, fmt.Errorf("fuzzy: %d inputs for %d axes", len(xs), cs.dims)
 	}
 	for i, x := range xs {
 		if x != x {
+			//fuzzyho:allow NaN guard: decision-path callers clamp inputs (ClampToUniverse maps NaN to the floor) before querying
 			return 0, fmt.Errorf("fuzzy: input %q is NaN", cs.sys.inputs[i].Name)
 		}
 	}
 	if cs.kern != nil {
-		return cs.kern.eval(xs[0], xs[1], xs[2])
+		return cs.kern.evalAt(xs)
 	}
 	return cs.interp(xs), nil
 }
@@ -821,8 +934,12 @@ func (cs *CompiledSurface) At3(x0, x1, x2 float64) (float64, error) {
 // dst[i] = NaN (finite lattice values and fired kernels cannot produce
 // NaN, so NaN unambiguously marks a rejected row); the error return
 // covers shape problems only.  The call performs no heap allocations.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (cs *CompiledSurface) EvaluateBatch(dst []float64, cols [][]float64) error {
 	if len(cols) != cs.dims {
+		//fuzzyho:allow shape guard: shard frames are built from the scorer's own schema, so this formats only on caller misuse
 		return fmt.Errorf("fuzzy: %d columns for %d axes", len(cols), cs.dims)
 	}
 	if cs.dims == 3 {
@@ -830,8 +947,33 @@ func (cs *CompiledSurface) EvaluateBatch(dst []float64, cols [][]float64) error 
 	}
 	for _, c := range cols {
 		if len(c) != len(dst) {
+			//fuzzyho:allow shape guard: shard-owned columns always share one length, so this formats only on a caller contract violation
 			return fmt.Errorf("fuzzy: column length %d ≠ batch length %d", len(c), len(dst))
 		}
+	}
+	if k := cs.kern; k != nil {
+		var xs [kernelMaxAxes]float64
+		for i := range dst {
+			bad := false
+			for a := 0; a < cs.dims; a++ {
+				x := cols[a][i]
+				if x != x {
+					bad = true
+					break
+				}
+				xs[a] = x
+			}
+			if bad {
+				dst[i] = math.NaN()
+				continue
+			}
+			y, err := k.evalN(xs[:cs.dims])
+			if err != nil {
+				y = math.NaN() // no rule fired: mark the row, keep the batch going
+			}
+			dst[i] = y
+		}
+		return nil
 	}
 	var xs [24]float64
 	for i := range dst {

@@ -253,6 +253,9 @@ func (s *System) NewScratch() *Scratch {
 // Xs returns the scratch's positional input buffer (length = number of input
 // variables, in definition order).  Callers may fill it and pass it to
 // EvaluateInto to stay allocation-free.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
 func (sc *Scratch) Xs() []float64 { return sc.xs }
 
 // EvaluateInto runs one inference over positional inputs: xs[i] is the value

@@ -24,8 +24,8 @@ import (
 // AdaptiveFuzzy also implements BatchScorer, so serve shards drive it
 // through the columnar decision pipeline: the POTLC gate, the FLC score
 // and the speed-adaptive threshold comparison are all row-stateless, so
-// ScoreBatch settles everything but the PRTLC history stage — the speed
-// column is what lets the threshold schedule run in batch.
+// ScoreFrame settles everything but the PRTLC history stage — the frame's
+// speed column is what lets the threshold schedule run in batch.
 type AdaptiveFuzzy struct {
 	flc     *core.FLC
 	scratch *fuzzy.Scratch
@@ -69,9 +69,10 @@ func NewCompiledAdaptiveFuzzy() (*AdaptiveFuzzy, error) {
 // the serve CLIs) into a serve-layer algorithm factory.  "fuzzy" (or "")
 // returns a nil factory: the caller should use the engine's default
 // algorithm, which honors the engine's own compiled flag.  "adaptive"
-// returns a factory for the speed-adaptive extension — on the shared
-// compiled kernel when compiled is set, with the compile verified once up
-// front so the factory itself cannot fail.
+// returns a factory for the speed-adaptive extension and "trendfuzzy" one
+// for the 4-input SSN-trend variant — on the shared compiled kernels when
+// compiled is set, with the build verified once up front so the factory
+// itself cannot fail.
 func AlgorithmFactoryFor(name string, compiled bool) (func() Algorithm, error) {
 	switch name {
 	case "fuzzy", "":
@@ -87,8 +88,25 @@ func AlgorithmFactoryFor(name string, compiled bool) (func() Algorithm, error) {
 			}, nil
 		}
 		return func() Algorithm { return NewAdaptiveFuzzy() }, nil
+	case "trendfuzzy":
+		if compiled {
+			if _, err := NewCompiledTrendFuzzy(); err != nil {
+				return nil, err
+			}
+			return func() Algorithm {
+				a, _ := NewCompiledTrendFuzzy() // compile already succeeded above
+				return a
+			}, nil
+		}
+		if _, err := NewTrendFuzzy(); err != nil {
+			return nil, err
+		}
+		return func() Algorithm {
+			a, _ := NewTrendFuzzy() // system build already succeeded above
+			return a
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want fuzzy or adaptive)", name)
+		return nil, fmt.Errorf("unknown algorithm %q (want fuzzy, adaptive or trendfuzzy)", name)
 	}
 }
 
@@ -157,7 +175,11 @@ func (a *AdaptiveFuzzy) complete(m *cell.Measurement, prevServingDB float64, hav
 	return Decision{Handover: true, Score: hd, Scored: true, Reason: "execute-handover"}
 }
 
-// ScoreBatch implements BatchScorer.  Beyond the shared gate + FLC stage,
+// Schema implements BatchScorer: the adaptive threshold reads the frame's
+// speed column, but the FLC inputs are the paper's three antecedents.
+func (a *AdaptiveFuzzy) Schema() *FeatureSchema { return paperSchema }
+
+// ScoreFrame implements BatchScorer.  Beyond the shared gate + FLC stage,
 // the speed-adaptive threshold comparison is itself row-stateless — it
 // depends only on the row's score and speed — so it is settled here:
 // evaluated rows at or below the row's adaptive threshold come back as
@@ -165,16 +187,22 @@ func (a *AdaptiveFuzzy) complete(m *cell.Measurement, prevServingDB float64, hav
 // DecideScored.
 //
 //fuzzyho:hotpath
-func (a *AdaptiveFuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
-	//fuzzyho:allow shape guard: formats an error only when the caller violates the shared-length contract; shard-owned columns never do
-	if err := checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd, status); err != nil {
+func (a *AdaptiveFuzzy) ScoreFrame(fr *FeatureFrame) error {
+	//fuzzyho:allow schema guard: formats an error only when the caller scores a frame built for a different schema; shard-owned frames never do
+	if err := frameSchemaErr("fuzzy-adaptive", paperSchema, fr); err != nil {
 		return err
 	}
-	if err := a.gather.score(a.flc, a.qualityGateDB, servingDB, csspDB, ssnDB, dmbNorm, hd, status); err != nil {
+	g := &a.gather
+	if g.gate(a.qualityGateDB, fr) == 0 {
+		return nil
+	}
+	if err := a.flc.EvaluateBatch(g.hd, g.dense[0], g.dense[1], g.dense[2]); err != nil {
 		return err
 	}
+	g.scatter(fr)
+	status, hd, speed := fr.Status, fr.HD, fr.Speed
 	for i := range status {
-		if status[i] == ScoreEvaluated && hd[i] <= a.Threshold(speedKmh[i]) {
+		if status[i] == ScoreEvaluated && hd[i] <= a.Threshold(speed[i]) {
 			status[i] = ScoreBelowThreshold
 		}
 	}

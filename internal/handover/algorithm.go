@@ -54,7 +54,7 @@ type Algorithm interface {
 	Reset()
 }
 
-// ScoreStatus classifies one row of a ScoreBatch result.
+// ScoreStatus classifies one row of a ScoreFrame result.
 type ScoreStatus uint8
 
 const (
@@ -77,32 +77,42 @@ const (
 )
 
 // BatchScorer is the optional Algorithm extension behind the columnar
-// decision pipeline: the stateless part of a decision (the POTLC gate and
-// the FLC score, which depend only on the measurement) is computed for a
-// whole run of reports at once, and the stateful remainder (PRTLC history
-// comparison, commit) completes per report with DecideScored.  Splitting
-// the pipeline this way lets a serving shard drain its queue into
-// struct-of-arrays buffers and amortize the per-report call and branch
-// overhead across the batch, while preserving exactly the per-terminal
-// decision sequence of the one-report Decide path.
+// decision pipeline: the history-free part of a decision (the POTLC gate
+// and the FLC score, which depend only on the gathered feature row) is
+// computed for a whole frame of reports at once, and the stateful
+// remainder (PRTLC history comparison, commit) completes per report with
+// DecideScored.  Splitting the pipeline this way lets a serving shard
+// drain its queue into a reusable FeatureFrame and amortize the
+// per-report call and branch overhead across the batch, while preserving
+// exactly the per-terminal decision sequence of the one-report Decide
+// path.
+//
+// The scorer declares its input shape with Schema(): the frame a caller
+// scores must have been gathered for that schema (same features, same
+// column order).  Schemas with stateful features (per-terminal derived
+// state such as the SSN trend) additionally require the caller to gather
+// each terminal's rows in report order against that terminal's
+// DerivedState — and the scalar Decide path of such an algorithm advances
+// the same derivation internally, so the two paths stay equivalent.
 type BatchScorer interface {
 	Algorithm
-	// ScoreBatch scores measurement columns: for every i, either
-	// status[i] = ScoreGated (gate settled it), or ScoreEvaluated with
-	// hd[i] the FLC output, or ScoreBelowThreshold with hd[i] the score
-	// a row-stateless threshold stage already rejected, or ScoreError.
-	// speedKmh carries each report's terminal speed so speed-adaptive
-	// scorers can batch their threshold schedule.  All slices must share
-	// one length.  Steady state performs no heap allocations.
+	// Schema declares the feature columns ScoreFrame consumes, in order.
+	// The returned schema is immutable and may be shared.
+	Schema() *FeatureSchema
+	// ScoreFrame scores a gathered frame: for every row i, either
+	// f.Status[i] = ScoreGated (gate settled it), or ScoreEvaluated with
+	// f.HD[i] the FLC output, or ScoreBelowThreshold with f.HD[i] the
+	// score a row-stateless threshold stage already rejected, or
+	// ScoreError.  Steady state performs no heap allocations.
 	//
 	//fuzzyho:hotpath
-	ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error
+	ScoreFrame(f *FeatureFrame) error
 	// DecideScored completes one report's decision from its precomputed
 	// score, equivalent to Decide on the same measurement and history.
 	// The measurement is passed by pointer — the batch completion loop
 	// runs once per report and a Measurement is ~100 bytes — and is not
-	// retained.  The caller must have scored columns taken from the same
-	// measurements it completes against (serve shards do).
+	// retained.  The caller must have scored a frame gathered from the
+	// same measurements it completes against (serve shards do).
 	//
 	//fuzzyho:hotpath
 	DecideScored(m *cell.Measurement, prevServingDB float64, havePrev bool, hd float64, st ScoreStatus) (Decision, error)
@@ -123,59 +133,101 @@ type Fuzzy struct {
 	ctrl    *core.Controller
 	scratch *fuzzy.Scratch
 	// gather holds the dense batch-path buffers.  Pure per-call scratch
-	// (fully rewritten by each ScoreBatch), so Reset keeps it.
+	// (fully rewritten by each ScoreFrame), so Reset keeps it.
 	gather batchGather
 }
 
 // batchGather is the shared column-scoring stage of the BatchScorer
-// implementations: the POTLC gate settles what it can, the surviving rows
-// are packed into dense columns and scored through FLC.EvaluateBatch in
-// one call.  The buffers are pure per-call scratch — fully rewritten by
-// each score — so keeping them across calls is what makes the steady
-// state allocation-free.
+// implementations: the POTLC gate settles what it can, the surviving rows'
+// feature columns are made dense (gate), evaluated by the owning scorer
+// through dense, and the scores scattered back to the frame (scatter).
+// When no row gates out — the common steady-state shape — dense borrows
+// the frame's own columns and no packing copy runs at all; otherwise the
+// survivors are packed into the gather's own buffers.  Scorers may
+// saturate (clamp) dense columns in place either way: frame feature
+// columns are per-batch scratch with no post-score readers, and the
+// saturated values are exactly what the FLC consumed.  The buffers are
+// pure per-call scratch — fully rewritten by each score — so keeping them
+// across calls is what makes the steady state allocation-free.
 type batchGather struct {
-	idx                []int32
-	cssp, ssn, dmb, hd []float64
+	idx    []int32
+	cols   [][]float64 // pack buffers, used only when some rows gate out
+	dense  [][]float64 // columns to score: f.cols borrowed, or g.cols packed
+	hd     []float64
+	packed bool // whether dense was packed (idx maps dense row -> frame row)
 }
 
-// score fills hd/status for every row: ScoreGated where servingDB clears
-// gateDB, otherwise ScoreEvaluated with the FLC output or ScoreError for
-// rows the engine could not score.  Columns must already be length-checked.
+// gate settles gated rows and presents the survivors' feature columns
+// dense; it returns the dense row count.  The frame must already be
+// schema-checked against the scorer.
 //
 //fuzzyho:hotpath
-func (g *batchGather) score(flc *core.FLC, gateDB float64, servingDB, csspDB, ssnDB, dmbNorm, hd []float64, status []ScoreStatus) error {
+func (g *batchGather) gate(gateDB float64, f *FeatureFrame) int {
 	g.idx = g.idx[:0]
-	g.cssp, g.ssn, g.dmb = g.cssp[:0], g.ssn[:0], g.dmb[:0]
-	for i := range servingDB {
-		if servingDB[i] >= gateDB {
-			status[i] = ScoreGated
+	serving := f.Serving
+	for i := range serving {
+		if serving[i] >= gateDB {
+			f.Status[i] = ScoreGated
 			continue
 		}
 		g.idx = append(g.idx, int32(i))
-		g.cssp = append(g.cssp, csspDB[i])
-		g.ssn = append(g.ssn, ssnDB[i])
-		g.dmb = append(g.dmb, dmbNorm[i])
 	}
-	if len(g.idx) == 0 {
-		return nil
+	n := len(g.idx)
+	if n == 0 {
+		return 0
 	}
-	if cap(g.hd) < len(g.idx) {
+	if n == len(serving) {
+		// Nothing gated: score the frame's columns where they lie.
+		g.dense = f.cols
+		g.packed = false
+	} else {
+		if g.cols == nil {
+			//fuzzyho:allow one-time lazy column-header construction on the instance's first frame; every later call reuses it
+			g.cols = make([][]float64, len(f.cols))
+		}
+		for k := range g.cols {
+			src := f.cols[k]
+			dst := g.cols[k][:0]
+			for _, i := range g.idx {
+				dst = append(dst, src[i])
+			}
+			g.cols[k] = dst
+		}
+		g.dense = g.cols
+		g.packed = true
+	}
+	if cap(g.hd) < n {
 		//fuzzyho:allow grows once to the largest sub-batch ever scored (≤ maxSubBatch) and is reused for every later call
-		g.hd = make([]float64, len(g.idx))
+		g.hd = make([]float64, n)
 	}
-	g.hd = g.hd[:len(g.idx)]
-	if err := flc.EvaluateBatch(g.hd, g.cssp, g.ssn, g.dmb); err != nil {
-		return err
+	g.hd = g.hd[:n]
+	return n
+}
+
+// scatter writes the dense scores back to the frame: ScoreEvaluated with
+// the score, or ScoreError for NaN rows the engine could not score.
+//
+//fuzzyho:hotpath
+func (g *batchGather) scatter(f *FeatureFrame) {
+	if !g.packed {
+		for i, v := range g.hd {
+			if v == v {
+				f.HD[i] = v
+				f.Status[i] = ScoreEvaluated
+			} else {
+				f.Status[i] = ScoreError // NaN marks a row the FLC could not score
+			}
+		}
+		return
 	}
 	for k, i := range g.idx {
 		if v := g.hd[k]; v == v {
-			hd[i] = v
-			status[i] = ScoreEvaluated
+			f.HD[i] = v
+			f.Status[i] = ScoreEvaluated
 		} else {
-			status[i] = ScoreError // NaN marks a row the FLC could not score
+			f.Status[i] = ScoreError // NaN marks a row the FLC could not score
 		}
 	}
-	return nil
 }
 
 // NewFuzzy wraps the given controller; nil uses the paper's defaults.
@@ -239,30 +291,29 @@ func (f *Fuzzy) Decide(m cell.Measurement, prevServingDB float64, havePrev bool)
 	}, nil
 }
 
-// checkColumns validates the shared-length contract of ScoreBatch.
-func checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
-	n := len(servingDB)
-	if len(csspDB) != n || len(ssnDB) != n || len(dmbNorm) != n ||
-		len(speedKmh) != n || len(hd) != n || len(status) != n {
-		return fmt.Errorf("handover: ScoreBatch column lengths %d/%d/%d/%d/%d/%d ≠ %d",
-			len(csspDB), len(ssnDB), len(dmbNorm), len(speedKmh), len(hd), len(status), n)
-	}
-	return nil
-}
+// Schema implements BatchScorer: the paper's three antecedents.
+func (f *Fuzzy) Schema() *FeatureSchema { return paperSchema }
 
-// ScoreBatch implements BatchScorer: the POTLC gate settles what it can,
+// ScoreFrame implements BatchScorer: the POTLC gate settles what it can,
 // everything else is packed into dense columns and scored through
 // FLC.EvaluateBatch in one call.  The paper's threshold is
-// speed-independent, so the speed column only participates in the shape
-// check here.
+// speed-independent, so the frame's speed column is not read.
 //
 //fuzzyho:hotpath
-func (f *Fuzzy) ScoreBatch(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd []float64, status []ScoreStatus) error {
-	//fuzzyho:allow shape guard: formats an error only when the caller violates the shared-length contract; shard-owned columns never do
-	if err := checkColumns(servingDB, csspDB, ssnDB, dmbNorm, speedKmh, hd, status); err != nil {
+func (f *Fuzzy) ScoreFrame(fr *FeatureFrame) error {
+	//fuzzyho:allow schema guard: formats an error only when the caller scores a frame built for a different schema; shard-owned frames never do
+	if err := frameSchemaErr("fuzzy", paperSchema, fr); err != nil {
 		return err
 	}
-	return f.gather.score(f.ctrl.FLC(), f.ctrl.QualityGateDB(), servingDB, csspDB, ssnDB, dmbNorm, hd, status)
+	g := &f.gather
+	if g.gate(f.ctrl.QualityGateDB(), fr) == 0 {
+		return nil
+	}
+	if err := f.ctrl.FLC().EvaluateBatch(g.hd, g.dense[0], g.dense[1], g.dense[2]); err != nil {
+		return err
+	}
+	g.scatter(fr)
+	return nil
 }
 
 // DecideScored implements BatchScorer: it completes the Fig. 4 pipeline

@@ -28,23 +28,20 @@ func randomMeasurements(n int, seed int64) []cell.Measurement {
 	return ms
 }
 
-// columns transposes measurements into the ScoreBatch input columns.
-func columns(ms []cell.Measurement) (serving, cssp, ssn, dmb, speed, hd []float64, status []ScoreStatus) {
-	n := len(ms)
-	serving, cssp, ssn, dmb = make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
-	speed, hd = make([]float64, n), make([]float64, n)
-	status = make([]ScoreStatus, n)
-	for i, m := range ms {
-		serving[i], cssp[i], ssn[i], dmb[i], speed[i] = m.ServingDB, m.CSSPdB, m.NeighborDB, m.DMBNorm, m.SpeedKmh
-	}
-	return
+// gatherFrame gathers a measurement stream into a fresh frame for the
+// scorer's schema, in report order against one derived state (the
+// single-terminal contract the equivalence walks exercise).
+func gatherFrame(bat BatchScorer, ms []cell.Measurement, d *DerivedState) *FeatureFrame {
+	f := NewFeatureFrame(bat.Schema(), len(ms))
+	f.GatherMeasurements(ms, d)
+	return f
 }
 
-// TestScoreBatchMatchesDecide drives the same measurement stream through
-// the per-report Decide path and the columnar ScoreBatch → DecideScored
+// TestScoreFrameMatchesDecide drives the same measurement stream through
+// the per-report Decide path and the columnar ScoreFrame → DecideScored
 // path and requires identical decisions, on both the exact and the
 // compiled controller.
-func TestScoreBatchMatchesDecide(t *testing.T) {
+func TestScoreFrameMatchesDecide(t *testing.T) {
 	compiledFLC, err := core.DefaultCompiledFLC()
 	if err != nil {
 		t.Fatal(err)
@@ -72,17 +69,22 @@ func TestScoreBatchMatchesDecide(t *testing.T) {
 
 // checkScoredWalk scores a stream through bat's columnar path and walks
 // both decision paths with the same evolving history, requiring identical
-// decisions.
+// decisions.  The sequential algorithm is Reset after every executed
+// handover (the sim contract), and for stateful schemas the frame-side
+// derived state resets at the same points — which forces the walk to
+// re-gather suffix frames exactly as a serve shard would after a commit.
 func checkScoredWalk(t *testing.T, seq Algorithm, bat BatchScorer, ms []cell.Measurement) {
 	t.Helper()
-	serving, cssp, ssn, dmb, speed, hd, status := columns(ms)
-	if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
+	var derived DerivedState
+	f := gatherFrame(bat, ms, &derived)
+	if err := bat.ScoreFrame(f); err != nil {
 		t.Fatal(err)
 	}
 	prevDB, havePrev := 0.0, false
-	for i, m := range ms {
+	for i := range ms {
+		m := ms[i]
 		want, err1 := seq.Decide(m, prevDB, havePrev)
-		got, err2 := bat.DecideScored(&ms[i], prevDB, havePrev, hd[i], status[i])
+		got, err2 := bat.DecideScored(&ms[i], prevDB, havePrev, f.HD[i], f.Status[i])
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("report %d: seq err %v, batch err %v", i, err1, err2)
 		}
@@ -97,16 +99,32 @@ func checkScoredWalk(t *testing.T, seq Algorithm, bat BatchScorer, ms []cell.Mea
 		}
 		if want.Handover {
 			prevDB, havePrev = m.ServingDB, false
+			seq.Reset()
+			if bat.Schema().Stateful() {
+				// A commit clears the terminal's derived state; the rest of
+				// the stream must be re-gathered from the reset derivation,
+				// exactly as the serve shard's sequential stateful path does.
+				derived.Reset()
+				rest := ms[i+1:]
+				if len(rest) > 0 {
+					tail := gatherFrame(bat, rest, &derived)
+					if err := bat.ScoreFrame(tail); err != nil {
+						t.Fatal(err)
+					}
+					copy(f.HD[i+1:], tail.HD)
+					copy(f.Status[i+1:], tail.Status)
+				}
+			}
 		} else {
 			prevDB, havePrev = m.ServingDB, true
 		}
 	}
 }
 
-// TestAdaptiveScoreBatchMatchesDecide is the adaptive controller's batch
-// equivalence pin: the speed column must reproduce the per-report
+// TestAdaptiveScoreFrameMatchesDecide is the adaptive controller's batch
+// equivalence pin: the frame's speed column must reproduce the per-report
 // threshold schedule exactly, on both the exact and compiled FLC.
-func TestAdaptiveScoreBatchMatchesDecide(t *testing.T) {
+func TestAdaptiveScoreFrameMatchesDecide(t *testing.T) {
 	mkCompiled := func(t *testing.T) *AdaptiveFuzzy {
 		a, err := NewCompiledAdaptiveFuzzy()
 		if err != nil {
@@ -128,13 +146,13 @@ func TestAdaptiveScoreBatchMatchesDecide(t *testing.T) {
 			// The schedule must actually engage somewhere in the stream:
 			// at least one row settles as below-threshold at speed, and at
 			// least one survives to PRTLC.
-			serving, cssp, ssn, dmb, speed, hd, status := columns(ms)
 			bat := tc.mk(t)
-			if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
+			f := gatherFrame(bat, ms, nil)
+			if err := bat.ScoreFrame(f); err != nil {
 				t.Fatal(err)
 			}
 			var below, evaluated int
-			for _, st := range status {
+			for _, st := range f.Status {
 				switch st {
 				case ScoreBelowThreshold:
 					below++
@@ -149,24 +167,260 @@ func TestAdaptiveScoreBatchMatchesDecide(t *testing.T) {
 	}
 }
 
-// TestScoreBatchShapes pins the column-length validation, including the
-// speed column, on both BatchScorer implementations.
-func TestScoreBatchShapes(t *testing.T) {
-	for _, bat := range []BatchScorer{NewFuzzy(nil), NewAdaptiveFuzzy()} {
-		if err := bat.ScoreBatch(make([]float64, 3), make([]float64, 2), make([]float64, 3),
-			make([]float64, 3), make([]float64, 3), make([]float64, 3), make([]ScoreStatus, 3)); err == nil {
-			t.Fatalf("%s: mismatched column lengths accepted", bat.Name())
-		}
-		if err := bat.ScoreBatch(make([]float64, 3), make([]float64, 3), make([]float64, 3),
-			make([]float64, 3), make([]float64, 2), make([]float64, 3), make([]ScoreStatus, 3)); err == nil {
-			t.Fatalf("%s: short speed column accepted", bat.Name())
+// TestTrendScoreFrameMatchesDecide pins the stateful-schema equivalence:
+// the 4-input trend variant must decide identically on the scalar path
+// (internal trend derivation) and the frame path (externally gathered
+// trend column), on both the exact and compiled inference paths — and the
+// trend antecedent must actually change decisions relative to the paper
+// controller somewhere in the stream.
+func TestTrendScoreFrameMatchesDecide(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(t *testing.T) *TrendFuzzy
+	}{
+		{"exact", func(t *testing.T) *TrendFuzzy {
+			a, err := NewTrendFuzzy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}},
+		{"compiled", func(t *testing.T) *TrendFuzzy {
+			a, err := NewCompiledTrendFuzzy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			checkScoredWalk(t, tc.mk(t), tc.mk(t), randomMeasurements(512, 44))
+		})
+	}
+}
+
+// TestTrendCompiledMatchesExact pins the 4-axis compiled kernel against
+// the exact inference path across a dense input sweep.
+func TestTrendCompiledMatchesExact(t *testing.T) {
+	exact, err := NewTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := NewCompiledTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.surface.Exact() {
+		t.Fatalf("trend surface compiled to a lattice (bound %g), want the exact kernel", compiled.surface.ErrorBound())
+	}
+	for cssp := core.CsspMin; cssp <= core.CsspMax; cssp += 1.9 {
+		for ssn := core.SsnMin; ssn <= core.SsnMax; ssn += 3.7 {
+			for dmb := core.DmbMin; dmb <= core.DmbMax; dmb += 0.17 {
+				for trend := TrendMin; trend <= TrendMax; trend += 0.83 {
+					want, err1 := exact.eval(cssp, ssn, dmb, trend)
+					got, err2 := compiled.eval(cssp, ssn, dmb, trend)
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("(%g,%g,%g,%g): exact err %v, compiled err %v", cssp, ssn, dmb, trend, err1, err2)
+					}
+					if err1 == nil && math.Abs(want-got) > 1e-9 {
+						t.Fatalf("(%g,%g,%g,%g): exact %g, compiled %g", cssp, ssn, dmb, trend, want, got)
+					}
+				}
+			}
 		}
 	}
 }
 
-// TestScoreBatchAllocationFree pins the steady-state allocation contract
-// of the columnar path for both BatchScorer implementations.
-func TestScoreBatchAllocationFree(t *testing.T) {
+// TestTrendFlatMatchesPaper pins the design anchor of the trend rulebase:
+// with the trend derivation at rest (flat slope), the 4-input controller
+// reproduces the paper controller's decisions exactly — the extension
+// only reweights decisions when the neighbor is actually moving.
+func TestTrendFlatMatchesPaper(t *testing.T) {
+	trendAlgo, err := NewTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := NewFuzzy(nil)
+	ms := randomMeasurements(256, 45)
+	prevDB, havePrev := 0.0, false
+	for i := range ms {
+		m := ms[i]
+		m.NeighborDB = -97.5 // constant SSN: the trend stays identically flat
+		want, err1 := paper.Decide(m, prevDB, havePrev)
+		got, err2 := trendAlgo.Decide(m, prevDB, havePrev)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("report %d: errs %v / %v", i, err1, err2)
+		}
+		if got.Handover != want.Handover {
+			t.Fatalf("report %d: flat-trend handover %v ≠ paper %v", i, got.Handover, want.Handover)
+		}
+		if want.Scored && got.Scored && math.Abs(got.Score-want.Score) > 1e-9 {
+			t.Fatalf("report %d: flat-trend score %g ≠ paper %g", i, got.Score, want.Score)
+		}
+		if want.Handover {
+			prevDB, havePrev = m.ServingDB, false
+			paper.Reset()
+			trendAlgo.Reset()
+		} else {
+			prevDB, havePrev = m.ServingDB, true
+		}
+	}
+}
+
+// TestTrendShiftsDecisions verifies the antecedent carries weight: a
+// strongly rising neighbor must raise HD relative to a falling one at the
+// same operating point.
+func TestTrendShiftsDecisions(t *testing.T) {
+	a, err := NewTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rising, err := a.eval(-3, -97, 0.9, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	falling, err := a.eval(-3, -97, 0.9, -2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rising > falling) {
+		t.Fatalf("rising trend HD %g not above falling %g", rising, falling)
+	}
+}
+
+// TestTrendResetContract pins the Reset contract for the stateful
+// algorithm: after Reset, the instance decides exactly like a fresh one.
+func TestTrendResetContract(t *testing.T) {
+	used, err := NewTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := randomMeasurements(64, 46)
+	prevDB, havePrev := 0.0, false
+	for i := range ms {
+		if _, err := used.Decide(ms[i], prevDB, havePrev); err != nil {
+			t.Fatal(err)
+		}
+		prevDB, havePrev = ms[i].ServingDB, true
+	}
+	used.Reset()
+	fresh, err := NewTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDB, havePrev = 0.0, false
+	for i := range ms {
+		want, err1 := fresh.Decide(ms[i], prevDB, havePrev)
+		got, err2 := used.Decide(ms[i], prevDB, havePrev)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("report %d: errs %v / %v", i, err1, err2)
+		}
+		if got != want {
+			t.Fatalf("report %d: after Reset %+v ≠ fresh %+v", i, got, want)
+		}
+		prevDB, havePrev = ms[i].ServingDB, true
+	}
+}
+
+// TestScoreFrameSchemaGuard pins the schema check: a frame gathered for a
+// different schema is rejected by every BatchScorer implementation.
+func TestScoreFrameSchemaGuard(t *testing.T) {
+	trendAlgo, err := NewTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperFrame := NewFeatureFrame(PaperFeatureSchema(), 4)
+	paperFrame.Reset(4)
+	trendFrame := NewFeatureFrame(TrendFeatureSchema(), 4)
+	trendFrame.Reset(4)
+	for _, tc := range []struct {
+		bat   BatchScorer
+		wrong *FeatureFrame
+	}{
+		{NewFuzzy(nil), trendFrame},
+		{NewAdaptiveFuzzy(), trendFrame},
+		{trendAlgo, paperFrame},
+	} {
+		if err := tc.bat.ScoreFrame(tc.wrong); err == nil {
+			t.Fatalf("%s: frame with foreign schema accepted", tc.bat.Name())
+		}
+	}
+}
+
+// TestFeatureSchemaIdentity pins schema construction and hashing: order
+// matters, duplicates are rejected, and the built-in schemas disagree.
+func TestFeatureSchemaIdentity(t *testing.T) {
+	if PaperFeatureSchema().Hash() == TrendFeatureSchema().Hash() {
+		t.Fatal("paper and trend schema hashes collide")
+	}
+	if PaperFeatureSchema().Stateful() {
+		t.Fatal("paper schema claims stateful features")
+	}
+	if !TrendFeatureSchema().Stateful() {
+		t.Fatal("trend schema does not claim its stateful feature")
+	}
+	ab, err := NewFeatureSchema(FeatureCSSP(), FeatureSSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := NewFeatureSchema(FeatureSSN(), FeatureCSSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Hash() == ba.Hash() {
+		t.Fatal("schema hash is order-insensitive")
+	}
+	if _, err := NewFeatureSchema(FeatureCSSP(), FeatureCSSP()); err == nil {
+		t.Fatal("duplicate feature accepted")
+	}
+	if _, err := NewFeatureSchema(); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewFeatureSchema(Feature{Name: "x"}); err == nil {
+		t.Fatal("extractor-less feature accepted")
+	}
+}
+
+// TestTrendStateEWMA pins the derivation arithmetic: first observation
+// anchors flat, then the slope tracks the EWMA of deltas.
+func TestTrendStateEWMA(t *testing.T) {
+	var s TrendState
+	if got := s.Observe(-100); got != 0 {
+		t.Fatalf("first observation slope %g, want 0", got)
+	}
+	if got := s.Observe(-98); got != 1 { // delta 2, alpha 0.5
+		t.Fatalf("second observation slope %g, want 1", got)
+	}
+	if got := s.Observe(-98); got != 0.5 { // delta 0: slope decays
+		t.Fatalf("third observation slope %g, want 0.5", got)
+	}
+	s.Reset()
+	if !s.IsZero() {
+		t.Fatal("reset state not zero")
+	}
+	if got := s.Observe(-90); got != 0 {
+		t.Fatalf("post-reset first observation slope %g, want 0", got)
+	}
+}
+
+// TestFeatureExtension pins extension-feature extraction: present values
+// are read by name, absent ones fall back to the default.
+func TestFeatureExtension(t *testing.T) {
+	f := FeatureExtension("load", 0.25)
+	m := cell.Measurement{}
+	ext := []ExtValue{{Name: "noise", Value: 3}, {Name: "load", Value: 0.9}}
+	if got := f.Extract(&m, ext, nil); got != 0.9 {
+		t.Fatalf("extension value %g, want 0.9", got)
+	}
+	if got := f.Extract(&m, nil, nil); got != 0.25 {
+		t.Fatalf("extension default %g, want 0.25", got)
+	}
+}
+
+// TestScoreFrameAllocationFree pins the steady-state allocation contract
+// of the columnar path for every BatchScorer implementation, including
+// the frame gather itself.
+func TestScoreFrameAllocationFree(t *testing.T) {
 	flc, err := core.DefaultCompiledFLC()
 	if err != nil {
 		t.Fatal(err)
@@ -175,36 +429,44 @@ func TestScoreBatchAllocationFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	trendAlgo, err := NewCompiledTrendFuzzy()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, bat := range []BatchScorer{
 		NewFuzzy(core.NewControllerWithConfig(core.ControllerConfig{FLC: flc})),
 		adaptive,
+		trendAlgo,
 	} {
 		const n = 64
-		serving := make([]float64, n)
-		cssp := make([]float64, n)
-		ssn := make([]float64, n)
-		dmb := make([]float64, n)
-		speed := make([]float64, n)
-		hd := make([]float64, n)
-		status := make([]ScoreStatus, n)
+		ms := make([]cell.Measurement, n)
 		for i := 0; i < n; i++ {
-			serving[i] = -95 + float64(i%8)
-			cssp[i] = -2 + float64(i%5)
-			ssn[i] = -100 + float64(i%9)
-			dmb[i] = 0.3 + float64(i%4)*0.25
-			speed[i] = float64(i%6) * 10
+			ms[i] = cell.Measurement{
+				ServingDB:  -95 + float64(i%8),
+				CSSPdB:     -2 + float64(i%5),
+				NeighborDB: -100 + float64(i%9),
+				DMBNorm:    0.3 + float64(i%4)*0.25,
+				SpeedKmh:   float64(i%6) * 10,
+			}
 		}
-		// Warm the gather buffers.
-		if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
+		var derived DerivedState
+		f := NewFeatureFrame(bat.Schema(), n)
+		// Warm the gather buffers and the lazy scratch.
+		f.GatherMeasurements(ms, &derived)
+		if err := bat.ScoreFrame(f); err != nil {
 			t.Fatal(err)
 		}
 		allocs := testing.AllocsPerRun(50, func() {
-			if err := bat.ScoreBatch(serving, cssp, ssn, dmb, speed, hd, status); err != nil {
+			f.Reset(n)
+			for i := range ms {
+				f.Gather(i, &ms[i], nil, &derived)
+			}
+			if err := bat.ScoreFrame(f); err != nil {
 				t.Fatal(err)
 			}
 		})
 		if allocs != 0 {
-			t.Errorf("%s: steady-state ScoreBatch allocates %g per call, want 0", bat.Name(), allocs)
+			t.Errorf("%s: steady-state gather+ScoreFrame allocates %g per call, want 0", bat.Name(), allocs)
 		}
 	}
 }

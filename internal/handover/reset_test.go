@@ -73,6 +73,13 @@ func TestResetMatchesFreshInstance(t *testing.T) {
 	}{
 		{"fuzzy", func() Algorithm { return NewFuzzy(nil) }},
 		{"adaptive-fuzzy", func() Algorithm { return NewAdaptiveFuzzy() }},
+		{"trendfuzzy", func() Algorithm {
+			a, err := NewTrendFuzzy()
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}},
 		{"passive", func() Algorithm { return Passive{} }},
 		{"rss-threshold", func() Algorithm { return AbsoluteThreshold{ThresholdDB: -90} }},
 		{"hysteresis", func() Algorithm { return Hysteresis{MarginDB: 4} }},

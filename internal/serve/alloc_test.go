@@ -66,6 +66,49 @@ func TestSubmitBatchSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestTrendWholeFrameSteadyStateAllocs pins the other stateful columnar
+// shape: with every sub-batch's terminals distinct, the trend scorer runs
+// the whole-frame observe + Gather + ScoreFrame path, which must also be
+// allocation-free once terminal state and the shard frames are warm.
+func TestTrendWholeFrameSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the regression runs in the non-race job")
+	}
+	e, err := New(Config{Shards: 4, QueueDepth: 512, AlgorithmFactory: func() handover.Algorithm {
+		a, err := handover.NewCompiledTrendFuzzy()
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+
+	batch := steadyBatch(256, 256) // every terminal appears once per batch
+	for i := 0; i < 4; i++ {
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		e.Flush()
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := e.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		e.Flush()
+	})
+	if perDecision := allocs / float64(len(batch)); perDecision >= 0.01 {
+		t.Errorf("trend whole-frame steady state allocates %.1f per batch (%.4f per decision), want 0",
+			allocs, perDecision)
+	}
+}
+
 // TestServeSteadyStateBytesPerShardCount pins the byte side of the
 // steady-state contract at every shard count, in every decision mode
 // (exact, compiled, and the speed-adaptive extension on the compiled
@@ -86,6 +129,16 @@ func TestServeSteadyStateBytesPerShardCount(t *testing.T) {
 		{"compiled", Config{Compiled: true}},
 		{"adaptive", Config{AlgorithmFactory: func() handover.Algorithm {
 			a, err := handover.NewCompiledAdaptiveFuzzy()
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}}},
+		// trendfuzzy's stateful schema drives the stateful columnar paths;
+		// the 32-terminal cycling batch repeats terminals within sub-batches,
+		// so this pins the sequential one-row-frame fallback at 0 allocs too.
+		{"trendfuzzy", Config{AlgorithmFactory: func() handover.Algorithm {
+			a, err := handover.NewCompiledTrendFuzzy()
 			if err != nil {
 				panic(err)
 			}

@@ -66,6 +66,12 @@ type NodeClientConfig struct {
 	// over the dead connection's terminal claims instead of bouncing off
 	// them (0: a fresh random identity).
 	ClientID string
+	// SchemaHash is the feature-schema hash announced in the hello
+	// control line (0: not announced, and the node checks the paper
+	// schema).  A node whose engine scores a different schema rejects
+	// the connection outright — mixed-schema report routing would
+	// mis-gather feature columns silently.
+	SchemaHash uint64
 	// Dial overrides how connections are established (nil: net.Dial
 	// "tcp").  The fault-injection harness hooks here.
 	Dial func(addr string) (net.Conn, error)
@@ -402,7 +408,7 @@ func (c *NodeClient) run(conn net.Conn) {
 		// Announce the connection identity before anything else: the
 		// node keys claim takeover on it, so a reconnection must say who
 		// it is before its first report line bounces off stale claims.
-		if _, err := conn.Write(AppendControlJSON(nil, WireControl{Op: "hello", Client: c.cfg.ClientID})); err != nil {
+		if _, err := conn.Write(AppendControlJSON(nil, WireControl{Op: "hello", Client: c.cfg.ClientID, Schema: c.cfg.SchemaHash})); err != nil {
 			conn.Close()
 			c.surface(fmt.Errorf("serve: node %s: hello: %w", c.addr, err))
 			next, rerr := c.redial()

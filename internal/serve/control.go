@@ -17,9 +17,15 @@ import (
 //
 // Ops, client → node:
 //
-//	{"ctl":"hello","client":ID}       announce connection identity; lets
+//	{"ctl":"hello","client":ID,"schema":H}
+//	                                  announce connection identity; lets
 //	                                  a reconnection take over its own
-//	                                  terminal claims (see DecisionMux)
+//	                                  terminal claims (see DecisionMux).
+//	                                  H is the client's feature-schema
+//	                                  hash; the node rejects a mismatch
+//	                                  with its own engine's schema so a
+//	                                  mixed-schema cluster fails fast
+//	                                  instead of mis-gathering columns
 //	{"ctl":"extract","members":[...],"vnodes":V,"self":S}
 //	                                  extract every terminal the ring
 //	                                  over members no longer assigns to
@@ -60,6 +66,10 @@ type WireControl struct {
 	Op string
 	// Client is the connection identity ("hello").
 	Client string
+	// Schema is the announcing side's feature-schema hash ("hello").
+	// Zero means the peer predates feature schemas (or declared none)
+	// and is checked against the paper schema.
+	Schema uint64
 	// Members/VNodes/Self describe the post-change ring membership
 	// ("extract"/"release"): the node keeps only terminals the ring
 	// still assigns to member Self.
@@ -124,6 +134,10 @@ func AppendControlJSON(dst []byte, c WireControl) []byte {
 	if c.Client != "" {
 		dst = append(dst, `,"client":`...)
 		dst = appendJSONString(dst, c.Client)
+	}
+	if c.Schema != 0 {
+		dst = append(dst, `,"schema":`...)
+		dst = strconv.AppendUint(dst, c.Schema, 10)
 	}
 	if c.Addr != "" {
 		dst = append(dst, `,"addr":`...)
@@ -194,6 +208,7 @@ func ParseControlLine(line []byte) (WireControl, error) {
 	var aux struct {
 		Op        string         `json:"ctl"`
 		Client    string         `json:"client"`
+		Schema    uint64         `json:"schema"`
 		Addr      string         `json:"addr"`
 		Node      int            `json:"node"`
 		Members   []int          `json:"members"`
@@ -215,6 +230,7 @@ func ParseControlLine(line []byte) (WireControl, error) {
 	c := WireControl{
 		Op:       aux.Op,
 		Client:   aux.Client,
+		Schema:   aux.Schema,
 		Addr:     aux.Addr,
 		Node:     aux.Node,
 		Members:  aux.Members,

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/handover"
 )
 
 // Daemon is the shared front-door scaffolding of the serving binaries
@@ -71,6 +73,13 @@ type Daemon struct {
 	// exported metric points) for the "stats" control op — how a cluster
 	// router scrapes member nodes over their existing connections.
 	Stats func() WireStats
+	// SchemaHash, if non-zero, is the serving engine's feature-schema
+	// hash (Engine.SchemaHash).  A hello announcing a different schema —
+	// absent meaning the paper schema — is answered with an error line
+	// and the connection closed: a mixed-schema cluster must fail fast
+	// at connection time, not mis-gather feature columns report by
+	// report.  Zero disables the check.
+	SchemaHash uint64
 
 	initOnce sync.Once
 }
@@ -162,6 +171,20 @@ func (d *Daemon) serveConn(conn net.Conn) {
 		case "hello":
 			if c.Client != "" {
 				bnd.SetIdentity(c.Client)
+			}
+			if d.SchemaHash != 0 {
+				peer := c.Schema
+				if peer == 0 {
+					// A peer that predates schemas speaks the paper wire
+					// shape, which is exactly the paper feature set.
+					peer = handover.PaperFeatureSchema().Hash()
+				}
+				if peer != d.SchemaHash {
+					out.WriteError(fmt.Errorf("%s: feature-schema mismatch: connection announces schema %#x, node serves %#x; closing", d.Name, peer, d.SchemaHash))
+					out.Flush()
+					conn.Close()
+					return nil
+				}
 			}
 			return nil
 		case "extract":

@@ -140,6 +140,106 @@ func TestDeterminismMatchesSim(t *testing.T) {
 	}
 }
 
+// trendFleetConfigs expands the trend-drift scenario family across
+// replicas × speeds with the given algorithm factory — the fleet for the
+// 4-input stateful-schema determinism pins.
+func trendFleetConfigs(factory func() handover.Algorithm) []sim.Config {
+	cfgs, _ := sim.SweepGrid("trend", sim.TrendDriftConfig(), 2, []float64{0, 30})
+	for i := range cfgs {
+		cfgs[i].AlgorithmFactory = factory
+	}
+	return cfgs
+}
+
+// TestDeterminismTrendFuzzy pins the stateful-schema columnar path: the
+// 4-input trend controller's serve decisions — the SSN-trend feature
+// extracted from shard-held per-terminal derived state and scored through
+// the whole-frame gather — must match the single-threaded sim path, which
+// advances the same derivation inside the scalar Decide.  Interleaved
+// streams keep sub-batch terminals distinct, so this drives the
+// whole-frame stateful gather.
+func TestDeterminismTrendFuzzy(t *testing.T) {
+	for _, compiled := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compiled=%v", compiled), func(t *testing.T) {
+			factory, err := handover.AlgorithmFactoryFor("trendfuzzy", compiled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs := trendFleetConfigs(factory)
+			streams, results := simStreams(t, cfgs)
+			reports := InterleaveReports(streams)
+
+			for _, shards := range []int{1, 4} {
+				rec := newRecorder(len(cfgs))
+				e, err := New(Config{
+					Shards:           shards,
+					QueueDepth:       64,
+					AlgorithmFactory: factory,
+					PingPongWindowKm: sim.DefaultPingPongWindowKm,
+					OnDecision:       rec.record,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := handover.TrendFeatureSchema().Hash(); e.SchemaHash() != want {
+					t.Fatalf("engine schema hash %#x, want trend schema %#x", e.SchemaHash(), want)
+				}
+				if err := e.Start(); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.SubmitBatch(reports); err != nil {
+					t.Fatal(err)
+				}
+				e.Flush()
+				if err := e.Stop(); err != nil {
+					t.Fatal(err)
+				}
+				checkAgainstSim(t, rec, results, shards)
+			}
+		})
+	}
+}
+
+// TestDeterminismTrendFuzzySequentialBatches covers the stateful repeat
+// fallback: submitting each terminal's stream contiguously puts repeated
+// terminals inside single sub-batches, forcing processStatefulSequential's
+// one-row frames — whose decisions must still match the sim reference.
+func TestDeterminismTrendFuzzySequentialBatches(t *testing.T) {
+	factory, err := handover.AlgorithmFactoryFor("trendfuzzy", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := trendFleetConfigs(factory)
+	streams, results := simStreams(t, cfgs)
+	var reports []Report
+	for _, s := range streams {
+		reports = append(reports, s...)
+	}
+
+	rec := newRecorder(len(cfgs))
+	e, err := New(Config{
+		Shards:           4,
+		QueueDepth:       64,
+		AlgorithmFactory: factory,
+		PingPongWindowKm: sim.DefaultPingPongWindowKm,
+		OnDecision:       rec.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch(reports); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if err := e.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstSim(t, rec, results, 4)
+}
+
 // TestDeterminismPerTerminalAlgorithms covers the stateful-algorithm mode:
 // per-terminal HysteresisTTT instances must reproduce the sim sequences,
 // streak state and all, under concurrent sharding.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"unicode/utf8"
 
+	"repro/internal/handover"
 	"repro/internal/hexgrid"
 )
 
@@ -24,6 +25,14 @@ func FuzzParseBatchLine(f *testing.F) {
 	f.Add([]byte(`[{"terminal":1,"serving":[0,0],"neighbor":[1,0],"dmb":-2},` + single + `]`))
 	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"serving_db":1e999}`))
 	f.Add([]byte(`"just a string"`))
+	// Extension-feature object seeds: valid, wrong shape, wrong value
+	// type, duplicate name, and an unknown top-level field.
+	f.Add([]byte(strings.Replace(single, `"speed_kmh":30`, `"speed_kmh":30,"x":{"ssn_trend":-1.25}`, 1)))
+	f.Add([]byte(strings.Replace(single, `"speed_kmh":30`, `"speed_kmh":30,"x":{"b":2,"a":0}`, 1)))
+	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"x":[1]}`))
+	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"x":{"t":"fast"}}`))
+	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"x":{"t":1,"t":2}}`))
+	f.Add([]byte(`{"terminal":1,"serving":[0,0],"neighbor":[1,0],"rsrp":-90}`))
 	f.Fuzz(func(t *testing.T, line []byte) {
 		reports, err := ParseBatchLine(line)
 		if err == nil && reports == nil && len(trimSpace(line)) != 0 {
@@ -64,13 +73,22 @@ func FuzzParseBatchLine(f *testing.F) {
 // compared for equality as bytes, and a restore-then-extract returns
 // exactly what arrived.
 func FuzzSnapshotRoundTrip(f *testing.F) {
-	f.Add(uint64(7), uint64(12), -88.5, true, -2, 3, true, uint64(3), uint64(1), uint64(3), 1.25)
-	f.Add(uint64(0), uint64(0), 0.0, false, 0, 0, false, uint64(0), uint64(0), uint64(0), 0.0)
-	f.Add(uint64(1<<40), uint64(1<<50), 1e-300, true, 1000, -1000, true, uint64(99), uint64(98), uint64(97), -0.0)
+	f.Add(uint64(7), uint64(12), -88.5, true, -2, 3, true, uint64(3), uint64(1), uint64(3), 1.25, 0.0, 0.0, false)
+	f.Add(uint64(0), uint64(0), 0.0, false, 0, 0, false, uint64(0), uint64(0), uint64(0), 0.0, 0.0, 0.0, false)
+	f.Add(uint64(1<<40), uint64(1<<50), 1e-300, true, 1000, -1000, true, uint64(99), uint64(98), uint64(97), -0.0, 0.0, 0.0, false)
+	// Trend-state seeds: the v2 shape (EWMA slope mid-walk) and the
+	// anchored-only first observation.
+	f.Add(uint64(3), uint64(5), -90.0, true, 1, 0, true, uint64(1), uint64(0), uint64(1), 0.5, -91.25, -0.5, true)
+	f.Add(uint64(4), uint64(1), 0.0, false, 0, 0, false, uint64(0), uint64(0), uint64(0), 0.0, -84.0, 0.0, true)
 	f.Fuzz(func(t *testing.T, terminal, seq uint64, prevDB float64, havePrev bool,
-		si, sj int, haveServing bool, handovers, pingpongs, totalEvents uint64, walked float64) {
+		si, sj int, haveServing bool, handovers, pingpongs, totalEvents uint64, walked float64,
+		trendPrevSSN, trendSlope float64, trendHave bool) {
 		if math.IsNaN(prevDB) || math.IsInf(prevDB, 0) || math.IsNaN(walked) || math.IsInf(walked, 0) {
 			t.Skip("power and distance values are finite by construction")
+		}
+		if math.IsNaN(trendPrevSSN) || math.IsInf(trendPrevSSN, 0) ||
+			math.IsNaN(trendSlope) || math.IsInf(trendSlope, 0) {
+			t.Skip("trend state is finite by construction")
 		}
 		totalEvents %= maxSnapshotTotalEvents + 1
 		s := TerminalSnapshot{
@@ -83,6 +101,7 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 			Handovers:   handovers,
 			PingPongs:   pingpongs,
 			TotalEvents: totalEvents,
+			Trend:       handover.TrendState{PrevSSN: trendPrevSSN, Slope: trendSlope, Have: trendHave},
 		}
 		n := int(totalEvents)
 		if n > pingPongHistory {

@@ -57,7 +57,7 @@ type engineMetrics struct {
 	// service is the dequeue→done time of one sub-batch: decision kernel
 	// plus outcome delivery (OnDecision callbacks).
 	service *obs.Histogram
-	// score is the columnar ScoreBatch kernel time of one sub-batch.
+	// score is the columnar ScoreFrame kernel time of one sub-batch.
 	score *obs.Histogram
 	// snapshot/restore are whole-call durations of the snapshot /
 	// migration control plane.

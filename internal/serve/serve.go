@@ -41,6 +41,11 @@ type Report struct {
 	Terminal TerminalID
 	// Meas is the epoch measurement collected by the radio side.
 	Meas cell.Measurement
+	// Ext carries the wire report's optional extension-feature values
+	// (the "x" object), in wire order; nil for plain paper reports.
+	// Schema extension features (handover.FeatureExtension) read it by
+	// name during the frame gather.
+	Ext []handover.ExtValue
 }
 
 // Outcome is the engine's verdict for one report, delivered to the
@@ -203,6 +208,9 @@ type Engine struct {
 	metrics *engineMetrics
 	traces  *traceRing
 	epoch   time.Time
+	// schemaHash identifies the scoring algorithm's feature schema (see
+	// SchemaHash).
+	schemaHash uint64
 
 	// mu serializes lifecycle transitions against submissions: Submit
 	// holds the read side across the queue send so Stop can only close
@@ -294,16 +302,35 @@ func New(cfg Config) (*Engine, error) {
 			s.algo.Reset()
 			// The columnar batch pipeline engages when the shared
 			// algorithm can score whole sub-batches (the paper's fuzzy
-			// controller, exact or compiled).
+			// controller, exact or compiled, and the schema extensions).
 			if bs, ok := s.algo.(handover.BatchScorer); ok {
 				s.scorer = bs
-				s.cols = newBatchCols()
+				s.stateful = bs.Schema().Stateful()
+				s.cols = newBatchCols(bs.Schema())
 			}
 		}
 		e.shards[i] = s
 	}
+	// The engine's schema hash is what cluster peers compare in the hello
+	// exchange: algorithms that don't declare a schema score the paper's
+	// three wire antecedents, so they interoperate under the paper hash.
+	e.schemaHash = handover.PaperFeatureSchema().Hash()
+	if cfg.PerTerminalAlgorithms {
+		if bs, ok := factory().(handover.BatchScorer); ok {
+			e.schemaHash = bs.Schema().Hash()
+		}
+	} else if e.shards[0].scorer != nil {
+		e.schemaHash = e.shards[0].scorer.Schema().Hash()
+	}
 	return e, nil
 }
+
+// SchemaHash identifies the feature schema this engine's decisions
+// consume (handover.FeatureSchema.Hash of the scoring algorithm's
+// schema; the paper schema's hash for schema-less algorithms).  Cluster
+// peers exchange it in the hello control line and refuse mismatched
+// nodes, so a mixed-schema cluster fails fast instead of mis-scoring.
+func (e *Engine) SchemaHash() uint64 { return e.schemaHash }
 
 // NumShards returns the engine's shard count.
 func (e *Engine) NumShards() int { return len(e.shards) }

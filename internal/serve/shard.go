@@ -34,6 +34,10 @@ type terminal struct {
 	// of the previous epoch, invalidated by an executed handover.
 	prevDB   float64
 	havePrev bool
+	// derived is the per-terminal state stateful schema features extract
+	// from (the SSN trend derivation); reset exactly where the algorithm
+	// is: executed handovers and external reattachments.
+	derived handover.DerivedState
 	// serving tracks the attachment the engine believes the terminal
 	// holds (updated on executed handovers, corrected from reports).
 	serving     hexgrid.Cell
@@ -91,13 +95,13 @@ const routeBuckets = 128
 // maxSubBatch ever outgrows it.
 const _ uint = 127 - maxSubBatch
 
-// batchCols is a shard's struct-of-arrays staging for the columnar
-// decision pipeline: a drained sub-batch's measurements laid out as
-// columns, scored in one BatchScorer call, decisions completed per row.
-// Sized once to maxSubBatch; reused for every sub-batch.
+// batchCols is a shard's staging for the columnar decision pipeline: a
+// drained sub-batch's measurements gathered into the scorer's
+// FeatureFrame (struct-of-arrays columns in the scorer's schema), scored
+// in one BatchScorer call, decisions completed per row.  Sized once to
+// maxSubBatch; reused for every sub-batch.
 type batchCols struct {
-	serving, cssp, ssn, dmb, speed, hd []float64
-	status                             []handover.ScoreStatus
+	frame *handover.FeatureFrame
 	// slots holds the sub-batch's resolved terminal state, one entry per
 	// report; head/next are the grouping table of routeBatch (bucket
 	// heads and chain links over report indexes, -1 terminated).
@@ -106,16 +110,10 @@ type batchCols struct {
 	next  [maxSubBatch]int8
 }
 
-func newBatchCols() *batchCols {
+func newBatchCols(schema *handover.FeatureSchema) *batchCols {
 	return &batchCols{
-		serving: make([]float64, maxSubBatch),
-		cssp:    make([]float64, maxSubBatch),
-		ssn:     make([]float64, maxSubBatch),
-		dmb:     make([]float64, maxSubBatch),
-		speed:   make([]float64, maxSubBatch),
-		hd:      make([]float64, maxSubBatch),
-		status:  make([]handover.ScoreStatus, maxSubBatch),
-		slots:   make([]*terminal, maxSubBatch),
+		frame: handover.NewFeatureFrame(schema, maxSubBatch),
+		slots: make([]*terminal, maxSubBatch),
 	}
 }
 
@@ -155,10 +153,14 @@ type shard struct {
 	algo    handover.Algorithm
 	newAlgo func() handover.Algorithm
 	// scorer is algo's BatchScorer view, non-nil when the shared
-	// algorithm supports the columnar batch pipeline.
-	scorer handover.BatchScorer
-	cols   *batchCols
-	window float64
+	// algorithm supports the columnar batch pipeline; stateful mirrors
+	// scorer.Schema().Stateful() — such scorers must see every report
+	// through the frame path (the gather advances per-terminal derived
+	// state), so the per-report Decide shortcut is disabled for them.
+	scorer   handover.BatchScorer
+	stateful bool
+	cols     *batchCols
+	window   float64
 
 	onDecision func(Outcome)
 
@@ -220,7 +222,7 @@ func (s *shard) run() {
 			}
 		}
 		batch := msg.batch
-		if s.scorer != nil && len(*batch) > 1 {
+		if s.scorer != nil && (len(*batch) > 1 || s.stateful) {
 			s.processColumnar(*batch)
 		} else {
 			for i := range *batch {
@@ -240,43 +242,80 @@ func (s *shard) run() {
 
 // processColumnar serves one sub-batch through the columnar pipeline:
 // routeBatch resolves every report's terminal slot up front, the
-// measurements are transposed into struct-of-arrays columns, the
-// stateless decision stages (POTLC gate, FLC score, and — for adaptive
-// scorers — the speed-dependent threshold) run over the whole batch in
-// one BatchScorer call — through the compiled control surface's
-// EvaluateBatch when the controller is compiled — and the stateful
-// remainder completes per report, in order, against each resolved slot.
-// Per-terminal decision sequences are identical to the per-report path
-// because the batched stages depend only on the measurement, never on
-// terminal state, and slot resolution has no decision-visible effect.
+// measurements are gathered into the scorer's FeatureFrame by its
+// declared schema, the history-free decision stages (POTLC gate, FLC
+// score, and — for adaptive scorers — the speed-dependent threshold) run
+// over the whole frame in one BatchScorer call — through the compiled
+// control surface's EvaluateBatch when the controller is compiled — and
+// the stateful remainder completes per report, in order, against each
+// resolved slot.  Per-terminal decision sequences are identical to the
+// per-report path: for stateless schemas the batched stages depend only
+// on the measurement, and for stateful schemas the gather advances each
+// terminal's derived state in report order — falling back to one report
+// at a time (processStatefulSequential) when a terminal repeats within
+// the sub-batch, because a mid-batch executed handover resets that
+// terminal's derivation and its later rows must be gathered after the
+// reset.
 //
 //fuzzyho:hotpath
 func (s *shard) processColumnar(batch []Report) {
 	n := len(batch)
 	c := s.cols
-	s.routeBatch(batch)
-	for i := range batch {
-		m := &batch[i].Meas
-		c.serving[i] = m.ServingDB
-		c.cssp[i] = m.CSSPdB
-		c.ssn[i] = m.NeighborDB
-		c.dmb[i] = m.DMBNorm
-		c.speed[i] = m.SpeedKmh
+	hasDup := s.routeBatch(batch)
+	if s.stateful && hasDup {
+		s.processStatefulSequential(batch)
+		return
+	}
+	f := c.frame
+	f.Reset(n)
+	if s.stateful {
+		// Stateful features read per-terminal derived state: apply the
+		// reattachment correction before extraction so the derivation
+		// restarts exactly where the per-report path restarts it.
+		for i := range batch {
+			r := &batch[i]
+			t := c.slots[i]
+			s.observe(r, t)
+			f.Gather(i, &r.Meas, r.Ext, &t.derived)
+		}
+	} else {
+		for i := range batch {
+			r := &batch[i]
+			f.Gather(i, &r.Meas, r.Ext, nil)
+		}
 	}
 	var scoreStart int64
 	sampled := s.metrics != nil && s.stageSample
 	if sampled {
 		scoreStart = int64(time.Since(s.epoch))
 	}
-	err := s.scorer.ScoreBatch(c.serving[:n], c.cssp[:n], c.ssn[:n], c.dmb[:n], c.speed[:n], c.hd[:n], c.status[:n])
+	err := s.scorer.ScoreFrame(f)
 	if sampled {
 		s.metrics.score.Observe(uint64(int64(time.Since(s.epoch)) - scoreStart))
 	}
 	if err != nil {
-		// Shape errors cannot happen with shard-owned columns; fall back
-		// to the per-report path rather than dropping the sub-batch.
+		// Schema errors cannot happen with shard-owned frames; recover
+		// rather than dropping the sub-batch.  The stateless fallback
+		// re-decides per report; a stateful schema's derivation has
+		// already advanced, so its reports commit as algorithm errors.
+		if s.stateful {
+			for i := range batch {
+				s.commit(&batch[i], c.slots[i], s.algo, handover.Decision{}, err)
+			}
+			return
+		}
 		for i := range batch {
 			s.process(&batch[i])
+		}
+		return
+	}
+	if s.stateful {
+		// observe already ran during the gather.
+		for i := range batch {
+			r := &batch[i]
+			t := c.slots[i]
+			dec, derr := s.scorer.DecideScored(&r.Meas, t.prevDB, t.havePrev, f.HD[i], f.Status[i])
+			s.commit(r, t, s.algo, dec, derr)
 		}
 		return
 	}
@@ -284,8 +323,36 @@ func (s *shard) processColumnar(batch []Report) {
 		r := &batch[i]
 		t := c.slots[i]
 		s.observe(r, t)
-		dec, err := s.scorer.DecideScored(&r.Meas, t.prevDB, t.havePrev, c.hd[i], c.status[i])
-		s.commit(r, t, s.algo, dec, err)
+		dec, derr := s.scorer.DecideScored(&r.Meas, t.prevDB, t.havePrev, f.HD[i], f.Status[i])
+		s.commit(r, t, s.algo, dec, derr)
+	}
+}
+
+// processStatefulSequential serves a sub-batch with repeated terminals
+// for a stateful schema one report at a time through a 1-row frame: a
+// mid-batch executed handover resets the terminal's derived state, and
+// the terminal's next report must be gathered after that reset — exactly
+// the scalar path's ordering.  Distinct-terminal sub-batches (the normal
+// multi-terminal load shape) take the whole-frame path instead.
+//
+//fuzzyho:hotpath
+func (s *shard) processStatefulSequential(batch []Report) {
+	c := s.cols
+	f := c.frame
+	for i := range batch {
+		r := &batch[i]
+		t := c.slots[i]
+		s.observe(r, t)
+		f.Reset(1)
+		f.Gather(0, &r.Meas, r.Ext, &t.derived)
+		var dec handover.Decision
+		var derr error
+		if err := s.scorer.ScoreFrame(f); err != nil {
+			derr = err
+		} else {
+			dec, derr = s.scorer.DecideScored(&r.Meas, t.prevDB, t.havePrev, f.HD[0], f.Status[0])
+		}
+		s.commit(r, t, s.algo, dec, derr)
 	}
 }
 
@@ -300,9 +367,14 @@ func (s *shard) processColumnar(batch []Report) {
 // commits stay in the per-report completion loop, in report order, so
 // per-terminal sequences are untouched.
 //
+// It reports whether any terminal repeats within the sub-batch — the
+// signal the stateful-schema path uses to fall back to sequential
+// gathering.
+//
 //fuzzyho:hotpath
-func (s *shard) routeBatch(batch []Report) {
+func (s *shard) routeBatch(batch []Report) bool {
 	c := s.cols
+	hasDup := false
 	for i := range c.head {
 		c.head[i] = -1
 	}
@@ -310,6 +382,7 @@ func (s *shard) routeBatch(batch []Report) {
 		id := batch[i].Terminal
 		if i > 0 && batch[i-1].Terminal == id {
 			c.slots[i] = c.slots[i-1]
+			hasDup = true
 			continue
 		}
 		h := mix64(uint64(id))
@@ -325,6 +398,7 @@ func (s *shard) routeBatch(batch []Report) {
 			}
 		}
 		if dup {
+			hasDup = true
 			continue
 		}
 		t, created := s.store.acquire(id, h)
@@ -336,6 +410,7 @@ func (s *shard) routeBatch(batch []Report) {
 		c.next[i] = c.head[b]
 		c.head[b] = int8(i)
 	}
+	return hasDup
 }
 
 // initTerminal completes a freshly created (zero-valued) terminal slot.
@@ -358,6 +433,7 @@ func (s *shard) observe(r *Report, t *terminal) {
 		// power belongs to another cell, so the history restarts, as it
 		// does after an engine-decided handover.
 		t.havePrev = false
+		t.derived.Reset()
 		if t.algo != nil {
 			t.algo.Reset()
 		} else {
@@ -421,6 +497,7 @@ func (s *shard) commit(r *Report, t *terminal, algo handover.Algorithm, dec hand
 		// prevDB from its own measurement.
 		t.serving = m.Neighbor
 		t.havePrev = false
+		t.derived.Reset()
 		algo.Reset()
 	}
 	if !executed {

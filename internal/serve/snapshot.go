@@ -12,13 +12,21 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/handover"
 	"repro/internal/hexgrid"
 )
 
-// SnapshotVersion is the terminal-snapshot codec version emitted by
-// AppendSnapshotJSON.  ParseSnapshotLine rejects any other version: a
-// node must never restore state it cannot interpret bit-faithfully.
-const SnapshotVersion = 1
+// SnapshotVersion is the base terminal-snapshot codec version:
+// AppendSnapshotJSON emits it for every terminal without derived feature
+// state, so paper deployments' snapshot bytes never change across this
+// codec's history.  SnapshotVersionTrend adds the trend-derivation object
+// and is emitted exactly when that state is non-zero.  ParseSnapshotLine
+// rejects any other version: a node must never restore state it cannot
+// interpret bit-faithfully.
+const (
+	SnapshotVersion      = 1
+	SnapshotVersionTrend = 2
+)
 
 // SnapshotEvent is one executed handover in a snapshot's recent-handover
 // ring, oldest first.
@@ -51,6 +59,11 @@ type TerminalSnapshot struct {
 	PingPongs   uint64
 	TotalEvents uint64
 	Events      []SnapshotEvent
+	// Trend is the terminal's SSN-trend derivation (stateful schema
+	// feature state).  Zero for paper schemas — and encoded only when
+	// non-zero, under SnapshotVersionTrend, so paper snapshot bytes are
+	// untouched by the schema extension.
+	Trend handover.TrendState
 }
 
 // maxSnapshotTotalEvents bounds TotalEvents so the restore cast to the
@@ -78,6 +91,10 @@ func (s TerminalSnapshot) Validate() error {
 			return fmt.Errorf("serve: snapshot terminal %d: event %d walked_km is not finite", s.Terminal, i)
 		}
 	}
+	if math.IsNaN(s.Trend.PrevSSN) || math.IsInf(s.Trend.PrevSSN, 0) ||
+		math.IsNaN(s.Trend.Slope) || math.IsInf(s.Trend.Slope, 0) {
+		return fmt.Errorf("serve: snapshot terminal %d: trend state is not finite", s.Terminal)
+	}
 	return nil
 }
 
@@ -96,6 +113,7 @@ func (t *terminal) snapshot(id TerminalID) TerminalSnapshot {
 		Handovers:   t.handovers,
 		PingPongs:   t.pingpongs,
 		TotalEvents: uint64(t.total),
+		Trend:       t.derived.Trend,
 	}
 	n := t.total
 	if n > pingPongHistory {
@@ -125,6 +143,7 @@ func (t *terminal) restoreFrom(s TerminalSnapshot) {
 	}
 	t.next = len(s.Events) % pingPongHistory
 	t.total = int(s.TotalEvents)
+	t.derived.Trend = s.Trend
 }
 
 // AppendSnapshotJSON appends the snapshot as one versioned JSON line
@@ -147,8 +166,12 @@ func AppendSnapshotJSON(dst []byte, s TerminalSnapshot) []byte {
 //fuzzyho:hotpath
 //fuzzyho:deterministic
 func appendSnapshotObj(dst []byte, s TerminalSnapshot) []byte {
+	v := int64(SnapshotVersion)
+	if !s.Trend.IsZero() {
+		v = SnapshotVersionTrend
+	}
 	dst = append(dst, `{"v":`...)
-	dst = strconv.AppendInt(dst, SnapshotVersion, 10)
+	dst = strconv.AppendInt(dst, v, 10)
 	dst = append(dst, `,"terminal":`...)
 	dst = strconv.AppendUint(dst, uint64(s.Terminal), 10)
 	dst = append(dst, `,"seq":`...)
@@ -186,7 +209,17 @@ func appendSnapshotObj(dst []byte, s TerminalSnapshot) []byte {
 		dst = strconv.AppendFloat(dst, e.WalkedKm, 'g', -1, 64)
 		dst = append(dst, '}')
 	}
-	return append(dst, ']', '}')
+	dst = append(dst, ']')
+	if v == SnapshotVersionTrend {
+		dst = append(dst, `,"trend":{"prev_ssn":`...)
+		dst = strconv.AppendFloat(dst, s.Trend.PrevSSN, 'g', -1, 64)
+		dst = append(dst, `,"slope":`...)
+		dst = strconv.AppendFloat(dst, s.Trend.Slope, 'g', -1, 64)
+		dst = append(dst, `,"have":`...)
+		dst = strconv.AppendBool(dst, s.Trend.Have)
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
 }
 
 // wireSnapshotEvent/wireSnapshot are the decode shapes of the snapshot
@@ -209,12 +242,26 @@ type wireSnapshot struct {
 	PingPongs   uint64              `json:"pingpongs"`
 	TotalEvents uint64              `json:"total_events"`
 	Events      []wireSnapshotEvent `json:"events"`
+	Trend       *wireTrend          `json:"trend"`
+}
+
+// wireTrend is the decode shape of the v2 trend-derivation object.
+type wireTrend struct {
+	PrevSSN float64 `json:"prev_ssn"`
+	Slope   float64 `json:"slope"`
+	Have    bool    `json:"have"`
 }
 
 // snapshot converts the decode shape, enforcing version and validity.
+// A v1 line carrying a trend object is rejected — trend state exists
+// only under SnapshotVersionTrend, and silently dropping it would skew
+// the restored terminal's decision stream.
 func (w wireSnapshot) snapshot() (TerminalSnapshot, error) {
-	if w.V != SnapshotVersion {
-		return TerminalSnapshot{}, fmt.Errorf("serve: snapshot version %d not supported (this build speaks %d)", w.V, SnapshotVersion)
+	if w.V != SnapshotVersion && w.V != SnapshotVersionTrend {
+		return TerminalSnapshot{}, fmt.Errorf("serve: snapshot version %d not supported (this build speaks %d..%d)", w.V, SnapshotVersion, SnapshotVersionTrend)
+	}
+	if w.V == SnapshotVersion && w.Trend != nil {
+		return TerminalSnapshot{}, fmt.Errorf("serve: snapshot version %d does not carry trend state", SnapshotVersion)
 	}
 	s := TerminalSnapshot{
 		Terminal:    TerminalID(w.Terminal),
@@ -226,6 +273,9 @@ func (w wireSnapshot) snapshot() (TerminalSnapshot, error) {
 		Handovers:   w.Handovers,
 		PingPongs:   w.PingPongs,
 		TotalEvents: w.TotalEvents,
+	}
+	if w.Trend != nil {
+		s.Trend = handover.TrendState{PrevSSN: w.Trend.PrevSSN, Slope: w.Trend.Slope, Have: w.Trend.Have}
 	}
 	for _, e := range w.Events {
 		s.Events = append(s.Events, SnapshotEvent{

@@ -45,6 +45,12 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 			return s
 		}(),
 		"negative-zero-db": {Terminal: 1, PrevDB: math.Copysign(0, -1), HavePrev: true},
+		"trend": func() TerminalSnapshot {
+			s := sampleSnapshot()
+			s.Trend = handover.TrendState{PrevSSN: -91.25, Slope: -0.5, Have: true}
+			return s
+		}(),
+		"trend-anchored": {Terminal: 2, Trend: handover.TrendState{PrevSSN: -84, Have: true}},
 	} {
 		line := AppendSnapshotJSON(nil, s)
 		dec, err := ParseSnapshotLine(line)
@@ -58,6 +64,39 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotVersionByContent pins the version-selection rule: zero trend
+// state emits exactly the seed v1 bytes (paper-path snapshots are
+// unchanged by the trend feature), non-zero trend state emits v2 with the
+// trailing trend object, and both parse back to the original state.
+func TestSnapshotVersionByContent(t *testing.T) {
+	plain := AppendSnapshotJSON(nil, sampleSnapshot())
+	if !bytes.Contains(plain, []byte(`"v":1`)) || bytes.Contains(plain, []byte(`"trend"`)) {
+		t.Errorf("zero-trend snapshot is not plain v1: %s", plain)
+	}
+
+	s := sampleSnapshot()
+	s.Trend = handover.TrendState{PrevSSN: -91.25, Slope: -0.5, Have: true}
+	line := AppendSnapshotJSON(nil, s)
+	if !bytes.Contains(line, []byte(`"v":2`)) ||
+		!bytes.Contains(line, []byte(`"trend":{"prev_ssn":-91.25,"slope":-0.5,"have":true}`)) {
+		t.Errorf("trend snapshot not encoded as v2: %s", line)
+	}
+	dec, err := ParseSnapshotLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Trend != s.Trend {
+		t.Errorf("trend state %+v, want %+v", dec.Trend, s.Trend)
+	}
+
+	// Validate refuses non-finite trend state (struct-built snapshots on
+	// the Restore path; the wire cannot carry NaN).
+	s.Trend.Slope = math.NaN()
+	if err := s.Validate(); err == nil {
+		t.Error("NaN trend slope validated")
+	}
+}
+
 // TestSnapshotParseRejects pins the validation gate: snapshots that
 // would corrupt a restored terminal are refused whole.
 func TestSnapshotParseRejects(t *testing.T) {
@@ -65,8 +104,10 @@ func TestSnapshotParseRejects(t *testing.T) {
 		line string
 		want string
 	}{
-		"wrong-version":   {`{"v":2,"terminal":1}`, "version"},
+		"wrong-version":   {`{"v":3,"terminal":1}`, "version"},
 		"missing-version": {`{"terminal":1}`, "version"},
+		"trend-on-v1":     {`{"v":1,"terminal":1,"trend":{"prev_ssn":-90,"slope":1,"have":true}}`, "trend"},
+		"trend-bad-type":  {`{"v":2,"terminal":1,"trend":{"prev_ssn":"x"}}`, "malformed"},
 		"broken-json":     {`{"v":1,`, "malformed"},
 		"event-mismatch":  {`{"v":1,"terminal":1,"total_events":2,"events":[]}`, "events"},
 		"overflow-total":  {`{"v":1,"terminal":1,"total_events":99999999999}`, "out of range"},
@@ -175,6 +216,15 @@ func TestSnapshotMigrationPreservesSequences(t *testing.T) {
 		"exact":    {Shards: 3},
 		"compiled": {Shards: 3, Compiled: true},
 		"adaptive": {Shards: 3, AlgorithmFactory: func() handover.Algorithm { return handover.NewAdaptiveFuzzy() }},
+		// The trend scorer's per-terminal derivation rides the snapshot's
+		// v2 trend object; losing it across the cut would diverge here.
+		"trendfuzzy": {Shards: 3, AlgorithmFactory: func() handover.Algorithm {
+			a, err := handover.NewCompiledTrendFuzzy()
+			if err != nil {
+				panic(err)
+			}
+			return a
+		}},
 	} {
 		ref := newRecorder(terminals)
 		rcfg := cfg

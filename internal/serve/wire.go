@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strconv"
 
 	"repro/internal/cell"
+	"repro/internal/handover"
 	"repro/internal/hexgrid"
 )
 
@@ -23,6 +26,67 @@ type WireReport struct {
 	DMBNorm    float64 `json:"dmb"`
 	WalkedKm   float64 `json:"walked_km"`
 	SpeedKmh   float64 `json:"speed_kmh"`
+	X          WireExt `json:"x,omitempty"`
+}
+
+// WireExt is the optional "x" extension-feature object of a wire report:
+// named scalar inputs for schema features beyond the paper's measurement
+// set.  Order is load-bearing — encode emits entries in stored order and
+// decode preserves arrival order — so encode→decode→encode is
+// byte-identical like every other codec here.  Decode rejects duplicate
+// names and non-number values; an empty object decodes to nil.
+type WireExt []handover.ExtValue
+
+// UnmarshalJSON decodes the extension object through the token stream,
+// which is the only stdlib path that sees object keys in wire order.
+func (x *WireExt) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("serve: report field x must be an object")
+	}
+	var vals []handover.ExtValue
+	for dec.More() {
+		ktok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		k, _ := ktok.(string)
+		for _, v := range vals {
+			if v.Name == k {
+				return fmt.Errorf("serve: duplicate x extension feature %q", k)
+			}
+		}
+		vtok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		num, ok := vtok.(json.Number)
+		if !ok {
+			return fmt.Errorf("serve: x extension feature %q is not a number", k)
+		}
+		f, err := num.Float64()
+		if err != nil {
+			return fmt.Errorf("serve: x extension feature %q: %w", k, err)
+		}
+		vals = append(vals, handover.ExtValue{Name: k, Value: f})
+	}
+	if _, err := dec.Token(); err != nil { // consume the closing brace
+		return err
+	}
+	*x = vals
+	return nil
+}
+
+// MarshalJSON mirrors the hand-rolled appendExtJSON encoding for callers
+// that marshal a WireReport through the stdlib.
+func (x WireExt) MarshalJSON() ([]byte, error) {
+	b := appendExtObj(nil, x)
+	return b, nil
 }
 
 // WireOutcome is the newline-JSON decision format cmd/hoserve emits.
@@ -57,6 +121,7 @@ func (r Report) Wire() WireReport {
 		DMBNorm:    r.Meas.DMBNorm,
 		WalkedKm:   r.Meas.WalkedKm,
 		SpeedKmh:   r.Meas.SpeedKmh,
+		X:          WireExt(r.Ext),
 	}
 }
 
@@ -74,6 +139,7 @@ func (w WireReport) Report() Report {
 			WalkedKm:   w.WalkedKm,
 			SpeedKmh:   w.SpeedKmh,
 		},
+		Ext: []handover.ExtValue(w.X),
 	}
 }
 
@@ -103,15 +169,29 @@ func (w WireReport) Validate() error {
 	if w.Serving == w.Neighbor {
 		return fmt.Errorf("serve: serving and neighbor are both BS(%d,%d)", w.Serving[0], w.Serving[1])
 	}
+	for i, e := range w.X {
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return fmt.Errorf("serve: x extension feature %q is not finite", e.Name)
+		}
+		for j := 0; j < i; j++ {
+			if w.X[j].Name == e.Name {
+				return fmt.Errorf("serve: duplicate x extension feature %q", e.Name)
+			}
+		}
+	}
 	return nil
 }
 
 // ParseBatchLine decodes one ingest line: either a single JSON report
 // object or a JSON array of them (one batch).  A malformed line (broken
-// JSON) yields a descriptive error and no reports.  A line that parses but
-// contains an invalid report yields the validated prefix — every report
-// before the offending one, in order — alongside an error naming the
-// failing index, so callers can serve the prefix (or drop it) without
+// JSON) yields a descriptive error and no reports.  Reports decode
+// strictly: an unknown top-level field or a malformed "x" extension
+// object rejects that report — this codec's pinned contract, since a
+// silently dropped field would desynchronize a mixed-version cluster's
+// decisions without any error surfacing.  A line whose report i fails to
+// decode or validate yields the validated prefix — every report before
+// the offending one, in order — alongside an error naming the failing
+// index, so callers can serve the prefix (or drop it) without
 // re-parsing; reports after the first invalid one are never returned.
 //
 //fuzzyho:deterministic
@@ -120,26 +200,49 @@ func ParseBatchLine(line []byte) ([]Report, error) {
 	if len(trimmed) == 0 {
 		return nil, nil
 	}
-	var wires []WireReport
+	var raws []json.RawMessage
 	if trimmed[0] == '[' {
-		if err := json.Unmarshal(trimmed, &wires); err != nil {
+		if err := json.Unmarshal(trimmed, &raws); err != nil {
 			return nil, fmt.Errorf("serve: malformed batch line: %w", err)
 		}
 	} else {
 		var w WireReport
-		if err := json.Unmarshal(trimmed, &w); err != nil {
+		if err := unmarshalReportStrict(trimmed, &w); err != nil {
 			return nil, fmt.Errorf("serve: malformed report line: %w", err)
 		}
-		wires = append(wires, w)
-	}
-	out := make([]Report, 0, len(wires))
-	for i, w := range wires {
 		if err := w.Validate(); err != nil {
-			return out, fmt.Errorf("report %d: %w (%d of %d validated)", i, err, len(out), len(wires))
+			return nil, fmt.Errorf("report 0: %w (0 of 1 validated)", err)
+		}
+		return []Report{w.Report()}, nil
+	}
+	out := make([]Report, 0, len(raws))
+	for i, raw := range raws {
+		var w WireReport
+		if err := unmarshalReportStrict(raw, &w); err != nil {
+			return out, fmt.Errorf("report %d: %w (%d of %d validated)", i, err, len(out), len(raws))
+		}
+		if err := w.Validate(); err != nil {
+			return out, fmt.Errorf("report %d: %w (%d of %d validated)", i, err, len(out), len(raws))
 		}
 		out = append(out, w.Report())
 	}
 	return out, nil
+}
+
+// unmarshalReportStrict decodes one report object rejecting unknown
+// top-level fields and trailing data.
+//
+//fuzzyho:deterministic
+func unmarshalReportStrict(data []byte, w *WireReport) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(w); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after report object")
+	}
+	return nil
 }
 
 // trimSpace strips ASCII whitespace without allocating.
@@ -188,6 +291,27 @@ func AppendReportJSON(dst []byte, r Report) []byte {
 	dst = strconv.AppendFloat(dst, r.Meas.WalkedKm, 'g', -1, 64)
 	dst = append(dst, `,"speed_kmh":`...)
 	dst = strconv.AppendFloat(dst, r.Meas.SpeedKmh, 'g', -1, 64)
+	if len(r.Ext) > 0 {
+		dst = append(dst, `,"x":`...)
+		dst = appendExtObj(dst, r.Ext)
+	}
+	return append(dst, '}')
+}
+
+// appendExtObj appends the "x" extension object in stored entry order.
+//
+//fuzzyho:hotpath
+//fuzzyho:deterministic
+func appendExtObj(dst []byte, ext []handover.ExtValue) []byte {
+	dst = append(dst, '{')
+	for i, e := range ext {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONString(dst, e.Name)
+		dst = append(dst, ':')
+		dst = strconv.AppendFloat(dst, e.Value, 'g', -1, 64)
+	}
 	return append(dst, '}')
 }
 

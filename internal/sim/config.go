@@ -150,3 +150,21 @@ func PaperCrossingConfig() Config {
 		PowerW:       10,
 	}
 }
+
+// TrendDriftConfig is the SSN-trend scenario family: the crossing walk
+// class with a moving terminal and correlated shadow fading, so the
+// neighbour signal drifts on a scale the per-epoch paper inputs cannot
+// see — the regime where a trend antecedent (handover.TrendFuzzy's
+// fourth input) changes decisions.  Replica sweeps vary ShadowSeed like
+// every other family.
+func TrendDriftConfig() Config {
+	return Config{
+		Seed:           300,
+		NWalk:          10,
+		CellRadiusKm:   2,
+		PowerW:         10,
+		SpeedKmh:       30,
+		ShadowSigmaDB:  4,
+		ShadowDecorrKm: 0.3,
+	}
+}
